@@ -1,0 +1,46 @@
+//! F5 / C4 / C8 — Algorithm MWM-Contract: the Fig 5 instance, the runtime
+//! scaling over task count, and the greedy-only ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::mapper::contraction::{fig5_example_graph, greedy_premerge, mwm_contract};
+use oregami_bench::random_weighted_graph;
+use std::hint::black_box;
+
+/// The Fig 5 workload exactly as the paper presents it.
+fn bench_fig5(c: &mut Criterion) {
+    let g = fig5_example_graph();
+    c.bench_function("fig5/mwm_contract_12_tasks_3_procs", |b| {
+        b.iter(|| black_box(mwm_contract(&g, 3, 4).unwrap()))
+    });
+}
+
+/// Runtime scaling of the full MWM-Contract on random graphs.
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwm_contract_scaling");
+    group.sample_size(10);
+    for n in [32usize, 64, 128, 256] {
+        let g = random_weighted_graph(n, 30, 50, 11);
+        let procs = n / 8;
+        let bound = 10;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(mwm_contract(g, procs, bound).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the greedy pre-merge alone (no exact matching pass).
+fn bench_greedy_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_premerge_only");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let g = random_weighted_graph(n, 30, 50, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(greedy_premerge(g, n / 8, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_scaling, bench_greedy_only);
+criterion_main!(benches);

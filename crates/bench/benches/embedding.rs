@@ -1,0 +1,69 @@
+//! C1 / C8 — embeddings: the binomial-tree→mesh constructions (greedy
+//! recursion vs DP-optimal), NN-Embed, and the exhaustive-embedding
+//! ablation oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::mapper::canned::binomial_mesh;
+use oregami::mapper::embedding::{exhaustive_embed, nn_embed};
+use oregami::topology::{builders, RouteTable};
+use oregami_bench::random_weighted_graph;
+use std::hint::black_box;
+
+fn bench_binomial_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_embed_greedy");
+    for k in [6usize, 8, 10, 12] {
+        let r = 1usize << (k / 2 + k % 2);
+        let cols = 1usize << (k / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(1usize << k), &k, |b, &k| {
+            b.iter(|| black_box(binomial_mesh::embed(k, r, cols).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_embed_dp_optimal");
+    group.sample_size(10);
+    for k in [6usize, 8, 10] {
+        let r = 1usize << (k / 2 + k % 2);
+        let cols = 1usize << (k / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(1usize << k), &k, |b, &k| {
+            b.iter(|| black_box(binomial_mesh::embed_optimal(k, r, cols).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_embed");
+    group.sample_size(10);
+    for p in [16usize, 64] {
+        let side = (p as f64).sqrt() as usize;
+        let net = builders::mesh2d(side, p / side);
+        let table = RouteTable::new(&net);
+        let g = random_weighted_graph(p, 40, 30, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &g, |b, g| {
+            b.iter(|| black_box(nn_embed(g, &net, &table)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_oracle(c: &mut Criterion) {
+    // the branch-and-bound oracle (C8 ablation) on its feasible sizes
+    let net = builders::mesh2d(2, 3);
+    let table = RouteTable::new(&net);
+    let g = random_weighted_graph(6, 60, 30, 4);
+    c.bench_function("exhaustive_embed_6_clusters", |b| {
+        b.iter(|| black_box(exhaustive_embed(&g, &net, &table)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_binomial_greedy,
+    bench_binomial_optimal,
+    bench_nn_embed,
+    bench_exhaustive_oracle
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! F4 / C3 — the group-theoretic path: Fig 4's contraction and the
+//! `O(|X|²)`-dominated closure computation, swept over task count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::group::{group_contract, PermGroup};
+use oregami::larcs::{compile, programs};
+use oregami_bench::perfect_broadcast;
+use std::hint::black_box;
+
+/// The paper's exact Fig 4 computation: broadcast8 onto 4 processors.
+fn bench_fig4(c: &mut Criterion) {
+    let tg = compile(&programs::broadcast8(), &[]).unwrap();
+    c.bench_function("fig4/group_contract_broadcast8", |b| {
+        b.iter(|| black_box(group_contract(&tg, 4).unwrap()))
+    });
+}
+
+/// Closure cost over |X| (C3): the dominant part of the group algorithm.
+fn bench_closure_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_closure_scaling");
+    group.sample_size(10);
+    for k in [3usize, 4, 5, 6, 7] {
+        let n = 1usize << k;
+        let tg = perfect_broadcast(n);
+        // extract generators once; measure closure + regularity check
+        let gens: Vec<_> = (0..tg.num_phases())
+            .map(|p| oregami::group::contract::phase_permutation(&tg, p).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &gens, |b, gens| {
+            b.iter(|| black_box(PermGroup::close_with_bound(gens, n).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The whole group contraction (closure + subgroup search + cosets).
+fn bench_contract_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_contract_scaling");
+    group.sample_size(10);
+    for k in [3usize, 4, 5, 6] {
+        let n = 1usize << k;
+        let tg = perfect_broadcast(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tg, |b, tg| {
+            b.iter(|| black_box(group_contract(tg, n / 2).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The paper's future-work payoff: circulant detection + residue
+/// contraction (O(n)) vs the general closure path (O(n^2)) on the same
+/// workloads.
+fn bench_circulant_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circulant_vs_closure");
+    group.sample_size(10);
+    for k in [4usize, 6, 8] {
+        let n = 1usize << k;
+        let tg = perfect_broadcast(n);
+        group.bench_with_input(
+            BenchmarkId::new("circulant_fast", n),
+            &tg,
+            |b, tg| b.iter(|| black_box(oregami::group::circulant_contract(tg, n / 2).unwrap())),
+        );
+        if k <= 6 {
+            group.bench_with_input(
+                BenchmarkId::new("group_closure", n),
+                &tg,
+                |b, tg| b.iter(|| black_box(group_contract(tg, n / 2).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_closure_scaling,
+    bench_contract_scaling,
+    bench_circulant_fast_path
+);
+criterion_main!(benches);

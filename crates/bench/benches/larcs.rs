@@ -1,0 +1,47 @@
+//! F2 / C2 — the LaRCS front end: parsing is independent of the problem
+//! size (the compactness claim), elaboration is linear in the graph it
+//! emits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::larcs::{compile, parse, programs};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("larcs_parse");
+    for (name, src, _) in programs::all_programs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| black_box(parse(src).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_elaborate_scaling(c: &mut Criterion) {
+    // same source, growing n: elaboration is linear in tasks+edges while
+    // the description stays constant (C2)
+    let src = programs::nbody();
+    let mut group = c.benchmark_group("larcs_elaborate_nbody");
+    group.sample_size(10);
+    for n in [64i64, 256, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(compile(&src, &[("n", n), ("s", 3), ("msgsize", 8)]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let g = compile(
+        &programs::nbody(),
+        &[("n", 256), ("s", 1), ("msgsize", 1)],
+    )
+    .unwrap();
+    c.bench_function("larcs_analyze_nbody_256", |b| {
+        b.iter(|| black_box(oregami::larcs::analyze::analyze(&g)))
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_elaborate_scaling, bench_analyze);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Scaling of the matching engines (the machinery under §4.3 and §4.4):
+//! the `O(n³)` blossom maximum-weight matcher, the greedy maximal matcher,
+//! and Hopcroft–Karp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::matching::{greedy_matching, hopcroft_karp, max_weight_matching};
+use oregami_bench::random_weighted_graph;
+use std::hint::black_box;
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_weight_matching");
+    g.sample_size(10);
+    for n in [16usize, 32, 64, 128] {
+        let graph = random_weighted_graph(n, 40, 100, 1);
+        let edges: Vec<(usize, usize, u64)> =
+            graph.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| black_box(max_weight_matching(n, edges)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_matching");
+    for n in [64usize, 256] {
+        let graph = random_weighted_graph(n, 40, 100, 2);
+        let edges: Vec<(usize, usize, u64)> =
+            graph.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| black_box(greedy_matching(n, edges)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hopcroft_karp");
+    for n in [32usize, 128] {
+        // dense-ish random bipartite graph
+        let mut adj = vec![Vec::new(); n];
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for row in adj.iter_mut() {
+            for y in 0..n {
+                if next() % 100 < 30 {
+                    row.push(y);
+                }
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
+            b.iter(|| black_box(hopcroft_karp(n, n, adj)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blossom, bench_greedy, bench_hopcroft_karp);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! C7 / F3 — the end-to-end OREGAMI pipeline (LaRCS → MAPPER → METRICS)
+//! for one representative workload per strategy class, plus a scaling
+//! sweep of the general path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::larcs::programs;
+use oregami::topology::builders;
+use oregami::Oregami;
+use std::hint::black_box;
+
+fn bench_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+
+    type Case = (&'static str, String, Vec<(&'static str, i64)>);
+    let cases: Vec<Case> = vec![
+        ("canned_binomial", programs::binomial_dnc(), vec![("k", 4)]),
+        ("group_broadcast8", programs::broadcast8(), vec![]),
+        (
+            "general_nbody15",
+            programs::nbody(),
+            vec![("n", 15), ("s", 3), ("msgsize", 8)],
+        ),
+        ("jacobi8", programs::jacobi(), vec![("n", 8), ("iters", 10)]),
+    ];
+    for (label, src, params) in cases {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let sys = Oregami::new(builders::hypercube(4));
+                black_box(sys.map_source(&src, &params).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_general_path_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_nbody_scaling_q4");
+    group.sample_size(10);
+    for n in [32i64, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let sys = Oregami::new(builders::hypercube(4));
+                black_box(
+                    sys.map_source(
+                        &programs::nbody(),
+                        &[("n", n), ("s", 3), ("msgsize", 8)],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_strategy, bench_general_path_scaling);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! F6 / C5 / C8 — Algorithm MM-Route: the Fig 6 workload, scaling over
+//! network size (the paper quotes `O(|X|²|Y|)` for the maximal-matching
+//! formulation), and the matcher ablation (Hopcroft–Karp vs greedy
+//! maximal) against the contention-oblivious baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oregami::mapper::routing::{baseline_route, mm_route, Matcher};
+use oregami::topology::{builders, ProcId, RouteTable};
+use oregami_bench::{nbody_chordal, random_permutation_traffic};
+use std::hint::black_box;
+
+/// The paper's Fig 6: 15-body chordal phase on the 8-processor hypercube.
+fn bench_fig6(c: &mut Criterion) {
+    let tg = nbody_chordal(15);
+    let assignment: Vec<ProcId> = (0..15).map(|i| ProcId((i / 2) as u32)).collect();
+    let net = builders::hypercube(3);
+    let table = RouteTable::new(&net);
+    c.bench_function("fig6/mm_route_chordal_q3", |b| {
+        b.iter(|| {
+            black_box(mm_route(
+                &tg,
+                0,
+                &assignment,
+                &net,
+                &table,
+                Matcher::Maximum,
+            ))
+        })
+    });
+}
+
+/// MM-Route scaling over hypercube dimension with permutation traffic.
+fn bench_route_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mm_route_scaling");
+    group.sample_size(10);
+    for d in [3usize, 4, 5, 6] {
+        let n = 1usize << d;
+        let net = builders::hypercube(d);
+        let table = RouteTable::new(&net);
+        let tg = random_permutation_traffic(n, 5);
+        let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tg, |b, tg| {
+            b.iter(|| {
+                black_box(mm_route(
+                    tg,
+                    0,
+                    &assignment,
+                    &net,
+                    &table,
+                    Matcher::Maximum,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Matcher ablation and the oblivious baseline, same workload.
+fn bench_matchers(c: &mut Criterion) {
+    let n = 32;
+    let net = builders::hypercube(5);
+    let table = RouteTable::new(&net);
+    let tg = random_permutation_traffic(n, 9);
+    let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
+    let mut group = c.benchmark_group("routing_variants_q5");
+    group.bench_function("mm_route_hopcroft_karp", |b| {
+        b.iter(|| {
+            black_box(mm_route(
+                &tg,
+                0,
+                &assignment,
+                &net,
+                &table,
+                Matcher::Maximum,
+            ))
+        })
+    });
+    group.bench_function("mm_route_greedy_maximal", |b| {
+        b.iter(|| {
+            black_box(mm_route(
+                &tg,
+                0,
+                &assignment,
+                &net,
+                &table,
+                Matcher::GreedyMaximal,
+            ))
+        })
+    });
+    group.bench_function("baseline_fixed_shortest", |b| {
+        b.iter(|| black_box(baseline_route(&tg, 0, &assignment, &net, &table)))
+    });
+    group.finish();
+}
+
+/// Route-table construction (all-pairs BFS), the routing preprocessing.
+fn bench_route_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_table_build");
+    group.sample_size(10);
+    for d in [4usize, 6, 8] {
+        let net = builders::hypercube(d);
+        group.bench_with_input(BenchmarkId::from_parameter(1 << d), &net, |b, net| {
+            b.iter(|| black_box(RouteTable::new(net)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig6,
+    bench_route_scaling,
+    bench_matchers,
+    bench_route_table
+);
+criterion_main!(benches);

@@ -1,0 +1,581 @@
+//! Regenerates every figure and claim of the OREGAMI paper (the
+//! per-experiment index of `DESIGN.md` §3).
+//!
+//! ```sh
+//! cargo run -p oregami-bench --bin figures            # everything
+//! cargo run -p oregami-bench --bin figures -- F5 C1   # a selection
+//! ```
+//!
+//! The output of a full run is recorded in `EXPERIMENTS.md`.
+
+use oregami::group::group_contract;
+use oregami::larcs::{analyze, compile, parse, programs};
+use oregami::mapper::canned::binomial_mesh;
+use oregami::mapper::contraction::{
+    exhaustive_optimal_ipc, fig5_example_graph, greedy_premerge, mwm_contract,
+};
+use oregami::mapper::embedding::{exhaustive_embed, nn::nn_embed_with_cost};
+use oregami::mapper::routing::{baseline_route, max_contention, mm_route, Matcher};
+use oregami::mapper::systolic;
+use oregami::topology::{builders, ProcId, RouteTable};
+use oregami::{Oregami, Strategy};
+use oregami_bench::{nbody_chordal, random_permutation_traffic, random_weighted_graph};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let want = |tag: &str| args.is_empty() || args.iter().any(|a| a == tag);
+
+    if want("F2") {
+        fig2();
+    }
+    if want("F3") {
+        fig3();
+    }
+    if want("F4") {
+        fig4();
+    }
+    if want("F5") {
+        fig5();
+    }
+    if want("F6") {
+        fig6();
+    }
+    if want("C1") {
+        c1_binomial();
+    }
+    if want("C2") {
+        c2_compactness();
+    }
+    if want("C3") {
+        c3_group_scaling();
+    }
+    if want("C4") {
+        c4_mwm_optimality();
+    }
+    if want("C5") {
+        c5_contention();
+    }
+    if want("C6") {
+        c6_systolic();
+    }
+    if want("C7") {
+        c7_metrics();
+    }
+    if want("C8") {
+        c8_ablations();
+    }
+    if want("E1") {
+        e1_remap();
+    }
+    if want("E2") {
+        e2_aggregate();
+    }
+    if want("E3") {
+        e3_dynamic();
+    }
+}
+
+fn header(tag: &str, title: &str) {
+    println!("\n=== {tag}: {title} ===");
+}
+
+/// F2 — Fig 2: the n-body task graph from its LaRCS description.
+fn fig2() {
+    header("F2", "n-body task graph from LaRCS (paper Fig 2)");
+    for n in [8i64, 15, 64] {
+        let g = compile(&programs::nbody(), &[("n", n), ("s", 3), ("msgsize", 8)]).unwrap();
+        let mult = g.phase_expr.as_ref().unwrap().comm_multiplicities();
+        println!(
+            "n={n:<3} tasks={:<3} phases={} ring-edges={} chordal-edges={} \
+             phase-expr ring x{} chordal x{}",
+            g.num_tasks(),
+            g.num_phases(),
+            g.comm_phases[0].edges.len(),
+            g.comm_phases[1].edges.len(),
+            mult[0],
+            mult[1]
+        );
+    }
+    let g = compile(&programs::nbody(), &[("n", 8), ("s", 1), ("msgsize", 1)]).unwrap();
+    println!(
+        "n=8 chordal function i -> (i + (n+1)/2) mod n: {:?}",
+        g.comm_phases[1]
+            .edges
+            .iter()
+            .map(|e| (e.src.0, e.dst.0))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// F3 — Fig 3: the MAPPER dispatch, one workload per algorithm class.
+fn fig3() {
+    header("F3", "MAPPER dispatch (paper Fig 3)");
+    type Case = (&'static str, String, Vec<(&'static str, i64)>, oregami::Network);
+    let cases: Vec<Case> = vec![
+        (
+            "nameable (declared ring)",
+            "algorithm r(n);\n nodetype t: 0..n-1 nodesymmetric family(ring);\n \
+             comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }\n \
+             exephase w; phaseexpr (c; w)^3;"
+                .to_string(),
+            vec![("n", 8)],
+            builders::hypercube(3),
+        ),
+        (
+            "node-symmetric (broadcast8)",
+            programs::broadcast8(),
+            vec![],
+            builders::hypercube(2),
+        ),
+        (
+            "affine recurrence (matmul)",
+            programs::matmul(),
+            vec![("n", 4)],
+            builders::chain(4),
+        ),
+        (
+            "arbitrary graph",
+            "algorithm x();\n nodetype t: 0..5;\n \
+             comphase c: t(0) -> t(1) volume 7; t(1) -> t(2) volume 3; \
+             t(0) -> t(3) volume 2; t(3) -> t(4) volume 9; t(2) -> t(5) volume 4;\n \
+             exephase w; phaseexpr c; w;"
+                .to_string(),
+            vec![],
+            builders::mesh2d(2, 2),
+        ),
+    ];
+    for (label, src, params, net) in cases {
+        let name = net.name.clone();
+        let r = Oregami::new(net).map_source(&src, &params).unwrap();
+        println!(
+            "{label:<32} -> {:?} on {name} ({})",
+            r.report.strategy,
+            r.report.notes.first().cloned().unwrap_or_default()
+        );
+    }
+}
+
+/// F4 — Fig 4: group-theoretic contraction of the 8-node perfect broadcast.
+fn fig4() {
+    header("F4", "group-theoretic contraction (paper Fig 4)");
+    let tg = compile(&programs::broadcast8(), &[]).unwrap();
+    let gc = group_contract(&tg, 4).unwrap();
+    println!("generators:");
+    for (k, g) in gc.group.generators().iter().enumerate() {
+        println!("  comm{} = {}", k + 1, g);
+    }
+    println!("elements of G (|G| = {} = |X|):", gc.group.order());
+    for (i, e) in gc.group.elements().iter().enumerate() {
+        println!("  E{i} = {e}");
+    }
+    println!(
+        "subgroup {{{}}} of order {} ({}normal)",
+        gc.subgroup
+            .members
+            .iter()
+            .map(|m| format!("E{m}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        gc.subgroup.order(),
+        if gc.subgroup_is_normal { "" } else { "not " }
+    );
+    println!("cluster of each task: {:?}", gc.cluster_of);
+    println!(
+        "messages internalised per cluster: {:?}  [paper: 2 each]",
+        gc.internalized_messages_per_cluster
+    );
+}
+
+/// F5 — Fig 5: MWM-Contract on the 12-task / 3-processor / B=4 instance.
+fn fig5() {
+    header("F5", "MWM-Contract example (paper Fig 5)");
+    let g = fig5_example_graph();
+    let pre = greedy_premerge(&g, 6, 2);
+    println!(
+        "greedy pre-merge (cap B/2 = 2): {} clusters, sizes {:?}",
+        pre.num_clusters,
+        pre.sizes()
+    );
+    println!(
+        "weight-15 edge (tasks 1-2) merged? {}  [paper: rejected, would make 4 tasks]",
+        pre.cluster_of[1] == pre.cluster_of[2]
+    );
+    let c = mwm_contract(&g, 3, 4).unwrap();
+    println!(
+        "after matching: {} clusters, sizes {:?}",
+        c.num_clusters,
+        c.sizes()
+    );
+    println!(
+        "total IPC = {}  [paper: 6]   exhaustive optimum = {:?}",
+        c.total_ipc(&g),
+        exhaustive_optimal_ipc(&g, 3, 4)
+    );
+}
+
+/// F6 — Fig 6: MM-Route of the 15-body chordal phase on an 8-node
+/// hypercube, with the alternative-routes table.
+fn fig6() {
+    header("F6", "MM-Route of the 15-body chordal phase (paper Fig 6)");
+    let tg = nbody_chordal(15);
+    // the ring-contiguous contraction of the full pipeline run
+    let assignment: Vec<ProcId> = (0..15).map(|i| ProcId((i / 2) as u32)).collect();
+    let net = builders::hypercube(3);
+    let table = RouteTable::new(&net);
+    println!("alternative shortest routes (paper Fig 6b, sample):");
+    for (src, dst) in [(0u32, 4u32), (0, 3), (1, 4)] {
+        let routes = table.all_shortest_paths(&net, ProcId(src), ProcId(dst), 8);
+        let shown: Vec<String> = routes
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|p| p.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-")
+            })
+            .collect();
+        println!("  {src} -> {dst}: {}", shown.join(" | "));
+    }
+    let mm = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
+    let base = baseline_route(&tg, 0, &assignment, &net, &table);
+    println!(
+        "chordal phase: {} messages, {} matching rounds",
+        tg.comm_phases[0].edges.len(),
+        mm.matching_rounds
+    );
+    println!(
+        "max link contention: MM-Route {} vs fixed-shortest-path {}",
+        max_contention(&net, &mm.paths),
+        max_contention(&net, &base)
+    );
+}
+
+/// C1 — binomial tree → mesh average dilation (paper: bounded by 1.2).
+fn c1_binomial() {
+    header("C1", "binomial tree -> mesh dilation (paper: avg <= 1.2)");
+    println!("  k   mesh     greedy-avg greedy-max  optimal-avg optimal-max");
+    for k in 2..=12usize {
+        let r = 1usize << (k / 2 + k % 2);
+        let c = 1usize << (k / 2);
+        let (ga, gm) = binomial_mesh::dilation_stats(k, r, c).unwrap();
+        let (oa, om) = binomial_mesh::optimal_dilation_stats(k, r, c).unwrap();
+        println!("  {k:<3} {r:>3}x{c:<4} {ga:>9.3} {gm:>10} {oa:>12.3} {om:>11}");
+    }
+}
+
+/// C2 — LaRCS compactness: description size vs graph size.
+fn c2_compactness() {
+    header("C2", "LaRCS compactness (paper: order of magnitude smaller)");
+    let src = programs::nbody();
+    println!("description: {} bytes (constant)", src.len());
+    println!("  n      tasks  edges  graph/description ratio");
+    for n in [16i64, 64, 256, 1024, 4096] {
+        let g = compile(&src, &[("n", n), ("s", 1), ("msgsize", 1)]).unwrap();
+        let entities = g.num_tasks() + g.num_edges();
+        println!(
+            "  {n:<6} {:<6} {:<6} {:>6.1}x",
+            g.num_tasks(),
+            g.num_edges(),
+            entities as f64 / src.len() as f64
+        );
+    }
+}
+
+/// C3 — group closure cost scaling (paper: O(|X|^2) dominant step).
+fn c3_group_scaling() {
+    header("C3", "group closure scaling (paper: O(|X|^2))");
+    println!("  |X|    elements  time-us   time/|X|^2 (ns)");
+    for k in [3usize, 4, 5, 6, 7, 8] {
+        let n = 1usize << k;
+        let tg = oregami_bench::perfect_broadcast(n);
+        let start = std::time::Instant::now();
+        let gc = group_contract(&tg, n / 2).unwrap();
+        let us = start.elapsed().as_micros();
+        println!(
+            "  {n:<6} {:<9} {us:<9} {:.1}",
+            gc.group.order(),
+            us as f64 * 1000.0 / (n * n) as f64
+        );
+    }
+}
+
+/// C4 — MWM-Contract optimality in the pairing regime.
+fn c4_mwm_optimality() {
+    header("C4", "MWM-Contract optimality when n <= 2P (paper §4.3)");
+    let mut optimal = 0;
+    let trials = 50;
+    for t in 0..trials {
+        let procs = 3;
+        let n = 6;
+        let g = random_weighted_graph(n, 60, 30, t);
+        let c = mwm_contract(&g, procs, 2).unwrap();
+        if Some(c.total_ipc(&g)) == exhaustive_optimal_ipc(&g, procs, 2) {
+            optimal += 1;
+        }
+    }
+    println!("n=6, P=3, B=2: optimal on {optimal}/{trials} random instances  [paper: always]");
+    // and beyond the regime, report the typical gap
+    let mut gaps = Vec::new();
+    for t in 0..trials {
+        let g = random_weighted_graph(12, 50, 30, 1000 + t);
+        let c = mwm_contract(&g, 3, 4).unwrap();
+        let opt = exhaustive_optimal_ipc(&g, 3, 4).unwrap();
+        let ipc = c.total_ipc(&g);
+        gaps.push(if opt == 0 {
+            if ipc == 0 { 0.0 } else { 1.0 }
+        } else {
+            ipc as f64 / opt as f64 - 1.0
+        });
+    }
+    let avg_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    println!(
+        "n=12, P=3, B=4 (heuristic regime): average gap over optimum {:.1}%",
+        avg_gap * 100.0
+    );
+}
+
+/// C5 — MM-Route vs contention-oblivious routing on permutation traffic.
+fn c5_contention() {
+    header("C5", "MM-Route contention vs fixed shortest paths (paper §4.4)");
+    for d in [3usize, 4, 5] {
+        let n = 1usize << d;
+        let net = builders::hypercube(d);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
+        let (mut sum_mm, mut sum_base, mut wins, mut losses) = (0u64, 0u64, 0, 0);
+        let trials = 30;
+        for s in 0..trials {
+            let tg = random_permutation_traffic(n, s);
+            let mm = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
+            let base = baseline_route(&tg, 0, &assignment, &net, &table);
+            let (cm, cb) = (
+                max_contention(&net, &mm.paths),
+                max_contention(&net, &base),
+            );
+            sum_mm += cm;
+            sum_base += cb;
+            if cm < cb {
+                wins += 1;
+            }
+            if cm > cb {
+                losses += 1;
+            }
+        }
+        println!(
+            "Q{d} ({n} procs), {trials} random permutations: \
+             avg contention MM {:.2} vs e-cube {:.2}  (wins {wins}, losses {losses})",
+            sum_mm as f64 / trials as f64,
+            sum_base as f64 / trials as f64
+        );
+    }
+}
+
+/// C6 — systolic synthesis of affine recurrences.
+fn c6_systolic() {
+    header("C6", "systolic synthesis (paper §4.2.1)");
+    let p = parse(&programs::matmul()).unwrap();
+    println!(
+        "matmul syntactic affinity per phase: {:?} (constant-time check)",
+        analyze::syntactic_affine(&p)
+    );
+    for n in [4i64, 6, 8] {
+        let tg = compile(&programs::matmul(), &[("n", n)]).unwrap();
+        let sm = systolic::synthesize(&tg, 1).unwrap();
+        println!(
+            "matmul n={n}: tau={:?} sigma={:?} makespan={} array={:?}",
+            sm.schedule, sm.allocation, sm.makespan, sm.array_dims
+        );
+    }
+    let p = parse(&programs::nbody()).unwrap();
+    println!(
+        "nbody syntactic affinity (mod arithmetic): {:?} -> systolic path rejected",
+        analyze::syntactic_affine(&p)
+    );
+}
+
+/// C7 — the METRICS suite on the paper's main scenarios.
+fn c7_metrics() {
+    header("C7", "METRICS suite (paper §5)");
+    let r = Oregami::new(builders::hypercube(3))
+        .map_source(
+            &programs::nbody(),
+            &[("n", 15), ("s", 10), ("msgsize", 16)],
+        )
+        .unwrap();
+    println!("15-body on hypercube(3), strategy {:?}:", r.report.strategy);
+    println!("{}", r.metrics.render());
+    let r = Oregami::new(builders::mesh2d(4, 4))
+        .map_source(&programs::jacobi(), &[("n", 8), ("iters", 100)])
+        .unwrap();
+    println!("jacobi 8x8 on mesh2d(4x4), strategy {:?}:", r.report.strategy);
+    println!("{}", r.metrics.render());
+}
+
+/// C8 — ablations: exact matching vs greedy-only contraction, NN-Embed vs
+/// exhaustive embedding, maximum vs maximal matcher in MM-Route.
+fn c8_ablations() {
+    header("C8", "ablations (DESIGN.md)");
+
+    // contraction: greedy-only vs greedy+MWM
+    let trials = 40;
+    let (mut ipc_mwm, mut ipc_greedy, mut counted) = (0u64, 0u64, 0);
+    for t in 0..trials {
+        let g = random_weighted_graph(16, 50, 30, 42 + t);
+        // greedy-only: premerge straight to 4 clusters of <= 4 (only
+        // comparable when the greedy reaches the target on its own)
+        let pre = greedy_premerge(&g, 4, 4);
+        if pre.num_clusters == 4 {
+            counted += 1;
+            ipc_greedy += pre.total_ipc(&g);
+            ipc_mwm += mwm_contract(&g, 4, 4).unwrap().total_ipc(&g);
+        }
+    }
+    println!(
+        "contraction IPC over {counted} random graphs (16 tasks, P=4, B=4): \
+         greedy+MWM {ipc_mwm} vs greedy-only {ipc_greedy} \
+         ({:+.1}% from exact matching)",
+        (ipc_greedy as f64 - ipc_mwm as f64) / ipc_greedy.max(1) as f64 * 100.0
+    );
+
+    // embedding: NN-Embed vs exhaustive
+    let net = builders::mesh2d(2, 3);
+    let table = RouteTable::new(&net);
+    let (mut cost_nn, mut cost_opt) = (0u64, 0u64);
+    for t in 0..trials {
+        let g = random_weighted_graph(6, 60, 20, 7 + t);
+        cost_nn += nn_embed_with_cost(&g, &net, &table).1;
+        cost_opt += exhaustive_embed(&g, &net, &table).1;
+    }
+    println!(
+        "embedding cost over {trials} random cluster graphs (6 clusters on 2x3 mesh): \
+         NN-Embed {cost_nn} vs exhaustive {cost_opt} ({:+.1}% greedy penalty)",
+        (cost_nn as f64 - cost_opt as f64) / cost_opt.max(1) as f64 * 100.0
+    );
+
+    // routing: maximum vs greedy-maximal matcher
+    let net = builders::hypercube(4);
+    let table = RouteTable::new(&net);
+    let assignment: Vec<ProcId> = (0..16).map(|i| ProcId(i as u32)).collect();
+    let (mut rounds_max, mut rounds_greedy, mut cont_max, mut cont_greedy) = (0, 0, 0u64, 0u64);
+    for s in 0..trials {
+        let tg = random_permutation_traffic(16, 77 + s);
+        let a = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
+        let b = mm_route(&tg, 0, &assignment, &net, &table, Matcher::GreedyMaximal);
+        rounds_max += a.matching_rounds;
+        rounds_greedy += b.matching_rounds;
+        cont_max += max_contention(&net, &a.paths);
+        cont_greedy += max_contention(&net, &b.paths);
+    }
+    println!(
+        "MM-Route matcher over {trials} permutations on Q4: \
+         Hopcroft-Karp rounds {rounds_max} / contention {cont_max} vs \
+         greedy-maximal rounds {rounds_greedy} / contention {cont_greedy}"
+    );
+
+    // dispatch sanity: which strategies fire across the program library
+    let mut counts = std::collections::BTreeMap::new();
+    for (name, src, params) in programs::all_programs() {
+        let r = Oregami::new(builders::hypercube(3))
+            .map_source(&src, &params)
+            .unwrap();
+        let tag = match r.report.strategy {
+            Strategy::Canned => "canned",
+            Strategy::GroupTheoretic => "group",
+            Strategy::Systolic => "systolic",
+            Strategy::General => "general",
+        };
+        counts
+            .entry(tag)
+            .or_insert_with(Vec::new)
+            .push(name.to_string());
+    }
+    println!("dispatch over the built-in program library (target Q3):");
+    for (tag, names) in counts {
+        println!("  {tag:<9} {}", names.join(", "));
+    }
+}
+
+/// E1 — §6 extension: per-phase remapping with migration. The crossover:
+/// remapping wins while task state is cheap to move, the fixed mapping
+/// wins once it is not.
+fn e1_remap() {
+    use oregami::mapper::remap;
+    header("E1", "per-phase remapping vs one fixed mapping (paper par.6 future work)");
+    // a two-phase workload with conflicting affinities: ring vs chordal
+    let tg = compile(&programs::nbody(), &[("n", 16), ("s", 1), ("msgsize", 8)]).unwrap();
+    let net = builders::hypercube(3);
+    let sys = Oregami::new(builders::hypercube(3));
+    let fixed = sys
+        .map_source(&programs::nbody(), &[("n", 16), ("s", 1), ("msgsize", 8)])
+        .unwrap();
+    println!("  state-volume  fixed-cost  remap-comm  migration  winner");
+    for state in [0u64, 1, 2, 4, 8, 16, 32] {
+        let cmp = remap::compare(&tg, &net, &fixed.report.mapping, 4, state).unwrap();
+        println!(
+            "  {state:<12} {:<11} {:<11} {:<10} {}",
+            cmp.single_mapping_cost,
+            cmp.per_phase_comm_cost,
+            cmp.migration_cost,
+            if cmp.remap_wins() { "remap" } else { "fixed" }
+        );
+    }
+}
+
+/// E2 — §6 extension: aggregate-topology synthesis. A star aggregation is
+/// rewritten as a network spanning tree; contention collapses.
+fn e2_aggregate() {
+    use oregami::graph::{TaskGraph, TaskId};
+    use oregami::mapper::aggregate;
+    use oregami::mapper::routing::route_all_phases;
+    header("E2", "aggregate-topology synthesis (paper par.6 future work)");
+    for d in [3usize, 4, 5] {
+        let n = 1usize << d;
+        let mut tg = TaskGraph::new("agg");
+        tg.add_scalar_nodes("t", n);
+        let ph = tg.add_phase("aggregate");
+        for i in 1..n {
+            tg.add_edge(ph, TaskId::new(i), TaskId(0), 4);
+        }
+        let net = builders::hypercube(d);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mut mapping = oregami::Mapping { assignment, routes };
+        let star = max_contention(&net, &mapping.routes[0]);
+        let new_tg = aggregate::synthesize_aggregate(&tg, &net, &table, &mut mapping, 0).unwrap();
+        let tree = max_contention(&net, &mapping.routes[0]);
+        println!(
+            "Q{d} ({n} tasks): star-to-root contention {star} -> spanning-tree {tree}              (still an aggregation: {})",
+            aggregate::detect_aggregation(&new_tg, 0).is_some()
+        );
+    }
+}
+
+/// E3 — §6 extension: dynamically spawned tasks. Incremental placement of
+/// a growing binomial D&C vs a static mapping of the final graph.
+fn e3_dynamic() {
+    use oregami::mapper::dynamic::{binomial_growth, incremental_map};
+    header("E3", "dynamic task spawning (paper par.6 future work)");
+    for (k, d) in [(4usize, 2usize), (6, 3), (8, 4)] {
+        let dc = binomial_growth(k);
+        let net = builders::hypercube(d);
+        let bound = (1usize << k) / (1usize << d);
+        let maps = incremental_map(&dc, &net, bound).unwrap();
+        let final_map = maps.last().unwrap();
+        // cut volume of the incremental placement on the final graph
+        let g = dc.final_graph().collapse();
+        let inc_cut: u64 = g
+            .edges()
+            .iter()
+            .filter(|e| final_map[e.u] != final_map[e.v])
+            .map(|e| e.w)
+            .sum();
+        // static mapping of the final graph through the pipeline
+        let sys = Oregami::new(builders::hypercube(d));
+        let r = sys.map_graph(dc.final_graph().clone()).unwrap();
+        let static_cut = r.metrics.overall.total_ipc;
+        println!(
+            "B_{k} on Q{d} (bound {bound}): incremental cut {inc_cut} vs static cut {static_cut}              (no task ever migrates incrementally)"
+        );
+    }
+}

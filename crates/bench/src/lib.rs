@@ -1,0 +1,115 @@
+//! Shared workload generators for the OREGAMI benchmarks and the
+//! `figures` binary (which regenerates every table/figure of the paper —
+//! see `DESIGN.md` §3 for the experiment index).
+
+use oregami::graph::{TaskGraph, TaskId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG for reproducible benchmark workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random weighted communication graph: `n` nodes, edge probability
+/// `density` percent, weights in `1..=max_w`.
+pub fn random_weighted_graph(n: usize, density: u32, max_w: u64, seed: u64) -> WeightedGraph {
+    let mut r = rng(seed);
+    let mut g = WeightedGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if r.random_range(0..100) < density {
+                g.add_or_accumulate(u, v, r.random_range(1..=max_w));
+            }
+        }
+    }
+    g
+}
+
+/// The perfect-broadcast task graph on `n` tasks (`n` a power of two):
+/// one phase per power-of-two stride — the group-theoretic workload family
+/// of the paper's Fig 4, scaled.
+pub fn perfect_broadcast(n: usize) -> TaskGraph {
+    assert!(n.is_power_of_two() && n >= 2);
+    let mut g = TaskGraph::new(format!("broadcast{n}"));
+    g.add_scalar_nodes("task", n);
+    let mut step = 1;
+    while step < n {
+        let p = g.add_phase(format!("comm{step}"));
+        for i in 0..n {
+            g.add_edge(p, TaskId::new(i), TaskId::new((i + step) % n), 1);
+        }
+        step *= 2;
+    }
+    g
+}
+
+/// The chordal phase of the `n`-body problem as a standalone task graph
+/// (the paper's Fig 6 routing workload).
+pub fn nbody_chordal(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new(format!("nbody{n}-chordal"));
+    g.add_scalar_nodes("body", n);
+    let p = g.add_phase("chordal");
+    let half = n.div_ceil(2);
+    for i in 0..n {
+        g.add_edge(p, TaskId::new(i), TaskId::new((i + half) % n), 1);
+    }
+    g
+}
+
+/// Random permutation traffic on `n` tasks (one phase, unit volumes).
+pub fn random_permutation_traffic(n: usize, seed: u64) -> TaskGraph {
+    let mut r = rng(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, r.random_range(0..=i));
+    }
+    let mut g = TaskGraph::new("perm");
+    g.add_scalar_nodes("t", n);
+    let p = g.add_phase("x");
+    for (i, &d) in perm.iter().enumerate() {
+        if i != d {
+            g.add_edge(p, TaskId::new(i), TaskId::new(d), 1);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_weighted_graph(10, 50, 20, 7);
+        let b = random_weighted_graph(10, 50, 20, 7);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), random_weighted_graph(10, 50, 20, 8).edges());
+    }
+
+    #[test]
+    fn broadcast_has_log_phases() {
+        let g = perfect_broadcast(16);
+        assert_eq!(g.num_phases(), 4);
+        assert_eq!(g.num_edges(), 64);
+    }
+
+    #[test]
+    fn chordal_matches_paper() {
+        let g = nbody_chordal(15);
+        for e in &g.comm_phases[0].edges {
+            assert_eq!(e.dst.0, (e.src.0 + 8) % 15);
+        }
+    }
+
+    #[test]
+    fn permutation_traffic_is_loop_free() {
+        let g = random_permutation_traffic(16, 3);
+        let mut outs = [0; 16];
+        for e in &g.comm_phases[0].edges {
+            outs[e.src.index()] += 1;
+            assert_ne!(e.src, e.dst);
+        }
+        assert!(outs.iter().all(|&d| d <= 1));
+    }
+}

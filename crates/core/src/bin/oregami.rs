@@ -1,0 +1,276 @@
+//! The `oregami` command-line tool: map a LaRCS program onto a target
+//! architecture and print the METRICS report.
+//!
+//! ```sh
+//! oregami --program nbody --topology hypercube:3 -P n=16 -P s=4 -P msgsize=8
+//! oregami --file myalgo.larcs --topology mesh2d:4x4 -P n=8 --dot out.dot
+//! oregami --list                      # built-in programs and topologies
+//! ```
+
+use oregami::larcs::programs;
+use oregami::metrics::schedule;
+use oregami::topology::{builders, Network};
+use oregami::{CostModel, MapperOptions, Oregami};
+use std::process::ExitCode;
+
+struct Args {
+    source: Option<String>,
+    source_label: String,
+    topology: Option<Network>,
+    params: Vec<(String, i64)>,
+    load_bound: Option<usize>,
+    dot: Option<String>,
+    map_dot: Option<String>,
+    net_dot: Option<String>,
+    directives: bool,
+    timeline: bool,
+    cost: CostModel,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "oregami — map parallel computations to parallel architectures\n\
+     \n\
+     USAGE:\n\
+       oregami (--program NAME | --file PATH.larcs) --topology KIND[:ARGS] [options]\n\
+       oregami --list\n\
+     \n\
+     OPTIONS:\n\
+       --program NAME         built-in LaRCS program (see --list)\n\
+       --file PATH            LaRCS source file\n\
+       --topology SPEC        hypercube:D | mesh2d:RxC | torus2d:RxC | ring:N |\n\
+                              chain:N | complete:N | star:N | tree:H | butterfly:D\n\
+       -P, --param NAME=VAL   bind a LaRCS parameter (repeatable)\n\
+       -B, --load-bound B     max tasks per processor\n\
+       --byte-time T          cost model: time per volume unit     (default 1)\n\
+       --hop-latency T        cost model: per-hop latency          (default 1)\n\
+       --startup T            cost model: per-phase startup        (default 0)\n\
+       --dot PATH             also write the task graph as Graphviz\n\
+       --map-dot PATH         write the mapping (clustered by processor)\n\
+       --net-dot PATH         write the network with routed volumes\n\
+       --directives           print per-processor scheduling directives\n\
+       --timeline             print the completion-time breakdown\n\
+       --list                 list built-in programs and exit\n"
+}
+
+fn parse_topology(spec: &str) -> Result<Network, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let int = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad number '{s}' in topology '{spec}'"))
+    };
+    let dims = |s: &str| -> Result<(usize, usize), String> {
+        let (a, b) = s
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("expected RxC in topology '{spec}'"))?;
+        Ok((int(a)?, int(b)?))
+    };
+    Ok(match kind {
+        "hypercube" => builders::hypercube(int(rest)?),
+        "mesh2d" => {
+            let (r, c) = dims(rest)?;
+            builders::mesh2d(r, c)
+        }
+        "torus2d" => {
+            let (r, c) = dims(rest)?;
+            builders::torus2d(r, c)
+        }
+        "ring" => builders::ring(int(rest)?),
+        "chain" => builders::chain(int(rest)?),
+        "complete" => builders::complete(int(rest)?),
+        "star" => builders::star(int(rest)?),
+        "tree" => builders::full_binary_tree(int(rest)?),
+        "butterfly" => builders::butterfly(int(rest)?),
+        other => return Err(format!("unknown topology kind '{other}'")),
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        source: None,
+        source_label: String::new(),
+        topology: None,
+        params: Vec::new(),
+        load_bound: None,
+        dot: None,
+        map_dot: None,
+        net_dot: None,
+        directives: false,
+        timeline: false,
+        cost: CostModel::default(),
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--program" => {
+                let name = next_val(&mut it, "--program")?;
+                let found = programs::all_programs()
+                    .into_iter()
+                    .find(|(n, _, _)| *n == name)
+                    .ok_or_else(|| format!("unknown program '{name}' (try --list)"))?;
+                args.source = Some(found.1);
+                args.source_label = name;
+            }
+            "--file" => {
+                let path = next_val(&mut it, "--file")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                args.source = Some(text);
+                args.source_label = path;
+            }
+            "--topology" => {
+                args.topology = Some(parse_topology(&next_val(&mut it, "--topology")?)?);
+            }
+            "-P" | "--param" => {
+                let kv = next_val(&mut it, "--param")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected NAME=VALUE, got '{kv}'"))?;
+                let v: i64 = v.parse().map_err(|_| format!("bad value in '{kv}'"))?;
+                args.params.push((k.to_string(), v));
+            }
+            "-B" | "--load-bound" => {
+                args.load_bound = Some(
+                    next_val(&mut it, "--load-bound")?
+                        .parse()
+                        .map_err(|_| "bad load bound".to_string())?,
+                );
+            }
+            "--byte-time" => {
+                args.cost.byte_time = next_val(&mut it, "--byte-time")?
+                    .parse()
+                    .map_err(|_| "bad byte-time".to_string())?;
+            }
+            "--hop-latency" => {
+                args.cost.hop_latency = next_val(&mut it, "--hop-latency")?
+                    .parse()
+                    .map_err(|_| "bad hop-latency".to_string())?;
+            }
+            "--startup" => {
+                args.cost.startup = next_val(&mut it, "--startup")?
+                    .parse()
+                    .map_err(|_| "bad startup".to_string())?;
+            }
+            "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
+            "--map-dot" => args.map_dot = Some(next_val(&mut it, "--map-dot")?),
+            "--net-dot" => args.net_dot = Some(next_val(&mut it, "--net-dot")?),
+            "--directives" => args.directives = true,
+            "--timeline" => args.timeline = true,
+            "--list" => args.list = true,
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.list {
+        println!("built-in LaRCS programs (with sample parameters):");
+        for (name, _, params) in programs::all_programs() {
+            let ps: Vec<String> = params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("  {name:<12} {}", ps.join(" "));
+        }
+        println!("\ntopologies: hypercube:D mesh2d:RxC torus2d:RxC ring:N chain:N");
+        println!("            complete:N star:N tree:H butterfly:D");
+        return Ok(());
+    }
+    let source = args.source.ok_or_else(|| {
+        format!("no program given (--program or --file)\n\n{}", usage())
+    })?;
+    let net = args
+        .topology
+        .ok_or_else(|| format!("no --topology given\n\n{}", usage()))?;
+    let net_name = net.name.clone();
+    let num_procs = net.num_procs();
+
+    let system = Oregami::new(net)
+        .with_options(MapperOptions {
+            load_bound: args.load_bound,
+            ..MapperOptions::default()
+        })
+        .with_cost_model(args.cost.clone());
+    let params: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let result = system
+        .map_source(&source, &params)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "mapped '{}' ({} tasks, {} phases) onto {net_name} ({num_procs} processors)",
+        args.source_label,
+        result.task_graph.num_tasks(),
+        result.task_graph.num_phases()
+    );
+    println!("strategy: {:?}", result.report.strategy);
+    for note in &result.report.notes {
+        println!("note: {note}");
+    }
+    println!();
+    println!("{}", result.metrics.render());
+
+    if args.timeline {
+        if let Some(tl) = oregami::metrics::timeline(
+            &result.task_graph,
+            system.network(),
+            &result.report.mapping,
+            &args.cost,
+        ) {
+            println!("{}", tl.render());
+        }
+    }
+
+    if args.directives {
+        println!("-- scheduling directives (task synchrony) --");
+        let ds = schedule::local_directives(&result.task_graph, system.network(), &result.report.mapping);
+        for d in &ds {
+            let line = schedule::render_directive(&result.task_graph, d);
+            if !line.ends_with(": ") {
+                println!("{line}");
+            }
+        }
+        let sets = schedule::synchrony_sets(&result.task_graph, system.network(), &result.report.mapping);
+        println!("{} synchrony set(s) per execution slot", sets.len());
+    }
+
+    if let Some(path) = args.dot {
+        let dot = oregami::graph::dot::to_dot(&result.task_graph);
+        std::fs::write(&path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("task graph written to {path}");
+    }
+    if let Some(path) = args.map_dot {
+        let dot = oregami::metrics::mapping_to_dot(
+            &result.task_graph,
+            system.network(),
+            &result.report.mapping,
+        );
+        std::fs::write(&path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("mapping written to {path}");
+    }
+    if let Some(path) = args.net_dot {
+        let dot = oregami::metrics::network_to_dot(
+            &result.task_graph,
+            system.network(),
+            &result.report.mapping,
+        );
+        std::fs::write(&path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("network heat view written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! # OREGAMI
+//!
+//! A from-scratch reproduction of **OREGAMI: Software Tools for Mapping
+//! Parallel Computations to Parallel Architectures** (Lo, Rajopadhye,
+//! Gupta, Keldsen, Mohamed, Telle — University of Oregon, 1990).
+//!
+//! OREGAMI solves the *mapping problem* for message-passing machines: given
+//! a parallel computation described compactly in the **LaRCS** language,
+//! assign its tasks to processors (contraction + embedding) and its
+//! messages to network links (routing), exploiting whatever regularity the
+//! description reveals — well-known graph families, group-theoretic node
+//! symmetry, affine recurrences — and falling back on polynomial-time
+//! matching-based heuristics for arbitrary graphs. **METRICS** then
+//! evaluates the mapping (load balance, dilation, contention, completion
+//! time) and supports programmatic modification.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oregami::{Oregami, topology::builders};
+//!
+//! // the paper's running example: the n-body computation, 16 bodies
+//! let source = oregami::larcs::programs::nbody();
+//! let system = Oregami::new(builders::hypercube(3));
+//! let result = system
+//!     .map_source(&source, &[("n", 16), ("s", 4), ("msgsize", 8)])
+//!     .unwrap();
+//!
+//! assert_eq!(result.task_graph.num_tasks(), 16);
+//! // 16 tasks on 8 processors: two per processor
+//! assert_eq!(result.report.mapping.tasks_per_proc(8), vec![2; 8]);
+//! println!("{}", result.metrics.render());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents | paper |
+//! |---|---|---|
+//! | [`graph`] | colored multi-phase task graphs, phase expressions, families | §2 |
+//! | [`larcs`] | the LaRCS language: parser, elaborator, regularity analyses | §3 |
+//! | [`mapper`] | canned / group-theoretic / systolic / general mapping + MM-Route | §4 |
+//! | [`metrics`] | load, link, and completion-time metrics; ASCII reports | §5 |
+//! | [`topology`] | processor networks and multipath route tables | §2, §4.4 |
+//! | [`group`] | permutation groups, Cayley graphs, quotient contraction | §4.2.2 |
+//! | [`matching`] | blossom maximum-weight matching, Hopcroft–Karp | §4.3, §4.4 |
+
+pub use oregami_graph as graph;
+pub use oregami_group as group;
+pub use oregami_larcs as larcs;
+pub use oregami_mapper as mapper;
+pub use oregami_matching as matching;
+pub use oregami_metrics as metrics;
+pub use oregami_topology as topology;
+
+pub use oregami_larcs::LarcsError;
+pub use oregami_mapper::{MapperOptions, MapperReport, Mapping, Strategy};
+pub use oregami_metrics::{CostModel, MetricsReport};
+pub use oregami_topology::Network;
+
+use oregami_graph::TaskGraph;
+
+/// One complete run of the OREGAMI toolchain.
+#[derive(Clone, Debug)]
+pub struct OregamiResult {
+    /// The elaborated task graph (LaRCS output).
+    pub task_graph: TaskGraph,
+    /// MAPPER's output: strategy, contraction, mapping, notes.
+    pub report: MapperReport,
+    /// METRICS' evaluation of the mapping.
+    pub metrics: MetricsReport,
+}
+
+/// Any failure along the pipeline.
+#[derive(Clone, Debug)]
+pub enum OregamiError {
+    /// LaRCS front-end failure (lex/parse/elaborate).
+    Larcs(LarcsError),
+    /// MAPPER failure (infeasible contraction, bad network).
+    Map(oregami_mapper::pipeline::MapError),
+}
+
+impl std::fmt::Display for OregamiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OregamiError::Larcs(e) => write!(f, "LaRCS: {e}"),
+            OregamiError::Map(e) => write!(f, "MAPPER: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OregamiError {}
+
+impl From<LarcsError> for OregamiError {
+    fn from(e: LarcsError) -> Self {
+        OregamiError::Larcs(e)
+    }
+}
+
+impl From<oregami_mapper::pipeline::MapError> for OregamiError {
+    fn from(e: oregami_mapper::pipeline::MapError) -> Self {
+        OregamiError::Map(e)
+    }
+}
+
+/// The OREGAMI toolchain bound to one target architecture.
+///
+/// Configure with [`with_options`](Oregami::with_options) /
+/// [`with_cost_model`](Oregami::with_cost_model), then map LaRCS sources
+/// ([`map_source`](Oregami::map_source)) or prebuilt task graphs
+/// ([`map_graph`](Oregami::map_graph)).
+#[derive(Clone, Debug)]
+pub struct Oregami {
+    network: Network,
+    options: MapperOptions,
+    cost_model: CostModel,
+}
+
+impl Oregami {
+    /// A toolchain instance targeting `network` with default options.
+    pub fn new(network: Network) -> Oregami {
+        Oregami {
+            network,
+            options: MapperOptions::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Overrides the MAPPER options.
+    pub fn with_options(mut self, options: MapperOptions) -> Oregami {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the METRICS cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Oregami {
+        self.cost_model = model;
+        self
+    }
+
+    /// The target network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Compiles a LaRCS source with the given parameter bindings and maps
+    /// the resulting task graph.
+    pub fn map_source(
+        &self,
+        source: &str,
+        params: &[(&str, i64)],
+    ) -> Result<OregamiResult, OregamiError> {
+        let tg = oregami_larcs::compile(source, params)?;
+        self.map_graph(tg)
+    }
+
+    /// Maps an already-built task graph.
+    pub fn map_graph(&self, task_graph: TaskGraph) -> Result<OregamiResult, OregamiError> {
+        let report = oregami_mapper::map_task_graph(&task_graph, &self.network, &self.options)?;
+        let metrics = oregami_metrics::analyze_mapping(
+            &task_graph,
+            &self.network,
+            &report.mapping,
+            &self.cost_model,
+        );
+        Ok(OregamiResult {
+            task_graph,
+            report,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_topology::builders;
+
+    #[test]
+    fn end_to_end_nbody() {
+        let sys = Oregami::new(builders::hypercube(3));
+        let r = sys
+            .map_source(
+                &larcs::programs::nbody(),
+                &[("n", 16), ("s", 2), ("msgsize", 4)],
+            )
+            .unwrap();
+        assert_eq!(r.task_graph.num_tasks(), 16);
+        assert_eq!(r.report.mapping.tasks_per_proc(8), vec![2; 8]);
+        assert!(r.metrics.overall.completion_time.is_some());
+        r.report
+            .mapping
+            .validate(&r.task_graph, sys.network())
+            .unwrap();
+    }
+
+    #[test]
+    fn all_builtin_programs_map_onto_q3() {
+        let sys = Oregami::new(builders::hypercube(3));
+        for (name, src, params) in larcs::programs::all_programs() {
+            let r = sys
+                .map_source(&src, &params)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            r.report
+                .mapping
+                .validate(&r.task_graph, sys.network())
+                .unwrap();
+            assert!(
+                r.metrics.overall.completion_time.is_some(),
+                "{name} should have a completion-time estimate"
+            );
+        }
+    }
+
+    #[test]
+    fn larcs_errors_surface() {
+        let sys = Oregami::new(builders::ring(4));
+        let err = sys.map_source("algorithm broken(", &[]).unwrap_err();
+        assert!(matches!(err, OregamiError::Larcs(_)));
+        assert!(err.to_string().starts_with("LaRCS:"));
+    }
+
+    #[test]
+    fn custom_cost_model_changes_estimate() {
+        let src = larcs::programs::jacobi();
+        let params = [("n", 4), ("iters", 2)];
+        let base = Oregami::new(builders::mesh2d(2, 2));
+        let r1 = base.map_source(&src, &params).unwrap();
+        let slow = Oregami::new(builders::mesh2d(2, 2)).with_cost_model(CostModel {
+            byte_time: 10,
+            hop_latency: 5,
+            startup: 100,
+        });
+        let r2 = slow.map_source(&src, &params).unwrap();
+        assert!(r2.metrics.overall.completion_time > r1.metrics.overall.completion_time);
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `oregami` command-line binary.
+
+use std::process::Command;
+
+fn oregami() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oregami"))
+}
+
+#[test]
+fn list_shows_builtins() {
+    let out = oregami().arg("--list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["nbody", "broadcast8", "jacobi", "matmul", "wavefront"] {
+        assert!(text.contains(name), "--list must mention {name}");
+    }
+}
+
+#[test]
+fn maps_builtin_program() {
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "-P", "n=16", "-P", "s=4", "-P", "msgsize=8",
+            "--timeline", "--directives",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("strategy: GroupTheoretic"));
+    assert!(text.contains("== METRICS =="));
+    assert!(text.contains("completion-time breakdown"));
+    assert!(text.contains("synchrony set"));
+}
+
+#[test]
+fn maps_file_and_writes_dot() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("ring.larcs");
+    std::fs::write(
+        &src,
+        "algorithm r(n);\n\
+         nodetype t: 0..n-1 nodesymmetric family(ring);\n\
+         comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }\n\
+         exephase w; phaseexpr (c; w)^3;",
+    )
+    .unwrap();
+    let dot = dir.join("map.dot");
+    let out = oregami()
+        .args([
+            "--file",
+            src.to_str().unwrap(),
+            "--topology",
+            "mesh2d:2x4",
+            "-P",
+            "n=8",
+            "--map-dot",
+            dot.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("strategy: Canned"));
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.contains("cluster_p0"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    // unknown program
+    let out = oregami()
+        .args(["--program", "nope", "--topology", "ring:4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown program"));
+    // malformed topology
+    let out = oregami()
+        .args(["--program", "nbody", "--topology", "mesh2d:banana"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // missing required args
+    let out = oregami().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no program"));
+}
+
+#[test]
+fn larcs_errors_reported_with_position() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("broken.larcs");
+    std::fs::write(&src, "algorithm broken(").unwrap();
+    let out = oregami()
+        .args(["--file", src.to_str().unwrap(), "--topology", "ring:4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+    std::fs::remove_dir_all(&dir).ok();
+}

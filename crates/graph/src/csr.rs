@@ -1,0 +1,119 @@
+//! Compressed sparse row adjacency.
+//!
+//! A compact, cache-friendly adjacency structure built once from an edge
+//! list and then queried read-only. Used by the traversal routines and by
+//! the topology crate's BFS route-table construction, where the per-query
+//! cost matters (all-pairs BFS is `O(V · E)`).
+
+/// Immutable CSR adjacency over nodes `0..n`.
+///
+/// Construction is `O(V + E)`; `neighbors(u)` is a contiguous slice.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a **directed** adjacency from an edge list.
+    pub fn directed(n: usize, edges: impl Iterator<Item = (usize, usize)> + Clone) -> Csr {
+        Self::build(n, edges, false)
+    }
+
+    /// Builds an **undirected** adjacency: each `(u, v)` is inserted in both
+    /// directions.
+    pub fn undirected(n: usize, edges: impl Iterator<Item = (usize, usize)> + Clone) -> Csr {
+        Self::build(n, edges, true)
+    }
+
+    fn build(
+        n: usize,
+        edges: impl Iterator<Item = (usize, usize)> + Clone,
+        both: bool,
+    ) -> Csr {
+        let mut degree = vec![0u32; n];
+        for (u, v) in edges.clone() {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            degree[u] += 1;
+            if both {
+                degree[v] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets[..n].to_vec();
+        for (u, v) in edges {
+            targets[cursor[u] as usize] = v as u32;
+            cursor[u] += 1;
+            if both {
+                targets[cursor[v] as usize] = u as u32;
+                cursor[v] += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (twice the edge count for undirected builds).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `u` as a slice.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_preserves_direction() {
+        let g = Csr::directed(3, [(0, 1), (0, 2), (2, 1)].into_iter());
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.num_arcs(), 3);
+    }
+
+    #[test]
+    fn undirected_mirrors() {
+        let g = Csr::undirected(3, [(0, 1), (1, 2)].into_iter());
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.num_arcs(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::undirected(4, std::iter::empty());
+        assert_eq!(g.num_nodes(), 4);
+        for u in 0..4 {
+            assert!(g.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = Csr::directed(2, [(0, 3)].into_iter());
+    }
+}

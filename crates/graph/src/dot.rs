@@ -1,0 +1,72 @@
+//! Graphviz (DOT) export of task graphs.
+//!
+//! METRICS in the original system rendered mappings on a Mac II color
+//! display; this reproduction renders task graphs (and, in
+//! `oregami-metrics`, annotated mappings) to DOT for offline viewing. Each
+//! communication phase keeps its conceptual "color" — phases cycle through a
+//! fixed palette.
+
+use crate::task_graph::TaskGraph;
+use std::fmt::Write as _;
+
+/// The palette phases cycle through (one color per `E_k`, as in the paper's
+/// colored-edge-set model).
+pub const PHASE_COLORS: [&str; 8] = [
+    "blue", "red", "forestgreen", "orange", "purple", "brown", "deeppink", "gray40",
+];
+
+/// Renders the task graph as a DOT digraph: one node per task (labelled),
+/// one edge per communication edge, colored by phase, edge label = volume.
+pub fn to_dot(g: &TaskGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name);
+    let _ = writeln!(s, "  node [shape=circle];");
+    for (i, node) in g.nodes.iter().enumerate() {
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", i, node.label);
+    }
+    for (k, phase) in g.comm_phases.iter().enumerate() {
+        let color = PHASE_COLORS[k % PHASE_COLORS.len()];
+        for e in &phase.edges {
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [color={color}, label=\"{}:{}\"];",
+                e.src.index(),
+                e.dst.index(),
+                phase.name,
+                e.volume
+            );
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::Family;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = Family::Ring(4).build();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"ring\""));
+        for i in 0..4 {
+            assert!(dot.contains(&format!("n{i} [label=")));
+        }
+        assert_eq!(dot.matches("->").count(), 4);
+        assert!(dot.contains("color=blue"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn phases_get_distinct_colors() {
+        let mut g = Family::Ring(3).build();
+        let p2 = g.add_phase("extra");
+        g.add_edge(p2, crate::TaskId(0), crate::TaskId(2), 9);
+        let dot = to_dot(&g);
+        assert!(dot.contains("color=blue"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("extra:9"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Strongly-typed index newtypes used throughout the workspace.
+//!
+//! All graph-shaped structures in OREGAMI index their elements with dense
+//! `u32` identifiers. Wrapping them in distinct newtypes prevents a task
+//! index from being confused with a phase or edge index at compile time while
+//! costing nothing at run time.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Builds an id from a `usize` index (panics on overflow past `u32`).
+            #[inline]
+            pub fn new(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                Self(i as u32)
+            }
+
+            /// The id as a `usize`, for indexing into dense arrays.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(i: usize) -> Self {
+                Self::new(i)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a task node in a [`crate::TaskGraph`].
+    TaskId,
+    "t"
+);
+id_type!(
+    /// Identifier of a communication phase (an edge color `E_k`).
+    PhaseId,
+    "ph"
+);
+id_type!(
+    /// Identifier of an execution phase.
+    ExecId,
+    "ex"
+);
+id_type!(
+    /// Identifier of a communication edge within one phase.
+    EdgeId,
+    "e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let t = TaskId::new(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(usize::from(t), 42);
+        assert_eq!(TaskId::from(42usize), t);
+    }
+
+    #[test]
+    fn debug_has_prefix() {
+        assert_eq!(format!("{:?}", TaskId(3)), "t3");
+        assert_eq!(format!("{:?}", PhaseId(1)), "ph1");
+        assert_eq!(format!("{:?}", ExecId(0)), "ex0");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(TaskId(7).to_string(), "7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(TaskId(5), TaskId(5));
+    }
+}

@@ -1,0 +1,318 @@
+//! Phase expressions — OREGAMI's notation for dynamic behaviour.
+//!
+//! A phase expression (paper §3, item 6) describes the computation's
+//! behaviour over time in terms of its execution and communication phases.
+//! It is defined recursively:
+//!
+//! * `ε` — an idle task;
+//! * a single communication or execution phase;
+//! * `r ; s` — sequence;
+//! * `r ^ e` — repetition `e` times;
+//! * `r || s` — parallel execution.
+//!
+//! For the `n`-body problem the expression is
+//! `((ring; compute1)^((n-1)/2); chordal; compute2)^s`.
+//!
+//! Two consumers exist:
+//!
+//! * **METRICS** linearises the expression into a [`Vec<ScheduleEntry>`]
+//!   ([`PhaseExpr::linearize`]) and steps the synchronous cost model over it;
+//! * **MAPPER** only needs the total occurrence count of each communication
+//!   phase ([`PhaseExpr::comm_multiplicities`]) to weight the collapsed
+//!   graph — computed arithmetically, without expansion, so enormous
+//!   repetition counts are fine.
+
+use crate::ids::{ExecId, PhaseId};
+use std::fmt;
+
+/// A phase expression over the communication and execution phases of a
+/// [`crate::TaskGraph`]. Repetition counts are concrete (LaRCS evaluates
+/// parameter expressions during elaboration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhaseExpr {
+    /// `ε` — the idle computation.
+    Idle,
+    /// One synchronous communication phase.
+    Comm(PhaseId),
+    /// One execution phase.
+    Exec(ExecId),
+    /// `r ; s` — sequential composition.
+    Seq(Box<PhaseExpr>, Box<PhaseExpr>),
+    /// `r ^ k` — `k`-fold repetition.
+    Repeat(Box<PhaseExpr>, u64),
+    /// `r || s` — parallel composition.
+    Par(Box<PhaseExpr>, Box<PhaseExpr>),
+}
+
+/// One atomic step of a linearised schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseStep {
+    /// All tasks execute communication phase `PhaseId`.
+    Comm(PhaseId),
+    /// All tasks execute execution phase `ExecId`.
+    Exec(ExecId),
+}
+
+/// One time slot of a linearised schedule: the steps that run concurrently
+/// in that slot (more than one only under `||`).
+pub type ScheduleEntry = Vec<PhaseStep>;
+
+impl PhaseExpr {
+    /// Convenience constructor: `a ; b`.
+    pub fn seq(a: PhaseExpr, b: PhaseExpr) -> PhaseExpr {
+        PhaseExpr::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: sequence of many.
+    pub fn seq_all(items: impl IntoIterator<Item = PhaseExpr>) -> PhaseExpr {
+        let mut it = items.into_iter();
+        let first = it.next().unwrap_or(PhaseExpr::Idle);
+        it.fold(first, PhaseExpr::seq)
+    }
+
+    /// Convenience constructor: `a ^ k`.
+    pub fn repeat(a: PhaseExpr, k: u64) -> PhaseExpr {
+        PhaseExpr::Repeat(Box::new(a), k)
+    }
+
+    /// Convenience constructor: `a || b`.
+    pub fn par(a: PhaseExpr, b: PhaseExpr) -> PhaseExpr {
+        PhaseExpr::Par(Box::new(a), Box::new(b))
+    }
+
+    /// Checks every phase reference is in range for a graph with
+    /// `num_comm` communication and `num_exec` execution phases.
+    pub fn validate(&self, num_comm: usize, num_exec: usize) -> Result<(), String> {
+        match self {
+            PhaseExpr::Idle => Ok(()),
+            PhaseExpr::Comm(p) if p.index() < num_comm => Ok(()),
+            PhaseExpr::Comm(p) => Err(format!("phase expression references unknown {p:?}")),
+            PhaseExpr::Exec(e) if e.index() < num_exec => Ok(()),
+            PhaseExpr::Exec(e) => Err(format!("phase expression references unknown {e:?}")),
+            PhaseExpr::Seq(a, b) | PhaseExpr::Par(a, b) => {
+                a.validate(num_comm, num_exec)?;
+                b.validate(num_comm, num_exec)
+            }
+            PhaseExpr::Repeat(a, _) => a.validate(num_comm, num_exec),
+        }
+    }
+
+    /// Number of time slots the linearised schedule would have, without
+    /// building it. `Par` contributes the longer side; `Idle` contributes 0.
+    pub fn schedule_len(&self) -> u64 {
+        match self {
+            PhaseExpr::Idle => 0,
+            PhaseExpr::Comm(_) | PhaseExpr::Exec(_) => 1,
+            PhaseExpr::Seq(a, b) => a.schedule_len() + b.schedule_len(),
+            PhaseExpr::Repeat(a, k) => a.schedule_len().saturating_mul(*k),
+            PhaseExpr::Par(a, b) => a.schedule_len().max(b.schedule_len()),
+        }
+    }
+
+    /// Linearises into a schedule of time slots. `Par` zips the two sides
+    /// slot-by-slot (the shorter side idles afterwards). Expansion is bounded
+    /// by `max_slots`; `None` is returned if the schedule would exceed it
+    /// (use [`comm_multiplicities`](Self::comm_multiplicities) instead for
+    /// weighting — it never expands).
+    pub fn linearize(&self, max_slots: usize) -> Option<Vec<ScheduleEntry>> {
+        if self.schedule_len() > max_slots as u64 {
+            return None;
+        }
+        let mut out = Vec::new();
+        self.expand(&mut out);
+        Some(out)
+    }
+
+    fn expand(&self, out: &mut Vec<ScheduleEntry>) {
+        match self {
+            PhaseExpr::Idle => {}
+            PhaseExpr::Comm(p) => out.push(vec![PhaseStep::Comm(*p)]),
+            PhaseExpr::Exec(e) => out.push(vec![PhaseStep::Exec(*e)]),
+            PhaseExpr::Seq(a, b) => {
+                a.expand(out);
+                b.expand(out);
+            }
+            PhaseExpr::Repeat(a, k) => {
+                let mut body = Vec::new();
+                a.expand(&mut body);
+                for _ in 0..*k {
+                    out.extend(body.iter().cloned());
+                }
+            }
+            PhaseExpr::Par(a, b) => {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                a.expand(&mut left);
+                b.expand(&mut right);
+                let (longer, shorter) = if left.len() >= right.len() {
+                    (&mut left, &right)
+                } else {
+                    (&mut right, &left)
+                };
+                for (slot, extra) in longer.iter_mut().zip(shorter.iter()) {
+                    slot.extend(extra.iter().copied());
+                }
+                out.append(longer);
+            }
+        }
+    }
+
+    /// Total occurrence count of each communication phase across the whole
+    /// expression, computed arithmetically (repetition multiplies, parallel
+    /// and sequence add). Index `k` of the result is the multiplicity of
+    /// `PhaseId(k)`; the vector is sized by the largest id seen.
+    pub fn comm_multiplicities(&self) -> Vec<u64> {
+        let mut counts = Vec::new();
+        self.count_comm(1, &mut counts);
+        counts
+    }
+
+    fn count_comm(&self, mult: u64, counts: &mut Vec<u64>) {
+        match self {
+            PhaseExpr::Idle | PhaseExpr::Exec(_) => {}
+            PhaseExpr::Comm(p) => {
+                if counts.len() <= p.index() {
+                    counts.resize(p.index() + 1, 0);
+                }
+                counts[p.index()] += mult;
+            }
+            PhaseExpr::Seq(a, b) | PhaseExpr::Par(a, b) => {
+                a.count_comm(mult, counts);
+                b.count_comm(mult, counts);
+            }
+            PhaseExpr::Repeat(a, k) => a.count_comm(mult.saturating_mul(*k), counts),
+        }
+    }
+
+    /// Renders the expression with phase names resolved through the given
+    /// lookup functions, in the paper's notation.
+    pub fn display_with<'a>(
+        &'a self,
+        comm_name: impl Fn(PhaseId) -> String + 'a,
+        exec_name: impl Fn(ExecId) -> String + 'a,
+    ) -> String {
+        fn go(
+            e: &PhaseExpr,
+            comm: &dyn Fn(PhaseId) -> String,
+            exec: &dyn Fn(ExecId) -> String,
+        ) -> String {
+            match e {
+                PhaseExpr::Idle => "eps".to_string(),
+                PhaseExpr::Comm(p) => comm(*p),
+                PhaseExpr::Exec(x) => exec(*x),
+                PhaseExpr::Seq(a, b) => format!("{}; {}", go(a, comm, exec), go(b, comm, exec)),
+                PhaseExpr::Repeat(a, k) => match **a {
+                    PhaseExpr::Comm(_) | PhaseExpr::Exec(_) | PhaseExpr::Idle => {
+                        format!("{}^{}", go(a, comm, exec), k)
+                    }
+                    _ => format!("({})^{}", go(a, comm, exec), k),
+                },
+                PhaseExpr::Par(a, b) => {
+                    format!("({} || {})", go(a, comm, exec), go(b, comm, exec))
+                }
+            }
+        }
+        go(self, &comm_name, &exec_name)
+    }
+}
+
+impl fmt::Display for PhaseExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}",
+            self.display_with(|p| format!("c{}", p.0), |e| format!("x{}", e.0))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `((c0; x0)^3; c1; x1)^2` — shaped like the n-body expression.
+    fn nbody_like() -> PhaseExpr {
+        PhaseExpr::repeat(
+            PhaseExpr::seq_all([
+                PhaseExpr::repeat(
+                    PhaseExpr::seq(PhaseExpr::Comm(PhaseId(0)), PhaseExpr::Exec(ExecId(0))),
+                    3,
+                ),
+                PhaseExpr::Comm(PhaseId(1)),
+                PhaseExpr::Exec(ExecId(1)),
+            ]),
+            2,
+        )
+    }
+
+    #[test]
+    fn schedule_len_matches_linearized_len() {
+        let e = nbody_like();
+        assert_eq!(e.schedule_len(), 16);
+        let sched = e.linearize(100).unwrap();
+        assert_eq!(sched.len(), 16);
+    }
+
+    #[test]
+    fn linearize_order_is_correct() {
+        let e = nbody_like();
+        let sched = e.linearize(100).unwrap();
+        // First repetition: c0 x0 c0 x0 c0 x0 c1 x1
+        assert_eq!(sched[0], vec![PhaseStep::Comm(PhaseId(0))]);
+        assert_eq!(sched[1], vec![PhaseStep::Exec(ExecId(0))]);
+        assert_eq!(sched[6], vec![PhaseStep::Comm(PhaseId(1))]);
+        assert_eq!(sched[7], vec![PhaseStep::Exec(ExecId(1))]);
+        // Second repetition mirrors the first.
+        assert_eq!(sched[8..16], sched[0..8]);
+    }
+
+    #[test]
+    fn linearize_respects_cap() {
+        let e = PhaseExpr::repeat(PhaseExpr::Comm(PhaseId(0)), 1_000_000_000);
+        assert!(e.linearize(1000).is_none());
+        // but multiplicities still work without expansion
+        assert_eq!(e.comm_multiplicities(), vec![1_000_000_000]);
+    }
+
+    #[test]
+    fn multiplicities_multiply_through_nesting() {
+        let e = nbody_like();
+        // c0 occurs 3*2 = 6 times, c1 occurs 2 times.
+        assert_eq!(e.comm_multiplicities(), vec![6, 2]);
+    }
+
+    #[test]
+    fn par_zips_slots() {
+        let left = PhaseExpr::seq(PhaseExpr::Comm(PhaseId(0)), PhaseExpr::Comm(PhaseId(1)));
+        let right = PhaseExpr::Exec(ExecId(0));
+        let e = PhaseExpr::par(left, right);
+        assert_eq!(e.schedule_len(), 2);
+        let sched = e.linearize(10).unwrap();
+        assert_eq!(
+            sched[0],
+            vec![PhaseStep::Comm(PhaseId(0)), PhaseStep::Exec(ExecId(0))]
+        );
+        assert_eq!(sched[1], vec![PhaseStep::Comm(PhaseId(1))]);
+    }
+
+    #[test]
+    fn idle_contributes_nothing() {
+        let e = PhaseExpr::seq(PhaseExpr::Idle, PhaseExpr::Comm(PhaseId(0)));
+        assert_eq!(e.schedule_len(), 1);
+        assert_eq!(e.linearize(10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn validate_checks_ranges() {
+        let e = nbody_like();
+        assert!(e.validate(2, 2).is_ok());
+        assert!(e.validate(1, 2).is_err());
+        assert!(e.validate(2, 1).is_err());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let e = nbody_like();
+        assert_eq!(e.to_string(), "((c0; x0)^3; c1; x1)^2");
+    }
+}

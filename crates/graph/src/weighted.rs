@@ -1,0 +1,224 @@
+//! Plain undirected weighted graphs.
+//!
+//! The general contraction algorithms (paper §4.3) operate on an undirected
+//! view of the task graph in which all message volumes between a pair of
+//! tasks — in either direction, in any phase — are summed into a single edge
+//! weight. [`WeightedGraph`] is that view. It is also the shape of the
+//! intermediate "cluster graphs" built during greedy merging.
+
+use std::collections::HashMap;
+
+/// An undirected weighted edge `{u, v}` with weight `w`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WEdge {
+    /// One endpoint.
+    pub u: usize,
+    /// The other endpoint.
+    pub v: usize,
+    /// Edge weight (accumulated communication volume).
+    pub w: u64,
+}
+
+/// An undirected weighted simple graph on `n` nodes.
+///
+/// Edges are stored once with `u < v`; [`add_or_accumulate`]
+/// (WeightedGraph::add_or_accumulate) merges parallel edges by summing
+/// weights, so the graph is always simple.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedGraph {
+    n: usize,
+    edges: Vec<WEdge>,
+    index: HashMap<(usize, usize), usize>,
+}
+
+impl WeightedGraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph {
+            n,
+            edges: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (merged) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list (each undirected edge appears once, `u < v`).
+    #[inline]
+    pub fn edges(&self) -> &[WEdge] {
+        &self.edges
+    }
+
+    /// Adds weight `w` to the undirected edge `{u, v}`, creating it if
+    /// absent. Self-loops are ignored. Zero-weight additions still create
+    /// the edge (an unweighted adjacency).
+    ///
+    /// # Panics
+    /// If either endpoint is out of range.
+    pub fn add_or_accumulate(&mut self, u: usize, v: usize, w: u64) {
+        assert!(u < self.n && v < self.n, "endpoint out of range");
+        if u == v {
+            return;
+        }
+        let key = (u.min(v), u.max(v));
+        match self.index.get(&key) {
+            Some(&i) => self.edges[i].w += w,
+            None => {
+                self.index.insert(key, self.edges.len());
+                self.edges.push(WEdge {
+                    u: key.0,
+                    v: key.1,
+                    w,
+                });
+            }
+        }
+    }
+
+    /// The weight of edge `{u, v}`, or 0 if absent (or if `u == v`).
+    pub fn weight_between(&self, u: usize, v: usize) -> u64 {
+        if u == v {
+            return 0;
+        }
+        let key = (u.min(v), u.max(v));
+        self.index.get(&key).map_or(0, |&i| self.edges[i].w)
+    }
+
+    /// Sum of all edge weights (the total communication volume of the
+    /// collapsed task graph).
+    pub fn total_weight(&self) -> u64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Neighbors of `u` with the connecting edge weights.
+    pub fn neighbors(&self, u: usize) -> Vec<(usize, u64)> {
+        // Linear scan: the graphs contraction works on are small (≤ 2P after
+        // greedy merging) and this keeps the structure simple; hot paths use
+        // `edges()` directly.
+        self.edges
+            .iter()
+            .filter_map(|e| {
+                if e.u == u {
+                    Some((e.v, e.w))
+                } else if e.v == u {
+                    Some((e.u, e.w))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Weighted degree of `u` (sum of incident edge weights).
+    pub fn weighted_degree(&self, u: usize) -> u64 {
+        self.neighbors(u).iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Returns the edges sorted by non-increasing weight (ties broken by
+    /// endpoint order for determinism). This is the scan order of the greedy
+    /// contraction heuristic.
+    pub fn edges_by_weight_desc(&self) -> Vec<WEdge> {
+        let mut es = self.edges.clone();
+        es.sort_by(|a, b| b.w.cmp(&a.w).then(a.u.cmp(&b.u)).then(a.v.cmp(&b.v)));
+        es
+    }
+
+    /// Builds the quotient graph induced by a partition of the nodes into
+    /// clusters: node `i` of the result is cluster `i`, and the weight
+    /// between clusters is the sum of the weights of all crossing edges.
+    /// Intra-cluster weight is returned separately as the "internalised"
+    /// volume.
+    ///
+    /// `cluster_of[u]` must be a cluster index in `0..num_clusters`.
+    pub fn quotient(&self, cluster_of: &[usize], num_clusters: usize) -> (WeightedGraph, u64) {
+        assert_eq!(cluster_of.len(), self.n);
+        let mut q = WeightedGraph::new(num_clusters);
+        let mut internal = 0u64;
+        for e in &self.edges {
+            let cu = cluster_of[e.u];
+            let cv = cluster_of[e.v];
+            assert!(cu < num_clusters && cv < num_clusters, "bad cluster index");
+            if cu == cv {
+                internal += e.w;
+            } else {
+                q.add_or_accumulate(cu, cv, e.w);
+            }
+        }
+        (q, internal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_merges_parallel_edges() {
+        let mut g = WeightedGraph::new(3);
+        g.add_or_accumulate(0, 1, 4);
+        g.add_or_accumulate(1, 0, 6);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weight_between(0, 1), 10);
+        assert_eq!(g.total_weight(), 10);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = WeightedGraph::new(2);
+        g.add_or_accumulate(1, 1, 100);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let mut g = WeightedGraph::new(4);
+        g.add_or_accumulate(0, 1, 1);
+        g.add_or_accumulate(0, 2, 2);
+        g.add_or_accumulate(3, 0, 3);
+        let mut nb = g.neighbors(0);
+        nb.sort();
+        assert_eq!(nb, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(g.weighted_degree(0), 6);
+        assert_eq!(g.weighted_degree(1), 1);
+    }
+
+    #[test]
+    fn edges_sorted_desc() {
+        let mut g = WeightedGraph::new(4);
+        g.add_or_accumulate(0, 1, 5);
+        g.add_or_accumulate(1, 2, 9);
+        g.add_or_accumulate(2, 3, 7);
+        let es = g.edges_by_weight_desc();
+        let ws: Vec<u64> = es.iter().map(|e| e.w).collect();
+        assert_eq!(ws, vec![9, 7, 5]);
+    }
+
+    #[test]
+    fn quotient_splits_internal_and_cut() {
+        let mut g = WeightedGraph::new(4);
+        g.add_or_accumulate(0, 1, 5); // internal to cluster 0
+        g.add_or_accumulate(2, 3, 7); // internal to cluster 1
+        g.add_or_accumulate(1, 2, 9); // cut
+        g.add_or_accumulate(0, 3, 1); // cut
+        let (q, internal) = g.quotient(&[0, 0, 1, 1], 2);
+        assert_eq!(internal, 12);
+        assert_eq!(q.num_nodes(), 2);
+        assert_eq!(q.weight_between(0, 1), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn add_out_of_range_panics() {
+        let mut g = WeightedGraph::new(2);
+        g.add_or_accumulate(0, 2, 1);
+    }
+}

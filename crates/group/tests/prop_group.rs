@@ -1,0 +1,119 @@
+//! Property-based validation of the group machinery.
+
+use oregami_group::{cosets, find_subgroups_of_order, is_normal, Perm, PermGroup, Subgroup};
+use proptest::prelude::*;
+
+/// A random permutation of degree `n` (Fisher–Yates from a seed).
+fn perm_of(n: usize, seed: u64) -> Perm {
+    let mut img: Vec<u32> = (0..n as u32).collect();
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for i in (1..n).rev() {
+        img.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    Perm::from_images(img).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Composition convention: (a·b)(x) = b(a(x)), associative, with
+    /// correct inverses.
+    #[test]
+    fn composition_laws(n in 2usize..12, sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let (a, b, c) = (perm_of(n, sa), perm_of(n, sb), perm_of(n, sc));
+        for x in 0..n as u32 {
+            prop_assert_eq!(a.compose(&b).apply(x), b.apply(a.apply(x)));
+        }
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+        prop_assert!(a.compose(&a.inverse()).is_identity());
+        prop_assert_eq!(a.inverse().inverse(), a.clone());
+    }
+
+    /// Cycle structure invariants: cycles partition the points; order is
+    /// the lcm; pow(order) is the identity.
+    #[test]
+    fn cycle_invariants(n in 1usize..12, seed in any::<u64>()) {
+        let p = perm_of(n, seed);
+        let cycles = p.cycles();
+        let total: usize = cycles.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+        let ord = p.order();
+        prop_assert!(p.pow(ord).is_identity());
+        for k in 1..ord {
+            // order is minimal for cyclic single-cycle perms; in general
+            // pow(k) identity implies ord | k — check contrapositive cheaply
+            if p.pow(k).is_identity() {
+                prop_assert_eq!(ord % k, 0);
+            }
+        }
+    }
+
+    /// Closure really is a group: contains identity, closed under product
+    /// and inverse; order divides |X|! (trivially) and Lagrange holds for
+    /// every subgroup found.
+    #[test]
+    fn closure_is_a_group(n in 2usize..7, sa in any::<u64>(), sb in any::<u64>()) {
+        let gens = vec![perm_of(n, sa), perm_of(n, sb)];
+        let g = PermGroup::close_with_bound(&gens, 720).unwrap();
+        prop_assert!(g.verify_axioms().is_ok());
+        // Lagrange for cyclic subgroups of every element
+        for e in 1..g.order() {
+            let h = Subgroup::cyclic(&g, e);
+            prop_assert!(h.verify(&g));
+            prop_assert_eq!(g.order() % h.order(), 0);
+        }
+    }
+
+    /// Rotation groups (Z_n): every divisor order has a normal subgroup
+    /// whose cosets are balanced arithmetic classes.
+    #[test]
+    fn rotation_group_subgroups(n in 2usize..24) {
+        let rot = Perm::from_images((0..n as u32).map(|i| (i + 1) % n as u32).collect()).unwrap();
+        let g = PermGroup::close_with_bound(&[rot], n).unwrap();
+        prop_assert_eq!(g.order(), n);
+        for d in 1..=n {
+            if n % d != 0 { continue; }
+            let subs = find_subgroups_of_order(&g, d);
+            prop_assert!(!subs.is_empty(), "Z{n} must have a subgroup of order {d}");
+            let h = &subs[0];
+            prop_assert!(is_normal(&g, h), "abelian: everything is normal");
+            let (coset_of, count) = cosets(&g, h);
+            prop_assert_eq!(count, n / d);
+            let mut sizes = vec![0usize; count];
+            for &c in &coset_of { sizes[c] += 1; }
+            prop_assert!(sizes.iter().all(|&s| s == d));
+        }
+    }
+
+    /// Group contraction of random circulant task graphs is balanced.
+    #[test]
+    fn circulant_contraction_is_balanced(
+        n in 4usize..25,
+        stride_seed in any::<u64>(),
+        procs in 2usize..6,
+    ) {
+        prop_assume!(n % procs == 0);
+        let stride = 1 + (stride_seed % (n as u64 - 1)) as usize;
+        let mut tg = oregami_graph::TaskGraph::new("circulant");
+        tg.add_scalar_nodes("t", n);
+        let p1 = tg.add_phase("rot1");
+        let p2 = tg.add_phase("rotk");
+        for i in 0..n {
+            tg.add_edge(p1, oregami_graph::TaskId::new(i), oregami_graph::TaskId::new((i + 1) % n), 1);
+            tg.add_edge(p2, oregami_graph::TaskId::new(i), oregami_graph::TaskId::new((i + stride) % n), 1);
+        }
+        let gc = oregami_group::group_contract(&tg, procs).unwrap();
+        let mut sizes = vec![0usize; gc.num_clusters];
+        for &c in &gc.cluster_of { sizes[c] += 1; }
+        prop_assert!(sizes.iter().all(|&s| s == n / procs));
+        // identical internalisation per cluster
+        let first = gc.internalized_messages_per_cluster[0];
+        prop_assert!(gc.internalized_messages_per_cluster.iter().all(|&m| m == first));
+    }
+}

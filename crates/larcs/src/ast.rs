@@ -1,0 +1,110 @@
+//! Abstract syntax of LaRCS programs.
+
+use crate::expr::{BoolExpr, Expr};
+
+/// A complete LaRCS program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Algorithm name from the `algorithm` header.
+    pub name: String,
+    /// Formal parameters (bound at elaboration time).
+    pub params: Vec<String>,
+    /// Variables imported from the host-language source (also bound at
+    /// elaboration time; the paper's "imported variables").
+    pub imports: Vec<String>,
+    /// Node type declarations.
+    pub nodetypes: Vec<NodeTypeDecl>,
+    /// Communication phase declarations, in source order (the edge colors).
+    pub comphases: Vec<CommPhaseDecl>,
+    /// Execution phase declarations.
+    pub exephases: Vec<ExecPhaseDecl>,
+    /// The phase expression, if declared.
+    pub phase_expr: Option<PExp>,
+}
+
+/// `nodetype body: 0..n-1 nodesymmetric;` — a node type with a labeling
+/// scheme (one range per label dimension) and optional attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeTypeDecl {
+    /// Type name, used in edge declarations.
+    pub name: String,
+    /// One `(lo, hi)` inclusive range per label dimension.
+    pub ranges: Vec<(Expr, Expr)>,
+    /// `nodesymmetric` attribute (a promise the mapper may exploit).
+    pub node_symmetric: bool,
+    /// `family(name)` attribute declaring a well-known graph family.
+    pub family: Option<String>,
+}
+
+/// `comphase ring: <rules>` — one communication phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommPhaseDecl {
+    /// Phase name (referenced by the phase expression).
+    pub name: String,
+    /// Edge-generating rules.
+    pub rules: Vec<Rule>,
+}
+
+/// A single edge-generating rule: either a bare edge or a
+/// `forall <binders> [where <guard>] { <edges> }` comprehension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Iteration binders `i in lo..hi` (later binders may reference earlier
+    /// ones).
+    pub binders: Vec<Binder>,
+    /// Optional guard; the edges are generated only where it holds.
+    pub guard: Option<BoolExpr>,
+    /// Edge templates instantiated for every binder combination.
+    pub edges: Vec<EdgeDecl>,
+}
+
+/// `i in lo..hi` (inclusive bounds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binder {
+    /// Variable name.
+    pub var: String,
+    /// Lower bound.
+    pub lo: Expr,
+    /// Upper bound (inclusive).
+    pub hi: Expr,
+}
+
+/// `body(i) -> body((i+1) mod n) volume msgsize;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeDecl {
+    /// Source node type.
+    pub src_type: String,
+    /// Source label tuple.
+    pub src_args: Vec<Expr>,
+    /// Destination node type.
+    pub dst_type: String,
+    /// Destination label tuple.
+    pub dst_args: Vec<Expr>,
+    /// Message volume (defaults to 1).
+    pub volume: Option<Expr>,
+}
+
+/// `exephase compute1 cost 50;`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecPhaseDecl {
+    /// Phase name (referenced by the phase expression).
+    pub name: String,
+    /// Cost estimate (defaults to 1).
+    pub cost: Option<Expr>,
+}
+
+/// Surface syntax of phase expressions; names are resolved against the
+/// comm/exec phase declarations during elaboration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PExp {
+    /// `eps` — idle.
+    Eps,
+    /// A phase name (communication or execution).
+    Name(String),
+    /// `r ; s`
+    Seq(Box<PExp>, Box<PExp>),
+    /// `r ^ e`
+    Repeat(Box<PExp>, Expr),
+    /// `r || s`
+    Par(Box<PExp>, Box<PExp>),
+}

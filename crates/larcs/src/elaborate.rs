@@ -1,0 +1,556 @@
+//! Elaboration: instantiating a parsed LaRCS program with concrete
+//! parameter values to produce the task graph.
+//!
+//! This is the LaRCS "compiler" of the paper: the compact parametric
+//! description (independent of `n`) is expanded into the weighted, colored
+//! task graph `G = (V, E_1, ..., E_c)` that MAPPER and METRICS operate on.
+
+use crate::ast::*;
+use crate::error::LarcsError;
+use crate::expr::Env;
+use oregami_graph::{
+    task_graph::Cost, Family, PhaseExpr, TaskGraph, TaskId, TaskNode,
+};
+use std::collections::HashMap;
+
+/// Elaboration limits and defaults.
+#[derive(Clone, Debug)]
+pub struct ElabOptions {
+    /// Maximum number of task nodes (guards against runaway parameters).
+    pub max_nodes: usize,
+    /// Maximum number of communication edges across all phases.
+    pub max_edges: usize,
+    /// Volume used when an edge declares none.
+    pub default_volume: u64,
+    /// Cost used when an execution phase declares none.
+    pub default_cost: u64,
+}
+
+impl Default for ElabOptions {
+    fn default() -> Self {
+        ElabOptions {
+            max_nodes: 1 << 20,
+            max_edges: 1 << 23,
+            default_volume: 1,
+            default_cost: 1,
+        }
+    }
+}
+
+struct NodeType {
+    /// Starting task id of this type's block.
+    offset: usize,
+    /// Inclusive (lo, hi) per dimension.
+    ranges: Vec<(i64, i64)>,
+    /// Extent per dimension.
+    dims: Vec<usize>,
+}
+
+impl NodeType {
+    /// Row-major linear index of a coordinate tuple, if in range.
+    fn index_of(&self, coords: &[i64]) -> Option<usize> {
+        if coords.len() != self.ranges.len() {
+            return None;
+        }
+        let mut idx = 0usize;
+        for (d, (&c, &(lo, hi))) in coords.iter().zip(&self.ranges).enumerate() {
+            if c < lo || c > hi {
+                return None;
+            }
+            idx = idx * self.dims[d] + (c - lo) as usize;
+        }
+        Some(self.offset + idx)
+    }
+
+    fn count(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+/// Elaborates `program` with the given parameter/import bindings.
+///
+/// Every declared parameter and import must be bound; unknown bindings are
+/// rejected (they are almost always typos).
+pub fn elaborate(
+    program: &Program,
+    params: &[(&str, i64)],
+    opts: &ElabOptions,
+) -> Result<TaskGraph, LarcsError> {
+    // ---- parameter environment ----
+    let mut env: Env = Env::new();
+    for &(name, value) in params {
+        if !program.params.iter().any(|p| p == name)
+            && !program.imports.iter().any(|p| p == name)
+        {
+            return Err(LarcsError::elab(format!(
+                "'{name}' is not a parameter or import of algorithm '{}'",
+                program.name
+            )));
+        }
+        if env.insert(name.to_string(), value).is_some() {
+            return Err(LarcsError::elab(format!("'{name}' bound twice")));
+        }
+    }
+    for declared in program.params.iter().chain(&program.imports) {
+        if !env.contains_key(declared) {
+            return Err(LarcsError::elab(format!(
+                "parameter '{declared}' of algorithm '{}' is unbound",
+                program.name
+            )));
+        }
+    }
+
+    let mut tg = TaskGraph::new(program.name.clone());
+
+    // ---- node types ----
+    if program.nodetypes.is_empty() {
+        return Err(LarcsError::elab("program declares no nodetype"));
+    }
+    let mut types: HashMap<String, NodeType> = HashMap::new();
+    let mut all_symmetric = true;
+    for decl in &program.nodetypes {
+        if types.contains_key(&decl.name) {
+            return Err(LarcsError::elab(format!(
+                "nodetype '{}' declared twice",
+                decl.name
+            )));
+        }
+        let mut ranges = Vec::with_capacity(decl.ranges.len());
+        let mut dims = Vec::with_capacity(decl.ranges.len());
+        for (lo_e, hi_e) in &decl.ranges {
+            let lo = lo_e.eval(&env)?;
+            let hi = hi_e.eval(&env)?;
+            if hi < lo {
+                return Err(LarcsError::elab(format!(
+                    "nodetype '{}': empty range {lo}..{hi}",
+                    decl.name
+                )));
+            }
+            let extent = (hi - lo + 1) as usize;
+            ranges.push((lo, hi));
+            dims.push(extent);
+        }
+        let nt = NodeType {
+            offset: tg.num_tasks(),
+            ranges,
+            dims,
+        };
+        let count = nt.count();
+        if tg.num_tasks() + count > opts.max_nodes {
+            return Err(LarcsError::elab(format!(
+                "too many task nodes (> {})",
+                opts.max_nodes
+            )));
+        }
+        // materialise nodes in row-major order
+        let mut coords: Vec<i64> = nt.ranges.iter().map(|&(lo, _)| lo).collect();
+        for _ in 0..count {
+            if coords.len() == 1 {
+                tg.add_node(TaskNode::scalar(&decl.name, coords[0]));
+            } else {
+                tg.add_node(TaskNode::tuple(&decl.name, coords.clone()));
+            }
+            // increment row-major
+            for d in (0..coords.len()).rev() {
+                coords[d] += 1;
+                if coords[d] <= nt.ranges[d].1 {
+                    break;
+                }
+                coords[d] = nt.ranges[d].0;
+            }
+        }
+        all_symmetric &= decl.node_symmetric;
+        if let Some(fam) = &decl.family {
+            if program.nodetypes.len() == 1 {
+                tg.family = family_from_decl(fam, &nt.dims);
+                if tg.family.is_none() {
+                    return Err(LarcsError::elab(format!(
+                        "family '{fam}' does not match the nodetype's shape"
+                    )));
+                }
+            }
+        }
+        types.insert(decl.name.clone(), nt);
+    }
+    tg.node_symmetric = all_symmetric;
+
+    // ---- communication phases ----
+    if program.comphases.is_empty() {
+        return Err(LarcsError::elab("program declares no comphase"));
+    }
+    for decl in &program.comphases {
+        if tg.phase_by_name(&decl.name).is_some() {
+            return Err(LarcsError::elab(format!(
+                "comphase '{}' declared twice",
+                decl.name
+            )));
+        }
+        let phase = tg.add_phase(decl.name.clone());
+        for rule in &decl.rules {
+            expand_rule(&mut tg, phase, rule, &types, &mut env.clone(), opts, &decl.name)?;
+        }
+        if tg.num_edges() > opts.max_edges {
+            return Err(LarcsError::elab(format!(
+                "too many edges (> {})",
+                opts.max_edges
+            )));
+        }
+    }
+
+    // ---- execution phases ----
+    for decl in &program.exephases {
+        if tg.exec_by_name(&decl.name).is_some()
+            || tg.phase_by_name(&decl.name).is_some()
+        {
+            return Err(LarcsError::elab(format!(
+                "phase name '{}' declared twice",
+                decl.name
+            )));
+        }
+        let cost = match &decl.cost {
+            Some(e) => {
+                let v = e.eval(&env)?;
+                u64::try_from(v).map_err(|_| {
+                    LarcsError::elab(format!("exephase '{}': negative cost {v}", decl.name))
+                })?
+            }
+            None => opts.default_cost,
+        };
+        tg.add_exec_phase(decl.name.clone(), Cost::Uniform(cost));
+    }
+
+    // ---- phase expression ----
+    if let Some(pe) = &program.phase_expr {
+        tg.phase_expr = Some(resolve_pexp(pe, &tg, &env)?);
+    }
+
+    tg.validate().map_err(LarcsError::elab)?;
+    Ok(tg)
+}
+
+/// Maps a `family(...)` attribute plus the nodetype's dimension extents to
+/// a concrete [`Family`].
+fn family_from_decl(name: &str, dims: &[usize]) -> Option<Family> {
+    let count: usize = dims.iter().product();
+    let log2 = |x: usize| -> Option<usize> {
+        if x.is_power_of_two() {
+            Some(x.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    };
+    match (name, dims.len()) {
+        ("ring", 1) => Some(Family::Ring(count)),
+        ("chain", 1) => Some(Family::Chain(count)),
+        ("complete", 1) => Some(Family::Complete(count)),
+        ("star", 1) => Some(Family::Star(count)),
+        ("hypercube", 1) => log2(count).map(Family::Hypercube),
+        ("binomialtree", 1) => log2(count).map(Family::BinomialTree),
+        ("fullbinarytree", 1) => {
+            // count = 2^(h+1) - 1
+            log2(count + 1).and_then(|k| k.checked_sub(1)).map(Family::FullBinaryTree)
+        }
+        ("mesh2d", 2) => Some(Family::Mesh2D(dims[0], dims[1])),
+        ("torus2d", 2) => Some(Family::Torus2D(dims[0], dims[1])),
+        ("butterfly", 2) => {
+            // dims = [d+1 levels, 2^d rows]
+            log2(dims[1]).filter(|&d| dims[0] == d + 1).map(Family::Butterfly)
+        }
+        _ => None,
+    }
+}
+
+/// Expands one rule: iterates the binder cross-product, applies the guard,
+/// and emits the edges.
+fn expand_rule(
+    tg: &mut TaskGraph,
+    phase: oregami_graph::PhaseId,
+    rule: &Rule,
+    types: &HashMap<String, NodeType>,
+    env: &mut Env,
+    opts: &ElabOptions,
+    phase_name: &str,
+) -> Result<(), LarcsError> {
+    #[allow(clippy::too_many_arguments)] // recursion threads the whole elaboration state
+    fn rec(
+        tg: &mut TaskGraph,
+        phase: oregami_graph::PhaseId,
+        rule: &Rule,
+        types: &HashMap<String, NodeType>,
+        env: &mut Env,
+        opts: &ElabOptions,
+        phase_name: &str,
+        depth: usize,
+    ) -> Result<(), LarcsError> {
+        if depth == rule.binders.len() {
+            if let Some(guard) = &rule.guard {
+                if !guard.eval(env)? {
+                    return Ok(());
+                }
+            }
+            for edge in &rule.edges {
+                let src = resolve_endpoint(&edge.src_type, &edge.src_args, types, env, phase_name)?;
+                let dst = resolve_endpoint(&edge.dst_type, &edge.dst_args, types, env, phase_name)?;
+                let volume = match &edge.volume {
+                    Some(e) => {
+                        let v = e.eval(env)?;
+                        u64::try_from(v).map_err(|_| {
+                            LarcsError::elab(format!(
+                                "comphase '{phase_name}': negative volume {v}"
+                            ))
+                        })?
+                    }
+                    None => opts.default_volume,
+                };
+                if tg.num_edges() >= opts.max_edges {
+                    return Err(LarcsError::elab(format!(
+                        "too many edges (> {})",
+                        opts.max_edges
+                    )));
+                }
+                tg.add_edge(phase, TaskId::new(src), TaskId::new(dst), volume);
+            }
+            return Ok(());
+        }
+        let binder = &rule.binders[depth];
+        let lo = binder.lo.eval(env)?;
+        let hi = binder.hi.eval(env)?;
+        let shadowed = env.get(&binder.var).copied();
+        for v in lo..=hi {
+            env.insert(binder.var.clone(), v);
+            rec(tg, phase, rule, types, env, opts, phase_name, depth + 1)?;
+        }
+        match shadowed {
+            Some(old) => env.insert(binder.var.clone(), old),
+            None => env.remove(&binder.var),
+        };
+        Ok(())
+    }
+    rec(tg, phase, rule, types, env, opts, phase_name, 0)
+}
+
+fn resolve_endpoint(
+    type_name: &str,
+    args: &[Expr],
+    types: &HashMap<String, NodeType>,
+    env: &Env,
+    phase_name: &str,
+) -> Result<usize, LarcsError> {
+    let nt = types.get(type_name).ok_or_else(|| {
+        LarcsError::elab(format!(
+            "comphase '{phase_name}': unknown nodetype '{type_name}'"
+        ))
+    })?;
+    let coords: Vec<i64> = args
+        .iter()
+        .map(|a| a.eval(env))
+        .collect::<Result<_, _>>()?;
+    nt.index_of(&coords).ok_or_else(|| {
+        LarcsError::elab(format!(
+            "comphase '{phase_name}': label {type_name}({coords:?}) out of range \
+             (add a 'where' guard to exclude boundary cases)"
+        ))
+    })
+}
+
+use crate::expr::Expr;
+
+fn resolve_pexp(pe: &PExp, tg: &TaskGraph, env: &Env) -> Result<PhaseExpr, LarcsError> {
+    Ok(match pe {
+        PExp::Eps => PhaseExpr::Idle,
+        PExp::Name(name) => {
+            if let Some(p) = tg.phase_by_name(name) {
+                PhaseExpr::Comm(p)
+            } else if let Some(e) = tg.exec_by_name(name) {
+                PhaseExpr::Exec(e)
+            } else {
+                return Err(LarcsError::elab(format!(
+                    "phase expression references unknown phase '{name}'"
+                )));
+            }
+        }
+        PExp::Seq(a, b) => PhaseExpr::seq(resolve_pexp(a, tg, env)?, resolve_pexp(b, tg, env)?),
+        PExp::Par(a, b) => PhaseExpr::par(resolve_pexp(a, tg, env)?, resolve_pexp(b, tg, env)?),
+        PExp::Repeat(a, count) => {
+            let k = count.eval(env)?;
+            let k = u64::try_from(k).map_err(|_| {
+                LarcsError::elab(format!("negative repetition count {k} in phase expression"))
+            })?;
+            PhaseExpr::repeat(resolve_pexp(a, tg, env)?, k)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str, params: &[(&str, i64)]) -> Result<TaskGraph, LarcsError> {
+        elaborate(&parse(src).unwrap(), params, &ElabOptions::default())
+    }
+
+    #[test]
+    fn nbody_elaborates_to_paper_graph() {
+        let g = crate::compile(
+            &crate::programs::nbody(),
+            &[("n", 15), ("s", 3), ("msgsize", 8)],
+        )
+        .unwrap();
+        assert_eq!(g.num_tasks(), 15);
+        assert_eq!(g.num_phases(), 2);
+        // ring: 15 edges i -> (i+1) mod 15
+        let ring = &g.comm_phases[0];
+        assert_eq!(ring.name, "ring");
+        assert_eq!(ring.edges.len(), 15);
+        for e in &ring.edges {
+            assert_eq!(e.dst.0, (e.src.0 + 1) % 15);
+            assert_eq!(e.volume, 8);
+        }
+        // chordal: i -> (i + (n+1)/2) mod n = i + 8 mod 15
+        let chordal = &g.comm_phases[1];
+        assert_eq!(chordal.edges.len(), 15);
+        for e in &chordal.edges {
+            assert_eq!(e.dst.0, (e.src.0 + 8) % 15);
+        }
+        assert!(g.node_symmetric);
+        assert!(g.phase_expr.is_some());
+        // phase expr: ((ring; compute1)^((n-1)/2); chordal; compute2)^s
+        let mult = g.phase_expr.as_ref().unwrap().comm_multiplicities();
+        assert_eq!(mult, vec![7 * 3, 3]);
+    }
+
+    #[test]
+    fn unbound_parameter_rejected() {
+        let err = crate::compile(&crate::programs::nbody(), &[("n", 8)]).unwrap_err();
+        assert!(err.to_string().contains("unbound"));
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let err = crate::compile(
+            &crate::programs::nbody(),
+            &[("n", 8), ("s", 1), ("msgsize", 1), ("typo", 3)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("typo"));
+    }
+
+    #[test]
+    fn out_of_range_label_reports_guard_hint() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 { x(i) -> x(i+1); }";
+        let err = compile(src, &[("n", 4)]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn guard_excludes_boundary() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 where i < n-1 { x(i) -> x(i+1); }";
+        let g = compile(src, &[("n", 4)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn two_dimensional_mesh_stencil() {
+        let g = crate::compile(&crate::programs::jacobi(), &[("n", 4), ("iters", 10)]).unwrap();
+        assert_eq!(g.num_tasks(), 16);
+        assert_eq!(g.num_phases(), 4); // north south east west
+        for p in &g.comm_phases {
+            assert_eq!(p.edges.len(), 12, "phase {}", p.name); // 4x3 directed
+        }
+        let w = g.collapse();
+        // collapsed: 24 undirected mesh adjacencies
+        assert_eq!(w.num_edges(), 24);
+    }
+
+    #[test]
+    fn binder_dependent_ranges() {
+        // lower-triangular pattern: forall i, j in 0..i
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: forall i in 1..n-1, j in 0..i-1 { x(j) -> x(i); }";
+        let g = compile(src, &[("n", 4)]).unwrap();
+        assert_eq!(g.num_edges(), 6); // C(4,2)
+    }
+
+    #[test]
+    fn family_attribute_maps_to_family() {
+        let src = "algorithm r(n);\n\
+                   nodetype t: 0..n-1 nodesymmetric family(ring);\n\
+                   comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }";
+        let g = compile(src, &[("n", 6)]).unwrap();
+        assert_eq!(g.family, Some(Family::Ring(6)));
+    }
+
+    #[test]
+    fn family_shape_mismatch_rejected() {
+        let src = "algorithm r(n);\n\
+                   nodetype t: 0..n-1 family(hypercube);\n\
+                   comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }";
+        assert!(compile(src, &[("n", 6)]).is_err()); // 6 not a power of 2
+    }
+
+    #[test]
+    fn negative_volume_rejected() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: x(0) -> x(1) volume 0-5;";
+        assert!(compile(src, &[("n", 2)]).unwrap_err().to_string().contains("negative volume"));
+    }
+
+    #[test]
+    fn node_blowup_guarded() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: x(0) -> x(1);";
+        let opts = ElabOptions {
+            max_nodes: 100,
+            ..ElabOptions::default()
+        };
+        let err = elaborate(&parse(src).unwrap(), &[("n", 1000)], &opts).unwrap_err();
+        assert!(err.to_string().contains("too many task nodes"));
+    }
+
+    #[test]
+    fn phase_expr_unknown_name_rejected() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: x(0) -> x(1);\n\
+                   phaseexpr c; nope;";
+        assert!(compile(src, &[("n", 2)])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown phase"));
+    }
+
+    #[test]
+    fn exec_cost_defaults_and_expressions() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: x(0) -> x(1);\n\
+                   exephase a;\n\
+                   exephase b cost 3*n;";
+        let g = compile(src, &[("n", 4)]).unwrap();
+        assert_eq!(g.exec_phases[0].cost, Cost::Uniform(1));
+        assert_eq!(g.exec_phases[1].cost, Cost::Uniform(12));
+    }
+
+    #[test]
+    fn multiple_nodetypes_get_disjoint_ids() {
+        let src = "algorithm t(n);\n\
+                   nodetype a: 0..n-1;\n\
+                   nodetype b: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 { a(i) -> b(i); }";
+        let g = compile(src, &[("n", 3)]).unwrap();
+        assert_eq!(g.num_tasks(), 6);
+        for e in &g.comm_phases[0].edges {
+            assert_eq!(e.dst.0, e.src.0 + 3);
+        }
+        assert_eq!(g.nodes[0].label, "a(0)");
+        assert_eq!(g.nodes[3].label, "b(0)");
+    }
+}

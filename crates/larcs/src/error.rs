@@ -1,0 +1,80 @@
+//! Diagnostics for the LaRCS compiler.
+
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error from lexing, parsing, or elaborating a LaRCS program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LarcsError {
+    /// Lexical error (bad character, malformed number).
+    Lex {
+        /// Where it happened.
+        pos: Pos,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where it happened.
+        pos: Pos,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Elaboration-time error (unbound parameter, out-of-range label,
+    /// division by zero, size blow-up, ...).
+    Elab {
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl LarcsError {
+    /// Elaboration error constructor.
+    pub fn elab(msg: impl Into<String>) -> LarcsError {
+        LarcsError::Elab { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for LarcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LarcsError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            LarcsError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            LarcsError::Elab { msg } => write!(f, "elaboration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LarcsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = LarcsError::Parse {
+            pos: Pos { line: 3, col: 7 },
+            msg: "expected ';'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ';'");
+        assert_eq!(
+            LarcsError::elab("boom").to_string(),
+            "elaboration error: boom"
+        );
+    }
+}

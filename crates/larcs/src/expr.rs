@@ -1,0 +1,355 @@
+//! Integer and boolean expressions, their evaluation, and syntactic
+//! affinity analysis.
+//!
+//! LaRCS communication functions are "simple functions ... [that] may
+//! involve arithmetic expressions, for-loops, while-loops, imported
+//! parameters, and other LaRCS variables". Expressions here are integer
+//! arithmetic over parameters and binder variables with `+ - * / % mod div
+//! **`; `mod`/`%` are Euclidean (always nonnegative), `/`/`div` are the
+//! matching floor division, and `**` is exponentiation (used e.g. for
+//! binomial-tree strides `2**j`).
+
+use crate::error::LarcsError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An integer expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Parameter, import, or binder variable.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+/// Binary integer operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` or `div` (floor division).
+    Div,
+    /// `%` or `mod` (Euclidean remainder).
+    Mod,
+    /// `**` (exponentiation).
+    Pow,
+}
+
+/// A boolean expression (rule guards).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Comparison of two integer expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Variable bindings for evaluation.
+pub type Env = HashMap<String, i64>;
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates under `env`; errors on unbound variables, division by
+    /// zero, negative exponents, and overflow.
+    pub fn eval(&self, env: &Env) -> Result<i64, LarcsError> {
+        match self {
+            Expr::Const(v) => Ok(*v),
+            Expr::Var(name) => env.get(name).copied().ok_or_else(|| {
+                LarcsError::elab(format!("unbound variable '{name}'"))
+            }),
+            Expr::Neg(e) => e
+                .eval(env)?
+                .checked_neg()
+                .ok_or_else(|| LarcsError::elab("arithmetic overflow".to_string())),
+            Expr::Bin(op, a, b) => {
+                let x = a.eval(env)?;
+                let y = b.eval(env)?;
+                let overflow = || LarcsError::elab(format!("arithmetic overflow in {x} {op:?} {y}"));
+                match op {
+                    BinOp::Add => x.checked_add(y).ok_or_else(overflow),
+                    BinOp::Sub => x.checked_sub(y).ok_or_else(overflow),
+                    BinOp::Mul => x.checked_mul(y).ok_or_else(overflow),
+                    BinOp::Div => {
+                        if y == 0 {
+                            Err(LarcsError::elab("division by zero"))
+                        } else {
+                            Ok(x.div_euclid(y))
+                        }
+                    }
+                    BinOp::Mod => {
+                        if y == 0 {
+                            Err(LarcsError::elab("mod by zero"))
+                        } else {
+                            Ok(x.rem_euclid(y))
+                        }
+                    }
+                    BinOp::Pow => {
+                        if y < 0 {
+                            Err(LarcsError::elab(format!("negative exponent {y}")))
+                        } else {
+                            let exp = u32::try_from(y).map_err(|_| overflow())?;
+                            x.checked_pow(exp).ok_or_else(overflow)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The free variables of the expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Neg(e) => e.free_vars(out),
+            Expr::Bin(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+
+    /// **Syntactic affinity check** (paper §4.2.1): is the expression an
+    /// affine function of the variables in `vars` (with coefficients that
+    /// may involve other variables, e.g. parameters)?
+    ///
+    /// Affine means: sums/differences of terms, where each term is either
+    /// free of `vars` or a product of something free of `vars` with a
+    /// single bare variable from `vars`. `mod`, `div`, and `**` over a
+    /// `vars` operand are non-affine.
+    pub fn is_affine_in(&self, vars: &[&str]) -> bool {
+        fn uses(e: &Expr, vars: &[&str]) -> bool {
+            let mut fv = Vec::new();
+            e.free_vars(&mut fv);
+            fv.iter().any(|v| vars.contains(&v.as_str()))
+        }
+        match self {
+            Expr::Const(_) => true,
+            Expr::Var(_) => true,
+            Expr::Neg(e) => e.is_affine_in(vars),
+            Expr::Bin(BinOp::Add | BinOp::Sub, a, b) => {
+                a.is_affine_in(vars) && b.is_affine_in(vars)
+            }
+            Expr::Bin(BinOp::Mul, a, b) => {
+                // at most one side may involve the lattice variables, and
+                // that side must itself be affine
+                match (uses(a, vars), uses(b, vars)) {
+                    (false, false) => true,
+                    (true, false) => a.is_affine_in(vars),
+                    (false, true) => b.is_affine_in(vars),
+                    (true, true) => false,
+                }
+            }
+            Expr::Bin(BinOp::Div | BinOp::Mod | BinOp::Pow, a, b) => {
+                // non-affine whenever a lattice variable is involved
+                !uses(a, vars) && !uses(b, vars)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "div",
+                    BinOp::Mod => "mod",
+                    BinOp::Pow => "**",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+impl BoolExpr {
+    /// Evaluates the guard under `env`.
+    pub fn eval(&self, env: &Env) -> Result<bool, LarcsError> {
+        match self {
+            BoolExpr::Cmp(op, a, b) => {
+                let x = a.eval(env)?;
+                let y = b.eval(env)?;
+                Ok(match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                })
+            }
+            BoolExpr::And(a, b) => Ok(a.eval(env)? && b.eval(env)?),
+            BoolExpr::Or(a, b) => Ok(a.eval(env)? || b.eval(env)?),
+            BoolExpr::Not(a) => Ok(!a.eval(env)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> Env {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    fn var(s: &str) -> Expr {
+        Expr::Var(s.to_string())
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        // (i + 1) mod n with i=7, n=8 => 0
+        let e = Expr::bin(
+            BinOp::Mod,
+            Expr::bin(BinOp::Add, var("i"), Expr::Const(1)),
+            var("n"),
+        );
+        assert_eq!(e.eval(&env(&[("i", 7), ("n", 8)])).unwrap(), 0);
+    }
+
+    #[test]
+    fn euclidean_mod_and_floor_div() {
+        let m = Expr::bin(BinOp::Mod, Expr::Const(-3), Expr::Const(8));
+        assert_eq!(m.eval(&env(&[])).unwrap(), 5);
+        let d = Expr::bin(BinOp::Div, Expr::Const(-3), Expr::Const(2));
+        assert_eq!(d.eval(&env(&[])).unwrap(), -2);
+    }
+
+    #[test]
+    fn pow() {
+        let e = Expr::bin(BinOp::Pow, Expr::Const(2), var("j"));
+        assert_eq!(e.eval(&env(&[("j", 10)])).unwrap(), 1024);
+        assert!(e.eval(&env(&[("j", -1)])).is_err());
+    }
+
+    #[test]
+    fn unbound_and_zero_division_errors() {
+        assert!(var("zzz").eval(&env(&[])).is_err());
+        let d = Expr::bin(BinOp::Div, Expr::Const(1), Expr::Const(0));
+        assert!(d.eval(&env(&[])).is_err());
+        let m = Expr::bin(BinOp::Mod, Expr::Const(1), Expr::Const(0));
+        assert!(m.eval(&env(&[])).is_err());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let e = Expr::bin(BinOp::Mul, Expr::Const(i64::MAX), Expr::Const(2));
+        assert!(e.eval(&env(&[])).is_err());
+        let p = Expr::bin(BinOp::Pow, Expr::Const(10), Expr::Const(40));
+        assert!(p.eval(&env(&[])).is_err());
+    }
+
+    #[test]
+    fn free_vars_collected_once() {
+        let e = Expr::bin(BinOp::Add, var("i"), Expr::bin(BinOp::Mul, var("i"), var("n")));
+        let mut fv = Vec::new();
+        e.free_vars(&mut fv);
+        assert_eq!(fv, vec!["i".to_string(), "n".to_string()]);
+    }
+
+    #[test]
+    fn affine_checks() {
+        let vars = ["i", "j"];
+        // i + 2*j + n  : affine
+        let a = Expr::bin(
+            BinOp::Add,
+            var("i"),
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::Const(2), var("j")),
+                var("n"),
+            ),
+        );
+        assert!(a.is_affine_in(&vars));
+        // n*i : affine (parameter coefficient)
+        let b = Expr::bin(BinOp::Mul, var("n"), var("i"));
+        assert!(b.is_affine_in(&vars));
+        // i*j : not affine
+        let c = Expr::bin(BinOp::Mul, var("i"), var("j"));
+        assert!(!c.is_affine_in(&vars));
+        // (i+1) mod n : not affine
+        let d = Expr::bin(
+            BinOp::Mod,
+            Expr::bin(BinOp::Add, var("i"), Expr::Const(1)),
+            var("n"),
+        );
+        assert!(!d.is_affine_in(&vars));
+        // (n+1)/2 : affine (no lattice vars at all)
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::bin(BinOp::Add, var("n"), Expr::Const(1)),
+            Expr::Const(2),
+        );
+        assert!(e.is_affine_in(&vars));
+    }
+
+    #[test]
+    fn guards_eval() {
+        let g = BoolExpr::And(
+            Box::new(BoolExpr::Cmp(CmpOp::Lt, var("i"), var("n"))),
+            Box::new(BoolExpr::Not(Box::new(BoolExpr::Cmp(
+                CmpOp::Eq,
+                var("i"),
+                Expr::Const(3),
+            )))),
+        );
+        assert!(g.eval(&env(&[("i", 2), ("n", 5)])).unwrap());
+        assert!(!g.eval(&env(&[("i", 3), ("n", 5)])).unwrap());
+        assert!(!g.eval(&env(&[("i", 6), ("n", 5)])).unwrap());
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let e = Expr::bin(
+            BinOp::Mod,
+            Expr::bin(BinOp::Add, var("i"), Expr::Const(1)),
+            var("n"),
+        );
+        assert_eq!(e.to_string(), "((i + 1) mod n)");
+    }
+}

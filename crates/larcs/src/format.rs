@@ -1,0 +1,212 @@
+//! Pretty-printing LaRCS programs back to source.
+//!
+//! The formatter emits canonical source text whose parse is structurally
+//! identical to the input AST (`parse(format(p)) == p`, property-tested in
+//! `tests/prop_larcs.rs`). Used by tooling that manipulates programs —
+//! e.g. dumping the result of a programmatic rewrite, or normalising user
+//! files.
+
+use crate::ast::*;
+use crate::expr::{BinOp, BoolExpr, CmpOp, Expr};
+use std::fmt::Write as _;
+
+/// Renders a whole program as canonical LaRCS source.
+pub fn format_program(p: &Program) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "algorithm {}({});", p.name, p.params.join(", "));
+    if !p.imports.is_empty() {
+        let _ = writeln!(s, "import {};", p.imports.join(", "));
+    }
+    for nt in &p.nodetypes {
+        let ranges: Vec<String> = nt
+            .ranges
+            .iter()
+            .map(|(lo, hi)| format!("{}..{}", format_expr(lo), format_expr(hi)))
+            .collect();
+        let spec = if ranges.len() == 1 {
+            ranges[0].clone()
+        } else {
+            format!("({})", ranges.join(", "))
+        };
+        let mut attrs = String::new();
+        if nt.node_symmetric {
+            attrs.push_str(" nodesymmetric");
+        }
+        if let Some(f) = &nt.family {
+            let _ = write!(attrs, " family({f})");
+        }
+        let _ = writeln!(s, "nodetype {}: {spec}{attrs};", nt.name);
+    }
+    for cp in &p.comphases {
+        let _ = writeln!(s, "comphase {}:", cp.name);
+        for rule in &cp.rules {
+            if rule.binders.is_empty() {
+                for e in &rule.edges {
+                    let _ = writeln!(s, "  {}", format_edge(e));
+                }
+            } else {
+                let binders: Vec<String> = rule
+                    .binders
+                    .iter()
+                    .map(|b| {
+                        format!(
+                            "{} in {}..{}",
+                            b.var,
+                            format_expr(&b.lo),
+                            format_expr(&b.hi)
+                        )
+                    })
+                    .collect();
+                let guard = rule
+                    .guard
+                    .as_ref()
+                    .map(|g| format!(" where {}", format_bool(g)))
+                    .unwrap_or_default();
+                let _ = writeln!(s, "  forall {}{guard} {{", binders.join(", "));
+                for e in &rule.edges {
+                    let _ = writeln!(s, "    {}", format_edge(e));
+                }
+                let _ = writeln!(s, "  }}");
+            }
+        }
+    }
+    for ep in &p.exephases {
+        match &ep.cost {
+            Some(c) => {
+                let _ = writeln!(s, "exephase {} cost {};", ep.name, format_expr(c));
+            }
+            None => {
+                let _ = writeln!(s, "exephase {};", ep.name);
+            }
+        }
+    }
+    if let Some(pe) = &p.phase_expr {
+        let _ = writeln!(s, "phaseexpr {};", format_pexp(pe));
+    }
+    s
+}
+
+/// Renders an edge declaration (with trailing semicolon).
+pub fn format_edge(e: &EdgeDecl) -> String {
+    let src: Vec<String> = e.src_args.iter().map(format_expr).collect();
+    let dst: Vec<String> = e.dst_args.iter().map(format_expr).collect();
+    let vol = e
+        .volume
+        .as_ref()
+        .map(|v| format!(" volume {}", format_expr(v)))
+        .unwrap_or_default();
+    format!(
+        "{}({}) -> {}({}){vol};",
+        e.src_type,
+        src.join(", "),
+        e.dst_type,
+        dst.join(", ")
+    )
+}
+
+/// Renders an integer expression, parenthesising conservatively (every
+/// binary node gets parentheses, so precedence never needs reconstructing).
+pub fn format_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Neg(inner) => format!("(0 - {})", format_expr(inner)),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "mod",
+                BinOp::Pow => "**",
+            };
+            format!("({} {sym} {})", format_expr(a), format_expr(b))
+        }
+    }
+}
+
+/// Renders a boolean guard.
+pub fn format_bool(b: &BoolExpr) -> String {
+    match b {
+        BoolExpr::Cmp(op, a, c) => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            format!("{} {sym} {}", format_expr(a), format_expr(c))
+        }
+        BoolExpr::And(a, c) => format!("({} and {})", format_bool(a), format_bool(c)),
+        BoolExpr::Or(a, c) => format!("({} or {})", format_bool(a), format_bool(c)),
+        BoolExpr::Not(a) => format!("not ({})", format_bool(a)),
+    }
+}
+
+/// Renders a phase expression (parenthesised to be precedence-proof).
+pub fn format_pexp(p: &PExp) -> String {
+    match p {
+        PExp::Eps => "eps".to_string(),
+        PExp::Name(n) => n.clone(),
+        PExp::Seq(a, b) => format!("({}; {})", format_pexp(a), format_pexp(b)),
+        PExp::Par(a, b) => format!("({} || {})", format_pexp(a), format_pexp(b)),
+        PExp::Repeat(a, k) => format!("({})^{}", format_pexp(a), format_expr(k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, programs};
+
+    /// Structural round-trip: the formatted source parses back to an AST
+    /// that elaborates to the identical task graph.
+    fn roundtrip(src: &str, params: &[(&str, i64)]) {
+        let p1 = parse(src).unwrap();
+        let formatted = format_program(&p1);
+        let p2 = parse(&formatted)
+            .unwrap_or_else(|e| panic!("formatted source must reparse: {e}\n{formatted}"));
+        let g1 = crate::elaborate(&p1, params, &crate::ElabOptions::default()).unwrap();
+        let g2 = crate::elaborate(&p2, params, &crate::ElabOptions::default()).unwrap();
+        assert_eq!(g1.num_tasks(), g2.num_tasks());
+        assert_eq!(g1.node_symmetric, g2.node_symmetric);
+        assert_eq!(g1.family, g2.family);
+        for (a, b) in g1.comm_phases.iter().zip(&g2.comm_phases) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.edges, b.edges);
+        }
+        assert_eq!(g1.exec_phases, g2.exec_phases);
+        assert_eq!(g1.phase_expr, g2.phase_expr);
+    }
+
+    #[test]
+    fn all_builtin_programs_roundtrip() {
+        for (name, src, params) in programs::all_programs() {
+            let _ = name;
+            roundtrip(&src, &params);
+        }
+    }
+
+    #[test]
+    fn formatted_output_is_readable() {
+        let p = parse(&programs::nbody()).unwrap();
+        let out = format_program(&p);
+        assert!(out.starts_with("algorithm nbody(n, s);"));
+        assert!(out.contains("import msgsize;"));
+        assert!(out.contains("nodetype body: 0..(n - 1) nodesymmetric;"));
+        assert!(out.contains("comphase ring:"));
+        assert!(out.contains("phaseexpr"));
+    }
+
+    #[test]
+    fn negation_and_guards_survive() {
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 where not (i == 0) and i != n-1 {\n\
+                     x(i) -> x(i-1) volume -1*-3;\n\
+                   }";
+        roundtrip(src, &[("n", 5)]);
+    }
+}

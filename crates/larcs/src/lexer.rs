@@ -1,0 +1,333 @@
+//! Tokenizer for LaRCS source.
+
+use crate::error::{LarcsError, Pos};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `..`
+    DotDot,
+    /// `->`
+    Arrow,
+    /// `^`
+    Caret,
+    /// `||`
+    ParBar,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "'{s}'"),
+            Tok::Int(v) => write!(f, "'{v}'"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::DotDot => "..",
+                    Tok::Arrow => "->",
+                    Tok::Caret => "^",
+                    Tok::ParBar => "||",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::StarStar => "**",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::EqEq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                write!(f, "'{s}'")
+            }
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Its position.
+    pub pos: Pos,
+}
+
+/// Tokenizes LaRCS source. `--` starts a comment to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LarcsError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = pos!();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                out.push(Spanned { tok: Tok::Arrow, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '-' => {
+                out.push(Spanned { tok: Tok::Minus, pos: start });
+                i += 1;
+                col += 1;
+            }
+            '.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => {
+                out.push(Spanned { tok: Tok::DotDot, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '*' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                out.push(Spanned { tok: Tok::StarStar, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
+                out.push(Spanned { tok: Tok::ParBar, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Spanned { tok: Tok::Le, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Spanned { tok: Tok::Ge, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Spanned { tok: Tok::EqEq, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Spanned { tok: Tok::Ne, pos: start });
+                i += 2;
+                col += 2;
+            }
+            '(' | ')' | '{' | '}' | ',' | ';' | ':' | '^' | '+' | '*' | '/' | '%' | '<' | '>' => {
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    '^' => Tok::Caret,
+                    '+' => Tok::Plus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    _ => unreachable!(),
+                };
+                out.push(Spanned { tok, pos: start });
+                i += 1;
+                col += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let begin = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[begin..i];
+                let v: i64 = text.parse().map_err(|_| LarcsError::Lex {
+                    pos: start,
+                    msg: format!("integer literal '{text}' out of range"),
+                })?;
+                out.push(Spanned { tok: Tok::Int(v), pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let begin = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(src[begin..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(LarcsError::Lex {
+                    pos: start,
+                    msg: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("body(i) -> body((i+1) mod n);"),
+            vec![
+                Tok::Ident("body".into()),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("body".into()),
+                Tok::LParen,
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Ident("mod".into()),
+                Tok::Ident("n".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators() {
+        assert_eq!(
+            toks("0..n-1 ** ^ || <= >= == != -> --comment\n<"),
+            vec![
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Ident("n".into()),
+                Tok::Minus,
+                Tok::Int(1),
+                Tok::StarStar,
+                Tok::Caret,
+                Tok::ParBar,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Arrow,
+                Tok::Lt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("a -- all of this ignored ;;;\nb"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(matches!(err, LarcsError::Lex { .. }));
+        assert!(err.to_string().contains('@'));
+    }
+
+    #[test]
+    fn huge_literal_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! # oregami-larcs
+//!
+//! LaRCS — the **La**nguage for **R**egular **C**ommunication **S**tructures
+//! (paper §3).
+//!
+//! LaRCS lets the programmer describe the static and dynamic communication
+//! structure of a parallel algorithm compactly and parametrically: node
+//! types with labeling schemes, communication phases as simple functions of
+//! the node labels, execution phases with cost estimates, and a phase
+//! expression describing behaviour over time. A LaRCS description is
+//! independent of the task-graph size — `nbody(1000)` is the same few lines
+//! as `nbody(8)` — which is what lets MAPPER reason about regularity
+//! without materialising the whole graph.
+//!
+//! The paper shows fragments of the surface syntax; this crate pins down a
+//! complete grammar faithful to every construct the paper names (see
+//! `DESIGN.md` §4 for the grammar). Pipeline:
+//!
+//! ```text
+//! source --lexer--> tokens --parser--> ast::Program
+//!        --elaborate(params)--> oregami_graph::TaskGraph
+//!        --analyze--> regularity report (bijective? affine? nameable?)
+//! ```
+//!
+//! A library of built-in LaRCS programs for the algorithms the paper lists
+//! (n-body, perfect broadcast, Jacobi, SOR, divide-and-conquer on binomial
+//! trees, FFT, matrix multiplication, ...) lives in [`programs`].
+
+pub mod analyze;
+pub mod ast;
+pub mod elaborate;
+pub mod error;
+pub mod expr;
+pub mod format;
+pub mod lexer;
+pub mod parser;
+pub mod programs;
+pub mod translation;
+
+pub use analyze::{analyze, Analysis};
+pub use ast::Program;
+pub use elaborate::{elaborate, ElabOptions};
+pub use error::LarcsError;
+pub use format::format_program;
+pub use parser::parse;
+pub use translation::{detect_translations, TranslationForm};
+
+use oregami_graph::TaskGraph;
+
+/// One-call convenience: parse `source` and elaborate it with the given
+/// parameter bindings into a task graph.
+///
+/// # Examples
+/// ```
+/// let src = oregami_larcs::programs::nbody();
+/// let g = oregami_larcs::compile(&src, &[("n", 8), ("s", 3), ("msgsize", 4)]).unwrap();
+/// assert_eq!(g.num_tasks(), 8);
+/// assert_eq!(g.num_phases(), 2); // ring + chordal
+/// ```
+pub fn compile(source: &str, params: &[(&str, i64)]) -> Result<TaskGraph, LarcsError> {
+    let program = parse(source)?;
+    elaborate(&program, params, &ElabOptions::default())
+}

@@ -1,0 +1,689 @@
+//! Recursive-descent parser for LaRCS.
+//!
+//! The complete grammar is documented in `DESIGN.md` §4. Operator
+//! precedence in phase expressions (loosest to tightest): `;` sequence,
+//! `||` parallel, `^` repetition — so the paper's
+//! `((ring; compute1)^((n+1)/2); chordal; compute2)^s` parses as written.
+
+use crate::ast::*;
+use crate::error::{LarcsError, Pos};
+use crate::expr::{BinOp, BoolExpr, CmpOp, Expr};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Keywords that cannot be used as identifiers for node types, phases, or
+/// variables.
+pub const KEYWORDS: &[&str] = &[
+    "algorithm",
+    "import",
+    "nodetype",
+    "comphase",
+    "exephase",
+    "phaseexpr",
+    "forall",
+    "in",
+    "where",
+    "volume",
+    "cost",
+    "mod",
+    "div",
+    "nodesymmetric",
+    "family",
+    "eps",
+    "and",
+    "or",
+    "not",
+];
+
+/// Parses a LaRCS program.
+pub fn parse(source: &str) -> Result<Program, LarcsError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_pos(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, LarcsError> {
+        Err(LarcsError::Parse {
+            pos: self.peek_pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), LarcsError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    /// Accepts any identifier, including keywords used positionally.
+    fn ident(&mut self) -> Result<String, LarcsError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Accepts an identifier that is not a reserved keyword.
+    fn name(&mut self) -> Result<String, LarcsError> {
+        let id = self.ident()?;
+        if KEYWORDS.contains(&id.as_str()) {
+            return self.err(format!("'{id}' is a reserved keyword"));
+        }
+        Ok(id)
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), LarcsError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{kw}', found {}", self.peek()))
+        }
+    }
+
+    // ---- program structure ------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, LarcsError> {
+        self.expect_keyword("algorithm")?;
+        let name = self.name()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.name()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+
+        let mut program = Program {
+            name,
+            params,
+            imports: Vec::new(),
+            nodetypes: Vec::new(),
+            comphases: Vec::new(),
+            exephases: Vec::new(),
+            phase_expr: None,
+        };
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(kw) => match kw.as_str() {
+                    "import" => {
+                        self.bump();
+                        loop {
+                            program.imports.push(self.name()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::Semi)?;
+                    }
+                    "nodetype" => {
+                        let nt = self.nodetype()?;
+                        program.nodetypes.push(nt);
+                    }
+                    "comphase" => {
+                        let cp = self.comphase()?;
+                        program.comphases.push(cp);
+                    }
+                    "exephase" => {
+                        let ep = self.exephase()?;
+                        program.exephases.push(ep);
+                    }
+                    "phaseexpr" => {
+                        self.bump();
+                        if program.phase_expr.is_some() {
+                            return self.err("duplicate phaseexpr declaration");
+                        }
+                        let pe = self.pexp()?;
+                        self.expect(Tok::Semi)?;
+                        program.phase_expr = Some(pe);
+                    }
+                    other => {
+                        return self.err(format!(
+                            "expected a declaration keyword, found '{other}'"
+                        ))
+                    }
+                },
+                other => return self.err(format!("expected a declaration, found {other}")),
+            }
+        }
+        Ok(program)
+    }
+
+    fn nodetype(&mut self) -> Result<NodeTypeDecl, LarcsError> {
+        self.expect_keyword("nodetype")?;
+        let name = self.name()?;
+        self.expect(Tok::Colon)?;
+        // labelspec: either "(" range, range ")" or a bare range. A bare
+        // range may itself start with "(" (parenthesised expr), so try the
+        // tuple interpretation first and backtrack on failure.
+        let ranges = if *self.peek() == Tok::LParen {
+            let save = self.pos;
+            match self.tuple_ranges() {
+                Ok(rs) => rs,
+                Err(_) => {
+                    self.pos = save;
+                    vec![self.range()?]
+                }
+            }
+        } else {
+            vec![self.range()?]
+        };
+        let mut node_symmetric = false;
+        let mut family = None;
+        loop {
+            if self.eat_keyword("nodesymmetric") {
+                node_symmetric = true;
+            } else if self.eat_keyword("family") {
+                self.expect(Tok::LParen)?;
+                family = Some(self.ident()?);
+                self.expect(Tok::RParen)?;
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(NodeTypeDecl {
+            name,
+            ranges,
+            node_symmetric,
+            family,
+        })
+    }
+
+    fn tuple_ranges(&mut self) -> Result<Vec<(Expr, Expr)>, LarcsError> {
+        self.expect(Tok::LParen)?;
+        let mut rs = vec![self.range()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            rs.push(self.range()?);
+        }
+        self.expect(Tok::RParen)?;
+        Ok(rs)
+    }
+
+    fn range(&mut self) -> Result<(Expr, Expr), LarcsError> {
+        let lo = self.expr()?;
+        self.expect(Tok::DotDot)?;
+        let hi = self.expr()?;
+        Ok((lo, hi))
+    }
+
+    fn comphase(&mut self) -> Result<CommPhaseDecl, LarcsError> {
+        self.expect_keyword("comphase")?;
+        let name = self.name()?;
+        self.expect(Tok::Colon)?;
+        let mut rules = Vec::new();
+        loop {
+            if self.at_keyword("forall") {
+                rules.push(self.forall_rule()?);
+            } else if matches!(self.peek(), Tok::Ident(id) if !KEYWORDS.contains(&id.as_str())) {
+                // bare edge rule
+                let edge = self.edge()?;
+                rules.push(Rule {
+                    binders: Vec::new(),
+                    guard: None,
+                    edges: vec![edge],
+                });
+            } else {
+                break;
+            }
+        }
+        if rules.is_empty() {
+            return self.err("comphase must declare at least one edge rule");
+        }
+        Ok(CommPhaseDecl { name, rules })
+    }
+
+    fn forall_rule(&mut self) -> Result<Rule, LarcsError> {
+        self.expect_keyword("forall")?;
+        let mut binders = vec![self.binder()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            binders.push(self.binder()?);
+        }
+        let guard = if self.eat_keyword("where") {
+            Some(self.bexp()?)
+        } else {
+            None
+        };
+        self.expect(Tok::LBrace)?;
+        let mut edges = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            edges.push(self.edge()?);
+        }
+        self.expect(Tok::RBrace)?;
+        if edges.is_empty() {
+            return self.err("forall must contain at least one edge");
+        }
+        Ok(Rule {
+            binders,
+            guard,
+            edges,
+        })
+    }
+
+    fn binder(&mut self) -> Result<Binder, LarcsError> {
+        let var = self.name()?;
+        self.expect_keyword("in")?;
+        let (lo, hi) = self.range()?;
+        Ok(Binder { var, lo, hi })
+    }
+
+    fn edge(&mut self) -> Result<EdgeDecl, LarcsError> {
+        let src_type = self.name()?;
+        let src_args = self.arg_list()?;
+        self.expect(Tok::Arrow)?;
+        let dst_type = self.name()?;
+        let dst_args = self.arg_list()?;
+        let volume = if self.eat_keyword("volume") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(EdgeDecl {
+            src_type,
+            src_args,
+            dst_type,
+            dst_args,
+            volume,
+        })
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, LarcsError> {
+        self.expect(Tok::LParen)?;
+        let mut args = vec![self.expr()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            args.push(self.expr()?);
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn exephase(&mut self) -> Result<ExecPhaseDecl, LarcsError> {
+        self.expect_keyword("exephase")?;
+        let name = self.name()?;
+        let cost = if self.eat_keyword("cost") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(ExecPhaseDecl { name, cost })
+    }
+
+    // ---- phase expressions -------------------------------------------------
+
+    fn pexp(&mut self) -> Result<PExp, LarcsError> {
+        let mut left = self.pexp_par()?;
+        while *self.peek() == Tok::Semi {
+            // A ';' only continues the phase expression if something that
+            // can start a phase expression follows (otherwise it terminates
+            // the declaration).
+            let next = &self.tokens[self.pos + 1].tok;
+            let continues = matches!(next, Tok::LParen)
+                || matches!(next, Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) || id == "eps");
+            if !continues {
+                break;
+            }
+            self.bump();
+            let right = self.pexp_par()?;
+            left = PExp::Seq(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pexp_par(&mut self) -> Result<PExp, LarcsError> {
+        let mut left = self.pexp_rep()?;
+        while *self.peek() == Tok::ParBar {
+            self.bump();
+            let right = self.pexp_rep()?;
+            left = PExp::Par(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pexp_rep(&mut self) -> Result<PExp, LarcsError> {
+        let mut base = self.pexp_primary()?;
+        while *self.peek() == Tok::Caret {
+            self.bump();
+            let count = self.expr()?;
+            base = PExp::Repeat(Box::new(base), count);
+        }
+        Ok(base)
+    }
+
+    fn pexp_primary(&mut self) -> Result<PExp, LarcsError> {
+        if self.eat_keyword("eps") {
+            return Ok(PExp::Eps);
+        }
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                let inner = self.pexp()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
+                self.bump();
+                Ok(PExp::Name(id))
+            }
+            other => self.err(format!("expected a phase expression, found {other}")),
+        }
+    }
+
+    // ---- integer expressions -----------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LarcsError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LarcsError> {
+        let mut left = self.pow_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                Tok::Ident(id) if id == "mod" => BinOp::Mod,
+                Tok::Ident(id) if id == "div" => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.pow_expr()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, LarcsError> {
+        let base = self.unary_expr()?;
+        if *self.peek() == Tok::StarStar {
+            self.bump();
+            // right-associative
+            let exp = self.pow_expr()?;
+            return Ok(Expr::bin(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LarcsError> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, LarcsError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
+                self.bump();
+                Ok(Expr::Var(id))
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+
+    // ---- boolean expressions -----------------------------------------------
+
+    fn bexp(&mut self) -> Result<BoolExpr, LarcsError> {
+        let mut left = self.bterm()?;
+        while self.at_keyword("or") {
+            self.bump();
+            let right = self.bterm()?;
+            left = BoolExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn bterm(&mut self) -> Result<BoolExpr, LarcsError> {
+        let mut left = self.bfactor()?;
+        while self.at_keyword("and") {
+            self.bump();
+            let right = self.bfactor()?;
+            left = BoolExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn bfactor(&mut self) -> Result<BoolExpr, LarcsError> {
+        if self.at_keyword("not") {
+            self.bump();
+            let inner = self.bfactor()?;
+            return Ok(BoolExpr::Not(Box::new(inner)));
+        }
+        // '(' may open either a parenthesised boolean expression or the
+        // left operand of a comparison; try the boolean reading first and
+        // backtrack.
+        if *self.peek() == Tok::LParen {
+            let save = self.pos;
+            self.bump();
+            if let Ok(inner) = self.bexp() {
+                if *self.peek() == Tok::RParen {
+                    self.bump();
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<BoolExpr, LarcsError> {
+        let left = self.expr()?;
+        let op = match self.peek() {
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::EqEq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            other => return self.err(format!("expected a comparison operator, found {other}")),
+        };
+        self.bump();
+        let right = self.expr()?;
+        Ok(BoolExpr::Cmp(op, left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nbody() {
+        let src = crate::programs::nbody();
+        let p = parse(&src).unwrap();
+        assert_eq!(p.name, "nbody");
+        assert_eq!(p.params, vec!["n", "s"]);
+        assert_eq!(p.imports, vec!["msgsize"]);
+        assert_eq!(p.nodetypes.len(), 1);
+        assert!(p.nodetypes[0].node_symmetric);
+        assert_eq!(p.comphases.len(), 2);
+        assert_eq!(p.exephases.len(), 2);
+        assert!(p.phase_expr.is_some());
+    }
+
+    #[test]
+    fn phase_expr_precedence() {
+        let src = "algorithm t(); comphase a: x(0) -> x(0); \
+                   exephase e1; phaseexpr (a; e1)^3; ";
+        // Note: x is undeclared — the parser doesn't resolve names.
+        let p = parse(src).unwrap();
+        match p.phase_expr.unwrap() {
+            PExp::Repeat(inner, Expr::Const(3)) => match *inner {
+                PExp::Seq(a, b) => {
+                    assert_eq!(*a, PExp::Name("a".into()));
+                    assert_eq!(*b, PExp::Name("e1".into()));
+                }
+                other => panic!("expected Seq, got {other:?}"),
+            },
+            other => panic!("expected Repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_binds_looser_than_par_and_rep() {
+        let src = "algorithm t(); phaseexpr a; b || c; d^2;";
+        let p = parse(src).unwrap();
+        // a ; (b || c) ; (d^2)
+        let pe = p.phase_expr.unwrap();
+        match pe {
+            PExp::Seq(left, d2) => {
+                assert!(matches!(*d2, PExp::Repeat(_, Expr::Const(2))));
+                match *left {
+                    PExp::Seq(a, bc) => {
+                        assert_eq!(*a, PExp::Name("a".into()));
+                        assert!(matches!(*bc, PExp::Par(_, _)));
+                    }
+                    other => panic!("bad left: {other:?}"),
+                }
+            }
+            other => panic!("bad top: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eps_and_nested_parens() {
+        let src = "algorithm t(); phaseexpr (eps || (a; b))^n;";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.phase_expr.unwrap(), PExp::Repeat(_, Expr::Var(v)) if v == "n"));
+    }
+
+    #[test]
+    fn multidim_nodetype_and_guard() {
+        let src = "algorithm jac(n);\n\
+            nodetype cell: (0..n-1, 0..n-1);\n\
+            comphase south: forall i in 0..n-1, j in 0..n-1 where i < n-1 {\n\
+              cell(i,j) -> cell(i+1,j) volume 8;\n\
+            }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.nodetypes[0].ranges.len(), 2);
+        let rule = &p.comphases[0].rules[0];
+        assert_eq!(rule.binders.len(), 2);
+        assert!(rule.guard.is_some());
+        assert_eq!(rule.edges[0].volume, Some(Expr::Const(8)));
+    }
+
+    #[test]
+    fn family_attribute() {
+        let src = "algorithm r(n); nodetype t: 0..n-1 nodesymmetric family(ring);";
+        let p = parse(src).unwrap();
+        assert_eq!(p.nodetypes[0].family.as_deref(), Some("ring"));
+        assert!(p.nodetypes[0].node_symmetric);
+    }
+
+    #[test]
+    fn keyword_as_name_rejected() {
+        assert!(parse("algorithm mod();").is_err());
+        assert!(parse("algorithm t(); nodetype forall: 0..3;").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_reported_with_position() {
+        let err = parse("algorithm t()").unwrap_err();
+        match err {
+            LarcsError::Parse { msg, .. } => assert!(msg.contains("';'")),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_comphase_rejected() {
+        assert!(parse("algorithm t(); comphase a: ;").is_err());
+    }
+
+    #[test]
+    fn boolean_guard_parens_and_not() {
+        let src = "algorithm t(n);\n\
+            nodetype x: 0..n-1;\n\
+            comphase c: forall i in 0..n-1 where not (i == 0 or i == n-1) and i != 3 {\n\
+              x(i) -> x(i+1);\n\
+            }";
+        let p = parse(src).unwrap();
+        assert!(p.comphases[0].rules[0].guard.is_some());
+    }
+
+    #[test]
+    fn power_right_associative() {
+        let src = "algorithm t(); exephase e cost 2**3**2;";
+        let p = parse(src).unwrap();
+        // 2**(3**2) = 512, not (2**3)**2 = 64
+        let cost = p.exephases[0].cost.clone().unwrap();
+        let env = std::collections::HashMap::new();
+        assert_eq!(cost.eval(&env).unwrap(), 512);
+    }
+}

@@ -1,0 +1,254 @@
+//! Syntactic Cayley-graph detection (paper §4.2.2, closing paragraph —
+//! future work implemented here):
+//!
+//! "We would like to obtain *syntactic characterizations* that enable us to
+//! detect whether the communication functions yield a Cayley graph. This
+//! will enable us to avoid computation of the cycle notation, and improve
+//! the efficiency significantly."
+//!
+//! The most common case in practice — every LaRCS communication function is
+//! a **translation** `i → (i + c) mod n` over a single 1-D node type — is
+//! recognisable purely from the AST: such functions always generate a
+//! subgroup of the cyclic group `Z_n`, whose action is regular iff the
+//! shifts and `n` are jointly coprime-generated (⟨gcd(c₁, .., c_k, n)⟩ =
+//! `Z_n` iff that gcd is 1). Everything the group machinery would compute
+//! in `O(|X|²)` — regularity, subgroups, cosets — then falls out of integer
+//! arithmetic in `O(k + log n)`, with the contraction itself `O(n)`.
+//!
+//! [`detect_translations`] performs the syntactic match; `oregami-group`'s
+//! consumers can then call [`cyclic_contraction`] instead of the general
+//! closure.
+
+use crate::ast::{Program, Rule};
+use crate::expr::{BinOp, Expr};
+
+/// The syntactic shape `i → (i + shift) mod n`: one shift per communication
+/// phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranslationForm {
+    /// The (symbolic) shift expression of each phase, evaluated with the
+    /// binding provided to [`detect_translations`].
+    pub shifts: Vec<i64>,
+    /// The modulus (the node count `n`).
+    pub modulus: i64,
+}
+
+impl TranslationForm {
+    /// Whether the translations act regularly on `Z_n` — i.e. generate all
+    /// of it: `gcd(shift₁, .., shift_k, n) == 1`.
+    pub fn is_regular(&self) -> bool {
+        let mut g = self.modulus;
+        for &s in &self.shifts {
+            g = gcd(g, s.rem_euclid(self.modulus));
+        }
+        g == 1
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Syntactically matches every communication phase of `program` against
+/// the translation shape
+/// `forall i in 0..n-1 { t(i) -> t((i + shift) mod n); }` (a single rule
+/// with a single edge over a single 1-D nodetype spanning `0..n-1`).
+/// Shift and modulus expressions are evaluated under `params`.
+///
+/// Returns `None` as soon as any phase deviates — the caller then falls
+/// back to the general (cycle-notation) machinery, exactly as the paper
+/// envisioned.
+pub fn detect_translations(
+    program: &Program,
+    params: &[(&str, i64)],
+) -> Option<TranslationForm> {
+    let env: crate::expr::Env = params
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect();
+    // single 1-D nodetype over 0..n-1
+    let [nodetype] = program.nodetypes.as_slice() else {
+        return None;
+    };
+    let [(lo, hi)] = nodetype.ranges.as_slice() else {
+        return None;
+    };
+    if lo.eval(&env).ok()? != 0 {
+        return None;
+    }
+    let modulus = hi.eval(&env).ok()? + 1;
+    if modulus < 2 {
+        return None;
+    }
+    let mut shifts = Vec::with_capacity(program.comphases.len());
+    for phase in &program.comphases {
+        let [rule] = phase.rules.as_slice() else {
+            return None;
+        };
+        shifts.push(translation_shift(rule, &nodetype.name, modulus, &env)?);
+    }
+    if shifts.is_empty() {
+        return None;
+    }
+    Some(TranslationForm { shifts, modulus })
+}
+
+/// Matches one rule against `forall i in 0..n-1 { t(i) -> t((i+c) mod n) }`
+/// and extracts `c`.
+fn translation_shift(
+    rule: &Rule,
+    nodetype: &str,
+    modulus: i64,
+    env: &crate::expr::Env,
+) -> Option<i64> {
+    // binder i over the full range, no guard
+    let [binder] = rule.binders.as_slice() else {
+        return None;
+    };
+    if rule.guard.is_some() {
+        return None;
+    }
+    if binder.lo.eval(env).ok()? != 0 || binder.hi.eval(env).ok()? != modulus - 1 {
+        return None;
+    }
+    let [edge] = rule.edges.as_slice() else {
+        return None;
+    };
+    if edge.src_type != nodetype || edge.dst_type != nodetype {
+        return None;
+    }
+    // source must be the bare binder variable
+    let [src] = edge.src_args.as_slice() else {
+        return None;
+    };
+    if *src != Expr::Var(binder.var.clone()) {
+        return None;
+    }
+    // destination must be (i + c) mod n — i.e. `f(i) mod n` with `f`
+    // affine in the binder with unit slope (syntactically affine, slope
+    // and intercept extracted numerically)
+    let [dst] = edge.dst_args.as_slice() else {
+        return None;
+    };
+    let Expr::Bin(BinOp::Mod, sum, n_expr) = dst else {
+        return None;
+    };
+    if n_expr.eval(env).ok()? != modulus {
+        return None;
+    }
+    if !sum.is_affine_in(&[binder.var.as_str()]) {
+        return None;
+    }
+    let eval_at = |x: i64| -> Option<i64> {
+        let mut e2 = env.clone();
+        e2.insert(binder.var.clone(), x);
+        sum.eval(&e2).ok()
+    };
+    let f0 = eval_at(0)?;
+    let f1 = eval_at(1)?;
+    if f1 - f0 != 1 {
+        return None; // slope must be exactly 1 (a pure translation)
+    }
+    Some(f0.rem_euclid(modulus))
+}
+
+/// The `O(n)` contraction of a translation-generated (circulant) task
+/// graph onto `procs` processors: cosets of the subgroup `d·Z_n` with
+/// `d = n / procs` are the arithmetic classes `i mod procs`... more
+/// precisely, the subgroup of `Z_n` of order `n/procs` is `⟨procs⟩`, whose
+/// cosets are exactly the residues modulo `procs`. Returns
+/// `cluster_of[i] = i mod procs`, matching what the group machinery
+/// derives via cycle notation — without ever materialising the group.
+pub fn cyclic_contraction(n: usize, procs: usize) -> Option<Vec<usize>> {
+    if procs == 0 || !n.is_multiple_of(procs) {
+        return None;
+    }
+    Some((0..n).map(|i| i % procs).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, programs};
+
+    #[test]
+    fn nbody_is_a_translation_system() {
+        let p = parse(&programs::nbody()).unwrap();
+        let t = detect_translations(&p, &[("n", 16), ("s", 1), ("msgsize", 1)]).unwrap();
+        assert_eq!(t.modulus, 16);
+        // ring shift 1, chordal shift (n+1)/2 = 8
+        assert_eq!(t.shifts, vec![1, 8]);
+        assert!(t.is_regular()); // gcd(1, 8, 16) = 1
+    }
+
+    #[test]
+    fn broadcast8_detected() {
+        let p = parse(&programs::broadcast8()).unwrap();
+        let t = detect_translations(&p, &[]).unwrap();
+        assert_eq!(t.shifts, vec![1, 2, 4]);
+        assert_eq!(t.modulus, 8);
+        assert!(t.is_regular());
+    }
+
+    #[test]
+    fn non_generating_shifts_not_regular() {
+        let src = "algorithm evens(n);\n\
+                   nodetype t: 0..n-1;\n\
+                   comphase a: forall i in 0..n-1 { t(i) -> t((i+2) mod n); }\n\
+                   comphase b: forall i in 0..n-1 { t(i) -> t((i+4) mod n); }";
+        let p = parse(src).unwrap();
+        let t = detect_translations(&p, &[("n", 8)]).unwrap();
+        assert_eq!(t.shifts, vec![2, 4]);
+        assert!(!t.is_regular()); // gcd(2,4,8) = 2: two orbits
+    }
+
+    #[test]
+    fn stencils_and_guards_rejected() {
+        let p = parse(&programs::jacobi()).unwrap();
+        assert_eq!(detect_translations(&p, &[("n", 4), ("iters", 1)]), None);
+        let p = parse(&programs::matmul()).unwrap();
+        assert_eq!(detect_translations(&p, &[("n", 4)]), None);
+    }
+
+    #[test]
+    fn reversed_sum_accepted() {
+        let src = "algorithm r(n);\n\
+                   nodetype t: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 { t(i) -> t((3 + i) mod n); }";
+        let p = parse(src).unwrap();
+        let t = detect_translations(&p, &[("n", 10)]).unwrap();
+        assert_eq!(t.shifts, vec![3]);
+    }
+
+    #[test]
+    fn syntactic_contraction_matches_group_machinery() {
+        // the O(n) arithmetic contraction equals what the O(n^2) closure
+        // path computes for circulant graphs: balanced residue classes
+        let clusters = cyclic_contraction(12, 4).unwrap();
+        let mut sizes = [0usize; 4];
+        for &c in &clusters {
+            sizes[c] += 1;
+        }
+        assert_eq!(sizes, [3; 4]);
+        // tasks i and i+4 share a cluster (coset of <4> in Z12)
+        for i in 0..8 {
+            assert_eq!(clusters[i], clusters[i + 4]);
+        }
+        assert_eq!(cyclic_contraction(10, 3), None);
+    }
+
+    #[test]
+    fn negative_or_large_shifts_normalised() {
+        let src = "algorithm r(n);\n\
+                   nodetype t: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 { t(i) -> t((i + n - 1) mod n); }";
+        let p = parse(src).unwrap();
+        let t = detect_translations(&p, &[("n", 8)]).unwrap();
+        assert_eq!(t.shifts, vec![7]); // -1 mod 8
+        assert!(t.is_regular());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based validation of the LaRCS front end: the compiler must be
+//! total (no panics on arbitrary input) and parametric elaboration must
+//! scale exactly as the description promises.
+
+use oregami_larcs::{compile, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer+parser never panic on arbitrary input — they return
+    /// structured errors.
+    #[test]
+    fn parser_is_total_on_garbage(input in "[ -~\\n]{0,200}") {
+        let _ = parse(&input); // must not panic
+    }
+
+    /// ... including inputs that start like real programs.
+    #[test]
+    fn parser_is_total_on_near_programs(tail in "[a-z0-9(){};:.,<>=+*/ \\n-]{0,150}") {
+        let input = format!("algorithm t(n);\n{tail}");
+        let _ = parse(&input);
+    }
+
+    /// A parametric ring program elaborates to exactly n nodes and n edges
+    /// for every n — the same source text, unbounded instances.
+    #[test]
+    fn parametric_ring_scales(n in 3i64..400) {
+        let src = "algorithm r(n);\n\
+                   nodetype t: 0..n-1 nodesymmetric;\n\
+                   comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n) volume n; }\n\
+                   exephase w cost n*2;\n\
+                   phaseexpr (c; w)^n;";
+        let g = compile(src, &[("n", n)]).unwrap();
+        prop_assert_eq!(g.num_tasks(), n as usize);
+        prop_assert_eq!(g.num_edges(), n as usize);
+        for e in &g.comm_phases[0].edges {
+            prop_assert_eq!(e.volume, n as u64);
+            prop_assert_eq!(e.dst.0, (e.src.0 + 1) % n as u32);
+        }
+        let mult = g.phase_expr.as_ref().unwrap().comm_multiplicities();
+        prop_assert_eq!(mult[0], n as u64);
+    }
+
+    /// Guards are sound: a guarded stencil never emits out-of-range labels,
+    /// for any grid size.
+    #[test]
+    fn guarded_stencil_always_in_range(n in 1i64..40) {
+        let src = "algorithm s(n);\n\
+                   nodetype cell: (0..n-1, 0..n-1);\n\
+                   comphase east: forall i in 0..n-1, j in 0..n-1 where j < n-1 {\n\
+                     cell(i,j) -> cell(i,j+1);\n\
+                   }";
+        let g = compile(src, &[("n", n)]).unwrap();
+        prop_assert_eq!(g.num_tasks(), (n * n) as usize);
+        prop_assert_eq!(g.num_edges(), (n * (n - 1)) as usize);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Elaboration is deterministic: same source + params, same graph.
+    #[test]
+    fn elaboration_is_deterministic(n in 3i64..60, s in 1i64..5) {
+        let src = oregami_larcs::programs::nbody();
+        let a = compile(&src, &[("n", n), ("s", s), ("msgsize", 4)]).unwrap();
+        let b = compile(&src, &[("n", n), ("s", s), ("msgsize", 4)]).unwrap();
+        prop_assert_eq!(a.num_tasks(), b.num_tasks());
+        for (pa, pb) in a.comm_phases.iter().zip(&b.comm_phases) {
+            prop_assert_eq!(&pa.edges, &pb.edges);
+        }
+    }
+
+    /// Binder-range arithmetic with ** never overflows silently: either a
+    /// structured error or a correct graph.
+    #[test]
+    fn power_binders_handled(k in 0i64..16) {
+        let src = oregami_larcs::programs::binomial_dnc();
+        match compile(&src, &[("k", k)]) {
+            Ok(g) => {
+                prop_assert_eq!(g.num_tasks(), 1usize << k);
+                prop_assert_eq!(g.comm_phases[0].edges.len(), (1usize << k) - 1);
+            }
+            Err(e) => {
+                // only the size guard may fire in this range
+                prop_assert!(e.to_string().contains("too many"), "{e}");
+            }
+        }
+    }
+}

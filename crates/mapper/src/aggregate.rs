@@ -1,0 +1,238 @@
+//! Aggregate-topology selection (paper §6, "Mapping algorithms" — future
+//! work implemented here):
+//!
+//! "algorithms that avoid overspecification of communication topologies for
+//! common parallel paradigms such as aggregate and broadcast. For example,
+//! many parallel algorithms use a specific tree topology to aggregate
+//! results when a variety of alternate communication topologies will
+//! suffice (any spanning tree ...). We would like to automatically select
+//! the aggregate topology that is 'compatible' with the communication
+//! topologies of other phases".
+//!
+//! Given a mapping produced for the computation's *other* phases, this
+//! module detects an over-specified aggregation phase (every task sends —
+//! directly or transitively — toward a single root) and re-synthesises it
+//! as a **network-compatible spanning tree**: each processor forwards to
+//! its BFS parent toward the root's processor, so every aggregation edge
+//! has dilation 1 and no link is shared.
+
+use crate::mapping::Mapping;
+use oregami_graph::{PhaseId, TaskGraph, TaskId};
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// Whether phase `k` is an aggregation: a single sink task receives (in
+/// the phase's directed reachability) from every other task, and the phase
+/// edges form a forest oriented toward it. Returns the root task.
+pub fn detect_aggregation(tg: &TaskGraph, k: usize) -> Option<TaskId> {
+    let n = tg.num_tasks();
+    let phase = &tg.comm_phases[k];
+    if phase.edges.len() != n - 1 {
+        return None;
+    }
+    // every task except one sends exactly once; the root sends nothing
+    let mut out = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    for e in &phase.edges {
+        out[e.src.index()] += 1;
+        parent[e.src.index()] = e.dst.index();
+    }
+    let roots: Vec<usize> = (0..n).filter(|&t| out[t] == 0).collect();
+    let [root] = roots.as_slice() else {
+        return None;
+    };
+    if out.iter().any(|&o| o > 1) {
+        return None;
+    }
+    // acyclicity / rootedness: every chain reaches the root
+    for start in 0..n {
+        let mut cur = start;
+        let mut steps = 0;
+        while cur != *root {
+            cur = *parent.get(cur)?;
+            steps += 1;
+            if steps > n {
+                return None; // cycle
+            }
+        }
+    }
+    Some(TaskId::new(*root))
+}
+
+/// Replaces aggregation phase `k` with a network-compatible spanning-tree
+/// version: every non-root task sends to a task on its processor's BFS
+/// parent (toward the root's processor); tasks co-located with another
+/// task "closer" in the tree forward locally. Volumes are preserved
+/// per-sender. Returns the rewritten task graph and re-routes the phase
+/// in `mapping`.
+///
+/// Returns `None` if the phase is not an aggregation.
+pub fn synthesize_aggregate(
+    tg: &TaskGraph,
+    net: &Network,
+    table: &RouteTable,
+    mapping: &mut Mapping,
+    k: usize,
+) -> Option<TaskGraph> {
+    let root = detect_aggregation(tg, k)?;
+    let root_proc = mapping.proc_of(root.index());
+    // BFS parents toward root_proc
+    let mut proc_parent: Vec<Option<ProcId>> = vec![None; net.num_procs()];
+    for q in 0..net.num_procs() {
+        let q = ProcId(q as u32);
+        if q != root_proc {
+            // next hop toward the root (lowest-numbered: deterministic)
+            let mut hops = table.next_hops(net, q, root_proc);
+            hops.sort();
+            proc_parent[q.index()] = Some(hops[0]);
+        }
+    }
+    // a representative task per processor (prefer the root itself)
+    let mut rep: Vec<Option<TaskId>> = vec![None; net.num_procs()];
+    rep[root_proc.index()] = Some(root);
+    for t in 0..tg.num_tasks() {
+        let p = mapping.proc_of(t).index();
+        if rep[p].is_none() {
+            rep[p] = Some(TaskId::new(t));
+        }
+    }
+    // rewrite the phase
+    let mut new_tg = tg.clone();
+    let volume = tg.comm_phases[k]
+        .edges
+        .first()
+        .map_or(1, |e| e.volume);
+    let edges = &mut new_tg.comm_phases[k].edges;
+    edges.clear();
+    for t in 0..tg.num_tasks() {
+        let tid = TaskId::new(t);
+        if tid == root {
+            continue;
+        }
+        let p = mapping.proc_of(t);
+        let target = if rep[p.index()] != Some(tid) {
+            // forward to the local representative (free)
+            rep[p.index()].expect("every used processor has a representative")
+        } else {
+            // the representative forwards to the parent processor's rep
+            let parent = proc_parent[p.index()]
+                .expect("non-root used processor has a parent toward the root");
+            rep[parent.index()].unwrap_or(root)
+        };
+        edges.push(oregami_graph::CommEdge {
+            src: tid,
+            dst: target,
+            volume,
+        });
+    }
+    // re-route the rewritten phase
+    let routed = crate::routing::mm_route(
+        &new_tg,
+        k,
+        &mapping.assignment,
+        net,
+        table,
+        crate::routing::Matcher::Maximum,
+    );
+    mapping.routes[k] = routed.paths;
+    let _ = PhaseId::new(k);
+    Some(new_tg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{max_contention, route_all_phases, Matcher};
+    use oregami_graph::Family;
+    use oregami_topology::builders;
+
+    /// A star aggregation: every task sends straight to task 0 — the
+    /// over-specified topology the paper calls out.
+    fn star_aggregation(n: usize) -> TaskGraph {
+        let mut tg = TaskGraph::new("agg");
+        tg.add_scalar_nodes("t", n);
+        let p = tg.add_phase("aggregate");
+        for i in 1..n {
+            tg.add_edge(p, TaskId::new(i), TaskId(0), 4);
+        }
+        tg
+    }
+
+    #[test]
+    fn star_detected_as_aggregation() {
+        let tg = star_aggregation(8);
+        assert_eq!(detect_aggregation(&tg, 0), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn tree_aggregation_detected() {
+        // binomial tree combine phase: oriented to the root
+        let fam = Family::BinomialTree(3).build();
+        let mut tg = TaskGraph::new("combine");
+        tg.add_scalar_nodes("t", 8);
+        let p = tg.add_phase("combine");
+        for e in &fam.comm_phases[0].edges {
+            tg.add_edge(p, e.dst, e.src, 1); // reverse: child -> parent
+        }
+        assert_eq!(detect_aggregation(&tg, 0), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn non_aggregations_rejected() {
+        let ring = Family::Ring(6).build();
+        assert_eq!(detect_aggregation(&ring, 0), None);
+        // two sinks
+        let mut tg = TaskGraph::new("two");
+        tg.add_scalar_nodes("t", 4);
+        let p = tg.add_phase("x");
+        tg.add_edge(p, TaskId(1), TaskId(0), 1);
+        tg.add_edge(p, TaskId(2), TaskId(3), 1);
+        assert_eq!(detect_aggregation(&tg, 0), None);
+    }
+
+    #[test]
+    fn synthesis_reduces_contention_of_star_aggregation() {
+        let tg = star_aggregation(8);
+        let net = builders::hypercube(3);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..8).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mut mapping = Mapping { assignment, routes };
+        let star_contention = max_contention(&net, &mapping.routes[0]);
+        // the root has degree 3: at least 7 messages over 3 links
+        assert!(star_contention >= 3);
+
+        let new_tg = synthesize_aggregate(&tg, &net, &table, &mut mapping, 0).unwrap();
+        mapping.validate(&new_tg, &net).unwrap();
+        let tree_contention = max_contention(&net, &mapping.routes[0]);
+        assert!(
+            tree_contention < star_contention,
+            "spanning tree {tree_contention} must beat star {star_contention}"
+        );
+        // every synthesized edge is local or single-hop
+        for path in &mapping.routes[0] {
+            assert!(path.len() <= 2);
+        }
+        // still an aggregation rooted at task 0
+        assert_eq!(detect_aggregation(&new_tg, 0), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn synthesis_with_colocated_tasks_forwards_locally() {
+        let tg = star_aggregation(8);
+        let net = builders::hypercube(2);
+        let table = RouteTable::new(&net);
+        // two tasks per processor
+        let assignment: Vec<ProcId> = (0..8).map(|i| ProcId((i / 2) as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mut mapping = Mapping { assignment, routes };
+        let new_tg = synthesize_aggregate(&tg, &net, &table, &mut mapping, 0).unwrap();
+        mapping.validate(&new_tg, &net).unwrap();
+        assert_eq!(detect_aggregation(&new_tg, 0), Some(TaskId(0)));
+        // co-located non-representative tasks have single-element routes
+        let zero_hop = mapping.routes[0]
+            .iter()
+            .filter(|p| p.len() == 1)
+            .count();
+        assert!(zero_hop >= 3, "local forwarding should be free");
+    }
+}

@@ -1,0 +1,43 @@
+//! The group-theoretic contraction path (paper §4.2.2), bridging
+//! `oregami-group` into MAPPER's [`Contraction`] type.
+
+use super::Contraction;
+use oregami_graph::TaskGraph;
+use oregami_group::{group_contract, GroupContractError, GroupContraction};
+
+/// Contracts a node-symmetric (Cayley-graph) task graph into `procs`
+/// equal-sized clusters via quotient groups. See
+/// [`oregami_group::group_contract`] for the algorithm and error cases.
+pub fn group_contraction(
+    tg: &TaskGraph,
+    procs: usize,
+) -> Result<(Contraction, GroupContraction), GroupContractError> {
+    let gc = group_contract(tg, procs)?;
+    let c = Contraction {
+        cluster_of: gc.cluster_of.clone(),
+        num_clusters: gc.num_clusters,
+    };
+    Ok((c, gc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::Family;
+
+    #[test]
+    fn ring_contracts_evenly() {
+        let tg = Family::Ring(8).build();
+        let (c, gc) = group_contraction(&tg, 4).unwrap();
+        assert_eq!(c.num_clusters, 4);
+        assert_eq!(c.sizes(), vec![2; 4]);
+        assert_eq!(gc.num_clusters, 4);
+        c.validate(4, 2).unwrap();
+    }
+
+    #[test]
+    fn non_cayley_graph_is_rejected() {
+        let tg = Family::Chain(6).build(); // endpoints break bijectivity
+        assert!(group_contraction(&tg, 3).is_err());
+    }
+}

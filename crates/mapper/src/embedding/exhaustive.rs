@@ -1,0 +1,160 @@
+//! Exhaustive optimal embedding — the oracle used to measure how far
+//! NN-Embed's greedy placements are from optimal (the C8 ablation in
+//! DESIGN.md).
+
+use super::weighted_dilation_cost;
+use oregami_graph::WeightedGraph;
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// Finds a placement minimising
+/// [`weighted_dilation_cost`](super::weighted_dilation_cost) by
+/// branch-and-bound over all injective cluster→processor assignments.
+/// Exponential (`P!/(P-C)!`); intended for C ≤ 8 or so.
+pub fn exhaustive_embed(
+    cluster_graph: &WeightedGraph,
+    net: &Network,
+    table: &RouteTable,
+) -> (Vec<ProcId>, u64) {
+    let c = cluster_graph.num_nodes();
+    let p = net.num_procs();
+    assert!(c <= p, "more clusters than processors");
+    let mut best_cost = u64::MAX;
+    let mut best = vec![ProcId(0); c];
+    let mut placement = vec![ProcId(u32::MAX); c];
+    let mut used = vec![false; p];
+
+    // Order clusters by decreasing weighted degree for stronger pruning.
+    let mut order: Vec<usize> = (0..c).collect();
+    order.sort_by_key(|&x| std::cmp::Reverse(cluster_graph.weighted_degree(x)));
+
+    #[allow(clippy::too_many_arguments)] // recursion threads the whole search state
+    fn rec(
+        depth: usize,
+        order: &[usize],
+        g: &WeightedGraph,
+        table: &RouteTable,
+        p: usize,
+        placement: &mut Vec<ProcId>,
+        used: &mut Vec<bool>,
+        partial: u64,
+        best_cost: &mut u64,
+        best: &mut Vec<ProcId>,
+    ) {
+        if partial >= *best_cost {
+            return; // bound
+        }
+        if depth == order.len() {
+            *best_cost = partial;
+            best.clone_from(placement);
+            return;
+        }
+        let cluster = order[depth];
+        for q in 0..p {
+            if used[q] {
+                continue;
+            }
+            let proc = ProcId(q as u32);
+            // incremental cost against already-placed neighbors
+            let add: u64 = g
+                .neighbors(cluster)
+                .iter()
+                .filter(|(nb, _)| placement[*nb] != ProcId(u32::MAX))
+                .map(|&(nb, w)| w * u64::from(table.dist(proc, placement[nb])))
+                .sum();
+            placement[cluster] = proc;
+            used[q] = true;
+            rec(
+                depth + 1,
+                order,
+                g,
+                table,
+                p,
+                placement,
+                used,
+                partial + add,
+                best_cost,
+                best,
+            );
+            placement[cluster] = ProcId(u32::MAX);
+            used[q] = false;
+        }
+    }
+    rec(
+        0,
+        &order,
+        cluster_graph,
+        table,
+        p,
+        &mut placement,
+        &mut used,
+        0,
+        &mut best_cost,
+        &mut best,
+    );
+    debug_assert_eq!(
+        weighted_dilation_cost(cluster_graph, &best, table),
+        best_cost
+    );
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::nn::nn_embed_with_cost;
+    use crate::embedding::validate_embedding;
+    use oregami_topology::builders;
+
+    #[test]
+    fn ring_on_ring_optimum_is_weight_sum() {
+        let mut g = WeightedGraph::new(5);
+        for i in 0..5 {
+            g.add_or_accumulate(i, (i + 1) % 5, 7);
+        }
+        let net = builders::ring(5);
+        let table = RouteTable::new(&net);
+        let (placement, cost) = exhaustive_embed(&g, &net, &table);
+        validate_embedding(&placement, &net).unwrap();
+        assert_eq!(cost, 35);
+    }
+
+    #[test]
+    fn nn_embed_never_beats_exhaustive() {
+        let mut seed = 0x5EED5u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let c = 3 + (next() % 4) as usize; // 3..=6
+            let mut g = WeightedGraph::new(c);
+            for u in 0..c {
+                for v in u + 1..c {
+                    if next() % 100 < 60 {
+                        g.add_or_accumulate(u, v, next() % 20 + 1);
+                    }
+                }
+            }
+            let net = builders::mesh2d(2, 3);
+            let table = RouteTable::new(&net);
+            let (_, opt) = exhaustive_embed(&g, &net, &table);
+            let (_, greedy) = nn_embed_with_cost(&g, &net, &table);
+            assert!(greedy >= opt, "exhaustive must lower-bound greedy");
+        }
+    }
+
+    #[test]
+    fn star_hub_lands_on_center() {
+        // a star cluster graph on a chain: the optimum puts the hub centrally
+        let mut g = WeightedGraph::new(3);
+        g.add_or_accumulate(0, 1, 10);
+        g.add_or_accumulate(0, 2, 10);
+        let net = builders::chain(3);
+        let table = RouteTable::new(&net);
+        let (placement, cost) = exhaustive_embed(&g, &net, &table);
+        assert_eq!(placement[0], ProcId(1));
+        assert_eq!(cost, 20);
+    }
+}

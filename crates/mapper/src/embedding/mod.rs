@@ -1,0 +1,74 @@
+//! Embedding: assigning the clusters produced by contraction to
+//! processors, one cluster per processor (paper §2 definition; §4.3's
+//! Algorithm NN-Embed plus an exhaustive oracle for small instances).
+
+pub mod exhaustive;
+pub mod nn;
+
+pub use exhaustive::exhaustive_embed;
+pub use nn::nn_embed;
+
+use oregami_graph::WeightedGraph;
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// The embedding objective: total weighted hop distance
+/// `Σ w(c1,c2) · dist(proc(c1), proc(c2))` over cluster-graph edges.
+/// Minimising this places heavily communicating clusters on nearby
+/// processors.
+pub fn weighted_dilation_cost(
+    cluster_graph: &WeightedGraph,
+    placement: &[ProcId],
+    table: &RouteTable,
+) -> u64 {
+    cluster_graph
+        .edges()
+        .iter()
+        .map(|e| e.w * u64::from(table.dist(placement[e.u], placement[e.v])))
+        .sum()
+}
+
+/// Checks an embedding is injective and in range.
+pub fn validate_embedding(placement: &[ProcId], net: &Network) -> Result<(), String> {
+    let mut used = vec![false; net.num_procs()];
+    for (c, p) in placement.iter().enumerate() {
+        if p.index() >= net.num_procs() {
+            return Err(format!("cluster {c} on nonexistent {p:?}"));
+        }
+        if used[p.index()] {
+            return Err(format!("{p:?} hosts two clusters"));
+        }
+        used[p.index()] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_topology::builders;
+
+    #[test]
+    fn cost_counts_weighted_hops() {
+        let net = builders::chain(3);
+        let table = RouteTable::new(&net);
+        let mut g = WeightedGraph::new(2);
+        g.add_or_accumulate(0, 1, 5);
+        // adjacent: cost 5; at distance 2: cost 10
+        assert_eq!(
+            weighted_dilation_cost(&g, &[ProcId(0), ProcId(1)], &table),
+            5
+        );
+        assert_eq!(
+            weighted_dilation_cost(&g, &[ProcId(0), ProcId(2)], &table),
+            10
+        );
+    }
+
+    #[test]
+    fn validation_rejects_collisions() {
+        let net = builders::chain(3);
+        assert!(validate_embedding(&[ProcId(0), ProcId(0)], &net).is_err());
+        assert!(validate_embedding(&[ProcId(0), ProcId(5)], &net).is_err());
+        assert!(validate_embedding(&[ProcId(2), ProcId(0)], &net).is_ok());
+    }
+}

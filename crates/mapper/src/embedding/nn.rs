@@ -1,0 +1,174 @@
+//! Algorithm NN-Embed (paper §4.3): greedy nearest-neighbor embedding.
+//!
+//! "After contraction, embedding is achieved by Algorithm NN-Embed which
+//! uses a greedy approach to place highly communicating clusters on
+//! adjacent neighbors in the network graph."
+//!
+//! The greedy order: the cluster with the largest weighted degree is placed
+//! first (on a maximum-degree processor); thereafter, the unplaced cluster
+//! with the heaviest communication to already-placed clusters is placed on
+//! the free processor minimising its weighted distance to those placed
+//! neighbors.
+
+use super::weighted_dilation_cost;
+use oregami_graph::WeightedGraph;
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// Greedily embeds `cluster_graph` (one node per cluster) into `net`.
+/// Returns `placement[cluster] = processor`.
+///
+/// # Panics
+/// If there are more clusters than processors.
+pub fn nn_embed(
+    cluster_graph: &WeightedGraph,
+    net: &Network,
+    table: &RouteTable,
+) -> Vec<ProcId> {
+    let c = cluster_graph.num_nodes();
+    let p = net.num_procs();
+    assert!(c <= p, "more clusters ({c}) than processors ({p})");
+    if c == 0 {
+        return Vec::new();
+    }
+    let mut placement = vec![ProcId(u32::MAX); c];
+    let mut placed = vec![false; c];
+    let mut proc_used = vec![false; p];
+
+    // Seed: heaviest cluster on a max-degree processor (a "central" spot).
+    let seed_cluster = (0..c)
+        .max_by_key(|&x| (cluster_graph.weighted_degree(x), std::cmp::Reverse(x)))
+        .unwrap();
+    let seed_proc = (0..p)
+        .max_by_key(|&q| (net.degree(ProcId(q as u32)), std::cmp::Reverse(q)))
+        .unwrap();
+    placement[seed_cluster] = ProcId(seed_proc as u32);
+    placed[seed_cluster] = true;
+    proc_used[seed_proc] = true;
+
+    for _ in 1..c {
+        // next cluster: max total weight to placed clusters (ties: max
+        // weighted degree, then smallest id for determinism)
+        let next = (0..c)
+            .filter(|&x| !placed[x])
+            .max_by_key(|&x| {
+                let to_placed: u64 = cluster_graph
+                    .neighbors(x)
+                    .iter()
+                    .filter(|(nb, _)| placed[*nb])
+                    .map(|&(_, w)| w)
+                    .sum();
+                (to_placed, cluster_graph.weighted_degree(x), std::cmp::Reverse(x))
+            })
+            .unwrap();
+        // best free processor: minimise weighted distance to placed
+        // neighbors (ties: lowest id)
+        let best_proc = (0..p)
+            .filter(|&q| !proc_used[q])
+            .min_by_key(|&q| {
+                let cost: u64 = cluster_graph
+                    .neighbors(next)
+                    .iter()
+                    .filter(|(nb, _)| placed[*nb])
+                    .map(|&(nb, w)| w * u64::from(table.dist(ProcId(q as u32), placement[nb])))
+                    .sum();
+                (cost, q)
+            })
+            .unwrap();
+        placement[next] = ProcId(best_proc as u32);
+        placed[next] = true;
+        proc_used[best_proc] = true;
+    }
+    placement
+}
+
+/// Convenience: NN-Embed and report the resulting weighted-dilation cost.
+pub fn nn_embed_with_cost(
+    cluster_graph: &WeightedGraph,
+    net: &Network,
+    table: &RouteTable,
+) -> (Vec<ProcId>, u64) {
+    let placement = nn_embed(cluster_graph, net, table);
+    let cost = weighted_dilation_cost(cluster_graph, &placement, table);
+    (placement, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::validate_embedding;
+    use oregami_topology::builders;
+
+    #[test]
+    fn heavy_pair_lands_adjacent() {
+        // two clusters with heavy traffic + two light ones, on a chain:
+        // the heavy pair must be adjacent.
+        let mut g = WeightedGraph::new(4);
+        g.add_or_accumulate(0, 1, 100);
+        g.add_or_accumulate(2, 3, 1);
+        g.add_or_accumulate(1, 2, 1);
+        let net = builders::chain(4);
+        let table = RouteTable::new(&net);
+        let placement = nn_embed(&g, &net, &table);
+        validate_embedding(&placement, &net).unwrap();
+        assert_eq!(table.dist(placement[0], placement[1]), 1);
+    }
+
+    #[test]
+    fn injective_on_equal_sizes() {
+        let mut g = WeightedGraph::new(8);
+        for i in 0..8 {
+            g.add_or_accumulate(i, (i + 1) % 8, 3);
+        }
+        let net = builders::hypercube(3);
+        let table = RouteTable::new(&net);
+        let placement = nn_embed(&g, &net, &table);
+        validate_embedding(&placement, &net).unwrap();
+        assert_eq!(placement.len(), 8);
+    }
+
+    #[test]
+    fn ring_on_ring_is_perfect() {
+        // a ring cluster graph embedded in a same-size ring network should
+        // achieve cost == total weight (every edge dilation 1).
+        let mut g = WeightedGraph::new(6);
+        for i in 0..6 {
+            g.add_or_accumulate(i, (i + 1) % 6, 10);
+        }
+        let net = builders::ring(6);
+        let table = RouteTable::new(&net);
+        let (placement, cost) = nn_embed_with_cost(&g, &net, &table);
+        validate_embedding(&placement, &net).unwrap();
+        assert_eq!(cost, 60, "greedy must walk the ring around");
+    }
+
+    #[test]
+    fn fewer_clusters_than_procs() {
+        let mut g = WeightedGraph::new(3);
+        g.add_or_accumulate(0, 1, 4);
+        g.add_or_accumulate(1, 2, 4);
+        let net = builders::mesh2d(3, 3);
+        let table = RouteTable::new(&net);
+        let placement = nn_embed(&g, &net, &table);
+        validate_embedding(&placement, &net).unwrap();
+        // chain of three embeds with both edges adjacent
+        assert_eq!(table.dist(placement[0], placement[1]), 1);
+        assert_eq!(table.dist(placement[1], placement[2]), 1);
+    }
+
+    #[test]
+    fn empty_and_single_cluster() {
+        let net = builders::chain(2);
+        let table = RouteTable::new(&net);
+        assert!(nn_embed(&WeightedGraph::new(0), &net, &table).is_empty());
+        let placement = nn_embed(&WeightedGraph::new(1), &net, &table);
+        assert_eq!(placement.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters")]
+    fn too_many_clusters_panics() {
+        let net = builders::chain(2);
+        let table = RouteTable::new(&net);
+        nn_embed(&WeightedGraph::new(3), &net, &table);
+    }
+}

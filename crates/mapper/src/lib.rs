@@ -1,0 +1,47 @@
+//! # oregami-mapper
+//!
+//! MAPPER — OREGAMI's library of contraction, embedding, and routing
+//! algorithms (paper §4).
+//!
+//! MAPPER handles three classes of task graphs, dispatched by the
+//! regularity information in the LaRCS description (see
+//! [`pipeline::map_task_graph`], reproducing the paper's Fig 3):
+//!
+//! 1. **Nameable** task graphs (§4.1): contraction and embedding by lookup
+//!    in the [`canned`] library (Gray-code ring/mesh→hypercube, binomial
+//!    tree→hypercube, the binomial tree→mesh embedding with low average
+//!    dilation, ...);
+//! 2. **Regular** task graphs (§4.2): [`contraction::group`] for node-
+//!    symmetric (Cayley) graphs via quotient groups, and [`systolic`] for
+//!    affine recurrences targeting systolic arrays / MIMD meshes;
+//! 3. **Arbitrary** task graphs (§4.3): [`contraction::mwm_contract`]
+//!    (greedy pre-merge + optimal maximum-weight matching under a load
+//!    bound), then [`embedding::nn_embed`].
+//!
+//! Routing for all classes is [`routing::mm_route`] (§4.4), which assigns
+//! message edges to links one hop at a time with repeated bipartite
+//! matchings to minimise link contention; a contention-oblivious
+//! fixed-shortest-path baseline ([`routing::baseline_route`]) is provided
+//! for comparison.
+//!
+//! Two of the paper's §6 future-work directions are implemented as
+//! extensions: [`remap`] (per-phase remapping with task migration) and
+//! [`aggregate`] (re-synthesising over-specified aggregation phases as
+//! network-compatible spanning trees).
+
+pub mod aggregate;
+pub mod canned;
+pub mod contraction;
+pub mod dynamic;
+pub mod embedding;
+pub mod mapping;
+pub mod pipeline;
+pub mod remap;
+pub mod routing;
+pub mod systolic;
+
+pub use contraction::{greedy_premerge, mwm_contract, ContractError, Contraction};
+pub use embedding::nn_embed;
+pub use mapping::Mapping;
+pub use pipeline::{map_task_graph, MapperOptions, MapperReport, Strategy};
+pub use routing::{mm_route, RoutedPhase};

@@ -1,0 +1,247 @@
+//! The mapping data structure: task→processor assignment plus per-edge
+//! routes.
+//!
+//! A completed OREGAMI mapping answers two questions (paper §1): *where
+//! does each task run* (`assignment`, the result of contraction +
+//! embedding) and *which links does each message traverse* (`routes`, the
+//! result of routing). METRICS computes every performance figure from this
+//! structure, and the interactive-modification API (reassign/reroute)
+//! mutates it.
+
+use oregami_graph::TaskGraph;
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// A task→processor assignment together with a route (processor path) for
+/// every communication edge of every phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// `assignment[task]` = processor hosting the task.
+    pub assignment: Vec<ProcId>,
+    /// `routes[phase][edge_index]` = processor path of that edge's message,
+    /// starting at the sender's processor and ending at the receiver's.
+    /// A single-element path means both tasks share a processor (no network
+    /// traffic).
+    pub routes: Vec<Vec<Vec<ProcId>>>,
+}
+
+impl Mapping {
+    /// A mapping with the given assignment and no routes yet.
+    pub fn unrouted(assignment: Vec<ProcId>) -> Mapping {
+        Mapping {
+            assignment,
+            routes: Vec::new(),
+        }
+    }
+
+    /// Processor of a task.
+    #[inline]
+    pub fn proc_of(&self, task: usize) -> ProcId {
+        self.assignment[task]
+    }
+
+    /// Number of tasks on each processor.
+    pub fn tasks_per_proc(&self, num_procs: usize) -> Vec<usize> {
+        let mut counts = vec![0; num_procs];
+        for p in &self.assignment {
+            counts[p.index()] += 1;
+        }
+        counts
+    }
+
+    /// Validates the mapping against a task graph and network:
+    /// * assignment covers every task with an in-range processor;
+    /// * if routed, every phase/edge has a route; each route starts at the
+    ///   sender's processor, ends at the receiver's, and walks along
+    ///   existing links.
+    pub fn validate(&self, tg: &TaskGraph, net: &Network) -> Result<(), String> {
+        if self.assignment.len() != tg.num_tasks() {
+            return Err(format!(
+                "assignment covers {} tasks, graph has {}",
+                self.assignment.len(),
+                tg.num_tasks()
+            ));
+        }
+        for (t, p) in self.assignment.iter().enumerate() {
+            if p.index() >= net.num_procs() {
+                return Err(format!("task {t} assigned to nonexistent {p:?}"));
+            }
+        }
+        if self.routes.is_empty() {
+            return Ok(());
+        }
+        if self.routes.len() != tg.num_phases() {
+            return Err(format!(
+                "routes cover {} phases, graph has {}",
+                self.routes.len(),
+                tg.num_phases()
+            ));
+        }
+        for (k, phase) in tg.comm_phases.iter().enumerate() {
+            if self.routes[k].len() != phase.edges.len() {
+                return Err(format!(
+                    "phase {k}: {} routes for {} edges",
+                    self.routes[k].len(),
+                    phase.edges.len()
+                ));
+            }
+            for (i, e) in phase.edges.iter().enumerate() {
+                let path = &self.routes[k][i];
+                if path.is_empty() {
+                    return Err(format!("phase {k} edge {i}: empty route"));
+                }
+                if path[0] != self.assignment[e.src.index()] {
+                    return Err(format!("phase {k} edge {i}: route starts off-sender"));
+                }
+                if *path.last().unwrap() != self.assignment[e.dst.index()] {
+                    return Err(format!("phase {k} edge {i}: route ends off-receiver"));
+                }
+                for w in path.windows(2) {
+                    if net.link_between(w[0], w[1]).is_none() {
+                        return Err(format!(
+                            "phase {k} edge {i}: {:?} -> {:?} is not a link",
+                            w[0], w[1]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dilation of one routed edge (number of hops = path length − 1).
+    pub fn dilation(&self, phase: usize, edge: usize) -> usize {
+        self.routes[phase][edge].len() - 1
+    }
+
+    /// METRICS edit operation: moves `task` to `proc` and re-routes every
+    /// incident edge with deterministic shortest paths (call a router again
+    /// for contention-aware routes).
+    pub fn reassign(
+        &mut self,
+        tg: &TaskGraph,
+        net: &Network,
+        table: &RouteTable,
+        task: usize,
+        proc: ProcId,
+    ) {
+        self.assignment[task] = proc;
+        if self.routes.is_empty() {
+            return;
+        }
+        for (k, phase) in tg.comm_phases.iter().enumerate() {
+            for (i, e) in phase.edges.iter().enumerate() {
+                if e.src.index() == task || e.dst.index() == task {
+                    let from = self.assignment[e.src.index()];
+                    let to = self.assignment[e.dst.index()];
+                    self.routes[k][i] = table.first_path(net, from, to);
+                }
+            }
+        }
+    }
+
+    /// METRICS edit operation: replaces one edge's route. The new route
+    /// must be valid (checked).
+    pub fn reroute(
+        &mut self,
+        tg: &TaskGraph,
+        net: &Network,
+        phase: usize,
+        edge: usize,
+        path: Vec<ProcId>,
+    ) -> Result<(), String> {
+        let e = &tg.comm_phases[phase].edges[edge];
+        if path.first() != Some(&self.assignment[e.src.index()])
+            || path.last() != Some(&self.assignment[e.dst.index()])
+        {
+            return Err("route endpoints do not match the edge's processors".into());
+        }
+        for w in path.windows(2) {
+            if net.link_between(w[0], w[1]).is_none() {
+                return Err(format!("{:?} -> {:?} is not a link", w[0], w[1]));
+            }
+        }
+        self.routes[phase][edge] = path;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::Family;
+    use oregami_topology::builders;
+
+    fn ring4_on_q2() -> (TaskGraph, Network, RouteTable, Mapping) {
+        let tg = Family::Ring(4).build();
+        let net = builders::hypercube(2);
+        let table = RouteTable::new(&net);
+        // identity-ish assignment via gray code: 0,1,3,2
+        let assignment = vec![ProcId(0), ProcId(1), ProcId(3), ProcId(2)];
+        let mut routes = vec![Vec::new()];
+        for e in &tg.comm_phases[0].edges {
+            let from = assignment[e.src.index()];
+            let to = assignment[e.dst.index()];
+            routes[0].push(table.first_path(&net, from, to));
+        }
+        let m = Mapping { assignment, routes };
+        (tg, net, table, m)
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        let (tg, net, _, m) = ring4_on_q2();
+        m.validate(&tg, &net).unwrap();
+        assert_eq!(m.tasks_per_proc(4), vec![1, 1, 1, 1]);
+        for i in 0..4 {
+            assert_eq!(m.dilation(0, i), 1); // gray code: all ring edges 1 hop
+        }
+    }
+
+    #[test]
+    fn bad_route_detected() {
+        let (tg, net, _, mut m) = ring4_on_q2();
+        // 0 -> 3 is not a hypercube link (differs in 2 bits)
+        m.routes[0][0] = vec![ProcId(0), ProcId(3)];
+        assert!(m.validate(&tg, &net).is_err());
+    }
+
+    #[test]
+    fn wrong_endpoint_detected() {
+        let (tg, net, _, mut m) = ring4_on_q2();
+        m.routes[0][0] = vec![ProcId(1), ProcId(3)];
+        let err = m.validate(&tg, &net).unwrap_err();
+        assert!(err.contains("off-sender"));
+    }
+
+    #[test]
+    fn reassign_reroutes_incident_edges() {
+        let (tg, net, table, mut m) = ring4_on_q2();
+        // co-locate task 1 with task 0 on proc 0
+        m.reassign(&tg, &net, &table, 1, ProcId(0));
+        m.validate(&tg, &net).unwrap();
+        // edge 0->1 now internal: single-element path
+        assert_eq!(m.routes[0][0], vec![ProcId(0)]);
+        assert_eq!(m.tasks_per_proc(4), vec![2, 0, 1, 1]);
+    }
+
+    #[test]
+    fn reroute_checks_validity() {
+        let (tg, net, _, mut m) = ring4_on_q2();
+        // ring edge 1 -> 2 maps procs 1 -> 3; alternative path 1-0-2 is NOT
+        // valid endpoint-wise (ends at 2 != 3)
+        assert!(m
+            .reroute(&tg, &net, 0, 1, vec![ProcId(1), ProcId(0), ProcId(2)])
+            .is_err());
+        // valid longer detour 1 -> 0 -> 2 -> 3
+        m.reroute(
+            &tg,
+            &net,
+            0,
+            1,
+            vec![ProcId(1), ProcId(0), ProcId(2), ProcId(3)],
+        )
+        .unwrap();
+        assert_eq!(m.dilation(0, 1), 3);
+        m.validate(&tg, &net).unwrap();
+    }
+}

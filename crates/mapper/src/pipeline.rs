@@ -1,0 +1,519 @@
+//! The MAPPER dispatch (paper Fig 3): pick the mapping strategy from the
+//! regularity of the task graph, then contract, embed, and route.
+//!
+//! ```text
+//!          ┌─ nameable?  ──────────► canned contraction/embedding (§4.1)
+//! LaRCS ──►├─ all phases bijective? ► group-theoretic contraction (§4.2.2)
+//!          ├─ affine + array target? ► systolic synthesis (§4.2.1)
+//!          └─ otherwise ────────────► MWM-Contract + NN-Embed (§4.3)
+//!                                       │
+//!                all strategies ──────► MM-Route (§4.4)
+//! ```
+
+use crate::canned::{canned_contraction, canned_embedding};
+use crate::contraction::{group_contraction, mwm_contract, ContractError, Contraction};
+use crate::embedding::nn_embed;
+use crate::mapping::Mapping;
+use crate::routing::{route_all_phases, Matcher};
+use crate::systolic;
+use oregami_graph::{TaskGraph, WeightedGraph};
+use oregami_larcs::analyze;
+use oregami_topology::{Network, ProcId, RouteTable, TopologyKind};
+
+/// Which of MAPPER's algorithm classes produced the mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Canned lookup for a nameable task graph (§4.1).
+    Canned,
+    /// Group-theoretic quotient contraction (§4.2.2).
+    GroupTheoretic,
+    /// Systolic space-time synthesis for a uniform recurrence (§4.2.1).
+    Systolic,
+    /// General-graph MWM-Contract + NN-Embed (§4.3).
+    General,
+}
+
+/// Tuning knobs for the pipeline.
+#[derive(Clone, Debug)]
+pub struct MapperOptions {
+    /// Load bound `B` (max tasks per processor). Defaults to
+    /// `ceil(n / P)` — perfectly balanced spreading; raise it to let
+    /// MWM-Contract consolidate communicating tasks onto fewer
+    /// processors.
+    pub load_bound: Option<usize>,
+    /// Bipartite matcher used by MM-Route.
+    pub matcher: Matcher,
+    /// Weight the collapsed graph by each phase's repetition count from
+    /// the phase expression (frequently repeated phases dominate
+    /// contraction decisions).
+    pub use_phase_multiplicities: bool,
+    /// Permit the systolic path when the graph is a uniform recurrence and
+    /// the target is a chain or mesh.
+    pub allow_systolic: bool,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        MapperOptions {
+            load_bound: None,
+            matcher: Matcher::Maximum,
+            use_phase_multiplicities: true,
+            allow_systolic: true,
+        }
+    }
+}
+
+/// The pipeline's full output.
+#[derive(Clone, Debug)]
+pub struct MapperReport {
+    /// Which algorithm class was dispatched.
+    pub strategy: Strategy,
+    /// The contraction (identity when tasks ≤ processors).
+    pub contraction: Contraction,
+    /// The finished mapping (assignment + routes).
+    pub mapping: Mapping,
+    /// The collapsed, multiplicity-weighted communication graph the
+    /// decisions were made on.
+    pub collapsed: WeightedGraph,
+    /// Human-readable notes about the decisions taken.
+    pub notes: Vec<String>,
+}
+
+/// Pipeline failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The network has no processors or is disconnected.
+    BadNetwork(String),
+    /// The task graph is empty.
+    EmptyTaskGraph,
+    /// No feasible contraction under the load bound.
+    Contract(ContractError),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::BadNetwork(msg) => write!(f, "bad network: {msg}"),
+            MapError::EmptyTaskGraph => write!(f, "task graph has no tasks"),
+            MapError::Contract(e) => write!(f, "contraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<ContractError> for MapError {
+    fn from(e: ContractError) -> Self {
+        MapError::Contract(e)
+    }
+}
+
+/// Maps `tg` onto `net`: dispatch → contraction → embedding → routing.
+pub fn map_task_graph(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+) -> Result<MapperReport, MapError> {
+    if tg.num_tasks() == 0 {
+        return Err(MapError::EmptyTaskGraph);
+    }
+    if net.num_procs() == 0 || !net.is_connected() {
+        return Err(MapError::BadNetwork(
+            "network must be nonempty and connected".into(),
+        ));
+    }
+    let n = tg.num_tasks();
+    let p = net.num_procs();
+    let table = RouteTable::new(net);
+    let analysis = analyze::analyze(tg);
+    let mut notes = Vec::new();
+
+    let collapsed = if opts.use_phase_multiplicities {
+        if let Some(expr) = &tg.phase_expr {
+            let mult = expr.comm_multiplicities();
+            tg.collapse_weighted(|ph| mult.get(ph.index()).copied().unwrap_or(1).max(1))
+        } else {
+            tg.collapse()
+        }
+    } else {
+        tg.collapse()
+    };
+
+    // Canned mappings presume the family's symmetric, unweighted structure;
+    // they only apply when the collapsed communication volumes are uniform.
+    let uniform_weights = {
+        let mut it = collapsed.edges().iter().map(|e| e.w);
+        let first = it.next();
+        first.is_none() || it.all(|w| Some(w) == first)
+    };
+    let try_canned = |family: oregami_graph::Family,
+                      notes: &mut Vec<String>|
+     -> Option<(Contraction, Mapping)> {
+        if !uniform_weights {
+            return None;
+        }
+        if n == p {
+            let assignment = canned_embedding(family, net)?;
+            notes.push(format!(
+                "canned embedding: {}({n}) onto {}",
+                family.name(),
+                net.name
+            ));
+            let mapping = finish(tg, net, &table, assignment, opts);
+            Some((Contraction::identity(n), mapping))
+        } else if n > p {
+            let contraction = canned_contraction(family, p)?;
+            notes.push(format!(
+                "canned contraction: {}({n}) into {p} clusters",
+                family.name()
+            ));
+            let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
+            // the quotient of a family contraction is itself a family
+            // instance: prefer its canned embedding over greedy placement
+            let placement = crate::canned::quotient_family(family, p)
+                .and_then(|qf| canned_embedding(qf, net))
+                .inspect(|_| {
+                    notes.push("canned embedding of the quotient family".into());
+                })
+                .unwrap_or_else(|| nn_embed(&quotient, net, &table));
+            let assignment = clusters_to_procs(&contraction, &placement);
+            let mapping = finish(tg, net, &table, assignment, opts);
+            Some((contraction, mapping))
+        } else {
+            None
+        }
+    };
+
+    // ---- 1. canned path (declared family) ----
+    if let Some(family) = tg.family {
+        if let Some((contraction, mapping)) = try_canned(family, &mut notes) {
+            return Ok(MapperReport {
+                strategy: Strategy::Canned,
+                contraction,
+                mapping,
+                collapsed,
+                notes,
+            });
+        }
+    }
+
+    // ---- 2. systolic path ----
+    if opts.allow_systolic
+        && analysis.all_uniform
+        && matches!(net.kind, TopologyKind::Chain(_) | TopologyKind::Mesh2D(..))
+    {
+        let dims = match net.kind {
+            TopologyKind::Chain(_) => 1,
+            _ => 2,
+        };
+        if let Ok(sm) = systolic::synthesize(tg, dims) {
+            if let Some(assignment) = systolic_assignment(&sm, net) {
+                notes.push(format!(
+                    "systolic synthesis: schedule {:?}, allocation {:?}, makespan {}",
+                    sm.schedule, sm.allocation, sm.makespan
+                ));
+                let contraction = contraction_from_assignment(&assignment, p);
+                let mapping = finish(tg, net, &table, assignment, opts);
+                return Ok(MapperReport {
+                    strategy: Strategy::Systolic,
+                    contraction,
+                    mapping,
+                    collapsed,
+                    notes,
+                });
+            }
+        }
+    }
+
+    // ---- 3. group-theoretic path ----
+    if analysis.all_bijective && n.is_multiple_of(p) {
+        // circulant fast path (the paper's "syntactic characterization"
+        // future work): translations on Z_n contract in O(n) with no group
+        // closure at all
+        if let Some(cc) = oregami_group::circulant_contract(tg, p) {
+            if cc.regular {
+                notes.push(format!(
+                    "circulant fast path: shifts {:?} generate Z_{n}; \
+                     contraction by residues (no closure)",
+                    cc.shifts
+                ));
+                let contraction = Contraction {
+                    cluster_of: cc.cluster_of,
+                    num_clusters: cc.num_clusters,
+                };
+                let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
+                let placement = nn_embed(&quotient, net, &table);
+                let assignment = clusters_to_procs(&contraction, &placement);
+                let mapping = finish(tg, net, &table, assignment, opts);
+                return Ok(MapperReport {
+                    strategy: Strategy::GroupTheoretic,
+                    contraction,
+                    mapping,
+                    collapsed,
+                    notes,
+                });
+            }
+        }
+        if let Ok((contraction, gc)) = group_contraction(tg, p) {
+            notes.push(format!(
+                "group-theoretic contraction: |G| = {}, subgroup of order {}{}",
+                gc.group.order(),
+                gc.subgroup.order(),
+                if gc.subgroup_is_normal {
+                    " (normal)"
+                } else {
+                    " (non-normal Schreier contraction)"
+                }
+            ));
+            let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
+            let placement = nn_embed(&quotient, net, &table);
+            let assignment = clusters_to_procs(&contraction, &placement);
+            let mapping = finish(tg, net, &table, assignment, opts);
+            return Ok(MapperReport {
+                strategy: Strategy::GroupTheoretic,
+                contraction,
+                mapping,
+                collapsed,
+                notes,
+            });
+        }
+    }
+
+    // ---- 4. canned path (structurally recognised family) ----
+    if tg.family.is_none() {
+        if let Some(family) = analysis.family {
+            if let Some((contraction, mapping)) = try_canned(family, &mut notes) {
+                return Ok(MapperReport {
+                    strategy: Strategy::Canned,
+                    contraction,
+                    mapping,
+                    collapsed,
+                    notes,
+                });
+            }
+        }
+    }
+
+    // ---- 5. general path: MWM-Contract + NN-Embed ----
+    let bound = opts.load_bound.unwrap_or_else(|| n.div_ceil(p).max(1));
+    let contraction = mwm_contract(&collapsed, p, bound)?;
+    notes.push(format!(
+        "MWM-Contract: {} clusters, load bound {bound}, IPC {}",
+        contraction.num_clusters,
+        contraction.total_ipc(&collapsed)
+    ));
+    let (quotient, _) = collapsed.quotient(&contraction.cluster_of, contraction.num_clusters);
+    let placement = nn_embed(&quotient, net, &table);
+    let assignment = clusters_to_procs(&contraction, &placement);
+    let mapping = finish(tg, net, &table, assignment, opts);
+    Ok(MapperReport {
+        strategy: Strategy::General,
+        contraction,
+        mapping,
+        collapsed,
+        notes,
+    })
+}
+
+fn clusters_to_procs(contraction: &Contraction, placement: &[ProcId]) -> Vec<ProcId> {
+    contraction
+        .cluster_of
+        .iter()
+        .map(|&c| placement[c])
+        .collect()
+}
+
+fn contraction_from_assignment(assignment: &[ProcId], procs: usize) -> Contraction {
+    Contraction {
+        cluster_of: assignment.iter().map(|p| p.index()).collect(),
+        num_clusters: procs,
+    }
+    .compact()
+}
+
+fn finish(
+    tg: &TaskGraph,
+    net: &Network,
+    table: &RouteTable,
+    assignment: Vec<ProcId>,
+    opts: &MapperOptions,
+) -> Mapping {
+    debug_assert_eq!(assignment.len(), tg.num_tasks());
+    let routes = route_all_phases(tg, &assignment, net, table, opts.matcher);
+    let mapping = Mapping { assignment, routes };
+    debug_assert!(mapping.validate(tg, net).is_ok());
+    mapping
+}
+
+/// Maps the virtual systolic array onto the physical network: linear
+/// arrays index directly into a chain, meshes row-major into a mesh.
+/// `None` when the virtual array exceeds the hardware (MAPPER then falls
+/// back to the general path, which can fold).
+fn systolic_assignment(sm: &systolic::SystolicMapping, net: &Network) -> Option<Vec<ProcId>> {
+    match net.kind {
+        TopologyKind::Chain(len) => {
+            if sm.array_dims.len() != 1 || sm.array_dims[0] as usize > len {
+                return None;
+            }
+            Some(
+                sm.proc_of
+                    .iter()
+                    .map(|p| ProcId(p[0] as u32))
+                    .collect(),
+            )
+        }
+        TopologyKind::Mesh2D(r, c) => {
+            match sm.array_dims.as_slice() {
+                [rows, cols] => {
+                    if *rows as usize > r || *cols as usize > c {
+                        return None;
+                    }
+                    Some(
+                        sm.proc_of
+                            .iter()
+                            .map(|p| ProcId((p[0] as usize * c + p[1] as usize) as u32))
+                            .collect(),
+                    )
+                }
+                [len] => {
+                    // linear virtual array snaked into the mesh
+                    if *len as usize > r * c {
+                        return None;
+                    }
+                    Some(
+                        sm.proc_of
+                            .iter()
+                            .map(|p| {
+                                let i = p[0] as usize;
+                                let (row, col) = (i / c, i % c);
+                                let col = if row % 2 == 0 { col } else { c - 1 - col };
+                                ProcId((row * c + col) as u32)
+                            })
+                            .collect(),
+                    )
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_larcs::{compile, programs};
+    use oregami_topology::builders;
+
+    #[test]
+    fn ring_on_hypercube_dispatches_canned() {
+        let tg = oregami_graph::Family::Ring(8).build();
+        let net = builders::hypercube(3);
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        assert_eq!(report.strategy, Strategy::Canned);
+        report.mapping.validate(&tg, &net).unwrap();
+        // gray-code embedding: every route is a single hop
+        for path in &report.mapping.routes[0] {
+            assert_eq!(path.len(), 2);
+        }
+    }
+
+    #[test]
+    fn broadcast8_dispatches_group_theoretic() {
+        let tg = compile(&programs::broadcast8(), &[]).unwrap();
+        let net = builders::hypercube(2); // 4 procs, 8 tasks
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        assert_eq!(report.strategy, Strategy::GroupTheoretic);
+        assert_eq!(report.contraction.sizes(), vec![2; 4]);
+        report.mapping.validate(&tg, &net).unwrap();
+    }
+
+    #[test]
+    fn matmul_on_chain_dispatches_systolic() {
+        let tg = compile(&programs::matmul(), &[("n", 4)]).unwrap();
+        let net = builders::chain(4);
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        assert_eq!(report.strategy, Strategy::Systolic);
+        report.mapping.validate(&tg, &net).unwrap();
+        // 16 tasks on ≤ 4 processors
+        let counts = report.mapping.tasks_per_proc(4);
+        assert_eq!(counts.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn irregular_graph_dispatches_general() {
+        let src = "algorithm odd(n);\n\
+                   nodetype x: 0..n-1;\n\
+                   comphase c: x(0) -> x(1); x(0) -> x(2); x(1) -> x(3); \
+                               x(2) -> x(4); x(4) -> x(5); x(3) -> x(5); x(1) -> x(4);";
+        let tg = compile(src, &[("n", 6)]).unwrap();
+        let net = builders::mesh2d(2, 2);
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        assert_eq!(report.strategy, Strategy::General);
+        report.mapping.validate(&tg, &net).unwrap();
+        report.contraction.validate(4, 3).unwrap();
+    }
+
+    #[test]
+    fn nbody_on_hypercube_uses_group_path() {
+        // n-body phases are bijections (rotations) — the Cayley path
+        // applies when 8 procs divide 16 tasks.
+        let tg = compile(&programs::nbody(), &[("n", 16), ("s", 2), ("msgsize", 4)]).unwrap();
+        let net = builders::hypercube(3);
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        assert_eq!(report.strategy, Strategy::GroupTheoretic);
+        assert_eq!(report.contraction.sizes(), vec![2; 8]);
+        report.mapping.validate(&tg, &net).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_and_bad_network_rejected() {
+        let tg = TaskGraph::new("empty");
+        let net = builders::chain(2);
+        assert!(matches!(
+            map_task_graph(&tg, &net, &MapperOptions::default()),
+            Err(MapError::EmptyTaskGraph)
+        ));
+    }
+
+    #[test]
+    fn load_bound_respected() {
+        let tg = compile(&programs::jacobi(), &[("n", 4), ("iters", 1)]).unwrap();
+        let net = builders::mesh2d(2, 2);
+        let opts = MapperOptions {
+            load_bound: Some(4),
+            ..MapperOptions::default()
+        };
+        let report = map_task_graph(&tg, &net, &opts).unwrap();
+        // 16 tasks on 4 procs with bound 4: perfectly balanced
+        assert_eq!(report.mapping.tasks_per_proc(4), vec![4; 4]);
+    }
+
+    #[test]
+    fn phase_multiplicities_bias_contraction() {
+        // two phases: a heavy-looking edge in a once-run phase vs a light
+        // edge repeated 100x. With multiplicities the repeated edge wins.
+        let src = "algorithm m(n);\n\
+                   nodetype x: 0..3;\n\
+                   comphase once: x(0) -> x(1) volume 50; x(2) -> x(3) volume 50;\n\
+                   comphase often: x(1) -> x(2) volume 1; x(0) -> x(3) volume 1;\n\
+                   exephase work;\n\
+                   phaseexpr once; (often; work)^100;";
+        let tg = compile(src, &[("n", 4)]).unwrap();
+        let net = builders::chain(2);
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        // multiplicity-weighted: pairing {1,2} and {0,3} internalises
+        // 2*100 = 200 > 100 from pairing {0,1},{2,3}
+        let c = &report.contraction;
+        assert_eq!(c.cluster_of[1], c.cluster_of[2]);
+        assert_eq!(c.cluster_of[0], c.cluster_of[3]);
+        // without multiplicities, the volumes dominate
+        let opts = MapperOptions {
+            use_phase_multiplicities: false,
+            ..MapperOptions::default()
+        };
+        let report2 = map_task_graph(&tg, &net, &opts).unwrap();
+        let c2 = &report2.contraction;
+        assert_eq!(c2.cluster_of[0], c2.cluster_of[1]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-phase remapping with task migration (paper §6, "Mapping
+//! algorithms" — future work implemented here):
+//!
+//! "algorithms that consider migrating processes at run time in order to
+//! accomodate phase shifts (as opposed to our current approach of finding
+//! one mapping that accomodates all the phases)".
+//!
+//! Instead of one assignment serving every communication phase, each phase
+//! gets its own contraction + embedding optimised for that phase's traffic
+//! alone, and tasks migrate between consecutive phases of the schedule.
+//! Migration moves the task's state (`state_volume` units) over the
+//! network, so the trade-off is:
+//!
+//! ```text
+//! single mapping:   Σ_k  comm_k(one assignment)
+//! per-phase:        Σ_k  comm_k(assignment_k) + state·Σ dist(move_k)
+//! ```
+//!
+//! [`compare`] evaluates both sides under the METRICS-style cost model —
+//! the crossover as `state_volume` grows is the `remap` ablation bench.
+
+use crate::contraction::mwm_contract;
+use crate::embedding::nn_embed;
+use crate::mapping::Mapping;
+use crate::routing::{mm_route, Matcher};
+use oregami_graph::{PhaseId, TaskGraph};
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// One assignment per communication phase, plus the migration volumes
+/// between consecutive phases of the (flattened) phase order.
+#[derive(Clone, Debug)]
+pub struct PhaseRemapping {
+    /// `assignments[k][task]` = processor of `task` during phase `k`.
+    pub assignments: Vec<Vec<ProcId>>,
+    /// `migration_hops[k]` = total `state · hops` moved when switching
+    /// from phase `k` to phase `k+1` (cyclically, as phases repeat).
+    pub migration_hops: Vec<u64>,
+    /// Per-phase communication cost (max-link volume + hops, as in the
+    /// METRICS comm model with unit parameters).
+    pub comm_cost: Vec<u64>,
+}
+
+/// Builds a per-phase remapping: every phase is contracted and embedded
+/// on its own traffic (volumes scaled by the phase expression's
+/// multiplicities are irrelevant here — each phase is considered alone).
+///
+/// `bound` is the load bound per processor; `state_volume` the units of
+/// task state a migration must move.
+pub fn per_phase_remap(
+    tg: &TaskGraph,
+    net: &Network,
+    bound: usize,
+    state_volume: u64,
+) -> Result<PhaseRemapping, crate::contraction::ContractError> {
+    let table = RouteTable::new(net);
+    let procs = net.num_procs();
+    let mut assignments = Vec::with_capacity(tg.num_phases());
+    let mut comm_cost = Vec::with_capacity(tg.num_phases());
+    for k in 0..tg.num_phases() {
+        // single-phase view of the graph
+        let single = tg.collapse_weighted(|ph| if ph == PhaseId::new(k) { 1 } else { 0 });
+        let contraction = mwm_contract(&single, procs, bound)?;
+        let (quotient, _) = single.quotient(&contraction.cluster_of, contraction.num_clusters);
+        let placement = nn_embed(&quotient, net, &table);
+        let assignment: Vec<ProcId> = contraction
+            .cluster_of
+            .iter()
+            .map(|&c| placement[c])
+            .collect();
+        let routed = mm_route(tg, k, &assignment, net, &table, Matcher::Maximum);
+        comm_cost.push(phase_comm_cost(net, &routed.paths, tg, k));
+        assignments.push(assignment);
+    }
+    // migration between consecutive phases (cyclic: the schedule repeats)
+    let mut migration_hops = Vec::with_capacity(tg.num_phases());
+    for k in 0..tg.num_phases() {
+        let next = (k + 1) % tg.num_phases();
+        let hops: u64 = (0..tg.num_tasks())
+            .map(|t| u64::from(table.dist(assignments[k][t], assignments[next][t])))
+            .sum();
+        migration_hops.push(hops * state_volume);
+    }
+    Ok(PhaseRemapping {
+        assignments,
+        migration_hops,
+        comm_cost,
+    })
+}
+
+/// The METRICS-style cost of one routed phase (unit cost model: max link
+/// volume + longest route hops).
+fn phase_comm_cost(net: &Network, paths: &[Vec<ProcId>], tg: &TaskGraph, k: usize) -> u64 {
+    let mut link_volume = vec![0u64; net.num_links()];
+    let mut max_hops = 0u64;
+    for (i, e) in tg.comm_phases[k].edges.iter().enumerate() {
+        let path = &paths[i];
+        max_hops = max_hops.max(path.len() as u64 - 1);
+        for w in path.windows(2) {
+            link_volume[net.link_between(w[0], w[1]).expect("valid route").index()] += e.volume;
+        }
+    }
+    link_volume.iter().max().copied().unwrap_or(0) + max_hops
+}
+
+/// Side-by-side totals for one pass over all phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemapComparison {
+    /// Σ per-phase comm cost of the single fixed mapping.
+    pub single_mapping_cost: u64,
+    /// Σ per-phase comm cost of the per-phase mappings (without migration).
+    pub per_phase_comm_cost: u64,
+    /// Σ migration cost between phases.
+    pub migration_cost: u64,
+}
+
+impl RemapComparison {
+    /// Whether remapping wins once migration is paid.
+    pub fn remap_wins(&self) -> bool {
+        self.per_phase_comm_cost + self.migration_cost < self.single_mapping_cost
+    }
+}
+
+/// Evaluates the fixed single `mapping` against a freshly computed
+/// per-phase remapping at the given `state_volume`.
+pub fn compare(
+    tg: &TaskGraph,
+    net: &Network,
+    mapping: &Mapping,
+    bound: usize,
+    state_volume: u64,
+) -> Result<RemapComparison, crate::contraction::ContractError> {
+    let single_mapping_cost = (0..tg.num_phases())
+        .map(|k| phase_comm_cost(net, &mapping.routes[k], tg, k))
+        .sum();
+    let remap = per_phase_remap(tg, net, bound, state_volume)?;
+    Ok(RemapComparison {
+        single_mapping_cost,
+        per_phase_comm_cost: remap.comm_cost.iter().sum(),
+        migration_cost: remap.migration_hops.iter().sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::TaskId;
+    use oregami_topology::builders;
+
+    /// Two phases with opposed affinity: phase A wants pairs (0,1),(2,3);
+    /// phase B wants pairs (1,2),(3,0). No single 2-processor mapping
+    /// satisfies both; per-phase remapping internalises each phase fully.
+    fn conflicted_graph() -> TaskGraph {
+        let mut tg = TaskGraph::new("conflict");
+        tg.add_scalar_nodes("t", 4);
+        let a = tg.add_phase("a");
+        tg.add_edge(a, TaskId(0), TaskId(1), 10);
+        tg.add_edge(a, TaskId(2), TaskId(3), 10);
+        let b = tg.add_phase("b");
+        tg.add_edge(b, TaskId(1), TaskId(2), 10);
+        tg.add_edge(b, TaskId(3), TaskId(0), 10);
+        tg
+    }
+
+    #[test]
+    fn per_phase_internalises_each_phase() {
+        let tg = conflicted_graph();
+        let net = builders::chain(2);
+        let remap = per_phase_remap(&tg, &net, 2, 1).unwrap();
+        // each phase's own assignment internalises all of its traffic
+        assert_eq!(remap.comm_cost, vec![0, 0]);
+        // but tasks move between phases
+        assert!(remap.migration_hops.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn remap_wins_with_cheap_state_loses_with_heavy_state() {
+        let tg = conflicted_graph();
+        let net = builders::chain(2);
+        let table = RouteTable::new(&net);
+        // fixed mapping: pairs (0,1) and (2,3) — phase B fully crosses
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
+        let routes = crate::routing::route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = Mapping { assignment, routes };
+        let cheap = compare(&tg, &net, &mapping, 2, 0).unwrap();
+        assert!(cheap.remap_wins(), "free migration must win: {cheap:?}");
+        let heavy = compare(&tg, &net, &mapping, 2, 1000).unwrap();
+        assert!(!heavy.remap_wins(), "heavy state must lose: {heavy:?}");
+    }
+
+    #[test]
+    fn aligned_phases_make_remap_pointless() {
+        // both phases want the same pairs: single mapping already optimal
+        let mut tg = TaskGraph::new("aligned");
+        tg.add_scalar_nodes("t", 4);
+        for name in ["a", "b"] {
+            let p = tg.add_phase(name);
+            tg.add_edge(p, TaskId(0), TaskId(1), 5);
+            tg.add_edge(p, TaskId(2), TaskId(3), 5);
+        }
+        let net = builders::chain(2);
+        let table = RouteTable::new(&net);
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
+        let routes = crate::routing::route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = Mapping { assignment, routes };
+        let cmp = compare(&tg, &net, &mapping, 2, 1).unwrap();
+        assert_eq!(cmp.single_mapping_cost, 0);
+        assert!(!cmp.remap_wins());
+    }
+}

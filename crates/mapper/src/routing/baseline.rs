@@ -1,0 +1,97 @@
+//! The contention-oblivious baseline router.
+//!
+//! "Most commercial parallel processing systems today rely on ... message
+//! routing that does not utilize information about the communication
+//! patterns of the computation" (paper §1). This router models that
+//! default: every message deterministically takes the first shortest path
+//! (lowest-numbered next hop — dimension-ordered/e-cube on hypercubes),
+//! ignoring what the other messages of the phase are doing. The contention
+//! benchmarks compare MM-Route against it.
+
+use oregami_graph::TaskGraph;
+use oregami_topology::{Network, ProcId, RouteTable};
+
+/// Routes one phase with fixed deterministic shortest paths.
+pub fn baseline_route(
+    tg: &TaskGraph,
+    phase: usize,
+    assignment: &[ProcId],
+    net: &Network,
+    table: &RouteTable,
+) -> Vec<Vec<ProcId>> {
+    tg.comm_phases[phase]
+        .edges
+        .iter()
+        .map(|e| {
+            table.first_path(
+                net,
+                assignment[e.src.index()],
+                assignment[e.dst.index()],
+            )
+        })
+        .collect()
+}
+
+/// Routes every phase with the baseline router.
+pub fn baseline_route_all(
+    tg: &TaskGraph,
+    assignment: &[ProcId],
+    net: &Network,
+    table: &RouteTable,
+) -> Vec<Vec<Vec<ProcId>>> {
+    (0..tg.num_phases())
+        .map(|k| baseline_route(tg, k, assignment, net, table))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::max_contention;
+    use oregami_graph::TaskId;
+    use oregami_topology::builders;
+
+    #[test]
+    fn baseline_collides_where_mm_route_spreads() {
+        // Two tasks on processor 0 both send to processor 3 on Q2. E-cube
+        // pushes both messages through link 0-1 (contention 2); MM-Route's
+        // first matching round hands them distinct first hops, and the
+        // link-disjoint pair of routes 0-1-3 / 0-2-3 gets contention 1.
+        let mut tg = TaskGraph::new("congest");
+        tg.add_scalar_nodes("t", 4);
+        let p = tg.add_phase("c");
+        tg.add_edge(p, TaskId(0), TaskId(2), 1);
+        tg.add_edge(p, TaskId(1), TaskId(3), 1);
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(3), ProcId(3)];
+        let net = builders::hypercube(2);
+        let table = RouteTable::new(&net);
+        let base = baseline_route(&tg, 0, &assignment, &net, &table);
+        assert_eq!(max_contention(&net, &base), 2, "e-cube shares both hops");
+        let routed = crate::routing::mm_route(
+            &tg,
+            0,
+            &assignment,
+            &net,
+            &table,
+            crate::routing::Matcher::Maximum,
+        );
+        assert_eq!(
+            max_contention(&net, &routed.paths),
+            1,
+            "MM-Route must take the link-disjoint pair of routes"
+        );
+    }
+
+    #[test]
+    fn all_phases_routed() {
+        let tg = oregami_graph::Family::Ring(4).build();
+        let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
+        let net = builders::ring(4);
+        let table = RouteTable::new(&net);
+        let routes = baseline_route_all(&tg, &assignment, &net, &table);
+        assert_eq!(routes[0].len(), 4);
+        for path in &routes[0] {
+            assert_eq!(path.len(), 2); // identity embedding: all adjacent
+        }
+    }
+}

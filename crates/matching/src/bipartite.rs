@@ -1,0 +1,257 @@
+//! Bipartite matching: Hopcroft–Karp maximum matching and greedy maximal
+//! matching.
+//!
+//! MM-Route (paper §4.4) builds, for each communication phase and each hop,
+//! a bipartite graph `G = (X, Y, E)` where `X` is the set of yet-unrouted
+//! message edges and `Y` the set of network links that can serve as the next
+//! hop, then repeatedly extracts a *maximal matching* — each round assigns a
+//! set of messages to pairwise-distinct links, which is what bounds link
+//! contention. The paper quotes `O(|X|²|Y|)` for the simple maximal-matching
+//! formulation; we provide both the greedy maximal matcher (faithful, used
+//! as the ablation baseline) and Hopcroft–Karp (`O(E√V)`) which maximises
+//! each round and is MM-Route's default.
+
+/// A matching in a bipartite graph with `nx` left and `ny` right vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    /// `left_to_right[x]` = matched right vertex of left `x`, or `None`.
+    pub left_to_right: Vec<Option<usize>>,
+    /// `right_to_left[y]` = matched left vertex of right `y`, or `None`.
+    pub right_to_left: Vec<Option<usize>>,
+}
+
+impl BipartiteMatching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.left_to_right.iter().flatten().count()
+    }
+
+    /// Consistency of the two directions.
+    pub fn is_valid(&self) -> bool {
+        self.left_to_right
+            .iter()
+            .enumerate()
+            .all(|(x, m)| m.is_none_or(|y| self.right_to_left[y] == Some(x)))
+            && self
+                .right_to_left
+                .iter()
+                .enumerate()
+                .all(|(y, m)| m.is_none_or(|x| self.left_to_right[x] == Some(y)))
+    }
+}
+
+/// Maximum bipartite matching by Hopcroft–Karp. `adj[x]` lists the right
+/// vertices adjacent to left vertex `x`. `O(E√V)`.
+pub fn hopcroft_karp(nx: usize, ny: usize, adj: &[Vec<usize>]) -> BipartiteMatching {
+    assert_eq!(adj.len(), nx, "adjacency must cover every left vertex");
+    const INF: u32 = u32::MAX;
+    let mut mx: Vec<Option<usize>> = vec![None; nx];
+    let mut my: Vec<Option<usize>> = vec![None; ny];
+    let mut dist = vec![INF; nx];
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS layering from free left vertices.
+        queue.clear();
+        for x in 0..nx {
+            if mx[x].is_none() {
+                dist[x] = 0;
+                queue.push_back(x);
+            } else {
+                dist[x] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(x) = queue.pop_front() {
+            for &y in &adj[x] {
+                debug_assert!(y < ny, "right vertex out of range");
+                match my[y] {
+                    None => found = true,
+                    Some(x2) => {
+                        if dist[x2] == INF {
+                            dist[x2] = dist[x] + 1;
+                            queue.push_back(x2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // DFS augmentation along layered paths.
+        fn try_augment(
+            x: usize,
+            adj: &[Vec<usize>],
+            mx: &mut [Option<usize>],
+            my: &mut [Option<usize>],
+            dist: &mut [u32],
+        ) -> bool {
+            for i in 0..adj[x].len() {
+                let y = adj[x][i];
+                let ok = match my[y] {
+                    None => true,
+                    Some(x2) => {
+                        dist[x2] == dist[x] + 1 && try_augment(x2, adj, mx, my, dist)
+                    }
+                };
+                if ok {
+                    mx[x] = Some(y);
+                    my[y] = Some(x);
+                    return true;
+                }
+            }
+            dist[x] = u32::MAX;
+            false
+        }
+        for x in 0..nx {
+            if mx[x].is_none() {
+                try_augment(x, adj, &mut mx, &mut my, &mut dist);
+            }
+        }
+    }
+    let m = BipartiteMatching {
+        left_to_right: mx,
+        right_to_left: my,
+    };
+    debug_assert!(m.is_valid());
+    m
+}
+
+/// Greedy maximal bipartite matching: scans left vertices in order and
+/// takes the first free neighbor. `O(E)`. The result is maximal but can be
+/// half the maximum.
+pub fn greedy_bipartite_matching(nx: usize, ny: usize, adj: &[Vec<usize>]) -> BipartiteMatching {
+    assert_eq!(adj.len(), nx, "adjacency must cover every left vertex");
+    let mut mx: Vec<Option<usize>> = vec![None; nx];
+    let mut my: Vec<Option<usize>> = vec![None; ny];
+    for x in 0..nx {
+        for &y in &adj[x] {
+            debug_assert!(y < ny, "right vertex out of range");
+            if my[y].is_none() {
+                mx[x] = Some(y);
+                my[y] = Some(x);
+                break;
+            }
+        }
+    }
+    BipartiteMatching {
+        left_to_right: mx,
+        right_to_left: my,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_in_k33() {
+        let adj = vec![vec![0, 1, 2]; 3];
+        let m = hopcroft_karp(3, 3, &adj);
+        assert_eq!(m.size(), 3);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // x0-{y0}, x1-{y0,y1}: greedy in bad order could strand x0.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.left_to_right[0], Some(0));
+        assert_eq!(m.left_to_right[1], Some(1));
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let adj = vec![vec![0, 1], vec![0], vec![1]];
+        let m = greedy_bipartite_matching(3, 2, &adj);
+        assert!(m.is_valid());
+        // Maximality: every left vertex with an edge to a free right vertex
+        // is matched.
+        for (x, nbrs) in adj.iter().enumerate() {
+            if m.left_to_right[x].is_none() {
+                assert!(nbrs.iter().all(|&y| m.right_to_left[y].is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_at_least_half_of_maximum() {
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..100 {
+            let nx = 1 + (next() % 8) as usize;
+            let ny = 1 + (next() % 8) as usize;
+            let mut adj = vec![Vec::new(); nx];
+            for (x, row) in adj.iter_mut().enumerate() {
+                for y in 0..ny {
+                    if next() % 100 < 40 {
+                        row.push(y);
+                    }
+                }
+                let _ = x;
+            }
+            let g = greedy_bipartite_matching(nx, ny, &adj).size();
+            let h = hopcroft_karp(nx, ny, &adj).size();
+            assert!(g <= h);
+            assert!(2 * g >= h, "greedy {g} vs max {h}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = hopcroft_karp(3, 3, &vec![Vec::new(); 3]);
+        assert_eq!(m.size(), 0);
+        let g = greedy_bipartite_matching(0, 0, &[]);
+        assert_eq!(g.size(), 0);
+    }
+
+    #[test]
+    fn hk_matches_brute_on_randoms() {
+        // Compare Hopcroft–Karp size with an exhaustive max computed by
+        // recursion on left vertices.
+        fn brute(x: usize, nx: usize, adj: &[Vec<usize>], used: &mut Vec<bool>) -> usize {
+            if x == nx {
+                return 0;
+            }
+            let mut best = brute(x + 1, nx, adj, used);
+            for &y in &adj[x] {
+                if !used[y] {
+                    used[y] = true;
+                    best = best.max(1 + brute(x + 1, nx, adj, used));
+                    used[y] = false;
+                }
+            }
+            best
+        }
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..60 {
+            let nx = 1 + (next() % 6) as usize;
+            let ny = 1 + (next() % 6) as usize;
+            let mut adj = vec![Vec::new(); nx];
+            for row in adj.iter_mut() {
+                for y in 0..ny {
+                    if next() % 100 < 50 {
+                        row.push(y);
+                    }
+                }
+            }
+            let mut used = vec![false; ny];
+            let expect = brute(0, nx, &adj, &mut used);
+            assert_eq!(hopcroft_karp(nx, ny, &adj).size(), expect);
+        }
+    }
+}

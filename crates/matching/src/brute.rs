@@ -1,0 +1,78 @@
+//! Exact exponential-time maximum-weight matching, used as the reference
+//! oracle for validating the blossom implementation and the optimality
+//! claims of MWM-Contract on small instances.
+
+/// Maximum total weight over all matchings, by branch-and-bound recursion
+/// on the lowest-indexed undecided vertex. Exponential; intended for
+/// `n ≲ 16`.
+pub fn brute_force_max_weight_matching(n: usize, edges: &[(usize, usize, u64)]) -> u64 {
+    // Adjacency with merged parallel edges (keep heaviest).
+    let mut w = vec![0u64; n * n];
+    for &(u, v, wt) in edges {
+        assert!(u < n && v < n && u != v, "bad edge");
+        if wt > w[u * n + v] {
+            w[u * n + v] = wt;
+            w[v * n + u] = wt;
+        }
+    }
+    let mut used = vec![false; n];
+    fn rec(at: usize, n: usize, w: &[u64], used: &mut [bool]) -> u64 {
+        let mut u = at;
+        while u < n && used[u] {
+            u += 1;
+        }
+        if u >= n {
+            return 0;
+        }
+        used[u] = true;
+        // Option 1: leave u unmatched.
+        let mut best = rec(u + 1, n, w, used);
+        // Option 2: match u with any free heavier neighbor.
+        for v in u + 1..n {
+            if !used[v] && w[u * n + v] > 0 {
+                used[v] = true;
+                best = best.max(w[u * n + v] + rec(u + 1, n, w, used));
+                used[v] = false;
+            }
+        }
+        used[u] = false;
+        best
+    }
+    rec(0, n, &w, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(brute_force_max_weight_matching(0, &[]), 0);
+        assert_eq!(brute_force_max_weight_matching(3, &[]), 0);
+        assert_eq!(brute_force_max_weight_matching(2, &[(0, 1, 5)]), 5);
+    }
+
+    #[test]
+    fn path_of_three_edges() {
+        assert_eq!(
+            brute_force_max_weight_matching(4, &[(0, 1, 8), (1, 2, 10), (2, 3, 8)]),
+            16
+        );
+    }
+
+    #[test]
+    fn triangle() {
+        assert_eq!(
+            brute_force_max_weight_matching(3, &[(0, 1, 5), (1, 2, 6), (0, 2, 4)]),
+            6
+        );
+    }
+
+    #[test]
+    fn parallel_edges_merged() {
+        assert_eq!(
+            brute_force_max_weight_matching(2, &[(0, 1, 2), (0, 1, 9)]),
+            9
+        );
+    }
+}

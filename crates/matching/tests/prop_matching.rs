@@ -1,0 +1,93 @@
+//! Property-based validation of the matching algorithms against exact
+//! oracles — the safety net under MWM-Contract's optimality claims.
+
+use oregami_matching::{
+    brute_force_max_weight_matching, greedy_matching, hopcroft_karp, max_weight_matching,
+};
+use proptest::prelude::*;
+
+/// Random small weighted graphs: `(n, edges)`.
+fn weighted_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (2usize..=9).prop_flat_map(|n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let m = pairs.len();
+        (
+            Just(n),
+            proptest::collection::vec((0usize..m, 1u64..100), 0..=m.min(18)),
+        )
+            .prop_map(move |(n, picks)| {
+                let edges = picks
+                    .into_iter()
+                    .map(|(i, w)| {
+                        let (u, v) = pairs[i];
+                        (u, v, w)
+                    })
+                    .collect();
+                (n, edges)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The blossom matcher always equals the exponential oracle.
+    #[test]
+    fn blossom_matches_brute_force((n, edges) in weighted_graph()) {
+        let m = max_weight_matching(n, &edges);
+        prop_assert!(m.is_valid());
+        prop_assert_eq!(m.total_weight, brute_force_max_weight_matching(n, &edges));
+    }
+
+    /// Greedy is valid, never beats the optimum, and achieves at least
+    /// half of it.
+    #[test]
+    fn greedy_is_half_approximate((n, edges) in weighted_graph()) {
+        let g = greedy_matching(n, &edges);
+        prop_assert!(g.is_valid());
+        let opt = max_weight_matching(n, &edges).total_weight;
+        prop_assert!(g.total_weight <= opt);
+        prop_assert!(2 * g.total_weight >= opt);
+    }
+
+    /// Matched weight only uses existing edges (the matching is a subgraph).
+    #[test]
+    fn matching_uses_real_edges((n, edges) in weighted_graph()) {
+        let m = max_weight_matching(n, &edges);
+        for (u, v) in m.pairs() {
+            prop_assert!(
+                edges.iter().any(|&(a, b, w)| w > 0
+                    && ((a, b) == (u, v) || (a, b) == (v, u))),
+                "pair ({u},{v}) is not an input edge"
+            );
+        }
+    }
+
+    /// Hopcroft–Karp matchings are valid and maximal (no augmenting edge
+    /// between two free vertices remains).
+    #[test]
+    fn hopcroft_karp_is_valid_and_maximal(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        density in 0u32..100,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let adj: Vec<Vec<usize>> = (0..nx)
+            .map(|_| (0..ny).filter(|_| (next() % 100) < density as u64).collect())
+            .collect();
+        let m = hopcroft_karp(nx, ny, &adj);
+        prop_assert!(m.is_valid());
+        for (x, nbrs) in adj.iter().enumerate() {
+            if m.left_to_right[x].is_none() {
+                prop_assert!(
+                    nbrs.iter().all(|&y| m.right_to_left[y].is_some()),
+                    "free-free edge remains"
+                );
+            }
+        }
+    }
+}

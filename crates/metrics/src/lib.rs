@@ -1,0 +1,65 @@
+//! # oregami-metrics
+//!
+//! METRICS — the mapping analysis component of OREGAMI (paper §5).
+//!
+//! The original METRICS was an interactive Mac II graphics tool; its
+//! substance — the metric suite and the recompute-after-edit loop — is all
+//! here, with rendering to ASCII tables ([`report`]) and Graphviz
+//! ([`oregami_graph::dot`]) instead of a color display. The metrics computed
+//! are exactly the paper's list:
+//!
+//! * **load balancing**: tasks per processor, total execution time per
+//!   processor ([`load`]);
+//! * **link metrics**: dilation, volume of communication, communication
+//!   contention with respect to the phases ([`links`]);
+//! * **overall mapping**: completion time of the computation under a
+//!   synchronous cost model driven by the phase expression, and total
+//!   interprocessor communication ([`overall`]).
+//!
+//! Interactive modification is exposed programmatically: edit the mapping
+//! with [`oregami_mapper::Mapping::reassign`] / `reroute` and call
+//! [`analyze_mapping`] again — the same loop the mouse-driven tool ran.
+
+pub mod links;
+pub mod load;
+pub mod overall;
+pub mod report;
+pub mod schedule;
+pub mod timeline;
+pub mod visualize;
+
+pub use links::{LinkMetrics, PhaseLinkMetrics};
+pub use load::LoadMetrics;
+pub use overall::{CostModel, OverallMetrics};
+pub use report::{render_report, MetricsReport};
+pub use schedule::{local_directives, synchrony_sets, ProcessorDirective, SynchronySet};
+pub use timeline::{timeline, Timeline, TimelineRow};
+pub use visualize::{mapping_to_dot, network_to_dot};
+
+use oregami_graph::TaskGraph;
+use oregami_mapper::Mapping;
+use oregami_topology::Network;
+
+/// Computes the full METRICS suite for a routed mapping.
+///
+/// # Panics
+/// If the mapping fails validation against `tg`/`net` (callers should have
+/// produced it through `oregami-mapper`, which guarantees validity).
+pub fn analyze_mapping(
+    tg: &TaskGraph,
+    net: &Network,
+    mapping: &Mapping,
+    model: &CostModel,
+) -> MetricsReport {
+    mapping
+        .validate(tg, net)
+        .expect("mapping must be valid before analysis");
+    let load = load::compute(tg, net, mapping);
+    let links = links::compute(tg, net, mapping);
+    let overall = overall::compute(tg, net, mapping, model);
+    MetricsReport {
+        load,
+        links,
+        overall,
+    }
+}

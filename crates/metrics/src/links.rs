@@ -1,0 +1,159 @@
+//! Link metrics: dilation, per-link communication volume, and per-phase
+//! link contention (paper §5).
+
+use oregami_graph::TaskGraph;
+use oregami_mapper::Mapping;
+use oregami_topology::Network;
+
+/// Link figures for one communication phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseLinkMetrics {
+    /// Phase name.
+    pub name: String,
+    /// Dilation of every edge (hops of its route; 0 = co-located).
+    pub dilations: Vec<usize>,
+    /// Average dilation over the phase's edges (×1000; the paper reports
+    /// averages like 1.2).
+    pub avg_dilation_millis: u64,
+    /// Maximum dilation.
+    pub max_dilation: usize,
+    /// Number of messages crossing each link during this (synchronous)
+    /// phase — the contention profile.
+    pub link_messages: Vec<u64>,
+    /// Maximum link contention of the phase.
+    pub max_contention: u64,
+    /// Data volume crossing each link during the phase.
+    pub link_volume: Vec<u64>,
+}
+
+/// Link figures for the whole mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Per-phase figures, in phase order.
+    pub phases: Vec<PhaseLinkMetrics>,
+    /// Total volume over each link across all phases (single occurrence
+    /// of each phase).
+    pub total_link_volume: Vec<u64>,
+    /// Average dilation across every edge of every phase (×1000).
+    pub avg_dilation_millis: u64,
+    /// Maximum dilation across all phases.
+    pub max_dilation: usize,
+}
+
+/// Computes the link metrics for a routed mapping.
+pub fn compute(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> LinkMetrics {
+    let nl = net.num_links();
+    let mut total_link_volume = vec![0u64; nl];
+    let mut phases = Vec::with_capacity(tg.num_phases());
+    let mut dil_sum = 0u64;
+    let mut dil_count = 0u64;
+    let mut max_dilation = 0usize;
+
+    for (k, phase) in tg.comm_phases.iter().enumerate() {
+        let mut dilations = Vec::with_capacity(phase.edges.len());
+        let mut link_messages = vec![0u64; nl];
+        let mut link_volume = vec![0u64; nl];
+        for (i, e) in phase.edges.iter().enumerate() {
+            let path = &mapping.routes[k][i];
+            let d = path.len() - 1;
+            dilations.push(d);
+            max_dilation = max_dilation.max(d);
+            dil_sum += d as u64;
+            dil_count += 1;
+            for w in path.windows(2) {
+                let link = net
+                    .link_between(w[0], w[1])
+                    .expect("validated route")
+                    .index();
+                link_messages[link] += 1;
+                link_volume[link] += e.volume;
+                total_link_volume[link] += e.volume;
+            }
+        }
+        let edge_count = dilations.len() as u64;
+        let avg_dilation_millis = (dilations.iter().map(|&d| d as u64).sum::<u64>() * 1000)
+            .checked_div(edge_count)
+            .unwrap_or(0);
+        phases.push(PhaseLinkMetrics {
+            name: phase.name.clone(),
+            max_dilation: dilations.iter().copied().max().unwrap_or(0),
+            avg_dilation_millis,
+            max_contention: link_messages.iter().copied().max().unwrap_or(0),
+            dilations,
+            link_messages,
+            link_volume,
+        });
+    }
+    LinkMetrics {
+        phases,
+        total_link_volume,
+        avg_dilation_millis: (dil_sum * 1000).checked_div(dil_count).unwrap_or(0),
+        max_dilation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::Family;
+    use oregami_mapper::routing::route_all_phases;
+    use oregami_mapper::{Mapping, routing::Matcher};
+    use oregami_topology::{builders, ProcId, RouteTable};
+
+    fn ring_on_ring(n: usize) -> (TaskGraph, Network, Mapping) {
+        let tg = Family::Ring(n).build();
+        let net = builders::ring(n);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        (tg, net, Mapping { assignment, routes })
+    }
+
+    use oregami_graph::TaskGraph;
+    use oregami_topology::Network;
+
+    #[test]
+    fn identity_ring_mapping_all_dilation_1() {
+        let (tg, net, mapping) = ring_on_ring(6);
+        let m = compute(&tg, &net, &mapping);
+        assert_eq!(m.max_dilation, 1);
+        assert_eq!(m.avg_dilation_millis, 1000);
+        let ph = &m.phases[0];
+        assert_eq!(ph.dilations, vec![1; 6]);
+        // each ring link carries exactly one message of volume 1
+        assert_eq!(ph.link_messages, vec![1; 6]);
+        assert_eq!(ph.max_contention, 1);
+        assert_eq!(m.total_link_volume, vec![1; 6]);
+    }
+
+    #[test]
+    fn colocated_tasks_have_zero_dilation() {
+        let tg = Family::Ring(4).build();
+        let net = builders::ring(4);
+        let table = RouteTable::new(&net);
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = Mapping { assignment, routes };
+        let m = compute(&tg, &net, &mapping);
+        let ph = &m.phases[0];
+        // edges 0->1 and 2->3 are internal (dilation 0); 1->2 and 3->0 cross
+        assert_eq!(ph.dilations, vec![0, 1, 0, 1]);
+        assert_eq!(ph.avg_dilation_millis, 500);
+    }
+
+    #[test]
+    fn volumes_accumulate_across_phases() {
+        let mut tg = Family::Ring(3).build();
+        let p2 = tg.add_phase("heavy");
+        tg.add_edge(p2, 0usize.into(), 1usize.into(), 100);
+        let net = builders::ring(3);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..3).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = Mapping { assignment, routes };
+        let m = compute(&tg, &net, &mapping);
+        let l01 = net.link_between(ProcId(0), ProcId(1)).unwrap().index();
+        assert_eq!(m.phases[1].link_volume[l01], 100);
+        assert_eq!(m.total_link_volume[l01], 101);
+    }
+}

@@ -1,0 +1,88 @@
+//! Load-balancing metrics: tasks per processor and execution time per
+//! processor (paper §5).
+
+use oregami_graph::TaskGraph;
+use oregami_mapper::Mapping;
+use oregami_topology::Network;
+
+/// Per-processor load figures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadMetrics {
+    /// Number of tasks hosted by each processor.
+    pub tasks_per_proc: Vec<usize>,
+    /// Total execution time per processor: the sum over hosted tasks of
+    /// their cost in every execution phase (one occurrence each; the
+    /// completion-time model applies phase-expression repetition).
+    pub exec_time_per_proc: Vec<u64>,
+    /// Maximum over processors of `exec_time_per_proc`.
+    pub max_exec_time: u64,
+    /// Load-imbalance ratio ×1000: `max/mean` of per-processor execution
+    /// time, scaled by 1000 (1000 = perfectly balanced). 0 when there is no
+    /// execution cost at all.
+    pub imbalance_millis: u64,
+}
+
+/// Computes the load metrics.
+pub fn compute(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> LoadMetrics {
+    let p = net.num_procs();
+    let tasks_per_proc = mapping.tasks_per_proc(p);
+    let mut exec_time_per_proc = vec![0u64; p];
+    for t in 0..tg.num_tasks() {
+        exec_time_per_proc[mapping.proc_of(t).index()] += tg.exec_cost(t.into());
+    }
+    let max_exec_time = exec_time_per_proc.iter().copied().max().unwrap_or(0);
+    let total: u64 = exec_time_per_proc.iter().sum();
+    // max / mean, in thousandths
+    let imbalance_millis = (max_exec_time * 1000 * p as u64)
+        .checked_div(total)
+        .unwrap_or(0);
+    LoadMetrics {
+        tasks_per_proc,
+        exec_time_per_proc,
+        max_exec_time,
+        imbalance_millis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::task_graph::Cost;
+    use oregami_graph::Family;
+    use oregami_mapper::Mapping;
+    use oregami_topology::{builders, ProcId};
+
+    #[test]
+    fn balanced_mapping_has_ratio_1000() {
+        let mut tg = Family::Ring(4).build();
+        tg.add_exec_phase("work", Cost::Uniform(10));
+        let net = builders::ring(4);
+        let mapping = Mapping::unrouted((0..4).map(|i| ProcId(i as u32)).collect());
+        let m = compute(&tg, &net, &mapping);
+        assert_eq!(m.tasks_per_proc, vec![1; 4]);
+        assert_eq!(m.exec_time_per_proc, vec![10; 4]);
+        assert_eq!(m.imbalance_millis, 1000);
+    }
+
+    #[test]
+    fn skewed_mapping_detected() {
+        let mut tg = Family::Ring(4).build();
+        tg.add_exec_phase("work", Cost::PerTask(vec![10, 10, 10, 30]));
+        let net = builders::chain(2);
+        // tasks 0..2 on proc 0, task 3 alone on proc 1
+        let mapping = Mapping::unrouted(vec![ProcId(0), ProcId(0), ProcId(0), ProcId(1)]);
+        let m = compute(&tg, &net, &mapping);
+        assert_eq!(m.tasks_per_proc, vec![3, 1]);
+        assert_eq!(m.exec_time_per_proc, vec![30, 30]);
+        assert_eq!(m.imbalance_millis, 1000); // equal time despite task skew
+        assert_eq!(m.max_exec_time, 30);
+    }
+
+    #[test]
+    fn no_exec_phases_zero_ratio() {
+        let tg = Family::Ring(4).build();
+        let net = builders::ring(4);
+        let mapping = Mapping::unrouted((0..4).map(|i| ProcId(i as u32)).collect());
+        assert_eq!(compute(&tg, &net, &mapping).imbalance_millis, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Overall mapping metrics: total interprocessor communication and the
+//! estimated completion time of the computation (paper §5).
+//!
+//! Completion time is estimated by stepping the phase expression's
+//! linearised schedule under a synchronous cost model:
+//!
+//! * an execution slot costs the **maximum over processors** of the summed
+//!   cost of their tasks in that execution phase (processors run their
+//!   tasks serially, phases are barrier-synchronised);
+//! * a communication slot costs per-message startup plus the serialisation
+//!   of the busiest link — `startup + max_link(volume·byte_time) +
+//!   max_route_hops·hop_latency` — which is where link contention and
+//!   dilation show up as time;
+//! * parallel sub-slots (`r || s`) cost the maximum of their parts.
+//!
+//! Phase expressions with enormous repetition counts are costed
+//! arithmetically per slot of one iteration and scaled, so estimation never
+//! materialises billion-step schedules.
+
+use oregami_graph::{PhaseExpr, TaskGraph};
+use oregami_mapper::Mapping;
+use oregami_topology::Network;
+
+/// The synchronous communication/computation cost model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Time to move one volume unit over one link.
+    pub byte_time: u64,
+    /// Per-hop latency added for the longest route of the phase.
+    pub hop_latency: u64,
+    /// Fixed per-phase startup cost (software overhead).
+    pub startup: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            byte_time: 1,
+            hop_latency: 1,
+            startup: 0,
+        }
+    }
+}
+
+/// Overall figures for a mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverallMetrics {
+    /// Total interprocessor communication: summed volume of every edge
+    /// whose endpoints sit on different processors (one phase occurrence
+    /// each).
+    pub total_ipc: u64,
+    /// Volume internalised by co-location.
+    pub internalized_volume: u64,
+    /// Estimated completion time of one pass of the phase expression
+    /// (`None` when the task graph declares no phase expression).
+    pub completion_time: Option<u64>,
+    /// Time attributable to communication slots within `completion_time`.
+    pub comm_time: Option<u64>,
+}
+
+/// Computes the overall metrics.
+pub fn compute(
+    tg: &TaskGraph,
+    net: &Network,
+    mapping: &Mapping,
+    model: &CostModel,
+) -> OverallMetrics {
+    let mut total_ipc = 0;
+    let mut internalized = 0;
+    for (_, e) in tg.all_edges() {
+        if mapping.proc_of(e.src.index()) == mapping.proc_of(e.dst.index()) {
+            internalized += e.volume;
+        } else {
+            total_ipc += e.volume;
+        }
+    }
+    let (completion_time, comm_time) = match &tg.phase_expr {
+        Some(expr) => {
+            let costs = SlotCosts::new(tg, net, mapping, model);
+            let (total, comm) = walk(expr, &costs);
+            (Some(total), Some(comm))
+        }
+        None => (None, None),
+    };
+    OverallMetrics {
+        total_ipc,
+        internalized_volume: internalized,
+        completion_time,
+        comm_time,
+    }
+}
+
+/// Precomputed per-phase slot costs.
+struct SlotCosts {
+    comm: Vec<u64>,
+    exec: Vec<u64>,
+}
+
+impl SlotCosts {
+    fn new(tg: &TaskGraph, net: &Network, mapping: &Mapping, model: &CostModel) -> SlotCosts {
+        let p = net.num_procs();
+        let comm = (0..tg.num_phases())
+            .map(|k| {
+                let mut link_volume = vec![0u64; net.num_links()];
+                let mut max_hops = 0u64;
+                let mut any = false;
+                for (i, e) in tg.comm_phases[k].edges.iter().enumerate() {
+                    let path = &mapping.routes[k][i];
+                    if path.len() > 1 {
+                        any = true;
+                        max_hops = max_hops.max(path.len() as u64 - 1);
+                        for w in path.windows(2) {
+                            let l = net.link_between(w[0], w[1]).expect("validated").index();
+                            link_volume[l] += e.volume;
+                        }
+                    }
+                }
+                if !any {
+                    0 // fully internalised phase: free under this model
+                } else {
+                    model.startup
+                        + link_volume.iter().max().copied().unwrap_or(0) * model.byte_time
+                        + max_hops * model.hop_latency
+                }
+            })
+            .collect();
+        let exec = (0..tg.exec_phases.len())
+            .map(|x| {
+                let mut per_proc = vec![0u64; p];
+                for t in 0..tg.num_tasks() {
+                    per_proc[mapping.proc_of(t).index()] +=
+                        tg.exec_phases[x].cost.of(t.into());
+                }
+                per_proc.into_iter().max().unwrap_or(0)
+            })
+            .collect();
+        SlotCosts { comm, exec }
+    }
+}
+
+/// Walks the phase expression, returning `(total_time, comm_time)` without
+/// expanding repetitions.
+fn walk(expr: &PhaseExpr, costs: &SlotCosts) -> (u64, u64) {
+    match expr {
+        PhaseExpr::Idle => (0, 0),
+        PhaseExpr::Comm(p) => {
+            let c = costs.comm[p.index()];
+            (c, c)
+        }
+        PhaseExpr::Exec(e) => (costs.exec[e.index()], 0),
+        PhaseExpr::Seq(a, b) => {
+            let (ta, ca) = walk(a, costs);
+            let (tb, cb) = walk(b, costs);
+            (ta + tb, ca + cb)
+        }
+        PhaseExpr::Repeat(a, k) => {
+            let (ta, ca) = walk(a, costs);
+            (ta.saturating_mul(*k), ca.saturating_mul(*k))
+        }
+        PhaseExpr::Par(a, b) => {
+            // both sides run concurrently; the slot costs the longer side.
+            // (This is an upper-bound model: resources are assumed disjoint.)
+            let (ta, ca) = walk(a, costs);
+            let (tb, cb) = walk(b, costs);
+            (ta.max(tb), ca.max(cb))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::task_graph::Cost;
+    use oregami_graph::{Family, PhaseId, ExecId};
+    use oregami_mapper::routing::{route_all_phases, Matcher};
+    use oregami_topology::{builders, ProcId, RouteTable};
+
+    fn routed(tg: &TaskGraph, net: &Network, assignment: Vec<ProcId>) -> Mapping {
+        let table = RouteTable::new(net);
+        let routes = route_all_phases(tg, &assignment, net, &table, Matcher::Maximum);
+        Mapping { assignment, routes }
+    }
+
+    #[test]
+    fn ipc_splits_by_colocation() {
+        let tg = Family::Ring(4).build();
+        let net = builders::ring(4);
+        let mapping = routed(&tg, &net, vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)]);
+        let m = compute(&tg, &net, &mapping, &CostModel::default());
+        assert_eq!(m.total_ipc, 2);
+        assert_eq!(m.internalized_volume, 2);
+        assert_eq!(m.completion_time, None);
+    }
+
+    #[test]
+    fn completion_time_counts_slots() {
+        let mut tg = Family::Ring(4).build();
+        let work = tg.add_exec_phase("work", Cost::Uniform(10));
+        tg.phase_expr = Some(PhaseExpr::repeat(
+            PhaseExpr::seq(PhaseExpr::Comm(PhaseId(0)), PhaseExpr::Exec(work)),
+            3,
+        ));
+        let net = builders::ring(4);
+        let mapping = routed(&tg, &net, (0..4).map(|i| ProcId(i as u32)).collect());
+        let m = compute(&tg, &net, &mapping, &CostModel::default());
+        // comm slot: busiest link volume 1 * byte_time 1 + max hops 1 = 2
+        // exec slot: 10 (one task per proc)
+        // (2 + 10) * 3 = 36
+        assert_eq!(m.completion_time, Some(36));
+        assert_eq!(m.comm_time, Some(6));
+    }
+
+    #[test]
+    fn contention_slows_the_phase() {
+        // All four ring tasks on two processors: two messages share a link
+        // direction... the busiest link carries the volume of both
+        // crossing messages, so the comm slot costs more than dilation-1
+        // volume alone.
+        let mut tg = Family::Ring(4).build();
+        tg.phase_expr = Some(PhaseExpr::Comm(PhaseId(0)));
+        let net = builders::chain(2);
+        let mapping = routed(&tg, &net, vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)]);
+        let m = compute(&tg, &net, &mapping, &CostModel::default());
+        // both crossing messages (1->2 and 3->0) use the single link:
+        // volume 2 * 1 + 1 hop = 3
+        assert_eq!(m.completion_time, Some(3));
+    }
+
+    #[test]
+    fn huge_repetition_does_not_expand() {
+        let mut tg = Family::Ring(4).build();
+        let work = tg.add_exec_phase("work", Cost::Uniform(1));
+        tg.phase_expr = Some(PhaseExpr::repeat(PhaseExpr::Exec(work), 1_000_000_000));
+        let net = builders::ring(4);
+        let mapping = routed(&tg, &net, (0..4).map(|i| ProcId(i as u32)).collect());
+        let m = compute(&tg, &net, &mapping, &CostModel::default());
+        assert_eq!(m.completion_time, Some(1_000_000_000));
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let mut tg = Family::Ring(4).build();
+        let fast = tg.add_exec_phase("fast", Cost::Uniform(1));
+        let slow = tg.add_exec_phase("slow", Cost::Uniform(9));
+        tg.phase_expr = Some(PhaseExpr::par(
+            PhaseExpr::Exec(fast),
+            PhaseExpr::Exec(slow),
+        ));
+        let net = builders::ring(4);
+        let mapping = routed(&tg, &net, (0..4).map(|i| ProcId(i as u32)).collect());
+        let m = compute(&tg, &net, &mapping, &CostModel::default());
+        assert_eq!(m.completion_time, Some(9));
+        let _ = ExecId(0);
+    }
+
+    #[test]
+    fn internal_phase_is_free() {
+        let mut tg = Family::Ring(4).build();
+        tg.phase_expr = Some(PhaseExpr::Comm(PhaseId(0)));
+        let net = builders::chain(2);
+        let mapping = routed(&tg, &net, vec![ProcId(0); 4]);
+        let m = compute(&tg, &net, &mapping, &CostModel::default());
+        assert_eq!(m.completion_time, Some(0));
+        assert_eq!(m.total_ipc, 0);
+        assert_eq!(m.internalized_volume, 4);
+    }
+}

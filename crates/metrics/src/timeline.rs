@@ -1,0 +1,239 @@
+//! Completion-time breakdown: where the estimated time goes, slot by slot.
+//!
+//! The overall completion-time estimate (paper §5) is a single number;
+//! METRICS' users also want to see *which* phases dominate. The timeline
+//! walks one pass of the phase expression and attributes cost to each
+//! phase, without expanding repetitions — each (phase, multiplicity) pair
+//! becomes one row.
+
+use crate::overall::CostModel;
+use oregami_graph::{PhaseExpr, TaskGraph};
+use oregami_mapper::Mapping;
+use oregami_topology::Network;
+
+/// One row of the breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineRow {
+    /// Phase name (communication or execution).
+    pub phase: String,
+    /// Whether this is a communication phase.
+    pub is_comm: bool,
+    /// How many times the phase occurs in one pass.
+    pub occurrences: u64,
+    /// Cost of a single occurrence under the cost model.
+    pub unit_cost: u64,
+    /// `occurrences × unit_cost`.
+    pub total_cost: u64,
+}
+
+/// Computes the per-phase cost breakdown of one pass of the phase
+/// expression. Rows are ordered comm phases first (in phase order), then
+/// exec phases. Returns `None` when no phase expression is declared.
+///
+/// The sum of `total_cost` equals the overall completion-time estimate
+/// whenever the expression has no `||` (parallel composition takes a max,
+/// which the per-phase attribution counts fully on both sides — the
+/// breakdown then over-approximates; `is_exact` in [`Timeline`] flags it).
+pub fn timeline(
+    tg: &TaskGraph,
+    net: &Network,
+    mapping: &Mapping,
+    model: &CostModel,
+) -> Option<Timeline> {
+    let expr = tg.phase_expr.as_ref()?;
+    // occurrence counts (arithmetic, no expansion)
+    let comm_mult = expr.comm_multiplicities();
+    let mut exec_mult = vec![0u64; tg.exec_phases.len()];
+    count_exec(expr, 1, &mut exec_mult);
+
+    // unit costs mirror the overall model
+    let overall = crate::overall::compute(tg, net, mapping, model);
+    let mut rows = Vec::new();
+    for (k, phase) in tg.comm_phases.iter().enumerate() {
+        let occurrences = comm_mult.get(k).copied().unwrap_or(0);
+        let unit = comm_unit_cost(tg, net, mapping, model, k);
+        rows.push(TimelineRow {
+            phase: phase.name.clone(),
+            is_comm: true,
+            occurrences,
+            unit_cost: unit,
+            total_cost: occurrences * unit,
+        });
+    }
+    for (x, phase) in tg.exec_phases.iter().enumerate() {
+        let unit = exec_unit_cost(tg, net, mapping, x);
+        rows.push(TimelineRow {
+            phase: phase.name.clone(),
+            is_comm: false,
+            occurrences: exec_mult[x],
+            unit_cost: unit,
+            total_cost: exec_mult[x] * unit,
+        });
+    }
+    let attributed: u64 = rows.iter().map(|r| r.total_cost).sum();
+    Some(Timeline {
+        is_exact: attributed == overall.completion_time.unwrap_or(0),
+        completion_time: overall.completion_time.unwrap_or(0),
+        rows,
+    })
+}
+
+/// The breakdown plus its reconciliation with the overall estimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timeline {
+    /// Per-phase rows.
+    pub rows: Vec<TimelineRow>,
+    /// The overall completion-time estimate the rows are reconciled with.
+    pub completion_time: u64,
+    /// `true` when Σ rows == completion time (no `||` overlap).
+    pub is_exact: bool,
+}
+
+impl Timeline {
+    /// Renders the breakdown as an ASCII table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "-- completion-time breakdown --");
+        let _ = writeln!(s, "phase            kind  occurs  unit-cost  total");
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<16} {:<5} {:>6}  {:>9}  {:>6}",
+                r.phase,
+                if r.is_comm { "comm" } else { "exec" },
+                r.occurrences,
+                r.unit_cost,
+                r.total_cost
+            );
+        }
+        let _ = writeln!(
+            s,
+            "completion time {} ({})",
+            self.completion_time,
+            if self.is_exact {
+                "exact"
+            } else {
+                "rows over-count '||' overlap"
+            }
+        );
+        s
+    }
+}
+
+fn count_exec(expr: &PhaseExpr, mult: u64, out: &mut [u64]) {
+    match expr {
+        PhaseExpr::Idle | PhaseExpr::Comm(_) => {}
+        PhaseExpr::Exec(e) => {
+            if e.index() < out.len() {
+                out[e.index()] += mult;
+            }
+        }
+        PhaseExpr::Seq(a, b) | PhaseExpr::Par(a, b) => {
+            count_exec(a, mult, out);
+            count_exec(b, mult, out);
+        }
+        PhaseExpr::Repeat(a, k) => count_exec(a, mult.saturating_mul(*k), out),
+    }
+}
+
+fn comm_unit_cost(
+    tg: &TaskGraph,
+    net: &Network,
+    mapping: &Mapping,
+    model: &CostModel,
+    k: usize,
+) -> u64 {
+    let mut link_volume = vec![0u64; net.num_links()];
+    let mut max_hops = 0u64;
+    let mut any = false;
+    for (i, e) in tg.comm_phases[k].edges.iter().enumerate() {
+        let path = &mapping.routes[k][i];
+        if path.len() > 1 {
+            any = true;
+            max_hops = max_hops.max(path.len() as u64 - 1);
+            for w in path.windows(2) {
+                link_volume[net.link_between(w[0], w[1]).expect("validated").index()] += e.volume;
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        model.startup
+            + link_volume.iter().max().copied().unwrap_or(0) * model.byte_time
+            + max_hops * model.hop_latency
+    }
+}
+
+fn exec_unit_cost(tg: &TaskGraph, net: &Network, mapping: &Mapping, x: usize) -> u64 {
+    let mut per_proc = vec![0u64; net.num_procs()];
+    for t in 0..tg.num_tasks() {
+        per_proc[mapping.proc_of(t).index()] += tg.exec_phases[x].cost.of(t.into());
+    }
+    per_proc.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::task_graph::Cost;
+    use oregami_graph::{Family, PhaseId};
+    use oregami_mapper::routing::{route_all_phases, Matcher};
+    use oregami_topology::{builders, ProcId, RouteTable};
+
+    #[test]
+    fn breakdown_reconciles_for_sequential_expressions() {
+        let mut tg = Family::Ring(4).build();
+        let work = tg.add_exec_phase("work", Cost::Uniform(10));
+        tg.phase_expr = Some(PhaseExpr::repeat(
+            PhaseExpr::seq(PhaseExpr::Comm(PhaseId(0)), PhaseExpr::Exec(work)),
+            3,
+        ));
+        let net = builders::ring(4);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = oregami_mapper::Mapping { assignment, routes };
+        let tl = timeline(&tg, &net, &mapping, &CostModel::default()).unwrap();
+        assert!(tl.is_exact);
+        assert_eq!(tl.rows.len(), 2);
+        let comm = &tl.rows[0];
+        assert_eq!(comm.occurrences, 3);
+        assert_eq!(comm.unit_cost, 2); // volume 1 + 1 hop
+        let exec = &tl.rows[1];
+        assert_eq!(exec.total_cost, 30);
+        assert_eq!(tl.completion_time, 36);
+        let text = tl.render();
+        assert!(text.contains("comm"));
+        assert!(text.contains("(exact)"));
+    }
+
+    #[test]
+    fn parallel_expressions_flagged_inexact() {
+        let mut tg = Family::Ring(4).build();
+        let a = tg.add_exec_phase("a", Cost::Uniform(5));
+        let b = tg.add_exec_phase("b", Cost::Uniform(7));
+        tg.phase_expr = Some(PhaseExpr::par(PhaseExpr::Exec(a), PhaseExpr::Exec(b)));
+        let net = builders::ring(4);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = oregami_mapper::Mapping { assignment, routes };
+        let tl = timeline(&tg, &net, &mapping, &CostModel::default()).unwrap();
+        // completion = max(5,7) = 7, rows sum to 12
+        assert_eq!(tl.completion_time, 7);
+        assert!(!tl.is_exact);
+    }
+
+    #[test]
+    fn no_phase_expr_no_timeline() {
+        let tg = Family::Ring(4).build();
+        let net = builders::ring(4);
+        let table = RouteTable::new(&net);
+        let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        let mapping = oregami_mapper::Mapping { assignment, routes };
+        assert!(timeline(&tg, &net, &mapping, &CostModel::default()).is_none());
+    }
+}

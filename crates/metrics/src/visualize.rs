@@ -1,0 +1,153 @@
+//! Graphviz rendering of a completed mapping — the offline stand-in for
+//! METRICS' interactive color display (paper §5).
+//!
+//! Two views are produced:
+//!
+//! * [`mapping_to_dot`] — the task graph grouped into one subgraph cluster
+//!   per processor, communication edges colored by phase (the paper's
+//!   conceptual edge colors), crossing edges labelled with their dilation;
+//! * [`network_to_dot`] — the processor network with links weighted by the
+//!   total communication volume routed over them (the contention heat
+//!   view).
+
+use oregami_graph::dot::PHASE_COLORS;
+use oregami_graph::TaskGraph;
+use oregami_mapper::Mapping;
+use oregami_topology::Network;
+use std::fmt::Write as _;
+
+/// Renders the mapping as a clustered DOT digraph: one `cluster_pN`
+/// subgraph per processor containing its tasks, edges colored by phase,
+/// inter-processor edges labelled `phase:volume (d=dilation)`.
+pub fn mapping_to_dot(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{} on {}\" {{", tg.name, net.name);
+    let _ = writeln!(s, "  compound=true; node [shape=circle];");
+    for p in 0..net.num_procs() {
+        let tasks: Vec<usize> = (0..tg.num_tasks())
+            .filter(|&t| mapping.proc_of(t).index() == p)
+            .collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "  subgraph cluster_p{p} {{");
+        let _ = writeln!(s, "    label=\"proc {p}\"; style=rounded;");
+        for t in tasks {
+            let _ = writeln!(s, "    n{} [label=\"{}\"];", t, tg.nodes[t].label);
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    for (k, phase) in tg.comm_phases.iter().enumerate() {
+        let color = PHASE_COLORS[k % PHASE_COLORS.len()];
+        for (i, e) in phase.edges.iter().enumerate() {
+            let dilation = if mapping.routes.is_empty() {
+                None
+            } else {
+                Some(mapping.routes[k][i].len() - 1)
+            };
+            match dilation {
+                Some(d) if d > 0 => {
+                    let _ = writeln!(
+                        s,
+                        "  n{} -> n{} [color={color}, label=\"{}:{} (d={d})\"];",
+                        e.src.index(),
+                        e.dst.index(),
+                        phase.name,
+                        e.volume
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        s,
+                        "  n{} -> n{} [color={color}, style=dashed];",
+                        e.src.index(),
+                        e.dst.index()
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders the processor network with per-link routed volume as edge
+/// labels and pen widths (the contention heat view).
+pub fn network_to_dot(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> String {
+    let metrics = crate::links::compute(tg, net, mapping);
+    let mut s = String::new();
+    let _ = writeln!(s, "graph \"{}\" {{", net.name);
+    let _ = writeln!(s, "  node [shape=box];");
+    for p in 0..net.num_procs() {
+        let hosted = mapping.tasks_per_proc(net.num_procs())[p];
+        let _ = writeln!(s, "  p{p} [label=\"p{p}\\n{hosted} tasks\"];");
+    }
+    let max_vol = metrics
+        .total_link_volume
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    for (id, u, v) in net.links() {
+        let vol = metrics.total_link_volume[id.index()];
+        let width = 1 + 4 * vol / max_vol;
+        let _ = writeln!(
+            s,
+            "  p{} -- p{} [label=\"{vol}\", penwidth={width}];",
+            u.index(),
+            v.index()
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_graph::Family;
+    use oregami_mapper::routing::{route_all_phases, Matcher};
+    use oregami_topology::{builders, ProcId, RouteTable};
+
+    fn setup() -> (TaskGraph, Network, Mapping) {
+        let tg = Family::Ring(4).build();
+        let net = builders::chain(2);
+        let table = RouteTable::new(&net);
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
+        let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+        (tg, net, Mapping { assignment, routes })
+    }
+
+    #[test]
+    fn mapping_dot_groups_by_processor() {
+        let (tg, net, mapping) = setup();
+        let dot = mapping_to_dot(&tg, &net, &mapping);
+        assert!(dot.contains("subgraph cluster_p0"));
+        assert!(dot.contains("subgraph cluster_p1"));
+        // internal edges are dashed, crossing edges carry dilation labels
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("(d=1)"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn network_dot_carries_volumes() {
+        let (tg, net, mapping) = setup();
+        let dot = network_to_dot(&tg, &net, &mapping);
+        assert!(dot.starts_with("graph"));
+        assert!(dot.contains("p0 -- p1"));
+        // the single chain link carries the two crossing unit messages
+        assert!(dot.contains("label=\"2\""));
+        assert!(dot.contains("2 tasks"));
+    }
+
+    #[test]
+    fn unrouted_mapping_renders_without_dilation() {
+        let (tg, net, mut mapping) = setup();
+        mapping.routes.clear();
+        let dot = mapping_to_dot(&tg, &net, &mapping);
+        assert!(!dot.contains("(d="));
+        assert!(dot.contains("cluster_p0"));
+    }
+}

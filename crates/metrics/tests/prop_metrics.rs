@@ -1,0 +1,158 @@
+//! Property-based validation of the METRICS engine: conservation laws and
+//! edit-loop consistency on random workloads and mappings.
+
+use oregami_graph::{TaskGraph, TaskId};
+use oregami_mapper::routing::{route_all_phases, Matcher};
+use oregami_mapper::Mapping;
+use oregami_metrics::{analyze_mapping, CostModel};
+use oregami_topology::{builders, Network, ProcId, RouteTable};
+use proptest::prelude::*;
+
+fn network(which: usize) -> Network {
+    match which % 4 {
+        0 => builders::hypercube(2),
+        1 => builders::mesh2d(2, 3),
+        2 => builders::ring(5),
+        _ => builders::chain(4),
+    }
+}
+
+fn random_setup(
+    edges: &[(usize, usize, u64)],
+    phases: usize,
+    which: usize,
+    seed: u64,
+) -> (TaskGraph, Network, Mapping) {
+    let n = 8;
+    let mut tg = TaskGraph::new("rand");
+    tg.add_scalar_nodes("t", n);
+    for k in 0..phases {
+        tg.add_phase(format!("p{k}"));
+    }
+    for (i, &(u, v, w)) in edges.iter().enumerate() {
+        if u != v {
+            let ph = oregami_graph::PhaseId::new(i % phases);
+            tg.add_edge(ph, TaskId::new(u % n), TaskId::new(v % n), w);
+        }
+    }
+    let net = network(which);
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let assignment: Vec<ProcId> = (0..n)
+        .map(|_| ProcId((next() % net.num_procs() as u64) as u32))
+        .collect();
+    let table = RouteTable::new(&net);
+    let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+    (tg, net, Mapping { assignment, routes })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation: IPC + internalised volume equals the total edge
+    /// volume; per-phase link volumes equal volume × dilation summed.
+    #[test]
+    fn volume_conservation(
+        edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..40), 1..24),
+        phases in 1usize..4,
+        which in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (tg, net, mapping) = random_setup(&edges, phases, which, seed);
+        let m = analyze_mapping(&tg, &net, &mapping, &CostModel::default());
+        let total: u64 = tg.all_edges().map(|(_, e)| e.volume).sum();
+        prop_assert_eq!(m.overall.total_ipc + m.overall.internalized_volume, total);
+        for (k, ph) in m.links.phases.iter().enumerate() {
+            let expected: u64 = tg.comm_phases[k]
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, e)| e.volume * (mapping.routes[k][i].len() as u64 - 1))
+                .sum();
+            prop_assert_eq!(ph.link_volume.iter().sum::<u64>(), expected);
+            // message counts likewise conserve dilation
+            let hops: u64 = ph.dilations.iter().map(|&d| d as u64).sum();
+            prop_assert_eq!(ph.link_messages.iter().sum::<u64>(), hops);
+        }
+    }
+
+    /// Load accounting: tasks and execution time are conserved across
+    /// processors, and the imbalance ratio is at least 1 when any cost
+    /// exists.
+    #[test]
+    fn load_conservation(
+        edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..10), 1..10),
+        which in 0usize..4,
+        cost in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let (mut tg, net, mapping) = random_setup(&edges, 1, which, seed);
+        tg.add_exec_phase("w", oregami_graph::task_graph::Cost::Uniform(cost));
+        let m = analyze_mapping(&tg, &net, &mapping, &CostModel::default());
+        prop_assert_eq!(m.load.tasks_per_proc.iter().sum::<usize>(), 8);
+        prop_assert_eq!(m.load.exec_time_per_proc.iter().sum::<u64>(), 8 * cost);
+        prop_assert!(m.load.imbalance_millis >= 1000);
+    }
+
+    /// Edit-loop consistency: reassigning a task and re-analysing yields
+    /// the same report as analysing a freshly routed copy of the same
+    /// assignment.
+    #[test]
+    fn reassign_is_consistent_with_fresh_analysis(
+        edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..20), 1..16),
+        which in 0usize..4,
+        task in 0usize..8,
+        target in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let (tg, net, mut mapping) = random_setup(&edges, 1, which, seed);
+        let target = ProcId(target % net.num_procs() as u32);
+        let table = RouteTable::new(&net);
+        mapping.reassign(&tg, &net, &table, task, target);
+        mapping.validate(&tg, &net).unwrap();
+        let edited = analyze_mapping(&tg, &net, &mapping, &CostModel::default());
+        // the overall (route-independent) figures must match a fresh
+        // mapping with the same assignment
+        let fresh_routes =
+            route_all_phases(&tg, &mapping.assignment, &net, &table, Matcher::Maximum);
+        let fresh = Mapping { assignment: mapping.assignment.clone(), routes: fresh_routes };
+        let fresh_m = analyze_mapping(&tg, &net, &fresh, &CostModel::default());
+        prop_assert_eq!(edited.overall.total_ipc, fresh_m.overall.total_ipc);
+        prop_assert_eq!(edited.load, fresh_m.load);
+        // dilations agree too: both route shortest
+        prop_assert_eq!(
+            edited.links.avg_dilation_millis,
+            fresh_m.links.avg_dilation_millis
+        );
+    }
+
+    /// Cost-model monotonicity: scaling every cost parameter up never
+    /// decreases the completion-time estimate.
+    #[test]
+    fn cost_model_is_monotone(
+        edges in proptest::collection::vec((0usize..8, 0usize..8, 1u64..20), 1..16),
+        which in 0usize..4,
+        seed in any::<u64>(),
+        scale in 2u64..10,
+    ) {
+        let (mut tg, net, mapping) = random_setup(&edges, 1, which, seed);
+        let w = tg.add_exec_phase("w", oregami_graph::task_graph::Cost::Uniform(5));
+        tg.phase_expr = Some(oregami_graph::PhaseExpr::seq(
+            oregami_graph::PhaseExpr::Comm(oregami_graph::PhaseId(0)),
+            oregami_graph::PhaseExpr::Exec(w),
+        ));
+        let base = analyze_mapping(&tg, &net, &mapping, &CostModel::default());
+        let scaled = analyze_mapping(
+            &tg,
+            &net,
+            &mapping,
+            &CostModel { byte_time: scale, hop_latency: scale, startup: scale },
+        );
+        prop_assert!(scaled.overall.completion_time >= base.overall.completion_time);
+    }
+}

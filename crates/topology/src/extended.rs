@@ -1,0 +1,194 @@
+//! Additional interconnection topologies beyond the paper's core set:
+//! 3-D meshes and tori (Cray-style), cube-connected cycles, and de Bruijn
+//! networks. CCC and de Bruijn are themselves Cayley-graph-based networks
+//! of the kind the paper cites ([AK89]) as promising targets for the
+//! group-theoretic machinery.
+
+use crate::network::{Network, TopologyKind};
+
+/// `x × y × z` 3-D mesh, 6-neighbor, row-major numbering
+/// (`(i,j,k) ↦ (i·y + j)·z + k`).
+pub fn mesh3d(x: usize, y: usize, z: usize) -> Network {
+    assert!(x >= 1 && y >= 1 && z >= 1, "mesh3d dims must be positive");
+    let id = |i: usize, j: usize, k: usize| ((i * y + j) * z + k) as u32;
+    let mut links = Vec::new();
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i + 1 < x {
+                    links.push((id(i, j, k), id(i + 1, j, k)));
+                }
+                if j + 1 < y {
+                    links.push((id(i, j, k), id(i, j + 1, k)));
+                }
+                if k + 1 < z {
+                    links.push((id(i, j, k), id(i, j, k + 1)));
+                }
+            }
+        }
+    }
+    Network::from_links(
+        format!("mesh3d({x}x{y}x{z})"),
+        TopologyKind::Custom,
+        x * y * z,
+        links,
+    )
+}
+
+/// `x × y × z` 3-D torus; wrap links only along dimensions longer than 2.
+pub fn torus3d(x: usize, y: usize, z: usize) -> Network {
+    assert!(x >= 1 && y >= 1 && z >= 1, "torus3d dims must be positive");
+    let id = |i: usize, j: usize, k: usize| ((i * y + j) * z + k) as u32;
+    let mut links = Vec::new();
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i + 1 < x {
+                    links.push((id(i, j, k), id(i + 1, j, k)));
+                } else if x > 2 {
+                    links.push((id(i, j, k), id(0, j, k)));
+                }
+                if j + 1 < y {
+                    links.push((id(i, j, k), id(i, j + 1, k)));
+                } else if y > 2 {
+                    links.push((id(i, j, k), id(i, 0, k)));
+                }
+                if k + 1 < z {
+                    links.push((id(i, j, k), id(i, j, k + 1)));
+                } else if z > 2 {
+                    links.push((id(i, j, k), id(i, j, 0)));
+                }
+            }
+        }
+    }
+    Network::from_links(
+        format!("torus3d({x}x{y}x{z})"),
+        TopologyKind::Custom,
+        x * y * z,
+        links,
+    )
+}
+
+/// Cube-connected cycles CCC(d): each hypercube corner is replaced by a
+/// `d`-cycle; node `(corner, position)` links along its cycle and across
+/// dimension `position`. `d·2^d` processors, degree 3 throughout (for
+/// `d ≥ 3`).
+pub fn cube_connected_cycles(d: usize) -> Network {
+    assert!(d >= 3, "CCC needs dimension >= 3");
+    let id = |corner: usize, pos: usize| (corner * d + pos) as u32;
+    let mut links = Vec::new();
+    for corner in 0..1usize << d {
+        for pos in 0..d {
+            // cycle link
+            let next = (pos + 1) % d;
+            links.push((id(corner, pos), id(corner, next)));
+            // cube link across dimension `pos`
+            let other = corner ^ (1 << pos);
+            if corner < other {
+                links.push((id(corner, pos), id(other, pos)));
+            }
+        }
+    }
+    Network::from_links(
+        format!("ccc({d})"),
+        TopologyKind::Custom,
+        d << d,
+        links,
+    )
+}
+
+/// Undirected binary de Bruijn network DB(d): `2^d` nodes, node `v`
+/// adjacent to `(2v) mod 2^d` and `(2v+1) mod 2^d` (shift-in-0/1), self-
+/// loops and duplicate pairs dropped. Diameter `d` with degree ≤ 4.
+pub fn debruijn(d: usize) -> Network {
+    assert!(d >= 2, "de Bruijn needs d >= 2");
+    let n = 1usize << d;
+    let mask = n - 1;
+    let mut links = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for v in 0..n {
+        for b in 0..2usize {
+            let w = ((v << 1) | b) & mask;
+            if v != w {
+                let key = (v.min(w), v.max(w));
+                if seen.insert(key) {
+                    links.push((key.0 as u32, key.1 as u32));
+                }
+            }
+        }
+    }
+    Network::from_links(format!("debruijn({d})"), TopologyKind::Custom, n, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ProcId;
+    use crate::routes::RouteTable;
+
+    #[test]
+    fn mesh3d_counts_and_diameter() {
+        let m = mesh3d(2, 3, 4);
+        assert_eq!(m.num_procs(), 24);
+        // links: (x-1)yz + x(y-1)z + xy(z-1) = 12 + 16 + 18
+        assert_eq!(m.num_links(), 46);
+        assert_eq!(m.diameter(), Some(1 + 2 + 3));
+    }
+
+    #[test]
+    fn torus3d_wraps_long_dimensions() {
+        let t = torus3d(3, 3, 3);
+        assert_eq!(t.num_procs(), 27);
+        // every node has degree 6
+        for p in 0..27 {
+            assert_eq!(t.degree(ProcId(p)), 6);
+        }
+        assert_eq!(t.diameter(), Some(3));
+    }
+
+    #[test]
+    fn torus3d_short_dims_no_duplicates() {
+        let t = torus3d(2, 2, 5);
+        assert!(t.is_connected());
+        // degree along length-2 dims is 1 each, plus 2 for the wrapped dim
+        for p in 0..t.num_procs() as u32 {
+            assert_eq!(t.degree(ProcId(p)), 4);
+        }
+    }
+
+    #[test]
+    fn ccc_is_cubic_and_connected() {
+        let c = cube_connected_cycles(3);
+        assert_eq!(c.num_procs(), 24);
+        for p in 0..24 {
+            assert_eq!(c.degree(ProcId(p)), 3, "CCC is 3-regular");
+        }
+        assert!(c.is_connected());
+        // CCC(3) has diameter 6
+        assert_eq!(c.diameter(), Some(6));
+    }
+
+    #[test]
+    fn debruijn_diameter_is_d() {
+        for d in 2..=6 {
+            let g = debruijn(d);
+            assert_eq!(g.num_procs(), 1 << d);
+            assert!(g.is_connected());
+            assert_eq!(g.diameter(), Some(d as u32), "DB({d})");
+        }
+    }
+
+    #[test]
+    fn routing_works_on_extended_topologies() {
+        for net in [mesh3d(2, 2, 2), cube_connected_cycles(3), debruijn(4)] {
+            let table = RouteTable::new(&net);
+            let n = net.num_procs() as u32;
+            for u in 0..n.min(6) {
+                for v in 0..n.min(6) {
+                    let path = table.first_path(&net, ProcId(u), ProcId(v));
+                    assert_eq!(path.len() as u32 - 1, table.dist(ProcId(u), ProcId(v)));
+                }
+            }
+        }
+    }
+}

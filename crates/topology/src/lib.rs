@@ -1,0 +1,29 @@
+//! # oregami-topology
+//!
+//! Interconnection-network models for OREGAMI's target architectures.
+//!
+//! The paper assumes "homogeneous processors connected by some regular
+//! network topology" (iPSC/2 and NCUBE hypercubes, Transputer meshes, ...).
+//! This crate provides:
+//!
+//! * [`Network`] — an undirected processor/link graph with stable link ids
+//!   (routing assigns task-graph edges to link sequences);
+//! * [`builders`] — constructors for every topology the paper mentions:
+//!   hypercube, 2-D mesh and torus, ring, chain/linear array, complete,
+//!   star, full binary tree, butterfly;
+//! * [`routes::RouteTable`] — all-pairs distances plus *all-shortest-path*
+//!   enumeration, the "table of routing information" MM-Route (paper §4.4)
+//!   draws candidate hops from;
+//! * [`gray`] — binary-reflected Gray codes used by the canned
+//!   ring/mesh→hypercube embeddings;
+//! * [`extended`] — further targets beyond the paper's core set: 3-D
+//!   meshes and tori, cube-connected cycles, de Bruijn networks.
+
+pub mod builders;
+pub mod extended;
+pub mod gray;
+pub mod network;
+pub mod routes;
+
+pub use network::{LinkId, Network, ProcId, TopologyKind};
+pub use routes::RouteTable;

@@ -1,0 +1,267 @@
+//! The processor-network model: homogeneous processors joined by undirected
+//! links, each link carrying a stable [`LinkId`] that routing decisions
+//! reference.
+
+use oregami_graph::Csr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a processor in a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+/// Identifier of an undirected link in a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl ProcId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The shape of a regular network, used as the canned-mapping hash key
+/// (paper §4.1: "hashing on the name of the task graph and the name of the
+/// network topology").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Boolean `d`-cube.
+    Hypercube(usize),
+    /// `rows × cols` mesh.
+    Mesh2D(usize, usize),
+    /// `rows × cols` torus.
+    Torus2D(usize, usize),
+    /// Cycle of `n` processors.
+    Ring(usize),
+    /// Linear array of `n` processors.
+    Chain(usize),
+    /// Fully connected `n` processors.
+    Complete(usize),
+    /// Star on `n` processors (hub = processor 0).
+    Star(usize),
+    /// Full binary tree of height `h`.
+    FullBinaryTree(usize),
+    /// Butterfly with `d` levels.
+    Butterfly(usize),
+    /// Anything hand-built.
+    Custom,
+}
+
+impl TopologyKind {
+    /// Display name used by the canned-mapping library and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Hypercube(_) => "hypercube",
+            TopologyKind::Mesh2D(..) => "mesh2d",
+            TopologyKind::Torus2D(..) => "torus2d",
+            TopologyKind::Ring(_) => "ring",
+            TopologyKind::Chain(_) => "chain",
+            TopologyKind::Complete(_) => "complete",
+            TopologyKind::Star(_) => "star",
+            TopologyKind::FullBinaryTree(_) => "fullbinarytree",
+            TopologyKind::Butterfly(_) => "butterfly",
+            TopologyKind::Custom => "custom",
+        }
+    }
+}
+
+/// An undirected processor network.
+///
+/// Links are stored once and identified by [`LinkId`]; `link_between`
+/// resolves an (unordered) processor pair to its link. An undirected CSR
+/// adjacency is kept for traversal.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// Human-readable name, e.g. `hypercube(3)`.
+    pub name: String,
+    /// Structural kind for canned-mapping dispatch.
+    pub kind: TopologyKind,
+    num_procs: usize,
+    links: Vec<(ProcId, ProcId)>,
+    link_of: HashMap<(u32, u32), LinkId>,
+    adj: Csr,
+}
+
+impl Network {
+    /// Builds a network from an explicit link list. Duplicate links and
+    /// self-loops are rejected.
+    ///
+    /// # Panics
+    /// On out-of-range endpoints, self-loops, or duplicate links.
+    pub fn from_links(
+        name: impl Into<String>,
+        kind: TopologyKind,
+        num_procs: usize,
+        links: Vec<(u32, u32)>,
+    ) -> Network {
+        let mut link_of = HashMap::with_capacity(links.len());
+        let mut stored = Vec::with_capacity(links.len());
+        for (i, &(u, v)) in links.iter().enumerate() {
+            assert!(
+                (u as usize) < num_procs && (v as usize) < num_procs,
+                "link endpoint out of range"
+            );
+            assert_ne!(u, v, "self-loop link");
+            let key = (u.min(v), u.max(v));
+            let prev = link_of.insert(key, LinkId(i as u32));
+            assert!(prev.is_none(), "duplicate link {key:?}");
+            stored.push((ProcId(u), ProcId(v)));
+        }
+        let adj = Csr::undirected(
+            num_procs,
+            stored
+                .iter()
+                .map(|&(u, v)| (u.index(), v.index()))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        Network {
+            name: name.into(),
+            kind,
+            num_procs,
+            links: stored,
+            link_of,
+            adj,
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Number of undirected links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The endpoints of a link.
+    #[inline]
+    pub fn link_endpoints(&self, l: LinkId) -> (ProcId, ProcId) {
+        self.links[l.index()]
+    }
+
+    /// The link joining `u` and `v`, if the pair is adjacent.
+    pub fn link_between(&self, u: ProcId, v: ProcId) -> Option<LinkId> {
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        self.link_of.get(&key).copied()
+    }
+
+    /// Neighboring processors of `u`.
+    pub fn neighbors(&self, u: ProcId) -> impl Iterator<Item = ProcId> + '_ {
+        self.adj.neighbors(u.index()).iter().map(|&v| ProcId(v))
+    }
+
+    /// Degree of processor `u`.
+    pub fn degree(&self, u: ProcId) -> usize {
+        self.adj.degree(u.index())
+    }
+
+    /// The underlying undirected adjacency.
+    #[inline]
+    pub fn adjacency(&self) -> &Csr {
+        &self.adj
+    }
+
+    /// All links with ids, in id order.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, ProcId, ProcId)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (LinkId(i as u32), u, v))
+    }
+
+    /// Network diameter (None if disconnected).
+    pub fn diameter(&self) -> Option<u32> {
+        oregami_graph::traversal::diameter(&self.adj)
+    }
+
+    /// Whether every processor can reach every other.
+    pub fn is_connected(&self) -> bool {
+        oregami_graph::traversal::is_connected(&self.adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Network {
+        Network::from_links("tri", TopologyKind::Custom, 3, vec![(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn basic_queries() {
+        let n = triangle();
+        assert_eq!(n.num_procs(), 3);
+        assert_eq!(n.num_links(), 3);
+        assert_eq!(n.link_between(ProcId(2), ProcId(0)), Some(LinkId(2)));
+        assert_eq!(n.link_between(ProcId(0), ProcId(2)), Some(LinkId(2)));
+        assert_eq!(n.degree(ProcId(1)), 2);
+        assert!(n.is_connected());
+        assert_eq!(n.diameter(), Some(1));
+    }
+
+    #[test]
+    fn link_endpoints_roundtrip() {
+        let n = triangle();
+        for (id, u, v) in n.links() {
+            assert_eq!(n.link_between(u, v), Some(id));
+            assert_eq!(n.link_endpoints(id), (u, v));
+        }
+    }
+
+    #[test]
+    fn missing_link_is_none() {
+        let n = Network::from_links("path", TopologyKind::Custom, 3, vec![(0, 1), (1, 2)]);
+        assert_eq!(n.link_between(ProcId(0), ProcId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        Network::from_links("bad", TopologyKind::Custom, 2, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Network::from_links("bad", TopologyKind::Custom, 2, vec![(1, 1)]);
+    }
+}

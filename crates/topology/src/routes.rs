@@ -1,0 +1,259 @@
+//! All-pairs shortest-path routing tables.
+//!
+//! MM-Route (paper §4.4) consults "a table of routing information" listing,
+//! for each sender/receiver pair, every shortest route through the network —
+//! e.g. on the 8-processor hypercube, messages from processor 0 to 3 may go
+//! via links (0–1, 1–3) or (0–2, 2–3). [`RouteTable`] precomputes all-pairs
+//! distances by BFS (`O(P·L)` total) and answers:
+//!
+//! * `dist(u, v)` — hop distance;
+//! * `next_hops(u, v)` — every neighbor of `u` one step closer to `v`
+//!   (the candidate **first-hop links** MM-Route's bipartite graph uses);
+//! * `all_shortest_paths(u, v, cap)` — explicit path enumeration (the
+//!   paper's Fig 6b table);
+//! * `first_path(u, v)` — the deterministic lowest-numbered-neighbor path,
+//!   our contention-oblivious baseline router (e-cube order on hypercubes).
+
+use crate::network::{LinkId, Network, ProcId};
+use oregami_graph::traversal::bfs_distances;
+
+/// Precomputed all-pairs hop distances for a [`Network`], with shortest-path
+/// queries.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    dist: Vec<u32>, // row-major n×n
+}
+
+impl RouteTable {
+    /// Runs BFS from every processor. Panics on a disconnected network
+    /// (OREGAMI targets connected interconnects).
+    pub fn new(net: &Network) -> RouteTable {
+        let n = net.num_procs();
+        let mut dist = Vec::with_capacity(n * n);
+        for src in 0..n {
+            let d = bfs_distances(net.adjacency(), src);
+            assert!(
+                d.iter().all(|&x| x != u32::MAX),
+                "network is disconnected"
+            );
+            dist.extend_from_slice(&d);
+        }
+        RouteTable { n, dist }
+    }
+
+    /// Hop distance between two processors.
+    #[inline]
+    pub fn dist(&self, u: ProcId, v: ProcId) -> u32 {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Neighbors of `from` that lie on some shortest path to `to`,
+    /// in increasing processor order. Empty iff `from == to`.
+    pub fn next_hops(&self, net: &Network, from: ProcId, to: ProcId) -> Vec<ProcId> {
+        if from == to {
+            return Vec::new();
+        }
+        let d = self.dist(from, to);
+        net.neighbors(from)
+            .filter(|&w| self.dist(w, to) + 1 == d)
+            .collect()
+    }
+
+    /// Enumerates shortest paths from `src` to `dst` as processor sequences
+    /// (inclusive of both endpoints), up to `cap` paths, in lexicographic
+    /// next-hop order. `src == dst` yields one trivial path.
+    pub fn all_shortest_paths(
+        &self,
+        net: &Network,
+        src: ProcId,
+        dst: ProcId,
+        cap: usize,
+    ) -> Vec<Vec<ProcId>> {
+        let mut out = Vec::new();
+        let mut prefix = vec![src];
+        self.enumerate(net, src, dst, cap, &mut prefix, &mut out);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        net: &Network,
+        at: ProcId,
+        dst: ProcId,
+        cap: usize,
+        prefix: &mut Vec<ProcId>,
+        out: &mut Vec<Vec<ProcId>>,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if at == dst {
+            out.push(prefix.clone());
+            return;
+        }
+        let mut hops = self.next_hops(net, at, dst);
+        hops.sort();
+        for w in hops {
+            prefix.push(w);
+            self.enumerate(net, w, dst, cap, prefix, out);
+            prefix.pop();
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+
+    /// Number of distinct shortest paths from `src` to `dst` (dynamic
+    /// programming over the shortest-path DAG; no enumeration).
+    pub fn count_shortest_paths(&self, net: &Network, src: ProcId, dst: ProcId) -> u64 {
+        if src == dst {
+            return 1;
+        }
+        // Order nodes by distance-to-dst and accumulate counts.
+        let mut count = vec![0u64; self.n];
+        count[dst.index()] = 1;
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&u| self.dist(ProcId(u as u32), dst));
+        for u in order {
+            let pu = ProcId(u as u32);
+            if count[u] == 0 {
+                continue;
+            }
+            // propagate to nodes one hop farther from dst
+            for w in net.neighbors(pu) {
+                if self.dist(w, dst) == self.dist(pu, dst) + 1 {
+                    count[w.index()] += count[u];
+                }
+            }
+        }
+        count[src.index()]
+    }
+
+    /// The deterministic first shortest path (always taking the
+    /// lowest-numbered next hop). On a hypercube with our numbering this is
+    /// dimension-ordered (e-cube) routing. Used as the contention-oblivious
+    /// baseline router.
+    pub fn first_path(&self, net: &Network, src: ProcId, dst: ProcId) -> Vec<ProcId> {
+        let mut path = vec![src];
+        let mut at = src;
+        while at != dst {
+            let mut hops = self.next_hops(net, at, dst);
+            hops.sort();
+            at = hops[0];
+            path.push(at);
+        }
+        path
+    }
+
+    /// Converts a processor path to its link sequence.
+    ///
+    /// # Panics
+    /// If consecutive processors in the path are not adjacent.
+    pub fn path_links(net: &Network, path: &[ProcId]) -> Vec<LinkId> {
+        path.windows(2)
+            .map(|w| {
+                net.link_between(w[0], w[1])
+                    .expect("path step is not a network link")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let q = builders::hypercube(4);
+        let rt = RouteTable::new(&q);
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                assert_eq!(rt.dist(ProcId(u), ProcId(v)), (u ^ v).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn next_hops_flip_one_wrong_bit() {
+        let q = builders::hypercube(3);
+        let rt = RouteTable::new(&q);
+        let hops = rt.next_hops(&q, ProcId(0), ProcId(0b101));
+        let mut got: Vec<u32> = hops.iter().map(|p| p.0).collect();
+        got.sort();
+        assert_eq!(got, vec![0b001, 0b100]);
+        assert!(rt.next_hops(&q, ProcId(3), ProcId(3)).is_empty());
+    }
+
+    #[test]
+    fn path_count_is_hamming_factorial() {
+        let q = builders::hypercube(3);
+        let rt = RouteTable::new(&q);
+        // distance-k pairs in a hypercube have k! shortest paths
+        assert_eq!(rt.count_shortest_paths(&q, ProcId(0), ProcId(0b111)), 6);
+        assert_eq!(rt.count_shortest_paths(&q, ProcId(0), ProcId(0b011)), 2);
+        assert_eq!(rt.count_shortest_paths(&q, ProcId(0), ProcId(0b010)), 1);
+        assert_eq!(rt.count_shortest_paths(&q, ProcId(5), ProcId(5)), 1);
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_is_valid() {
+        let q = builders::hypercube(3);
+        let rt = RouteTable::new(&q);
+        let paths = rt.all_shortest_paths(&q, ProcId(0), ProcId(7), 100);
+        assert_eq!(paths.len(), 6);
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            assert_eq!(p[0], ProcId(0));
+            assert_eq!(p[3], ProcId(7));
+            // consecutive nodes adjacent
+            let links = RouteTable::path_links(&q, p);
+            assert_eq!(links.len(), 3);
+        }
+        // all distinct
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        let q = builders::hypercube(4);
+        let rt = RouteTable::new(&q);
+        let paths = rt.all_shortest_paths(&q, ProcId(0), ProcId(15), 5);
+        assert_eq!(paths.len(), 5);
+    }
+
+    #[test]
+    fn first_path_is_ecube_on_hypercube() {
+        let q = builders::hypercube(3);
+        let rt = RouteTable::new(&q);
+        // 0 -> 7 flipping lowest bits first: 0,1,3,7
+        let p = rt.first_path(&q, ProcId(0), ProcId(7));
+        let ids: Vec<u32> = p.iter().map(|x| x.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 7]);
+    }
+
+    #[test]
+    fn mesh_path_count() {
+        let m = builders::mesh2d(3, 3);
+        let rt = RouteTable::new(&m);
+        // corner to corner on a 3x3 mesh: C(4,2) = 6 monotone lattice paths
+        assert_eq!(rt.count_shortest_paths(&m, ProcId(0), ProcId(8)), 6);
+        assert_eq!(
+            rt.all_shortest_paths(&m, ProcId(0), ProcId(8), 100).len(),
+            6
+        );
+    }
+
+    #[test]
+    fn ring_two_paths_at_antipode() {
+        let r = builders::ring(6);
+        let rt = RouteTable::new(&r);
+        assert_eq!(rt.count_shortest_paths(&r, ProcId(0), ProcId(3)), 2);
+        assert_eq!(rt.dist(ProcId(0), ProcId(3)), 3);
+    }
+}

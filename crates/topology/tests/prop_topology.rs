@@ -1,0 +1,131 @@
+//! Property-based validation of networks and route tables on random
+//! connected topologies (random spanning tree plus extra links).
+
+use oregami_topology::{Network, ProcId, RouteTable, TopologyKind};
+use proptest::prelude::*;
+
+/// A random connected network on `n` processors: a random spanning tree
+/// plus `extra` random non-duplicate links.
+fn random_network(n: usize, extra: usize, seed: u64) -> Network {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut links: Vec<(u32, u32)> = Vec::new();
+    let mut have = std::collections::HashSet::new();
+    for v in 1..n as u64 {
+        let u = next() % v;
+        links.push((u as u32, v as u32));
+        have.insert((u.min(v), u.max(v)));
+    }
+    for _ in 0..extra {
+        let a = next() % n as u64;
+        let b = next() % n as u64;
+        if a != b && have.insert((a.min(b), a.max(b))) {
+            links.push((a.min(b) as u32, a.max(b) as u32));
+        }
+    }
+    Network::from_links("random", TopologyKind::Custom, n, links)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Distances form a metric: symmetric, zero on the diagonal, triangle
+    /// inequality, and adjacent pairs at distance 1.
+    #[test]
+    fn distances_are_a_metric(n in 2usize..20, extra in 0usize..15, seed in any::<u64>()) {
+        let net = random_network(n, extra, seed);
+        let rt = RouteTable::new(&net);
+        for u in 0..n as u32 {
+            prop_assert_eq!(rt.dist(ProcId(u), ProcId(u)), 0);
+            for v in 0..n as u32 {
+                prop_assert_eq!(rt.dist(ProcId(u), ProcId(v)), rt.dist(ProcId(v), ProcId(u)));
+                for w in 0..n as u32 {
+                    prop_assert!(
+                        rt.dist(ProcId(u), ProcId(w))
+                            <= rt.dist(ProcId(u), ProcId(v)) + rt.dist(ProcId(v), ProcId(w))
+                    );
+                }
+            }
+        }
+        for (_, u, v) in net.links() {
+            prop_assert_eq!(rt.dist(u, v), 1);
+        }
+    }
+
+    /// Every next hop is adjacent and strictly closer to the target, and
+    /// the deterministic first path has exactly `dist` hops over real
+    /// links.
+    #[test]
+    fn next_hops_and_first_path_consistent(
+        n in 2usize..16,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(n, extra, seed);
+        let rt = RouteTable::new(&net);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let (u, v) = (ProcId(u), ProcId(v));
+                for h in rt.next_hops(&net, u, v) {
+                    prop_assert!(net.link_between(u, h).is_some());
+                    prop_assert_eq!(rt.dist(h, v) + 1, rt.dist(u, v));
+                }
+                let path = rt.first_path(&net, u, v);
+                prop_assert_eq!(path.len() as u32 - 1, rt.dist(u, v));
+                prop_assert_eq!(path[0], u);
+                prop_assert_eq!(*path.last().unwrap(), v);
+                let links = RouteTable::path_links(&net, &path);
+                prop_assert_eq!(links.len() + 1, path.len());
+            }
+        }
+    }
+
+    /// Enumerated shortest paths are distinct, valid, all of length
+    /// `dist`, and their count matches the DP path counter (up to the cap).
+    #[test]
+    fn path_enumeration_matches_count(
+        n in 2usize..12,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(n, extra, seed);
+        let rt = RouteTable::new(&net);
+        let cap = 64;
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let (u, v) = (ProcId(u), ProcId(v));
+                let paths = rt.all_shortest_paths(&net, u, v, cap);
+                let count = rt.count_shortest_paths(&net, u, v);
+                if count <= cap as u64 {
+                    prop_assert_eq!(paths.len() as u64, count);
+                } else {
+                    prop_assert_eq!(paths.len(), cap);
+                }
+                let mut uniq = paths.clone();
+                uniq.sort();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), paths.len());
+                for p in &paths {
+                    prop_assert_eq!(p.len() as u32 - 1, rt.dist(u, v));
+                }
+            }
+        }
+    }
+
+    /// Link ids round-trip through endpoints in both orders.
+    #[test]
+    fn link_lookup_roundtrips(n in 2usize..24, extra in 0usize..20, seed in any::<u64>()) {
+        let net = random_network(n, extra, seed);
+        for (id, u, v) in net.links() {
+            prop_assert_eq!(net.link_between(u, v), Some(id));
+            prop_assert_eq!(net.link_between(v, u), Some(id));
+            prop_assert_eq!(net.link_endpoints(id), (u, v));
+        }
+        prop_assert!(net.is_connected());
+    }
+}

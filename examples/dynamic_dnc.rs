@@ -1,0 +1,100 @@
+//! Dynamically spawned divide-and-conquer (paper §6 future work,
+//! implemented in `oregami::mapper::dynamic`).
+//!
+//! A D&C computation grows a binomial tree generation by generation; the
+//! incremental mapper places each newly spawned task near its spawner
+//! without ever migrating existing tasks, and we compare the resulting cut
+//! against an offline static mapping of the final graph.
+//!
+//! ```sh
+//! cargo run --example dynamic_dnc
+//! ```
+
+use oregami::mapper::dynamic::{binomial_growth, incremental_map, DynamicComputation};
+use oregami::topology::{builders, RouteTable};
+use oregami::Oregami;
+
+fn main() {
+    // --- growth driven by the parametric LaRCS program itself ---
+    let dc = DynamicComputation::from_larcs(
+        &oregami::larcs::programs::binomial_dnc(),
+        &[],
+        "k",
+        0..=4,
+        "scatter", // the scatter phase doubles as the spawn pattern
+    )
+    .expect("binomial growth from LaRCS");
+    println!("generations from LaRCS (binomialdnc, k = 0..=4):");
+    for (g, step) in dc.steps.iter().enumerate() {
+        println!(
+            "  gen {g}: {} tasks, {} newly spawned",
+            step.graph.num_tasks(),
+            step.spawned_by.len()
+        );
+    }
+
+    // --- incremental mapping onto a 4-processor hypercube ---
+    let net = builders::hypercube(2);
+    let table = RouteTable::new(&net);
+    let maps = incremental_map(&dc, &net, 4).unwrap();
+    println!("\nincremental placement (tasks never migrate):");
+    for (g, m) in maps.iter().enumerate() {
+        let placement: Vec<String> = m.iter().map(|p| format!("p{p}")).collect();
+        println!("  gen {g}: [{}]", placement.join(" "));
+    }
+    let final_map = maps.last().unwrap();
+
+    // spawn-edge dilation under the final placement
+    let mut spawn_hops = 0u32;
+    let mut spawn_edges = 0u32;
+    for step in &dc.steps {
+        for &(child, parent) in &step.spawned_by {
+            spawn_hops += table.dist(final_map[child.index()], final_map[parent.index()]);
+            spawn_edges += 1;
+        }
+    }
+    println!(
+        "\nspawn edges: {spawn_edges}, average spawn dilation {:.2}",
+        f64::from(spawn_hops) / f64::from(spawn_edges)
+    );
+
+    // --- the online/offline gap ---
+    let g = dc.final_graph().collapse();
+    let inc_cut: u64 = g
+        .edges()
+        .iter()
+        .filter(|e| final_map[e.u] != final_map[e.v])
+        .map(|e| e.w)
+        .sum();
+    let offline = Oregami::new(builders::hypercube(2))
+        .map_graph(dc.final_graph().clone())
+        .unwrap();
+    println!(
+        "final cut: incremental {} vs offline static {} — the price of never migrating",
+        inc_cut, offline.metrics.overall.total_ipc
+    );
+
+    // --- larger sweep with the native generator ---
+    println!("\nonline/offline gap over size (hypercube targets):");
+    for (k, d) in [(4usize, 2usize), (6, 3), (8, 4)] {
+        let dc = binomial_growth(k);
+        let net = builders::hypercube(d);
+        let bound = (1usize << k) >> d;
+        let maps = incremental_map(&dc, &net, bound).unwrap();
+        let fin = maps.last().unwrap();
+        let g = dc.final_graph().collapse();
+        let inc: u64 = g
+            .edges()
+            .iter()
+            .filter(|e| fin[e.u] != fin[e.v])
+            .map(|e| e.w)
+            .sum();
+        let offline = Oregami::new(builders::hypercube(d))
+            .map_graph(dc.final_graph().clone())
+            .unwrap();
+        println!(
+            "  B_{k} on Q{d}: incremental {inc} vs static {}",
+            offline.metrics.overall.total_ipc
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Quickstart: map the paper's n-body computation onto an 8-processor
+//! hypercube and print the METRICS report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use oregami::{topology::builders, Oregami};
+
+fn main() {
+    // 1. The computation, described once in LaRCS — the description is
+    //    independent of n (this is the paper's Fig 2b program).
+    let source = oregami::larcs::programs::nbody();
+    println!("--- LaRCS source ---\n{source}");
+
+    // 2. The target architecture: an iPSC/2-style hypercube with 8 nodes.
+    let system = Oregami::new(builders::hypercube(3));
+
+    // 3. Map 16 bodies onto it. MAPPER picks its strategy from the
+    //    regularity analysis; METRICS evaluates the result.
+    let result = system
+        .map_source(&source, &[("n", 16), ("s", 4), ("msgsize", 8)])
+        .expect("mapping should succeed");
+
+    println!("strategy: {:?}", result.report.strategy);
+    for note in &result.report.notes {
+        println!("note: {note}");
+    }
+    println!();
+    println!("{}", result.metrics.render());
+}

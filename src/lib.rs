@@ -1,0 +1,7 @@
+//! Umbrella package for the OREGAMI workspace: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! The actual library lives in the `oregami` crate (re-exported here for the
+//! examples' convenience).
+
+pub use oregami::*;

@@ -1,0 +1,119 @@
+//! Corpus sweep: every built-in LaRCS program at several parameter
+//! settings, with the structural invariants that must hold at any size —
+//! the test that catches regressions in the language, the analyses, and
+//! the formatter all at once.
+
+use oregami::larcs::{analyze, compile, format_program, parse, programs};
+
+/// Per-program parameter sweeps (the name matches `all_programs`).
+fn sweeps(name: &str) -> Vec<Vec<(&'static str, i64)>> {
+    match name {
+        "nbody" => vec![
+            vec![("n", 4), ("s", 1), ("msgsize", 1)],
+            vec![("n", 15), ("s", 3), ("msgsize", 8)],
+            vec![("n", 64), ("s", 10), ("msgsize", 256)],
+        ],
+        "broadcast8" => vec![vec![]],
+        "jacobi" => vec![
+            vec![("n", 2), ("iters", 1)],
+            vec![("n", 12), ("iters", 50)],
+        ],
+        "sor" => vec![vec![("n", 3), ("iters", 1)], vec![("n", 10), ("iters", 5)]],
+        "binomialdnc" => vec![vec![("k", 3)], vec![("k", 7)]],
+        "fft" => vec![vec![("k", 2)], vec![("k", 5)]],
+        "matmul" => vec![vec![("n", 2)], vec![("n", 9)]],
+        "pipeline" => vec![vec![("n", 2), ("rounds", 1)], vec![("n", 20), ("rounds", 9)]],
+        "annealing" => vec![vec![("n", 3), ("sweeps", 1)], vec![("n", 30), ("sweeps", 7)]],
+        "wavefront" => vec![vec![("n", 2)], vec![("n", 4)]],
+        other => panic!("no sweep defined for builtin '{other}' — add one"),
+    }
+}
+
+#[test]
+fn corpus_covers_every_builtin() {
+    // the sweep table must stay in sync with the program library
+    for (name, _, _) in programs::all_programs() {
+        assert!(!sweeps(name).is_empty());
+    }
+}
+
+#[test]
+fn every_builtin_elaborates_and_validates_across_sizes() {
+    for (name, src, _) in programs::all_programs() {
+        for params in sweeps(name) {
+            let g = compile(&src, &params)
+                .unwrap_or_else(|e| panic!("{name} {params:?}: {e}"));
+            g.validate().unwrap_or_else(|e| panic!("{name} {params:?}: {e}"));
+            assert!(g.num_tasks() > 0);
+            // every edge endpoint in range is already validated; check the
+            // phase expression references too
+            let expr = g.phase_expr.as_ref().expect("builtins declare phaseexpr");
+            expr.validate(g.num_phases(), g.exec_phases.len()).unwrap();
+            // multiplicities are positive for at least one phase
+            assert!(expr.comm_multiplicities().iter().any(|&m| m > 0), "{name}");
+        }
+    }
+}
+
+#[test]
+fn analyses_are_stable_across_sizes() {
+    // the regularity classification of a program must not flip with its
+    // size parameters (that's the whole point of parametric descriptions).
+    // Sweeps use non-degenerate sizes: a phase with a single edge is
+    // vacuously "uniform", so k=1-style instances legitimately classify
+    // as more regular than the general shape.
+    for (name, src, _) in programs::all_programs() {
+        let mut kinds: Vec<(bool, bool)> = Vec::new();
+        for params in sweeps(name) {
+            let g = compile(&src, &params).unwrap();
+            let a = analyze::analyze(&g);
+            kinds.push((a.all_bijective, a.all_uniform));
+        }
+        kinds.dedup();
+        assert_eq!(
+            kinds.len(),
+            1,
+            "{name}: regularity classification changed across sizes: {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn formatter_roundtrips_the_corpus() {
+    for (name, src, _) in programs::all_programs() {
+        let p1 = parse(&src).unwrap();
+        let formatted = format_program(&p1);
+        let p2 = parse(&formatted).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for params in sweeps(name) {
+            let g1 = compile(&src, &params).unwrap();
+            let g2 = compile(&formatted, &params).unwrap();
+            assert_eq!(g1.num_tasks(), g2.num_tasks(), "{name} {params:?}");
+            assert_eq!(g1.num_edges(), g2.num_edges(), "{name} {params:?}");
+            for (a, b) in g1.comm_phases.iter().zip(&g2.comm_phases) {
+                assert_eq!(a.edges, b.edges, "{name} {params:?}");
+            }
+        }
+        let _ = p2;
+    }
+}
+
+#[test]
+fn edge_counts_scale_as_documented() {
+    // spot-check the closed-form edge counts LaRCS programs promise
+    for n in [4i64, 9, 16] {
+        let g = compile(
+            &programs::nbody(),
+            &[("n", n), ("s", 1), ("msgsize", 1)],
+        )
+        .unwrap();
+        assert_eq!(g.num_edges() as i64, 2 * n);
+    }
+    for k in [2i64, 4, 6] {
+        let g = compile(&programs::binomial_dnc(), &[("k", k)]).unwrap();
+        assert_eq!(g.num_edges() as i64, 2 * ((1 << k) - 1)); // scatter + combine
+    }
+    for n in [3i64, 6] {
+        let g = compile(&programs::jacobi(), &[("n", n), ("iters", 1)]).unwrap();
+        assert_eq!(g.num_edges() as i64, 4 * n * (n - 1)); // 4 directed stencil dirs
+    }
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration: every built-in LaRCS program mapped onto a
+//! spread of target architectures, with the structural invariants that must
+//! hold for any (program, topology) pair.
+
+use oregami::topology::{builders, Network};
+use oregami::{Oregami, Strategy};
+
+fn targets() -> Vec<Network> {
+    vec![
+        builders::hypercube(2),
+        builders::hypercube(3),
+        builders::mesh2d(2, 2),
+        builders::mesh2d(2, 4),
+        builders::ring(4),
+        builders::chain(4),
+        builders::complete(4),
+        builders::full_binary_tree(2),
+        builders::star(5),
+    ]
+}
+
+#[test]
+fn every_program_maps_onto_every_target() {
+    for (name, src, params) in oregami::larcs::programs::all_programs() {
+        for net in targets() {
+            let netname = net.name.clone();
+            let procs = net.num_procs();
+            let sys = Oregami::new(net);
+            let r = sys
+                .map_source(&src, &params)
+                .unwrap_or_else(|e| panic!("{name} on {netname}: {e}"));
+            // the mapping must be structurally valid
+            r.report
+                .mapping
+                .validate(&r.task_graph, sys.network())
+                .unwrap_or_else(|e| panic!("{name} on {netname}: {e}"));
+            // every task placed exactly once
+            let placed: usize = r.report.mapping.tasks_per_proc(procs).iter().sum();
+            assert_eq!(placed, r.task_graph.num_tasks(), "{name} on {netname}");
+            // contraction and assignment agree
+            assert_eq!(
+                r.report.contraction.cluster_of.len(),
+                r.task_graph.num_tasks(),
+                "{name} on {netname}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_invariants_hold_everywhere() {
+    for (name, src, params) in oregami::larcs::programs::all_programs() {
+        let sys = Oregami::new(builders::hypercube(3));
+        let r = sys.map_source(&src, &params).unwrap();
+        let m = &r.metrics;
+        // IPC + internalised == total single-occurrence volume
+        let total: u64 = r
+            .task_graph
+            .all_edges()
+            .map(|(_, e)| e.volume)
+            .sum();
+        assert_eq!(
+            m.overall.total_ipc + m.overall.internalized_volume,
+            total,
+            "{name}: IPC split must cover every edge exactly once"
+        );
+        // per-phase link volumes sum to the phase's crossing volume
+        for (k, ph) in m.links.phases.iter().enumerate() {
+            let crossing: u64 = r.task_graph.comm_phases[k]
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| r.report.mapping.routes[k][*i].len() > 1)
+                .map(|(i, e)| e.volume * (r.report.mapping.routes[k][i].len() as u64 - 1))
+                .sum();
+            let link_total: u64 = ph.link_volume.iter().sum();
+            assert_eq!(link_total, crossing, "{name} phase {k}: volume conservation");
+        }
+        // dilation metrics agree with the raw routes
+        for (k, ph) in m.links.phases.iter().enumerate() {
+            for (i, &d) in ph.dilations.iter().enumerate() {
+                assert_eq!(d, r.report.mapping.routes[k][i].len() - 1);
+            }
+        }
+        // completion time is present (all programs declare phase exprs)
+        assert!(m.overall.completion_time.is_some(), "{name}");
+    }
+}
+
+#[test]
+fn routes_are_always_shortest() {
+    use oregami::topology::RouteTable;
+    for (name, src, params) in oregami::larcs::programs::all_programs() {
+        let sys = Oregami::new(builders::mesh2d(2, 4));
+        let r = sys.map_source(&src, &params).unwrap();
+        let table = RouteTable::new(sys.network());
+        for (k, phase) in r.task_graph.comm_phases.iter().enumerate() {
+            for (i, e) in phase.edges.iter().enumerate() {
+                let path = &r.report.mapping.routes[k][i];
+                let from = r.report.mapping.proc_of(e.src.index());
+                let to = r.report.mapping.proc_of(e.dst.index());
+                assert_eq!(
+                    path.len() as u32 - 1,
+                    table.dist(from, to),
+                    "{name} phase {k} edge {i}: MM-Route must stay shortest"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategies_dispatch_as_designed() {
+    // ring declared family -> canned
+    let ring_src = "algorithm r(n);\n\
+                    nodetype t: 0..n-1 nodesymmetric family(ring);\n\
+                    comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }\n\
+                    exephase w; phaseexpr (c; w)^4;";
+    let sys = Oregami::new(builders::hypercube(3));
+    let r = sys.map_source(ring_src, &[("n", 8)]).unwrap();
+    assert_eq!(r.report.strategy, Strategy::Canned);
+    // gray-code: all dilation 1
+    assert_eq!(r.metrics.links.avg_dilation_millis, 1000);
+
+    // broadcast8 -> group-theoretic on 4 procs
+    let r = Oregami::new(builders::hypercube(2))
+        .map_source(&oregami::larcs::programs::broadcast8(), &[])
+        .unwrap();
+    assert_eq!(r.report.strategy, Strategy::GroupTheoretic);
+
+    // matmul -> systolic on a chain
+    let r = Oregami::new(builders::chain(4))
+        .map_source(&oregami::larcs::programs::matmul(), &[("n", 4)])
+        .unwrap();
+    assert_eq!(r.report.strategy, Strategy::Systolic);
+
+    // an irregular graph -> general
+    let irregular = "algorithm x();\n\
+                     nodetype t: 0..5;\n\
+                     comphase c: t(0) -> t(1) volume 7; t(1) -> t(2) volume 3; \
+                                 t(0) -> t(3) volume 2; t(3) -> t(4) volume 9; \
+                                 t(2) -> t(5) volume 4;\n\
+                     exephase w; phaseexpr c; w;";
+    let r = Oregami::new(builders::mesh2d(2, 2))
+        .map_source(irregular, &[])
+        .unwrap();
+    assert_eq!(r.report.strategy, Strategy::General);
+}
+
+#[test]
+fn interactive_edit_loop_recomputes() {
+    use oregami::metrics::analyze_mapping;
+    use oregami::topology::{ProcId, RouteTable};
+    use oregami::CostModel;
+
+    let sys = Oregami::new(builders::hypercube(2));
+    let r = sys
+        .map_source(
+            &oregami::larcs::programs::nbody(),
+            &[("n", 8), ("s", 1), ("msgsize", 2)],
+        )
+        .unwrap();
+    let before = r.metrics.overall.total_ipc;
+
+    // METRICS-style user edit: move every task to processor 0 and recompute.
+    let mut mapping = r.report.mapping.clone();
+    let table = RouteTable::new(sys.network());
+    for t in 0..r.task_graph.num_tasks() {
+        mapping.reassign(&r.task_graph, sys.network(), &table, t, ProcId(0));
+    }
+    mapping.validate(&r.task_graph, sys.network()).unwrap();
+    let after = analyze_mapping(&r.task_graph, sys.network(), &mapping, &CostModel::default());
+    assert_eq!(after.overall.total_ipc, 0, "all traffic internalised");
+    assert!(before > 0);
+    assert_eq!(after.load.tasks_per_proc[0], 8);
+}
