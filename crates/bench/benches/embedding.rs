@@ -40,7 +40,7 @@ fn bench_nn_embed(c: &mut Criterion) {
     for p in [16usize, 64] {
         let side = (p as f64).sqrt() as usize;
         let net = builders::mesh2d(side, p / side);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let g = random_weighted_graph(p, 40, 30, 3);
         group.bench_with_input(BenchmarkId::from_parameter(p), &g, |b, g| {
             b.iter(|| black_box(nn_embed(g, &net, &table)))
@@ -52,7 +52,7 @@ fn bench_nn_embed(c: &mut Criterion) {
 fn bench_exhaustive_oracle(c: &mut Criterion) {
     // the branch-and-bound oracle (C8 ablation) on its feasible sizes
     let net = builders::mesh2d(2, 3);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let g = random_weighted_graph(6, 60, 30, 4);
     c.bench_function("exhaustive_embed_6_clusters", |b| {
         b.iter(|| black_box(exhaustive_embed(&g, &net, &table)))

@@ -14,7 +14,7 @@ fn bench_fig6(c: &mut Criterion) {
     let tg = nbody_chordal(15);
     let assignment: Vec<ProcId> = (0..15).map(|i| ProcId((i / 2) as u32)).collect();
     let net = builders::hypercube(3);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     c.bench_function("fig6/mm_route_chordal_q3", |b| {
         b.iter(|| {
             black_box(mm_route(
@@ -36,7 +36,7 @@ fn bench_route_scaling(c: &mut Criterion) {
     for d in [3usize, 4, 5, 6] {
         let n = 1usize << d;
         let net = builders::hypercube(d);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let tg = random_permutation_traffic(n, 5);
         let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &tg, |b, tg| {
@@ -59,7 +59,7 @@ fn bench_route_scaling(c: &mut Criterion) {
 fn bench_matchers(c: &mut Criterion) {
     let n = 32;
     let net = builders::hypercube(5);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let tg = random_permutation_traffic(n, 9);
     let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
     let mut group = c.benchmark_group("routing_variants_q5");
@@ -100,7 +100,7 @@ fn bench_route_table(c: &mut Criterion) {
     for d in [4usize, 6, 8] {
         let net = builders::hypercube(d);
         group.bench_with_input(BenchmarkId::from_parameter(1 << d), &net, |b, net| {
-            b.iter(|| black_box(RouteTable::new(net)))
+            b.iter(|| black_box(RouteTable::try_new(net).expect("connected network")))
         });
     }
     group.finish();

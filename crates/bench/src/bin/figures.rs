@@ -221,7 +221,7 @@ fn fig6() {
     // the ring-contiguous contraction of the full pipeline run
     let assignment: Vec<ProcId> = (0..15).map(|i| ProcId((i / 2) as u32)).collect();
     let net = builders::hypercube(3);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     println!("alternative shortest routes (paper Fig 6b, sample):");
     for (src, dst) in [(0u32, 4u32), (0, 3), (1, 4)] {
         let routes = table.all_shortest_paths(&net, ProcId(src), ProcId(dst), 8);
@@ -340,7 +340,7 @@ fn c5_contention() {
     for d in [3usize, 4, 5] {
         let n = 1usize << d;
         let net = builders::hypercube(d);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
         let (mut sum_mm, mut sum_base, mut wins, mut losses) = (0u64, 0u64, 0, 0);
         let trials = 30;
@@ -439,7 +439,7 @@ fn c8_ablations() {
 
     // embedding: NN-Embed vs exhaustive
     let net = builders::mesh2d(2, 3);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let (mut cost_nn, mut cost_opt) = (0u64, 0u64);
     for t in 0..trials {
         let g = random_weighted_graph(6, 60, 20, 7 + t);
@@ -454,7 +454,7 @@ fn c8_ablations() {
 
     // routing: maximum vs greedy-maximal matcher
     let net = builders::hypercube(4);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let assignment: Vec<ProcId> = (0..16).map(|i| ProcId(i as u32)).collect();
     let (mut rounds_max, mut rounds_greedy, mut cont_max, mut cont_greedy) = (0, 0, 0u64, 0u64);
     for s in 0..trials {
@@ -537,7 +537,7 @@ fn e2_aggregate() {
             tg.add_edge(ph, TaskId::new(i), TaskId(0), 4);
         }
         let net = builders::hypercube(d);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mut mapping = oregami::Mapping { assignment, routes };

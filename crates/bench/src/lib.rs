@@ -18,7 +18,7 @@ pub fn random_weighted_graph(n: usize, density: u32, max_w: u64, seed: u64) -> W
     let mut g = WeightedGraph::new(n);
     for u in 0..n {
         for v in u + 1..n {
-            if r.random_range(0..100) < density {
+            if r.random_range(0..100u32) < density {
                 g.add_or_accumulate(u, v, r.random_range(1..=max_w));
             }
         }

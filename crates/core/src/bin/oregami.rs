@@ -4,18 +4,25 @@
 //! ```sh
 //! oregami --program nbody --topology hypercube:3 -P n=16 -P s=4 -P msgsize=8
 //! oregami --file myalgo.larcs --topology mesh2d:4x4 -P n=8 --dot out.dot
+//! oregami --program nbody --topology hypercube:3 --fail-proc 5 --fail-link 2
 //! oregami --list                      # built-in programs and topologies
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage/input error, 3 mapping failure,
+//! 4 fault-injection error (bad ids), 5 unrepairable fault.
 
 use oregami::larcs::programs;
 use oregami::metrics::schedule;
-use oregami::topology::{builders, Network};
-use oregami::{CostModel, MapperOptions, Oregami};
+use oregami::topology::{builders, LinkId, Network, ProcId};
+use oregami::{
+    CostModel, FaultSet, MapperOptions, Oregami, OregamiError, RepairOptions,
+};
 use std::process::ExitCode;
 
 struct Args {
     source: Option<String>,
     source_label: String,
+    default_params: Vec<(String, i64)>,
     topology: Option<Network>,
     params: Vec<(String, i64)>,
     load_bound: Option<usize>,
@@ -26,6 +33,56 @@ struct Args {
     timeline: bool,
     cost: CostModel,
     list: bool,
+    fail_procs: Vec<u32>,
+    fail_links: Vec<u32>,
+    fault_sweep: Option<usize>,
+}
+
+/// CLI failure with a dedicated exit code per class, so scripts driving
+/// fault sweeps can tell "bad invocation" from "unrepairable fault".
+enum CliError {
+    /// Bad arguments / unreadable input (exit 2).
+    Usage(String),
+    /// LaRCS or MAPPER failure (exit 3).
+    Map(OregamiError),
+    /// Fault injection rejected the fault ids (exit 4).
+    Fault(OregamiError),
+    /// The mapping could not be repaired (exit 5).
+    Repair(OregamiError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Map(_) => 3,
+            CliError::Fault(_) => 4,
+            CliError::Repair(_) => 5,
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            CliError::Usage(m) => m.clone(),
+            CliError::Map(e) | CliError::Fault(e) | CliError::Repair(e) => e.to_string(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<OregamiError> for CliError {
+    fn from(e: OregamiError) -> Self {
+        match &e {
+            OregamiError::Fault(_) => CliError::Fault(e),
+            OregamiError::Repair(_) => CliError::Repair(e),
+            _ => CliError::Map(e),
+        }
+    }
 }
 
 fn usage() -> &'static str {
@@ -50,6 +107,10 @@ fn usage() -> &'static str {
        --net-dot PATH         write the network with routed volumes\n\
        --directives           print per-processor scheduling directives\n\
        --timeline             print the completion-time breakdown\n\
+       --fail-proc P          fail processor P, repair the mapping (repeatable)\n\
+       --fail-link L          fail link L, repair the mapping (repeatable)\n\
+       --fault-sweep K        try K single-processor-failure scenarios and\n\
+                              summarise repairability\n\
        --list                 list built-in programs and exit\n"
 }
 
@@ -88,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         source: None,
         source_label: String::new(),
+        default_params: Vec::new(),
         topology: None,
         params: Vec::new(),
         load_bound: None,
@@ -98,6 +160,9 @@ fn parse_args() -> Result<Args, String> {
         timeline: false,
         cost: CostModel::default(),
         list: false,
+        fail_procs: Vec::new(),
+        fail_links: Vec::new(),
+        fault_sweep: None,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -112,6 +177,11 @@ fn parse_args() -> Result<Args, String> {
                     .find(|(n, _, _)| *n == name)
                     .ok_or_else(|| format!("unknown program '{name}' (try --list)"))?;
                 args.source = Some(found.1);
+                args.default_params = found
+                    .2
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect();
                 args.source_label = name;
             }
             "--file" => {
@@ -154,6 +224,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad startup".to_string())?;
             }
+            "--fail-proc" => {
+                args.fail_procs.push(
+                    next_val(&mut it, "--fail-proc")?
+                        .parse()
+                        .map_err(|_| "bad --fail-proc id".to_string())?,
+                );
+            }
+            "--fail-link" => {
+                args.fail_links.push(
+                    next_val(&mut it, "--fail-link")?
+                        .parse()
+                        .map_err(|_| "bad --fail-link id".to_string())?,
+                );
+            }
+            "--fault-sweep" => {
+                args.fault_sweep = Some(
+                    next_val(&mut it, "--fault-sweep")?
+                        .parse()
+                        .map_err(|_| "bad --fault-sweep count".to_string())?,
+                );
+            }
             "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
             "--map-dot" => args.map_dot = Some(next_val(&mut it, "--map-dot")?),
             "--net-dot" => args.net_dot = Some(next_val(&mut it, "--net-dot")?),
@@ -170,7 +261,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args = parse_args()?;
     if args.list {
         println!("built-in LaRCS programs (with sample parameters):");
@@ -197,10 +288,16 @@ fn run() -> Result<(), String> {
             ..MapperOptions::default()
         })
         .with_cost_model(args.cost.clone());
-    let params: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let result = system
-        .map_source(&source, &params)
-        .map_err(|e| e.to_string())?;
+    // Explicit -P bindings win; a built-in program's sample parameters fill
+    // any gaps so `--program NAME` alone is runnable.
+    let mut params: Vec<(&str, i64)> =
+        args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (k, v) in &args.default_params {
+        if !params.iter().any(|(name, _)| name == k) {
+            params.push((k.as_str(), *v));
+        }
+    }
+    let result = system.map_source(&source, &params)?;
 
     println!(
         "mapped '{}' ({} tasks, {} phases) onto {net_name} ({num_procs} processors)",
@@ -214,6 +311,55 @@ fn run() -> Result<(), String> {
     }
     println!();
     println!("{}", result.metrics.render());
+
+    if !args.fail_procs.is_empty() || !args.fail_links.is_empty() {
+        let mut faults = FaultSet::new();
+        for &p in &args.fail_procs {
+            faults.fail_proc(ProcId(p));
+        }
+        for &l in &args.fail_links {
+            faults.fail_link(LinkId(l));
+        }
+        let ropts = RepairOptions {
+            load_bound: args.load_bound,
+            ..RepairOptions::default()
+        };
+        let rec = system.repair(&result, &faults, &ropts)?;
+        println!(
+            "-- fault injection: {} processor(s) + {} link(s) failed ({} links out of service) --",
+            rec.degraded.failed_procs().len(),
+            faults.links().count(),
+            rec.degraded.failed_links().len(),
+        );
+        println!("{}", rec.repair);
+        println!("METRICS recomputed on the degraded network:");
+        println!("{}", rec.metrics.render());
+    }
+
+    if let Some(k) = args.fault_sweep {
+        let ropts = RepairOptions {
+            load_bound: args.load_bound,
+            ..RepairOptions::default()
+        };
+        let (mut repaired, mut escalated, mut unrepairable) = (0usize, 0usize, 0usize);
+        for i in 0..k {
+            let victim = ProcId((i % num_procs) as u32);
+            let faults = FaultSet::new().with_proc(victim);
+            match system.repair(&result, &faults, &ropts) {
+                Ok(rec) => {
+                    repaired += 1;
+                    if rec.repair.escalated {
+                        escalated += 1;
+                    }
+                }
+                Err(_) => unrepairable += 1,
+            }
+        }
+        println!(
+            "fault sweep: {k} single-processor scenarios — {repaired} repaired \
+             ({escalated} escalated), {unrepairable} unrepairable"
+        );
+    }
 
     if args.timeline {
         if let Some(tl) = oregami::metrics::timeline(
@@ -268,9 +414,9 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }

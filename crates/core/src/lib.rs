@@ -53,9 +53,12 @@ pub use oregami_metrics as metrics;
 pub use oregami_topology as topology;
 
 pub use oregami_larcs::LarcsError;
-pub use oregami_mapper::{MapperOptions, MapperReport, Mapping, Strategy};
+pub use oregami_mapper::{
+    MapperOptions, MapperReport, Mapping, MappingError, RepairError, RepairOptions, RepairReport,
+    Strategy,
+};
 pub use oregami_metrics::{CostModel, MetricsReport};
-pub use oregami_topology::Network;
+pub use oregami_topology::{DegradedNetwork, FaultSet, Network, TopologyError};
 
 use oregami_graph::TaskGraph;
 
@@ -70,6 +73,20 @@ pub struct OregamiResult {
     pub metrics: MetricsReport,
 }
 
+/// The outcome of [`Oregami::repair`]: a mapping salvaged onto the
+/// surviving machine, with METRICS recomputed on the degraded network.
+#[derive(Clone, Debug)]
+pub struct FaultRecovery {
+    /// The network with the fault set applied.
+    pub degraded: DegradedNetwork,
+    /// The repaired mapping, valid on `degraded.network()`.
+    pub mapping: Mapping,
+    /// What repair did (reroutes, migrations, escalation, deltas).
+    pub repair: RepairReport,
+    /// METRICS recomputed on the degraded network.
+    pub metrics: MetricsReport,
+}
+
 /// Any failure along the pipeline.
 #[derive(Clone, Debug)]
 pub enum OregamiError {
@@ -77,6 +94,10 @@ pub enum OregamiError {
     Larcs(LarcsError),
     /// MAPPER failure (infeasible contraction, bad network).
     Map(oregami_mapper::pipeline::MapError),
+    /// Fault-injection failure (bad fault ids, all processors dead).
+    Fault(TopologyError),
+    /// Mapping-repair failure (partitioned survivors, no capacity).
+    Repair(RepairError),
 }
 
 impl std::fmt::Display for OregamiError {
@@ -84,6 +105,8 @@ impl std::fmt::Display for OregamiError {
         match self {
             OregamiError::Larcs(e) => write!(f, "LaRCS: {e}"),
             OregamiError::Map(e) => write!(f, "MAPPER: {e}"),
+            OregamiError::Fault(e) => write!(f, "FAULT: {e}"),
+            OregamiError::Repair(e) => write!(f, "REPAIR: {e}"),
         }
     }
 }
@@ -99,6 +122,18 @@ impl From<LarcsError> for OregamiError {
 impl From<oregami_mapper::pipeline::MapError> for OregamiError {
     fn from(e: oregami_mapper::pipeline::MapError) -> Self {
         OregamiError::Map(e)
+    }
+}
+
+impl From<TopologyError> for OregamiError {
+    fn from(e: TopologyError) -> Self {
+        OregamiError::Fault(e)
+    }
+}
+
+impl From<RepairError> for OregamiError {
+    fn from(e: RepairError) -> Self {
+        OregamiError::Repair(e)
     }
 }
 
@@ -151,6 +186,43 @@ impl Oregami {
     ) -> Result<OregamiResult, OregamiError> {
         let tg = oregami_larcs::compile(source, params)?;
         self.map_graph(tg)
+    }
+
+    /// Injects faults into the target network and repairs an existing
+    /// mapping against the degraded machine, re-running METRICS on what
+    /// survives.
+    ///
+    /// The repair escalates re-route → migrate → full re-embed as needed
+    /// (see [`oregami_mapper::repair`]); an unrepairable situation — a
+    /// partitioned network, or more tasks than surviving capacity —
+    /// surfaces as [`OregamiError::Repair`].
+    pub fn repair(
+        &self,
+        result: &OregamiResult,
+        faults: &FaultSet,
+        opts: &RepairOptions,
+    ) -> Result<FaultRecovery, OregamiError> {
+        let degraded = self.network.degrade(faults)?;
+        let (mapping, repair) = oregami_mapper::repair_mapping(
+            &result.task_graph,
+            &self.network,
+            &degraded,
+            &result.report.mapping,
+            opts,
+        )?;
+        let metrics = oregami_metrics::try_analyze_mapping(
+            &result.task_graph,
+            degraded.network(),
+            &mapping,
+            &self.cost_model,
+        )
+        .map_err(|e| OregamiError::Repair(RepairError::Mapping(e)))?;
+        Ok(FaultRecovery {
+            degraded,
+            mapping,
+            repair,
+            metrics,
+        })
     }
 
     /// Maps an already-built task graph.
@@ -209,6 +281,55 @@ mod tests {
                 "{name} should have a completion-time estimate"
             );
         }
+    }
+
+    #[test]
+    fn fault_injection_repairs_nbody() {
+        use oregami_topology::{LinkId, ProcId};
+        let sys = Oregami::new(builders::hypercube(3));
+        let r = sys
+            .map_source(
+                &larcs::programs::nbody(),
+                &[("n", 16), ("s", 2), ("msgsize", 4)],
+            )
+            .unwrap();
+        let faults = FaultSet::new()
+            .with_proc(ProcId(5))
+            .with_link(LinkId(2));
+        let rec = sys.repair(&r, &faults, &RepairOptions::default()).unwrap();
+        rec.mapping
+            .validate(&r.task_graph, rec.degraded.network())
+            .unwrap();
+        // the two tasks hosted on dead proc 5 must have moved
+        assert!(rec.repair.tasks_migrated >= 2);
+        assert!(rec.metrics.overall.completion_time.is_some());
+        // no repaired route touches the dead processor
+        for phase in &rec.mapping.routes {
+            for path in phase {
+                assert!(!path.contains(&ProcId(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn unrepairable_partition_surfaces_as_repair_error() {
+        let sys = Oregami::new(builders::chain(4));
+        let r = sys
+            .map_source(
+                "algorithm ring(n);\n\
+                 nodetype t: 0..n-1;\n\
+                 comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }",
+                &[("n", 4)],
+            )
+            .unwrap();
+        let faults = FaultSet::new().with_proc(topology::ProcId(1));
+        let err = sys
+            .repair(&r, &faults, &RepairOptions::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OregamiError::Repair(RepairError::Topology(TopologyError::Disconnected { .. }))
+        ));
     }
 
     #[test]

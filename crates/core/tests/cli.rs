@@ -91,6 +91,62 @@ fn bad_arguments_fail_cleanly() {
 }
 
 #[test]
+fn fault_injection_repairs_and_reports() {
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--fail-proc", "5", "--fail-link", "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("== REPAIR =="));
+    assert!(text.contains("METRICS recomputed on the degraded network"));
+}
+
+#[test]
+fn fault_sweep_summarises() {
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--fault-sweep", "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("fault sweep: 4 single-processor scenarios"));
+}
+
+#[test]
+fn fault_errors_use_dedicated_exit_codes() {
+    // out-of-range processor id: fault-injection error, exit 4
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--fail-proc", "99",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    // killing an interior chain processor partitions the network: exit 5
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "chain:4",
+            "--fail-proc", "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("disconnected"));
+    // usage errors stay exit 2
+    let out = oregami().args(["--fail-proc", "banana"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn larcs_errors_reported_with_position() {
     let dir = std::env::temp_dir().join(format!("oregami-cli-err-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -193,7 +193,7 @@ mod tests {
     fn synthesis_reduces_contention_of_star_aggregation() {
         let tg = star_aggregation(8);
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..8).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mut mapping = Mapping { assignment, routes };
@@ -220,7 +220,7 @@ mod tests {
     fn synthesis_with_colocated_tasks_forwards_locally() {
         let tg = star_aggregation(8);
         let net = builders::hypercube(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         // two tasks per processor
         let assignment: Vec<ProcId> = (0..8).map(|i| ProcId((i / 2) as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);

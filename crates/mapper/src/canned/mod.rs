@@ -323,7 +323,7 @@ mod tests {
     /// Sum and max dilation of a family's edges under a placement.
     fn dilation_stats(family: Family, net: &Network, placement: &[ProcId]) -> (f64, u32) {
         let tg = family.build();
-        let table = RouteTable::new(net);
+        let table = RouteTable::try_new(net).expect("connected network");
         let mut total = 0u64;
         let mut max = 0u32;
         let mut count = 0u64;
@@ -387,7 +387,7 @@ mod tests {
             let fam = Family::Ring(rc * rc);
             let placement = canned_embedding(fam, &net).unwrap();
             let tg = fam.build();
-            let table = RouteTable::new(&net);
+            let table = RouteTable::try_new(&net).expect("connected network");
             let dil: Vec<u32> = tg
                 .all_edges()
                 .map(|(_, e)| table.dist(placement[e.src.index()], placement[e.dst.index()]))

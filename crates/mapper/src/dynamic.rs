@@ -186,7 +186,7 @@ pub fn incremental_map(
     net: &Network,
     bound: usize,
 ) -> Result<Vec<Vec<ProcId>>, String> {
-    let table = RouteTable::new(net);
+    let table = RouteTable::try_new(net).expect("connected network");
     let p = net.num_procs();
     let final_n = dc.final_graph().num_tasks();
     if p * bound < final_n {
@@ -279,7 +279,7 @@ mod tests {
         let dc = binomial_growth(3); // 8 tasks
         let net = builders::hypercube(3); // 8 procs, room everywhere
         let maps = incremental_map(&dc, &net, 1).unwrap();
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let final_map = maps.last().unwrap();
         // with bound 1 each child takes the nearest free processor; spawn
         // edges in B_3 on Q3 can always be dilation 1 (it's a subgraph):

@@ -112,7 +112,7 @@ mod tests {
             g.add_or_accumulate(i, (i + 1) % 5, 7);
         }
         let net = builders::ring(5);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let (placement, cost) = exhaustive_embed(&g, &net, &table);
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(cost, 35);
@@ -138,7 +138,7 @@ mod tests {
                 }
             }
             let net = builders::mesh2d(2, 3);
-            let table = RouteTable::new(&net);
+            let table = RouteTable::try_new(&net).expect("connected network");
             let (_, opt) = exhaustive_embed(&g, &net, &table);
             let (_, greedy) = nn_embed_with_cost(&g, &net, &table);
             assert!(greedy >= opt, "exhaustive must lower-bound greedy");
@@ -152,7 +152,7 @@ mod tests {
         g.add_or_accumulate(0, 1, 10);
         g.add_or_accumulate(0, 2, 10);
         let net = builders::chain(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let (placement, cost) = exhaustive_embed(&g, &net, &table);
         assert_eq!(placement[0], ProcId(1));
         assert_eq!(cost, 20);

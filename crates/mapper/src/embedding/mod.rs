@@ -50,7 +50,7 @@ mod tests {
     #[test]
     fn cost_counts_weighted_hops() {
         let net = builders::chain(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let mut g = WeightedGraph::new(2);
         g.add_or_accumulate(0, 1, 5);
         // adjacent: cost 5; at distance 2: cost 10

@@ -107,7 +107,7 @@ mod tests {
         g.add_or_accumulate(2, 3, 1);
         g.add_or_accumulate(1, 2, 1);
         let net = builders::chain(4);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let placement = nn_embed(&g, &net, &table);
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(table.dist(placement[0], placement[1]), 1);
@@ -120,7 +120,7 @@ mod tests {
             g.add_or_accumulate(i, (i + 1) % 8, 3);
         }
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let placement = nn_embed(&g, &net, &table);
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(placement.len(), 8);
@@ -135,7 +135,7 @@ mod tests {
             g.add_or_accumulate(i, (i + 1) % 6, 10);
         }
         let net = builders::ring(6);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let (placement, cost) = nn_embed_with_cost(&g, &net, &table);
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(cost, 60, "greedy must walk the ring around");
@@ -147,7 +147,7 @@ mod tests {
         g.add_or_accumulate(0, 1, 4);
         g.add_or_accumulate(1, 2, 4);
         let net = builders::mesh2d(3, 3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let placement = nn_embed(&g, &net, &table);
         validate_embedding(&placement, &net).unwrap();
         // chain of three embeds with both edges adjacent
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn empty_and_single_cluster() {
         let net = builders::chain(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         assert!(nn_embed(&WeightedGraph::new(0), &net, &table).is_empty());
         let placement = nn_embed(&WeightedGraph::new(1), &net, &table);
         assert_eq!(placement.len(), 1);
@@ -168,7 +168,7 @@ mod tests {
     #[should_panic(expected = "more clusters")]
     fn too_many_clusters_panics() {
         let net = builders::chain(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         nn_embed(&WeightedGraph::new(3), &net, &table);
     }
 }

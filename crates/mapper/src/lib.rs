@@ -27,7 +27,9 @@
 //! Two of the paper's §6 future-work directions are implemented as
 //! extensions: [`remap`] (per-phase remapping with task migration) and
 //! [`aggregate`] (re-synthesising over-specified aggregation phases as
-//! network-compatible spanning trees).
+//! network-compatible spanning trees). Beyond the paper, [`repair`]
+//! salvages a computed mapping after processor/link failures
+//! (re-route → migrate → escalate to re-contract + re-embed).
 
 pub mod aggregate;
 pub mod canned;
@@ -37,11 +39,13 @@ pub mod embedding;
 pub mod mapping;
 pub mod pipeline;
 pub mod remap;
+pub mod repair;
 pub mod routing;
 pub mod systolic;
 
 pub use contraction::{greedy_premerge, mwm_contract, ContractError, Contraction};
 pub use embedding::nn_embed;
-pub use mapping::Mapping;
-pub use pipeline::{map_task_graph, MapperOptions, MapperReport, Strategy};
+pub use mapping::{Mapping, MappingError};
+pub use pipeline::{map_task_graph, MapError, MapperOptions, MapperReport, Strategy};
+pub use repair::{repair_mapping, RepairError, RepairOptions, RepairReport};
 pub use routing::{mm_route, RoutedPhase};

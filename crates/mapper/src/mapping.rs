@@ -10,6 +10,127 @@
 
 use oregami_graph::TaskGraph;
 use oregami_topology::{Network, ProcId, RouteTable};
+use std::fmt;
+
+/// Structured mapping-validation failure: what is wrong, and where.
+///
+/// Replaces the former stringly-typed `Result<(), String>` so callers
+/// (the pipeline, the repair subsystem, the CLI's exit codes) can match
+/// on the failure class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// The assignment vector's length differs from the task count.
+    AssignmentSize {
+        /// Tasks covered by the assignment.
+        got: usize,
+        /// Tasks in the graph.
+        expected: usize,
+    },
+    /// A task is assigned to a processor the network does not have.
+    ProcOutOfRange {
+        /// The task in question.
+        task: usize,
+        /// Its (invalid) processor.
+        proc: ProcId,
+        /// Number of processors in the network.
+        num_procs: usize,
+    },
+    /// Routes cover a different number of phases than the graph has.
+    PhaseCountMismatch {
+        /// Phases covered by the routes.
+        got: usize,
+        /// Phases in the graph.
+        expected: usize,
+    },
+    /// A phase's route count differs from its edge count.
+    RouteCountMismatch {
+        /// The phase in question.
+        phase: usize,
+        /// Routes present.
+        got: usize,
+        /// Edges in the phase.
+        expected: usize,
+    },
+    /// A route has no processors at all.
+    EmptyRoute {
+        /// Phase of the offending edge.
+        phase: usize,
+        /// Edge index within the phase.
+        edge: usize,
+    },
+    /// A route does not start at its sender's processor.
+    RouteStartsOffSender {
+        /// Phase of the offending edge.
+        phase: usize,
+        /// Edge index within the phase.
+        edge: usize,
+    },
+    /// A route does not end at its receiver's processor.
+    RouteEndsOffReceiver {
+        /// Phase of the offending edge.
+        phase: usize,
+        /// Edge index within the phase.
+        edge: usize,
+    },
+    /// A route step walks between processors that are not joined by a
+    /// link (missing from the network, or out of service after faults).
+    NotALink {
+        /// Phase of the offending edge.
+        phase: usize,
+        /// Edge index within the phase.
+        edge: usize,
+        /// Step source.
+        from: ProcId,
+        /// Step destination.
+        to: ProcId,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::AssignmentSize { got, expected } => {
+                write!(f, "assignment covers {got} tasks, graph has {expected}")
+            }
+            MappingError::ProcOutOfRange {
+                task,
+                proc,
+                num_procs,
+            } => write!(
+                f,
+                "task {task} assigned to nonexistent {proc:?} (network has {num_procs} processors)"
+            ),
+            MappingError::PhaseCountMismatch { got, expected } => {
+                write!(f, "routes cover {got} phases, graph has {expected}")
+            }
+            MappingError::RouteCountMismatch {
+                phase,
+                got,
+                expected,
+            } => write!(f, "phase {phase}: {got} routes for {expected} edges"),
+            MappingError::EmptyRoute { phase, edge } => {
+                write!(f, "phase {phase} edge {edge}: empty route")
+            }
+            MappingError::RouteStartsOffSender { phase, edge } => {
+                write!(f, "phase {phase} edge {edge}: route starts off-sender")
+            }
+            MappingError::RouteEndsOffReceiver { phase, edge } => {
+                write!(f, "phase {phase} edge {edge}: route ends off-receiver")
+            }
+            MappingError::NotALink {
+                phase,
+                edge,
+                from,
+                to,
+            } => write!(
+                f,
+                "phase {phase} edge {edge}: {from:?} -> {to:?} is not a link"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
 
 /// A task→processor assignment together with a route (processor path) for
 /// every communication edge of every phase.
@@ -53,54 +174,58 @@ impl Mapping {
     /// * if routed, every phase/edge has a route; each route starts at the
     ///   sender's processor, ends at the receiver's, and walks along
     ///   existing links.
-    pub fn validate(&self, tg: &TaskGraph, net: &Network) -> Result<(), String> {
+    pub fn validate(&self, tg: &TaskGraph, net: &Network) -> Result<(), MappingError> {
         if self.assignment.len() != tg.num_tasks() {
-            return Err(format!(
-                "assignment covers {} tasks, graph has {}",
-                self.assignment.len(),
-                tg.num_tasks()
-            ));
+            return Err(MappingError::AssignmentSize {
+                got: self.assignment.len(),
+                expected: tg.num_tasks(),
+            });
         }
         for (t, p) in self.assignment.iter().enumerate() {
             if p.index() >= net.num_procs() {
-                return Err(format!("task {t} assigned to nonexistent {p:?}"));
+                return Err(MappingError::ProcOutOfRange {
+                    task: t,
+                    proc: *p,
+                    num_procs: net.num_procs(),
+                });
             }
         }
         if self.routes.is_empty() {
             return Ok(());
         }
         if self.routes.len() != tg.num_phases() {
-            return Err(format!(
-                "routes cover {} phases, graph has {}",
-                self.routes.len(),
-                tg.num_phases()
-            ));
+            return Err(MappingError::PhaseCountMismatch {
+                got: self.routes.len(),
+                expected: tg.num_phases(),
+            });
         }
         for (k, phase) in tg.comm_phases.iter().enumerate() {
             if self.routes[k].len() != phase.edges.len() {
-                return Err(format!(
-                    "phase {k}: {} routes for {} edges",
-                    self.routes[k].len(),
-                    phase.edges.len()
-                ));
+                return Err(MappingError::RouteCountMismatch {
+                    phase: k,
+                    got: self.routes[k].len(),
+                    expected: phase.edges.len(),
+                });
             }
             for (i, e) in phase.edges.iter().enumerate() {
                 let path = &self.routes[k][i];
                 if path.is_empty() {
-                    return Err(format!("phase {k} edge {i}: empty route"));
+                    return Err(MappingError::EmptyRoute { phase: k, edge: i });
                 }
                 if path[0] != self.assignment[e.src.index()] {
-                    return Err(format!("phase {k} edge {i}: route starts off-sender"));
+                    return Err(MappingError::RouteStartsOffSender { phase: k, edge: i });
                 }
                 if *path.last().unwrap() != self.assignment[e.dst.index()] {
-                    return Err(format!("phase {k} edge {i}: route ends off-receiver"));
+                    return Err(MappingError::RouteEndsOffReceiver { phase: k, edge: i });
                 }
                 for w in path.windows(2) {
                     if net.link_between(w[0], w[1]).is_none() {
-                        return Err(format!(
-                            "phase {k} edge {i}: {:?} -> {:?} is not a link",
-                            w[0], w[1]
-                        ));
+                        return Err(MappingError::NotALink {
+                            phase: k,
+                            edge: i,
+                            from: w[0],
+                            to: w[1],
+                        });
                     }
                 }
             }
@@ -148,16 +273,22 @@ impl Mapping {
         phase: usize,
         edge: usize,
         path: Vec<ProcId>,
-    ) -> Result<(), String> {
+    ) -> Result<(), MappingError> {
         let e = &tg.comm_phases[phase].edges[edge];
-        if path.first() != Some(&self.assignment[e.src.index()])
-            || path.last() != Some(&self.assignment[e.dst.index()])
-        {
-            return Err("route endpoints do not match the edge's processors".into());
+        if path.first() != Some(&self.assignment[e.src.index()]) {
+            return Err(MappingError::RouteStartsOffSender { phase, edge });
+        }
+        if path.last() != Some(&self.assignment[e.dst.index()]) {
+            return Err(MappingError::RouteEndsOffReceiver { phase, edge });
         }
         for w in path.windows(2) {
             if net.link_between(w[0], w[1]).is_none() {
-                return Err(format!("{:?} -> {:?} is not a link", w[0], w[1]));
+                return Err(MappingError::NotALink {
+                    phase,
+                    edge,
+                    from: w[0],
+                    to: w[1],
+                });
             }
         }
         self.routes[phase][edge] = path;
@@ -174,7 +305,7 @@ mod tests {
     fn ring4_on_q2() -> (TaskGraph, Network, RouteTable, Mapping) {
         let tg = Family::Ring(4).build();
         let net = builders::hypercube(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         // identity-ish assignment via gray code: 0,1,3,2
         let assignment = vec![ProcId(0), ProcId(1), ProcId(3), ProcId(2)];
         let mut routes = vec![Vec::new()];
@@ -210,7 +341,11 @@ mod tests {
         let (tg, net, _, mut m) = ring4_on_q2();
         m.routes[0][0] = vec![ProcId(1), ProcId(3)];
         let err = m.validate(&tg, &net).unwrap_err();
-        assert!(err.contains("off-sender"));
+        assert!(matches!(
+            err,
+            MappingError::RouteStartsOffSender { phase: 0, edge: 0 }
+        ));
+        assert!(err.to_string().contains("off-sender"));
     }
 
     #[test]

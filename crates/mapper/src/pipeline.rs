@@ -88,6 +88,10 @@ pub enum MapError {
     EmptyTaskGraph,
     /// No feasible contraction under the load bound.
     Contract(ContractError),
+    /// Topology-level failure (disconnected network, bad fault ids).
+    Topology(oregami_topology::TopologyError),
+    /// A produced mapping failed validation.
+    Mapping(crate::mapping::MappingError),
 }
 
 impl std::fmt::Display for MapError {
@@ -96,6 +100,8 @@ impl std::fmt::Display for MapError {
             MapError::BadNetwork(msg) => write!(f, "bad network: {msg}"),
             MapError::EmptyTaskGraph => write!(f, "task graph has no tasks"),
             MapError::Contract(e) => write!(f, "contraction failed: {e}"),
+            MapError::Topology(e) => write!(f, "topology: {e}"),
+            MapError::Mapping(e) => write!(f, "invalid mapping: {e}"),
         }
     }
 }
@@ -108,6 +114,18 @@ impl From<ContractError> for MapError {
     }
 }
 
+impl From<oregami_topology::TopologyError> for MapError {
+    fn from(e: oregami_topology::TopologyError) -> Self {
+        MapError::Topology(e)
+    }
+}
+
+impl From<crate::mapping::MappingError> for MapError {
+    fn from(e: crate::mapping::MappingError) -> Self {
+        MapError::Mapping(e)
+    }
+}
+
 /// Maps `tg` onto `net`: dispatch → contraction → embedding → routing.
 pub fn map_task_graph(
     tg: &TaskGraph,
@@ -117,14 +135,13 @@ pub fn map_task_graph(
     if tg.num_tasks() == 0 {
         return Err(MapError::EmptyTaskGraph);
     }
-    if net.num_procs() == 0 || !net.is_connected() {
-        return Err(MapError::BadNetwork(
-            "network must be nonempty and connected".into(),
-        ));
+    if net.num_procs() == 0 {
+        return Err(MapError::BadNetwork("network has no processors".into()));
     }
     let n = tg.num_tasks();
     let p = net.num_procs();
-    let table = RouteTable::new(net);
+    // a disconnected network surfaces here as MapError::Topology
+    let table = RouteTable::try_new(net)?;
     let analysis = analyze::analyze(tg);
     let mut notes = Vec::new();
 

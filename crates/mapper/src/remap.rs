@@ -52,7 +52,7 @@ pub fn per_phase_remap(
     bound: usize,
     state_volume: u64,
 ) -> Result<PhaseRemapping, crate::contraction::ContractError> {
-    let table = RouteTable::new(net);
+    let table = RouteTable::try_new(net).expect("connected network");
     let procs = net.num_procs();
     let mut assignments = Vec::with_capacity(tg.num_phases());
     let mut comm_cost = Vec::with_capacity(tg.num_phases());
@@ -176,7 +176,7 @@ mod tests {
     fn remap_wins_with_cheap_state_loses_with_heavy_state() {
         let tg = conflicted_graph();
         let net = builders::chain(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         // fixed mapping: pairs (0,1) and (2,3) — phase B fully crosses
         let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
         let routes = crate::routing::route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
@@ -198,7 +198,7 @@ mod tests {
             tg.add_edge(p, TaskId(2), TaskId(3), 5);
         }
         let net = builders::chain(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
         let routes = crate::routing::route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };

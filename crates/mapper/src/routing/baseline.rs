@@ -64,7 +64,7 @@ mod tests {
         tg.add_edge(p, TaskId(1), TaskId(3), 1);
         let assignment = vec![ProcId(0), ProcId(0), ProcId(3), ProcId(3)];
         let net = builders::hypercube(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let base = baseline_route(&tg, 0, &assignment, &net, &table);
         assert_eq!(max_contention(&net, &base), 2, "e-cube shares both hops");
         let routed = crate::routing::mm_route(
@@ -87,7 +87,7 @@ mod tests {
         let tg = oregami_graph::Family::Ring(4).build();
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let net = builders::ring(4);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routes = baseline_route_all(&tg, &assignment, &net, &table);
         assert_eq!(routes[0].len(), 4);
         for path in &routes[0] {

@@ -167,7 +167,7 @@ mod tests {
     fn fig6_all_messages_routed_shortest() {
         let (tg, assignment) = fig6_setup();
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routed = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
         assert_eq!(routed.paths.len(), 15);
         for (i, e) in tg.comm_phases[0].edges.iter().enumerate() {
@@ -185,7 +185,7 @@ mod tests {
     fn contention_no_worse_than_baseline() {
         let (tg, assignment) = fig6_setup();
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routed = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
         let baseline = crate::routing::baseline_route(&tg, 0, &assignment, &net, &table);
         let c_mm = max_contention(&net, &routed.paths);
@@ -202,7 +202,7 @@ mod tests {
         // all tasks on one processor
         let assignment = vec![ProcId(0); 4];
         let net = builders::hypercube(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routed = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
         assert!(routed.paths.iter().all(|p| p.len() == 1));
         assert_eq!(routed.matching_rounds, 0);
@@ -220,7 +220,7 @@ mod tests {
         }
         let assignment: Vec<ProcId> = (0..8).map(|i| ProcId(i as u32)).collect();
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routed = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
         assert_eq!(max_contention(&net, &routed.paths), 1);
         assert_eq!(routed.matching_rounds, 1);
@@ -239,7 +239,7 @@ mod tests {
         }
         let assignment: Vec<ProcId> = (0..8).map(|i| ProcId(i as u32)).collect();
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routed = mm_route(&tg, 0, &assignment, &net, &table, Matcher::Maximum);
         assert_eq!(max_contention(&net, &routed.paths), 2);
         assert_eq!(routed.matching_rounds, 2);
@@ -249,7 +249,7 @@ mod tests {
     fn greedy_matcher_also_routes_everything() {
         let (tg, assignment) = fig6_setup();
         let net = builders::hypercube(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routed = mm_route(&tg, 0, &assignment, &net, &table, Matcher::GreedyMaximal);
         for path in &routed.paths {
             assert!(!path.is_empty());
@@ -264,7 +264,7 @@ mod tests {
         let tg = Family::Hypercube(2).build();
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let net = builders::hypercube(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         assert_eq!(routes.len(), tg.num_phases());
         assert_eq!(routes[0].len(), tg.comm_phases[0].edges.len());

@@ -69,7 +69,7 @@ proptest! {
     fn nn_embed_is_injective(g in weighted_graph(8), which in 0usize..6) {
         let net = small_network(which);
         prop_assume!(g.num_nodes() <= net.num_procs());
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let placement = nn_embed(&g, &net, &table);
         prop_assert!(validate_embedding(&placement, &net).is_ok());
     }
@@ -97,7 +97,7 @@ proptest! {
         let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
         let assignment: Vec<ProcId> =
             (0..10).map(|_| ProcId((next() % net.num_procs() as u64) as u32)).collect();
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let matcher = if use_greedy { Matcher::GreedyMaximal } else { Matcher::Maximum };
         let routed = mm_route(&tg, 0, &assignment, &net, &table, matcher);
         for (i, e) in tg.comm_phases[0].edges.iter().enumerate() {
@@ -127,7 +127,7 @@ proptest! {
         let c = mwm_contract(&g, procs, bound).unwrap();
         let (q, internal) = g.quotient(&c.cluster_of, c.num_clusters);
         prop_assert_eq!(q.total_weight() + internal, g.total_weight());
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let placement = nn_embed(&q, &net, &table);
         prop_assert!(validate_embedding(&placement, &net).is_ok());
         let assignment: Vec<ProcId> =

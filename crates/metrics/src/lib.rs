@@ -37,29 +37,46 @@ pub use timeline::{timeline, Timeline, TimelineRow};
 pub use visualize::{mapping_to_dot, network_to_dot};
 
 use oregami_graph::TaskGraph;
-use oregami_mapper::Mapping;
+use oregami_mapper::{Mapping, MappingError};
 use oregami_topology::Network;
+
+/// Computes the full METRICS suite for a routed mapping, validating it
+/// first.
+///
+/// `net` may be any network the mapping is valid on — in particular a
+/// [`oregami_topology::DegradedNetwork`]'s surviving machine
+/// (`degraded.network()`), so every metric can be recomputed after faults
+/// and repair.
+pub fn try_analyze_mapping(
+    tg: &TaskGraph,
+    net: &Network,
+    mapping: &Mapping,
+    model: &CostModel,
+) -> Result<MetricsReport, MappingError> {
+    mapping.validate(tg, net)?;
+    let load = load::compute(tg, net, mapping);
+    let links = links::compute(tg, net, mapping);
+    let overall = overall::compute(tg, net, mapping, model);
+    Ok(MetricsReport {
+        load,
+        links,
+        overall,
+    })
+}
 
 /// Computes the full METRICS suite for a routed mapping.
 ///
 /// # Panics
 /// If the mapping fails validation against `tg`/`net` (callers should have
 /// produced it through `oregami-mapper`, which guarantees validity).
+/// Fallible callers (e.g. after faults) should use
+/// [`try_analyze_mapping`].
 pub fn analyze_mapping(
     tg: &TaskGraph,
     net: &Network,
     mapping: &Mapping,
     model: &CostModel,
 ) -> MetricsReport {
-    mapping
-        .validate(tg, net)
-        .expect("mapping must be valid before analysis");
-    let load = load::compute(tg, net, mapping);
-    let links = links::compute(tg, net, mapping);
-    let overall = overall::compute(tg, net, mapping, model);
-    MetricsReport {
-        load,
-        links,
-        overall,
-    }
+    try_analyze_mapping(tg, net, mapping, model)
+        .expect("mapping must be valid before analysis")
 }

@@ -103,7 +103,7 @@ mod tests {
     fn ring_on_ring(n: usize) -> (TaskGraph, Network, Mapping) {
         let tg = Family::Ring(n).build();
         let net = builders::ring(n);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         (tg, net, Mapping { assignment, routes })
@@ -130,7 +130,7 @@ mod tests {
     fn colocated_tasks_have_zero_dilation() {
         let tg = Family::Ring(4).build();
         let net = builders::ring(4);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };
@@ -147,7 +147,7 @@ mod tests {
         let p2 = tg.add_phase("heavy");
         tg.add_edge(p2, 0usize.into(), 1usize.into(), 100);
         let net = builders::ring(3);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..3).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };

@@ -176,7 +176,7 @@ mod tests {
     use oregami_topology::{builders, ProcId, RouteTable};
 
     fn routed(tg: &TaskGraph, net: &Network, assignment: Vec<ProcId>) -> Mapping {
-        let table = RouteTable::new(net);
+        let table = RouteTable::try_new(net).expect("connected network");
         let routes = route_all_phases(tg, &assignment, net, &table, Matcher::Maximum);
         Mapping { assignment, routes }
     }

@@ -102,7 +102,7 @@ mod tests {
             PhaseExpr::Exec(work),
         ));
         let net = builders::hypercube(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = vec![ProcId(0), ProcId(1), ProcId(3), ProcId(2)];
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };

@@ -191,7 +191,7 @@ mod tests {
             3,
         ));
         let net = builders::ring(4);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = oregami_mapper::Mapping { assignment, routes };
@@ -216,7 +216,7 @@ mod tests {
         let b = tg.add_exec_phase("b", Cost::Uniform(7));
         tg.phase_expr = Some(PhaseExpr::par(PhaseExpr::Exec(a), PhaseExpr::Exec(b)));
         let net = builders::ring(4);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = oregami_mapper::Mapping { assignment, routes };
@@ -230,7 +230,7 @@ mod tests {
     fn no_phase_expr_no_timeline() {
         let tg = Family::Ring(4).build();
         let net = builders::ring(4);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = oregami_mapper::Mapping { assignment, routes };

@@ -113,7 +113,7 @@ mod tests {
     fn setup() -> (TaskGraph, Network, Mapping) {
         let tg = Family::Ring(4).build();
         let net = builders::chain(2);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         (tg, net, Mapping { assignment, routes })

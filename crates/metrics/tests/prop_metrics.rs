@@ -46,7 +46,7 @@ fn random_setup(
     let assignment: Vec<ProcId> = (0..n)
         .map(|_| ProcId((next() % net.num_procs() as u64) as u32))
         .collect();
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
     (tg, net, Mapping { assignment, routes })
 }
@@ -112,7 +112,7 @@ proptest! {
     ) {
         let (tg, net, mut mapping) = random_setup(&edges, 1, which, seed);
         let target = ProcId(target % net.num_procs() as u32);
-        let table = RouteTable::new(&net);
+        let table = RouteTable::try_new(&net).expect("connected network");
         mapping.reassign(&tg, &net, &table, task, target);
         mapping.validate(&tg, &net).unwrap();
         let edited = analyze_mapping(&tg, &net, &mapping, &CostModel::default());

@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn routing_works_on_extended_topologies() {
         for net in [mesh3d(2, 2, 2), cube_connected_cycles(3), debruijn(4)] {
-            let table = RouteTable::new(&net);
+            let table = RouteTable::try_new(&net).expect("connected network");
             let n = net.num_procs() as u32;
             for u in 0..n.min(6) {
                 for v in 0..n.min(6) {

@@ -17,13 +17,18 @@
 //! * [`gray`] — binary-reflected Gray codes used by the canned
 //!   ring/mesh→hypercube embeddings;
 //! * [`extended`] — further targets beyond the paper's core set: 3-D
-//!   meshes and tori, cube-connected cycles, de Bruijn networks.
+//!   meshes and tori, cube-connected cycles, de Bruijn networks;
+//! * [`fault`] — failed processors/links ([`fault::FaultSet`]) and the
+//!   degraded surviving machine ([`fault::DegradedNetwork`]) that mapping
+//!   repair and fault-aware metrics run against.
 
 pub mod builders;
 pub mod extended;
+pub mod fault;
 pub mod gray;
 pub mod network;
 pub mod routes;
 
+pub use fault::{DegradedNetwork, FaultSet, TopologyError};
 pub use network::{LinkId, Network, ProcId, TopologyKind};
 pub use routes::RouteTable;

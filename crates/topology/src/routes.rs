@@ -14,6 +14,7 @@
 //! * `first_path(u, v)` — the deterministic lowest-numbered-neighbor path,
 //!   our contention-oblivious baseline router (e-cube order on hypercubes).
 
+use crate::fault::{alive_components, TopologyError};
 use crate::network::{LinkId, Network, ProcId};
 use oregami_graph::traversal::bfs_distances;
 
@@ -26,20 +27,60 @@ pub struct RouteTable {
 }
 
 impl RouteTable {
-    /// Runs BFS from every processor. Panics on a disconnected network
-    /// (OREGAMI targets connected interconnects).
-    pub fn new(net: &Network) -> RouteTable {
+    /// Runs BFS from every processor. A disconnected network is reported
+    /// as [`TopologyError::Disconnected`] listing the connected
+    /// components.
+    pub fn try_new(net: &Network) -> Result<RouteTable, TopologyError> {
         let n = net.num_procs();
         let mut dist = Vec::with_capacity(n * n);
         for src in 0..n {
             let d = bfs_distances(net.adjacency(), src);
-            assert!(
-                d.iter().all(|&x| x != u32::MAX),
-                "network is disconnected"
-            );
+            if d.contains(&u32::MAX) {
+                return Err(TopologyError::Disconnected {
+                    components: alive_components(net, &vec![true; n]),
+                });
+            }
             dist.extend_from_slice(&d);
         }
-        RouteTable { n, dist }
+        Ok(RouteTable { n, dist })
+    }
+
+    /// Panicking forerunner of [`RouteTable::try_new`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RouteTable::try_new`, which reports disconnection as a `TopologyError` instead of panicking"
+    )]
+    pub fn new(net: &Network) -> RouteTable {
+        RouteTable::try_new(net).expect("network is disconnected")
+    }
+
+    /// Fault-aware construction: runs BFS from live processors only and
+    /// requires every live pair to be mutually reachable. Rows/columns of
+    /// dead processors read `u32::MAX` (except the trivial diagonal).
+    /// `net` must already have dead processors isolated — this is the
+    /// `DegradedNetwork` invariant.
+    pub(crate) fn masked(net: &Network, alive: &[bool]) -> Result<RouteTable, TopologyError> {
+        let n = net.num_procs();
+        debug_assert_eq!(alive.len(), n);
+        let mut dist = vec![u32::MAX; n * n];
+        for src in 0..n {
+            if !alive[src] {
+                dist[src * n + src] = 0;
+                continue;
+            }
+            let d = bfs_distances(net.adjacency(), src);
+            let reaches_all_alive = d
+                .iter()
+                .zip(alive)
+                .all(|(&x, &a)| !a || x != u32::MAX);
+            if !reaches_all_alive {
+                return Err(TopologyError::Disconnected {
+                    components: alive_components(net, alive),
+                });
+            }
+            dist[src * n..(src + 1) * n].copy_from_slice(&d);
+        }
+        Ok(RouteTable { n, dist })
     }
 
     /// Hop distance between two processors.
@@ -168,7 +209,7 @@ mod tests {
     #[test]
     fn hypercube_distance_is_hamming() {
         let q = builders::hypercube(4);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         for u in 0..16u32 {
             for v in 0..16u32 {
                 assert_eq!(rt.dist(ProcId(u), ProcId(v)), (u ^ v).count_ones());
@@ -179,7 +220,7 @@ mod tests {
     #[test]
     fn next_hops_flip_one_wrong_bit() {
         let q = builders::hypercube(3);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         let hops = rt.next_hops(&q, ProcId(0), ProcId(0b101));
         let mut got: Vec<u32> = hops.iter().map(|p| p.0).collect();
         got.sort();
@@ -190,7 +231,7 @@ mod tests {
     #[test]
     fn path_count_is_hamming_factorial() {
         let q = builders::hypercube(3);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         // distance-k pairs in a hypercube have k! shortest paths
         assert_eq!(rt.count_shortest_paths(&q, ProcId(0), ProcId(0b111)), 6);
         assert_eq!(rt.count_shortest_paths(&q, ProcId(0), ProcId(0b011)), 2);
@@ -201,7 +242,7 @@ mod tests {
     #[test]
     fn enumeration_matches_count_and_is_valid() {
         let q = builders::hypercube(3);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         let paths = rt.all_shortest_paths(&q, ProcId(0), ProcId(7), 100);
         assert_eq!(paths.len(), 6);
         for p in &paths {
@@ -222,7 +263,7 @@ mod tests {
     #[test]
     fn enumeration_respects_cap() {
         let q = builders::hypercube(4);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         let paths = rt.all_shortest_paths(&q, ProcId(0), ProcId(15), 5);
         assert_eq!(paths.len(), 5);
     }
@@ -230,7 +271,7 @@ mod tests {
     #[test]
     fn first_path_is_ecube_on_hypercube() {
         let q = builders::hypercube(3);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         // 0 -> 7 flipping lowest bits first: 0,1,3,7
         let p = rt.first_path(&q, ProcId(0), ProcId(7));
         let ids: Vec<u32> = p.iter().map(|x| x.0).collect();
@@ -240,7 +281,7 @@ mod tests {
     #[test]
     fn mesh_path_count() {
         let m = builders::mesh2d(3, 3);
-        let rt = RouteTable::new(&m);
+        let rt = RouteTable::try_new(&m).expect("connected network");
         // corner to corner on a 3x3 mesh: C(4,2) = 6 monotone lattice paths
         assert_eq!(rt.count_shortest_paths(&m, ProcId(0), ProcId(8)), 6);
         assert_eq!(
@@ -250,9 +291,38 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_disconnection() {
+        use crate::network::TopologyKind;
+        let two = crate::Network::from_links("2islands", TopologyKind::Custom, 4, vec![(0, 1), (2, 3)]);
+        match RouteTable::try_new(&two) {
+            Err(crate::TopologyError::Disconnected { components }) => {
+                assert_eq!(components.len(), 2);
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_works_on_connected() {
+        let q = builders::hypercube(2);
+        let rt = RouteTable::new(&q);
+        assert_eq!(rt.dist(ProcId(0), ProcId(3)), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "network is disconnected")]
+    fn deprecated_new_panics_on_disconnected() {
+        use crate::network::TopologyKind;
+        let two = crate::Network::from_links("2islands", TopologyKind::Custom, 4, vec![(0, 1), (2, 3)]);
+        let _ = RouteTable::new(&two);
+    }
+
+    #[test]
     fn ring_two_paths_at_antipode() {
         let r = builders::ring(6);
-        let rt = RouteTable::new(&r);
+        let rt = RouteTable::try_new(&r).expect("connected network");
         assert_eq!(rt.count_shortest_paths(&r, ProcId(0), ProcId(3)), 2);
         assert_eq!(rt.dist(ProcId(0), ProcId(3)), 3);
     }

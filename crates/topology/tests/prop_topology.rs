@@ -39,7 +39,7 @@ proptest! {
     #[test]
     fn distances_are_a_metric(n in 2usize..20, extra in 0usize..15, seed in any::<u64>()) {
         let net = random_network(n, extra, seed);
-        let rt = RouteTable::new(&net);
+        let rt = RouteTable::try_new(&net).expect("connected network");
         for u in 0..n as u32 {
             prop_assert_eq!(rt.dist(ProcId(u), ProcId(u)), 0);
             for v in 0..n as u32 {
@@ -67,7 +67,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let net = random_network(n, extra, seed);
-        let rt = RouteTable::new(&net);
+        let rt = RouteTable::try_new(&net).expect("connected network");
         for u in 0..n as u32 {
             for v in 0..n as u32 {
                 let (u, v) = (ProcId(u), ProcId(v));
@@ -94,7 +94,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let net = random_network(n, extra, seed);
-        let rt = RouteTable::new(&net);
+        let rt = RouteTable::try_new(&net).expect("connected network");
         let cap = 64;
         for u in 0..n as u32 {
             for v in 0..n as u32 {

@@ -35,7 +35,7 @@ fn main() {
 
     // --- incremental mapping onto a 4-processor hypercube ---
     let net = builders::hypercube(2);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let maps = incremental_map(&dc, &net, 4).unwrap();
     println!("\nincremental placement (tasks never migrate):");
     for (g, m) in maps.iter().enumerate() {

@@ -52,7 +52,7 @@ fn run_on(net: Network, n: i64) {
 
     // Contrast MM-Route with fixed e-cube-style routing on the chordal phase.
     let tg = &result.task_graph;
-    let table = RouteTable::new(system.network());
+    let table = RouteTable::try_new(system.network()).expect("connected network");
     let chordal = tg.phase_by_name("chordal").unwrap().index();
     let assignment = &result.report.mapping.assignment;
     let mm = mm_route(tg, chordal, assignment, system.network(), &table, Matcher::Maximum);

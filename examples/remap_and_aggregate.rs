@@ -27,7 +27,7 @@ fn main() {
     tg.add_edge(b, TaskId(3), TaskId(0), 10);
 
     let net = builders::chain(2);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
     let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
     let fixed = Mapping { assignment, routes };
@@ -58,7 +58,7 @@ fn main() {
         agg.add_edge(ph, TaskId::new(i), TaskId(0), 8);
     }
     let net = builders::hypercube(4);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
     let routes = route_all_phases(&agg, &assignment, &net, &table, Matcher::Maximum);
     let mut mapping = Mapping { assignment, routes };

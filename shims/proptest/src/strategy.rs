@@ -1,0 +1,409 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree or shrinking: `generate`
+/// draws one value directly from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `f`
+    /// wraps an inner strategy into a composite, nested at most `depth`
+    /// levels. (`_size`/`_branch` are accepted for API compatibility.)
+    fn prop_recursive<R, F>(self, depth: u32, _size: u32, _branch: u32, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // each level mixes leaves back in so generated structures
+            // vary in depth instead of always bottoming out at `depth`
+            level = Union::new(vec![leaf.clone(), f(level).boxed()]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among type-erased strategies (what `prop_oneof!`
+/// expands to).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union of the given strategies (must be nonempty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types with a canonical "anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy's concrete type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical full-domain strategy of a type: `any::<u64>()`,
+/// `any::<bool>()`, ...
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for a whole primitive-integer domain or `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(core::marker::PhantomData)
+    }
+}
+
+/// String-literal strategies: a restricted regex of the form
+/// `"[class]{min,max}"` (what the workspace's tests use). The class
+/// supports literal characters, `a-z` ranges, and the escapes `\n`,
+/// `\t`, `\r`, `\\`, `\]`, `\-`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim handles only \"[class]{{m,n}}\")"));
+        let len = min + rng.index(max - min + 1);
+        (0..len).map(|_| chars[rng.index(chars.len())]).collect()
+    }
+}
+
+fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = find_class_end(rest)?;
+    let class: Vec<char> = expand_class(&rest[..close]);
+    if class.is_empty() {
+        return None;
+    }
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let (min, max) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((class, min, max))
+}
+
+fn find_class_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn expand_class(class: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            match chars[i] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            chars[i]
+        };
+        // range `c-d` (a trailing '-' is a literal)
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != '\\' {
+            let end = chars[i + 2];
+            if c <= end {
+                for x in c as u32..=end as u32 {
+                    if let Some(ch) = char::from_u32(x) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-unit")
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3usize..17).generate(&mut r);
+            assert!((3..17).contains(&x));
+            let y = (0u64..=5).generate(&mut r);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..5).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..200 {
+            let (n, k) = s.generate(&mut r);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn union_picks_all_arms() {
+        let mut r = rng();
+        let s = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn recursive_terminates_and_varies() {
+        #[derive(Debug)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u32..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = s.generate(&mut r);
+            let d = depth(&t);
+            assert!(d <= 4);
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 1, "recursion must sometimes nest");
+    }
+
+    #[test]
+    fn simple_regex_strings() {
+        let mut r = rng();
+        let s = "[a-c0-1\\n]{2,5}";
+        for _ in 0..300 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!(v.chars().count() >= 2 && v.chars().count() <= 5);
+            assert!(v.chars().all(|c| "abc01\n".contains(c)), "{v:?}");
+        }
+        // class with space, '-' at end, punctuation
+        let t = "[a-z(){};:.,<>=+*/ \\n-]{0,20}";
+        for _ in 0..100 {
+            let v = Strategy::generate(&t, &mut r);
+            assert!(v.chars().count() <= 20);
+        }
+    }
+}

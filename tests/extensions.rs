@@ -60,7 +60,7 @@ fn remapping_beats_fixed_mapping_with_free_state() {
     tg.add_edge(b, TaskId(1), TaskId(2), 10);
     tg.add_edge(b, TaskId(3), TaskId(0), 10);
     let net = builders::chain(2);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
     let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
     let fixed = oregami::Mapping { assignment, routes };
@@ -83,7 +83,7 @@ fn aggregate_synthesis_end_to_end() {
         tg.add_edge(ph, TaskId::new(i), TaskId(0), 2);
     }
     let net = builders::hypercube(4);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
     let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
     let mut mapping = oregami::Mapping { assignment, routes };

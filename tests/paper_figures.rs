@@ -92,7 +92,7 @@ fn f6_mm_route() {
         .unwrap();
     let tg = &r.task_graph;
     let net = sys.network();
-    let table = RouteTable::new(net);
+    let table = RouteTable::try_new(net).expect("connected network");
     let chordal = tg.phase_by_name("chordal").unwrap().index();
     let assignment = &r.report.mapping.assignment;
     let mm = mm_route(tg, chordal, assignment, net, &table, Matcher::Maximum);
@@ -170,7 +170,7 @@ fn c5_contention_vs_baseline() {
     use oregami::graph::{TaskGraph, TaskId};
     use oregami::mapper::routing::{baseline_route, max_contention, mm_route, Matcher};
     let net = builders::hypercube(4);
-    let table = RouteTable::new(&net);
+    let table = RouteTable::try_new(&net).expect("connected network");
     let mut seed = 0x9E3779B97F4A7C15u64;
     let mut next = move || {
         seed ^= seed << 13;

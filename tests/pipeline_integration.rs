@@ -93,7 +93,7 @@ fn routes_are_always_shortest() {
     for (name, src, params) in oregami::larcs::programs::all_programs() {
         let sys = Oregami::new(builders::mesh2d(2, 4));
         let r = sys.map_source(&src, &params).unwrap();
-        let table = RouteTable::new(sys.network());
+        let table = RouteTable::try_new(sys.network()).expect("connected network");
         for (k, phase) in r.task_graph.comm_phases.iter().enumerate() {
             for (i, e) in phase.edges.iter().enumerate() {
                 let path = &r.report.mapping.routes[k][i];
@@ -164,7 +164,7 @@ fn interactive_edit_loop_recomputes() {
 
     // METRICS-style user edit: move every task to processor 0 and recompute.
     let mut mapping = r.report.mapping.clone();
-    let table = RouteTable::new(sys.network());
+    let table = RouteTable::try_new(sys.network()).expect("connected network");
     for t in 0..r.task_graph.num_tasks() {
         mapping.reassign(&r.task_graph, sys.network(), &table, t, ProcId(0));
     }
