@@ -9,15 +9,19 @@
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage/input error, 3 mapping failure,
-//! 4 fault-injection error (bad ids), 5 unrepairable fault.
+//! 4 fault-injection error (bad ids), 5 unrepairable fault, 6 a budget
+//! (--deadline-ms / --max-steps) cut the search short and a valid but
+//! possibly suboptimal mapping was served.
 
 use oregami::larcs::programs;
 use oregami::metrics::schedule;
 use oregami::topology::{builders, LinkId, Network, ProcId};
 use oregami::{
-    CostModel, FaultSet, MapperOptions, Oregami, OregamiError, RepairOptions,
+    Budget, CostModel, FallbackChain, FaultSet, MapperOptions, Oregami, OregamiError,
+    RepairOptions,
 };
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     source: Option<String>,
@@ -36,6 +40,10 @@ struct Args {
     fail_procs: Vec<u32>,
     fail_links: Vec<u32>,
     fault_sweep: Option<usize>,
+    deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
+    fallback: bool,
+    chain: Option<String>,
 }
 
 /// CLI failure with a dedicated exit code per class, so scripts driving
@@ -111,8 +119,24 @@ fn usage() -> &'static str {
        --fail-link L          fail link L, repair the mapping (repeatable)\n\
        --fault-sweep K        try K single-processor-failure scenarios and\n\
                               summarise repairability\n\
-       --list                 list built-in programs and exit\n"
+       --deadline-ms MS       stop searching after MS milliseconds and serve the\n\
+                              best mapping found (exit 6 when the deadline fired)\n\
+       --max-steps N          cap total search steps (same anytime semantics)\n\
+       --fallback             run the full fallback chain\n\
+                              (exhaustive -> heuristic -> identity)\n\
+       --chain A,B,..         custom fallback chain from: exhaustive, heuristic,\n\
+                              identity\n\
+       --list                 list built-in programs and exit\n\
+     \n\
+     EXIT CODES:\n\
+       0 success    2 usage    3 mapping failed    4 bad fault ids\n\
+       5 unrepairable fault    6 budget exhausted but a mapping was served\n"
 }
+
+/// Upper bound on processors a CLI-specified topology may have. A typo
+/// like `hypercube:62` must come back as a usage error, not an attempt
+/// to allocate 2^62 processors.
+const MAX_PROCS: usize = 1 << 20;
 
 fn parse_topology(spec: &str) -> Result<Network, String> {
     let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
@@ -125,22 +149,50 @@ fn parse_topology(spec: &str) -> Result<Network, String> {
             .ok_or_else(|| format!("expected RxC in topology '{spec}'"))?;
         Ok((int(a)?, int(b)?))
     };
+    let guard = |procs: Option<usize>| -> Result<usize, String> {
+        match procs {
+            Some(p) if p <= MAX_PROCS => Ok(p),
+            _ => Err(format!(
+                "topology '{spec}' exceeds the {MAX_PROCS}-processor limit"
+            )),
+        }
+    };
     Ok(match kind {
-        "hypercube" => builders::hypercube(int(rest)?),
+        "hypercube" => {
+            let d = int(rest)?;
+            guard(1usize.checked_shl(d.min(63) as u32))?;
+            builders::hypercube(d)
+        }
         "mesh2d" => {
             let (r, c) = dims(rest)?;
+            guard(r.checked_mul(c))?;
             builders::mesh2d(r, c)
         }
         "torus2d" => {
             let (r, c) = dims(rest)?;
+            guard(r.checked_mul(c))?;
             builders::torus2d(r, c)
         }
-        "ring" => builders::ring(int(rest)?),
-        "chain" => builders::chain(int(rest)?),
-        "complete" => builders::complete(int(rest)?),
-        "star" => builders::star(int(rest)?),
-        "tree" => builders::full_binary_tree(int(rest)?),
-        "butterfly" => builders::butterfly(int(rest)?),
+        "ring" => builders::ring(guard(Some(int(rest)?))?),
+        "chain" => builders::chain(guard(Some(int(rest)?))?),
+        "complete" => builders::complete(guard(Some(int(rest)?))?),
+        "star" => builders::star(guard(Some(int(rest)?))?),
+        "tree" => {
+            let h = int(rest)?;
+            // a full binary tree of height h has 2^(h+1) - 1 nodes
+            guard(1usize.checked_shl((h.min(62) + 1) as u32))?;
+            builders::full_binary_tree(h)
+        }
+        "butterfly" => {
+            let d = int(rest)?;
+            // (d+1) ranks of 2^d nodes
+            guard(
+                1usize
+                    .checked_shl(d.min(63) as u32)
+                    .and_then(|w| w.checked_mul(d + 1)),
+            )?;
+            builders::butterfly(d)
+        }
         other => return Err(format!("unknown topology kind '{other}'")),
     })
 }
@@ -163,6 +215,10 @@ fn parse_args() -> Result<Args, String> {
         fail_procs: Vec::new(),
         fail_links: Vec::new(),
         fault_sweep: None,
+        deadline_ms: None,
+        max_steps: None,
+        fallback: false,
+        chain: None,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -245,6 +301,22 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --fault-sweep count".to_string())?,
                 );
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    next_val(&mut it, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms value".to_string())?,
+                );
+            }
+            "--max-steps" => {
+                args.max_steps = Some(
+                    next_val(&mut it, "--max-steps")?
+                        .parse()
+                        .map_err(|_| "bad --max-steps value".to_string())?,
+                );
+            }
+            "--fallback" => args.fallback = true,
+            "--chain" => args.chain = Some(next_val(&mut it, "--chain")?),
             "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
             "--map-dot" => args.map_dot = Some(next_val(&mut it, "--map-dot")?),
             "--net-dot" => args.net_dot = Some(next_val(&mut it, "--net-dot")?),
@@ -261,7 +333,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), CliError> {
+fn run() -> Result<ExitCode, CliError> {
     let args = parse_args()?;
     if args.list {
         println!("built-in LaRCS programs (with sample parameters):");
@@ -271,7 +343,7 @@ fn run() -> Result<(), CliError> {
         }
         println!("\ntopologies: hypercube:D mesh2d:RxC torus2d:RxC ring:N chain:N");
         println!("            complete:N star:N tree:H butterfly:D");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let source = args.source.ok_or_else(|| {
         format!("no program given (--program or --file)\n\n{}", usage())
@@ -297,7 +369,28 @@ fn run() -> Result<(), CliError> {
             params.push((k.as_str(), *v));
         }
     }
-    let result = system.map_source(&source, &params)?;
+    // any budget/chain flag routes through the fallback-chain engine
+    let budgeted = args.deadline_ms.is_some()
+        || args.max_steps.is_some()
+        || args.fallback
+        || args.chain.is_some();
+    let result = if budgeted {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = args.deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(steps) = args.max_steps {
+            budget = budget.with_max_steps(steps);
+        }
+        let chain = match &args.chain {
+            Some(spec) => FallbackChain::parse(spec).map_err(CliError::Usage)?,
+            None if args.fallback => FallbackChain::full(),
+            None => FallbackChain::default(),
+        };
+        system.map_source_with_budget(&source, &params, &chain, &budget)?
+    } else {
+        system.map_source(&source, &params)?
+    };
 
     println!(
         "mapped '{}' ({} tasks, {} phases) onto {net_name} ({num_procs} processors)",
@@ -308,6 +401,9 @@ fn run() -> Result<(), CliError> {
     println!("strategy: {:?}", result.report.strategy);
     for note in &result.report.notes {
         println!("note: {note}");
+    }
+    if let Some(engine) = &result.engine {
+        println!("{engine}");
     }
     println!();
     println!("{}", result.metrics.render());
@@ -408,12 +504,17 @@ fn run() -> Result<(), CliError> {
         std::fs::write(&path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("network heat view written to {path}");
     }
-    Ok(())
+    if result.is_degraded() {
+        // served, but a budget cut the search short: dedicated exit code
+        // so scripts can tell "best possible" from "best we had time for"
+        return Ok(ExitCode::from(6));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {}", e.message());
             ExitCode::from(e.exit_code())

@@ -54,8 +54,8 @@ pub use oregami_topology as topology;
 
 pub use oregami_larcs::LarcsError;
 pub use oregami_mapper::{
-    MapperOptions, MapperReport, Mapping, MappingError, RepairError, RepairOptions, RepairReport,
-    Strategy,
+    Budget, CancelToken, Completion, EngineReport, FallbackChain, MapperOptions, MapperReport,
+    Mapping, MappingError, RepairError, RepairOptions, RepairReport, StageKind, Strategy,
 };
 pub use oregami_metrics::{CostModel, MetricsReport};
 pub use oregami_topology::{DegradedNetwork, FaultSet, Network, TopologyError};
@@ -71,6 +71,18 @@ pub struct OregamiResult {
     pub report: MapperReport,
     /// METRICS' evaluation of the mapping.
     pub metrics: MetricsReport,
+    /// The fallback-chain execution record, present when the mapping was
+    /// produced through [`Oregami::map_with_budget`] /
+    /// [`Oregami::map_source_with_budget`].
+    pub engine: Option<EngineReport>,
+}
+
+impl OregamiResult {
+    /// Whether a budget cut any search short: the mapping is valid but
+    /// possibly worse than an unbudgeted run would produce.
+    pub fn is_degraded(&self) -> bool {
+        self.engine.as_ref().is_some_and(EngineReport::is_degraded)
+    }
 }
 
 /// The outcome of [`Oregami::repair`]: a mapping salvaged onto the
@@ -238,6 +250,65 @@ impl Oregami {
             task_graph,
             report,
             metrics,
+            engine: None,
+        })
+    }
+
+    /// Compiles a LaRCS source and maps it through the fallback-chain
+    /// engine under an execution budget (see
+    /// [`map_with_budget`](Oregami::map_with_budget)).
+    pub fn map_source_with_budget(
+        &self,
+        source: &str,
+        params: &[(&str, i64)],
+        chain: &FallbackChain,
+        budget: &Budget,
+    ) -> Result<OregamiResult, OregamiError> {
+        let tg = oregami_larcs::compile(source, params)?;
+        self.map_with_budget(tg, chain, budget)
+    }
+
+    /// Maps a task graph through the fallback-chain engine under an
+    /// execution budget: the chain's stages run in priority order, each
+    /// panic-isolated, sharing `budget`; the cheapest candidate mapping
+    /// is served even when the budget cuts the searches short. The
+    /// result's [`OregamiResult::engine`] holds the per-stage record, and
+    /// METRICS is annotated when the chain degraded.
+    pub fn map_with_budget(
+        &self,
+        task_graph: TaskGraph,
+        chain: &FallbackChain,
+        budget: &Budget,
+    ) -> Result<OregamiResult, OregamiError> {
+        let outcome =
+            oregami_mapper::run_engine(&task_graph, &self.network, &self.options, chain, budget)?;
+        let mut metrics = oregami_metrics::analyze_mapping(
+            &task_graph,
+            &self.network,
+            &outcome.report.mapping,
+            &self.cost_model,
+        );
+        if outcome.engine.is_degraded() {
+            metrics.annotate(format!(
+                "degraded mapping: served by stage '{}' under a tripped budget ({})",
+                outcome.engine.served_by, outcome.engine.completion
+            ));
+            for s in &outcome.engine.stages {
+                if s.completion.is_some_and(|c| c.is_degraded()) {
+                    metrics.annotate(format!(
+                        "stage '{}' stopped early: {} after {} steps",
+                        s.stage,
+                        s.completion.unwrap(),
+                        s.steps
+                    ));
+                }
+            }
+        }
+        Ok(OregamiResult {
+            task_graph,
+            report: outcome.report,
+            metrics,
+            engine: Some(outcome.engine),
         })
     }
 }
@@ -353,5 +424,59 @@ mod tests {
         });
         let r2 = slow.map_source(&src, &params).unwrap();
         assert!(r2.metrics.overall.completion_time > r1.metrics.overall.completion_time);
+    }
+
+    #[test]
+    fn budgeted_map_degrades_and_annotates() {
+        // 16 tasks on 16 processors: the exhaustive stage faces a 16!
+        // search; a starved budget forces the chain to serve best-so-far.
+        let sys = Oregami::new(builders::hypercube(4));
+        let r = sys
+            .map_source_with_budget(
+                &larcs::programs::jacobi(),
+                &[("n", 4), ("iters", 1)],
+                &FallbackChain::full(),
+                &Budget::unlimited().with_max_steps(1),
+            )
+            .unwrap();
+        assert!(r.is_degraded());
+        r.report
+            .mapping
+            .validate(&r.task_graph, sys.network())
+            .unwrap();
+        let engine = r.engine.as_ref().unwrap();
+        assert_eq!(engine.completion, Completion::BudgetExhausted);
+        let rendered = r.metrics.render();
+        assert!(rendered.contains("degraded mapping"), "{rendered}");
+        // an unbudgeted engine run on the same input is not degraded
+        let full = sys
+            .map_source_with_budget(
+                &larcs::programs::jacobi(),
+                &[("n", 4), ("iters", 1)],
+                &FallbackChain::default(),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        assert!(!full.is_degraded());
+        assert!(!full.metrics.render().contains("degraded mapping"));
+    }
+
+    #[test]
+    fn cancelled_budget_surfaces_as_map_error() {
+        let sys = Oregami::new(builders::hypercube(2));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = sys
+            .map_source_with_budget(
+                &larcs::programs::jacobi(),
+                &[("n", 2), ("iters", 1)],
+                &FallbackChain::full(),
+                &Budget::unlimited().with_cancel(token),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OregamiError::Map(mapper::MapError::Cancelled)
+        ));
     }
 }

@@ -147,6 +147,85 @@ fn fault_errors_use_dedicated_exit_codes() {
 }
 
 #[test]
+fn deadline_serves_degraded_mapping_with_exit_6() {
+    // 16 tasks on 16 processors: the exhaustive stage faces a 16!-node
+    // search an unbudgeted run would chew on for a very long time. With a
+    // 50ms deadline the chain must serve a valid mapping quickly, exit
+    // with the dedicated budget-exhausted code, and name the stage that
+    // was cut short.
+    let start = std::time::Instant::now();
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "hypercube:4",
+            "-P", "n=4", "-P", "iters=1",
+            "--deadline-ms", "50", "--fallback",
+        ])
+        .output()
+        .unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+    // generous margin over the 50ms deadline: process spawn + routing +
+    // metrics, but nowhere near the unbudgeted exhaustive search
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "deadline run took {elapsed:?}"
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stage exhaustive"), "{text}");
+    assert!(text.contains("budget exhausted"), "{text}");
+    assert!(text.contains("== METRICS =="));
+    assert!(text.contains("degraded mapping"), "{text}");
+}
+
+#[test]
+fn unbudgeted_small_chain_run_is_optimal_with_exit_0() {
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "hypercube:2",
+            "-P", "n=2", "-P", "iters=1", "--fallback",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("served by exhaustive (optimal)"), "{text}");
+    assert!(!text.contains("degraded mapping"));
+}
+
+#[test]
+fn custom_chain_and_bad_chain_spec() {
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "chain:5",
+            "-P", "n=4", "-P", "iters=1", "--chain", "identity",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("strategy: Identity"), "{text}");
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "chain:5",
+            "--chain", "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown stage"));
+}
+
+#[test]
+fn oversized_topology_is_a_usage_error() {
+    let out = oregami()
+        .args(["--program", "jacobi", "--topology", "hypercube:62"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("processor limit"));
+}
+
+#[test]
 fn larcs_errors_reported_with_position() {
     let dir = std::env::temp_dir().join(format!("oregami-cli-err-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -82,8 +82,10 @@ pub fn phase_is_bijective(tg: &TaskGraph, k: usize) -> bool {
     if phase.edges.len() != n {
         return false;
     }
-    let mut outs = vec![0u8; n];
-    let mut ins = vec![0u8; n];
+    // u32, not u8: a task may legitimately carry hundreds of parallel
+    // edges (the phase has exactly n edges total, so u32 cannot wrap).
+    let mut outs = vec![0u32; n];
+    let mut ins = vec![0u32; n];
     for e in &phase.edges {
         outs[e.src.index()] += 1;
         ins[e.dst.index()] += 1;
@@ -283,6 +285,20 @@ mod tests {
         }
         // Q3 is also recognisable as other families? Ring(8) no (degree 3).
         assert_eq!(recognize_family(&g), Some(Family::Hypercube(3)));
+    }
+
+    #[test]
+    fn high_degree_phase_does_not_overflow_counters() {
+        // 300 parallel edges out of one node: a u8 out-degree counter
+        // would wrap (panic in debug builds). Must simply report
+        // non-bijective.
+        let mut g = oregami_graph::TaskGraph::new("fan");
+        g.add_scalar_nodes("t", 300);
+        let p = g.add_phase("c");
+        for i in 0..300usize {
+            g.add_edge(p, oregami_graph::TaskId::new(0), oregami_graph::TaskId::new(i), 1);
+        }
+        assert!(!phase_is_bijective(&g, 0));
     }
 
     #[test]

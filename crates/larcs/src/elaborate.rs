@@ -20,6 +20,11 @@ pub struct ElabOptions {
     pub max_nodes: usize,
     /// Maximum number of communication edges across all phases.
     pub max_edges: usize,
+    /// Maximum total binder iterations per rule (guards against rules like
+    /// `forall i in 0..2**60 where ...` whose guard rejects everything: no
+    /// edges are ever emitted, so the edge cap alone would never fire and
+    /// elaboration would spin effectively forever).
+    pub max_iterations: u64,
     /// Volume used when an edge declares none.
     pub default_volume: u64,
     /// Cost used when an execution phase declares none.
@@ -31,6 +36,7 @@ impl Default for ElabOptions {
         ElabOptions {
             max_nodes: 1 << 20,
             max_edges: 1 << 23,
+            max_iterations: 1 << 26,
             default_volume: 1,
             default_cost: 1,
         }
@@ -48,6 +54,11 @@ struct NodeType {
 
 impl NodeType {
     /// Row-major linear index of a coordinate tuple, if in range.
+    ///
+    /// All arithmetic is checked: the index is bounded by [`Self::count`]
+    /// (itself validated against `max_nodes` at declaration time), so
+    /// overflow here would indicate a corrupted table rather than user
+    /// error, but a `None` beats a wrap in either case.
     fn index_of(&self, coords: &[i64]) -> Option<usize> {
         if coords.len() != self.ranges.len() {
             return None;
@@ -57,13 +68,19 @@ impl NodeType {
             if c < lo || c > hi {
                 return None;
             }
-            idx = idx * self.dims[d] + (c - lo) as usize;
+            let step = usize::try_from(c.checked_sub(lo)?).ok()?;
+            idx = idx.checked_mul(self.dims[d])?.checked_add(step)?;
         }
-        Some(self.offset + idx)
+        self.offset.checked_add(idx)
     }
 
-    fn count(&self) -> usize {
-        self.dims.iter().product()
+    /// Total node count, or `None` on overflow (e.g. two dimensions of
+    /// `2**62` each — the product wraps `usize` long before any allocation
+    /// would fail).
+    fn count(&self) -> Option<usize> {
+        self.dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
     }
 }
 
@@ -126,7 +143,21 @@ pub fn elaborate(
                     decl.name
                 )));
             }
-            let extent = (hi - lo + 1) as usize;
+            // `hi - lo` can overflow i64 for adversarial bounds (e.g.
+            // `-2**62 .. 2**62`), so the extent is computed checked and
+            // capped immediately — long before any allocation.
+            let extent = hi
+                .checked_sub(lo)
+                .and_then(|d| d.checked_add(1))
+                .and_then(|e| usize::try_from(e).ok())
+                .filter(|&e| e <= opts.max_nodes)
+                .ok_or_else(|| {
+                    LarcsError::elab(format!(
+                        "nodetype '{}': too many task nodes \
+                         (range {lo}..{hi} exceeds the node limit {})",
+                        decl.name, opts.max_nodes
+                    ))
+                })?;
             ranges.push((lo, hi));
             dims.push(extent);
         }
@@ -135,13 +166,15 @@ pub fn elaborate(
             ranges,
             dims,
         };
-        let count = nt.count();
-        if tg.num_tasks() + count > opts.max_nodes {
-            return Err(LarcsError::elab(format!(
-                "too many task nodes (> {})",
-                opts.max_nodes
-            )));
-        }
+        let count = nt
+            .count()
+            .filter(|&c| c <= opts.max_nodes.saturating_sub(tg.num_tasks()))
+            .ok_or_else(|| {
+                LarcsError::elab(format!(
+                    "too many task nodes (> {})",
+                    opts.max_nodes
+                ))
+            })?;
         // materialise nodes in row-major order
         let mut coords: Vec<i64> = nt.ranges.iter().map(|&(lo, _)| lo).collect();
         for _ in 0..count {
@@ -281,6 +314,7 @@ fn expand_rule(
         opts: &ElabOptions,
         phase_name: &str,
         depth: usize,
+        iters: &mut u64,
     ) -> Result<(), LarcsError> {
         if depth == rule.binders.len() {
             if let Some(guard) = &rule.guard {
@@ -317,8 +351,19 @@ fn expand_rule(
         let hi = binder.hi.eval(env)?;
         let shadowed = env.get(&binder.var).copied();
         for v in lo..=hi {
+            // A rule whose guard rejects everything emits no edges, so the
+            // edge cap alone cannot stop `forall i in 0..2**60`; this
+            // counter bounds the total work a single rule may do.
+            *iters += 1;
+            if *iters > opts.max_iterations {
+                return Err(LarcsError::elab(format!(
+                    "comphase '{phase_name}': rule iterates more than {} times \
+                     (binder ranges too large)",
+                    opts.max_iterations
+                )));
+            }
             env.insert(binder.var.clone(), v);
-            rec(tg, phase, rule, types, env, opts, phase_name, depth + 1)?;
+            rec(tg, phase, rule, types, env, opts, phase_name, depth + 1, iters)?;
         }
         match shadowed {
             Some(old) => env.insert(binder.var.clone(), old),
@@ -326,7 +371,7 @@ fn expand_rule(
         };
         Ok(())
     }
-    rec(tg, phase, rule, types, env, opts, phase_name, 0)
+    rec(tg, phase, rule, types, env, opts, phase_name, 0, &mut 0)
 }
 
 fn resolve_endpoint(
@@ -513,6 +558,50 @@ mod tests {
         };
         let err = elaborate(&parse(src).unwrap(), &[("n", 1000)], &opts).unwrap_err();
         assert!(err.to_string().contains("too many task nodes"));
+    }
+
+    #[test]
+    fn astronomically_large_ranges_rejected_cheaply() {
+        // hypercube(62)-scale node counts: the extent alone exceeds the
+        // node cap, and must be rejected before any allocation.
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..n;\n\
+                   comphase c: x(0) -> x(1);";
+        let err = compile(src, &[("n", 1i64 << 62)]).unwrap_err();
+        assert!(err.to_string().contains("node limit"), "{err}");
+        // A range whose width overflows i64 entirely.
+        let src = "algorithm t();\n\
+                   nodetype x: 0-2**62..2**62;\n\
+                   comphase c: x(0) -> x(1);";
+        let err = compile(src, &[]).unwrap_err();
+        assert!(err.to_string().contains("node limit"), "{err}");
+        // A multi-dimensional count that overflows usize via the product
+        // even though each extent alone fits.
+        let src = "algorithm t(n);\n\
+                   nodetype x: (0..n, 0..n, 0..n, 0..n);\n\
+                   comphase c: x(0,0,0,0) -> x(1,0,0,0);";
+        let err = compile(src, &[("n", (1i64 << 20) - 1)]).unwrap_err();
+        assert!(err.to_string().contains("too many task nodes"), "{err}");
+    }
+
+    #[test]
+    fn unproductive_giant_binder_ranges_rejected() {
+        // The guard rejects every tuple, so no edge is ever emitted and the
+        // edge cap would never fire; the iteration budget must.
+        let src = "algorithm t(n);\n\
+                   nodetype x: 0..3;\n\
+                   comphase c: forall i in 0..n where i < 0 { x(0) -> x(1); }";
+        let opts = ElabOptions {
+            max_iterations: 10_000,
+            ..ElabOptions::default()
+        };
+        let err = elaborate(&parse(src).unwrap(), &[("n", 1i64 << 50)], &opts).unwrap_err();
+        assert!(err.to_string().contains("iterates more than"), "{err}");
+        // Well-behaved rules stay untouched by the budget.
+        let ok = "algorithm t(n);\n\
+                  nodetype x: 0..n-1;\n\
+                  comphase c: forall i in 0..n-1 where i < n-1 { x(i) -> x(i+1); }";
+        assert!(elaborate(&parse(ok).unwrap(), &[("n", 100)], &opts).is_ok());
     }
 
     #[test]

@@ -34,16 +34,31 @@ pub const KEYWORDS: &[&str] = &[
     "not",
 ];
 
+/// Maximum nesting depth of expressions (integer, boolean, and phase).
+///
+/// The parser is recursive-descent, so pathological input like ten
+/// thousand open parentheses would otherwise exhaust the thread stack.
+/// Each syntactic nesting level costs a handful of guarded frames, so
+/// this allows roughly 50 levels of parenthesisation — far beyond any
+/// real LaRCS program — while keeping worst-case stack use trivial.
+pub const MAX_EXPR_DEPTH: usize = 200;
+
 /// Parses a LaRCS program.
 pub fn parse(source: &str) -> Result<Program, LarcsError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.program()
 }
 
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current expression nesting depth, bounded by [`MAX_EXPR_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -118,6 +133,25 @@ impl Parser {
         } else {
             self.err(format!("expected '{kw}', found {}", self.peek()))
         }
+    }
+
+    /// Runs `f` one nesting level deeper, failing with a structured error
+    /// instead of a stack overflow when [`MAX_EXPR_DEPTH`] is exceeded.
+    /// The depth is restored on both success and error, so backtracking
+    /// callers (e.g. [`Parser::bfactor`]) see a consistent counter.
+    fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, LarcsError>,
+    ) -> Result<T, LarcsError> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return self.err(format!(
+                "expression nesting exceeds the parser's depth limit ({MAX_EXPR_DEPTH})"
+            ));
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
     }
 
     // ---- program structure ------------------------------------------------
@@ -365,6 +399,10 @@ impl Parser {
     // ---- phase expressions -------------------------------------------------
 
     fn pexp(&mut self) -> Result<PExp, LarcsError> {
+        self.with_depth(Self::pexp_inner)
+    }
+
+    fn pexp_inner(&mut self) -> Result<PExp, LarcsError> {
         let mut left = self.pexp_par()?;
         while *self.peek() == Tok::Semi {
             // A ';' only continues the phase expression if something that
@@ -425,6 +463,10 @@ impl Parser {
     // ---- integer expressions -----------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, LarcsError> {
+        self.with_depth(Self::expr_inner)
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, LarcsError> {
         let mut left = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -458,6 +500,10 @@ impl Parser {
     }
 
     fn pow_expr(&mut self) -> Result<Expr, LarcsError> {
+        self.with_depth(Self::pow_expr_inner)
+    }
+
+    fn pow_expr_inner(&mut self) -> Result<Expr, LarcsError> {
         let base = self.unary_expr()?;
         if *self.peek() == Tok::StarStar {
             self.bump();
@@ -469,6 +515,10 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, LarcsError> {
+        self.with_depth(Self::unary_expr_inner)
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, LarcsError> {
         if *self.peek() == Tok::Minus {
             self.bump();
             let inner = self.unary_expr()?;
@@ -500,6 +550,10 @@ impl Parser {
     // ---- boolean expressions -----------------------------------------------
 
     fn bexp(&mut self) -> Result<BoolExpr, LarcsError> {
+        self.with_depth(Self::bexp_inner)
+    }
+
+    fn bexp_inner(&mut self) -> Result<BoolExpr, LarcsError> {
         let mut left = self.bterm()?;
         while self.at_keyword("or") {
             self.bump();
@@ -520,6 +574,10 @@ impl Parser {
     }
 
     fn bfactor(&mut self) -> Result<BoolExpr, LarcsError> {
+        self.with_depth(Self::bfactor_inner)
+    }
+
+    fn bfactor_inner(&mut self) -> Result<BoolExpr, LarcsError> {
         if self.at_keyword("not") {
             self.bump();
             let inner = self.bfactor()?;
@@ -675,6 +733,67 @@ mod tests {
             }";
         let p = parse(src).unwrap();
         assert!(p.comphases[0].rules[0].guard.is_some());
+    }
+
+    #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        // 100k open parens would blow the stack without the depth guard.
+        let src = format!(
+            "algorithm t(); exephase e cost {}1{};",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("depth limit"), "{err}");
+        // ... and shallow nesting well inside the limit still parses.
+        let ok = format!(
+            "algorithm t(); exephase e cost {}1{};",
+            "(".repeat(20),
+            ")".repeat(20)
+        );
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn deep_unary_and_pow_chains_bounded() {
+        // spaced out: adjacent `--` would lex as a line comment
+        let minus = format!("algorithm t(); exephase e cost {}1;", "- ".repeat(100_000));
+        assert!(parse(&minus).unwrap_err().to_string().contains("depth limit"));
+        let pow = format!("algorithm t(); exephase e cost {}1;", "2**".repeat(100_000));
+        assert!(parse(&pow).unwrap_err().to_string().contains("depth limit"));
+    }
+
+    #[test]
+    fn deep_guard_and_phase_expr_nesting_bounded() {
+        let not = format!(
+            "algorithm t(); nodetype x: 0..3; comphase c: forall i in 0..3 \
+             where {}i < 2 {{ x(i) -> x(i); }}",
+            "not ".repeat(100_000)
+        );
+        assert!(parse(&not).unwrap_err().to_string().contains("depth limit"));
+        let pexp = format!(
+            "algorithm t(); phaseexpr {}a{};",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        assert!(parse(&pexp).unwrap_err().to_string().contains("depth limit"));
+    }
+
+    #[test]
+    fn backtracking_restores_depth() {
+        // The nodetype labelspec and bfactor both backtrack after a failed
+        // speculative parse; the depth counter must come back down so a
+        // long sequence of declarations never trips the limit spuriously.
+        // `(n-2)*1..n` forces the labelspec's tuple reading to fail and
+        // backtrack; `(i+1) < 2` does the same in the guard's bfactor.
+        let mut src = String::from("algorithm t(n);\n");
+        for i in 0..300 {
+            src.push_str(&format!("nodetype x{i}: (n-2)*1..n;\n"));
+        }
+        src.push_str(
+            "comphase c: forall i in 0..3 where (i+1) < 2 { x0(0) -> x0(1); }",
+        );
+        assert!(parse(&src).is_ok(), "{:?}", parse(&src));
     }
 
     #[test]

@@ -15,6 +15,46 @@ proptest! {
         let _ = parse(&input); // must not panic
     }
 
+    /// The whole front end (lex + parse + elaborate) is total on raw
+    /// bytes — arbitrary, mostly-invalid UTF-8 included — with arbitrary
+    /// parameter bindings.
+    #[test]
+    fn compiler_is_total_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300), n in any::<i64>()) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = compile(&input, &[("n", n)]); // must not panic
+    }
+
+    /// Pathologically deep nesting is rejected with a structured error,
+    /// never a stack overflow — at any depth.
+    #[test]
+    fn deep_nesting_never_overflows(depth in 0usize..3000) {
+        let src = format!(
+            "algorithm t(); exephase e cost {}1{};",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let _ = parse(&src); // must not panic (Err above the depth limit)
+    }
+
+    /// Extreme parameter values produce typed errors, not panics or
+    /// runaway allocation: the ring program caps out at the node limit.
+    #[test]
+    fn extreme_parameters_fail_closed(
+        n in prop_oneof![
+            Just(i64::MIN),
+            Just(-1i64),
+            Just(0i64),
+            Just(1i64 << 40),
+            Just(1i64 << 62),
+            Just(i64::MAX),
+        ],
+    ) {
+        let src = "algorithm r(n);\n\
+                   nodetype t: 0..n-1;\n\
+                   comphase c: forall i in 0..n-1 { t(i) -> t((i+1) mod n); }";
+        prop_assert!(compile(src, &[("n", n)]).is_err());
+    }
+
     /// ... including inputs that start like real programs.
     #[test]
     fn parser_is_total_on_near_programs(tail in "[a-z0-9(){};:.,<>=+*/ \\n-]{0,150}") {

@@ -15,6 +15,7 @@
 //! possible.
 
 use super::Contraction;
+use crate::budget::{Budget, Completion};
 use oregami_graph::WeightedGraph;
 
 /// Runs the greedy merge on `g` until at most `target_clusters` clusters
@@ -26,18 +27,37 @@ pub fn greedy_premerge(
     target_clusters: usize,
     max_cluster_size: usize,
 ) -> Contraction {
+    greedy_premerge_budgeted(g, target_clusters, max_cluster_size, &Budget::unlimited()).0
+}
+
+/// [`greedy_premerge`] under an execution budget: one step is charged per
+/// examined quotient edge, and on budget exhaustion the merging stops
+/// where it stands. Every intermediate state is a valid contraction (the
+/// size cap is never violated), so the early result is usable — just less
+/// consolidated.
+pub fn greedy_premerge_budgeted(
+    g: &WeightedGraph,
+    target_clusters: usize,
+    max_cluster_size: usize,
+    budget: &Budget,
+) -> (Contraction, Completion) {
     let n = g.num_nodes();
     let mut cluster_of: Vec<usize> = (0..n).collect();
     let mut size = vec![1usize; n];
     let mut count = n;
+    let mut stopped = None;
     // Repeated passes over the quotient graph: cluster-to-cluster weights
     // accumulate as merging proceeds, changing the scan order.
-    while count > target_clusters {
+    'outer: while count > target_clusters {
         // Cluster ids are representative task ids (sparse in 0..n); the
         // quotient ignores the empty slots.
         let (q, _) = g.quotient(&cluster_of, n);
         let mut merged_any = false;
         for e in q.edges_by_weight_desc() {
+            if let Some(c) = budget.tick() {
+                stopped = Some(c);
+                break 'outer;
+            }
             if count <= target_clusters {
                 break;
             }
@@ -66,11 +86,14 @@ pub fn greedy_premerge(
             break;
         }
     }
-    Contraction {
-        cluster_of,
-        num_clusters: n,
-    }
-    .compact()
+    (
+        Contraction {
+            cluster_of,
+            num_clusters: n,
+        }
+        .compact(),
+        stopped.unwrap_or(Completion::Optimal),
+    )
 }
 
 /// After merges within a pass, a quotient-graph endpoint may name a cluster
@@ -140,6 +163,20 @@ mod tests {
         assert_eq!(c.cluster_of[0], c.cluster_of[3]);
         assert_ne!(c.cluster_of[0], c.cluster_of[4]);
         assert_eq!(c.cluster_of[4], c.cluster_of[5]);
+    }
+
+    #[test]
+    fn exhausted_budget_stops_mid_merge_but_stays_valid() {
+        let mut g = WeightedGraph::new(16);
+        for i in 0..15 {
+            g.add_or_accumulate(i, i + 1, 10);
+        }
+        let budget = Budget::unlimited().with_max_steps(3);
+        let (c, completion) = greedy_premerge_budgeted(&g, 2, 8, &budget);
+        assert_eq!(completion, Completion::BudgetExhausted);
+        // fewer merges happened than requested, but the contraction is valid
+        assert!(c.num_clusters > 2);
+        c.validate(c.num_clusters, 8).unwrap();
     }
 
     #[test]

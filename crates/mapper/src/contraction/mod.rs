@@ -5,9 +5,9 @@ pub mod greedy;
 pub mod group;
 pub mod mwm;
 
-pub use greedy::greedy_premerge;
+pub use greedy::{greedy_premerge, greedy_premerge_budgeted};
 pub use group::group_contraction;
-pub use mwm::{mwm_contract, ContractError};
+pub use mwm::{mwm_contract, mwm_contract_budgeted, ContractError};
 
 use oregami_graph::WeightedGraph;
 

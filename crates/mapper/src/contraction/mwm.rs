@@ -16,9 +16,10 @@
 //! partner) are folded together arbitrarily — pairing non-communicating
 //! clusters is free — until at most `P` clusters remain.
 
-use super::{greedy_premerge, Contraction};
+use super::{greedy_premerge_budgeted, Contraction};
+use crate::budget::{Budget, Completion};
 use oregami_graph::WeightedGraph;
-use oregami_matching::max_weight_matching;
+use oregami_matching::max_weight_matching_budgeted;
 
 /// Why MWM-Contract cannot run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +55,21 @@ pub fn mwm_contract(
     procs: usize,
     bound: usize,
 ) -> Result<Contraction, ContractError> {
+    mwm_contract_budgeted(g, procs, bound, &Budget::unlimited()).map(|(c, _)| c)
+}
+
+/// MWM-Contract under an execution budget. The greedy pre-merge charges a
+/// step per examined edge and the blossom matcher is polled regularly; on
+/// exhaustion whatever pairing exists is kept and the final bin-packing
+/// step — always polynomial, never skipped — still folds the clusters
+/// down to `procs` bins of at most `bound` tasks. The result is therefore
+/// feasible for *any* budget; only its cut weight degrades.
+pub fn mwm_contract_budgeted(
+    g: &WeightedGraph,
+    procs: usize,
+    bound: usize,
+    budget: &Budget,
+) -> Result<(Contraction, Completion), ContractError> {
     let n = g.num_nodes();
     if procs == 0 || procs.saturating_mul(bound) < n {
         return Err(ContractError::Infeasible {
@@ -65,14 +81,14 @@ pub fn mwm_contract(
     if n <= 1 || bound == 1 {
         // bound 1 forces one task per cluster (and needs procs >= n,
         // checked above); a single task is trivially placed.
-        return Ok(Contraction::identity(n));
+        return Ok((Contraction::identity(n), Completion::Optimal));
     }
 
     // Step 1 (only when n > 2P): greedy pre-merge to ≤ 2P clusters of ≤ B/2.
-    let pre = if n > 2 * procs {
-        greedy_premerge(g, 2 * procs, (bound / 2).max(1))
+    let (pre, mut completion) = if n > 2 * procs {
+        greedy_premerge_budgeted(g, 2 * procs, (bound / 2).max(1), budget)
     } else {
-        Contraction::identity(n)
+        (Contraction::identity(n), Completion::Optimal)
     };
 
     // Step 2: maximum-weight matching over the cluster graph pairs clusters
@@ -86,7 +102,11 @@ pub fn mwm_contract(
         .filter(|e| sizes[e.u] + sizes[e.v] <= bound)
         .map(|e| (e.u, e.v, e.w))
         .collect();
-    let matching = max_weight_matching(pre.num_clusters, &edges);
+    let (matching, matched_fully) =
+        max_weight_matching_budgeted(pre.num_clusters, &edges, &mut || budget.tick().is_some());
+    if !matched_fully {
+        completion = completion.worst(budget.poll().unwrap_or(Completion::BudgetExhausted));
+    }
 
     // Merge matched pairs.
     let mut merged = vec![usize::MAX; pre.num_clusters];
@@ -150,7 +170,7 @@ pub fn mwm_contract(
     }
     .compact();
     debug_assert!(result.validate(procs, bound).is_ok());
-    Ok(result)
+    Ok((result, completion))
 }
 
 #[cfg(test)]
@@ -248,6 +268,25 @@ mod tests {
         assert_eq!(c.total_ipc(&g), 10);
         assert_eq!(c.cluster_of[0], c.cluster_of[1]);
         assert_eq!(c.cluster_of[2], c.cluster_of[3]);
+    }
+
+    #[test]
+    fn exhausted_budget_still_yields_feasible_contraction() {
+        // 64-task ring, 8 procs, B=8 with a starved budget: pre-merge and
+        // matching barely run, but bin-packing must still deliver a
+        // bound-respecting contraction.
+        let mut g = WeightedGraph::new(64);
+        for i in 0..64 {
+            g.add_or_accumulate(i, (i + 1) % 64, 5);
+        }
+        let budget = Budget::unlimited().with_max_steps(2);
+        let (c, completion) = mwm_contract_budgeted(&g, 8, 8, &budget).unwrap();
+        assert_eq!(completion, Completion::BudgetExhausted);
+        c.validate(8, 8).unwrap();
+        assert!(c.num_clusters <= 8);
+        // the unbudgeted run is at least as good (never worse cut weight)
+        let full = mwm_contract(&g, 8, 8).unwrap();
+        assert!(full.total_ipc(&g) <= c.total_ipc(&g));
     }
 
     #[test]

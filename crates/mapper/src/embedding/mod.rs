@@ -5,11 +5,39 @@
 pub mod exhaustive;
 pub mod nn;
 
-pub use exhaustive::exhaustive_embed;
-pub use nn::nn_embed;
+pub use exhaustive::{exhaustive_embed, exhaustive_embed_budgeted, AnytimeEmbed};
+pub use nn::{nn_embed, nn_embed_with_cost};
 
 use oregami_graph::WeightedGraph;
 use oregami_topology::{Network, ProcId, RouteTable};
+
+/// Why an embedding cannot even start. Malformed inputs surface as typed,
+/// recoverable errors rather than asserts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmbedError {
+    /// One-cluster-per-processor embedding is impossible: more clusters
+    /// than processors.
+    TooManyClusters {
+        /// Clusters needing placement.
+        clusters: usize,
+        /// Processors available.
+        procs: usize,
+    },
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::TooManyClusters { clusters, procs } => write!(
+                f,
+                "more clusters ({clusters}) than processors ({procs}): \
+                 no injective embedding exists"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
 
 /// The embedding objective: total weighted hop distance
 /// `Σ w(c1,c2) · dist(proc(c1), proc(c2))` over cluster-graph edges.

@@ -10,25 +10,28 @@
 //! the free processor minimising its weighted distance to those placed
 //! neighbors.
 
-use super::weighted_dilation_cost;
+use super::{weighted_dilation_cost, EmbedError};
 use oregami_graph::WeightedGraph;
 use oregami_topology::{Network, ProcId, RouteTable};
 
 /// Greedily embeds `cluster_graph` (one node per cluster) into `net`.
-/// Returns `placement[cluster] = processor`.
-///
-/// # Panics
-/// If there are more clusters than processors.
+/// Returns `placement[cluster] = processor`, or
+/// [`EmbedError::TooManyClusters`] when no injective placement exists.
 pub fn nn_embed(
     cluster_graph: &WeightedGraph,
     net: &Network,
     table: &RouteTable,
-) -> Vec<ProcId> {
+) -> Result<Vec<ProcId>, EmbedError> {
     let c = cluster_graph.num_nodes();
     let p = net.num_procs();
-    assert!(c <= p, "more clusters ({c}) than processors ({p})");
+    if c > p {
+        return Err(EmbedError::TooManyClusters {
+            clusters: c,
+            procs: p,
+        });
+    }
     if c == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut placement = vec![ProcId(u32::MAX); c];
     let mut placed = vec![false; c];
@@ -78,7 +81,7 @@ pub fn nn_embed(
         placed[next] = true;
         proc_used[best_proc] = true;
     }
-    placement
+    Ok(placement)
 }
 
 /// Convenience: NN-Embed and report the resulting weighted-dilation cost.
@@ -86,10 +89,10 @@ pub fn nn_embed_with_cost(
     cluster_graph: &WeightedGraph,
     net: &Network,
     table: &RouteTable,
-) -> (Vec<ProcId>, u64) {
-    let placement = nn_embed(cluster_graph, net, table);
+) -> Result<(Vec<ProcId>, u64), EmbedError> {
+    let placement = nn_embed(cluster_graph, net, table)?;
     let cost = weighted_dilation_cost(cluster_graph, &placement, table);
-    (placement, cost)
+    Ok((placement, cost))
 }
 
 #[cfg(test)]
@@ -108,7 +111,7 @@ mod tests {
         g.add_or_accumulate(1, 2, 1);
         let net = builders::chain(4);
         let table = RouteTable::try_new(&net).expect("connected network");
-        let placement = nn_embed(&g, &net, &table);
+        let placement = nn_embed(&g, &net, &table).unwrap();
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(table.dist(placement[0], placement[1]), 1);
     }
@@ -121,7 +124,7 @@ mod tests {
         }
         let net = builders::hypercube(3);
         let table = RouteTable::try_new(&net).expect("connected network");
-        let placement = nn_embed(&g, &net, &table);
+        let placement = nn_embed(&g, &net, &table).unwrap();
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(placement.len(), 8);
     }
@@ -136,7 +139,7 @@ mod tests {
         }
         let net = builders::ring(6);
         let table = RouteTable::try_new(&net).expect("connected network");
-        let (placement, cost) = nn_embed_with_cost(&g, &net, &table);
+        let (placement, cost) = nn_embed_with_cost(&g, &net, &table).unwrap();
         validate_embedding(&placement, &net).unwrap();
         assert_eq!(cost, 60, "greedy must walk the ring around");
     }
@@ -148,7 +151,7 @@ mod tests {
         g.add_or_accumulate(1, 2, 4);
         let net = builders::mesh2d(3, 3);
         let table = RouteTable::try_new(&net).expect("connected network");
-        let placement = nn_embed(&g, &net, &table);
+        let placement = nn_embed(&g, &net, &table).unwrap();
         validate_embedding(&placement, &net).unwrap();
         // chain of three embeds with both edges adjacent
         assert_eq!(table.dist(placement[0], placement[1]), 1);
@@ -159,16 +162,25 @@ mod tests {
     fn empty_and_single_cluster() {
         let net = builders::chain(2);
         let table = RouteTable::try_new(&net).expect("connected network");
-        assert!(nn_embed(&WeightedGraph::new(0), &net, &table).is_empty());
-        let placement = nn_embed(&WeightedGraph::new(1), &net, &table);
+        assert!(nn_embed(&WeightedGraph::new(0), &net, &table)
+            .unwrap()
+            .is_empty());
+        let placement = nn_embed(&WeightedGraph::new(1), &net, &table).unwrap();
         assert_eq!(placement.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "more clusters")]
-    fn too_many_clusters_panics() {
+    fn too_many_clusters_is_a_typed_error() {
         let net = builders::chain(2);
         let table = RouteTable::try_new(&net).expect("connected network");
-        nn_embed(&WeightedGraph::new(3), &net, &table);
+        let err = nn_embed(&WeightedGraph::new(3), &net, &table).unwrap_err();
+        assert_eq!(
+            err,
+            super::EmbedError::TooManyClusters {
+                clusters: 3,
+                procs: 2
+            }
+        );
+        assert!(err.to_string().contains("more clusters (3)"));
     }
 }

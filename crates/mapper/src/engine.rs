@@ -1,0 +1,619 @@
+//! The mapping engine: declarative fallback chains with panic isolation
+//! and structured reporting.
+//!
+//! The paper's interactive workflow (§3) promises the user always gets
+//! *a* mapping back; MAPPER's individual algorithms do not — the
+//! exhaustive embedder is factorial, and any stage can reject its inputs
+//! or (defensively) panic. [`run_engine`] closes that gap: it runs the
+//! stages of a [`FallbackChain`] in priority order under one shared
+//! [`Budget`], isolates each stage behind `catch_unwind`, collects every
+//! stage's candidate mapping, and serves the cheapest one by weighted
+//! dilation cost. The [`EngineReport`] records which stages ran, why each
+//! one stopped, and how much time and budget each consumed.
+//!
+//! Chain semantics:
+//!
+//! * a stage that completes [`Completion::Optimal`] ends the chain — no
+//!   cheaper-quality stage can beat a finished search, so later stages
+//!   are marked skipped;
+//! * a stage cut short by the budget still contributes its best-so-far
+//!   candidate, and the chain continues to cheaper stages (which, being
+//!   polynomial, finish even on a spent budget);
+//! * a stage that errors or panics contributes nothing and the chain
+//!   continues;
+//! * cancellation stops the chain immediately; whatever candidate exists
+//!   is served, else [`MapError::Cancelled`].
+
+use crate::budget::{Budget, Completion};
+use crate::contraction::mwm_contract_budgeted;
+use crate::embedding::{exhaustive_embed_budgeted, weighted_dilation_cost};
+use crate::mapping::Mapping;
+use crate::pipeline::{
+    clusters_to_procs, collapse_for, contraction_from_assignment, finish, map_task_graph_budgeted,
+    MapError, MapperOptions, MapperReport, Strategy,
+};
+use crate::routing::baseline::baseline_route_all;
+use oregami_graph::TaskGraph;
+use oregami_topology::{Network, ProcId, RouteTable};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// One stage of a fallback chain, ordered from highest mapping quality
+/// (and cost) to cheapest guaranteed-success placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageKind {
+    /// Branch-and-bound exhaustive embedding over the contracted cluster
+    /// graph — optimal when run to completion, factorial in the worst
+    /// case, anytime under a budget (seeded with the NN-Embed incumbent).
+    Exhaustive,
+    /// The regular MAPPER dispatch ([`map_task_graph_budgeted`]): canned /
+    /// systolic / group-theoretic recognition, else MWM-Contract +
+    /// NN-Embed. Polynomial.
+    Heuristic,
+    /// Round-robin task→processor placement with deterministic
+    /// shortest-path routes. Linear, cannot fail on a connected network —
+    /// the chain's safety net.
+    Identity,
+}
+
+impl StageKind {
+    /// Stable lower-case name used in reports and `--chain` specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Exhaustive => "exhaustive",
+            StageKind::Heuristic => "heuristic",
+            StageKind::Identity => "identity",
+        }
+    }
+}
+
+impl std::str::FromStr for StageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StageKind, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exhaustive" => Ok(StageKind::Exhaustive),
+            "heuristic" | "general" => Ok(StageKind::Heuristic),
+            "identity" => Ok(StageKind::Identity),
+            other => Err(format!(
+                "unknown stage '{other}' (expected exhaustive, heuristic, or identity)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered list of stages to attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FallbackChain {
+    /// Stages in priority order, best quality first.
+    pub stages: Vec<StageKind>,
+}
+
+impl Default for FallbackChain {
+    /// Just the regular MAPPER dispatch — the behaviour of
+    /// [`crate::pipeline::map_task_graph`].
+    fn default() -> FallbackChain {
+        FallbackChain {
+            stages: vec![StageKind::Heuristic],
+        }
+    }
+}
+
+impl FallbackChain {
+    /// The full chain: exhaustive → heuristic → identity.
+    pub fn full() -> FallbackChain {
+        FallbackChain {
+            stages: vec![
+                StageKind::Exhaustive,
+                StageKind::Heuristic,
+                StageKind::Identity,
+            ],
+        }
+    }
+
+    /// Parses a comma-separated spec like `"exhaustive,heuristic,identity"`.
+    pub fn parse(spec: &str) -> Result<FallbackChain, String> {
+        let stages: Vec<StageKind> = spec
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        if stages.is_empty() {
+            return Err("fallback chain spec names no stages".into());
+        }
+        Ok(FallbackChain { stages })
+    }
+}
+
+impl std::fmt::Display for FallbackChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            f.write_str(s.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// How a stage fared.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Produced the mapping the engine served.
+    Served,
+    /// Produced a valid candidate that a cheaper one beat.
+    Candidate,
+    /// Never ran: an earlier stage finished optimally or the run was
+    /// cancelled.
+    Skipped,
+    /// Returned a typed error.
+    Failed(String),
+    /// Panicked; the panic was contained and the chain continued.
+    Panicked(String),
+}
+
+/// One stage's entry in the [`EngineReport`].
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Which stage.
+    pub stage: StageKind,
+    /// How it fared.
+    pub status: StageStatus,
+    /// How its search ended (candidates only).
+    pub completion: Option<Completion>,
+    /// Wall-clock time the stage consumed.
+    pub elapsed: Duration,
+    /// Budget steps the stage consumed.
+    pub steps: u64,
+    /// Weighted dilation cost of its candidate (candidates only).
+    pub cost: Option<u64>,
+}
+
+/// The engine's structured account of a chain run.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Per-stage outcomes, in chain order.
+    pub stages: Vec<StageReport>,
+    /// The stage whose candidate was served.
+    pub served_by: StageKind,
+    /// Worst completion over every stage that produced a candidate: if
+    /// any search was cut short, the served mapping may be suboptimal
+    /// and this is degraded even when a later (cheaper) stage finished.
+    pub completion: Completion,
+    /// Total wall-clock time of the chain.
+    pub elapsed: Duration,
+    /// Total budget steps consumed by the chain.
+    pub steps: u64,
+}
+
+impl EngineReport {
+    /// Whether any attempted search was cut short (deadline, quota, or
+    /// cancellation) — the served mapping is valid but possibly worse
+    /// than an unbudgeted run would produce.
+    pub fn is_degraded(&self) -> bool {
+        self.completion.is_degraded()
+    }
+}
+
+impl std::fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine: served by {} ({}), {} steps in {:.1?}",
+            self.served_by, self.completion, self.steps, self.elapsed
+        )?;
+        for s in &self.stages {
+            write!(f, "  stage {:<10} : ", s.stage.name())?;
+            match &s.status {
+                StageStatus::Served | StageStatus::Candidate => {
+                    let completion = s.completion.unwrap_or(Completion::Optimal);
+                    write!(
+                        f,
+                        "{completion} after {} steps in {:.1?} (cost {})",
+                        s.steps,
+                        s.elapsed,
+                        s.cost.unwrap_or(0)
+                    )?;
+                    if s.status == StageStatus::Served {
+                        write!(f, " [served]")?;
+                    }
+                }
+                StageStatus::Skipped => write!(f, "skipped")?,
+                StageStatus::Failed(e) => write!(f, "failed: {e}")?,
+                StageStatus::Panicked(msg) => write!(f, "panicked: {msg}")?,
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A served mapping plus the engine's account of how it was produced.
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// The mapping report of the served stage.
+    pub report: MapperReport,
+    /// The chain's structured execution record.
+    pub engine: EngineReport,
+}
+
+/// Runs the fallback chain on `tg`/`net` under `budget` and serves the
+/// cheapest candidate. See the module docs for the chain semantics.
+pub fn run_engine(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    chain: &FallbackChain,
+    budget: &Budget,
+) -> Result<EngineOutcome, MapError> {
+    if chain.stages.is_empty() {
+        return Err(MapError::AllStagesFailed("empty fallback chain".into()));
+    }
+    if tg.num_tasks() == 0 {
+        return Err(MapError::EmptyTaskGraph);
+    }
+    if net.num_procs() == 0 {
+        return Err(MapError::BadNetwork("network has no processors".into()));
+    }
+    let table = RouteTable::try_new(net)?;
+    let start = Instant::now();
+    let mut stages: Vec<StageReport> = Vec::with_capacity(chain.stages.len());
+    let mut best: Option<(MapperReport, u64, usize)> = None; // (report, cost, stage index)
+    let mut worst_completion = Completion::Optimal;
+    let mut stop = false;
+    let mut cancelled = false;
+
+    for &kind in &chain.stages {
+        if stop {
+            stages.push(StageReport {
+                stage: kind,
+                status: StageStatus::Skipped,
+                completion: None,
+                elapsed: Duration::ZERO,
+                steps: 0,
+                cost: None,
+            });
+            continue;
+        }
+        let steps_before = budget.steps_used();
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_stage(kind, tg, net, opts, budget)));
+        let elapsed = t0.elapsed();
+        let steps = budget.steps_used() - steps_before;
+        match outcome {
+            Ok(Ok((report, completion))) => {
+                let cost = weighted_dilation_cost(&report.collapsed, &report.mapping.assignment, &table);
+                worst_completion = worst_completion.worst(completion);
+                if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
+                    best = Some((report, cost, stages.len()));
+                }
+                stages.push(StageReport {
+                    stage: kind,
+                    status: StageStatus::Candidate,
+                    completion: Some(completion),
+                    elapsed,
+                    steps,
+                    cost: Some(cost),
+                });
+                match completion {
+                    Completion::Optimal => stop = true,
+                    Completion::Cancelled => {
+                        stop = true;
+                        cancelled = true;
+                    }
+                    Completion::BudgetExhausted => {}
+                }
+            }
+            Ok(Err(e)) => {
+                if matches!(e, MapError::Cancelled) {
+                    stop = true;
+                    cancelled = true;
+                }
+                stages.push(StageReport {
+                    stage: kind,
+                    status: StageStatus::Failed(e.to_string()),
+                    completion: None,
+                    elapsed,
+                    steps,
+                    cost: None,
+                });
+            }
+            Err(panic) => {
+                stages.push(StageReport {
+                    stage: kind,
+                    status: StageStatus::Panicked(panic_message(&*panic)),
+                    completion: None,
+                    elapsed,
+                    steps,
+                    cost: None,
+                });
+            }
+        }
+    }
+
+    match best {
+        Some((report, _, idx)) => {
+            stages[idx].status = StageStatus::Served;
+            let engine = EngineReport {
+                served_by: stages[idx].stage,
+                completion: worst_completion,
+                elapsed: start.elapsed(),
+                steps: budget.steps_used(),
+                stages,
+            };
+            Ok(EngineOutcome { report, engine })
+        }
+        None if cancelled => Err(MapError::Cancelled),
+        None => {
+            let details = stages
+                .iter()
+                .map(|s| {
+                    let fate = match &s.status {
+                        StageStatus::Failed(e) => e.clone(),
+                        StageStatus::Panicked(msg) => format!("panic: {msg}"),
+                        StageStatus::Skipped => "skipped".into(),
+                        _ => "no candidate".into(),
+                    };
+                    format!("{}: {}", s.stage, fate)
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            Err(MapError::AllStagesFailed(details))
+        }
+    }
+}
+
+fn run_stage(
+    kind: StageKind,
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+) -> Result<(MapperReport, Completion), MapError> {
+    match kind {
+        StageKind::Heuristic => map_task_graph_budgeted(tg, net, opts, budget),
+        StageKind::Exhaustive => exhaustive_stage(tg, net, opts, budget),
+        StageKind::Identity => identity_stage(tg, net, opts),
+    }
+}
+
+/// Contract to at most `P` clusters, then place the quotient with the
+/// anytime branch-and-bound embedder.
+fn exhaustive_stage(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+) -> Result<(MapperReport, Completion), MapError> {
+    if let Some(Completion::Cancelled) = budget.poll() {
+        return Err(MapError::Cancelled);
+    }
+    let n = tg.num_tasks();
+    let p = net.num_procs();
+    let table = RouteTable::try_new(net)?;
+    let collapsed = collapse_for(tg, opts);
+    let bound = opts.load_bound.unwrap_or_else(|| n.div_ceil(p).max(1));
+    let (contraction, contract_completion) = mwm_contract_budgeted(&collapsed, p, bound, budget)?;
+    let (quotient, _) = collapsed.quotient(&contraction.cluster_of, contraction.num_clusters);
+    let embed = exhaustive_embed_budgeted(&quotient, net, &table, budget)?;
+    let completion = contract_completion.worst(embed.completion);
+    let notes = vec![format!(
+        "exhaustive embedding: {} clusters on {p} processors, quotient cost {} ({})",
+        contraction.num_clusters, embed.cost, embed.completion
+    )];
+    let assignment = clusters_to_procs(&contraction, &embed.placement);
+    let mapping = finish(tg, net, &table, assignment, opts);
+    Ok((
+        MapperReport {
+            strategy: Strategy::Exhaustive,
+            contraction,
+            mapping,
+            collapsed,
+            notes,
+        },
+        completion,
+    ))
+}
+
+/// Round-robin placement with fixed shortest-path routes: linear work,
+/// no search to cut short, valid on any connected network.
+fn identity_stage(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+) -> Result<(MapperReport, Completion), MapError> {
+    let n = tg.num_tasks();
+    let p = net.num_procs();
+    let table = RouteTable::try_new(net)?;
+    let assignment: Vec<ProcId> = (0..n).map(|t| ProcId((t % p) as u32)).collect();
+    let routes = baseline_route_all(tg, &assignment, net, &table);
+    let mapping = Mapping { assignment, routes };
+    mapping.validate(tg, net)?;
+    let contraction = contraction_from_assignment(&mapping.assignment, p);
+    Ok((
+        MapperReport {
+            strategy: Strategy::Identity,
+            contraction,
+            mapping,
+            collapsed: collapse_for(tg, opts),
+            notes: vec![
+                "identity placement: round-robin task assignment, shortest-path routes".into(),
+            ],
+        },
+        Completion::Optimal,
+    ))
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_larcs::{compile, programs};
+    use oregami_topology::builders;
+
+    fn jacobi16() -> TaskGraph {
+        compile(&programs::jacobi(), &[("n", 4), ("iters", 1)]).unwrap()
+    }
+
+    #[test]
+    fn stage_kind_parses_round_trip() {
+        for kind in [StageKind::Exhaustive, StageKind::Heuristic, StageKind::Identity] {
+            assert_eq!(kind.name().parse::<StageKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<StageKind>().is_err());
+        let chain = FallbackChain::parse("exhaustive, heuristic,identity").unwrap();
+        assert_eq!(chain, FallbackChain::full());
+        assert!(FallbackChain::parse(",,").is_err());
+        assert_eq!(chain.to_string(), "exhaustive -> heuristic -> identity");
+    }
+
+    #[test]
+    fn default_chain_matches_plain_pipeline() {
+        let tg = jacobi16();
+        let net = builders::hypercube(2);
+        let outcome = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(outcome.engine.served_by, StageKind::Heuristic);
+        assert_eq!(outcome.engine.completion, Completion::Optimal);
+        assert!(!outcome.engine.is_degraded());
+        let plain =
+            crate::pipeline::map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        assert_eq!(outcome.report.mapping.assignment, plain.mapping.assignment);
+    }
+
+    #[test]
+    fn exhausted_exhaustive_falls_through_and_still_serves() {
+        // 16 tasks on 16 procs: the exhaustive stage faces 16! placements
+        // and a 1-step budget; the chain must still serve a valid mapping
+        // and the report must name the exhausted stage.
+        let tg = jacobi16();
+        let net = builders::hypercube(4);
+        let budget = Budget::unlimited().with_max_steps(1);
+        let outcome = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain::full(),
+            &budget,
+        )
+        .unwrap();
+        assert!(outcome.engine.is_degraded());
+        assert_eq!(outcome.engine.completion, Completion::BudgetExhausted);
+        outcome.report.mapping.validate(&tg, &net).unwrap();
+        let rendered = outcome.engine.to_string();
+        assert!(
+            rendered.contains("exhaustive") && rendered.contains("budget exhausted"),
+            "report must name the exhausted stage:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn optimal_first_stage_skips_the_rest() {
+        // 4 tasks on 4 procs: the exhaustive stage finishes optimally, so
+        // heuristic and identity never run.
+        let tg = oregami_graph::Family::Ring(4).build();
+        let net = builders::hypercube(2);
+        let outcome = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain::full(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(outcome.engine.served_by, StageKind::Exhaustive);
+        assert_eq!(outcome.engine.completion, Completion::Optimal);
+        assert_eq!(outcome.engine.stages[0].status, StageStatus::Served);
+        assert_eq!(outcome.engine.stages[1].status, StageStatus::Skipped);
+        assert_eq!(outcome.engine.stages[2].status, StageStatus::Skipped);
+    }
+
+    #[test]
+    fn identity_stage_always_serves() {
+        let tg = jacobi16();
+        let net = builders::chain(5); // 16 tasks on 5 procs, nothing regular
+        let outcome = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain {
+                stages: vec![StageKind::Identity],
+            },
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(outcome.report.strategy, Strategy::Identity);
+        outcome.report.mapping.validate(&tg, &net).unwrap();
+        // round-robin: loads differ by at most one
+        let loads = outcome.report.mapping.tasks_per_proc(5);
+        assert!(loads.iter().max().unwrap() - loads.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn cancelled_before_start_is_an_error() {
+        let tg = jacobi16();
+        let net = builders::hypercube(2);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain {
+                stages: vec![StageKind::Exhaustive, StageKind::Heuristic],
+            },
+            &budget,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::Cancelled));
+    }
+
+    #[test]
+    fn panicking_stage_is_contained() {
+        // Drive the engine's catch_unwind path directly: a panicking
+        // closure must surface as StageStatus::Panicked, not a crash.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), MapError> {
+            panic!("stage blew up")
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(panic_message(&*outcome.unwrap_err()), "stage blew up");
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let tg = jacobi16();
+        let net = builders::hypercube(2);
+        let err = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain { stages: vec![] },
+            &Budget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::AllStagesFailed(_)));
+    }
+}

@@ -32,10 +32,12 @@
 //! (re-route → migrate → escalate to re-contract + re-embed).
 
 pub mod aggregate;
+pub mod budget;
 pub mod canned;
 pub mod contraction;
 pub mod dynamic;
 pub mod embedding;
+pub mod engine;
 pub mod mapping;
 pub mod pipeline;
 pub mod remap;
@@ -43,9 +45,22 @@ pub mod repair;
 pub mod routing;
 pub mod systolic;
 
-pub use contraction::{greedy_premerge, mwm_contract, ContractError, Contraction};
-pub use embedding::nn_embed;
+pub use budget::{Budget, CancelToken, Completion};
+pub use contraction::{
+    greedy_premerge, greedy_premerge_budgeted, mwm_contract, mwm_contract_budgeted, ContractError,
+    Contraction,
+};
+pub use embedding::{
+    exhaustive_embed, exhaustive_embed_budgeted, nn_embed, AnytimeEmbed, EmbedError,
+};
+pub use engine::{
+    run_engine, EngineOutcome, EngineReport, FallbackChain, StageKind, StageReport, StageStatus,
+};
 pub use mapping::{Mapping, MappingError};
-pub use pipeline::{map_task_graph, MapError, MapperOptions, MapperReport, Strategy};
-pub use repair::{repair_mapping, RepairError, RepairOptions, RepairReport};
+pub use pipeline::{
+    map_task_graph, map_task_graph_budgeted, MapError, MapperOptions, MapperReport, Strategy,
+};
+pub use repair::{
+    repair_mapping, repair_mapping_budgeted, RepairError, RepairOptions, RepairReport,
+};
 pub use routing::{mm_route, RoutedPhase};

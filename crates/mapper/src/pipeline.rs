@@ -10,9 +10,12 @@
 //!                all strategies ──────► MM-Route (§4.4)
 //! ```
 
+use crate::budget::{Budget, Completion};
 use crate::canned::{canned_contraction, canned_embedding};
-use crate::contraction::{group_contraction, mwm_contract, ContractError, Contraction};
-use crate::embedding::nn_embed;
+use crate::contraction::{
+    group_contraction, mwm_contract_budgeted, ContractError, Contraction,
+};
+use crate::embedding::{nn_embed, EmbedError};
 use crate::mapping::Mapping;
 use crate::routing::{route_all_phases, Matcher};
 use crate::systolic;
@@ -31,6 +34,12 @@ pub enum Strategy {
     Systolic,
     /// General-graph MWM-Contract + NN-Embed (§4.3).
     General,
+    /// Branch-and-bound exhaustive embedding (the engine's highest-quality
+    /// fallback-chain stage; anytime under a [`Budget`]).
+    Exhaustive,
+    /// Last-resort round-robin placement with deterministic shortest-path
+    /// routes (the engine's always-succeeds fallback-chain stage).
+    Identity,
 }
 
 /// Tuning knobs for the pipeline.
@@ -92,6 +101,14 @@ pub enum MapError {
     Topology(oregami_topology::TopologyError),
     /// A produced mapping failed validation.
     Mapping(crate::mapping::MappingError),
+    /// Embedding rejected its inputs (more clusters than processors).
+    Embed(EmbedError),
+    /// The budget's [`crate::budget::CancelToken`] fired before any stage
+    /// produced a mapping.
+    Cancelled,
+    /// Every stage of a fallback chain failed or panicked; the message
+    /// summarises each stage's fate.
+    AllStagesFailed(String),
 }
 
 impl std::fmt::Display for MapError {
@@ -102,11 +119,22 @@ impl std::fmt::Display for MapError {
             MapError::Contract(e) => write!(f, "contraction failed: {e}"),
             MapError::Topology(e) => write!(f, "topology: {e}"),
             MapError::Mapping(e) => write!(f, "invalid mapping: {e}"),
+            MapError::Embed(e) => write!(f, "embedding failed: {e}"),
+            MapError::Cancelled => write!(f, "mapping cancelled before any result"),
+            MapError::AllStagesFailed(details) => {
+                write!(f, "every fallback stage failed: {details}")
+            }
         }
     }
 }
 
 impl std::error::Error for MapError {}
+
+impl From<EmbedError> for MapError {
+    fn from(e: EmbedError) -> Self {
+        MapError::Embed(e)
+    }
+}
 
 impl From<ContractError> for MapError {
     fn from(e: ContractError) -> Self {
@@ -132,11 +160,40 @@ pub fn map_task_graph(
     net: &Network,
     opts: &MapperOptions,
 ) -> Result<MapperReport, MapError> {
+    map_task_graph_budgeted(tg, net, opts, &Budget::unlimited()).map(|(report, _)| report)
+}
+
+/// The multiplicity-weighted collapsed communication graph MAPPER makes
+/// its decisions on.
+pub(crate) fn collapse_for(tg: &TaskGraph, opts: &MapperOptions) -> WeightedGraph {
+    if opts.use_phase_multiplicities {
+        if let Some(expr) = &tg.phase_expr {
+            let mult = expr.comm_multiplicities();
+            return tg.collapse_weighted(|ph| mult.get(ph.index()).copied().unwrap_or(1).max(1));
+        }
+    }
+    tg.collapse()
+}
+
+/// [`map_task_graph`] under an execution budget: the general path's
+/// pre-merge and matching charge budget steps and stop early when the
+/// budget trips, falling through to the always-polynomial bin-packing +
+/// NN-Embed tail. The returned [`Completion`] reports whether any search
+/// was cut short; the mapping itself is always complete and valid.
+pub fn map_task_graph_budgeted(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+) -> Result<(MapperReport, Completion), MapError> {
     if tg.num_tasks() == 0 {
         return Err(MapError::EmptyTaskGraph);
     }
     if net.num_procs() == 0 {
         return Err(MapError::BadNetwork("network has no processors".into()));
+    }
+    if let Some(Completion::Cancelled) = budget.poll() {
+        return Err(MapError::Cancelled);
     }
     let n = tg.num_tasks();
     let p = net.num_procs();
@@ -145,16 +202,7 @@ pub fn map_task_graph(
     let analysis = analyze::analyze(tg);
     let mut notes = Vec::new();
 
-    let collapsed = if opts.use_phase_multiplicities {
-        if let Some(expr) = &tg.phase_expr {
-            let mult = expr.comm_multiplicities();
-            tg.collapse_weighted(|ph| mult.get(ph.index()).copied().unwrap_or(1).max(1))
-        } else {
-            tg.collapse()
-        }
-    } else {
-        tg.collapse()
-    };
+    let collapsed = collapse_for(tg, opts);
 
     // Canned mappings presume the family's symmetric, unweighted structure;
     // they only apply when the collapsed communication volumes are uniform.
@@ -165,21 +213,25 @@ pub fn map_task_graph(
     };
     let try_canned = |family: oregami_graph::Family,
                       notes: &mut Vec<String>|
-     -> Option<(Contraction, Mapping)> {
+     -> Result<Option<(Contraction, Mapping)>, MapError> {
         if !uniform_weights {
-            return None;
+            return Ok(None);
         }
         if n == p {
-            let assignment = canned_embedding(family, net)?;
+            let Some(assignment) = canned_embedding(family, net) else {
+                return Ok(None);
+            };
             notes.push(format!(
                 "canned embedding: {}({n}) onto {}",
                 family.name(),
                 net.name
             ));
             let mapping = finish(tg, net, &table, assignment, opts);
-            Some((Contraction::identity(n), mapping))
+            Ok(Some((Contraction::identity(n), mapping)))
         } else if n > p {
-            let contraction = canned_contraction(family, p)?;
+            let Some(contraction) = canned_contraction(family, p) else {
+                return Ok(None);
+            };
             notes.push(format!(
                 "canned contraction: {}({n}) into {p} clusters",
                 family.name()
@@ -187,30 +239,36 @@ pub fn map_task_graph(
             let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
             // the quotient of a family contraction is itself a family
             // instance: prefer its canned embedding over greedy placement
-            let placement = crate::canned::quotient_family(family, p)
+            let placement = match crate::canned::quotient_family(family, p)
                 .and_then(|qf| canned_embedding(qf, net))
-                .inspect(|_| {
+            {
+                Some(canned) => {
                     notes.push("canned embedding of the quotient family".into());
-                })
-                .unwrap_or_else(|| nn_embed(&quotient, net, &table));
+                    canned
+                }
+                None => nn_embed(&quotient, net, &table)?,
+            };
             let assignment = clusters_to_procs(&contraction, &placement);
             let mapping = finish(tg, net, &table, assignment, opts);
-            Some((contraction, mapping))
+            Ok(Some((contraction, mapping)))
         } else {
-            None
+            Ok(None)
         }
     };
 
     // ---- 1. canned path (declared family) ----
     if let Some(family) = tg.family {
-        if let Some((contraction, mapping)) = try_canned(family, &mut notes) {
-            return Ok(MapperReport {
-                strategy: Strategy::Canned,
-                contraction,
-                mapping,
-                collapsed,
-                notes,
-            });
+        if let Some((contraction, mapping)) = try_canned(family, &mut notes)? {
+            return Ok((
+                MapperReport {
+                    strategy: Strategy::Canned,
+                    contraction,
+                    mapping,
+                    collapsed,
+                    notes,
+                },
+                Completion::Optimal,
+            ));
         }
     }
 
@@ -231,13 +289,16 @@ pub fn map_task_graph(
                 ));
                 let contraction = contraction_from_assignment(&assignment, p);
                 let mapping = finish(tg, net, &table, assignment, opts);
-                return Ok(MapperReport {
-                    strategy: Strategy::Systolic,
-                    contraction,
-                    mapping,
-                    collapsed,
-                    notes,
-                });
+                return Ok((
+                    MapperReport {
+                        strategy: Strategy::Systolic,
+                        contraction,
+                        mapping,
+                        collapsed,
+                        notes,
+                    },
+                    Completion::Optimal,
+                ));
             }
         }
     }
@@ -259,16 +320,19 @@ pub fn map_task_graph(
                     num_clusters: cc.num_clusters,
                 };
                 let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
-                let placement = nn_embed(&quotient, net, &table);
+                let placement = nn_embed(&quotient, net, &table)?;
                 let assignment = clusters_to_procs(&contraction, &placement);
                 let mapping = finish(tg, net, &table, assignment, opts);
-                return Ok(MapperReport {
-                    strategy: Strategy::GroupTheoretic,
-                    contraction,
-                    mapping,
-                    collapsed,
-                    notes,
-                });
+                return Ok((
+                    MapperReport {
+                        strategy: Strategy::GroupTheoretic,
+                        contraction,
+                        mapping,
+                        collapsed,
+                        notes,
+                    },
+                    Completion::Optimal,
+                ));
             }
         }
         if let Ok((contraction, gc)) = group_contraction(tg, p) {
@@ -283,56 +347,70 @@ pub fn map_task_graph(
                 }
             ));
             let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
-            let placement = nn_embed(&quotient, net, &table);
+            let placement = nn_embed(&quotient, net, &table)?;
             let assignment = clusters_to_procs(&contraction, &placement);
             let mapping = finish(tg, net, &table, assignment, opts);
-            return Ok(MapperReport {
-                strategy: Strategy::GroupTheoretic,
-                contraction,
-                mapping,
-                collapsed,
-                notes,
-            });
+            return Ok((
+                MapperReport {
+                    strategy: Strategy::GroupTheoretic,
+                    contraction,
+                    mapping,
+                    collapsed,
+                    notes,
+                },
+                Completion::Optimal,
+            ));
         }
     }
 
     // ---- 4. canned path (structurally recognised family) ----
     if tg.family.is_none() {
         if let Some(family) = analysis.family {
-            if let Some((contraction, mapping)) = try_canned(family, &mut notes) {
-                return Ok(MapperReport {
-                    strategy: Strategy::Canned,
-                    contraction,
-                    mapping,
-                    collapsed,
-                    notes,
-                });
+            if let Some((contraction, mapping)) = try_canned(family, &mut notes)? {
+                return Ok((
+                    MapperReport {
+                        strategy: Strategy::Canned,
+                        contraction,
+                        mapping,
+                        collapsed,
+                        notes,
+                    },
+                    Completion::Optimal,
+                ));
             }
         }
     }
 
     // ---- 5. general path: MWM-Contract + NN-Embed ----
     let bound = opts.load_bound.unwrap_or_else(|| n.div_ceil(p).max(1));
-    let contraction = mwm_contract(&collapsed, p, bound)?;
+    let (contraction, completion) = mwm_contract_budgeted(&collapsed, p, bound, budget)?;
     notes.push(format!(
-        "MWM-Contract: {} clusters, load bound {bound}, IPC {}",
+        "MWM-Contract: {} clusters, load bound {bound}, IPC {}{}",
         contraction.num_clusters,
-        contraction.total_ipc(&collapsed)
+        contraction.total_ipc(&collapsed),
+        if completion.is_degraded() {
+            format!(" ({completion})")
+        } else {
+            String::new()
+        }
     ));
     let (quotient, _) = collapsed.quotient(&contraction.cluster_of, contraction.num_clusters);
-    let placement = nn_embed(&quotient, net, &table);
+    let placement = nn_embed(&quotient, net, &table)?;
     let assignment = clusters_to_procs(&contraction, &placement);
     let mapping = finish(tg, net, &table, assignment, opts);
-    Ok(MapperReport {
-        strategy: Strategy::General,
-        contraction,
-        mapping,
-        collapsed,
-        notes,
-    })
+    Ok((
+        MapperReport {
+            strategy: Strategy::General,
+            contraction,
+            mapping,
+            collapsed,
+            notes,
+        },
+        completion,
+    ))
 }
 
-fn clusters_to_procs(contraction: &Contraction, placement: &[ProcId]) -> Vec<ProcId> {
+pub(crate) fn clusters_to_procs(contraction: &Contraction, placement: &[ProcId]) -> Vec<ProcId> {
     contraction
         .cluster_of
         .iter()
@@ -340,7 +418,7 @@ fn clusters_to_procs(contraction: &Contraction, placement: &[ProcId]) -> Vec<Pro
         .collect()
 }
 
-fn contraction_from_assignment(assignment: &[ProcId], procs: usize) -> Contraction {
+pub(crate) fn contraction_from_assignment(assignment: &[ProcId], procs: usize) -> Contraction {
     Contraction {
         cluster_of: assignment.iter().map(|p| p.index()).collect(),
         num_clusters: procs,
@@ -348,7 +426,7 @@ fn contraction_from_assignment(assignment: &[ProcId], procs: usize) -> Contracti
     .compact()
 }
 
-fn finish(
+pub(crate) fn finish(
     tg: &TaskGraph,
     net: &Network,
     table: &RouteTable,

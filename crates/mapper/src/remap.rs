@@ -61,7 +61,8 @@ pub fn per_phase_remap(
         let single = tg.collapse_weighted(|ph| if ph == PhaseId::new(k) { 1 } else { 0 });
         let contraction = mwm_contract(&single, procs, bound)?;
         let (quotient, _) = single.quotient(&contraction.cluster_of, contraction.num_clusters);
-        let placement = nn_embed(&quotient, net, &table);
+        let placement = nn_embed(&quotient, net, &table)
+            .expect("contraction produces at most `procs` clusters");
         let assignment: Vec<ProcId> = contraction
             .cluster_of
             .iter()

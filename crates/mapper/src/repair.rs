@@ -26,7 +26,8 @@
 //! The result is a [`RepairReport`]: what was done, and the
 //! dilation/contention deltas versus the pre-fault mapping.
 
-use crate::contraction::{mwm_contract, ContractError};
+use crate::budget::{Budget, Completion};
+use crate::contraction::{mwm_contract_budgeted, ContractError};
 use crate::embedding::nn_embed;
 use crate::mapping::{Mapping, MappingError};
 use crate::routing::{route_all_phases, Matcher};
@@ -78,6 +79,10 @@ pub struct RepairReport {
     pub max_contention_before: u64,
     /// Max per-link message contention after repair.
     pub max_contention_after: u64,
+    /// Whether the repair search ran to completion or was cut short by
+    /// its [`Budget`] (the repaired mapping is valid either way; budgeted
+    /// placement just falls back to load-only choices).
+    pub completion: Completion,
     /// Human-readable notes on the decisions taken.
     pub notes: Vec<String>,
 }
@@ -107,6 +112,9 @@ impl fmt::Display for RepairReport {
             "max contention    : {} -> {}",
             self.max_contention_before, self.max_contention_after
         )?;
+        if self.completion.is_degraded() {
+            writeln!(f, "completion        : {}", self.completion)?;
+        }
         for n in &self.notes {
             writeln!(f, "note: {n}")?;
         }
@@ -177,6 +185,24 @@ pub fn repair_mapping(
     mapping: &Mapping,
     opts: &RepairOptions,
 ) -> Result<(Mapping, RepairReport), RepairError> {
+    repair_mapping_budgeted(tg, net, degraded, mapping, opts, &Budget::unlimited())
+}
+
+/// [`repair_mapping`] under an execution budget: one step is charged per
+/// displaced task whose new home is scored by communication affinity.
+/// When the budget trips, the remaining displaced tasks are placed on
+/// the least-loaded surviving processor instead (load-only, no affinity
+/// scan), and escalation's re-contraction degrades the same way
+/// [`mwm_contract_budgeted`] does. The repaired mapping is always
+/// complete and valid; [`RepairReport::completion`] records the cut.
+pub fn repair_mapping_budgeted(
+    tg: &TaskGraph,
+    net: &Network,
+    degraded: &DegradedNetwork,
+    mapping: &Mapping,
+    opts: &RepairOptions,
+    budget: &Budget,
+) -> Result<(Mapping, RepairReport), RepairError> {
     mapping.validate(tg, net)?;
     let healthy_table = RouteTable::try_new(net)?;
     // Partitioned survivors are unrepairable; surfaces the components.
@@ -210,16 +236,31 @@ pub fn repair_mapping(
 
     let mut migrated = Vec::with_capacity(displaced.len());
     let mut local_feasible = true;
+    let mut completion = Completion::Optimal;
     for &t in &displaced {
-        match best_new_home(
-            tg,
-            degraded,
-            &degraded_table,
-            &assignment,
-            &load,
-            bound,
-            t,
-        ) {
+        if completion == Completion::Optimal {
+            if let Some(c) = budget.tick() {
+                completion = c;
+                notes.push(
+                    "repair budget exhausted: remaining displaced tasks placed by load only"
+                        .into(),
+                );
+            }
+        }
+        let home = if completion == Completion::Optimal {
+            best_new_home(
+                tg,
+                degraded,
+                &degraded_table,
+                &assignment,
+                &load,
+                bound,
+                t,
+            )
+        } else {
+            least_loaded_home(degraded, &load, bound)
+        };
+        match home {
             Some(p) => {
                 migrated.push((t, assignment[t], p));
                 assignment[t] = p;
@@ -242,9 +283,10 @@ pub fn repair_mapping(
             alive
         ));
         let (mapping, mut report) =
-            escalate(tg, degraded, mapping, bound, opts, &healthy_table)?;
+            escalate(tg, degraded, mapping, bound, opts, &healthy_table, budget)?;
         report.avg_dilation_before = avg_dilation_before;
         report.max_contention_before = max_contention_before;
+        report.completion = report.completion.worst(completion);
         report.notes.splice(0..0, notes);
         return Ok((mapping, report));
     }
@@ -297,6 +339,7 @@ pub fn repair_mapping(
         avg_dilation_after,
         max_contention_before,
         max_contention_after,
+        completion,
         notes,
     };
     Ok((repaired, report))
@@ -346,6 +389,20 @@ fn best_new_home(
     best.map(|(_, _, p)| p)
 }
 
+/// The cheapest always-valid placement: the least-loaded surviving
+/// processor under the bound (no affinity scan). Used once the repair
+/// budget has tripped.
+fn least_loaded_home(
+    degraded: &DegradedNetwork,
+    load: &[usize],
+    bound: usize,
+) -> Option<ProcId> {
+    degraded
+        .alive_procs()
+        .filter(|p| load[p.index()] < bound)
+        .min_by_key(|p| (load[p.index()], *p))
+}
+
 /// Whether a healthy-network route is unusable on the degraded machine:
 /// it visits a dead processor or crosses an out-of-service link.
 fn route_broken(degraded: &DegradedNetwork, path: &[ProcId]) -> bool {
@@ -366,13 +423,16 @@ fn escalate(
     bound: usize,
     opts: &RepairOptions,
     healthy_table: &RouteTable,
+    budget: &Budget,
 ) -> Result<(Mapping, RepairReport), RepairError> {
     let (compact, to_orig) = degraded.compact();
     let compact_table = RouteTable::try_new(&compact)?;
     let collapsed = tg.collapse();
-    let contraction = mwm_contract(&collapsed, compact.num_procs(), bound)?;
+    let (contraction, completion) =
+        mwm_contract_budgeted(&collapsed, compact.num_procs(), bound, budget)?;
     let (quotient, _) = collapsed.quotient(&contraction.cluster_of, contraction.num_clusters);
-    let placement = nn_embed(&quotient, &compact, &compact_table);
+    let placement = nn_embed(&quotient, &compact, &compact_table)
+        .expect("contraction produces at most `procs` clusters");
     let compact_assignment: Vec<ProcId> = contraction
         .cluster_of
         .iter()
@@ -420,6 +480,7 @@ fn escalate(
             avg_dilation_after,
             max_contention_before: 0, // caller fills
             max_contention_after,
+            completion,
             notes: Vec::new(),
         },
     ))
@@ -490,6 +551,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn starved_budget_repair_is_still_valid() {
+        let (tg, net, mapping) = healthy_ring8_on_q3();
+        let degraded = net.degrade(&FaultSet::new().with_proc(ProcId(5))).unwrap();
+        let budget = Budget::unlimited().with_max_steps(0);
+        let (repaired, report) = repair_mapping_budgeted(
+            &tg,
+            &net,
+            &degraded,
+            &mapping,
+            &RepairOptions::default(),
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(report.completion, Completion::BudgetExhausted);
+        assert!(report.tasks_migrated >= 1);
+        repaired.validate(&tg, degraded.network()).unwrap();
+        // unlimited repair reports an untruncated search on the same input
+        let (_, full) =
+            repair_mapping(&tg, &net, &degraded, &mapping, &RepairOptions::default()).unwrap();
+        assert_eq!(full.completion, Completion::Optimal);
     }
 
     #[test]

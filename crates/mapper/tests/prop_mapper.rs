@@ -4,6 +4,7 @@ use oregami_graph::{TaskGraph, TaskId, WeightedGraph};
 use oregami_mapper::contraction::{exhaustive_optimal_ipc, mwm_contract};
 use oregami_mapper::embedding::{nn_embed, validate_embedding};
 use oregami_mapper::routing::{mm_route, Matcher};
+use oregami_mapper::{run_engine, Budget, FallbackChain, MapperOptions};
 use oregami_topology::{builders, Network, ProcId, RouteTable};
 use proptest::prelude::*;
 
@@ -70,7 +71,7 @@ proptest! {
         let net = small_network(which);
         prop_assume!(g.num_nodes() <= net.num_procs());
         let table = RouteTable::try_new(&net).expect("connected network");
-        let placement = nn_embed(&g, &net, &table);
+        let placement = nn_embed(&g, &net, &table).unwrap();
         prop_assert!(validate_embedding(&placement, &net).is_ok());
     }
 
@@ -128,7 +129,7 @@ proptest! {
         let (q, internal) = g.quotient(&c.cluster_of, c.num_clusters);
         prop_assert_eq!(q.total_weight() + internal, g.total_weight());
         let table = RouteTable::try_new(&net).expect("connected network");
-        let placement = nn_embed(&q, &net, &table);
+        let placement = nn_embed(&q, &net, &table).unwrap();
         prop_assert!(validate_embedding(&placement, &net).is_ok());
         let assignment: Vec<ProcId> =
             c.cluster_of.iter().map(|&cl| placement[cl]).collect();
@@ -138,6 +139,50 @@ proptest! {
                     prop_assert_eq!(assignment[u], assignment[v]);
                 }
             }
+        }
+    }
+
+    /// Anytime contract: under ANY budget — even a starved one — the
+    /// full fallback chain serves a mapping that validates, and the
+    /// served completion is honest (degraded only when a search was cut).
+    #[test]
+    fn engine_always_serves_valid_mapping_under_any_budget(
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 1u64..20), 1..25),
+        which in 0usize..6,
+        max_steps in 0u64..200,
+    ) {
+        let net = small_network(which);
+        let mut tg = TaskGraph::new("rand");
+        tg.add_scalar_nodes("t", 10);
+        let p = tg.add_phase("c");
+        for &(u, v, w) in &edges {
+            if u != v {
+                tg.add_edge(p, TaskId::new(u), TaskId::new(v), w);
+            }
+        }
+        prop_assume!(tg.num_edges() > 0);
+        let budget = Budget::unlimited().with_max_steps(max_steps);
+        let outcome = run_engine(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain::full(),
+            &budget,
+        ).unwrap();
+        prop_assert!(outcome.report.mapping.validate(&tg, &net).is_ok());
+        if !outcome.engine.is_degraded() {
+            // an undegraded chain must match what an unlimited run finds
+            let unlimited = run_engine(
+                &tg,
+                &net,
+                &MapperOptions::default(),
+                &FallbackChain::full(),
+                &Budget::unlimited(),
+            ).unwrap();
+            prop_assert_eq!(
+                outcome.report.mapping.assignment,
+                unlimited.report.mapping.assignment
+            );
         }
     }
 }

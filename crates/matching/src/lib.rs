@@ -25,4 +25,4 @@ pub mod mwm;
 pub use bipartite::{greedy_bipartite_matching, hopcroft_karp, BipartiteMatching};
 pub use brute::brute_force_max_weight_matching;
 pub use greedy::greedy_matching;
-pub use mwm::{max_weight_matching, Matching};
+pub use mwm::{max_weight_matching, max_weight_matching_budgeted, Matching};

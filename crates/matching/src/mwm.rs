@@ -57,6 +57,18 @@ impl Matching {
     }
 }
 
+/// How one augmenting phase of the solver ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PhaseOutcome {
+    /// An augmenting path was found; run another phase.
+    Augmented,
+    /// No augmenting path exists; the matching is maximum.
+    Done,
+    /// The poll callback asked to stop; the matching built so far is a
+    /// valid (partial) matching but not necessarily maximum.
+    Aborted,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Cell {
     u: usize,
@@ -339,8 +351,9 @@ impl Solver {
     }
 
     /// One phase: grows forests, adjusts duals, returns whether an
-    /// augmenting path was found.
-    fn matching_phase(&mut self) -> bool {
+    /// augmenting path was found. `poll` is consulted once per queue pop
+    /// and per dual adjustment; returning `true` aborts the phase.
+    fn matching_phase(&mut self, poll: &mut dyn FnMut() -> bool) -> PhaseOutcome {
         for x in 1..=self.n_x {
             self.s[x] = -1;
             self.slack[x] = 0;
@@ -354,10 +367,13 @@ impl Solver {
             }
         }
         if self.q.is_empty() {
-            return false;
+            return PhaseOutcome::Done;
         }
         loop {
             while let Some(u) = self.q.pop_front() {
+                if poll() {
+                    return PhaseOutcome::Aborted;
+                }
                 if self.s[self.st[u]] == 1 {
                     continue;
                 }
@@ -365,7 +381,7 @@ impl Solver {
                     if self.cell(u, v).w > 0 && self.st[u] != self.st[v] {
                         if self.e_delta(self.cell(u, v)) == 0 {
                             if self.on_found_edge(self.cell(u, v)) {
-                                return true;
+                                return PhaseOutcome::Augmented;
                             }
                         } else {
                             let sv = self.st[v];
@@ -377,6 +393,9 @@ impl Solver {
             // Dual adjustment. The sentinel is finite so the label updates
             // below cannot overflow when the forest has no outgoing slack
             // (the phase then terminates at the first free even vertex).
+            if poll() {
+                return PhaseOutcome::Aborted;
+            }
             const INF: i64 = i64::MAX / 4;
             let mut d = INF;
             for b in self.n + 1..=self.n_x {
@@ -398,7 +417,8 @@ impl Solver {
                 match self.s[self.st[u]] {
                     0 => {
                         if self.lab[u] <= d {
-                            return false; // dual hit zero: no more augmenting
+                            // dual hit zero: no more augmenting
+                            return PhaseOutcome::Done;
                         }
                         self.lab[u] -= d;
                     }
@@ -423,7 +443,7 @@ impl Solver {
                     && self.e_delta(self.cell(self.slack[x], x)) == 0
                     && self.on_found_edge(self.cell(self.slack[x], x))
                 {
-                    return true;
+                    return PhaseOutcome::Augmented;
                 }
             }
             for b in self.n + 1..=self.n_x {
@@ -454,11 +474,35 @@ impl Solver {
 /// assert_eq!(m.mate[0], None);
 /// ```
 pub fn max_weight_matching(n: usize, edges: &[(usize, usize, u64)]) -> Matching {
+    let (m, completed) = max_weight_matching_budgeted(n, edges, &mut || false);
+    debug_assert!(completed, "an un-polled run always completes");
+    m
+}
+
+/// Budget-aware maximum-weight matching: `poll` is consulted regularly
+/// inside the solver's phases, and returning `true` stops the search.
+///
+/// Returns the matching plus a flag: `true` means the solver ran to
+/// optimality, `false` means it was stopped early and the matching is a
+/// valid but possibly non-maximum *partial* matching (every pair it did
+/// form is still symmetric and usable).
+///
+/// The solver itself is polynomial (`O(n³)`); this hook exists so callers
+/// holding a nearly spent deadline can skip the tail of the computation
+/// rather than blow the deadline on a large instance.
+pub fn max_weight_matching_budgeted(
+    n: usize,
+    edges: &[(usize, usize, u64)],
+    poll: &mut dyn FnMut() -> bool,
+) -> (Matching, bool) {
     if n == 0 {
-        return Matching {
-            mate: Vec::new(),
-            total_weight: 0,
-        };
+        return (
+            Matching {
+                mate: Vec::new(),
+                total_weight: 0,
+            },
+            true,
+        );
     }
     let mut sv = Solver::new(n);
     let mut w_max: i64 = 0;
@@ -482,7 +526,13 @@ pub fn max_weight_matching(n: usize, edges: &[(usize, usize, u64)]) -> Matching 
     for x in 1..=n {
         sv.lab[x] = w_max;
     }
-    while sv.matching_phase() {}
+    let completed = loop {
+        match sv.matching_phase(poll) {
+            PhaseOutcome::Augmented => continue,
+            PhaseOutcome::Done => break true,
+            PhaseOutcome::Aborted => break false,
+        }
+    };
     let mut mate = vec![None; n];
     let mut total = 0u64;
     for u in 1..=n {
@@ -498,7 +548,7 @@ pub fn max_weight_matching(n: usize, edges: &[(usize, usize, u64)]) -> Matching 
         total_weight: total,
     };
     debug_assert!(m.is_valid());
-    m
+    (m, completed)
 }
 
 #[cfg(test)]
@@ -601,6 +651,44 @@ mod tests {
         let b = brute_force_max_weight_matching(6, &edges);
         assert_eq!(m.total_weight, b);
         assert_eq!(m.num_pairs(), 3);
+    }
+
+    #[test]
+    fn aborted_run_returns_valid_partial_matching() {
+        // abort immediately: the matching must still be symmetric/valid
+        let mut edges = Vec::new();
+        for u in 0..8usize {
+            for v in u + 1..8 {
+                edges.push((u, v, ((u * 5 + v) % 11 + 1) as u64));
+            }
+        }
+        let (m, completed) = max_weight_matching_budgeted(8, &edges, &mut || true);
+        assert!(!completed);
+        assert!(m.is_valid());
+        // a never-firing poll reproduces the plain entry point exactly
+        let (m2, completed2) = max_weight_matching_budgeted(8, &edges, &mut || false);
+        assert!(completed2);
+        assert_eq!(m2, max_weight_matching(8, &edges));
+        assert!(m2.total_weight >= m.total_weight);
+    }
+
+    #[test]
+    fn poll_fires_after_some_progress() {
+        // stop after the poll has been consulted a few times: partial
+        // matchings formed by completed augmentations stay valid
+        let mut edges = Vec::new();
+        for u in 0..16usize {
+            for v in u + 1..16 {
+                edges.push((u, v, ((u * 7 + v * 3) % 13 + 1) as u64));
+            }
+        }
+        let mut calls = 0u32;
+        let (m, completed) = max_weight_matching_budgeted(16, &edges, &mut || {
+            calls += 1;
+            calls > 10
+        });
+        assert!(!completed);
+        assert!(m.is_valid());
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub fn try_analyze_mapping(
         load,
         links,
         overall,
+        annotations: Vec::new(),
     })
 }
 

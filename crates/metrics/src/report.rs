@@ -18,12 +18,21 @@ pub struct MetricsReport {
     pub links: LinkMetrics,
     /// Whole-mapping figures.
     pub overall: OverallMetrics,
+    /// Free-form annotations rendered at the end of the report — e.g.
+    /// the mapping engine's note that the served mapping came from a
+    /// degraded (budget-exhausted) fallback chain.
+    pub annotations: Vec<String>,
 }
 
 impl MetricsReport {
     /// Renders the report as an ASCII table block.
     pub fn render(&self) -> String {
         render_report(self)
+    }
+
+    /// Appends an annotation line to the rendered report.
+    pub fn annotate(&mut self, note: impl Into<String>) {
+        self.annotations.push(note.into());
     }
 }
 
@@ -80,6 +89,9 @@ pub fn render_report(r: &MetricsReport) -> String {
             r.overall.comm_time.unwrap_or(0)
         );
     }
+    for note in &r.annotations {
+        let _ = writeln!(s, "note: {note}");
+    }
     s
 }
 
@@ -115,6 +127,11 @@ mod tests {
         assert!(text.contains("completion time:"));
         // gray-code ring embedding: avg dilation exactly 1
         assert!(text.contains("overall avg dilation: 1.000"));
+        assert!(!text.contains("note:"));
+        let mut annotated = report;
+        annotated.annotate("degraded result: stage exhaustive budget exhausted");
+        let text = annotated.render();
+        assert!(text.contains("note: degraded result: stage exhaustive budget exhausted"));
     }
 
     #[test]
