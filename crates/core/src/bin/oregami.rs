@@ -44,6 +44,7 @@ struct Args {
     max_steps: Option<u64>,
     fallback: bool,
     chain: Option<String>,
+    threads: usize,
 }
 
 /// CLI failure with a dedicated exit code per class, so scripts driving
@@ -126,6 +127,8 @@ fn usage() -> &'static str {
                               (exhaustive -> heuristic -> identity)\n\
        --chain A,B,..         custom fallback chain from: exhaustive, heuristic,\n\
                               identity\n\
+       --threads N            run fallback-chain stages on N worker threads\n\
+                              (deterministic outcome; implies the engine path)\n\
        --list                 list built-in programs and exit\n\
      \n\
      EXIT CODES:\n\
@@ -219,6 +222,7 @@ fn parse_args() -> Result<Args, String> {
         max_steps: None,
         fallback: false,
         chain: None,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -315,6 +319,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --max-steps value".to_string())?,
                 );
             }
+            "--threads" => {
+                args.threads = next_val(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+            }
             "--fallback" => args.fallback = true,
             "--chain" => args.chain = Some(next_val(&mut it, "--chain")?),
             "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
@@ -359,7 +368,8 @@ fn run() -> Result<ExitCode, CliError> {
             load_bound: args.load_bound,
             ..MapperOptions::default()
         })
-        .with_cost_model(args.cost.clone());
+        .with_cost_model(args.cost.clone())
+        .with_threads(args.threads);
     // Explicit -P bindings win; a built-in program's sample parameters fill
     // any gaps so `--program NAME` alone is runnable.
     let mut params: Vec<(&str, i64)> =
@@ -369,11 +379,12 @@ fn run() -> Result<ExitCode, CliError> {
             params.push((k.as_str(), *v));
         }
     }
-    // any budget/chain flag routes through the fallback-chain engine
+    // any budget/chain/threads flag routes through the fallback-chain engine
     let budgeted = args.deadline_ms.is_some()
         || args.max_steps.is_some()
         || args.fallback
-        || args.chain.is_some();
+        || args.chain.is_some()
+        || args.threads > 1;
     let result = if budgeted {
         let mut budget = Budget::unlimited();
         if let Some(ms) = args.deadline_ms {
@@ -454,6 +465,13 @@ fn run() -> Result<ExitCode, CliError> {
         println!(
             "fault sweep: {k} single-processor scenarios — {repaired} repaired \
              ({escalated} escalated), {unrepairable} unrepairable"
+        );
+        let stats = system.cache_stats();
+        println!(
+            "route-table cache: {} hits, {} misses over the sweep ({:.0}% hit rate)",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
         );
     }
 

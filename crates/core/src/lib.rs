@@ -54,13 +54,17 @@ pub use oregami_topology as topology;
 
 pub use oregami_larcs::LarcsError;
 pub use oregami_mapper::{
-    Budget, CancelToken, Completion, EngineReport, FallbackChain, MapperOptions, MapperReport,
-    Mapping, MappingError, RepairError, RepairOptions, RepairReport, StageKind, Strategy,
+    Budget, CancelToken, Completion, EngineConfig, EngineReport, FallbackChain, MapperOptions,
+    MapperReport, Mapping, MappingError, Parallelism, RepairError, RepairOptions, RepairReport,
+    StageKind, Strategy,
 };
 pub use oregami_metrics::{CostModel, MetricsReport};
-pub use oregami_topology::{DegradedNetwork, FaultSet, Network, TopologyError};
+pub use oregami_topology::{
+    CacheStats, DegradedNetwork, FaultSet, Network, RouteTableCache, TopologyError,
+};
 
 use oregami_graph::TaskGraph;
+use std::sync::Arc;
 
 /// One complete run of the OREGAMI toolchain.
 #[derive(Clone, Debug)]
@@ -160,15 +164,21 @@ pub struct Oregami {
     network: Network,
     options: MapperOptions,
     cost_model: CostModel,
+    parallelism: Parallelism,
+    cache: Arc<RouteTableCache>,
 }
 
 impl Oregami {
-    /// A toolchain instance targeting `network` with default options.
+    /// A toolchain instance targeting `network` with default options,
+    /// sequential engine scheduling, and a fresh shared route-table
+    /// cache (clones share the cache).
     pub fn new(network: Network) -> Oregami {
         Oregami {
             network,
             options: MapperOptions::default(),
             cost_model: CostModel::default(),
+            parallelism: Parallelism::Sequential,
+            cache: Arc::new(RouteTableCache::new(16)),
         }
     }
 
@@ -184,9 +194,34 @@ impl Oregami {
         self
     }
 
+    /// Runs the fallback-chain engine's stages on up to `n` worker
+    /// threads (`0`/`1` = sequential). Outcomes are deterministic: the
+    /// served candidate, cost, and completion match a sequential run on
+    /// the same inputs.
+    pub fn with_threads(mut self, n: usize) -> Oregami {
+        self.parallelism = if n > 1 {
+            Parallelism::Threads(n)
+        } else {
+            Parallelism::Sequential
+        };
+        self
+    }
+
+    /// Replaces the shared route-table cache (e.g. to share one cache
+    /// across toolchain instances targeting the same machine).
+    pub fn with_cache(mut self, cache: Arc<RouteTableCache>) -> Oregami {
+        self.cache = cache;
+        self
+    }
+
     /// The target network.
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// Hit/miss/eviction counters of the shared route-table cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Compiles a LaRCS source with the given parameter bindings and maps
@@ -215,12 +250,14 @@ impl Oregami {
         opts: &RepairOptions,
     ) -> Result<FaultRecovery, OregamiError> {
         let degraded = self.network.degrade(faults)?;
-        let (mapping, repair) = oregami_mapper::repair_mapping(
+        let (mapping, repair) = oregami_mapper::repair_mapping_cached(
             &result.task_graph,
             &self.network,
             &degraded,
             &result.report.mapping,
             opts,
+            &Budget::unlimited(),
+            &self.cache,
         )?;
         let metrics = oregami_metrics::try_analyze_mapping(
             &result.task_graph,
@@ -239,7 +276,17 @@ impl Oregami {
 
     /// Maps an already-built task graph.
     pub fn map_graph(&self, task_graph: TaskGraph) -> Result<OregamiResult, OregamiError> {
-        let report = oregami_mapper::map_task_graph(&task_graph, &self.network, &self.options)?;
+        let table = self
+            .cache
+            .get_or_build(&self.network)
+            .map_err(oregami_mapper::MapError::from)?;
+        let (report, _) = oregami_mapper::map_task_graph_budgeted_with_table(
+            &task_graph,
+            &self.network,
+            &self.options,
+            &Budget::unlimited(),
+            &table,
+        )?;
         let metrics = oregami_metrics::analyze_mapping(
             &task_graph,
             &self.network,
@@ -280,8 +327,18 @@ impl Oregami {
         chain: &FallbackChain,
         budget: &Budget,
     ) -> Result<OregamiResult, OregamiError> {
-        let outcome =
-            oregami_mapper::run_engine(&task_graph, &self.network, &self.options, chain, budget)?;
+        let config = EngineConfig {
+            parallelism: self.parallelism,
+            cache: Some(Arc::clone(&self.cache)),
+        };
+        let outcome = oregami_mapper::run_engine_with(
+            &task_graph,
+            &self.network,
+            &self.options,
+            chain,
+            budget,
+            &config,
+        )?;
         let mut metrics = oregami_metrics::analyze_mapping(
             &task_graph,
             &self.network,
@@ -459,6 +516,54 @@ mod tests {
             .unwrap();
         assert!(!full.is_degraded());
         assert!(!full.metrics.render().contains("degraded mapping"));
+    }
+
+    #[test]
+    fn threaded_engine_matches_sequential_and_reuses_cache() {
+        let src = larcs::programs::jacobi();
+        let params = [("n", 4), ("iters", 1)];
+        let seq = Oregami::new(builders::hypercube(2));
+        let par = Oregami::new(builders::hypercube(2)).with_threads(4);
+        let a = seq
+            .map_source_with_budget(&src, &params, &FallbackChain::full(), &Budget::unlimited())
+            .unwrap();
+        let b = par
+            .map_source_with_budget(&src, &params, &FallbackChain::full(), &Budget::unlimited())
+            .unwrap();
+        assert_eq!(a.report.mapping.assignment, b.report.mapping.assignment);
+        assert_eq!(
+            a.engine.as_ref().unwrap().served_by,
+            b.engine.as_ref().unwrap().served_by
+        );
+        assert_eq!(
+            b.engine.as_ref().unwrap().parallelism,
+            Parallelism::Threads(4)
+        );
+        // one table build serves the whole run: every stage after the
+        // first lookup hits the instance's shared cache
+        assert_eq!(par.cache_stats().misses, 1);
+        assert!(par.cache_stats().hits >= 1, "{:?}", par.cache_stats());
+    }
+
+    #[test]
+    fn repeated_repairs_hit_the_shared_cache() {
+        use oregami_topology::ProcId;
+        let sys = Oregami::new(builders::hypercube(3));
+        let r = sys
+            .map_source(
+                &larcs::programs::nbody(),
+                &[("n", 16), ("s", 2), ("msgsize", 4)],
+            )
+            .unwrap();
+        for _ in 0..3 {
+            let faults = FaultSet::new().with_proc(ProcId(5));
+            sys.repair(&r, &faults, &RepairOptions::default()).unwrap();
+        }
+        let stats = sys.cache_stats();
+        assert!(
+            stats.hits >= 4,
+            "repeat fault scenarios must reuse cached tables: {stats:?}"
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ const CLOCK_STRIDE: u64 = 1024;
 pub struct Budget {
     deadline: Option<Instant>,
     max_steps: Option<u64>,
-    cancel: Option<CancelToken>,
+    cancels: Vec<CancelToken>,
     steps: AtomicU64,
 }
 
@@ -117,20 +117,52 @@ impl Budget {
         self
     }
 
-    /// Attaches a cancellation token.
+    /// Attaches a cancellation token. May be called repeatedly: the
+    /// budget trips when *any* attached token fires, which is how the
+    /// parallel engine layers a per-stage kill switch on top of the
+    /// caller's own token.
     pub fn with_cancel(mut self, token: CancelToken) -> Budget {
-        self.cancel = Some(token);
+        self.cancels.push(token);
         self
     }
 
     /// Whether this budget can ever trip (absent cancellation).
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_steps.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.max_steps.is_none() && self.cancels.is_empty()
     }
 
     /// Steps consumed so far.
     pub fn steps_used(&self) -> u64 {
         self.steps.load(Ordering::Relaxed)
+    }
+
+    /// The step quota left before [`tick`](Budget::tick) starts reporting
+    /// [`Completion::BudgetExhausted`], or `None` when unmetered.
+    pub fn remaining_steps(&self) -> Option<u64> {
+        self.max_steps.map(|m| m.saturating_sub(self.steps_used()))
+    }
+
+    /// A child budget for one worker of a parallel run: same deadline,
+    /// all of this budget's cancel tokens **plus** `extra_cancel` (the
+    /// stage's kill switch), its own zeroed step counter capped at
+    /// `max_steps`. The child counts steps independently; fold its usage
+    /// back with [`charge`](Budget::charge) so the parent's
+    /// [`steps_used`](Budget::steps_used) stays the whole-run total.
+    pub fn child(&self, extra_cancel: CancelToken, max_steps: Option<u64>) -> Budget {
+        let mut cancels = self.cancels.clone();
+        cancels.push(extra_cancel);
+        Budget {
+            deadline: self.deadline,
+            max_steps,
+            cancels,
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `n` steps of work done elsewhere (a child budget) without
+    /// tripping any check.
+    pub fn charge(&self, n: u64) {
+        self.steps.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counts one unit of search work and reports whether the budget has
@@ -154,10 +186,8 @@ impl Budget {
     /// Checks the deadline and cancel token *now* without counting a
     /// step. Use at coarse boundaries (between stages, per repair pass).
     pub fn poll(&self) -> Option<Completion> {
-        if let Some(token) = &self.cancel {
-            if token.is_cancelled() {
-                return Some(Completion::Cancelled);
-            }
+        if self.cancels.iter().any(CancelToken::is_cancelled) {
+            return Some(Completion::Cancelled);
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -233,6 +263,49 @@ mod tests {
         token.cancel();
         let tripped = (0..2048).find_map(|_| b.tick());
         assert_eq!(tripped, Some(Completion::Cancelled));
+    }
+
+    #[test]
+    fn child_budget_inherits_tokens_and_charges_back() {
+        let parent_token = CancelToken::new();
+        let parent = Budget::unlimited()
+            .with_max_steps(100)
+            .with_cancel(parent_token.clone());
+        assert_eq!(parent.remaining_steps(), Some(100));
+
+        let kill = CancelToken::new();
+        let child = parent.child(kill.clone(), Some(10));
+        // child has its own counter and quota
+        for _ in 0..10 {
+            assert_eq!(child.tick(), None);
+        }
+        assert_eq!(child.tick(), Some(Completion::BudgetExhausted));
+        assert_eq!(parent.steps_used(), 0);
+        parent.charge(child.steps_used());
+        assert_eq!(parent.steps_used(), 11);
+        assert_eq!(parent.remaining_steps(), Some(89));
+
+        // the kill switch cancels only the child...
+        let child2 = parent.child(kill.clone(), None);
+        kill.cancel();
+        assert_eq!(child2.poll(), Some(Completion::Cancelled));
+        assert_eq!(parent.poll(), None);
+        // ...while the parent token cancels every child
+        let child3 = parent.child(CancelToken::new(), None);
+        parent_token.cancel();
+        assert_eq!(child3.poll(), Some(Completion::Cancelled));
+        assert_eq!(parent.poll(), Some(Completion::Cancelled));
+    }
+
+    #[test]
+    fn any_of_several_tokens_cancels() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let budget = Budget::unlimited().with_cancel(a).with_cancel(b.clone());
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.poll(), None);
+        b.cancel();
+        assert_eq!(budget.poll(), Some(Completion::Cancelled));
     }
 
     #[test]

@@ -23,19 +23,34 @@
 //!   continues;
 //! * cancellation stops the chain immediately; whatever candidate exists
 //!   is served, else [`MapError::Cancelled`].
+//!
+//! With [`EngineConfig::parallelism`] set to [`Parallelism::Threads`],
+//! independent stages run concurrently on scoped worker threads, each
+//! behind its own panic isolation and a per-stage share of the step
+//! quota. A per-stage kill switch (layered on the shared [`CancelToken`]
+//! machinery) fires for every *later* stage the moment an earlier stage
+//! finishes [`Completion::Optimal`], so losers stop early — and the
+//! results are folded back **in chain order** under exactly the
+//! sequential rules above, so a parallel run serves the identical
+//! candidate, cost, and completion as a sequential run on the same
+//! inputs (when step quotas don't bind; a bounded quota is split across
+//! stages rather than consumed front-to-back, which can change which
+//! stage runs out first).
 
-use crate::budget::{Budget, Completion};
+use crate::budget::{Budget, CancelToken, Completion};
 use crate::contraction::mwm_contract_budgeted;
 use crate::embedding::{exhaustive_embed_budgeted, weighted_dilation_cost};
 use crate::mapping::Mapping;
 use crate::pipeline::{
-    clusters_to_procs, collapse_for, contraction_from_assignment, finish, map_task_graph_budgeted,
-    MapError, MapperOptions, MapperReport, Strategy,
+    clusters_to_procs, collapse_for, contraction_from_assignment, finish,
+    map_task_graph_budgeted_with_table, MapError, MapperOptions, MapperReport, Strategy,
 };
 use crate::routing::baseline::baseline_route_all;
 use oregami_graph::TaskGraph;
-use oregami_topology::{Network, ProcId, RouteTable};
+use oregami_topology::{Network, ProcId, RouteTableCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One stage of a fallback chain, ordered from highest mapping quality
@@ -143,6 +158,70 @@ impl std::fmt::Display for FallbackChain {
     }
 }
 
+/// How the engine schedules the stages of a chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Stages run one after another in chain order (the PR 2 behaviour).
+    #[default]
+    Sequential,
+    /// Up to this many scoped worker threads pull stages off the chain
+    /// concurrently. `Threads(0)` and `Threads(1)` degrade to sequential.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of worker threads this mode uses for a chain of
+    /// `stages` stages (never more workers than stages).
+    pub fn workers_for(self, stages: usize) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.clamp(1, stages.max(1)),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Sequential => f.write_str("sequential"),
+            Parallelism::Threads(n) => write!(f, "{n} threads"),
+        }
+    }
+}
+
+/// Engine-level configuration: scheduling mode plus an optional shared
+/// route-table cache.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Sequential or multi-threaded stage execution.
+    pub parallelism: Parallelism,
+    /// Route tables for `net` are taken from (and inserted into) this
+    /// cache. `None` gives the run a small private cache, which still
+    /// spares the per-stage rebuilds within one chain; pass a shared
+    /// cache (as `core::Oregami` does) to also reuse tables across runs.
+    pub cache: Option<Arc<RouteTableCache>>,
+}
+
+impl EngineConfig {
+    /// Sequential scheduling with a shared cache.
+    pub fn with_cache(cache: Arc<RouteTableCache>) -> EngineConfig {
+        EngineConfig {
+            parallelism: Parallelism::Sequential,
+            cache: Some(cache),
+        }
+    }
+
+    /// Sets the scheduling mode.
+    pub fn threads(mut self, n: usize) -> EngineConfig {
+        self.parallelism = if n > 1 {
+            Parallelism::Threads(n)
+        } else {
+            Parallelism::Sequential
+        };
+        self
+    }
+}
+
 /// How a stage fared.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StageStatus {
@@ -189,8 +268,11 @@ pub struct EngineReport {
     pub completion: Completion,
     /// Total wall-clock time of the chain.
     pub elapsed: Duration,
-    /// Total budget steps consumed by the chain.
+    /// Total budget steps consumed by the chain (parallel runs include
+    /// the steps of stages whose results were discarded).
     pub steps: u64,
+    /// How the stages were scheduled.
+    pub parallelism: Parallelism,
 }
 
 impl EngineReport {
@@ -204,11 +286,15 @@ impl EngineReport {
 
 impl std::fmt::Display for EngineReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
+        write!(
             f,
             "engine: served by {} ({}), {} steps in {:.1?}",
             self.served_by, self.completion, self.steps, self.elapsed
         )?;
+        if let Parallelism::Threads(_) = self.parallelism {
+            write!(f, " [{}]", self.parallelism)?;
+        }
+        writeln!(f)?;
         for s in &self.stages {
             write!(f, "  stage {:<10} : ", s.stage.name())?;
             match &s.status {
@@ -245,13 +331,28 @@ pub struct EngineOutcome {
 }
 
 /// Runs the fallback chain on `tg`/`net` under `budget` and serves the
-/// cheapest candidate. See the module docs for the chain semantics.
+/// cheapest candidate, sequentially with a private route-table cache.
+/// See the module docs for the chain semantics;
+/// [`run_engine_with`] adds scheduling and cache control.
 pub fn run_engine(
     tg: &TaskGraph,
     net: &Network,
     opts: &MapperOptions,
     chain: &FallbackChain,
     budget: &Budget,
+) -> Result<EngineOutcome, MapError> {
+    run_engine_with(tg, net, opts, chain, budget, &EngineConfig::default())
+}
+
+/// [`run_engine`] with an explicit [`EngineConfig`]: parallel stage
+/// scheduling and/or a shared [`RouteTableCache`].
+pub fn run_engine_with(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    chain: &FallbackChain,
+    budget: &Budget,
+    config: &EngineConfig,
 ) -> Result<EngineOutcome, MapError> {
     if chain.stages.is_empty() {
         return Err(MapError::AllStagesFailed("empty fallback chain".into()));
@@ -262,34 +363,55 @@ pub fn run_engine(
     if net.num_procs() == 0 {
         return Err(MapError::BadNetwork("network has no processors".into()));
     }
-    let table = RouteTable::try_new(net)?;
+    let cache = config
+        .cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(RouteTableCache::new(4)));
+    let table = cache.get_or_build(net)?;
     let start = Instant::now();
+
+    let workers = config.parallelism.workers_for(chain.stages.len());
+    let raw = if workers > 1 {
+        run_stages_parallel(tg, net, opts, chain, budget, &cache, workers)
+    } else {
+        run_stages_sequential(tg, net, opts, chain, budget, &cache)
+    };
+
+    // Fold the per-stage results back *in chain order* under the
+    // sequential chain semantics. This is the determinism keystone: no
+    // matter how stage executions interleaved, the first stage (in chain
+    // order) that finished Optimal or Cancelled ends the chain here, any
+    // result a later stage produced before its kill switch caught it is
+    // discarded as Skipped, and the serving rule sees exactly the
+    // candidates a sequential run would have seen.
     let mut stages: Vec<StageReport> = Vec::with_capacity(chain.stages.len());
     let mut best: Option<(MapperReport, u64, usize)> = None; // (report, cost, stage index)
     let mut worst_completion = Completion::Optimal;
     let mut stop = false;
     let mut cancelled = false;
 
-    for &kind in &chain.stages {
+    for (idx, raw_stage) in raw.into_iter().enumerate() {
+        let kind = chain.stages[idx];
+        let RawStage {
+            outcome,
+            elapsed,
+            steps,
+        } = raw_stage;
         if stop {
             stages.push(StageReport {
                 stage: kind,
                 status: StageStatus::Skipped,
                 completion: None,
-                elapsed: Duration::ZERO,
-                steps: 0,
+                elapsed,
+                steps,
                 cost: None,
             });
             continue;
         }
-        let steps_before = budget.steps_used();
-        let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_stage(kind, tg, net, opts, budget)));
-        let elapsed = t0.elapsed();
-        let steps = budget.steps_used() - steps_before;
         match outcome {
-            Ok(Ok((report, completion))) => {
-                let cost = weighted_dilation_cost(&report.collapsed, &report.mapping.assignment, &table);
+            RawOutcome::Candidate(report, completion) => {
+                let cost =
+                    weighted_dilation_cost(&report.collapsed, &report.mapping.assignment, &table);
                 worst_completion = worst_completion.worst(completion);
                 if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
                     best = Some((report, cost, stages.len()));
@@ -311,7 +433,7 @@ pub fn run_engine(
                     Completion::BudgetExhausted => {}
                 }
             }
-            Ok(Err(e)) => {
+            RawOutcome::Failed(e) => {
                 if matches!(e, MapError::Cancelled) {
                     stop = true;
                     cancelled = true;
@@ -325,10 +447,20 @@ pub fn run_engine(
                     cost: None,
                 });
             }
-            Err(panic) => {
+            RawOutcome::Panicked(msg) => {
                 stages.push(StageReport {
                     stage: kind,
-                    status: StageStatus::Panicked(panic_message(&*panic)),
+                    status: StageStatus::Panicked(msg),
+                    completion: None,
+                    elapsed,
+                    steps,
+                    cost: None,
+                });
+            }
+            RawOutcome::NotRun => {
+                stages.push(StageReport {
+                    stage: kind,
+                    status: StageStatus::Skipped,
                     completion: None,
                     elapsed,
                     steps,
@@ -346,6 +478,7 @@ pub fn run_engine(
                 completion: worst_completion,
                 elapsed: start.elapsed(),
                 steps: budget.steps_used(),
+                parallelism: config.parallelism,
                 stages,
             };
             Ok(EngineOutcome { report, engine })
@@ -370,17 +503,175 @@ pub fn run_engine(
     }
 }
 
+/// What one stage execution produced, before the chain-order fold.
+enum RawOutcome {
+    Candidate(MapperReport, Completion),
+    Failed(MapError),
+    Panicked(String),
+    /// The stage never started (an earlier stage had already ended the
+    /// chain).
+    NotRun,
+}
+
+struct RawStage {
+    outcome: RawOutcome,
+    elapsed: Duration,
+    steps: u64,
+}
+
+impl RawStage {
+    fn not_run() -> RawStage {
+        RawStage {
+            outcome: RawOutcome::NotRun,
+            elapsed: Duration::ZERO,
+            steps: 0,
+        }
+    }
+
+    /// Whether, under sequential chain semantics, no later stage would
+    /// run after this result.
+    fn ends_chain(&self) -> bool {
+        match &self.outcome {
+            RawOutcome::Candidate(_, completion) => {
+                !matches!(completion, Completion::BudgetExhausted)
+            }
+            RawOutcome::Failed(e) => matches!(e, MapError::Cancelled),
+            RawOutcome::Panicked(_) | RawOutcome::NotRun => false,
+        }
+    }
+}
+
+/// One isolated stage execution: panics contained, steps measured.
+fn execute_stage(
+    kind: StageKind,
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+    cache: &RouteTableCache,
+) -> RawStage {
+    let steps_before = budget.steps_used();
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_stage(kind, tg, net, opts, budget, cache)
+    }));
+    let elapsed = t0.elapsed();
+    let steps = budget.steps_used() - steps_before;
+    let outcome = match outcome {
+        Ok(Ok((report, completion))) => RawOutcome::Candidate(report, completion),
+        Ok(Err(e)) => RawOutcome::Failed(e),
+        Err(panic) => RawOutcome::Panicked(panic_message(&*panic)),
+    };
+    RawStage {
+        outcome,
+        elapsed,
+        steps,
+    }
+}
+
+fn run_stages_sequential(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    chain: &FallbackChain,
+    budget: &Budget,
+    cache: &RouteTableCache,
+) -> Vec<RawStage> {
+    let mut raw = Vec::with_capacity(chain.stages.len());
+    let mut stop = false;
+    for &kind in &chain.stages {
+        if stop {
+            raw.push(RawStage::not_run());
+            continue;
+        }
+        let stage = execute_stage(kind, tg, net, opts, budget, cache);
+        stop = stage.ends_chain();
+        raw.push(stage);
+    }
+    raw
+}
+
+/// Runs the chain's stages on `workers` scoped threads. Each stage gets
+/// a child [`Budget`] carrying the caller's deadline and cancel tokens,
+/// an even share of the remaining step quota, and a per-stage kill
+/// switch; a stage whose result ends the chain fires the kill switches
+/// of every *later* stage only — earlier stages would have run to
+/// completion sequentially, so their candidates must still compete.
+fn run_stages_parallel(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    chain: &FallbackChain,
+    budget: &Budget,
+    cache: &RouteTableCache,
+    workers: usize,
+) -> Vec<RawStage> {
+    let n = chain.stages.len();
+    let kills: Vec<CancelToken> = (0..n).map(|_| CancelToken::new()).collect();
+    let shares: Vec<Option<u64>> = match budget.remaining_steps() {
+        Some(remaining) => {
+            let per = remaining / n as u64;
+            let spare = remaining % n as u64;
+            // distribute the remainder to the front of the chain
+            (0..n as u64).map(|i| Some(per + u64::from(i < spare))).collect()
+        }
+        None => vec![None; n],
+    };
+    let results: Vec<Mutex<Option<RawStage>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let stage = if kills[i].is_cancelled() {
+                    // an earlier stage already ended the chain before this
+                    // one started: equivalent to a sequential skip
+                    RawStage::not_run()
+                } else {
+                    let child = budget.child(kills[i].clone(), shares[i]);
+                    let stage = execute_stage(chain.stages[i], tg, net, opts, &child, cache);
+                    budget.charge(child.steps_used());
+                    stage
+                };
+                if stage.ends_chain() {
+                    for kill in kills.iter().skip(i + 1) {
+                        kill.cancel();
+                    }
+                }
+                *results[i].lock().expect("stage result poisoned") = Some(stage);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("stage result poisoned")
+                .unwrap_or_else(RawStage::not_run)
+        })
+        .collect()
+}
+
 fn run_stage(
     kind: StageKind,
     tg: &TaskGraph,
     net: &Network,
     opts: &MapperOptions,
     budget: &Budget,
+    cache: &RouteTableCache,
 ) -> Result<(MapperReport, Completion), MapError> {
     match kind {
-        StageKind::Heuristic => map_task_graph_budgeted(tg, net, opts, budget),
-        StageKind::Exhaustive => exhaustive_stage(tg, net, opts, budget),
-        StageKind::Identity => identity_stage(tg, net, opts),
+        StageKind::Heuristic => {
+            let table = cache.get_or_build(net)?;
+            map_task_graph_budgeted_with_table(tg, net, opts, budget, &table)
+        }
+        StageKind::Exhaustive => exhaustive_stage(tg, net, opts, budget, cache),
+        StageKind::Identity => identity_stage(tg, net, opts, cache),
     }
 }
 
@@ -391,25 +682,27 @@ fn exhaustive_stage(
     net: &Network,
     opts: &MapperOptions,
     budget: &Budget,
+    cache: &RouteTableCache,
 ) -> Result<(MapperReport, Completion), MapError> {
     if let Some(Completion::Cancelled) = budget.poll() {
         return Err(MapError::Cancelled);
     }
     let n = tg.num_tasks();
     let p = net.num_procs();
-    let table = RouteTable::try_new(net)?;
+    let table = cache.get_or_build(net)?;
+    let table = &*table;
     let collapsed = collapse_for(tg, opts);
     let bound = opts.load_bound.unwrap_or_else(|| n.div_ceil(p).max(1));
     let (contraction, contract_completion) = mwm_contract_budgeted(&collapsed, p, bound, budget)?;
     let (quotient, _) = collapsed.quotient(&contraction.cluster_of, contraction.num_clusters);
-    let embed = exhaustive_embed_budgeted(&quotient, net, &table, budget)?;
+    let embed = exhaustive_embed_budgeted(&quotient, net, table, budget)?;
     let completion = contract_completion.worst(embed.completion);
     let notes = vec![format!(
         "exhaustive embedding: {} clusters on {p} processors, quotient cost {} ({})",
         contraction.num_clusters, embed.cost, embed.completion
     )];
     let assignment = clusters_to_procs(&contraction, &embed.placement);
-    let mapping = finish(tg, net, &table, assignment, opts);
+    let mapping = finish(tg, net, table, assignment, opts);
     Ok((
         MapperReport {
             strategy: Strategy::Exhaustive,
@@ -428,10 +721,11 @@ fn identity_stage(
     tg: &TaskGraph,
     net: &Network,
     opts: &MapperOptions,
+    cache: &RouteTableCache,
 ) -> Result<(MapperReport, Completion), MapError> {
     let n = tg.num_tasks();
     let p = net.num_procs();
-    let table = RouteTable::try_new(net)?;
+    let table = cache.get_or_build(net)?;
     let assignment: Vec<ProcId> = (0..n).map(|t| ProcId((t % p) as u32)).collect();
     let routes = baseline_route_all(tg, &assignment, net, &table);
     let mapping = Mapping { assignment, routes };
@@ -600,6 +894,164 @@ mod tests {
         }));
         assert!(outcome.is_err());
         assert_eq!(panic_message(&*outcome.unwrap_err()), "stage blew up");
+    }
+
+    fn served_cost(outcome: &EngineOutcome) -> Option<u64> {
+        outcome
+            .engine
+            .stages
+            .iter()
+            .find(|s| s.status == StageStatus::Served)
+            .and_then(|s| s.cost)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_outcome() {
+        // The determinism contract: for fixed inputs and an unlimited
+        // budget, a parallel run serves the identical candidate, cost,
+        // and completion as a sequential run, at every thread count.
+        let cases: Vec<(TaskGraph, oregami_topology::Network)> = vec![
+            (jacobi16(), builders::hypercube(2)),
+            (jacobi16(), builders::chain(5)),
+            (oregami_graph::Family::Ring(4).build(), builders::hypercube(2)),
+            (oregami_graph::Family::Ring(6).build(), builders::ring(6)),
+        ];
+        for (tg, net) in &cases {
+            let seq = run_engine(
+                tg,
+                net,
+                &MapperOptions::default(),
+                &FallbackChain::full(),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+            for threads in [2, 3, 4, 8] {
+                let config = EngineConfig::default().threads(threads);
+                let par = run_engine_with(
+                    tg,
+                    net,
+                    &MapperOptions::default(),
+                    &FallbackChain::full(),
+                    &Budget::unlimited(),
+                    &config,
+                )
+                .unwrap();
+                assert_eq!(par.engine.served_by, seq.engine.served_by, "{}", net.name);
+                assert_eq!(par.engine.completion, seq.engine.completion);
+                assert_eq!(
+                    par.report.mapping.assignment, seq.report.mapping.assignment,
+                    "parallel and sequential must serve the same mapping on {}",
+                    net.name
+                );
+                assert_eq!(served_cost(&par), served_cost(&seq));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_discards_later_results_after_optimal_winner() {
+        // 4 tasks on 4 procs: exhaustive finishes Optimal. Even though
+        // the parallel workers may have raced heuristic/identity to
+        // completion, the chain-order fold must discard their candidates
+        // exactly as the sequential skip would.
+        let tg = oregami_graph::Family::Ring(4).build();
+        let net = builders::hypercube(2);
+        let outcome = run_engine_with(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain::full(),
+            &Budget::unlimited(),
+            &EngineConfig::default().threads(3),
+        )
+        .unwrap();
+        assert_eq!(outcome.engine.served_by, StageKind::Exhaustive);
+        assert_eq!(outcome.engine.completion, Completion::Optimal);
+        assert_eq!(outcome.engine.stages[0].status, StageStatus::Served);
+        assert_eq!(outcome.engine.stages[1].status, StageStatus::Skipped);
+        assert_eq!(outcome.engine.stages[2].status, StageStatus::Skipped);
+        assert_eq!(outcome.engine.parallelism, Parallelism::Threads(3));
+        assert!(outcome.engine.to_string().contains("3 threads"));
+    }
+
+    #[test]
+    fn parallel_splits_step_quota_and_still_serves() {
+        // 16 tasks on 16 procs under a tiny quota: every stage gets a
+        // share, exhaustive exhausts its share, and the chain still
+        // serves a valid mapping.
+        let tg = jacobi16();
+        let net = builders::hypercube(4);
+        let budget = Budget::unlimited().with_max_steps(300);
+        let outcome = run_engine_with(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain::full(),
+            &budget,
+            &EngineConfig::default().threads(4),
+        )
+        .unwrap();
+        outcome.report.mapping.validate(&tg, &net).unwrap();
+        assert!(outcome.engine.is_degraded());
+        // the parent budget accounts for every stage's work
+        assert_eq!(
+            outcome.engine.steps,
+            outcome.engine.stages.iter().map(|s| s.steps).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn shared_cache_is_hit_across_stages_and_runs() {
+        let tg = jacobi16();
+        let net = builders::hypercube(2);
+        let cache = Arc::new(RouteTableCache::new(4));
+        let config = EngineConfig::with_cache(Arc::clone(&cache)).threads(2);
+        for _ in 0..2 {
+            run_engine_with(
+                &tg,
+                &net,
+                &MapperOptions::default(),
+                &FallbackChain::full(),
+                &Budget::unlimited(),
+                &config,
+            )
+            .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one BFS sweep for the whole pair of runs");
+        assert!(stats.hits >= 3, "engine + stages must hit, got {stats:?}");
+    }
+
+    #[test]
+    fn parallel_cancelled_before_start_is_an_error() {
+        let tg = jacobi16();
+        let net = builders::hypercube(2);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err = run_engine_with(
+            &tg,
+            &net,
+            &MapperOptions::default(),
+            &FallbackChain {
+                stages: vec![StageKind::Exhaustive, StageKind::Heuristic],
+            },
+            &budget,
+            &EngineConfig::default().threads(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::Cancelled));
+    }
+
+    #[test]
+    fn threads_one_degrades_to_sequential() {
+        let config = EngineConfig::default().threads(1);
+        assert_eq!(config.parallelism, Parallelism::Sequential);
+        assert_eq!(Parallelism::Threads(8).workers_for(3), 3);
+        assert_eq!(Parallelism::Threads(0).workers_for(3), 1);
+        assert_eq!(Parallelism::Sequential.workers_for(3), 1);
+        assert_eq!(Parallelism::Threads(2).to_string(), "2 threads");
+        assert_eq!(Parallelism::Sequential.to_string(), "sequential");
     }
 
     #[test]

@@ -54,13 +54,16 @@ pub use embedding::{
     exhaustive_embed, exhaustive_embed_budgeted, nn_embed, AnytimeEmbed, EmbedError,
 };
 pub use engine::{
-    run_engine, EngineOutcome, EngineReport, FallbackChain, StageKind, StageReport, StageStatus,
+    run_engine, run_engine_with, EngineConfig, EngineOutcome, EngineReport, FallbackChain,
+    Parallelism, StageKind, StageReport, StageStatus,
 };
 pub use mapping::{Mapping, MappingError};
 pub use pipeline::{
-    map_task_graph, map_task_graph_budgeted, MapError, MapperOptions, MapperReport, Strategy,
+    map_task_graph, map_task_graph_budgeted, map_task_graph_budgeted_with_table, MapError,
+    MapperOptions, MapperReport, Strategy,
 };
 pub use repair::{
-    repair_mapping, repair_mapping_budgeted, RepairError, RepairOptions, RepairReport,
+    repair_mapping, repair_mapping_budgeted, repair_mapping_cached, RepairError, RepairOptions,
+    RepairReport,
 };
 pub use routing::{mm_route, RoutedPhase};

@@ -192,13 +192,34 @@ pub fn map_task_graph_budgeted(
     if net.num_procs() == 0 {
         return Err(MapError::BadNetwork("network has no processors".into()));
     }
+    // a disconnected network surfaces here as MapError::Topology
+    let table = RouteTable::try_new(net)?;
+    map_task_graph_budgeted_with_table(tg, net, opts, budget, &table)
+}
+
+/// [`map_task_graph_budgeted`] with a caller-supplied routing table —
+/// typically an `Arc<RouteTable>` handed out by
+/// `oregami_topology::cache::RouteTableCache`, so the engine's stages and
+/// repair's sweeps stop paying a fresh all-pairs BFS per call. `table`
+/// must have been built for `net`.
+pub fn map_task_graph_budgeted_with_table(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+    table: &RouteTable,
+) -> Result<(MapperReport, Completion), MapError> {
+    if tg.num_tasks() == 0 {
+        return Err(MapError::EmptyTaskGraph);
+    }
+    if net.num_procs() == 0 {
+        return Err(MapError::BadNetwork("network has no processors".into()));
+    }
     if let Some(Completion::Cancelled) = budget.poll() {
         return Err(MapError::Cancelled);
     }
     let n = tg.num_tasks();
     let p = net.num_procs();
-    // a disconnected network surfaces here as MapError::Topology
-    let table = RouteTable::try_new(net)?;
     let analysis = analyze::analyze(tg);
     let mut notes = Vec::new();
 
@@ -226,7 +247,7 @@ pub fn map_task_graph_budgeted(
                 family.name(),
                 net.name
             ));
-            let mapping = finish(tg, net, &table, assignment, opts);
+            let mapping = finish(tg, net, table, assignment, opts);
             Ok(Some((Contraction::identity(n), mapping)))
         } else if n > p {
             let Some(contraction) = canned_contraction(family, p) else {
@@ -246,10 +267,10 @@ pub fn map_task_graph_budgeted(
                     notes.push("canned embedding of the quotient family".into());
                     canned
                 }
-                None => nn_embed(&quotient, net, &table)?,
+                None => nn_embed(&quotient, net, table)?,
             };
             let assignment = clusters_to_procs(&contraction, &placement);
-            let mapping = finish(tg, net, &table, assignment, opts);
+            let mapping = finish(tg, net, table, assignment, opts);
             Ok(Some((contraction, mapping)))
         } else {
             Ok(None)
@@ -288,7 +309,7 @@ pub fn map_task_graph_budgeted(
                     sm.schedule, sm.allocation, sm.makespan
                 ));
                 let contraction = contraction_from_assignment(&assignment, p);
-                let mapping = finish(tg, net, &table, assignment, opts);
+                let mapping = finish(tg, net, table, assignment, opts);
                 return Ok((
                     MapperReport {
                         strategy: Strategy::Systolic,
@@ -320,9 +341,9 @@ pub fn map_task_graph_budgeted(
                     num_clusters: cc.num_clusters,
                 };
                 let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
-                let placement = nn_embed(&quotient, net, &table)?;
+                let placement = nn_embed(&quotient, net, table)?;
                 let assignment = clusters_to_procs(&contraction, &placement);
-                let mapping = finish(tg, net, &table, assignment, opts);
+                let mapping = finish(tg, net, table, assignment, opts);
                 return Ok((
                     MapperReport {
                         strategy: Strategy::GroupTheoretic,
@@ -347,9 +368,9 @@ pub fn map_task_graph_budgeted(
                 }
             ));
             let (quotient, _) = collapsed.quotient(&contraction.cluster_of, p);
-            let placement = nn_embed(&quotient, net, &table)?;
+            let placement = nn_embed(&quotient, net, table)?;
             let assignment = clusters_to_procs(&contraction, &placement);
-            let mapping = finish(tg, net, &table, assignment, opts);
+            let mapping = finish(tg, net, table, assignment, opts);
             return Ok((
                 MapperReport {
                     strategy: Strategy::GroupTheoretic,
@@ -395,9 +416,9 @@ pub fn map_task_graph_budgeted(
         }
     ));
     let (quotient, _) = collapsed.quotient(&contraction.cluster_of, contraction.num_clusters);
-    let placement = nn_embed(&quotient, net, &table)?;
+    let placement = nn_embed(&quotient, net, table)?;
     let assignment = clusters_to_procs(&contraction, &placement);
-    let mapping = finish(tg, net, &table, assignment, opts);
+    let mapping = finish(tg, net, table, assignment, opts);
     Ok((
         MapperReport {
             strategy: Strategy::General,

@@ -32,7 +32,9 @@ use crate::embedding::nn_embed;
 use crate::mapping::{Mapping, MappingError};
 use crate::routing::{route_all_phases, Matcher};
 use oregami_graph::TaskGraph;
-use oregami_topology::{DegradedNetwork, Network, ProcId, RouteTable, TopologyError};
+use oregami_topology::{
+    DegradedNetwork, Network, ProcId, RouteTable, RouteTableCache, TopologyError,
+};
 use std::fmt;
 
 /// Tuning knobs for repair.
@@ -203,10 +205,28 @@ pub fn repair_mapping_budgeted(
     opts: &RepairOptions,
     budget: &Budget,
 ) -> Result<(Mapping, RepairReport), RepairError> {
+    let cache = RouteTableCache::new(4);
+    repair_mapping_cached(tg, net, degraded, mapping, opts, budget, &cache)
+}
+
+/// [`repair_mapping_budgeted`] drawing every routing table (healthy,
+/// degraded, and escalation's compacted survivor network) from a shared
+/// [`RouteTableCache`]. Fault sweeps that revisit fault scenarios — the
+/// CLI's `--fault-sweep` wraps its victim index — hit the cache instead
+/// of re-running three BFS sweeps per scenario.
+pub fn repair_mapping_cached(
+    tg: &TaskGraph,
+    net: &Network,
+    degraded: &DegradedNetwork,
+    mapping: &Mapping,
+    opts: &RepairOptions,
+    budget: &Budget,
+    cache: &RouteTableCache,
+) -> Result<(Mapping, RepairReport), RepairError> {
     mapping.validate(tg, net)?;
-    let healthy_table = RouteTable::try_new(net)?;
+    let healthy_table = cache.get_or_build(net)?;
     // Partitioned survivors are unrepairable; surfaces the components.
-    let degraded_table = degraded.route_table()?;
+    let degraded_table = cache.get_or_build_degraded(degraded)?;
 
     let n = tg.num_tasks();
     let alive = degraded.num_alive();
@@ -283,7 +303,7 @@ pub fn repair_mapping_budgeted(
             alive
         ));
         let (mapping, mut report) =
-            escalate(tg, degraded, mapping, bound, opts, &healthy_table, budget)?;
+            escalate(tg, degraded, mapping, bound, opts, &healthy_table, budget, cache)?;
         report.avg_dilation_before = avg_dilation_before;
         report.max_contention_before = max_contention_before;
         report.completion = report.completion.worst(completion);
@@ -416,6 +436,7 @@ fn route_broken(degraded: &DegradedNetwork, path: &[ProcId]) -> bool {
 /// Level 3: throw the old placement away; re-contract and re-embed on the
 /// compacted surviving machine, route from scratch, and translate back to
 /// original processor numbering.
+#[allow(clippy::too_many_arguments)]
 fn escalate(
     tg: &TaskGraph,
     degraded: &DegradedNetwork,
@@ -424,9 +445,10 @@ fn escalate(
     opts: &RepairOptions,
     healthy_table: &RouteTable,
     budget: &Budget,
+    cache: &RouteTableCache,
 ) -> Result<(Mapping, RepairReport), RepairError> {
     let (compact, to_orig) = degraded.compact();
-    let compact_table = RouteTable::try_new(&compact)?;
+    let compact_table = cache.get_or_build(&compact)?;
     let collapsed = tg.collapse();
     let (contraction, completion) =
         mwm_contract_budgeted(&collapsed, compact.num_procs(), bound, budget)?;

@@ -98,12 +98,22 @@ mod tests {
     use oregami_graph::Family;
     use oregami_mapper::routing::route_all_phases;
     use oregami_mapper::{Mapping, routing::Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable};
+    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
+    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
+        // the test module's cache idiom: one shared RouteTableCache, so
+        // repeated table lookups within (and across) tests hit instead of
+        // re-running the all-pairs BFS
+        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| RouteTableCache::new(8))
+            .get_or_build(net)
+            .expect("connected network")
+    }
 
     fn ring_on_ring(n: usize) -> (TaskGraph, Network, Mapping) {
         let tg = Family::Ring(n).build();
         let net = builders::ring(n);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment: Vec<ProcId> = (0..n).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         (tg, net, Mapping { assignment, routes })
@@ -130,7 +140,7 @@ mod tests {
     fn colocated_tasks_have_zero_dilation() {
         let tg = Family::Ring(4).build();
         let net = builders::ring(4);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };
@@ -147,7 +157,7 @@ mod tests {
         let p2 = tg.add_phase("heavy");
         tg.add_edge(p2, 0usize.into(), 1usize.into(), 100);
         let net = builders::ring(3);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment: Vec<ProcId> = (0..3).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };

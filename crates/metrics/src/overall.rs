@@ -173,10 +173,20 @@ mod tests {
     use oregami_graph::task_graph::Cost;
     use oregami_graph::{Family, PhaseId, ExecId};
     use oregami_mapper::routing::{route_all_phases, Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable};
+    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
+    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
+        // the test module's cache idiom: one shared RouteTableCache, so
+        // repeated table lookups within (and across) tests hit instead of
+        // re-running the all-pairs BFS
+        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| RouteTableCache::new(8))
+            .get_or_build(net)
+            .expect("connected network")
+    }
 
     fn routed(tg: &TaskGraph, net: &Network, assignment: Vec<ProcId>) -> Mapping {
-        let table = RouteTable::try_new(net).expect("connected network");
+        let table = shared_table(net);
         let routes = route_all_phases(tg, &assignment, net, &table, Matcher::Maximum);
         Mapping { assignment, routes }
     }

@@ -103,7 +103,17 @@ mod tests {
     use oregami_graph::{Family, PhaseExpr, PhaseId};
     use oregami_mapper::routing::{route_all_phases, Matcher};
     use oregami_mapper::Mapping;
-    use oregami_topology::{builders, ProcId, RouteTable};
+    use oregami_topology::{builders, Network, ProcId, RouteTable, RouteTableCache};
+    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
+        // the test module's cache idiom: one shared RouteTableCache, so
+        // repeated table lookups within (and across) tests hit instead of
+        // re-running the all-pairs BFS
+        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| RouteTableCache::new(8))
+            .get_or_build(net)
+            .expect("connected network")
+    }
 
     #[test]
     fn report_renders_all_sections() {
@@ -114,7 +124,7 @@ mod tests {
             PhaseExpr::Exec(work),
         ));
         let net = builders::hypercube(2);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment: Vec<ProcId> = vec![ProcId(0), ProcId(1), ProcId(3), ProcId(2)];
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = Mapping { assignment, routes };

@@ -180,7 +180,17 @@ mod tests {
     use oregami_graph::task_graph::Cost;
     use oregami_graph::{Family, PhaseId};
     use oregami_mapper::routing::{route_all_phases, Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable};
+    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
+    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
+        // the test module's cache idiom: one shared RouteTableCache, so
+        // repeated table lookups within (and across) tests hit instead of
+        // re-running the all-pairs BFS
+        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| RouteTableCache::new(8))
+            .get_or_build(net)
+            .expect("connected network")
+    }
 
     #[test]
     fn breakdown_reconciles_for_sequential_expressions() {
@@ -191,7 +201,7 @@ mod tests {
             3,
         ));
         let net = builders::ring(4);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = oregami_mapper::Mapping { assignment, routes };
@@ -216,7 +226,7 @@ mod tests {
         let b = tg.add_exec_phase("b", Cost::Uniform(7));
         tg.phase_expr = Some(PhaseExpr::par(PhaseExpr::Exec(a), PhaseExpr::Exec(b)));
         let net = builders::ring(4);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = oregami_mapper::Mapping { assignment, routes };
@@ -230,7 +240,7 @@ mod tests {
     fn no_phase_expr_no_timeline() {
         let tg = Family::Ring(4).build();
         let net = builders::ring(4);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment: Vec<ProcId> = (0..4).map(|i| ProcId(i as u32)).collect();
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         let mapping = oregami_mapper::Mapping { assignment, routes };

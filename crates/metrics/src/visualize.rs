@@ -108,12 +108,22 @@ mod tests {
     use super::*;
     use oregami_graph::Family;
     use oregami_mapper::routing::{route_all_phases, Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable};
+    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
+    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
+        // the test module's cache idiom: one shared RouteTableCache, so
+        // repeated table lookups within (and across) tests hit instead of
+        // re-running the all-pairs BFS
+        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| RouteTableCache::new(8))
+            .get_or_build(net)
+            .expect("connected network")
+    }
 
     fn setup() -> (TaskGraph, Network, Mapping) {
         let tg = Family::Ring(4).build();
         let net = builders::chain(2);
-        let table = RouteTable::try_new(&net).expect("connected network");
+        let table = shared_table(&net);
         let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)];
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         (tg, net, Mapping { assignment, routes })

@@ -264,6 +264,14 @@ impl DegradedNetwork {
         self.alive[p.index()]
     }
 
+    /// The per-processor liveness mask (indexed by `ProcId`). This is the
+    /// fault mask `cache::RouteTableCache` folds into its key alongside
+    /// the network's structural signature.
+    #[inline]
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
     /// Surviving processors in ascending order.
     pub fn alive_procs(&self) -> impl Iterator<Item = ProcId> + '_ {
         self.alive

@@ -20,15 +20,20 @@
 //!   meshes and tori, cube-connected cycles, de Bruijn networks;
 //! * [`fault`] — failed processors/links ([`fault::FaultSet`]) and the
 //!   degraded surviving machine ([`fault::DegradedNetwork`]) that mapping
-//!   repair and fault-aware metrics run against.
+//!   repair and fault-aware metrics run against;
+//! * [`cache`] — a shared LRU [`cache::RouteTableCache`] keyed by network
+//!   structure and fault mask, so the mapping engine, repair sweeps, and
+//!   interactive metrics stop rebuilding the same table.
 
 pub mod builders;
+pub mod cache;
 pub mod extended;
 pub mod fault;
 pub mod gray;
 pub mod network;
 pub mod routes;
 
+pub use cache::{CacheStats, RouteTableCache};
 pub use fault::{DegradedNetwork, FaultSet, TopologyError};
 pub use network::{LinkId, Network, ProcId, TopologyKind};
 pub use routes::RouteTable;

@@ -5,6 +5,7 @@
 use oregami_graph::Csr;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a processor in a [`Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -207,6 +208,24 @@ impl Network {
             .map(|(i, &(u, v))| (LinkId(i as u32), u, v))
     }
 
+    /// A structural signature of the network: a hash over the processor
+    /// count and the ordered link list. Two networks with the same
+    /// signature have the same routing structure (identical all-pairs
+    /// distances), which is what `cache::RouteTableCache` keys on. Names
+    /// and [`TopologyKind`] tags are deliberately excluded — a hand-built
+    /// `Custom` 3-cube routes identically to `builders::hypercube(3)`.
+    ///
+    /// `DefaultHasher` with fixed keys is used, so the signature is stable
+    /// within (and across) processes for a given link list.
+    pub fn structural_signature(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_procs.hash(&mut h);
+        for &(u, v) in &self.links {
+            (u.0, v.0).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Network diameter (None if disconnected).
     pub fn diameter(&self) -> Option<u32> {
         oregami_graph::traversal::diameter(&self.adj)
@@ -251,6 +270,20 @@ mod tests {
     fn missing_link_is_none() {
         let n = Network::from_links("path", TopologyKind::Custom, 3, vec![(0, 1), (1, 2)]);
         assert_eq!(n.link_between(ProcId(0), ProcId(2)), None);
+    }
+
+    #[test]
+    fn structural_signature_tracks_structure_not_names() {
+        let a = triangle();
+        let mut b = triangle();
+        b.name = "renamed".into();
+        b.kind = TopologyKind::Ring(3);
+        assert_eq!(a.structural_signature(), b.structural_signature());
+        let path = Network::from_links("path", TopologyKind::Custom, 3, vec![(0, 1), (1, 2)]);
+        assert_ne!(a.structural_signature(), path.structural_signature());
+        // more processors with the same links is a different structure
+        let wide = Network::from_links("wide", TopologyKind::Custom, 4, vec![(0, 1), (1, 2)]);
+        assert_ne!(path.structural_signature(), wide.structural_signature());
     }
 
     #[test]

@@ -45,15 +45,6 @@ impl RouteTable {
         Ok(RouteTable { n, dist })
     }
 
-    /// Panicking forerunner of [`RouteTable::try_new`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RouteTable::try_new`, which reports disconnection as a `TopologyError` instead of panicking"
-    )]
-    pub fn new(net: &Network) -> RouteTable {
-        RouteTable::try_new(net).expect("network is disconnected")
-    }
-
     /// Fault-aware construction: runs BFS from live processors only and
     /// requires every live pair to be mutually reachable. Rows/columns of
     /// dead processors read `u32::MAX` (except the trivial diagonal).
@@ -83,27 +74,41 @@ impl RouteTable {
         Ok(RouteTable { n, dist })
     }
 
-    /// Hop distance between two processors.
+    /// Hop distance between two processors. `u32::MAX` is the
+    /// *unreachable* sentinel, produced by masked (degraded) tables for
+    /// pairs involving a dead or partitioned processor.
     #[inline]
     pub fn dist(&self, u: ProcId, v: ProcId) -> u32 {
         self.dist[u.index() * self.n + v.index()]
     }
 
+    /// Whether `v` is reachable from `u` in this table.
+    #[inline]
+    pub fn reachable(&self, u: ProcId, v: ProcId) -> bool {
+        self.dist(u, v) != u32::MAX
+    }
+
     /// Neighbors of `from` that lie on some shortest path to `to`,
-    /// in increasing processor order. Empty iff `from == to`.
+    /// in increasing processor order. Empty iff `from == to` or `to` is
+    /// unreachable from `from` (the `u32::MAX` sentinel of masked
+    /// tables); the sentinel never enters the `dist + 1` arithmetic.
     pub fn next_hops(&self, net: &Network, from: ProcId, to: ProcId) -> Vec<ProcId> {
         if from == to {
             return Vec::new();
         }
         let d = self.dist(from, to);
+        if d == u32::MAX {
+            return Vec::new();
+        }
         net.neighbors(from)
-            .filter(|&w| self.dist(w, to) + 1 == d)
+            .filter(|&w| self.dist(w, to).checked_add(1) == Some(d))
             .collect()
     }
 
     /// Enumerates shortest paths from `src` to `dst` as processor sequences
     /// (inclusive of both endpoints), up to `cap` paths, in lexicographic
-    /// next-hop order. `src == dst` yields one trivial path.
+    /// next-hop order. `src == dst` yields one trivial path; an
+    /// unreachable `dst` yields no paths.
     pub fn all_shortest_paths(
         &self,
         net: &Network,
@@ -111,6 +116,9 @@ impl RouteTable {
         dst: ProcId,
         cap: usize,
     ) -> Vec<Vec<ProcId>> {
+        if !self.reachable(src, dst) {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         let mut prefix = vec![src];
         self.enumerate(net, src, dst, cap, &mut prefix, &mut out);
@@ -146,10 +154,14 @@ impl RouteTable {
     }
 
     /// Number of distinct shortest paths from `src` to `dst` (dynamic
-    /// programming over the shortest-path DAG; no enumeration).
+    /// programming over the shortest-path DAG; no enumeration). Zero when
+    /// `dst` is unreachable from `src`.
     pub fn count_shortest_paths(&self, net: &Network, src: ProcId, dst: ProcId) -> u64 {
         if src == dst {
             return 1;
+        }
+        if !self.reachable(src, dst) {
+            return 0;
         }
         // Order nodes by distance-to-dst and accumulate counts.
         let mut count = vec![0u64; self.n];
@@ -161,9 +173,14 @@ impl RouteTable {
             if count[u] == 0 {
                 continue;
             }
+            let du = self.dist(pu, dst);
+            if du == u32::MAX {
+                // unreachable nodes (masked tables) are not in the DAG
+                continue;
+            }
             // propagate to nodes one hop farther from dst
             for w in net.neighbors(pu) {
-                if self.dist(w, dst) == self.dist(pu, dst) + 1 {
+                if self.dist(w, dst) == du + 1 {
                     count[w.index()] += count[u];
                 }
             }
@@ -174,14 +191,24 @@ impl RouteTable {
     /// The deterministic first shortest path (always taking the
     /// lowest-numbered next hop). On a hypercube with our numbering this is
     /// dimension-ordered (e-cube) routing. Used as the contention-oblivious
-    /// baseline router.
+    /// baseline router. Empty when `dst` is unreachable from `src` (the
+    /// `u32::MAX` sentinel of masked tables); callers routing on degraded
+    /// networks must check for that before treating the result as a route.
     pub fn first_path(&self, net: &Network, src: ProcId, dst: ProcId) -> Vec<ProcId> {
+        if !self.reachable(src, dst) {
+            return Vec::new();
+        }
         let mut path = vec![src];
         let mut at = src;
         while at != dst {
             let mut hops = self.next_hops(net, at, dst);
             hops.sort();
-            at = hops[0];
+            match hops.first() {
+                Some(&w) => at = w,
+                // every intermediate node of a reachable pair has a next
+                // hop; this arm only guards masked-table inconsistencies
+                None => return Vec::new(),
+            }
             path.push(at);
         }
         path
@@ -303,20 +330,58 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_still_works_on_connected() {
+    fn try_new_works_on_connected() {
         let q = builders::hypercube(2);
-        let rt = RouteTable::new(&q);
+        let rt = RouteTable::try_new(&q).expect("connected network");
         assert_eq!(rt.dist(ProcId(0), ProcId(3)), 2);
+        assert!(rt.reachable(ProcId(0), ProcId(3)));
     }
 
     #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "network is disconnected")]
-    fn deprecated_new_panics_on_disconnected() {
+    fn try_new_errs_on_disconnected() {
         use crate::network::TopologyKind;
         let two = crate::Network::from_links("2islands", TopologyKind::Custom, 4, vec![(0, 1), (2, 3)]);
-        let _ = RouteTable::new(&two);
+        assert!(matches!(
+            RouteTable::try_new(&two),
+            Err(crate::TopologyError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_queries_return_empty_not_overflow() {
+        use crate::fault::FaultSet;
+        // kill proc 1 on a 2-cube: the masked table keeps 0<->1 at the
+        // u32::MAX sentinel; every query toward the corpse must come back
+        // empty/zero instead of wrapping `MAX + 1` (panic in debug).
+        let q = builders::hypercube(2);
+        let d = q.degrade(&FaultSet::new().with_proc(ProcId(1))).unwrap();
+        let rt = d.route_table().unwrap();
+        let dead = ProcId(1);
+        assert_eq!(rt.dist(ProcId(0), dead), u32::MAX);
+        assert!(!rt.reachable(ProcId(0), dead));
+        assert!(rt.next_hops(d.network(), ProcId(0), dead).is_empty());
+        assert!(rt.next_hops(d.network(), dead, ProcId(0)).is_empty());
+        assert!(rt.all_shortest_paths(d.network(), ProcId(0), dead, 10).is_empty());
+        assert_eq!(rt.count_shortest_paths(d.network(), ProcId(0), dead), 0);
+        assert_eq!(rt.count_shortest_paths(d.network(), dead, ProcId(0)), 0);
+        assert!(rt.first_path(d.network(), ProcId(0), dead).is_empty());
+        // live pairs still route around the corpse
+        assert_eq!(rt.dist(ProcId(0), ProcId(3)), 2);
+        let p = rt.first_path(d.network(), ProcId(0), ProcId(3));
+        assert_eq!(p.len(), 3);
+        assert!(!p.contains(&dead));
+    }
+
+    #[test]
+    fn dead_diagonal_is_trivially_reachable() {
+        use crate::fault::FaultSet;
+        let q = builders::hypercube(2);
+        let d = q.degrade(&FaultSet::new().with_proc(ProcId(1))).unwrap();
+        let rt = d.route_table().unwrap();
+        // masked tables keep the diagonal at 0 even for dead processors
+        assert_eq!(rt.dist(ProcId(1), ProcId(1)), 0);
+        assert!(rt.next_hops(d.network(), ProcId(1), ProcId(1)).is_empty());
+        assert_eq!(rt.count_shortest_paths(d.network(), ProcId(1), ProcId(1)), 1);
     }
 
     #[test]

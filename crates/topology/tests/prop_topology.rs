@@ -1,7 +1,9 @@
 //! Property-based validation of networks and route tables on random
 //! connected topologies (random spanning tree plus extra links).
 
-use oregami_topology::{Network, ProcId, RouteTable, TopologyKind};
+use oregami_topology::{
+    FaultSet, Network, ProcId, RouteTable, RouteTableCache, TopologyKind,
+};
 use proptest::prelude::*;
 
 /// A random connected network on `n` processors: a random spanning tree
@@ -115,6 +117,96 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// `all_shortest_paths` under an arbitrary (small) cap: never more
+    /// than `cap` paths, every path exactly `dist(src,dst)` hops, and no
+    /// duplicates — independent of how many shortest paths exist.
+    #[test]
+    fn all_shortest_paths_respects_arbitrary_cap(
+        n in 2usize..12,
+        extra in 0usize..8,
+        cap in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(n, extra, seed);
+        let rt = RouteTable::try_new(&net).expect("connected network");
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let (u, v) = (ProcId(u), ProcId(v));
+                let paths = rt.all_shortest_paths(&net, u, v, cap);
+                prop_assert!(paths.len() <= cap);
+                for p in &paths {
+                    prop_assert_eq!(p.len() as u32, rt.dist(u, v) + 1);
+                    prop_assert_eq!(p[0], u);
+                    prop_assert_eq!(*p.last().unwrap(), v);
+                    for w in p.windows(2) {
+                        prop_assert!(net.link_between(w[0], w[1]).is_some());
+                    }
+                }
+                let mut uniq = paths.clone();
+                uniq.sort();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), paths.len());
+            }
+        }
+    }
+
+    /// On a degraded machine, every query toward (or from) the dead
+    /// processor degrades gracefully: `u32::MAX` distance, empty hop sets,
+    /// empty path enumerations, zero path count — never an overflow.
+    #[test]
+    fn degraded_queries_never_overflow(
+        n in 3usize..12,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+        victim in 0u32..12,
+    ) {
+        let net = random_network(n, extra, seed);
+        let victim = ProcId(victim % n as u32);
+        let faults = FaultSet::new().with_proc(victim);
+        let degraded = net.degrade(&faults).expect("victim is in range");
+        // Killing `victim` may partition the survivors; that's a
+        // legitimate `Disconnected` error, not a property violation —
+        // skip those draws.
+        let Ok(rt) = degraded.route_table() else { return };
+        for u in (0..n as u32).map(ProcId) {
+            for (a, b) in [(u, victim), (victim, u)] {
+                if a == b {
+                    continue;
+                }
+                prop_assert_eq!(rt.dist(a, b), u32::MAX);
+                prop_assert!(!rt.reachable(a, b));
+                prop_assert!(rt.next_hops(&net, a, b).is_empty());
+                prop_assert!(rt.all_shortest_paths(&net, a, b, 8).is_empty());
+                prop_assert_eq!(rt.count_shortest_paths(&net, a, b), 0);
+                prop_assert!(rt.first_path(&net, a, b).is_empty());
+            }
+        }
+    }
+
+    /// The cache hands back tables identical to a direct build, for both
+    /// the healthy and the degraded machine, and repeat lookups hit.
+    #[test]
+    fn cache_agrees_with_direct_build(
+        n in 2usize..10,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let net = random_network(n, extra, seed);
+        let cache = RouteTableCache::new(4);
+        let direct = RouteTable::try_new(&net).expect("connected network");
+        let cached = cache.get_or_build(&net).expect("connected network");
+        let again = cache.get_or_build(&net).expect("connected network");
+        for u in (0..n as u32).map(ProcId) {
+            for v in (0..n as u32).map(ProcId) {
+                prop_assert_eq!(direct.dist(u, v), cached.dist(u, v));
+                prop_assert_eq!(again.dist(u, v), cached.dist(u, v));
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert!(stats.hits >= 1);
     }
 
     /// Link ids round-trip through endpoints in both orders.
