@@ -1,0 +1,163 @@
+//! Benchmarks the incremental METRICS engine against per-edit full
+//! recomputation, emitting `BENCH_incremental_metrics.json` (the CI
+//! bench-smoke artifact).
+//!
+//! ```sh
+//! cargo run --release -p oregami-bench --bin metrics_bench            # full
+//! cargo run --release -p oregami-bench --bin metrics_bench -- --quick
+//! ```
+//!
+//! The workload is a 100-edit interactive session (random task
+//! reassignments) over permutation traffic on a 256-processor hypercube.
+//! The incremental arm applies each edit through one [`MetricsEngine`],
+//! touching only the ledger entries the moved task's edges cross; the
+//! full-recompute arm re-runs batch `try_analyze_mapping` after every
+//! edit, the way the toolchain worked before the engine existed. Both
+//! arms end on byte-identical reports — the determinism check — and the
+//! session-level speedup must be at least 10x.
+
+use oregami::mapper::metrics_engine::{CostModel, Edit, MetricsEngine};
+use oregami::mapper::routing::{route_all_phases, Matcher};
+use oregami::mapper::Mapping;
+use oregami::metrics::{report_from_engine, try_analyze_mapping};
+use oregami::topology::{builders, ProcId, RouteTable};
+use oregami_bench::random_permutation_traffic;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Edits per session: enough that per-edit costs dominate session setup.
+const EDITS: usize = 100;
+
+/// The session's edit script: `EDITS` random reassignments, deterministic
+/// in the seed so every arm and every rep replays the same session.
+fn edit_script(num_tasks: usize, num_procs: usize, seed: u64) -> Vec<(usize, ProcId)> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..EDITS)
+        .map(|_| {
+            (
+                (next() % num_tasks as u64) as usize,
+                ProcId((next() % num_procs as u64) as u32),
+            )
+        })
+        .collect()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 7 };
+
+    let tg = random_permutation_traffic(256, 11);
+    let net = builders::hypercube(8);
+    let table = Arc::new(RouteTable::try_new(&net).expect("connected network"));
+    let model = CostModel::default();
+    let assignment: Vec<ProcId> = (0..tg.num_tasks()).map(|t| ProcId(t as u32)).collect();
+    let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
+    let mapping = Mapping { assignment, routes };
+    let script = edit_script(tg.num_tasks(), net.num_procs(), 23);
+
+    println!(
+        "metrics bench: perm256 on {}, {EDITS}-edit session, {reps} reps/arm",
+        net.name
+    );
+
+    // Incremental arm: one engine, apply + snapshot per edit.
+    let mut incr_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut engine =
+            MetricsEngine::try_new_with_table(&tg, &net, &mapping, &model, Arc::clone(&table))
+                .expect("mapping is valid");
+        for &(task, proc) in &script {
+            engine
+                .apply(Edit::Reassign { task, proc })
+                .expect("reassign on a healthy network");
+            std::hint::black_box(engine.snapshot());
+        }
+        incr_samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Full-recompute arm: mutate the mapping, then batch-analyze it from
+    // scratch after every edit (the pre-engine workflow).
+    let mut full_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut m = mapping.clone();
+        for &(task, proc) in &script {
+            m.reassign(&tg, &net, &table, task, proc);
+            std::hint::black_box(
+                try_analyze_mapping(&tg, &net, &m, &model).expect("edited mapping is valid"),
+            );
+        }
+        full_samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let incr_ms = median(&mut incr_samples);
+    let full_ms = median(&mut full_samples);
+    let speedup = full_ms / incr_ms;
+    println!("  incremental     median {incr_ms:8.3} ms/session");
+    println!("  full recompute  median {full_ms:8.3} ms/session");
+    println!("  speedup: {speedup:.1}x");
+
+    // Determinism: the incremental session's final report must be
+    // byte-identical to the full-recompute arm's final report, and to a
+    // from-scratch batch analysis of the engine's own final mapping.
+    let mut engine =
+        MetricsEngine::try_new_with_table(&tg, &net, &mapping, &model, Arc::clone(&table))
+            .expect("mapping is valid");
+    let mut m = mapping.clone();
+    for &(task, proc) in &script {
+        engine
+            .apply(Edit::Reassign { task, proc })
+            .expect("reassign on a healthy network");
+        m.reassign(&tg, &net, &table, task, proc);
+    }
+    let incremental_report = report_from_engine(&engine);
+    let replayed_report = try_analyze_mapping(&tg, &net, &m, &model).expect("valid");
+    let rebuilt_report =
+        try_analyze_mapping(&tg, &net, engine.mapping(), &model).expect("valid");
+    assert_eq!(
+        incremental_report, replayed_report,
+        "incremental and full-recompute sessions diverged"
+    );
+    assert_eq!(
+        incremental_report, rebuilt_report,
+        "incremental report diverged from batch analysis of its own mapping"
+    );
+    let determinism_ok = true;
+    println!("  determinism check (incremental vs full recompute, {EDITS} edits): ok");
+
+    assert!(
+        speedup >= 10.0,
+        "incremental engine must be at least 10x faster per session (got {speedup:.1}x)"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"incremental_metrics\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"random permutation traffic, 256 tasks on {}\",\n",
+        net.name
+    ));
+    json.push_str(&format!("  \"edits_per_session\": {EDITS},\n"));
+    json.push_str(&format!("  \"reps_per_arm\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"incremental_median_ms\": {incr_ms:.3},\n  \"full_recompute_median_ms\": {full_ms:.3},\n"
+    ));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"determinism_ok\": {determinism_ok}\n"));
+    json.push_str("}\n");
+
+    let path = "BENCH_incremental_metrics.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

@@ -17,8 +17,8 @@ use oregami::larcs::programs;
 use oregami::metrics::schedule;
 use oregami::topology::{builders, LinkId, Network, ProcId};
 use oregami::{
-    Budget, CostModel, FallbackChain, FaultSet, MapperOptions, Oregami, OregamiError,
-    RepairOptions,
+    Budget, CostModel, Edit, EditError, FallbackChain, FaultSet, MapperOptions, MetricsDelta,
+    Oregami, OregamiError, RepairOptions,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -45,6 +45,7 @@ struct Args {
     fallback: bool,
     chain: Option<String>,
     threads: usize,
+    edits: Option<String>,
 }
 
 /// CLI failure with a dedicated exit code per class, so scripts driving
@@ -129,6 +130,13 @@ fn usage() -> &'static str {
                               identity\n\
        --threads N            run fallback-chain stages on N worker threads\n\
                               (deterministic outcome; implies the engine path)\n\
+       --edits PATH           replay an edit script against the mapping through\n\
+                              the incremental METRICS engine, printing per-edit\n\
+                              metric deltas and the final session report.\n\
+                              Lines: reassign T P | reroute K E P0 P1.. |\n\
+                              fault proc:N link:N.. | undo | # comment\n\
+                              (budget flags bound the replay too; exit 6 when\n\
+                              the budget stops it early)\n\
        --list                 list built-in programs and exit\n\
      \n\
      EXIT CODES:\n\
@@ -223,6 +231,7 @@ fn parse_args() -> Result<Args, String> {
         fallback: false,
         chain: None,
         threads: 1,
+        edits: None,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -324,6 +333,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --threads value".to_string())?;
             }
+            "--edits" => args.edits = Some(next_val(&mut it, "--edits")?),
             "--fallback" => args.fallback = true,
             "--chain" => args.chain = Some(next_val(&mut it, "--chain")?),
             "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
@@ -340,6 +350,94 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// One line of an `--edits` script.
+enum ReplayOp {
+    Apply(Edit),
+    Undo,
+}
+
+/// Parses one non-blank, non-comment line of an edit script.
+fn parse_edit_line(line: &str) -> Result<ReplayOp, String> {
+    let mut tok = line.split_whitespace();
+    let op = tok.next().expect("caller skips blank lines");
+    let int = |s: Option<&str>, what: &str| -> Result<u32, String> {
+        s.ok_or_else(|| format!("missing {what}"))?
+            .parse()
+            .map_err(|_| format!("bad {what}"))
+    };
+    match op {
+        "reassign" => {
+            let task = int(tok.next(), "task id")? as usize;
+            let proc = ProcId(int(tok.next(), "processor id")?);
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'reassign T P'".into());
+            }
+            Ok(ReplayOp::Apply(Edit::Reassign { task, proc }))
+        }
+        "reroute" => {
+            let phase = int(tok.next(), "phase id")? as usize;
+            let edge = int(tok.next(), "edge id")? as usize;
+            let path: Vec<ProcId> = tok
+                .map(|t| {
+                    t.parse()
+                        .map(ProcId)
+                        .map_err(|_| format!("bad processor id '{t}'"))
+                })
+                .collect::<Result<_, _>>()?;
+            if path.is_empty() {
+                return Err("reroute needs a path of processor ids".into());
+            }
+            Ok(ReplayOp::Apply(Edit::Reroute { phase, edge, path }))
+        }
+        "fault" => {
+            let mut faults = FaultSet::new();
+            let mut any = false;
+            for t in tok {
+                any = true;
+                if let Some(id) = t.strip_prefix("proc:") {
+                    faults.fail_proc(ProcId(
+                        id.parse().map_err(|_| format!("bad processor id '{t}'"))?,
+                    ));
+                } else if let Some(id) = t.strip_prefix("link:") {
+                    faults.fail_link(LinkId(
+                        id.parse().map_err(|_| format!("bad link id '{t}'"))?,
+                    ));
+                } else {
+                    return Err(format!("expected proc:<id> or link:<id>, got '{t}'"));
+                }
+            }
+            if !any {
+                return Err("fault needs at least one proc:<id> or link:<id>".into());
+            }
+            Ok(ReplayOp::Apply(Edit::Fault(faults)))
+        }
+        "undo" => {
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'undo'".into());
+            }
+            Ok(ReplayOp::Undo)
+        }
+        other => Err(format!(
+            "unknown edit '{other}' (expected reassign, reroute, fault, undo)"
+        )),
+    }
+}
+
+/// One compact line summarising what an edit changed.
+fn delta_line(d: &MetricsDelta) -> String {
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+    format!(
+        "  max-volume {} -> {}  max-dilation {} -> {}  completion {} -> {}  ({} ledger entries touched)",
+        d.before.max_link_volume,
+        d.after.max_link_volume,
+        d.before.max_dilation,
+        d.after.max_dilation,
+        opt(d.before.completion_time),
+        opt(d.after.completion_time),
+        d.edges_touched
+    )
 }
 
 fn run() -> Result<ExitCode, CliError> {
@@ -418,6 +516,62 @@ fn run() -> Result<ExitCode, CliError> {
     }
     println!();
     println!("{}", result.metrics.render());
+
+    // Interactive replay: apply an edit script through the incremental
+    // METRICS engine, printing the per-edit deltas the paper's GUI showed
+    // after each mouse-driven modification.
+    let mut replay_degraded = false;
+    if let Some(path) = &args.edits {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+        let mut session = system.interactive(&result)?;
+        let mut replay_budget = Budget::unlimited();
+        if let Some(ms) = args.deadline_ms {
+            replay_budget = replay_budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(steps) = args.max_steps {
+            replay_budget = replay_budget.with_max_steps(steps);
+        }
+        println!("-- interactive replay from {path} --");
+        'replay: for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let n = lineno + 1;
+            let op = parse_edit_line(line).map_err(|e| CliError::Usage(format!("{path}:{n}: {e}")))?;
+            match op {
+                ReplayOp::Undo => match session.undo() {
+                    Some(delta) => {
+                        println!("{path}:{n}: undo");
+                        println!("{}", delta_line(&delta));
+                    }
+                    None => println!("{path}:{n}: undo (nothing to undo)"),
+                },
+                ReplayOp::Apply(edit) => {
+                    println!("{path}:{n}: {edit}");
+                    match session.apply_budgeted(edit, &replay_budget) {
+                        Ok(delta) => println!("{}", delta_line(&delta)),
+                        Err(EditError::Budget(c)) => {
+                            session.annotate(format!(
+                                "replay stopped early at {path}:{n}: {c}"
+                            ));
+                            replay_degraded = true;
+                            break 'replay;
+                        }
+                        Err(e) => {
+                            return Err(CliError::Usage(format!("{path}:{n}: {e}")));
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "replayed {} edit(s); final session state:",
+            session.edit_log().len()
+        );
+        println!("{}", session.report().render());
+    }
 
     if !args.fail_procs.is_empty() || !args.fail_links.is_empty() {
         let mut faults = FaultSet::new();
@@ -522,7 +676,7 @@ fn run() -> Result<ExitCode, CliError> {
         std::fs::write(&path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("network heat view written to {path}");
     }
-    if result.is_degraded() {
+    if result.is_degraded() || replay_degraded {
         // served, but a budget cut the search short: dedicated exit code
         // so scripts can tell "best possible" from "best we had time for"
         return Ok(ExitCode::from(6));

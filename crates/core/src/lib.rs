@@ -58,7 +58,9 @@ pub use oregami_mapper::{
     MapperReport, Mapping, MappingError, Parallelism, RepairError, RepairOptions, RepairReport,
     StageKind, Strategy,
 };
-pub use oregami_metrics::{CostModel, MetricsReport};
+pub use oregami_metrics::{
+    CostModel, Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine, MetricsReport,
+};
 pub use oregami_topology::{
     CacheStats, DegradedNetwork, FaultSet, Network, RouteTableCache, TopologyError,
 };
@@ -101,6 +103,105 @@ pub struct FaultRecovery {
     pub repair: RepairReport,
     /// METRICS recomputed on the degraded network.
     pub metrics: MetricsReport,
+}
+
+/// One applied edit (or undo) in an [`InteractiveSession`]'s log.
+#[derive(Clone, Debug)]
+pub struct EditRecord {
+    /// The edit's display form (`reassign task 3 -> proc 1`, `undo`, …).
+    pub description: String,
+    /// The metric values before/after and the ledger entries touched.
+    pub delta: MetricsDelta,
+}
+
+/// A live METRICS session over one mapped result — the paper §5 loop
+/// ("the user modifies the mapping and the metrics are recomputed") as an
+/// API. Holds the incremental [`MetricsEngine`], the log of applied
+/// edits, and free-form annotations folded into every rendered report.
+///
+/// Obtain one from [`Oregami::interactive`]; the session borrows the
+/// toolchain instance and the result it was opened on.
+pub struct InteractiveSession<'a> {
+    engine: MetricsEngine<'a>,
+    log: Vec<EditRecord>,
+    annotations: Vec<String>,
+}
+
+impl InteractiveSession<'_> {
+    /// Applies one edit, logging it; returns the metric delta. A rejected
+    /// edit leaves the session (and the log) unchanged.
+    pub fn apply(&mut self, edit: Edit) -> Result<MetricsDelta, EditError> {
+        let description = edit.to_string();
+        let delta = self.engine.apply(edit)?;
+        self.log.push(EditRecord {
+            description,
+            delta: delta.clone(),
+        });
+        Ok(delta)
+    }
+
+    /// Applies one edit under an execution budget: the budget is polled
+    /// before the edit and charged per ledger entry touched, so a replay
+    /// can be deadline-bounded like any other search.
+    pub fn apply_budgeted(&mut self, edit: Edit, budget: &Budget) -> Result<MetricsDelta, EditError> {
+        let description = edit.to_string();
+        let delta = self.engine.apply_budgeted(edit, budget)?;
+        self.log.push(EditRecord {
+            description,
+            delta: delta.clone(),
+        });
+        Ok(delta)
+    }
+
+    /// Reverts the most recent not-yet-undone edit, logging the reversal;
+    /// `None` when nothing is left to undo.
+    pub fn undo(&mut self) -> Option<MetricsDelta> {
+        let delta = self.engine.undo()?;
+        self.log.push(EditRecord {
+            description: "undo".to_string(),
+            delta: delta.clone(),
+        });
+        Some(delta)
+    }
+
+    /// Appends a free-form note rendered at the end of every
+    /// [`report`](InteractiveSession::report).
+    pub fn annotate(&mut self, note: impl Into<String>) {
+        self.annotations.push(note.into());
+    }
+
+    /// The full METRICS report for the session's current state, with the
+    /// session's annotations attached.
+    pub fn report(&self) -> MetricsReport {
+        let mut report = oregami_metrics::report_from_engine(&self.engine);
+        report.annotations = self.annotations.clone();
+        report
+    }
+
+    /// The current derived metric values (cheap; no report assembly).
+    pub fn snapshot(&self) -> MetricSnapshot {
+        self.engine.snapshot()
+    }
+
+    /// The mapping as edited so far.
+    pub fn mapping(&self) -> &Mapping {
+        self.engine.mapping()
+    }
+
+    /// The network as edited so far (fault edits shrink it).
+    pub fn network(&self) -> &Network {
+        self.engine.network()
+    }
+
+    /// Every edit applied (and undo performed) this session, in order.
+    pub fn edit_log(&self) -> &[EditRecord] {
+        &self.log
+    }
+
+    /// How many edits are currently revertible.
+    pub fn undo_depth(&self) -> usize {
+        self.engine.undo_depth()
+    }
 }
 
 /// Any failure along the pipeline.
@@ -274,6 +375,36 @@ impl Oregami {
         })
     }
 
+    /// Opens an interactive METRICS session on a mapped result: edits
+    /// ([`Edit::Reassign`] / [`Edit::Reroute`] / [`Edit::Fault`]) apply
+    /// incrementally with per-edit metric deltas and undo, and
+    /// [`InteractiveSession::report`] reads the full suite at any point.
+    /// The engine's route table is seeded from the instance's shared
+    /// cache, so opening a session never re-runs all-pairs routing on a
+    /// machine the toolchain has already seen.
+    pub fn interactive<'a>(
+        &'a self,
+        result: &'a OregamiResult,
+    ) -> Result<InteractiveSession<'a>, OregamiError> {
+        let table = self
+            .cache
+            .get_or_build(&self.network)
+            .map_err(oregami_mapper::MapError::from)?;
+        let engine = MetricsEngine::try_new_with_table(
+            &result.task_graph,
+            &self.network,
+            &result.report.mapping,
+            &self.cost_model,
+            table,
+        )
+        .map_err(|e| OregamiError::Map(oregami_mapper::MapError::Mapping(e)))?;
+        Ok(InteractiveSession {
+            engine,
+            log: Vec::new(),
+            annotations: Vec::new(),
+        })
+    }
+
     /// Maps an already-built task graph.
     pub fn map_graph(&self, task_graph: TaskGraph) -> Result<OregamiResult, OregamiError> {
         let table = self
@@ -330,6 +461,7 @@ impl Oregami {
         let config = EngineConfig {
             parallelism: self.parallelism,
             cache: Some(Arc::clone(&self.cache)),
+            cost_model: self.cost_model.clone(),
         };
         let outcome = oregami_mapper::run_engine_with(
             &task_graph,
@@ -458,6 +590,59 @@ mod tests {
             err,
             OregamiError::Repair(RepairError::Topology(TopologyError::Disconnected { .. }))
         ));
+    }
+
+    #[test]
+    fn interactive_session_applies_edits_and_reports() {
+        use oregami_topology::ProcId;
+        let sys = Oregami::new(builders::hypercube(3));
+        let r = sys
+            .map_source(
+                &larcs::programs::nbody(),
+                &[("n", 16), ("s", 2), ("msgsize", 4)],
+            )
+            .unwrap();
+        let mut session = sys.interactive(&r).unwrap();
+        // before any edit the session reads back the batch report exactly
+        assert_eq!(session.report(), r.metrics);
+        let before = session.snapshot();
+        let delta = session
+            .apply(Edit::Reassign {
+                task: 0,
+                proc: ProcId(7),
+            })
+            .unwrap();
+        assert_eq!(delta.before, before);
+        assert_eq!(session.edit_log().len(), 1);
+        assert_eq!(session.mapping().assignment[0], ProcId(7));
+        // the incremental report equals a from-scratch recompute
+        let recomputed = metrics::try_analyze_mapping(
+            &r.task_graph,
+            session.network(),
+            session.mapping(),
+            &CostModel::default(),
+        )
+        .unwrap();
+        assert_eq!(session.report(), recomputed);
+        // undo restores the pre-edit figures and is itself logged
+        assert_eq!(session.undo(), Some(MetricsDelta {
+            before: delta.after,
+            after: before,
+            edges_touched: delta.edges_touched,
+        }));
+        assert_eq!(session.snapshot(), before);
+        assert_eq!(session.edit_log().len(), 2);
+        assert_eq!(session.undo_depth(), 0);
+        // rejected edits change nothing and are not logged
+        assert!(session
+            .apply(Edit::Reassign {
+                task: 999,
+                proc: ProcId(0)
+            })
+            .is_err());
+        assert_eq!(session.edit_log().len(), 2);
+        session.annotate("probe");
+        assert!(session.report().render().contains("note: probe"));
     }
 
     #[test]

@@ -91,6 +91,59 @@ fn bad_arguments_fail_cleanly() {
 }
 
 #[test]
+fn edits_replay_prints_deltas_and_final_report() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-edits-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("session.edits");
+    std::fs::write(
+        &script,
+        "# probe a migration, revert it, then commit it\n\
+         reassign 0 7\n\
+         undo\n\
+         reassign 0 7\n",
+    )
+    .unwrap();
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("interactive replay"), "{text}");
+    assert!(text.contains("reassign task 0 -> proc 7"), "{text}");
+    assert!(text.contains("ledger entries touched"), "{text}");
+    assert!(text.contains("replayed 3 edit(s)"), "{text}");
+    // initial report + final session report
+    assert_eq!(text.matches("== METRICS ==").count(), 2, "{text}");
+
+    // malformed and invalid scripts are usage errors with line positions
+    std::fs::write(&script, "reassign 0 banana\n").unwrap();
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":1:"));
+    std::fs::write(&script, "reassign 999 0\n").unwrap();
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn fault_injection_repairs_and_reports() {
     let out = oregami()
         .args([

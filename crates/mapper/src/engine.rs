@@ -7,9 +7,12 @@
 //! or (defensively) panic. [`run_engine`] closes that gap: it runs the
 //! stages of a [`FallbackChain`] in priority order under one shared
 //! [`Budget`], isolates each stage behind `catch_unwind`, collects every
-//! stage's candidate mapping, and serves the cheapest one by weighted
-//! dilation cost. The [`EngineReport`] records which stages ran, why each
-//! one stopped, and how much time and budget each consumed.
+//! stage's candidate mapping, and serves the cheapest one under the
+//! METRICS cost model ([`crate::metrics_engine::MetricsEngine::scalar_cost`]
+//! with [`EngineConfig::cost_model`]) — so the served candidate and the
+//! metrics reported for it always agree. The [`EngineReport`] records
+//! which stages ran, why each one stopped, and how much time and budget
+//! each consumed.
 //!
 //! Chain semantics:
 //!
@@ -39,8 +42,9 @@
 
 use crate::budget::{Budget, CancelToken, Completion};
 use crate::contraction::mwm_contract_budgeted;
-use crate::embedding::{exhaustive_embed_budgeted, weighted_dilation_cost};
+use crate::embedding::exhaustive_embed_budgeted;
 use crate::mapping::Mapping;
+use crate::metrics_engine::{CostModel, MetricsEngine};
 use crate::pipeline::{
     clusters_to_procs, collapse_for, contraction_from_assignment, finish,
     map_task_graph_budgeted_with_table, MapError, MapperOptions, MapperReport, Strategy,
@@ -200,6 +204,9 @@ pub struct EngineConfig {
     /// spares the per-stage rebuilds within one chain; pass a shared
     /// cache (as `core::Oregami` does) to also reuse tables across runs.
     pub cache: Option<Arc<RouteTableCache>>,
+    /// The METRICS cost model candidates are ranked under — the same
+    /// model the metrics report for the served mapping uses.
+    pub cost_model: CostModel,
 }
 
 impl EngineConfig {
@@ -208,7 +215,14 @@ impl EngineConfig {
         EngineConfig {
             parallelism: Parallelism::Sequential,
             cache: Some(cache),
+            cost_model: CostModel::default(),
         }
+    }
+
+    /// Sets the cost model candidates are ranked under.
+    pub fn with_cost_model(mut self, model: CostModel) -> EngineConfig {
+        self.cost_model = model;
+        self
     }
 
     /// Sets the scheduling mode.
@@ -251,7 +265,8 @@ pub struct StageReport {
     pub elapsed: Duration,
     /// Budget steps the stage consumed.
     pub steps: u64,
-    /// Weighted dilation cost of its candidate (candidates only).
+    /// METRICS scalar cost of its candidate under the engine's cost
+    /// model (candidates only).
     pub cost: Option<u64>,
 }
 
@@ -330,6 +345,17 @@ pub struct EngineOutcome {
     pub engine: EngineReport,
 }
 
+/// The single ranking the chain serves by: the METRICS engine's scalar
+/// cost of the candidate (completion time when the graph declares a phase
+/// expression, else the summed per-phase communication slot costs), under
+/// the configured cost model. A candidate the metrics engine rejects
+/// ranks last rather than failing the chain.
+fn candidate_cost(tg: &TaskGraph, net: &Network, mapping: &Mapping, model: &CostModel) -> u64 {
+    MetricsEngine::try_new(tg, net, mapping, model)
+        .map(|e| e.scalar_cost())
+        .unwrap_or(u64::MAX)
+}
+
 /// Runs the fallback chain on `tg`/`net` under `budget` and serves the
 /// cheapest candidate, sequentially with a private route-table cache.
 /// See the module docs for the chain semantics;
@@ -367,7 +393,9 @@ pub fn run_engine_with(
         .cache
         .clone()
         .unwrap_or_else(|| Arc::new(RouteTableCache::new(4)));
-    let table = cache.get_or_build(net)?;
+    // Warm the cache (one build, every stage hits) and fail fast on a
+    // disconnected network before any stage spends budget.
+    cache.get_or_build(net)?;
     let start = Instant::now();
 
     let workers = config.parallelism.workers_for(chain.stages.len());
@@ -410,8 +438,7 @@ pub fn run_engine_with(
         }
         match outcome {
             RawOutcome::Candidate(report, completion) => {
-                let cost =
-                    weighted_dilation_cost(&report.collapsed, &report.mapping.assignment, &table);
+                let cost = candidate_cost(tg, net, &report.mapping, &config.cost_model);
                 worst_completion = worst_completion.worst(completion);
                 if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
                     best = Some((report, cost, stages.len()));

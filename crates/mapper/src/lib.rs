@@ -39,6 +39,7 @@ pub mod dynamic;
 pub mod embedding;
 pub mod engine;
 pub mod mapping;
+pub mod metrics_engine;
 pub mod pipeline;
 pub mod remap;
 pub mod repair;
@@ -58,6 +59,7 @@ pub use engine::{
     Parallelism, StageKind, StageReport, StageStatus,
 };
 pub use mapping::{Mapping, MappingError};
+pub use metrics_engine::{CostModel, Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine};
 pub use pipeline::{
     map_task_graph, map_task_graph_budgeted, map_task_graph_budgeted_with_table, MapError,
     MapperOptions, MapperReport, Strategy,

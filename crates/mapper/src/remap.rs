@@ -16,15 +16,21 @@
 //! per-phase:        Σ_k  comm_k(assignment_k) + state·Σ dist(move_k)
 //! ```
 //!
-//! [`compare`] evaluates both sides under the METRICS-style cost model —
-//! the crossover as `state_volume` grows is the `remap` ablation bench.
+//! [`compare`] evaluates both sides under the METRICS cost model — the
+//! crossover as `state_volume` grows is the `remap` ablation bench. Both
+//! sides are costed by one incremental [`MetricsEngine`]: the per-phase
+//! side walks the schedule by applying [`Edit::Reassign`] for each task
+//! that migrates and [`Edit::Reroute`] for the matcher's routes, reading
+//! each phase's comm slot cost as it goes.
 
 use crate::contraction::mwm_contract;
 use crate::embedding::nn_embed;
 use crate::mapping::Mapping;
-use crate::routing::{mm_route, Matcher};
+use crate::metrics_engine::{CostModel, Edit, MetricsEngine};
+use crate::routing::{mm_route, route_all_phases, Matcher};
 use oregami_graph::{PhaseId, TaskGraph};
 use oregami_topology::{Network, ProcId, RouteTable};
+use std::sync::Arc;
 
 /// One assignment per communication phase, plus the migration volumes
 /// between consecutive phases of the (flattened) phase order.
@@ -35,8 +41,8 @@ pub struct PhaseRemapping {
     /// `migration_hops[k]` = total `state · hops` moved when switching
     /// from phase `k` to phase `k+1` (cyclically, as phases repeat).
     pub migration_hops: Vec<u64>,
-    /// Per-phase communication cost (max-link volume + hops, as in the
-    /// METRICS comm model with unit parameters).
+    /// Per-phase communication cost — the [`MetricsEngine`] comm slot
+    /// cost of phase `k` under `assignments[k]` (unit cost model).
     pub comm_cost: Vec<u64>,
 }
 
@@ -52,10 +58,9 @@ pub fn per_phase_remap(
     bound: usize,
     state_volume: u64,
 ) -> Result<PhaseRemapping, crate::contraction::ContractError> {
-    let table = RouteTable::try_new(net).expect("connected network");
+    let table = Arc::new(RouteTable::try_new(net).expect("connected network"));
     let procs = net.num_procs();
     let mut assignments = Vec::with_capacity(tg.num_phases());
-    let mut comm_cost = Vec::with_capacity(tg.num_phases());
     for k in 0..tg.num_phases() {
         // single-phase view of the graph
         let single = tg.collapse_weighted(|ph| if ph == PhaseId::new(k) { 1 } else { 0 });
@@ -68,9 +73,39 @@ pub fn per_phase_remap(
             .iter()
             .map(|&c| placement[c])
             .collect();
-        let routed = mm_route(tg, k, &assignment, net, &table, Matcher::Maximum);
-        comm_cost.push(phase_comm_cost(net, &routed.paths, tg, k));
         assignments.push(assignment);
+    }
+    // Cost every phase with one engine walked along the schedule: start
+    // from phase 0's fully routed mapping, then for each later phase
+    // apply only the reassignments that differ and install the matcher's
+    // routes for that phase — each step touches only the ledger entries
+    // the migrations and reroutes cross.
+    let mut comm_cost = Vec::with_capacity(tg.num_phases());
+    if tg.num_phases() > 0 {
+        let m0 = Mapping {
+            assignment: assignments[0].clone(),
+            routes: route_all_phases(tg, &assignments[0], net, &table, Matcher::Maximum),
+        };
+        let mut engine =
+            MetricsEngine::try_new_with_table(tg, net, &m0, &CostModel::default(), Arc::clone(&table))
+                .expect("per-phase mapping is valid on its own network");
+        comm_cost.push(engine.comm_slot_cost(0));
+        for (k, target) in assignments.iter().enumerate().skip(1) {
+            for (t, &proc) in target.iter().enumerate() {
+                if engine.mapping().assignment[t] != proc {
+                    engine
+                        .apply(Edit::Reassign { task: t, proc })
+                        .expect("migration stays on the healthy connected network");
+                }
+            }
+            let routed = mm_route(tg, k, target, net, &table, Matcher::Maximum);
+            for (i, path) in routed.paths.into_iter().enumerate() {
+                engine
+                    .apply(Edit::Reroute { phase: k, edge: i, path })
+                    .expect("matcher route is valid for the phase assignment");
+            }
+            comm_cost.push(engine.comm_slot_cost(k));
+        }
     }
     // migration between consecutive phases (cyclic: the schedule repeats)
     let mut migration_hops = Vec::with_capacity(tg.num_phases());
@@ -86,21 +121,6 @@ pub fn per_phase_remap(
         migration_hops,
         comm_cost,
     })
-}
-
-/// The METRICS-style cost of one routed phase (unit cost model: max link
-/// volume + longest route hops).
-fn phase_comm_cost(net: &Network, paths: &[Vec<ProcId>], tg: &TaskGraph, k: usize) -> u64 {
-    let mut link_volume = vec![0u64; net.num_links()];
-    let mut max_hops = 0u64;
-    for (i, e) in tg.comm_phases[k].edges.iter().enumerate() {
-        let path = &paths[i];
-        max_hops = max_hops.max(path.len() as u64 - 1);
-        for w in path.windows(2) {
-            link_volume[net.link_between(w[0], w[1]).expect("valid route").index()] += e.volume;
-        }
-    }
-    link_volume.iter().max().copied().unwrap_or(0) + max_hops
 }
 
 /// Side-by-side totals for one pass over all phases.
@@ -130,8 +150,10 @@ pub fn compare(
     bound: usize,
     state_volume: u64,
 ) -> Result<RemapComparison, crate::contraction::ContractError> {
+    let engine = MetricsEngine::try_new(tg, net, mapping, &CostModel::default())
+        .expect("mapping must be valid for remap comparison");
     let single_mapping_cost = (0..tg.num_phases())
-        .map(|k| phase_comm_cost(net, &mapping.routes[k], tg, k))
+        .map(|k| engine.comm_slot_cost(k))
         .sum();
     let remap = per_phase_remap(tg, net, bound, state_volume)?;
     Ok(RemapComparison {

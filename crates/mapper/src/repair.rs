@@ -12,8 +12,10 @@
 //! 2. **Migrate** (processor faults move tasks): tasks hosted on dead
 //!    processors move to surviving ones, chosen greedily to minimise the
 //!    task's communication affinity (volume × surviving-network distance
-//!    to its neighbors' hosts) under the load bound. The cost charged per
-//!    migration follows the [`crate::remap`] model: `state_volume ·
+//!    to its neighbors' hosts) under the load bound, then refined by a
+//!    probe-improve pass that re-costs each candidate home exactly via
+//!    incremental [`MetricsEngine`] apply+undo probes. The cost charged
+//!    per migration follows the [`crate::remap`] model: `state_volume ·
 //!    hops`, with hops measured on the *healthy* network — the proxy for
 //!    shipping the task's checkpointed state from stable storage along
 //!    the route it originally occupied.
@@ -30,12 +32,14 @@ use crate::budget::{Budget, Completion};
 use crate::contraction::{mwm_contract_budgeted, ContractError};
 use crate::embedding::nn_embed;
 use crate::mapping::{Mapping, MappingError};
+use crate::metrics_engine::{CostModel, Edit, MetricsEngine};
 use crate::routing::{route_all_phases, Matcher};
 use oregami_graph::TaskGraph;
 use oregami_topology::{
     DegradedNetwork, Network, ProcId, RouteTable, RouteTableCache, TopologyError,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Tuning knobs for repair.
 #[derive(Clone, Debug)]
@@ -191,10 +195,12 @@ pub fn repair_mapping(
 }
 
 /// [`repair_mapping`] under an execution budget: one step is charged per
-/// displaced task whose new home is scored by communication affinity.
-/// When the budget trips, the remaining displaced tasks are placed on
-/// the least-loaded surviving processor instead (load-only, no affinity
-/// scan), and escalation's re-contraction degrades the same way
+/// displaced task whose new home is scored by communication affinity,
+/// and one more per migrated task the probe-improve pass re-examines
+/// with exact [`MetricsEngine`] deltas. When the budget trips, the
+/// remaining displaced tasks are placed on the least-loaded surviving
+/// processor instead (load-only, no affinity scan), the improve pass
+/// stops, and escalation's re-contraction degrades the same way
 /// [`mwm_contract_budgeted`] does. The repaired mapping is always
 /// complete and valid; [`RepairReport::completion`] records the cut.
 pub fn repair_mapping_budgeted(
@@ -324,7 +330,6 @@ pub fn repair_mapping_cached(
         .map(|t| assignment[t] != mapping.assignment[t])
         .collect();
     let mut routes = mapping.routes.clone();
-    let mut edges_rerouted = 0usize;
     for (k, phase) in tg.comm_phases.iter().enumerate() {
         for (i, e) in phase.edges.iter().enumerate() {
             let endpoint_moved = moved[e.src.index()] || moved[e.dst.index()];
@@ -332,27 +337,95 @@ pub fn repair_mapping_cached(
                 let from = assignment[e.src.index()];
                 let to = assignment[e.dst.index()];
                 routes[k][i] = degraded_table.first_path(degraded.network(), from, to);
-                edges_rerouted += 1;
             }
         }
     }
 
-    let migration_cost: u64 = migrated
-        .iter()
-        .map(|&(_, old, new)| u64::from(healthy_table.dist(old, new)) * opts.state_volume)
-        .sum();
-
-    let repaired = Mapping {
-        assignment,
-        routes,
-    };
+    let mut repaired = Mapping { assignment, routes };
     repaired.validate(tg, degraded.network())?;
+
+    // ---- probe-improve: refine the greedy homes with exact deltas ----
+    // The affinity score ranks candidate homes without contention or
+    // slot-cost awareness. With the incremental METRICS engine, the exact
+    // scalar cost of a candidate migration is one apply+undo probe, so
+    // each migrated task re-examines every surviving processor under the
+    // load bound and keeps a strictly better home when one exists.
+    if !migrated.is_empty() && completion == Completion::Optimal {
+        let mut improved = 0usize;
+        repaired = {
+            let mut engine = MetricsEngine::try_new_with_table(
+                tg,
+                degraded.network(),
+                &repaired,
+                &CostModel::default(),
+                Arc::clone(&degraded_table),
+            )?;
+            let mut cur_cost = engine.scalar_cost();
+            for &(t, _, _) in &migrated {
+                if let Some(c) = budget.tick() {
+                    completion = c;
+                    notes.push(
+                        "improve budget exhausted: remaining migrated tasks keep greedy homes"
+                            .into(),
+                    );
+                    break;
+                }
+                let cur = engine.mapping().assignment[t];
+                let mut best: Option<(u64, ProcId)> = None;
+                for p in degraded.alive_procs() {
+                    if p == cur || load[p.index()] >= bound {
+                        continue;
+                    }
+                    if engine.apply(Edit::Reassign { task: t, proc: p }).is_ok() {
+                        let cost = engine.scalar_cost();
+                        engine.undo();
+                        if cost < cur_cost && best.is_none_or(|b| (cost, p) < b) {
+                            best = Some((cost, p));
+                        }
+                    }
+                }
+                if let Some((cost, p)) = best {
+                    engine
+                        .apply(Edit::Reassign { task: t, proc: p })
+                        .expect("probed edit re-applies");
+                    load[cur.index()] -= 1;
+                    load[p.index()] += 1;
+                    cur_cost = cost;
+                    improved += 1;
+                }
+            }
+            engine.into_mapping()
+        };
+        if improved > 0 {
+            notes.push(format!(
+                "probe-improve moved {improved} migrated task(s) to metric-cheaper homes"
+            ));
+        }
+    }
+
+    // Final figures by diff against the pre-fault mapping, so the
+    // probe-improve pass is accounted for.
+    let tasks_migrated = (0..n)
+        .filter(|&t| repaired.assignment[t] != mapping.assignment[t])
+        .count();
+    let migration_cost: u64 = (0..n)
+        .map(|t| {
+            u64::from(healthy_table.dist(mapping.assignment[t], repaired.assignment[t]))
+                * opts.state_volume
+        })
+        .sum();
+    let edges_rerouted = repaired
+        .routes
+        .iter()
+        .zip(&mapping.routes)
+        .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x != y).count())
+        .sum();
 
     let (avg_dilation_after, max_contention_after) =
         route_stats(degraded.network(), &repaired.routes);
     let report = RepairReport {
         edges_rerouted,
-        tasks_migrated: migrated.len(),
+        tasks_migrated,
         migration_cost,
         escalated: false,
         avg_dilation_before,

@@ -16,15 +16,22 @@
 //!   synchronous cost model driven by the phase expression, and total
 //!   interprocessor communication ([`overall`]).
 //!
-//! Interactive modification is exposed programmatically: edit the mapping
-//! with [`oregami_mapper::Mapping::reassign`] / `reroute` and call
-//! [`analyze_mapping`] again — the same loop the mouse-driven tool ran.
+//! All of these are views over the incremental [`MetricsEngine`], which
+//! owns per-phase link ledgers and per-processor compute ledgers and
+//! recomputes only what an edit touches. Interactive modification — the
+//! loop the mouse-driven tool ran — is [`MetricsEngine::apply`] with a
+//! [`Reassign`](Edit::Reassign) / [`Reroute`](Edit::Reroute) /
+//! [`Fault`](Edit::Fault) edit, which returns the metric delta and
+//! supports [`undo`](MetricsEngine::undo); batch analysis
+//! ([`analyze_mapping`]) is "build the engine, read the report".
 
 pub mod links;
 pub mod load;
 pub mod overall;
 pub mod report;
 pub mod schedule;
+#[cfg(test)]
+mod testutil;
 pub mod timeline;
 pub mod visualize;
 
@@ -36,9 +43,24 @@ pub use schedule::{local_directives, synchrony_sets, ProcessorDirective, Synchro
 pub use timeline::{timeline, Timeline, TimelineRow};
 pub use visualize::{mapping_to_dot, network_to_dot};
 
+pub use oregami_mapper::metrics_engine::{
+    Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine,
+};
+
 use oregami_graph::TaskGraph;
 use oregami_mapper::{Mapping, MappingError};
 use oregami_topology::Network;
+
+/// Assembles the full METRICS report from an engine's current state (no
+/// annotations; callers append their own).
+pub fn report_from_engine(engine: &MetricsEngine<'_>) -> MetricsReport {
+    MetricsReport {
+        load: load::from_engine(engine),
+        links: links::from_engine(engine),
+        overall: overall::from_engine(engine),
+        annotations: Vec::new(),
+    }
+}
 
 /// Computes the full METRICS suite for a routed mapping, validating it
 /// first.
@@ -53,16 +75,8 @@ pub fn try_analyze_mapping(
     mapping: &Mapping,
     model: &CostModel,
 ) -> Result<MetricsReport, MappingError> {
-    mapping.validate(tg, net)?;
-    let load = load::compute(tg, net, mapping);
-    let links = links::compute(tg, net, mapping);
-    let overall = overall::compute(tg, net, mapping, model);
-    Ok(MetricsReport {
-        load,
-        links,
-        overall,
-        annotations: Vec::new(),
-    })
+    let engine = MetricsEngine::try_new(tg, net, mapping, model)?;
+    Ok(report_from_engine(&engine))
 }
 
 /// Computes the full METRICS suite for a routed mapping.

@@ -1,7 +1,9 @@
 //! Link metrics: dilation, per-link communication volume, and per-phase
-//! link contention (paper §5).
+//! link contention (paper §5) — a thin view over the incremental
+//! [`MetricsEngine`]'s per-phase link ledgers.
 
 use oregami_graph::TaskGraph;
+use oregami_mapper::metrics_engine::{CostModel, MetricsEngine};
 use oregami_mapper::Mapping;
 use oregami_topology::Network;
 
@@ -40,75 +42,43 @@ pub struct LinkMetrics {
     pub max_dilation: usize,
 }
 
-/// Computes the link metrics for a routed mapping.
-pub fn compute(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> LinkMetrics {
-    let nl = net.num_links();
-    let mut total_link_volume = vec![0u64; nl];
-    let mut phases = Vec::with_capacity(tg.num_phases());
-    let mut dil_sum = 0u64;
-    let mut dil_count = 0u64;
-    let mut max_dilation = 0usize;
-
-    for (k, phase) in tg.comm_phases.iter().enumerate() {
-        let mut dilations = Vec::with_capacity(phase.edges.len());
-        let mut link_messages = vec![0u64; nl];
-        let mut link_volume = vec![0u64; nl];
-        for (i, e) in phase.edges.iter().enumerate() {
-            let path = &mapping.routes[k][i];
-            let d = path.len() - 1;
-            dilations.push(d);
-            max_dilation = max_dilation.max(d);
-            dil_sum += d as u64;
-            dil_count += 1;
-            for w in path.windows(2) {
-                let link = net
-                    .link_between(w[0], w[1])
-                    .expect("validated route")
-                    .index();
-                link_messages[link] += 1;
-                link_volume[link] += e.volume;
-                total_link_volume[link] += e.volume;
-            }
-        }
-        let edge_count = dilations.len() as u64;
-        let avg_dilation_millis = (dilations.iter().map(|&d| d as u64).sum::<u64>() * 1000)
-            .checked_div(edge_count)
-            .unwrap_or(0);
-        phases.push(PhaseLinkMetrics {
-            name: phase.name.clone(),
-            max_dilation: dilations.iter().copied().max().unwrap_or(0),
-            avg_dilation_millis,
-            max_contention: link_messages.iter().copied().max().unwrap_or(0),
-            dilations,
-            link_messages,
-            link_volume,
-        });
-    }
+/// Reads the link metrics out of an engine's ledgers.
+pub fn from_engine(engine: &MetricsEngine<'_>) -> LinkMetrics {
+    let tg = engine.task_graph();
+    let phases = (0..engine.num_phases())
+        .map(|k| PhaseLinkMetrics {
+            name: tg.comm_phases[k].name.clone(),
+            dilations: engine.phase_dilations(k).to_vec(),
+            avg_dilation_millis: engine.phase_avg_dilation_millis(k),
+            max_dilation: engine.phase_max_dilation(k),
+            link_messages: engine.phase_link_messages(k).to_vec(),
+            max_contention: engine.phase_max_contention(k),
+            link_volume: engine.phase_link_volume(k).to_vec(),
+        })
+        .collect();
     LinkMetrics {
         phases,
-        total_link_volume,
-        avg_dilation_millis: (dil_sum * 1000).checked_div(dil_count).unwrap_or(0),
-        max_dilation,
+        total_link_volume: engine.total_link_volume().to_vec(),
+        avg_dilation_millis: engine.avg_dilation_millis(),
+        max_dilation: engine.max_dilation(),
     }
+}
+
+/// Computes the link metrics for a routed mapping.
+pub fn compute(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> LinkMetrics {
+    let engine = MetricsEngine::try_new(tg, net, mapping, &CostModel::default())
+        .expect("mapping must be valid for link analysis");
+    from_engine(&engine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::shared_table;
     use oregami_graph::Family;
     use oregami_mapper::routing::route_all_phases;
-    use oregami_mapper::{Mapping, routing::Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
-    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
-        // the test module's cache idiom: one shared RouteTableCache, so
-        // repeated table lookups within (and across) tests hit instead of
-        // re-running the all-pairs BFS
-        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
-        CACHE
-            .get_or_init(|| RouteTableCache::new(8))
-            .get_or_build(net)
-            .expect("connected network")
-    }
+    use oregami_mapper::{routing::Matcher, Mapping};
+    use oregami_topology::{builders, ProcId};
 
     fn ring_on_ring(n: usize) -> (TaskGraph, Network, Mapping) {
         let tg = Family::Ring(n).build();
@@ -118,9 +88,6 @@ mod tests {
         let routes = route_all_phases(&tg, &assignment, &net, &table, Matcher::Maximum);
         (tg, net, Mapping { assignment, routes })
     }
-
-    use oregami_graph::TaskGraph;
-    use oregami_topology::Network;
 
     #[test]
     fn identity_ring_mapping_all_dilation_1() {

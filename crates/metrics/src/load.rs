@@ -1,7 +1,9 @@
 //! Load-balancing metrics: tasks per processor and execution time per
-//! processor (paper §5).
+//! processor (paper §5) — a thin view over the incremental
+//! [`MetricsEngine`]'s per-processor compute ledgers.
 
 use oregami_graph::TaskGraph;
+use oregami_mapper::metrics_engine::{CostModel, MetricsEngine};
 use oregami_mapper::Mapping;
 use oregami_topology::Network;
 
@@ -22,26 +24,21 @@ pub struct LoadMetrics {
     pub imbalance_millis: u64,
 }
 
+/// Reads the load metrics out of an engine's ledgers.
+pub fn from_engine(engine: &MetricsEngine<'_>) -> LoadMetrics {
+    LoadMetrics {
+        tasks_per_proc: engine.tasks_per_proc().to_vec(),
+        exec_time_per_proc: engine.exec_time_per_proc().to_vec(),
+        max_exec_time: engine.max_exec_time(),
+        imbalance_millis: engine.imbalance_millis(),
+    }
+}
+
 /// Computes the load metrics.
 pub fn compute(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> LoadMetrics {
-    let p = net.num_procs();
-    let tasks_per_proc = mapping.tasks_per_proc(p);
-    let mut exec_time_per_proc = vec![0u64; p];
-    for t in 0..tg.num_tasks() {
-        exec_time_per_proc[mapping.proc_of(t).index()] += tg.exec_cost(t.into());
-    }
-    let max_exec_time = exec_time_per_proc.iter().copied().max().unwrap_or(0);
-    let total: u64 = exec_time_per_proc.iter().sum();
-    // max / mean, in thousandths
-    let imbalance_millis = (max_exec_time * 1000 * p as u64)
-        .checked_div(total)
-        .unwrap_or(0);
-    LoadMetrics {
-        tasks_per_proc,
-        exec_time_per_proc,
-        max_exec_time,
-        imbalance_millis,
-    }
+    let engine = MetricsEngine::try_new(tg, net, mapping, &CostModel::default())
+        .expect("mapping must be valid for load analysis");
+    from_engine(&engine)
 }
 
 #[cfg(test)]

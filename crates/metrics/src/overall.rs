@@ -1,5 +1,6 @@
 //! Overall mapping metrics: total interprocessor communication and the
-//! estimated completion time of the computation (paper §5).
+//! estimated completion time of the computation (paper §5) — a thin view
+//! over the incremental [`MetricsEngine`].
 //!
 //! Completion time is estimated by stepping the phase expression's
 //! linearised schedule under a synchronous cost model:
@@ -15,32 +16,16 @@
 //!
 //! Phase expressions with enormous repetition counts are costed
 //! arithmetically per slot of one iteration and scaled, so estimation never
-//! materialises billion-step schedules.
+//! materialises billion-step schedules. The slot-cost arithmetic itself
+//! lives in [`MetricsEngine`], where it is maintained incrementally under
+//! edits; this module reads it out.
 
-use oregami_graph::{PhaseExpr, TaskGraph};
+use oregami_graph::TaskGraph;
+use oregami_mapper::metrics_engine::MetricsEngine;
 use oregami_mapper::Mapping;
 use oregami_topology::Network;
 
-/// The synchronous communication/computation cost model.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CostModel {
-    /// Time to move one volume unit over one link.
-    pub byte_time: u64,
-    /// Per-hop latency added for the longest route of the phase.
-    pub hop_latency: u64,
-    /// Fixed per-phase startup cost (software overhead).
-    pub startup: u64,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel {
-            byte_time: 1,
-            hop_latency: 1,
-            startup: 0,
-        }
-    }
-}
+pub use oregami_mapper::metrics_engine::CostModel;
 
 /// Overall figures for a mapping.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +43,20 @@ pub struct OverallMetrics {
     pub comm_time: Option<u64>,
 }
 
+/// Reads the overall metrics out of an engine.
+pub fn from_engine(engine: &MetricsEngine<'_>) -> OverallMetrics {
+    let (completion_time, comm_time) = match engine.completion_times() {
+        Some((t, c)) => (Some(t), Some(c)),
+        None => (None, None),
+    };
+    OverallMetrics {
+        total_ipc: engine.total_ipc(),
+        internalized_volume: engine.internalized_volume(),
+        completion_time,
+        comm_time,
+    }
+}
+
 /// Computes the overall metrics.
 pub fn compute(
     tg: &TaskGraph,
@@ -65,125 +64,19 @@ pub fn compute(
     mapping: &Mapping,
     model: &CostModel,
 ) -> OverallMetrics {
-    let mut total_ipc = 0;
-    let mut internalized = 0;
-    for (_, e) in tg.all_edges() {
-        if mapping.proc_of(e.src.index()) == mapping.proc_of(e.dst.index()) {
-            internalized += e.volume;
-        } else {
-            total_ipc += e.volume;
-        }
-    }
-    let (completion_time, comm_time) = match &tg.phase_expr {
-        Some(expr) => {
-            let costs = SlotCosts::new(tg, net, mapping, model);
-            let (total, comm) = walk(expr, &costs);
-            (Some(total), Some(comm))
-        }
-        None => (None, None),
-    };
-    OverallMetrics {
-        total_ipc,
-        internalized_volume: internalized,
-        completion_time,
-        comm_time,
-    }
-}
-
-/// Precomputed per-phase slot costs.
-struct SlotCosts {
-    comm: Vec<u64>,
-    exec: Vec<u64>,
-}
-
-impl SlotCosts {
-    fn new(tg: &TaskGraph, net: &Network, mapping: &Mapping, model: &CostModel) -> SlotCosts {
-        let p = net.num_procs();
-        let comm = (0..tg.num_phases())
-            .map(|k| {
-                let mut link_volume = vec![0u64; net.num_links()];
-                let mut max_hops = 0u64;
-                let mut any = false;
-                for (i, e) in tg.comm_phases[k].edges.iter().enumerate() {
-                    let path = &mapping.routes[k][i];
-                    if path.len() > 1 {
-                        any = true;
-                        max_hops = max_hops.max(path.len() as u64 - 1);
-                        for w in path.windows(2) {
-                            let l = net.link_between(w[0], w[1]).expect("validated").index();
-                            link_volume[l] += e.volume;
-                        }
-                    }
-                }
-                if !any {
-                    0 // fully internalised phase: free under this model
-                } else {
-                    model.startup
-                        + link_volume.iter().max().copied().unwrap_or(0) * model.byte_time
-                        + max_hops * model.hop_latency
-                }
-            })
-            .collect();
-        let exec = (0..tg.exec_phases.len())
-            .map(|x| {
-                let mut per_proc = vec![0u64; p];
-                for t in 0..tg.num_tasks() {
-                    per_proc[mapping.proc_of(t).index()] +=
-                        tg.exec_phases[x].cost.of(t.into());
-                }
-                per_proc.into_iter().max().unwrap_or(0)
-            })
-            .collect();
-        SlotCosts { comm, exec }
-    }
-}
-
-/// Walks the phase expression, returning `(total_time, comm_time)` without
-/// expanding repetitions.
-fn walk(expr: &PhaseExpr, costs: &SlotCosts) -> (u64, u64) {
-    match expr {
-        PhaseExpr::Idle => (0, 0),
-        PhaseExpr::Comm(p) => {
-            let c = costs.comm[p.index()];
-            (c, c)
-        }
-        PhaseExpr::Exec(e) => (costs.exec[e.index()], 0),
-        PhaseExpr::Seq(a, b) => {
-            let (ta, ca) = walk(a, costs);
-            let (tb, cb) = walk(b, costs);
-            (ta + tb, ca + cb)
-        }
-        PhaseExpr::Repeat(a, k) => {
-            let (ta, ca) = walk(a, costs);
-            (ta.saturating_mul(*k), ca.saturating_mul(*k))
-        }
-        PhaseExpr::Par(a, b) => {
-            // both sides run concurrently; the slot costs the longer side.
-            // (This is an upper-bound model: resources are assumed disjoint.)
-            let (ta, ca) = walk(a, costs);
-            let (tb, cb) = walk(b, costs);
-            (ta.max(tb), ca.max(cb))
-        }
-    }
+    let engine = MetricsEngine::try_new(tg, net, mapping, model)
+        .expect("mapping must be valid for overall analysis");
+    from_engine(&engine)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::shared_table;
     use oregami_graph::task_graph::Cost;
-    use oregami_graph::{Family, PhaseId, ExecId};
+    use oregami_graph::{ExecId, Family, PhaseExpr, PhaseId};
     use oregami_mapper::routing::{route_all_phases, Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
-    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
-        // the test module's cache idiom: one shared RouteTableCache, so
-        // repeated table lookups within (and across) tests hit instead of
-        // re-running the all-pairs BFS
-        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
-        CACHE
-            .get_or_init(|| RouteTableCache::new(8))
-            .get_or_build(net)
-            .expect("connected network")
-    }
+    use oregami_topology::{builders, ProcId};
 
     fn routed(tg: &TaskGraph, net: &Network, assignment: Vec<ProcId>) -> Mapping {
         let table = shared_table(net);

@@ -102,18 +102,9 @@ mod tests {
     use oregami_graph::task_graph::Cost;
     use oregami_graph::{Family, PhaseExpr, PhaseId};
     use oregami_mapper::routing::{route_all_phases, Matcher};
+    use crate::testutil::shared_table;
     use oregami_mapper::Mapping;
-    use oregami_topology::{builders, Network, ProcId, RouteTable, RouteTableCache};
-    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
-        // the test module's cache idiom: one shared RouteTableCache, so
-        // repeated table lookups within (and across) tests hit instead of
-        // re-running the all-pairs BFS
-        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
-        CACHE
-            .get_or_init(|| RouteTableCache::new(8))
-            .get_or_build(net)
-            .expect("connected network")
-    }
+    use oregami_topology::{builders, ProcId};
 
     #[test]
     fn report_renders_all_sections() {

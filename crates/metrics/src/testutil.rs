@@ -1,0 +1,18 @@
+//! Shared scaffolding for the metrics test modules.
+//!
+//! Every test module used to carry its own copy of the route-table cache
+//! idiom; it lives here once instead.
+
+use oregami_topology::{Network, RouteTable, RouteTableCache};
+use std::sync::{Arc, OnceLock};
+
+/// One crate-wide `RouteTableCache` for tests, so repeated table lookups
+/// within (and across) test modules hit instead of re-running the
+/// all-pairs BFS.
+pub fn shared_table(net: &Network) -> Arc<RouteTable> {
+    static CACHE: OnceLock<RouteTableCache> = OnceLock::new();
+    CACHE
+        .get_or_init(|| RouteTableCache::new(8))
+        .get_or_build(net)
+        .expect("connected network")
+}

@@ -4,10 +4,12 @@
 //! METRICS' users also want to see *which* phases dominate. The timeline
 //! walks one pass of the phase expression and attributes cost to each
 //! phase, without expanding repetitions — each (phase, multiplicity) pair
-//! becomes one row.
+//! becomes one row. Unit costs are read from the incremental
+//! [`MetricsEngine`]'s slot-cost ledgers.
 
 use crate::overall::CostModel;
 use oregami_graph::{PhaseExpr, TaskGraph};
+use oregami_mapper::metrics_engine::MetricsEngine;
 use oregami_mapper::Mapping;
 use oregami_topology::Network;
 
@@ -40,18 +42,26 @@ pub fn timeline(
     mapping: &Mapping,
     model: &CostModel,
 ) -> Option<Timeline> {
+    let engine = MetricsEngine::try_new(tg, net, mapping, model)
+        .expect("mapping must be valid for timeline analysis");
+    from_engine(&engine)
+}
+
+/// Reads the breakdown out of an engine. Returns `None` when the task
+/// graph declares no phase expression.
+pub fn from_engine(engine: &MetricsEngine<'_>) -> Option<Timeline> {
+    let tg = engine.task_graph();
     let expr = tg.phase_expr.as_ref()?;
     // occurrence counts (arithmetic, no expansion)
     let comm_mult = expr.comm_multiplicities();
     let mut exec_mult = vec![0u64; tg.exec_phases.len()];
     count_exec(expr, 1, &mut exec_mult);
 
-    // unit costs mirror the overall model
-    let overall = crate::overall::compute(tg, net, mapping, model);
+    let completion_time = engine.completion_times().map(|(t, _)| t).unwrap_or(0);
     let mut rows = Vec::new();
     for (k, phase) in tg.comm_phases.iter().enumerate() {
         let occurrences = comm_mult.get(k).copied().unwrap_or(0);
-        let unit = comm_unit_cost(tg, net, mapping, model, k);
+        let unit = engine.comm_slot_cost(k);
         rows.push(TimelineRow {
             phase: phase.name.clone(),
             is_comm: true,
@@ -61,7 +71,7 @@ pub fn timeline(
         });
     }
     for (x, phase) in tg.exec_phases.iter().enumerate() {
-        let unit = exec_unit_cost(tg, net, mapping, x);
+        let unit = engine.exec_slot_cost(x);
         rows.push(TimelineRow {
             phase: phase.name.clone(),
             is_comm: false,
@@ -72,8 +82,8 @@ pub fn timeline(
     }
     let attributed: u64 = rows.iter().map(|r| r.total_cost).sum();
     Some(Timeline {
-        is_exact: attributed == overall.completion_time.unwrap_or(0),
-        completion_time: overall.completion_time.unwrap_or(0),
+        is_exact: attributed == completion_time,
+        completion_time,
         rows,
     })
 }
@@ -137,60 +147,14 @@ fn count_exec(expr: &PhaseExpr, mult: u64, out: &mut [u64]) {
     }
 }
 
-fn comm_unit_cost(
-    tg: &TaskGraph,
-    net: &Network,
-    mapping: &Mapping,
-    model: &CostModel,
-    k: usize,
-) -> u64 {
-    let mut link_volume = vec![0u64; net.num_links()];
-    let mut max_hops = 0u64;
-    let mut any = false;
-    for (i, e) in tg.comm_phases[k].edges.iter().enumerate() {
-        let path = &mapping.routes[k][i];
-        if path.len() > 1 {
-            any = true;
-            max_hops = max_hops.max(path.len() as u64 - 1);
-            for w in path.windows(2) {
-                link_volume[net.link_between(w[0], w[1]).expect("validated").index()] += e.volume;
-            }
-        }
-    }
-    if !any {
-        0
-    } else {
-        model.startup
-            + link_volume.iter().max().copied().unwrap_or(0) * model.byte_time
-            + max_hops * model.hop_latency
-    }
-}
-
-fn exec_unit_cost(tg: &TaskGraph, net: &Network, mapping: &Mapping, x: usize) -> u64 {
-    let mut per_proc = vec![0u64; net.num_procs()];
-    for t in 0..tg.num_tasks() {
-        per_proc[mapping.proc_of(t).index()] += tg.exec_phases[x].cost.of(t.into());
-    }
-    per_proc.into_iter().max().unwrap_or(0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::shared_table;
     use oregami_graph::task_graph::Cost;
     use oregami_graph::{Family, PhaseId};
     use oregami_mapper::routing::{route_all_phases, Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
-    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
-        // the test module's cache idiom: one shared RouteTableCache, so
-        // repeated table lookups within (and across) tests hit instead of
-        // re-running the all-pairs BFS
-        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
-        CACHE
-            .get_or_init(|| RouteTableCache::new(8))
-            .get_or_build(net)
-            .expect("connected network")
-    }
+    use oregami_topology::{builders, ProcId};
 
     #[test]
     fn breakdown_reconciles_for_sequential_expressions() {

@@ -107,18 +107,9 @@ pub fn network_to_dot(tg: &TaskGraph, net: &Network, mapping: &Mapping) -> Strin
 mod tests {
     use super::*;
     use oregami_graph::Family;
+    use crate::testutil::shared_table;
     use oregami_mapper::routing::{route_all_phases, Matcher};
-    use oregami_topology::{builders, ProcId, RouteTable, RouteTableCache};
-    fn shared_table(net: &Network) -> std::sync::Arc<RouteTable> {
-        // the test module's cache idiom: one shared RouteTableCache, so
-        // repeated table lookups within (and across) tests hit instead of
-        // re-running the all-pairs BFS
-        static CACHE: std::sync::OnceLock<RouteTableCache> = std::sync::OnceLock::new();
-        CACHE
-            .get_or_init(|| RouteTableCache::new(8))
-            .get_or_build(net)
-            .expect("connected network")
-    }
+    use oregami_topology::{builders, ProcId};
 
     fn setup() -> (TaskGraph, Network, Mapping) {
         let tg = Family::Ring(4).build();
