@@ -1,0 +1,238 @@
+//! Seeded chaos harness for the supervised fallback-chain engine,
+//! emitting `BENCH_chaos.json` (the CI chaos-smoke artifact).
+//!
+//! ```sh
+//! cargo run --release -p oregami-bench --bin chaos_bench              # 120 storms
+//! cargo run --release -p oregami-bench --bin chaos_bench -- --quick  # 30
+//! cargo run --release -p oregami-bench --bin chaos_bench -- --storms 500 --seed 7
+//! ```
+//!
+//! Every storm runs the same workload under a fresh seeded
+//! [`ChaosConfig`] (injected panics + non-polling stalls) with a tight
+//! deadline, sharing one route-table cache and one breaker state across
+//! all storms. The invariant under test: the toolchain either serves a
+//! valid mapping or fails typed (`unserviceable`) within deadline +
+//! grace + scheduling margin — it never hangs, and the shared cache is
+//! never poisoned (a final clean unsupervised run must serve optimally).
+//! Any violation exits non-zero so CI fails loudly.
+
+use oregami::larcs::{compile, programs};
+use oregami::mapper::{run_engine_with, EngineConfig, MapError, StageStatus};
+use oregami::topology::builders;
+use oregami::{
+    Budget, ChaosConfig, Completion, FallbackChain, MapperOptions, RetryPolicy, RouteTableCache,
+    ServiceHealth, SupervisorConfig, SupervisorState,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_millis(40);
+const GRACE: Duration = Duration::from_millis(30);
+const STALL: Duration = Duration::from_millis(80);
+/// Worst acceptable wall-clock for one storm: deadline + grace for every
+/// stage in the chain, retries included, plus a fat scheduling margin.
+const STORM_CEILING: Duration = Duration::from_secs(3);
+
+struct Tally {
+    served_healthy: usize,
+    served_degraded: usize,
+    unserviceable: usize,
+    hung_stages: usize,
+    panicked_stages: usize,
+    breaker_skips: usize,
+    retried_attempts: u64,
+    worst_storm: Duration,
+}
+
+fn main() {
+    let mut storms = 120usize;
+    let mut seed = 0xC4A0u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => storms = 30,
+            "--storms" => {
+                storms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--storms needs a count");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    // a hundred injected panics would otherwise bury the summary lines
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let tg = compile(&programs::jacobi(), &[("n", 4), ("iters", 1)]).expect("jacobi compiles");
+    let net = builders::hypercube(2);
+    let opts = MapperOptions::default();
+    let chain = FallbackChain::full();
+    let cache = Arc::new(RouteTableCache::new(8));
+    let state = Arc::new(SupervisorState::new());
+
+    println!(
+        "chaos bench: {storms} storms, base seed {seed}, deadline {}ms + grace {}ms",
+        DEADLINE.as_millis(),
+        GRACE.as_millis()
+    );
+
+    let mut t = Tally {
+        served_healthy: 0,
+        served_degraded: 0,
+        unserviceable: 0,
+        hung_stages: 0,
+        panicked_stages: 0,
+        breaker_skips: 0,
+        retried_attempts: 0,
+        worst_storm: Duration::ZERO,
+    };
+    let mut invariant_ok = true;
+    let start_all = Instant::now();
+    for storm in 0..storms {
+        let chaos = ChaosConfig::new(seed.wrapping_add(storm as u64))
+            .with_panic_prob(0.25)
+            .with_stall(0.15, STALL);
+        let sup = SupervisorConfig::default()
+            .with_grace(GRACE)
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            })
+            // zero cooldown: an opened breaker re-probes next storm, so
+            // the run exercises the full open -> half-open -> closed loop
+            .with_breaker(oregami::BreakerConfig {
+                cooldown: Duration::ZERO,
+                ..oregami::BreakerConfig::default()
+            })
+            .with_chaos(chaos)
+            .with_state(Arc::clone(&state));
+        let config = EngineConfig::with_cache(Arc::clone(&cache)).supervised(sup);
+        let budget = Budget::unlimited().with_deadline(DEADLINE);
+        let started = Instant::now();
+        let outcome = run_engine_with(&tg, &net, &opts, &chain, &budget, &config);
+        let elapsed = started.elapsed();
+        t.worst_storm = t.worst_storm.max(elapsed);
+        if elapsed > STORM_CEILING {
+            eprintln!("INVARIANT VIOLATED: storm {storm} took {elapsed:?}");
+            invariant_ok = false;
+        }
+        match outcome {
+            Ok(o) => {
+                if o.report.mapping.validate(&tg, &net).is_err() {
+                    eprintln!("INVARIANT VIOLATED: storm {storm} served an invalid mapping");
+                    invariant_ok = false;
+                }
+                match o.engine.health {
+                    ServiceHealth::Degraded => t.served_degraded += 1,
+                    _ => t.served_healthy += 1,
+                }
+                for s in &o.engine.stages {
+                    match &s.status {
+                        StageStatus::Hung => t.hung_stages += 1,
+                        StageStatus::Panicked(_) => t.panicked_stages += 1,
+                        StageStatus::CircuitOpen => t.breaker_skips += 1,
+                        _ => {}
+                    }
+                    t.retried_attempts += u64::from(s.attempts.saturating_sub(1));
+                }
+            }
+            Err(MapError::Unserviceable(_)) => t.unserviceable += 1,
+            Err(e) => {
+                eprintln!("INVARIANT VIOLATED: storm {storm} failed untyped: {e}");
+                invariant_ok = false;
+            }
+        }
+    }
+    let wall = start_all.elapsed();
+
+    // breaker bookkeeping across the whole run: trips and re-probes prove
+    // the open -> half-open -> closed loop actually cycled
+    let (mut trips, mut probes) = (0u64, 0u64);
+    for stage in chain.stages.iter() {
+        let v = state.breaker(*stage);
+        trips += v.trips;
+        probes += v.probes;
+    }
+
+    // the cache must come out of the storm unpoisoned and warm: a clean
+    // unsupervised run on the same cache has to serve optimally
+    let clean = run_engine_with(
+        &tg,
+        &net,
+        &opts,
+        &chain,
+        &Budget::unlimited(),
+        &EngineConfig::with_cache(Arc::clone(&cache)),
+    );
+    let cache_survived = matches!(&clean, Ok(o) if o.engine.completion == Completion::Optimal);
+    if !cache_survived {
+        eprintln!("INVARIANT VIOLATED: clean run after the storms did not serve optimally");
+        invariant_ok = false;
+    }
+    let stats = cache.stats();
+
+    println!(
+        "  served healthy {}  degraded {}  unserviceable {}",
+        t.served_healthy, t.served_degraded, t.unserviceable
+    );
+    println!(
+        "  hung stages {}  panicked stages {}  breaker skips {}  retried attempts {}",
+        t.hung_stages, t.panicked_stages, t.breaker_skips, t.retried_attempts
+    );
+    println!("  breaker trips {trips}  probes {probes}");
+    println!(
+        "  worst storm {:.1}ms  total {:.2}s  cache {} hits / {} misses",
+        t.worst_storm.as_secs_f64() * 1e3,
+        wall.as_secs_f64(),
+        stats.hits,
+        stats.misses
+    );
+    println!("  invariant: {}", if invariant_ok { "ok" } else { "VIOLATED" });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"chaos\",\n");
+    json.push_str(&format!("  \"storms\": {storms},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"deadline_ms\": {},\n  \"grace_ms\": {},\n",
+        DEADLINE.as_millis(),
+        GRACE.as_millis()
+    ));
+    json.push_str(&format!(
+        "  \"served_healthy\": {},\n  \"served_degraded\": {},\n  \"unserviceable\": {},\n",
+        t.served_healthy, t.served_degraded, t.unserviceable
+    ));
+    json.push_str(&format!(
+        "  \"hung_stages\": {},\n  \"panicked_stages\": {},\n  \"breaker_skips\": {},\n",
+        t.hung_stages, t.panicked_stages, t.breaker_skips
+    ));
+    json.push_str(&format!(
+        "  \"retried_attempts\": {},\n  \"breaker_trips\": {trips},\n  \"breaker_probes\": {probes},\n",
+        t.retried_attempts
+    ));
+    json.push_str(&format!(
+        "  \"worst_storm_ms\": {:.3},\n  \"total_s\": {:.3},\n",
+        t.worst_storm.as_secs_f64() * 1e3,
+        wall.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}}},\n  \"cache_survived\": {cache_survived},\n",
+        stats.hits, stats.misses
+    ));
+    json.push_str(&format!("  \"invariant_ok\": {invariant_ok}\n"));
+    json.push_str("}\n");
+    let path = "BENCH_chaos.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+
+    if !invariant_ok {
+        std::process::exit(1);
+    }
+}

@@ -11,14 +11,17 @@
 //! Exit codes: 0 success, 2 usage/input error, 3 mapping failure,
 //! 4 fault-injection error (bad ids), 5 unrepairable fault, 6 a budget
 //! (--deadline-ms / --max-steps) cut the search short and a valid but
-//! possibly suboptimal mapping was served.
+//! possibly suboptimal mapping was served, 7 the supervised engine
+//! could not serve any mapping (every stage failed, hung, or was
+//! breaker-skipped).
 
 use oregami::larcs::programs;
 use oregami::metrics::schedule;
+use oregami::replay::{self, ReplayOp};
 use oregami::topology::{builders, LinkId, Network, ProcId};
 use oregami::{
-    Budget, CostModel, Edit, EditError, FallbackChain, FaultSet, MapperOptions, MetricsDelta,
-    Oregami, OregamiError, RepairOptions,
+    Budget, ChaosConfig, CostModel, EditError, FallbackChain, FaultSet, Journal, MapperOptions,
+    MetricsDelta, Oregami, OregamiError, RepairOptions, SupervisorConfig,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -46,6 +49,11 @@ struct Args {
     chain: Option<String>,
     threads: usize,
     edits: Option<String>,
+    supervise: bool,
+    grace_ms: Option<u64>,
+    chaos: Option<String>,
+    journal: Option<String>,
+    resume: Option<String>,
 }
 
 /// CLI failure with a dedicated exit code per class, so scripts driving
@@ -59,6 +67,8 @@ enum CliError {
     Fault(OregamiError),
     /// The mapping could not be repaired (exit 5).
     Repair(OregamiError),
+    /// The supervised engine could not serve any mapping (exit 7).
+    Unserviceable(OregamiError),
 }
 
 impl CliError {
@@ -68,13 +78,17 @@ impl CliError {
             CliError::Map(_) => 3,
             CliError::Fault(_) => 4,
             CliError::Repair(_) => 5,
+            CliError::Unserviceable(_) => 7,
         }
     }
 
     fn message(&self) -> String {
         match self {
             CliError::Usage(m) => m.clone(),
-            CliError::Map(e) | CliError::Fault(e) | CliError::Repair(e) => e.to_string(),
+            CliError::Map(e)
+            | CliError::Fault(e)
+            | CliError::Repair(e)
+            | CliError::Unserviceable(e) => e.to_string(),
         }
     }
 }
@@ -90,6 +104,10 @@ impl From<OregamiError> for CliError {
         match &e {
             OregamiError::Fault(_) => CliError::Fault(e),
             OregamiError::Repair(_) => CliError::Repair(e),
+            OregamiError::Map(oregami::mapper::MapError::Unserviceable(_)) => {
+                CliError::Unserviceable(e)
+            }
+            OregamiError::Journal(_) => CliError::Usage(e.to_string()),
             _ => CliError::Map(e),
         }
     }
@@ -137,11 +155,29 @@ fn usage() -> &'static str {
                               fault proc:N link:N.. | undo | # comment\n\
                               (budget flags bound the replay too; exit 6 when\n\
                               the budget stops it early)\n\
+       --journal PATH         start a crash-safe write-ahead journal: every\n\
+                              applied edit is framed, checksummed, and fsynced\n\
+                              to PATH (truncates an existing file)\n\
+       --resume PATH          reopen a crashed session from its journal: a torn\n\
+                              final frame is truncated with a warning, every\n\
+                              surviving record replays through the incremental\n\
+                              engine, and journalling continues on PATH\n\
+       --supervise            run chain stages under a supervisor: watchdog\n\
+                              (hung stages detached at deadline + grace),\n\
+                              bounded retries, per-stage circuit breaker\n\
+                              (implies the engine path; exit 7 when no stage\n\
+                              could serve)\n\
+       --grace-ms MS          post-deadline grace before a hung stage is\n\
+                              detached (default 200; implies --supervise)\n\
+       --chaos SPEC           seeded fault injection for resilience testing:\n\
+                              seed=N,panic=P,stall=P,stall-ms=MS[,only=STAGE]\n\
+                              (implies --supervise)\n\
        --list                 list built-in programs and exit\n\
      \n\
      EXIT CODES:\n\
        0 success    2 usage    3 mapping failed    4 bad fault ids\n\
-       5 unrepairable fault    6 budget exhausted but a mapping was served\n"
+       5 unrepairable fault    6 budget exhausted but a mapping was served\n\
+       7 unserviceable: the supervised chain could not serve any mapping\n"
 }
 
 /// Upper bound on processors a CLI-specified topology may have. A typo
@@ -232,6 +268,11 @@ fn parse_args() -> Result<Args, String> {
         chain: None,
         threads: 1,
         edits: None,
+        supervise: false,
+        grace_ms: None,
+        chaos: None,
+        journal: None,
+        resume: None,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -334,6 +375,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --threads value".to_string())?;
             }
             "--edits" => args.edits = Some(next_val(&mut it, "--edits")?),
+            "--journal" => args.journal = Some(next_val(&mut it, "--journal")?),
+            "--resume" => args.resume = Some(next_val(&mut it, "--resume")?),
+            "--supervise" => args.supervise = true,
+            "--grace-ms" => {
+                args.grace_ms = Some(
+                    next_val(&mut it, "--grace-ms")?
+                        .parse()
+                        .map_err(|_| "bad --grace-ms value".to_string())?,
+                );
+            }
+            "--chaos" => args.chaos = Some(next_val(&mut it, "--chaos")?),
             "--fallback" => args.fallback = true,
             "--chain" => args.chain = Some(next_val(&mut it, "--chain")?),
             "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
@@ -350,79 +402,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-/// One line of an `--edits` script.
-enum ReplayOp {
-    Apply(Edit),
-    Undo,
-}
-
-/// Parses one non-blank, non-comment line of an edit script.
-fn parse_edit_line(line: &str) -> Result<ReplayOp, String> {
-    let mut tok = line.split_whitespace();
-    let op = tok.next().expect("caller skips blank lines");
-    let int = |s: Option<&str>, what: &str| -> Result<u32, String> {
-        s.ok_or_else(|| format!("missing {what}"))?
-            .parse()
-            .map_err(|_| format!("bad {what}"))
-    };
-    match op {
-        "reassign" => {
-            let task = int(tok.next(), "task id")? as usize;
-            let proc = ProcId(int(tok.next(), "processor id")?);
-            if tok.next().is_some() {
-                return Err("trailing tokens after 'reassign T P'".into());
-            }
-            Ok(ReplayOp::Apply(Edit::Reassign { task, proc }))
-        }
-        "reroute" => {
-            let phase = int(tok.next(), "phase id")? as usize;
-            let edge = int(tok.next(), "edge id")? as usize;
-            let path: Vec<ProcId> = tok
-                .map(|t| {
-                    t.parse()
-                        .map(ProcId)
-                        .map_err(|_| format!("bad processor id '{t}'"))
-                })
-                .collect::<Result<_, _>>()?;
-            if path.is_empty() {
-                return Err("reroute needs a path of processor ids".into());
-            }
-            Ok(ReplayOp::Apply(Edit::Reroute { phase, edge, path }))
-        }
-        "fault" => {
-            let mut faults = FaultSet::new();
-            let mut any = false;
-            for t in tok {
-                any = true;
-                if let Some(id) = t.strip_prefix("proc:") {
-                    faults.fail_proc(ProcId(
-                        id.parse().map_err(|_| format!("bad processor id '{t}'"))?,
-                    ));
-                } else if let Some(id) = t.strip_prefix("link:") {
-                    faults.fail_link(LinkId(
-                        id.parse().map_err(|_| format!("bad link id '{t}'"))?,
-                    ));
-                } else {
-                    return Err(format!("expected proc:<id> or link:<id>, got '{t}'"));
-                }
-            }
-            if !any {
-                return Err("fault needs at least one proc:<id> or link:<id>".into());
-            }
-            Ok(ReplayOp::Apply(Edit::Fault(faults)))
-        }
-        "undo" => {
-            if tok.next().is_some() {
-                return Err("trailing tokens after 'undo'".into());
-            }
-            Ok(ReplayOp::Undo)
-        }
-        other => Err(format!(
-            "unknown edit '{other}' (expected reassign, reroute, fault, undo)"
-        )),
-    }
 }
 
 /// One compact line summarising what an edit changed.
@@ -461,13 +440,27 @@ fn run() -> Result<ExitCode, CliError> {
     let net_name = net.name.clone();
     let num_procs = net.num_procs();
 
-    let system = Oregami::new(net)
+    // --grace-ms / --chaos only make sense supervised; imply the flag
+    let supervise = args.supervise || args.grace_ms.is_some() || args.chaos.is_some();
+    let mut system = Oregami::new(net)
         .with_options(MapperOptions {
             load_bound: args.load_bound,
             ..MapperOptions::default()
         })
         .with_cost_model(args.cost.clone())
         .with_threads(args.threads);
+    if supervise {
+        let mut sup = SupervisorConfig::default();
+        if let Some(ms) = args.grace_ms {
+            sup = sup.with_grace(Duration::from_millis(ms));
+        }
+        if let Some(spec) = &args.chaos {
+            sup = sup.with_chaos(
+                ChaosConfig::parse(spec).map_err(|e| CliError::Usage(format!("--chaos: {e}")))?,
+            );
+        }
+        system = system.with_supervisor(sup);
+    }
     // Explicit -P bindings win; a built-in program's sample parameters fill
     // any gaps so `--program NAME` alone is runnable.
     let mut params: Vec<(&str, i64)> =
@@ -477,12 +470,14 @@ fn run() -> Result<ExitCode, CliError> {
             params.push((k.as_str(), *v));
         }
     }
-    // any budget/chain/threads flag routes through the fallback-chain engine
+    // any budget/chain/threads/supervision flag routes through the
+    // fallback-chain engine
     let budgeted = args.deadline_ms.is_some()
         || args.max_steps.is_some()
         || args.fallback
         || args.chain.is_some()
-        || args.threads > 1;
+        || args.threads > 1
+        || supervise;
     let result = if budgeted {
         let mut budget = Budget::unlimited();
         if let Some(ms) = args.deadline_ms {
@@ -519,48 +514,82 @@ fn run() -> Result<ExitCode, CliError> {
 
     // Interactive replay: apply an edit script through the incremental
     // METRICS engine, printing the per-edit deltas the paper's GUI showed
-    // after each mouse-driven modification.
+    // after each mouse-driven modification. With --journal every applied
+    // edit is also framed to a crash-safe write-ahead log; --resume
+    // reopens a session from such a log first.
     let mut replay_degraded = false;
-    if let Some(path) = &args.edits {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
-        let mut session = system.interactive(&result)?;
-        let mut replay_budget = Budget::unlimited();
-        if let Some(ms) = args.deadline_ms {
-            replay_budget = replay_budget.with_deadline(Duration::from_millis(ms));
-        }
-        if let Some(steps) = args.max_steps {
-            replay_budget = replay_budget.with_max_steps(steps);
-        }
-        println!("-- interactive replay from {path} --");
-        'replay: for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+    if args.journal.is_some() && args.resume.is_some() {
+        return Err(CliError::Usage(
+            "--journal starts a fresh journal and --resume continues an existing \
+             one; give only one"
+                .into(),
+        ));
+    }
+    if args.edits.is_some() || args.journal.is_some() || args.resume.is_some() {
+        let mut session = if let Some(jpath) = &args.resume {
+            let (session, recovery) = system.resume(&result, std::path::Path::new(jpath))?;
+            if recovery.truncated {
+                println!(
+                    "warning: {jpath}: torn tail ({} byte(s)) truncated — the last \
+                     frame was never fully written",
+                    recovery.torn_bytes
+                );
             }
-            let n = lineno + 1;
-            let op = parse_edit_line(line).map_err(|e| CliError::Usage(format!("{path}:{n}: {e}")))?;
-            match op {
-                ReplayOp::Undo => match session.undo() {
-                    Some(delta) => {
-                        println!("{path}:{n}: undo");
-                        println!("{}", delta_line(&delta));
-                    }
-                    None => println!("{path}:{n}: undo (nothing to undo)"),
-                },
-                ReplayOp::Apply(edit) => {
-                    println!("{path}:{n}: {edit}");
-                    match session.apply_budgeted(edit, &replay_budget) {
-                        Ok(delta) => println!("{}", delta_line(&delta)),
-                        Err(EditError::Budget(c)) => {
-                            session.annotate(format!(
-                                "replay stopped early at {path}:{n}: {c}"
-                            ));
-                            replay_degraded = true;
-                            break 'replay;
+            println!(
+                "resumed {} journalled edit(s) from {jpath}",
+                recovery.records.len()
+            );
+            session
+        } else {
+            let mut session = system.interactive(&result)?;
+            if let Some(jpath) = &args.journal {
+                let journal = Journal::create(std::path::Path::new(jpath))
+                    .map_err(|e| CliError::Usage(format!("cannot create journal: {e}")))?;
+                session.attach_journal(journal);
+                println!("journalling edits to {jpath}");
+            }
+            session
+        };
+        if let Some(path) = &args.edits {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+            let mut replay_budget = Budget::unlimited();
+            if let Some(ms) = args.deadline_ms {
+                replay_budget = replay_budget.with_deadline(Duration::from_millis(ms));
+            }
+            if let Some(steps) = args.max_steps {
+                replay_budget = replay_budget.with_max_steps(steps);
+            }
+            println!("-- interactive replay from {path} --");
+            'replay: for (lineno, raw) in text.lines().enumerate() {
+                let n = lineno + 1;
+                let op = match replay::parse_line(raw) {
+                    Ok(Some(op)) => op,
+                    Ok(None) => continue,
+                    Err(e) => return Err(CliError::Usage(format!("{path}:{n}: {e}"))),
+                };
+                match op {
+                    ReplayOp::Undo => match session.undo() {
+                        Some(delta) => {
+                            println!("{path}:{n}: undo");
+                            println!("{}", delta_line(&delta));
                         }
-                        Err(e) => {
-                            return Err(CliError::Usage(format!("{path}:{n}: {e}")));
+                        None => println!("{path}:{n}: undo (nothing to undo)"),
+                    },
+                    ReplayOp::Apply(edit) => {
+                        println!("{path}:{n}: {edit}");
+                        match session.apply_budgeted(edit, &replay_budget) {
+                            Ok(delta) => println!("{}", delta_line(&delta)),
+                            Err(EditError::Budget(c)) => {
+                                session.annotate(format!(
+                                    "replay stopped early at {path}:{n}: {c}"
+                                ));
+                                replay_degraded = true;
+                                break 'replay;
+                            }
+                            Err(e) => {
+                                return Err(CliError::Usage(format!("{path}:{n}: {e}")));
+                            }
                         }
                     }
                 }
@@ -571,6 +600,9 @@ fn run() -> Result<ExitCode, CliError> {
             session.edit_log().len()
         );
         println!("{}", session.report().render());
+        if let Some(warning) = session.journal_error() {
+            eprintln!("warning: {warning}");
+        }
     }
 
     if !args.fail_procs.is_empty() || !args.fail_links.is_empty() {

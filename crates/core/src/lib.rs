@@ -52,11 +52,18 @@ pub use oregami_matching as matching;
 pub use oregami_metrics as metrics;
 pub use oregami_topology as topology;
 
+pub mod journal;
+pub mod replay;
+
+pub use journal::{Journal, JournalRecovery};
+pub use replay::ReplayOp;
+
 pub use oregami_larcs::LarcsError;
 pub use oregami_mapper::{
-    Budget, CancelToken, Completion, EngineConfig, EngineReport, FallbackChain, MapperOptions,
-    MapperReport, Mapping, MappingError, Parallelism, RepairError, RepairOptions, RepairReport,
-    StageKind, Strategy,
+    BreakerConfig, BreakerState, Budget, CancelToken, ChaosConfig, Completion, EngineConfig,
+    EngineReport, FallbackChain, MapperOptions, MapperReport, Mapping, MappingError, Parallelism,
+    RepairError, RepairOptions, RepairReport, RetryPolicy, ServiceHealth, StageKind, StageStatus,
+    Strategy, SupervisorConfig, SupervisorState,
 };
 pub use oregami_metrics::{
     CostModel, Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine, MetricsReport,
@@ -125,18 +132,23 @@ pub struct InteractiveSession<'a> {
     engine: MetricsEngine<'a>,
     log: Vec<EditRecord>,
     annotations: Vec<String>,
+    journal: Option<Journal>,
+    journal_error: Option<String>,
 }
 
 impl InteractiveSession<'_> {
     /// Applies one edit, logging it; returns the metric delta. A rejected
-    /// edit leaves the session (and the log) unchanged.
+    /// edit leaves the session (and the log) unchanged. With a journal
+    /// attached, the edit is framed to disk after it applies.
     pub fn apply(&mut self, edit: Edit) -> Result<MetricsDelta, EditError> {
         let description = edit.to_string();
+        let record = replay::to_record(&ReplayOp::Apply(edit.clone()));
         let delta = self.engine.apply(edit)?;
         self.log.push(EditRecord {
             description,
             delta: delta.clone(),
         });
+        self.journal_append(&record);
         Ok(delta)
     }
 
@@ -145,11 +157,13 @@ impl InteractiveSession<'_> {
     /// can be deadline-bounded like any other search.
     pub fn apply_budgeted(&mut self, edit: Edit, budget: &Budget) -> Result<MetricsDelta, EditError> {
         let description = edit.to_string();
+        let record = replay::to_record(&ReplayOp::Apply(edit.clone()));
         let delta = self.engine.apply_budgeted(edit, budget)?;
         self.log.push(EditRecord {
             description,
             delta: delta.clone(),
         });
+        self.journal_append(&record);
         Ok(delta)
     }
 
@@ -161,7 +175,38 @@ impl InteractiveSession<'_> {
             description: "undo".to_string(),
             delta: delta.clone(),
         });
+        self.journal_append("undo");
         Some(delta)
+    }
+
+    /// Attaches a write-ahead journal: every subsequently applied edit
+    /// (and undo) is framed, checksummed, and fsynced to it after it
+    /// applies. Journalling is best-effort — an I/O failure detaches the
+    /// journal and latches [`journal_error`](Self::journal_error) instead
+    /// of failing the edit, so a full disk degrades durability, not the
+    /// session.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal's path, when one is attached and healthy.
+    pub fn journal_path(&self) -> Option<&std::path::Path> {
+        self.journal.as_ref().map(Journal::path)
+    }
+
+    /// The latched warning from a failed journal append, if journalling
+    /// has been abandoned mid-session.
+    pub fn journal_error(&self) -> Option<&str> {
+        self.journal_error.as_deref()
+    }
+
+    fn journal_append(&mut self, record: &str) {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.append(record) {
+                self.journal_error = Some(format!("journalling abandoned: {e}"));
+                self.journal = None;
+            }
+        }
     }
 
     /// Appends a free-form note rendered at the end of every
@@ -215,6 +260,9 @@ pub enum OregamiError {
     Fault(TopologyError),
     /// Mapping-repair failure (partitioned survivors, no capacity).
     Repair(RepairError),
+    /// Session-journal failure during resume (unreadable file, corrupt
+    /// frame, or a journalled record the session refuses to apply).
+    Journal(String),
 }
 
 impl std::fmt::Display for OregamiError {
@@ -224,6 +272,7 @@ impl std::fmt::Display for OregamiError {
             OregamiError::Map(e) => write!(f, "MAPPER: {e}"),
             OregamiError::Fault(e) => write!(f, "FAULT: {e}"),
             OregamiError::Repair(e) => write!(f, "REPAIR: {e}"),
+            OregamiError::Journal(e) => write!(f, "JOURNAL: {e}"),
         }
     }
 }
@@ -267,6 +316,7 @@ pub struct Oregami {
     cost_model: CostModel,
     parallelism: Parallelism,
     cache: Arc<RouteTableCache>,
+    supervisor: Option<SupervisorConfig>,
 }
 
 impl Oregami {
@@ -280,6 +330,7 @@ impl Oregami {
             cost_model: CostModel::default(),
             parallelism: Parallelism::Sequential,
             cache: Arc::new(RouteTableCache::new(16)),
+            supervisor: None,
         }
     }
 
@@ -313,6 +364,25 @@ impl Oregami {
     pub fn with_cache(mut self, cache: Arc<RouteTableCache>) -> Oregami {
         self.cache = cache;
         self
+    }
+
+    /// Runs budgeted mappings under a stage supervisor: each chain stage
+    /// gets a watchdog (hung workers are detached at deadline + grace),
+    /// bounded retries for transient panics, and a per-stage circuit
+    /// breaker that persists across runs through the config's shared
+    /// [`SupervisorState`]. Failures surface as
+    /// [`mapper::MapError::Unserviceable`] instead of a generic
+    /// all-stages-failed error.
+    pub fn with_supervisor(mut self, config: SupervisorConfig) -> Oregami {
+        self.supervisor = Some(config);
+        self
+    }
+
+    /// The shared breaker state of the configured supervisor, if any —
+    /// inspect per-stage [`BreakerView`](mapper::supervisor::BreakerView)s
+    /// or reset breakers between runs.
+    pub fn supervisor_state(&self) -> Option<&SupervisorState> {
+        self.supervisor.as_ref().map(|s| &*s.state)
     }
 
     /// The target network.
@@ -402,7 +472,58 @@ impl Oregami {
             engine,
             log: Vec::new(),
             annotations: Vec::new(),
+            journal: None,
+            journal_error: None,
         })
+    }
+
+    /// Reopens a crashed session from its journal: recovers the frames
+    /// (truncating a torn tail — the one write a crash can sever),
+    /// replays every journalled record through a fresh incremental
+    /// engine, and re-attaches the journal in append mode so the resumed
+    /// session keeps journalling where the old one stopped. Returns the
+    /// session plus the recovery record (replayed count, torn bytes).
+    ///
+    /// A journal that is readable but semantically stale — e.g. written
+    /// against a different mapping — surfaces as
+    /// [`OregamiError::Journal`] naming the offending frame.
+    pub fn resume<'a>(
+        &'a self,
+        result: &'a OregamiResult,
+        path: &std::path::Path,
+    ) -> Result<(InteractiveSession<'a>, JournalRecovery), OregamiError> {
+        let recovery =
+            journal::recover(path, true).map_err(|e| OregamiError::Journal(e.to_string()))?;
+        let mut session = self.interactive(result)?;
+        for (i, record) in recovery.records.iter().enumerate() {
+            let frame = i + 1;
+            match replay::parse_line(record) {
+                Ok(Some(ReplayOp::Apply(edit))) => {
+                    session.apply(edit).map_err(|e| {
+                        OregamiError::Journal(format!(
+                            "{}: frame {frame}: journalled edit rejected: {e}",
+                            path.display()
+                        ))
+                    })?;
+                }
+                Ok(Some(ReplayOp::Undo)) => {
+                    session.undo();
+                }
+                // journals only ever hold canonical records, but recovery
+                // must be total over whatever the file contains
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(OregamiError::Journal(format!(
+                        "{}: frame {frame}: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        let journal =
+            Journal::open_append(path).map_err(|e| OregamiError::Journal(e.to_string()))?;
+        session.attach_journal(journal);
+        Ok((session, recovery))
     }
 
     /// Maps an already-built task graph.
@@ -462,6 +583,7 @@ impl Oregami {
             parallelism: self.parallelism,
             cache: Some(Arc::clone(&self.cache)),
             cost_model: self.cost_model.clone(),
+            supervisor: self.supervisor.clone(),
         };
         let outcome = oregami_mapper::run_engine_with(
             &task_graph,
@@ -643,6 +765,132 @@ mod tests {
         assert_eq!(session.edit_log().len(), 2);
         session.annotate("probe");
         assert!(session.report().render().contains("note: probe"));
+    }
+
+    #[test]
+    fn journalled_session_survives_a_torn_tail_and_resumes() {
+        use oregami_topology::ProcId;
+        let sys = Oregami::new(builders::hypercube(3));
+        let r = sys
+            .map_source(
+                &larcs::programs::nbody(),
+                &[("n", 16), ("s", 2), ("msgsize", 4)],
+            )
+            .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "oregami-core-resume-{}.jrnl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let mut session = sys.interactive(&r).unwrap();
+        session.attach_journal(Journal::create(&path).unwrap());
+        assert_eq!(session.journal_path(), Some(path.as_path()));
+        for (task, proc) in [(0, 7), (1, 6)] {
+            session
+                .apply(Edit::Reassign {
+                    task,
+                    proc: ProcId(proc),
+                })
+                .unwrap();
+        }
+        session.undo().unwrap();
+        session
+            .apply(Edit::Reassign {
+                task: 2,
+                proc: ProcId(5),
+            })
+            .unwrap();
+        assert!(session.journal_error().is_none());
+        let full = session.snapshot();
+        drop(session);
+
+        // sever the last frame mid-write, as a crash would
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let (resumed, recovery) = sys.resume(&r, &path).unwrap();
+        assert!(recovery.truncated);
+        assert_eq!(
+            recovery.records,
+            vec!["reassign 0 7", "reassign 1 6", "undo"]
+        );
+        // the resumed state is byte-identical to the surviving prefix's
+        let mut expect = sys.interactive(&r).unwrap();
+        expect
+            .apply(Edit::Reassign {
+                task: 0,
+                proc: ProcId(7),
+            })
+            .unwrap();
+        expect
+            .apply(Edit::Reassign {
+                task: 1,
+                proc: ProcId(6),
+            })
+            .unwrap();
+        expect.undo().unwrap();
+        assert_eq!(resumed.snapshot(), expect.snapshot());
+        assert_eq!(resumed.mapping().assignment, expect.mapping().assignment);
+        assert_ne!(resumed.snapshot(), full, "the torn edit must be gone");
+
+        // the re-attached journal keeps recording where the old one
+        // stopped: one more edit, then a second resume carries it forward
+        let mut resumed = resumed;
+        resumed
+            .apply(Edit::Reassign {
+                task: 3,
+                proc: ProcId(4),
+            })
+            .unwrap();
+        let after = resumed.snapshot();
+        drop(resumed);
+        let (again, rec2) = sys.resume(&r, &path).unwrap();
+        assert!(!rec2.truncated);
+        assert_eq!(rec2.records.len(), 4);
+        assert_eq!(again.snapshot(), after);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_without_a_journal_is_a_journal_error() {
+        let sys = Oregami::new(builders::hypercube(2));
+        let r = sys
+            .map_source(&larcs::programs::jacobi(), &[("n", 2), ("iters", 1)])
+            .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "oregami-core-no-such-{}.jrnl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let err = match sys.resume(&r, &path) {
+            Err(e) => e,
+            Ok(_) => panic!("resume from a missing journal must fail"),
+        };
+        assert!(matches!(err, OregamiError::Journal(_)), "{err}");
+        assert!(err.to_string().starts_with("JOURNAL:"));
+    }
+
+    #[test]
+    fn supervised_toolchain_reports_health() {
+        let sys = Oregami::new(builders::hypercube(2))
+            .with_supervisor(SupervisorConfig::default());
+        let r = sys
+            .map_source_with_budget(
+                &larcs::programs::jacobi(),
+                &[("n", 2), ("iters", 1)],
+                &FallbackChain::full(),
+                &Budget::unlimited(),
+            )
+            .unwrap();
+        let engine = r.engine.as_ref().unwrap();
+        assert_eq!(engine.health, ServiceHealth::Healthy);
+        assert!(!r.is_degraded());
+        let state = sys.supervisor_state().unwrap();
+        assert!(!state.any_tripped());
+        assert!(engine.to_string().contains("health: healthy"));
     }
 
     #[test]

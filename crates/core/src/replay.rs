@@ -1,0 +1,213 @@
+//! The edit-script dialect shared by `--edits` replay and the session
+//! journal: one op per line, parsed into [`ReplayOp`]s and serialised
+//! back to canonical records.
+//!
+//! Syntax (whitespace-separated tokens; `#` starts a comment line):
+//!
+//! ```text
+//! reassign T P            move task T to processor P
+//! reroute K E P0 P1 ..    replace phase K edge E's route with the path
+//! fault proc:N link:M ..  fail processors/links
+//! undo                    revert the most recent edit
+//! ```
+//!
+//! [`parse_line`] is total over arbitrary text: blank lines,
+//! whitespace-only lines, CRLF line endings, and comments parse to
+//! `Ok(None)` instead of panicking (the old CLI tokenizer `expect`ed the
+//! caller to pre-filter blanks — a whitespace-only line was a latent
+//! panic); anything else is a typed error the CLI reports as
+//! `file:line` with exit code 2. [`to_record`] writes the canonical form
+//! journal frames use; `parse → serialise → parse` is the identity on
+//! the op.
+
+use oregami_mapper::metrics_engine::Edit;
+use oregami_topology::{FaultSet, LinkId, ProcId};
+
+/// One line of an edit script or journal: an edit to apply, or an undo.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayOp {
+    /// Apply this edit through the incremental engine.
+    Apply(Edit),
+    /// Revert the most recent edit.
+    Undo,
+}
+
+/// Parses one raw script line. `Ok(None)` for blank, whitespace-only,
+/// and `#`-comment lines (CRLF tolerated); `Err` carries a message
+/// without file/line context — the caller prefixes its own.
+pub fn parse_line(raw: &str) -> Result<Option<ReplayOp>, String> {
+    let line = raw.trim_end_matches('\r').trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut tok = line.split_whitespace();
+    let op = match tok.next() {
+        Some(op) => op,
+        // unreachable after the blank check above, but never a panic:
+        // the tokenizer must be total over arbitrary file contents
+        None => return Ok(None),
+    };
+    let int = |s: Option<&str>, what: &str| -> Result<u32, String> {
+        s.ok_or_else(|| format!("missing {what}"))?
+            .parse()
+            .map_err(|_| format!("bad {what}"))
+    };
+    match op {
+        "reassign" => {
+            let task = int(tok.next(), "task id")? as usize;
+            let proc = ProcId(int(tok.next(), "processor id")?);
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'reassign T P'".into());
+            }
+            Ok(Some(ReplayOp::Apply(Edit::Reassign { task, proc })))
+        }
+        "reroute" => {
+            let phase = int(tok.next(), "phase id")? as usize;
+            let edge = int(tok.next(), "edge id")? as usize;
+            let path: Vec<ProcId> = tok
+                .map(|t| {
+                    t.parse()
+                        .map(ProcId)
+                        .map_err(|_| format!("bad processor id '{t}'"))
+                })
+                .collect::<Result<_, _>>()?;
+            if path.is_empty() {
+                return Err("reroute needs a path of processor ids".into());
+            }
+            Ok(Some(ReplayOp::Apply(Edit::Reroute { phase, edge, path })))
+        }
+        "fault" => {
+            let mut faults = FaultSet::new();
+            let mut any = false;
+            for t in tok {
+                any = true;
+                if let Some(id) = t.strip_prefix("proc:") {
+                    faults.fail_proc(ProcId(
+                        id.parse().map_err(|_| format!("bad processor id '{t}'"))?,
+                    ));
+                } else if let Some(id) = t.strip_prefix("link:") {
+                    faults.fail_link(LinkId(
+                        id.parse().map_err(|_| format!("bad link id '{t}'"))?,
+                    ));
+                } else {
+                    return Err(format!("expected proc:<id> or link:<id>, got '{t}'"));
+                }
+            }
+            if !any {
+                return Err("fault needs at least one proc:<id> or link:<id>".into());
+            }
+            Ok(Some(ReplayOp::Apply(Edit::Fault(faults))))
+        }
+        "undo" => {
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'undo'".into());
+            }
+            Ok(Some(ReplayOp::Undo))
+        }
+        other => Err(format!(
+            "unknown edit '{other}' (expected reassign, reroute, fault, undo)"
+        )),
+    }
+}
+
+/// The canonical one-line record of an op — what journal frames hold.
+/// Round-trips: `parse_line(&to_record(op)) == Ok(Some(op))`.
+pub fn to_record(op: &ReplayOp) -> String {
+    match op {
+        ReplayOp::Undo => "undo".to_string(),
+        ReplayOp::Apply(Edit::Reassign { task, proc }) => {
+            format!("reassign {task} {}", proc.0)
+        }
+        ReplayOp::Apply(Edit::Reroute { phase, edge, path }) => {
+            let hops: Vec<String> = path.iter().map(|p| p.0.to_string()).collect();
+            format!("reroute {phase} {edge} {}", hops.join(" "))
+        }
+        ReplayOp::Apply(Edit::Fault(fs)) => {
+            // sort for determinism: FaultSet iteration order is the
+            // backing set's, but the record should be stable
+            let mut parts: Vec<String> = Vec::new();
+            let mut procs: Vec<u32> = fs.procs().map(|p| p.0).collect();
+            procs.sort_unstable();
+            parts.extend(procs.iter().map(|p| format!("proc:{p}")));
+            let mut links: Vec<u32> = fs.links().map(|l| l.0).collect();
+            links.sort_unstable();
+            parts.extend(links.iter().map(|l| format!("link:{l}")));
+            format!("fault {}", parts.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_whitespace_crlf_and_comment_lines_are_skipped() {
+        for line in ["", "   ", "\t", "\r", "   \r", "# comment", "  # indented\r"] {
+            assert_eq!(parse_line(line), Ok(None), "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn ops_parse_with_crlf_endings() {
+        assert_eq!(
+            parse_line("reassign 3 1\r"),
+            Ok(Some(ReplayOp::Apply(Edit::Reassign {
+                task: 3,
+                proc: ProcId(1)
+            })))
+        );
+        assert_eq!(parse_line("undo\r"), Ok(Some(ReplayOp::Undo)));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_not_panics() {
+        for line in [
+            "reassign",
+            "reassign 1",
+            "reassign 1 2 3",
+            "reassign x y",
+            "reroute 0 0",
+            "reroute a b 0",
+            "fault",
+            "fault bogus",
+            "fault proc:x",
+            "undo now",
+            "frobnicate 1",
+        ] {
+            assert!(parse_line(line).is_err(), "line {line:?} must error");
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let ops = vec![
+            ReplayOp::Apply(Edit::Reassign {
+                task: 7,
+                proc: ProcId(3),
+            }),
+            ReplayOp::Apply(Edit::Reroute {
+                phase: 1,
+                edge: 4,
+                path: vec![ProcId(0), ProcId(2), ProcId(3)],
+            }),
+            ReplayOp::Apply(Edit::Fault(
+                {
+                    let mut f = FaultSet::new();
+                    f.fail_proc(ProcId(5));
+                    f.fail_link(LinkId(2));
+                    f.fail_proc(ProcId(1));
+                    f
+                },
+            )),
+            ReplayOp::Undo,
+        ];
+        for op in ops {
+            let record = to_record(&op);
+            let parsed = parse_line(&record).unwrap().unwrap();
+            assert_eq!(parsed, op, "record {record:?}");
+            // canonical form is a fixed point
+            assert_eq!(to_record(&parsed), record);
+        }
+    }
+}

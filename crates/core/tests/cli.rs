@@ -279,6 +279,169 @@ fn oversized_topology_is_a_usage_error() {
 }
 
 #[test]
+fn edits_tokenizer_tolerates_whitespace_and_crlf_lines() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-crlf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("session.edits");
+    // CRLF endings, a whitespace-only line, and an indented comment: none
+    // of these may panic or error — only the two real ops replay
+    std::fs::write(
+        &script,
+        "reassign 0 7\r\n   \r\n\t\r\n  # indented comment\r\nundo\r\n",
+    )
+    .unwrap();
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("replayed 2 edit(s)"), "{text}");
+
+    // a malformed op on a CRLF line still reports its position, exit 2
+    std::fs::write(&script, "reassign 0 7\r\nfrobnicate\r\n").unwrap();
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":2:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The crash-recovery acceptance path: journal a session, sever the last
+/// frame as a crash would, resume — the surviving prefix must restore
+/// byte-identical state with exit 0 and a torn-tail warning.
+#[test]
+fn journalled_session_resumes_after_torn_tail() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-jrnl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("session.edits");
+    let journal = dir.join("session.jrnl");
+    std::fs::write(
+        &script,
+        "reassign 0 7\nreassign 1 6\nundo\nreassign 2 5\n",
+    )
+    .unwrap();
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+            "--journal", journal.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("journalling edits to"), "{text}");
+    assert!(text.contains("replayed 4 edit(s)"), "{text}");
+
+    // sever the final frame mid-write, as a crash would
+    let len = std::fs::metadata(&journal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&journal).unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--resume", journal.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let resumed = String::from_utf8(out.stdout).unwrap();
+    assert!(resumed.contains("torn tail"), "{resumed}");
+    assert!(resumed.contains("resumed 3 journalled edit(s)"), "{resumed}");
+
+    // byte-identical state: the resumed final report must equal a fresh
+    // replay of exactly the surviving prefix
+    std::fs::write(&script, "reassign 0 7\nreassign 1 6\nundo\n").unwrap();
+    let reference = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let reference = String::from_utf8(reference.stdout).unwrap();
+    let tail = |s: &str| {
+        let at = s.find("final session state:").expect("marker");
+        s[at..].to_string()
+    };
+    assert_eq!(tail(&resumed), tail(&reference));
+
+    // the resume already truncated the tail: a second resume is clean
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--resume", journal.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let again = String::from_utf8(out.stdout).unwrap();
+    assert!(!again.contains("torn tail"), "{again}");
+    assert_eq!(tail(&again), tail(&reference));
+
+    // --journal and --resume together is a usage error
+    let out = oregami()
+        .args([
+            "--program", "nbody", "--topology", "hypercube:3",
+            "--journal", journal.to_str().unwrap(),
+            "--resume", journal.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervised_run_reports_health_and_chaos_storm_exits_7() {
+    // a clean supervised run serves optimally and reports healthy
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "hypercube:2",
+            "-P", "n=2", "-P", "iters=1", "--supervise", "--fallback",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("health: healthy"), "{text}");
+
+    // chaos panics in every stage of a single-stage chain: nothing can
+    // serve, so the supervised engine reports unserviceable with exit 7
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "hypercube:2",
+            "-P", "n=2", "-P", "iters=1",
+            "--chain", "exhaustive", "--chaos", "seed=1,panic=1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unserviceable"));
+
+    // a bad chaos spec is a usage error
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "hypercube:2",
+            "--chaos", "panic=banana",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn larcs_errors_reported_with_position() {
     let dir = std::env::temp_dir().join(format!("oregami-cli-err-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -136,6 +136,21 @@ impl Budget {
         self.steps.load(Ordering::Relaxed)
     }
 
+    /// The absolute wall-clock deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Wall-clock time left before the deadline (zero once it has
+    /// passed), or `None` when the budget has no deadline. The
+    /// supervisor's watchdog uses this to size its wait: fire the kill
+    /// token when this runs out, declare the stage hung a grace window
+    /// later.
+    pub fn time_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// The step quota left before [`tick`](Budget::tick) starts reporting
     /// [`Completion::BudgetExhausted`], or `None` when unmetered.
     pub fn remaining_steps(&self) -> Option<u64> {

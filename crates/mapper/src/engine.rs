@@ -50,6 +50,7 @@ use crate::pipeline::{
     map_task_graph_budgeted_with_table, MapError, MapperOptions, MapperReport, Strategy,
 };
 use crate::routing::baseline::baseline_route_all;
+use crate::supervisor::{run_stages_supervised, served_health, ServiceHealth, SupervisorConfig};
 use oregami_graph::TaskGraph;
 use oregami_topology::{Network, ProcId, RouteTableCache};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,7 +60,7 @@ use std::time::{Duration, Instant};
 
 /// One stage of a fallback chain, ordered from highest mapping quality
 /// (and cost) to cheapest guaranteed-success placement.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StageKind {
     /// Branch-and-bound exhaustive embedding over the contracted cluster
     /// graph — optimal when run to completion, factorial in the worst
@@ -207,6 +208,13 @@ pub struct EngineConfig {
     /// The METRICS cost model candidates are ranked under — the same
     /// model the metrics report for the served mapping uses.
     pub cost_model: CostModel,
+    /// When set, stages run under the supervisor: each on a watched
+    /// worker thread with a deadline watchdog (non-polling stages get
+    /// killed and, past the grace window, detached and reported
+    /// [`StageStatus::Hung`]), bounded retry for transient failures, and
+    /// persistent per-stage circuit breakers. Supervised execution is
+    /// sequential — it overrides [`EngineConfig::parallelism`].
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl EngineConfig {
@@ -216,7 +224,15 @@ impl EngineConfig {
             parallelism: Parallelism::Sequential,
             cache: Some(cache),
             cost_model: CostModel::default(),
+            supervisor: None,
         }
+    }
+
+    /// Enables supervised stage execution (watchdog + retry + circuit
+    /// breakers). See [`crate::supervisor`].
+    pub fn supervised(mut self, cfg: SupervisorConfig) -> EngineConfig {
+        self.supervisor = Some(cfg);
+        self
     }
 
     /// Sets the cost model candidates are ranked under.
@@ -250,6 +266,13 @@ pub enum StageStatus {
     Failed(String),
     /// Panicked; the panic was contained and the chain continued.
     Panicked(String),
+    /// Never responded to its kill token within the deadline + grace
+    /// window: the supervisor detached its worker thread and moved on
+    /// (supervised runs only).
+    Hung,
+    /// Skipped because the stage's circuit breaker is open after too
+    /// many consecutive panics/hangs (supervised runs only).
+    CircuitOpen,
 }
 
 /// One stage's entry in the [`EngineReport`].
@@ -268,6 +291,9 @@ pub struct StageReport {
     /// METRICS scalar cost of its candidate under the engine's cost
     /// model (candidates only).
     pub cost: Option<u64>,
+    /// How many times the stage was attempted (supervised runs retry
+    /// transient failures; unsupervised runs report 1, skips 0).
+    pub attempts: u32,
 }
 
 /// The engine's structured account of a chain run.
@@ -288,6 +314,13 @@ pub struct EngineReport {
     pub steps: u64,
     /// How the stages were scheduled.
     pub parallelism: Parallelism,
+    /// The service-level verdict: [`ServiceHealth::Healthy`] only when
+    /// the run served optimally with no failures, hangs, retries, or
+    /// tripped breakers; a served run is otherwise
+    /// [`ServiceHealth::Degraded`]. ([`ServiceHealth::Unserviceable`]
+    /// runs don't produce a report — they are the
+    /// [`MapError::Unserviceable`] error path.)
+    pub health: ServiceHealth,
 }
 
 impl EngineReport {
@@ -329,9 +362,18 @@ impl std::fmt::Display for EngineReport {
                 StageStatus::Skipped => write!(f, "skipped")?,
                 StageStatus::Failed(e) => write!(f, "failed: {e}")?,
                 StageStatus::Panicked(msg) => write!(f, "panicked: {msg}")?,
+                StageStatus::Hung => write!(
+                    f,
+                    "hung: no response within deadline + grace; worker detached"
+                )?,
+                StageStatus::CircuitOpen => write!(f, "skipped: circuit breaker open")?,
+            }
+            if s.attempts > 1 {
+                write!(f, " [{} attempts]", s.attempts)?;
             }
             writeln!(f)?;
         }
+        writeln!(f, "  health: {}", self.health)?;
         Ok(())
     }
 }
@@ -399,7 +441,11 @@ pub fn run_engine_with(
     let start = Instant::now();
 
     let workers = config.parallelism.workers_for(chain.stages.len());
-    let raw = if workers > 1 {
+    let raw = if let Some(sup) = &config.supervisor {
+        // Supervised execution is sequential: each stage runs on its own
+        // watched worker thread, so parallel scheduling is overridden.
+        run_stages_supervised(tg, net, opts, chain, budget, &cache, sup)
+    } else if workers > 1 {
         run_stages_parallel(tg, net, opts, chain, budget, &cache, workers)
     } else {
         run_stages_sequential(tg, net, opts, chain, budget, &cache)
@@ -424,6 +470,7 @@ pub fn run_engine_with(
             outcome,
             elapsed,
             steps,
+            attempts,
         } = raw_stage;
         if stop {
             stages.push(StageReport {
@@ -433,6 +480,7 @@ pub fn run_engine_with(
                 elapsed,
                 steps,
                 cost: None,
+                attempts,
             });
             continue;
         }
@@ -450,6 +498,7 @@ pub fn run_engine_with(
                     elapsed,
                     steps,
                     cost: Some(cost),
+                    attempts,
                 });
                 match completion {
                     Completion::Optimal => stop = true,
@@ -472,6 +521,7 @@ pub fn run_engine_with(
                     elapsed,
                     steps,
                     cost: None,
+                    attempts,
                 });
             }
             RawOutcome::Panicked(msg) => {
@@ -482,6 +532,29 @@ pub fn run_engine_with(
                     elapsed,
                     steps,
                     cost: None,
+                    attempts,
+                });
+            }
+            RawOutcome::Hung => {
+                stages.push(StageReport {
+                    stage: kind,
+                    status: StageStatus::Hung,
+                    completion: None,
+                    elapsed,
+                    steps,
+                    cost: None,
+                    attempts,
+                });
+            }
+            RawOutcome::CircuitOpen => {
+                stages.push(StageReport {
+                    stage: kind,
+                    status: StageStatus::CircuitOpen,
+                    completion: None,
+                    elapsed,
+                    steps,
+                    cost: None,
+                    attempts,
                 });
             }
             RawOutcome::NotRun => {
@@ -492,20 +565,24 @@ pub fn run_engine_with(
                     elapsed,
                     steps,
                     cost: None,
+                    attempts,
                 });
             }
         }
     }
 
+    let sup_state = config.supervisor.as_ref().map(|s| &*s.state);
     match best {
         Some((report, _, idx)) => {
             stages[idx].status = StageStatus::Served;
+            let health = served_health(&stages, worst_completion, sup_state);
             let engine = EngineReport {
                 served_by: stages[idx].stage,
                 completion: worst_completion,
                 elapsed: start.elapsed(),
                 steps: budget.steps_used(),
                 parallelism: config.parallelism,
+                health,
                 stages,
             };
             Ok(EngineOutcome { report, engine })
@@ -519,51 +596,70 @@ pub fn run_engine_with(
                         StageStatus::Failed(e) => e.clone(),
                         StageStatus::Panicked(msg) => format!("panic: {msg}"),
                         StageStatus::Skipped => "skipped".into(),
+                        StageStatus::Hung => "hung (worker detached)".into(),
+                        StageStatus::CircuitOpen => "circuit breaker open".into(),
                         _ => "no candidate".into(),
                     };
                     format!("{}: {}", s.stage, fate)
                 })
                 .collect::<Vec<_>>()
                 .join("; ");
-            Err(MapError::AllStagesFailed(details))
+            if config.supervisor.is_some() {
+                // A supervised run that serves nothing is the
+                // Unserviceable health verdict, as a typed error.
+                Err(MapError::Unserviceable(details))
+            } else {
+                Err(MapError::AllStagesFailed(details))
+            }
         }
     }
 }
 
 /// What one stage execution produced, before the chain-order fold.
-enum RawOutcome {
+pub(crate) enum RawOutcome {
     Candidate(MapperReport, Completion),
     Failed(MapError),
     Panicked(String),
+    /// The stage's worker never responded to its kill token within the
+    /// grace window; the supervisor detached it (supervised runs only).
+    Hung,
+    /// The stage's circuit breaker is open; the supervisor skipped it
+    /// (supervised runs only).
+    CircuitOpen,
     /// The stage never started (an earlier stage had already ended the
     /// chain).
     NotRun,
 }
 
-struct RawStage {
-    outcome: RawOutcome,
-    elapsed: Duration,
-    steps: u64,
+pub(crate) struct RawStage {
+    pub(crate) outcome: RawOutcome,
+    pub(crate) elapsed: Duration,
+    pub(crate) steps: u64,
+    pub(crate) attempts: u32,
 }
 
 impl RawStage {
-    fn not_run() -> RawStage {
+    pub(crate) fn not_run() -> RawStage {
         RawStage {
             outcome: RawOutcome::NotRun,
             elapsed: Duration::ZERO,
             steps: 0,
+            attempts: 0,
         }
     }
 
     /// Whether, under sequential chain semantics, no later stage would
     /// run after this result.
-    fn ends_chain(&self) -> bool {
+    pub(crate) fn ends_chain(&self) -> bool {
         match &self.outcome {
             RawOutcome::Candidate(_, completion) => {
                 !matches!(completion, Completion::BudgetExhausted)
             }
             RawOutcome::Failed(e) => matches!(e, MapError::Cancelled),
             RawOutcome::Panicked(_) | RawOutcome::NotRun => false,
+            // a hung stage spent the deadline but the chain's cheaper
+            // stages still get their (grace-window) chance to serve
+            RawOutcome::Hung | RawOutcome::CircuitOpen => false,
         }
     }
 }
@@ -593,6 +689,7 @@ fn execute_stage(
         outcome,
         elapsed,
         steps,
+        attempts: 1,
     }
 }
 
@@ -684,7 +781,7 @@ fn run_stages_parallel(
         .collect()
 }
 
-fn run_stage(
+pub(crate) fn run_stage(
     kind: StageKind,
     tg: &TaskGraph,
     net: &Network,
@@ -772,7 +869,7 @@ fn identity_stage(
     ))
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {

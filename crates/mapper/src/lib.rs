@@ -44,6 +44,7 @@ pub mod pipeline;
 pub mod remap;
 pub mod repair;
 pub mod routing;
+pub mod supervisor;
 pub mod systolic;
 
 pub use budget::{Budget, CancelToken, Completion};
@@ -69,3 +70,7 @@ pub use repair::{
     RepairReport,
 };
 pub use routing::{mm_route, RoutedPhase};
+pub use supervisor::{
+    BreakerConfig, BreakerState, BreakerView, ChaosConfig, RetryPolicy, ServiceHealth,
+    SupervisorConfig, SupervisorState,
+};

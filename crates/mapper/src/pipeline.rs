@@ -109,6 +109,17 @@ pub enum MapError {
     /// Every stage of a fallback chain failed or panicked; the message
     /// summarises each stage's fate.
     AllStagesFailed(String),
+    /// A supervised stage was killed by the watchdog at the deadline and
+    /// returned no candidate. Unlike [`MapError::Cancelled`] this does
+    /// not end the chain — cheaper stages still get their grace-window
+    /// chance to serve.
+    StageKilled,
+    /// A *supervised* chain could serve nothing: every stage failed,
+    /// panicked, hung past its grace window, or was skipped by an open
+    /// circuit breaker. The service-level verdict
+    /// [`crate::supervisor::ServiceHealth::Unserviceable`] as a typed
+    /// error; the CLI maps it to exit code 7.
+    Unserviceable(String),
 }
 
 impl std::fmt::Display for MapError {
@@ -123,6 +134,12 @@ impl std::fmt::Display for MapError {
             MapError::Cancelled => write!(f, "mapping cancelled before any result"),
             MapError::AllStagesFailed(details) => {
                 write!(f, "every fallback stage failed: {details}")
+            }
+            MapError::StageKilled => {
+                write!(f, "stage killed at deadline with no candidate")
+            }
+            MapError::Unserviceable(details) => {
+                write!(f, "unserviceable: {details}")
             }
         }
     }

@@ -161,6 +161,56 @@ proptest! {
     }
 }
 
+/// `undo()` called immediately after a budget-stopped `apply_budgeted`
+/// must revert the last *successful* edit exactly: the refused edit may
+/// leave no partial state and no undo record behind.
+#[test]
+fn undo_immediately_after_budget_stopped_apply_restores_exactly() {
+    use oregami_mapper::Budget;
+    let edges = [(0, 1, 5), (1, 2, 7), (2, 3, 3), (3, 4, 9), (4, 5, 2), (5, 6, 4)];
+    let (tg, net, mapping) = random_setup(&edges, 2, 0, 0xBEEF);
+    let model = CostModel::default();
+    let mut engine = MetricsEngine::try_new(&tg, &net, &mapping, &model).unwrap();
+    let initial = report_from_engine(&engine);
+
+    let budget = Budget::unlimited().with_max_steps(512);
+    engine
+        .apply_budgeted(
+            Edit::Reassign {
+                task: 0,
+                proc: ProcId(1),
+            },
+            &budget,
+        )
+        .unwrap();
+    let after_first = report_from_engine(&engine);
+    let depth = engine.undo_depth();
+
+    // drain the quota: the next apply is refused with the engine intact
+    budget.charge(512);
+    let err = engine
+        .apply_budgeted(
+            Edit::Reassign {
+                task: 1,
+                proc: ProcId(2),
+            },
+            &budget,
+        )
+        .unwrap_err();
+    assert!(matches!(err, oregami_metrics::EditError::Budget(_)));
+    assert_eq!(report_from_engine(&engine), after_first);
+    assert_eq!(engine.undo_depth(), depth);
+
+    // undo immediately after the stop reverts the last successful edit to
+    // a byte-identical initial report, cross-checked against batch
+    assert!(engine.undo().is_some());
+    assert_eq!(report_from_engine(&engine), initial);
+    let batch = try_analyze_mapping(&tg, engine.network(), engine.mapping(), &model).unwrap();
+    assert_eq!(report_from_engine(&engine), batch);
+    // the refused edit must not have pushed an undo record
+    assert!(engine.undo().is_none());
+}
+
 /// The scalar figures a [`oregami_metrics::MetricSnapshot`] carries, read
 /// out of a full report, for checking an edit's `delta.before`.
 fn before_snapshot(r: &oregami_metrics::MetricsReport) -> oregami_metrics::MetricSnapshot {

@@ -83,6 +83,16 @@ struct Inner {
     evictions: u64,
 }
 
+/// Locks the ledger, recovering from poisoning. A panic inside a stage
+/// holding the guard (contained by the engine's `catch_unwind`) must
+/// not fail every later run sharing the `Oregami` cache: the ledger's
+/// invariants hold after any partial update (the map always holds valid
+/// `Arc<RouteTable>`s; ticks/counters are mere bookkeeping), so the
+/// poison flag carries no information here and is safe to strip.
+fn lock_ledger(inner: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A thread-safe, LRU-bounded map from network structure (+ fault mask)
 /// to [`Arc<RouteTable>`]. See the module docs for keying semantics.
 pub struct RouteTableCache {
@@ -151,7 +161,7 @@ impl RouteTableCache {
         build: impl FnOnce() -> Result<RouteTable, TopologyError>,
     ) -> Result<Arc<RouteTable>, TopologyError> {
         {
-            let mut inner = self.inner.lock().expect("route-table cache poisoned");
+            let mut inner = lock_ledger(&self.inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some((table, last_used)) = inner.map.get_mut(&key) {
@@ -167,7 +177,7 @@ impl RouteTableCache {
         // Racing builders may duplicate work once; the second insert wins
         // and both hand out valid tables.
         let table = Arc::new(build()?);
-        let mut inner = self.inner.lock().expect("route-table cache poisoned");
+        let mut inner = lock_ledger(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.insert(key, (Arc::clone(&table), tick));
@@ -188,7 +198,7 @@ impl RouteTableCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("route-table cache poisoned");
+        let inner = lock_ledger(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -200,11 +210,7 @@ impl RouteTableCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner
-            .lock()
-            .expect("route-table cache poisoned")
-            .map
-            .clear();
+        lock_ledger(&self.inner).map.clear();
     }
 }
 
@@ -301,6 +307,36 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.len, 1);
         assert_eq!(s.hits + s.misses, 4);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        // Regression: a panic on a thread holding the cache lock used to
+        // poison it, failing every subsequent run sharing the `Oregami`
+        // cache. The cache must shrug the poison off and keep serving.
+        let cache = std::sync::Arc::new(RouteTableCache::new(4));
+        let q = builders::hypercube(3);
+        cache.get_or_build(&q).unwrap();
+
+        let poisoner = std::sync::Arc::clone(&cache);
+        let handle = std::thread::spawn(move || {
+            // Panic while holding the guard, exactly as a panicking
+            // engine stage mid-lookup would.
+            let _guard = lock_ledger(&poisoner.inner);
+            panic!("injected panic while holding the cache lock");
+        });
+        assert!(handle.join().is_err(), "poisoner thread must panic");
+        assert!(cache.inner.is_poisoned());
+
+        // every public entry point must still work from another thread
+        let t = cache.get_or_build(&q).unwrap();
+        assert_eq!(t.dist(ProcId(0), ProcId(7)), 3);
+        let d = q.degrade(&FaultSet::new().with_proc(ProcId(1))).unwrap();
+        cache.get_or_build_degraded(&d).unwrap();
+        let s = cache.stats();
+        assert!(s.hits >= 1 && s.len == 2);
+        cache.clear();
+        assert_eq!(cache.stats().len, 0);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! Semantics differ from real proptest in one deliberate way: failing
 //! cases are **not shrunk** — the panic message reports the failing
 //! assertion directly. Case generation is seeded deterministically (with a
-//! `PROPTEST_SEED` env override) so failures reproduce across runs.
+//! `PROPTEST_SEED` env override) so failures reproduce across runs, and a
+//! failing case prints the `PROPTEST_SEED` value that replays it as case
+//! 0 of the next run.
 
 pub mod strategy;
 
@@ -59,8 +61,27 @@ macro_rules! __proptest_cases {
                     $body
                 };
                 for __i in 0..__config.cases {
-                    let _ = __i;
-                    __case(&mut __rng);
+                    // capture the stream position so a failing case can be
+                    // replayed alone: seeding PROPTEST_SEED with the
+                    // reported value makes it case 0 of the next run
+                    let __state = __rng.state();
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __case(&mut __rng)),
+                    );
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest shim: property '{}' failed at case {}/{}; \
+                             replay just this case with PROPTEST_SEED={}",
+                            stringify!($name),
+                            __i,
+                            __config.cases,
+                            $crate::test_runner::TestRng::seed_for_replay(
+                                stringify!($name),
+                                __state,
+                            ),
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
                 }
             }
         )*

@@ -35,15 +35,31 @@ impl TestRng {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(0x4F1E_9A2B_66D3_C801u64);
-        // FNV-1a over the test name so distinct tests get distinct streams
+        TestRng {
+            state: base ^ Self::name_hash(name),
+        }
+    }
+
+    /// FNV-1a over the test name so distinct tests get distinct streams.
+    fn name_hash(name: &str) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng {
-            state: base ^ h,
-        }
+        h
+    }
+
+    /// The current stream position (captured before each case so a
+    /// failure can report a replay seed).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The `PROPTEST_SEED` value that makes the case which began at
+    /// `state` in this test's stream come up as case 0 on the next run.
+    pub fn seed_for_replay(name: &str, state: u64) -> u64 {
+        state ^ Self::name_hash(name)
     }
 
     /// The next 64 random bits.
@@ -59,5 +75,32 @@ impl TestRng {
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick from an empty set");
         (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_seed_restores_the_captured_stream_position() {
+        let name = "some_property";
+        let mut rng = TestRng::for_test(name);
+        rng.next_u64();
+        rng.next_u64();
+        let state = rng.state();
+        let replay = TestRng::seed_for_replay(name, state);
+        // a fresh rng built from the replay seed (as PROPTEST_SEED would)
+        // starts exactly where the failing case began
+        let fresh = TestRng {
+            state: replay ^ TestRng::name_hash(name),
+        };
+        assert_eq!(fresh.state(), state);
+        // and the two streams generate identically from there
+        let mut a = rng.clone();
+        let mut b = fresh;
+        for _ in 0..4 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 }
