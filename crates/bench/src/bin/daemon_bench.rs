@@ -1,0 +1,341 @@
+//! Client-driven storm bench for the oregamid daemon, emitting
+//! `BENCH_daemon.json` (the CI daemon-smoke artifact).
+//!
+//! ```sh
+//! cargo run --release -p oregami-bench --bin daemon_bench              # full storm
+//! cargo run --release -p oregami-bench --bin daemon_bench -- --quick  # CI-sized
+//! cargo run --release -p oregami-bench --bin daemon_bench -- --clients 16 --per-client 50
+//! ```
+//!
+//! An in-process daemon is stood up on a scratch Unix socket and driven
+//! through three phases from real client connections:
+//!
+//! 1. **uniform** — every client sends the identical request, so the
+//!    coalescer should collapse most of the fleet onto one computation;
+//! 2. **chaos** — mixed workload with seeded panic/stall injection on a
+//!    slice of the requests;
+//! 3. **overload** — distinct stalled requests against a deliberately
+//!    small queue, forcing typed `overloaded` shedding.
+//!
+//! The invariant under test: every request is answered — served or shed
+//! with a *typed* error — with zero transport failures and zero worker
+//! deaths, and the daemon still answers `health` after the storm. Any
+//! violation exits non-zero so CI fails loudly.
+
+use oregami_daemon::json::{obj, Json};
+use oregami_daemon::{Client, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error kinds the daemon is allowed to answer with under storm; any
+/// other kind (transport: io/closed/truncated/bad_json) is a violation.
+const TYPED_KINDS: [&str; 7] = [
+    "overloaded",
+    "unserviceable",
+    "shutting_down",
+    "map",
+    "fault",
+    "repair",
+    "internal",
+];
+
+struct PhaseStats {
+    name: &'static str,
+    sent: usize,
+    served: usize,
+    shed_or_failed: usize,
+    untyped: usize,
+    wall: Duration,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives one phase: `clients` connections, `per_client` requests each,
+/// request shape chosen by `make_req(global_index)`.
+fn run_phase(
+    socket: &Path,
+    name: &'static str,
+    clients: usize,
+    per_client: usize,
+    make_req: impl Fn(u64) -> Json + Send + Sync + 'static,
+) -> PhaseStats {
+    let make_req = Arc::new(make_req);
+    let barrier = Arc::new(Barrier::new(clients));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let outcomes: Arc<Mutex<(usize, usize, usize)>> = Arc::new(Mutex::new((0, 0, 0)));
+    let started = Instant::now();
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let sock = socket.to_path_buf();
+        let gate = Arc::clone(&barrier);
+        let lat = Arc::clone(&latencies);
+        let out = Arc::clone(&outcomes);
+        let mk = Arc::clone(&make_req);
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&sock).expect("connect to daemon");
+            client
+                .set_timeout(Some(Duration::from_secs(120)))
+                .expect("set timeout");
+            gate.wait();
+            let mut my_lat = Vec::with_capacity(per_client);
+            let (mut served, mut typed, mut untyped) = (0usize, 0usize, 0usize);
+            for i in 0..per_client {
+                let req = mk((c * per_client + i) as u64);
+                let t0 = Instant::now();
+                let answer = client.request(&req);
+                my_lat.push(t0.elapsed().as_micros() as u64);
+                match answer {
+                    Ok(_) => served += 1,
+                    Err((kind, _)) if TYPED_KINDS.contains(&kind.as_str()) => typed += 1,
+                    Err((kind, msg)) => {
+                        eprintln!("INVARIANT VIOLATED: untyped outcome {kind}: {msg}");
+                        untyped += 1;
+                    }
+                }
+            }
+            lat.lock().unwrap().extend(my_lat);
+            let mut o = out.lock().unwrap();
+            o.0 += served;
+            o.1 += typed;
+            o.2 += untyped;
+        }));
+    }
+    for j in joins {
+        j.join().expect("bench client panicked");
+    }
+    let wall = started.elapsed();
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    let (served, typed, untyped) = *outcomes.lock().unwrap();
+    PhaseStats {
+        name,
+        sent: clients * per_client,
+        served,
+        shed_or_failed: typed,
+        untyped,
+        wall,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+        max_us: percentile(&lat, 1.0),
+    }
+}
+
+fn base_request(msgsize: i64, chaos: Option<String>, deadline_ms: Option<u64>) -> Json {
+    let mut b = obj()
+        .field("op", "map")
+        .field("program", "nbody")
+        .field("topology", "hypercube:3")
+        .field(
+            "params",
+            obj()
+                .field("n", 16i64)
+                .field("s", 2i64)
+                .field("msgsize", msgsize)
+                .build(),
+        );
+    if let Some(spec) = chaos {
+        b = b.field("chaos", spec);
+    }
+    if let Some(ms) = deadline_ms {
+        b = b.field("deadline_ms", ms);
+    }
+    b.build()
+}
+
+fn phase_json(p: &PhaseStats) -> String {
+    let reqps = p.sent as f64 / p.wall.as_secs_f64().max(1e-9);
+    format!(
+        "{{\"phase\": \"{}\", \"sent\": {}, \"served\": {}, \"shed_or_failed_typed\": {}, \
+         \"untyped\": {}, \"wall_ms\": {:.3}, \"req_per_s\": {:.1}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        p.name,
+        p.sent,
+        p.served,
+        p.shed_or_failed,
+        p.untyped,
+        p.wall.as_secs_f64() * 1e3,
+        reqps,
+        p.p50_us,
+        p.p99_us,
+        p.max_us
+    )
+}
+
+fn main() {
+    let mut clients = 8usize;
+    let mut per_client = 25usize;
+    let mut seed = 0xDAE0u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                clients = 4;
+                per_client = 10;
+            }
+            "--clients" => {
+                clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs a count");
+            }
+            "--per-client" => {
+                per_client = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--per-client needs a count");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    let clients = clients.max(1);
+    let per_client = per_client.max(1);
+
+    let socket: PathBuf =
+        std::env::temp_dir().join(format!("oregamid-bench-{}.sock", std::process::id()));
+    let state: PathBuf =
+        std::env::temp_dir().join(format!("oregamid-bench-{}.state", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_dir_all(&state);
+
+    // a storm's worth of injected panics would bury the summary lines
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut config = ServerConfig::new(&socket, &state);
+    config.workers = 4;
+    // below the client count, so the overload phase genuinely sheds
+    config.max_queue = 4;
+    let handle = Server::start(config).expect("start daemon");
+
+    println!(
+        "daemon bench: {clients} clients x {per_client} requests/phase, seed {seed:#x}, \
+         workers 4, max_queue 4"
+    );
+
+    // phase 1: identical requests — the coalescer's best case (the
+    // followers never occupy queue slots, so nothing is shed)
+    let uniform = run_phase(&socket, "uniform", clients, per_client, |_| {
+        base_request(4, None, None)
+    });
+
+    // phase 2: mixed workload, every 5th request chaos-injected
+    let chaos_seed = seed;
+    let chaos = run_phase(&socket, "chaos", clients, per_client, move |i| {
+        let spec = (i % 5 == 0).then(|| {
+            format!(
+                "seed={},panic=0.3,stall=0.2,stall-ms=5",
+                chaos_seed.wrapping_add(i)
+            )
+        });
+        base_request(1 + (i % 4) as i64, spec, None)
+    });
+
+    // phase 3: distinct stalled requests with hopeless deadlines against
+    // the small queue — both shedding paths (depth and feasibility) fire
+    let overload_seed = seed;
+    let overload = run_phase(&socket, "overload", clients, per_client, move |i| {
+        base_request(
+            1 + i as i64,
+            Some(format!(
+                "seed={},stall=1,stall-ms=20",
+                overload_seed.wrapping_add(i)
+            )),
+            Some(5),
+        )
+    });
+
+    // the daemon must still be standing and say so
+    let health = Client::connect(&socket)
+        .ok()
+        .and_then(|mut c| {
+            c.set_timeout(Some(Duration::from_secs(30))).ok()?;
+            c.request(&obj().field("op", "health").build()).ok()
+        });
+    let responsive = health.is_some();
+    if !responsive {
+        eprintln!("INVARIANT VIOLATED: daemon stopped answering health after the storm");
+    }
+
+    let stats = handle.shutdown();
+    let counter = |path: &[&str]| -> u64 {
+        let mut v = &stats;
+        for key in path {
+            match v.get(key) {
+                Some(inner) => v = inner,
+                None => return 0,
+            }
+        }
+        v.as_u64().unwrap_or(0)
+    };
+    let coalesced = counter(&["coalesced"]);
+    let shed_overloaded = counter(&["shed", "overloaded"]);
+    let panicked_workers = counter(&["panicked"]);
+    let completed = counter(&["completed"]);
+
+    let phases = [&uniform, &chaos, &overload];
+    let mut invariant_ok = responsive && panicked_workers == 0;
+    for p in phases {
+        println!(
+            "  {:<9} sent {:>4}  served {:>4}  typed-errs {:>3}  req/s {:>7.1}  \
+             p50 {:>6}us  p99 {:>7}us",
+            p.name,
+            p.sent,
+            p.served,
+            p.shed_or_failed,
+            p.sent as f64 / p.wall.as_secs_f64().max(1e-9),
+            p.p50_us,
+            p.p99_us
+        );
+        if p.untyped > 0 || p.served + p.shed_or_failed + p.untyped != p.sent {
+            invariant_ok = false;
+        }
+    }
+    println!(
+        "  coalesced {coalesced}  shed-overloaded {shed_overloaded}  completed {completed}  \
+         worker-panics {panicked_workers}"
+    );
+    println!("  invariant: {}", if invariant_ok { "ok" } else { "VIOLATED" });
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"daemon\",\n");
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"per_client\": {per_client},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&phase_json(p));
+        json.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"coalesced\": {coalesced},\n"));
+    json.push_str(&format!("  \"shed_overloaded\": {shed_overloaded},\n"));
+    json.push_str(&format!("  \"completed\": {completed},\n"));
+    json.push_str(&format!("  \"worker_panics\": {panicked_workers},\n"));
+    json.push_str(&format!("  \"daemon_responsive\": {responsive},\n"));
+    json.push_str(&format!("  \"invariant_ok\": {invariant_ok}\n"));
+    json.push_str("}\n");
+    let path = "BENCH_daemon.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+
+    let _ = std::fs::remove_dir_all(&state);
+    if !invariant_ok {
+        std::process::exit(1);
+    }
+}

@@ -114,6 +114,10 @@ impl Journal {
     }
 
     /// Creates (or truncates) a journal at `path` and writes the magic.
+    /// The parent directory is fsync'd too: on POSIX filesystems the new
+    /// directory entry is metadata of the *directory*, so without it a
+    /// power-loss crash can leave a fully-synced file that simply isn't
+    /// reachable by name.
     pub fn create(path: &Path) -> Result<Journal, JournalError> {
         let mut file = OpenOptions::new()
             .write(true)
@@ -123,6 +127,7 @@ impl Journal {
             .map_err(|e| Journal::io(path, e))?;
         file.write_all(MAGIC).map_err(|e| Journal::io(path, e))?;
         file.sync_data().map_err(|e| Journal::io(path, e))?;
+        sync_parent_dir(path)?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
@@ -176,6 +181,20 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Fsyncs the directory containing `path`, making the directory entry
+/// itself durable. `sync_data` on the file covers its *contents*; the
+/// name→inode link lives in the parent directory and needs its own
+/// fsync after create/truncate, or a crash can forget the file exists.
+fn sync_parent_dir(path: &Path) -> Result<(), JournalError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        // a bare filename means the CWD; `.` opens it
+        _ => Path::new("."),
+    };
+    let dir = File::open(parent).map_err(|e| Journal::io(path, e))?;
+    dir.sync_all().map_err(|e| Journal::io(path, e))
 }
 
 /// The outcome of [`recover`]: the surviving records plus an account of
@@ -244,6 +263,10 @@ pub fn recover(path: &Path, truncate: bool) -> Result<JournalRecovery, JournalEr
         file.set_len(good_end as u64)
             .map_err(|e| Journal::io(path, e))?;
         file.sync_data().map_err(|e| Journal::io(path, e))?;
+        // the truncated length is inode metadata, but sync the parent
+        // too so a repaired-then-crashed journal can't resurface with
+        // the stale directory entry of a rename-based editor
+        sync_parent_dir(path)?;
         truncated = true;
     }
     Ok(JournalRecovery {
@@ -365,6 +388,45 @@ mod tests {
         drop(j);
         assert_eq!(recover(&path, false).unwrap().records.len(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_and_truncate_sync_the_parent_directory() {
+        // Regression: `create` and the truncating `recover` path fsync'd
+        // the file but never its parent directory, so a freshly created
+        // (or repaired) journal could vanish after a power-loss crash.
+        // A unit test can't cut the power, but it can pin the behaviour
+        // that used to be missing: both paths must succeed on a journal
+        // living in a brand-new directory (where the parent-dir fsync
+        // actually runs), including the corner case of a parentless
+        // relative path resolving to the CWD.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("oregami-journal-dirsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jrnl");
+
+        let mut j = Journal::create(&path).unwrap();
+        j.append("reassign 1 0").unwrap();
+        j.append("reassign 2 1").unwrap();
+        drop(j);
+
+        // tear the tail, then recover with truncation — the repair path
+        // must also sync the directory and leave an appendable journal
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let rec = recover(&path, true).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.records, vec!["reassign 1 0"]);
+        Journal::open_append(&path).unwrap().append("undo").unwrap();
+        assert_eq!(recover(&path, false).unwrap().records.len(), 2);
+
+        // a parentless path maps to "." and must not error
+        assert!(sync_parent_dir(Path::new("bare-filename.jrnl")).is_ok());
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Admission control and load shedding.
+//!
+//! Every compute request passes the gate *before* it is queued. The
+//! gate rejects early — with a typed error the client can act on —
+//! instead of letting the queue grow until every request times out:
+//!
+//! * **queue depth**: beyond `max_queue` outstanding jobs the daemon is
+//!   overloaded; new work is shed with `overloaded`.
+//! * **deadline feasibility**: an EWMA of recent service times predicts
+//!   the queueing delay; a request whose deadline cannot survive the
+//!   wait is shed immediately rather than served a guaranteed timeout.
+//! * **breaker health**: when the circuit breaker of *every* fallback
+//!   stage is open, no mapping can possibly be served — requests are
+//!   shed with `unserviceable` until a probe closes a breaker.
+//! * **drain**: during graceful shutdown new work is refused with
+//!   `shutting_down` while queued work finishes.
+
+use oregami::{BreakerState, StageKind, SupervisorState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why the gate refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shed {
+    /// Queue full or deadline infeasible; retry later.
+    Overloaded(String),
+    /// Every stage breaker is open; nothing can serve.
+    Unserviceable(String),
+    /// The daemon is draining for shutdown.
+    Draining,
+}
+
+impl Shed {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Shed::Overloaded(_) => crate::protocol::KIND_OVERLOADED,
+            Shed::Unserviceable(_) => crate::protocol::KIND_UNSERVICEABLE,
+            Shed::Draining => crate::protocol::KIND_SHUTTING_DOWN,
+        }
+    }
+
+    pub fn message(&self) -> String {
+        match self {
+            Shed::Overloaded(m) | Shed::Unserviceable(m) => m.clone(),
+            Shed::Draining => "daemon is draining; no new work accepted".to_string(),
+        }
+    }
+}
+
+/// The load-shedding gate. Shared across all connections.
+pub struct AdmissionGate {
+    max_queue: usize,
+    workers: usize,
+    /// EWMA of observed job service time, in microseconds.
+    ewma_micros: AtomicU64,
+    supervisor: Arc<SupervisorState>,
+    pub admitted: AtomicU64,
+    pub shed_overloaded: AtomicU64,
+    pub shed_unserviceable: AtomicU64,
+    pub shed_draining: AtomicU64,
+}
+
+/// Seed for the service-time EWMA before any observation lands (5 ms —
+/// the order of a small supervised map).
+const EWMA_SEED_MICROS: u64 = 5_000;
+
+impl AdmissionGate {
+    pub fn new(max_queue: usize, workers: usize, supervisor: Arc<SupervisorState>) -> Self {
+        AdmissionGate {
+            max_queue: max_queue.max(1),
+            workers: workers.max(1),
+            ewma_micros: AtomicU64::new(EWMA_SEED_MICROS),
+            supervisor,
+            admitted: AtomicU64::new(0),
+            shed_overloaded: AtomicU64::new(0),
+            shed_unserviceable: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides whether a compute request may be queued. `queue_depth` is
+    /// the scheduler's current queued+inflight count.
+    pub fn admit(
+        &self,
+        queue_depth: usize,
+        deadline_ms: Option<u64>,
+        draining: bool,
+    ) -> Result<(), Shed> {
+        if draining {
+            self.shed_draining.fetch_add(1, Ordering::Relaxed);
+            return Err(Shed::Draining);
+        }
+        if self.all_breakers_open() {
+            self.shed_unserviceable.fetch_add(1, Ordering::Relaxed);
+            return Err(Shed::Unserviceable(
+                "every stage circuit breaker is open; awaiting a successful probe".into(),
+            ));
+        }
+        if queue_depth >= self.max_queue {
+            self.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(Shed::Overloaded(format!(
+                "queue full ({queue_depth}/{} outstanding jobs)",
+                self.max_queue
+            )));
+        }
+        if let Some(ms) = deadline_ms {
+            let wait = self.estimated_wait_micros(queue_depth);
+            if ms.saturating_mul(1_000) < wait {
+                self.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+                return Err(Shed::Overloaded(format!(
+                    "deadline of {ms} ms cannot survive the estimated {} ms queueing delay",
+                    wait / 1_000
+                )));
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Predicted wait before a newly queued job starts: the outstanding
+    /// jobs ahead of it, served `workers`-wide at the EWMA service time.
+    pub fn estimated_wait_micros(&self, queue_depth: usize) -> u64 {
+        let ewma = self.ewma_micros.load(Ordering::Relaxed);
+        (queue_depth as u64).saturating_mul(ewma) / self.workers as u64
+    }
+
+    /// Folds one observed service time into the EWMA (α = 0.2).
+    pub fn observe_service(&self, elapsed: Duration) {
+        let obs = (elapsed.as_micros() as u64).min(60_000_000);
+        // racy read-modify-write is fine: the EWMA is advisory
+        let old = self.ewma_micros.load(Ordering::Relaxed);
+        let new = (old.saturating_mul(4) + obs) / 5;
+        self.ewma_micros.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Current EWMA service-time estimate in microseconds.
+    pub fn ewma_micros(&self) -> u64 {
+        self.ewma_micros.load(Ordering::Relaxed)
+    }
+
+    fn all_breakers_open(&self) -> bool {
+        [StageKind::Exhaustive, StageKind::Heuristic, StageKind::Identity]
+            .iter()
+            .all(|&k| self.supervisor.breaker(k).state == BreakerState::Open)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(max_queue: usize, workers: usize) -> AdmissionGate {
+        AdmissionGate::new(max_queue, workers, Arc::new(SupervisorState::new()))
+    }
+
+    #[test]
+    fn queue_depth_sheds_overloaded() {
+        let g = gate(4, 2);
+        assert!(g.admit(3, None, false).is_ok());
+        let shed = g.admit(4, None, false).unwrap_err();
+        assert!(matches!(shed, Shed::Overloaded(_)));
+        assert_eq!(shed.kind(), "overloaded");
+        assert_eq!(g.shed_overloaded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_shed_before_queueing() {
+        let g = gate(1000, 1);
+        for _ in 0..20 {
+            g.observe_service(Duration::from_millis(100));
+        }
+        // ~100 ms per job, 50 queued => ~5 s wait; a 20 ms deadline is hopeless
+        let shed = g.admit(50, Some(20), false).unwrap_err();
+        assert!(matches!(shed, Shed::Overloaded(_)), "{shed:?}");
+        assert!(shed.message().contains("deadline"));
+        // the same deadline with an empty queue is fine
+        assert!(g.admit(0, Some(20), false).is_ok());
+        // a patient request survives the same queue
+        assert!(g.admit(50, Some(60_000), false).is_ok());
+    }
+
+    #[test]
+    fn draining_refuses_everything() {
+        let g = gate(8, 2);
+        assert_eq!(g.admit(0, None, true).unwrap_err(), Shed::Draining);
+        assert_eq!(Shed::Draining.kind(), "shutting_down");
+    }
+
+    #[test]
+    fn ewma_tracks_observations() {
+        let g = gate(8, 1);
+        for _ in 0..50 {
+            g.observe_service(Duration::from_millis(10));
+        }
+        let e = g.ewma_micros();
+        assert!((8_000..=12_000).contains(&e), "ewma {e}");
+    }
+}

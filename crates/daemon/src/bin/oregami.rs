@@ -18,11 +18,14 @@
 use oregami::larcs::programs;
 use oregami::metrics::schedule;
 use oregami::replay::{self, ReplayOp};
-use oregami::topology::{builders, LinkId, Network, ProcId};
+use oregami::topology::{LinkId, Network, ProcId};
 use oregami::{
     Budget, ChaosConfig, CostModel, EditError, FallbackChain, FaultSet, Journal, MapperOptions,
     MetricsDelta, Oregami, OregamiError, RepairOptions, SupervisorConfig,
 };
+use oregami_daemon::json::{obj, Json};
+use oregami_daemon::topo::parse_topology;
+use oregami_daemon::Client;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -31,6 +34,8 @@ struct Args {
     source_label: String,
     default_params: Vec<(String, i64)>,
     topology: Option<Network>,
+    /// The raw `--topology` spec string, for daemon client mode.
+    topology_spec: Option<String>,
     params: Vec<(String, i64)>,
     load_bound: Option<usize>,
     dot: Option<String>,
@@ -54,6 +59,9 @@ struct Args {
     chaos: Option<String>,
     journal: Option<String>,
     resume: Option<String>,
+    socket: Option<String>,
+    remote_health: bool,
+    remote_shutdown: bool,
 }
 
 /// CLI failure with a dedicated exit code per class, so scripts driving
@@ -69,6 +77,10 @@ enum CliError {
     Repair(OregamiError),
     /// The supervised engine could not serve any mapping (exit 7).
     Unserviceable(OregamiError),
+    /// A typed error from a daemon in `--socket` mode: `(kind, message)`.
+    /// Shed work (`overloaded` / `shutting_down`) exits 8 so retry loops
+    /// can tell "back off" from "give up".
+    Remote(String, String),
 }
 
 impl CliError {
@@ -79,6 +91,14 @@ impl CliError {
             CliError::Fault(_) => 4,
             CliError::Repair(_) => 5,
             CliError::Unserviceable(_) => 7,
+            CliError::Remote(kind, _) => match kind.as_str() {
+                "overloaded" | "shutting_down" => 8,
+                "unserviceable" => 7,
+                "repair" => 5,
+                "fault" => 4,
+                "map" | "internal" => 3,
+                _ => 2,
+            },
         }
     }
 
@@ -89,6 +109,7 @@ impl CliError {
             | CliError::Fault(e)
             | CliError::Repair(e)
             | CliError::Unserviceable(e) => e.to_string(),
+            CliError::Remote(kind, m) => format!("daemon ({kind}): {m}"),
         }
     }
 }
@@ -171,77 +192,23 @@ fn usage() -> &'static str {
                               detached (default 200; implies --supervise)\n\
        --chaos SPEC           seeded fault injection for resilience testing:\n\
                               seed=N,panic=P,stall=P,stall-ms=MS[,only=STAGE]\n\
-                              (implies --supervise)\n\
+                              (implies --supervise; in --socket mode, sent with\n\
+                              the request for the daemon to inject)\n\
        --list                 list built-in programs and exit\n\
+     \n\
+     DAEMON CLIENT (talk to a running oregamid instead of mapping locally):\n\
+       --socket PATH          send the request to the oregamid at PATH; map\n\
+                              flags (--program/--file, --topology, -P, -B,\n\
+                              --deadline-ms, --max-steps, --chain, --fail-proc,\n\
+                              --fail-link, --chaos) are forwarded\n\
+       --health               query daemon health + counters, print JSON\n\
+       --shutdown             ask the daemon to drain gracefully\n\
      \n\
      EXIT CODES:\n\
        0 success    2 usage    3 mapping failed    4 bad fault ids\n\
        5 unrepairable fault    6 budget exhausted but a mapping was served\n\
-       7 unserviceable: the supervised chain could not serve any mapping\n"
-}
-
-/// Upper bound on processors a CLI-specified topology may have. A typo
-/// like `hypercube:62` must come back as a usage error, not an attempt
-/// to allocate 2^62 processors.
-const MAX_PROCS: usize = 1 << 20;
-
-fn parse_topology(spec: &str) -> Result<Network, String> {
-    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
-    let int = |s: &str| -> Result<usize, String> {
-        s.parse().map_err(|_| format!("bad number '{s}' in topology '{spec}'"))
-    };
-    let dims = |s: &str| -> Result<(usize, usize), String> {
-        let (a, b) = s
-            .split_once(['x', 'X'])
-            .ok_or_else(|| format!("expected RxC in topology '{spec}'"))?;
-        Ok((int(a)?, int(b)?))
-    };
-    let guard = |procs: Option<usize>| -> Result<usize, String> {
-        match procs {
-            Some(p) if p <= MAX_PROCS => Ok(p),
-            _ => Err(format!(
-                "topology '{spec}' exceeds the {MAX_PROCS}-processor limit"
-            )),
-        }
-    };
-    Ok(match kind {
-        "hypercube" => {
-            let d = int(rest)?;
-            guard(1usize.checked_shl(d.min(63) as u32))?;
-            builders::hypercube(d)
-        }
-        "mesh2d" => {
-            let (r, c) = dims(rest)?;
-            guard(r.checked_mul(c))?;
-            builders::mesh2d(r, c)
-        }
-        "torus2d" => {
-            let (r, c) = dims(rest)?;
-            guard(r.checked_mul(c))?;
-            builders::torus2d(r, c)
-        }
-        "ring" => builders::ring(guard(Some(int(rest)?))?),
-        "chain" => builders::chain(guard(Some(int(rest)?))?),
-        "complete" => builders::complete(guard(Some(int(rest)?))?),
-        "star" => builders::star(guard(Some(int(rest)?))?),
-        "tree" => {
-            let h = int(rest)?;
-            // a full binary tree of height h has 2^(h+1) - 1 nodes
-            guard(1usize.checked_shl((h.min(62) + 1) as u32))?;
-            builders::full_binary_tree(h)
-        }
-        "butterfly" => {
-            let d = int(rest)?;
-            // (d+1) ranks of 2^d nodes
-            guard(
-                1usize
-                    .checked_shl(d.min(63) as u32)
-                    .and_then(|w| w.checked_mul(d + 1)),
-            )?;
-            builders::butterfly(d)
-        }
-        other => return Err(format!("unknown topology kind '{other}'")),
-    })
+       7 unserviceable: the supervised chain could not serve any mapping\n\
+       8 shed by the daemon (overloaded or shutting down) — retry later\n"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -250,6 +217,7 @@ fn parse_args() -> Result<Args, String> {
         source_label: String::new(),
         default_params: Vec::new(),
         topology: None,
+        topology_spec: None,
         params: Vec::new(),
         load_bound: None,
         dot: None,
@@ -273,6 +241,9 @@ fn parse_args() -> Result<Args, String> {
         chaos: None,
         journal: None,
         resume: None,
+        socket: None,
+        remote_health: false,
+        remote_shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -302,7 +273,9 @@ fn parse_args() -> Result<Args, String> {
                 args.source_label = path;
             }
             "--topology" => {
-                args.topology = Some(parse_topology(&next_val(&mut it, "--topology")?)?);
+                let spec = next_val(&mut it, "--topology")?;
+                args.topology = Some(parse_topology(&spec)?);
+                args.topology_spec = Some(spec);
             }
             "-P" | "--param" => {
                 let kv = next_val(&mut it, "--param")?;
@@ -386,6 +359,9 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--chaos" => args.chaos = Some(next_val(&mut it, "--chaos")?),
+            "--socket" => args.socket = Some(next_val(&mut it, "--socket")?),
+            "--health" => args.remote_health = true,
+            "--shutdown" => args.remote_shutdown = true,
             "--fallback" => args.fallback = true,
             "--chain" => args.chain = Some(next_val(&mut it, "--chain")?),
             "--dot" => args.dot = Some(next_val(&mut it, "--dot")?),
@@ -430,6 +406,9 @@ fn run() -> Result<ExitCode, CliError> {
         println!("\ntopologies: hypercube:D mesh2d:RxC torus2d:RxC ring:N chain:N");
         println!("            complete:N star:N tree:H butterfly:D");
         return Ok(ExitCode::SUCCESS);
+    }
+    if args.socket.is_some() {
+        return run_client(&args);
     }
     let source = args.source.ok_or_else(|| {
         format!("no program given (--program or --file)\n\n{}", usage())
@@ -711,6 +690,129 @@ fn run() -> Result<ExitCode, CliError> {
     if result.is_degraded() || replay_degraded {
         // served, but a budget cut the search short: dedicated exit code
         // so scripts can tell "best possible" from "best we had time for"
+        return Ok(ExitCode::from(6));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Daemon client mode: forward the request to a running oregamid over
+/// its Unix socket instead of mapping locally. Typed daemon errors map
+/// onto the same exit codes as local failures, plus 8 for shed work.
+fn run_client(args: &Args) -> Result<ExitCode, CliError> {
+    let socket = args.socket.as_deref().expect("checked by caller");
+    let mut client =
+        Client::connect(std::path::Path::new(socket)).map_err(CliError::Usage)?;
+    let rpc = |client: &mut Client, req: &Json| -> Result<Json, CliError> {
+        client
+            .request(req)
+            .map_err(|(kind, msg)| CliError::Remote(kind, msg))
+    };
+    if args.remote_shutdown {
+        rpc(&mut client, &obj().field("op", "shutdown").build())?;
+        println!("daemon at {socket} is draining");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args.remote_health {
+        let health = rpc(&mut client, &obj().field("op", "health").build())?;
+        println!("{}", health.render());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let source = args
+        .source
+        .as_ref()
+        .ok_or_else(|| CliError::Usage(format!("no program given (--program or --file)\n\n{}", usage())))?;
+    let topology = args
+        .topology_spec
+        .as_ref()
+        .ok_or_else(|| CliError::Usage(format!("no --topology given\n\n{}", usage())))?;
+    let op = if args.fail_procs.is_empty() && args.fail_links.is_empty() {
+        "map"
+    } else {
+        "repair"
+    };
+    // explicit -P bindings win; built-in sample parameters fill gaps
+    let mut params: Vec<(String, i64)> = args.params.clone();
+    for (k, v) in &args.default_params {
+        if !params.iter().any(|(name, _)| name == k) {
+            params.push((k.clone(), *v));
+        }
+    }
+    let mut req = obj()
+        .field("op", op)
+        .field("source", source.as_str())
+        .field("topology", topology.as_str())
+        .field(
+            "params",
+            Json::Obj(
+                params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        );
+    if let Some(ms) = args.deadline_ms {
+        req = req.field("deadline_ms", ms);
+    }
+    if let Some(n) = args.max_steps {
+        req = req.field("max_steps", n);
+    }
+    if let Some(chain) = &args.chain {
+        req = req.field("chain", chain.as_str());
+    } else if args.fallback {
+        req = req.field("chain", "exhaustive,heuristic,identity");
+    }
+    if let Some(b) = args.load_bound {
+        req = req.field("load_bound", b);
+    }
+    if let Some(chaos) = &args.chaos {
+        req = req.field("chaos", chaos.as_str());
+    }
+    if !args.fail_procs.is_empty() {
+        let ids: Vec<Json> = args.fail_procs.iter().map(|&p| Json::from(u64::from(p))).collect();
+        req = req.field("fail_procs", Json::Arr(ids));
+    }
+    if !args.fail_links.is_empty() {
+        let ids: Vec<Json> = args.fail_links.iter().map(|&l| Json::from(u64::from(l))).collect();
+        req = req.field("fail_links", Json::Arr(ids));
+    }
+    let result = rpc(&mut client, &req.build())?;
+    if op == "map" {
+        println!(
+            "daemon mapped '{}' ({} tasks) onto {} ({} processors)",
+            args.source_label,
+            result.get("tasks").and_then(Json::as_u64).unwrap_or(0),
+            topology,
+            result.get("procs").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(s) = result.get("strategy").and_then(Json::as_str) {
+            println!("strategy: {s}");
+        }
+        if let Some(engine) = result.get("engine") {
+            println!(
+                "engine: served by {} ({}), health: {}",
+                engine.get("served_by").and_then(Json::as_str).unwrap_or("?"),
+                engine.get("completion").and_then(Json::as_str).unwrap_or("?"),
+                engine.get("health").and_then(Json::as_str).unwrap_or("?"),
+            );
+        }
+    } else {
+        println!(
+            "daemon repaired '{}' on {topology}: {} processor(s) failed, {} link(s) out of service",
+            args.source_label,
+            result.get("failed_procs").and_then(Json::as_u64).unwrap_or(0),
+            result.get("failed_links").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(r) = result.get("repair").and_then(Json::as_str) {
+            println!("{r}");
+        }
+    }
+    if let Some(report) = result.get("report").or_else(|| result.get("metrics")) {
+        if let Some(text) = report.as_str() {
+            println!();
+            println!("{text}");
+        }
+    }
+    if result.get("degraded").and_then(Json::as_bool) == Some(true) {
         return Ok(ExitCode::from(6));
     }
     Ok(ExitCode::SUCCESS)

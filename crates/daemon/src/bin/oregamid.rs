@@ -1,0 +1,135 @@
+//! The oregamid daemon binary: serve mapping requests on a Unix domain
+//! socket until SIGTERM/SIGINT, then drain gracefully.
+//!
+//! ```sh
+//! oregamid --socket /run/oregamid.sock --state-dir /var/lib/oregamid
+//! oregamid --socket o.sock --state-dir state --resume      # after a crash
+//! oregamid --socket o.sock --state-dir state --chaos seed=7,panic=0.2
+//! ```
+//!
+//! Exit codes: 0 clean drain, 2 usage/bind error.
+
+use oregami_daemon::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set from the signal handler; polled by the accept loop. An atomic
+/// store is async-signal-safe.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn usage() -> &'static str {
+    "oregamid — mapping-as-a-service daemon for the OREGAMI toolchain\n\
+     \n\
+     USAGE:\n\
+       oregamid --socket PATH [options]\n\
+     \n\
+     OPTIONS:\n\
+       --socket PATH      Unix domain socket to serve on (required;\n\
+                          a stale socket file is replaced)\n\
+       --state-dir PATH   directory for session journals + meta files\n\
+                          (default: <socket>.state)\n\
+       --workers N        scheduler worker threads (default: cores, 2-8)\n\
+       --max-queue N      outstanding jobs before shedding (default 64)\n\
+       --resume           restore journaled sessions from the state dir\n\
+       --chaos SPEC       inject seeded faults into every request's\n\
+                          supervisor: seed=N,panic=P,stall=P,stall-ms=MS\n\
+                          [,only=STAGE] — for resilience testing\n\
+       -h, --help         this text\n\
+     \n\
+     PROTOCOL: length-prefixed JSON frames (u32 LE length + payload,\n\
+     1 MiB cap). Ops: map, repair, metrics, health, session_open,\n\
+     session_edit, session_snapshot, session_close, shutdown. Typed\n\
+     error kinds: overloaded (shed — retry later), unserviceable,\n\
+     shutting_down, bad_request, map, fault, repair, session, internal.\n\
+     \n\
+     EXIT CODES: 0 clean drain (SIGTERM/SIGINT/shutdown op), 2 usage\n"
+}
+
+fn parse_config() -> Result<ServerConfig, String> {
+    let mut socket: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut max_queue: Option<usize> = None;
+    let mut resume = false;
+    let mut chaos: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_val(&mut it, "--socket")?),
+            "--state-dir" => state_dir = Some(next_val(&mut it, "--state-dir")?),
+            "--workers" => {
+                workers = Some(
+                    next_val(&mut it, "--workers")?
+                        .parse()
+                        .map_err(|_| "bad --workers value".to_string())?,
+                );
+            }
+            "--max-queue" => {
+                max_queue = Some(
+                    next_val(&mut it, "--max-queue")?
+                        .parse()
+                        .map_err(|_| "bad --max-queue value".to_string())?,
+                );
+            }
+            "--resume" => resume = true,
+            "--chaos" => chaos = Some(next_val(&mut it, "--chaos")?),
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{}", usage())),
+        }
+    }
+    let socket = socket.ok_or_else(|| format!("--socket is required\n\n{}", usage()))?;
+    let state_dir = state_dir.unwrap_or_else(|| format!("{socket}.state"));
+    let mut config = ServerConfig::new(socket, state_dir);
+    if let Some(n) = workers {
+        config.workers = n.clamp(1, 64);
+    }
+    if let Some(n) = max_queue {
+        config.max_queue = n.max(1);
+    }
+    config.resume = resume;
+    config.chaos = chaos;
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_config() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
+    eprintln!("oregamid: serving");
+    let stats = server.serve(&STOP);
+    // final stats on stdout so wrappers can scrape a clean drain
+    println!("{}", stats.render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,147 @@
+//! Request coalescing: identical in-flight computations are deduped.
+//!
+//! When two clients ask for the same `(op, program, params, topology,
+//! fault-mask, budget-class)` while the first computation is still
+//! running, the second does not occupy a scheduler slot — it registers
+//! as a *waiter* on the in-flight entry, and the one computation's
+//! result fans out to every waiter when it completes. Registration
+//! happens on the connection reader thread at enqueue time, so waiters
+//! never block workers.
+
+use crate::json::Json;
+use crate::protocol;
+use crate::wire;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One computation outcome, fanned out to every waiter: the result
+/// object, or a typed `(kind, message)` error.
+pub type Payload = Result<Json, (String, String)>;
+
+/// A response destination: the request id to echo and the connection's
+/// write half (shared with the reader thread's own error responses).
+pub struct Waiter<W: Write + Send> {
+    pub id: u64,
+    pub writer: Arc<Mutex<W>>,
+}
+
+/// The in-flight computation table.
+pub struct Coalescer<W: Write + Send> {
+    inflight: Mutex<HashMap<String, Vec<Waiter<W>>>>,
+    /// Requests that piggybacked on an existing computation.
+    pub coalesced: AtomicU64,
+}
+
+impl<W: Write + Send> Default for Coalescer<W> {
+    fn default() -> Self {
+        Coalescer {
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    // a panic while holding the table leaves it structurally valid
+    // (insert/remove are atomic wrt the guard), so strip the poison
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<W: Write + Send> Coalescer<W> {
+    /// Registers `waiter` under `key`. Returns `true` when the caller is
+    /// the *leader* — the one who must actually schedule the
+    /// computation; `false` when an identical computation is already in
+    /// flight and the waiter will be answered by its fan-out.
+    pub fn join(&self, key: &str, waiter: Waiter<W>) -> bool {
+        let mut table = lock(&self.inflight);
+        match table.get_mut(key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            None => {
+                table.insert(key.to_string(), vec![waiter]);
+                true
+            }
+        }
+    }
+
+    /// Completes the computation under `key`: removes the entry and
+    /// writes the response — with each waiter's own request id — to
+    /// every registered connection. Write failures (a waiter hung up)
+    /// are ignored; everyone else still gets their answer.
+    pub fn publish(&self, key: &str, payload: &Payload) -> usize {
+        let waiters = lock(&self.inflight).remove(key).unwrap_or_default();
+        let n = waiters.len();
+        for w in waiters {
+            let response = match payload {
+                Ok(result) => protocol::ok_response(w.id, result.clone()),
+                Err((kind, msg)) => protocol::err_response(w.id, kind, msg),
+            };
+            if let Ok(mut writer) = w.writer.lock() {
+                let _ = wire::write_message(&mut *writer, &response);
+            }
+        }
+        n
+    }
+
+    /// Outstanding distinct computations (for health reporting).
+    pub fn distinct_inflight(&self) -> usize {
+        lock(&self.inflight).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    #[test]
+    fn followers_coalesce_and_fan_out_with_their_own_ids() {
+        let c: Coalescer<Vec<u8>> = Coalescer::default();
+        let w1 = Arc::new(Mutex::new(Vec::new()));
+        let w2 = Arc::new(Mutex::new(Vec::new()));
+        assert!(c.join("k", Waiter { id: 1, writer: Arc::clone(&w1) }));
+        assert!(!c.join("k", Waiter { id: 2, writer: Arc::clone(&w2) }));
+        assert!(c.join("other", Waiter { id: 3, writer: Arc::clone(&w1) }));
+        assert_eq!(c.distinct_inflight(), 2);
+        assert_eq!(c.coalesced.load(Ordering::Relaxed), 1);
+
+        let payload: Payload = Ok(obj().field("served_by", "heuristic").build());
+        assert_eq!(c.publish("k", &payload), 2);
+        assert_eq!(c.distinct_inflight(), 1);
+
+        let read = |w: &Arc<Mutex<Vec<u8>>>| {
+            let buf = w.lock().unwrap().clone();
+            wire::read_message(&mut std::io::Cursor::new(buf)).unwrap()
+        };
+        let r1 = read(&w1);
+        let r2 = read(&w2);
+        assert_eq!(r1.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(r2.get("id").unwrap().as_u64(), Some(2));
+        assert_eq!(r1.get("result"), r2.get("result"));
+
+        // errors fan out typed, and publishing a drained key is a no-op
+        let err: Payload = Err(("overloaded".into(), "queue full".into()));
+        assert_eq!(c.publish("k", &err), 0);
+        assert_eq!(c.publish("other", &err), 1);
+        let r3 = read(&w1);
+        // w1 got the "k" response first, then "other"'s error — read both
+        let buf = w1.lock().unwrap().clone();
+        let mut cur = std::io::Cursor::new(buf);
+        let _first = wire::read_message(&mut cur).unwrap();
+        let second = wire::read_message(&mut cur).unwrap();
+        assert_eq!(second.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            second
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+        let _ = r3;
+    }
+}

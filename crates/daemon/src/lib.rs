@@ -1,0 +1,41 @@
+//! oregamid: mapping-as-a-service on a Unix domain socket.
+//!
+//! The OREGAMI toolchain maps parallel computations onto parallel
+//! architectures; this crate wraps it in a long-running, crash-safe
+//! daemon so many clients can share one warm process — one route-table
+//! cache, one compiled-program cache, one set of circuit breakers —
+//! instead of paying cold-start per invocation.
+//!
+//! The robustness layers, bottom to top:
+//!
+//! * [`wire`] — length-prefixed frames (u32 LE + payload, 1 MiB cap)
+//!   carrying [`json`] messages; malformed input of any kind surfaces
+//!   as a typed [`wire::WireError`], never a panic or a hang.
+//! * [`protocol`] — the request/response envelope and the coalescing
+//!   identity of a computation.
+//! * [`admission`] — the load-shedding gate: queue depth, deadline
+//!   feasibility against an EWMA of service times, breaker health, and
+//!   drain state are checked *before* work is queued.
+//! * [`scheduler`] — a worker pool with per-connection round-robin
+//!   fairness and panic isolation.
+//! * [`coalesce`] — identical in-flight computations dedup onto one
+//!   run whose result fans out to every waiter.
+//! * [`sessions`] — journaled interactive sessions as actor threads;
+//!   the WAL plus a meta sidecar make a SIGKILL'd daemon resumable
+//!   byte-identically with `--resume`.
+//! * [`server`] — the accept loop, dispatch, and graceful drain.
+//! * [`client`] — the synchronous client the CLI and bench use.
+
+pub mod admission;
+pub mod client;
+pub mod coalesce;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod sessions;
+pub mod topo;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerHandle};

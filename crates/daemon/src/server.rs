@@ -1,0 +1,638 @@
+//! The `oregamid` server: accept loop, connection readers, dispatch.
+//!
+//! One thread accepts connections (nonblocking, so it can poll the stop
+//! flag a SIGTERM handler sets); each connection gets a reader thread
+//! that parses frames and dispatches. Cheap operations — health,
+//! session commands, shutdown — are answered inline on the reader.
+//! Compute operations (`map`/`repair`/`metrics`) pass the admission
+//! gate, coalesce with identical in-flight work, and run on the
+//! work-stealing scheduler; their responses are published through the
+//! coalescer to every waiter.
+//!
+//! Graceful drain (SIGTERM or a `shutdown` request): admission starts
+//! shedding with `shutting_down`, the listener closes and the socket
+//! file is unlinked, queued jobs run to completion and their responses
+//! flush, session actors park (journals intact, so `--resume` restores
+//! them), connections are shut down, readers joined.
+
+use crate::admission::AdmissionGate;
+use crate::coalesce::{Coalescer, Payload, Waiter};
+use crate::json::{obj, Json};
+use crate::protocol::{self, MapSpec, Op, KIND_BAD_REQUEST, KIND_INTERNAL, KIND_SHUTTING_DOWN};
+use crate::scheduler::{Job, Scheduler};
+use crate::sessions::{metric_json, SessionRegistry};
+use crate::topo::parse_topology;
+use crate::wire::{self, WireError};
+use oregami::graph::TaskGraph;
+use oregami::topology::{LinkId, ProcId};
+use oregami::{
+    Budget, BreakerState, ChaosConfig, FallbackChain, FaultSet, MapperOptions, Oregami,
+    OregamiError, OregamiResult, RepairOptions, RouteTableCache, StageKind, SupervisorConfig,
+    SupervisorState,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the daemon is wired together.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix domain socket path. A stale file is replaced at bind.
+    pub socket: PathBuf,
+    /// Directory for session journals and meta sidecars.
+    pub state_dir: PathBuf,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Max outstanding compute jobs before admission sheds `overloaded`.
+    pub max_queue: usize,
+    /// Restore journaled sessions from the state dir at startup.
+    pub resume: bool,
+    /// Daemon-wide chaos spec injected into every compute request's
+    /// supervisor (per-request `chaos` overrides it).
+    pub chaos: Option<String>,
+    /// Route-table cache capacity (distinct topologies kept hot).
+    pub cache_capacity: usize,
+}
+
+impl ServerConfig {
+    pub fn new(socket: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> ServerConfig {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        ServerConfig {
+            socket: socket.into(),
+            state_dir: state_dir.into(),
+            workers,
+            max_queue: 64,
+            resume: false,
+            chaos: None,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// Shared daemon state: every connection reader and scheduler worker
+/// holds an `Arc` of this.
+struct Daemon {
+    cache: Arc<RouteTableCache>,
+    /// Compiled-program cache: `(source, params)` hash → task graph.
+    programs: Mutex<HashMap<u64, Arc<TaskGraph>>>,
+    supervisor: Arc<SupervisorState>,
+    gate: AdmissionGate,
+    sched: Arc<Scheduler>,
+    coalescer: Coalescer<UnixStream>,
+    sessions: SessionRegistry,
+    chaos: Option<String>,
+    /// Set by `shutdown` requests and by the stop flag: admission sheds,
+    /// the accept loop exits.
+    draining: AtomicBool,
+    requests: AtomicU64,
+    started: Instant,
+    resumed_sessions: usize,
+    resume_failures: usize,
+}
+
+/// A bound, not-yet-serving daemon. [`Server::bind`] resolves every
+/// startup error (bad socket path, unreadable state dir, resume
+/// failures) synchronously; [`Server::serve`] then blocks until drain.
+pub struct Server {
+    listener: UnixListener,
+    daemon: Arc<Daemon>,
+    socket: PathBuf,
+}
+
+/// An in-process daemon for tests and benches.
+pub struct ServerHandle {
+    pub socket: PathBuf,
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<Json>,
+}
+
+impl ServerHandle {
+    /// Signals drain and waits for it to finish; returns the final
+    /// health/stats object.
+    pub fn shutdown(self) -> Json {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join.join().unwrap_or(Json::Null)
+    }
+}
+
+impl Server {
+    /// Binds the socket, builds the shared state, and (with
+    /// `config.resume`) restores journaled sessions — all before the
+    /// first request can arrive.
+    pub fn bind(config: ServerConfig) -> Result<Server, String> {
+        std::fs::create_dir_all(&config.state_dir)
+            .map_err(|e| format!("cannot create state dir {}: {e}", config.state_dir.display()))?;
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket)
+                .map_err(|e| format!("cannot replace stale socket {}: {e}", config.socket.display()))?;
+        }
+        if let Some(spec) = &config.chaos {
+            ChaosConfig::parse(spec).map_err(|e| format!("bad chaos spec: {e}"))?;
+        }
+        let listener = UnixListener::bind(&config.socket)
+            .map_err(|e| format!("cannot bind {}: {e}", config.socket.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+        let cache = Arc::new(RouteTableCache::new(config.cache_capacity));
+        let supervisor = Arc::new(SupervisorState::new());
+        let sessions = SessionRegistry::new(config.state_dir.clone(), Arc::clone(&cache));
+        let (resumed, failed) = if config.resume {
+            sessions.resume_all()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        for (name, why) in &failed {
+            eprintln!("oregamid: session '{name}' not resumed: {why}");
+        }
+        let daemon = Arc::new(Daemon {
+            cache,
+            programs: Mutex::new(HashMap::new()),
+            supervisor: Arc::clone(&supervisor),
+            gate: AdmissionGate::new(config.max_queue, config.workers, supervisor),
+            sched: Scheduler::start(config.workers),
+            coalescer: Coalescer::default(),
+            sessions,
+            chaos: config.chaos.clone(),
+            draining: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+            resumed_sessions: resumed.len(),
+            resume_failures: failed.len(),
+        });
+        Ok(Server {
+            listener,
+            daemon,
+            socket: config.socket,
+        })
+    }
+
+    /// Binds and serves on a background thread; startup errors are
+    /// returned synchronously.
+    pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
+        let server = Server::bind(config)?;
+        let socket = server.socket.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("oregamid-accept".to_string())
+            .spawn(move || server.serve(&flag))
+            .map_err(|e| format!("cannot spawn server thread: {e}"))?;
+        Ok(ServerHandle { socket, stop, join })
+    }
+
+    /// Accepts and serves until `stop` is set (SIGTERM handler) or a
+    /// `shutdown` request arrives, then drains gracefully. Returns the
+    /// final health/stats object.
+    pub fn serve(self, stop: &AtomicBool) -> Json {
+        let daemon = self.daemon;
+        let mut readers = Vec::new();
+        let conns: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut next_conn = 0u64;
+        loop {
+            if stop.load(Ordering::SeqCst) || daemon.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    next_conn += 1;
+                    let conn_id = next_conn;
+                    let _ = stream.set_nonblocking(false);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(clone);
+                    }
+                    let d = Arc::clone(&daemon);
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name(format!("oregamid-conn-{conn_id}"))
+                        .spawn(move || handle_conn(&d, conn_id, stream))
+                    {
+                        readers.push(h);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(15)),
+            }
+        }
+        // ---- graceful drain ----
+        daemon.draining.store(true, Ordering::SeqCst);
+        drop(self.listener);
+        let _ = std::fs::remove_file(&self.socket);
+        // queued compute jobs finish and their responses flush first
+        daemon.sched.drain();
+        // session actors park; journals and meta files stay for --resume
+        daemon.sessions.shutdown();
+        // now unblock every reader still waiting on its client
+        for s in conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for h in readers {
+            let _ = h.join();
+        }
+        daemon.health_json()
+    }
+}
+
+/// One connection: read frames, dispatch, answer. Returns when the
+/// client hangs up, the framing breaks, or the daemon drains.
+fn handle_conn(daemon: &Arc<Daemon>, conn_id: u64, stream: UnixStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let respond = |response: &Json| {
+        if let Ok(mut w) = writer.lock() {
+            let _ = wire::write_message(&mut *w, response);
+        }
+    };
+    loop {
+        let msg = match wire::read_message(&mut reader) {
+            Ok(m) => m,
+            Err(WireError::Closed) => return,
+            Err(e @ (WireError::Oversized(_) | WireError::Truncated)) => {
+                // framing is lost: answer once, then hang up
+                respond(&protocol::err_response(0, e.kind(), &e.to_string()));
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                // well-framed but undecodable: typed error, keep serving
+                respond(&protocol::err_response(0, e.kind(), &e.to_string()));
+                continue;
+            }
+        };
+        daemon.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match protocol::parse_request(&msg) {
+            Ok(r) => r,
+            Err(e) => {
+                let id = msg.get("id").and_then(Json::as_u64).unwrap_or(0);
+                respond(&protocol::err_response(id, e.kind(), &e.to_string()));
+                continue;
+            }
+        };
+        let draining = daemon.draining.load(Ordering::SeqCst);
+        match req.op {
+            Op::Health { reset_stats } => {
+                if reset_stats {
+                    daemon.cache.reset_stats();
+                }
+                respond(&protocol::ok_response(req.id, daemon.health_json()));
+            }
+            Op::Shutdown => {
+                respond(&protocol::ok_response(
+                    req.id,
+                    obj().field("draining", true).build(),
+                ));
+                daemon.draining.store(true, Ordering::SeqCst);
+            }
+            Op::SessionOpen { name, spec } => {
+                let r = if draining {
+                    Err((
+                        KIND_SHUTTING_DOWN.to_string(),
+                        "daemon is draining; no new sessions".to_string(),
+                    ))
+                } else {
+                    daemon.sessions.open(&name, spec)
+                };
+                respond(&to_response(req.id, &r));
+            }
+            Op::SessionEdit { name, line } => {
+                respond(&to_response(req.id, &daemon.sessions.edit(&name, &line)));
+            }
+            Op::SessionSnapshot { name } => {
+                respond(&to_response(req.id, &daemon.sessions.snapshot(&name)));
+            }
+            Op::SessionClose { name } => {
+                respond(&to_response(req.id, &daemon.sessions.close(&name)));
+            }
+            Op::Map(spec) => {
+                dispatch_compute(daemon, conn_id, req.id, "map", spec, &writer, draining)
+            }
+            Op::Repair(spec) => {
+                dispatch_compute(daemon, conn_id, req.id, "repair", spec, &writer, draining)
+            }
+            Op::Metrics(spec) => {
+                dispatch_compute(daemon, conn_id, req.id, "metrics", spec, &writer, draining)
+            }
+        }
+    }
+}
+
+/// Admission → coalescing → scheduling for one compute request. A shed
+/// request is answered immediately with its typed error; a coalesced
+/// follower registers and returns; the leader enqueues the job whose
+/// completion publishes to every waiter.
+fn dispatch_compute(
+    daemon: &Arc<Daemon>,
+    conn_id: u64,
+    req_id: u64,
+    op_name: &'static str,
+    spec: MapSpec,
+    writer: &Arc<Mutex<UnixStream>>,
+    draining: bool,
+) {
+    let respond = |response: &Json| {
+        if let Ok(mut w) = writer.lock() {
+            let _ = wire::write_message(&mut *w, response);
+        }
+    };
+    if let Err(shed) = daemon
+        .gate
+        .admit(daemon.sched.depth(), spec.deadline_ms, draining)
+    {
+        respond(&protocol::err_response(req_id, shed.kind(), &shed.message()));
+        return;
+    }
+    let key = spec.coalesce_key(op_name);
+    let leader = daemon.coalescer.join(
+        &key,
+        Waiter {
+            id: req_id,
+            writer: Arc::clone(writer),
+        },
+    );
+    if !leader {
+        return; // the in-flight computation's fan-out will answer
+    }
+    let d = Arc::clone(daemon);
+    daemon.sched.enqueue(Job {
+        conn: conn_id,
+        exec: Box::new(move || {
+            let t0 = Instant::now();
+            // second line of defence behind the scheduler's catch: if
+            // execute itself panics, every waiter still gets an answer
+            let payload = match catch_unwind(AssertUnwindSafe(|| d.execute(op_name, &spec))) {
+                Ok(p) => p,
+                Err(_) => Err((
+                    KIND_INTERNAL.to_string(),
+                    "request panicked; worker isolated it".to_string(),
+                )),
+            };
+            d.gate.observe_service(t0.elapsed());
+            d.coalescer.publish(&key, &payload);
+        }),
+    });
+}
+
+fn to_response(id: u64, payload: &Payload) -> Json {
+    match payload {
+        Ok(result) => protocol::ok_response(id, result.clone()),
+        Err((kind, msg)) => protocol::err_response(id, kind, msg),
+    }
+}
+
+/// Maps a toolchain error onto a wire error kind (mirrors the CLI's
+/// exit-code classes).
+fn error_payload(e: &OregamiError) -> (String, String) {
+    let kind = match e {
+        OregamiError::Map(oregami::mapper::MapError::Unserviceable(_)) => {
+            protocol::KIND_UNSERVICEABLE
+        }
+        OregamiError::Map(_) | OregamiError::Larcs(_) => "map",
+        OregamiError::Fault(_) => "fault",
+        OregamiError::Repair(_) => "repair",
+        OregamiError::Journal(_) => "session",
+    };
+    (kind.to_string(), e.to_string())
+}
+
+impl Daemon {
+    /// Compiles (or fetches) the task graph for `spec`. The cache is
+    /// keyed by a hash of `(source, params)` — a collision would serve
+    /// the wrong program, but DefaultHasher over full source text makes
+    /// that a non-concern at daemon scale.
+    fn compile_cached(&self, spec: &MapSpec) -> Result<TaskGraph, OregamiError> {
+        let mut h = DefaultHasher::new();
+        spec.source.hash(&mut h);
+        spec.params.hash(&mut h);
+        let key = h.finish();
+        if let Some(tg) = self
+            .programs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return Ok((**tg).clone());
+        }
+        let params: Vec<(&str, i64)> = spec.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let tg = oregami::larcs::compile(&spec.source, &params).map_err(OregamiError::Larcs)?;
+        self.programs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::new(tg.clone()));
+        Ok(tg)
+    }
+
+    /// A toolchain instance for one request: shared route-table cache,
+    /// shared supervisor breaker state, per-request (or daemon-wide)
+    /// chaos injection.
+    fn system_for(&self, spec: &MapSpec) -> Result<Oregami, (String, String)> {
+        let net = parse_topology(&spec.topology).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
+        let mut sup = SupervisorConfig::default().with_state(Arc::clone(&self.supervisor));
+        if let Some(c) = spec.chaos.as_ref().or(self.chaos.as_ref()) {
+            let chaos =
+                ChaosConfig::parse(c).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
+            sup = sup.with_chaos(chaos);
+        }
+        Ok(Oregami::new(net)
+            .with_cache(Arc::clone(&self.cache))
+            .with_options(MapperOptions {
+                load_bound: spec.load_bound,
+                ..MapperOptions::default()
+            })
+            .with_supervisor(sup))
+    }
+
+    fn map_budgeted(
+        &self,
+        system: &Oregami,
+        spec: &MapSpec,
+    ) -> Result<OregamiResult, (String, String)> {
+        let tg = self.compile_cached(spec).map_err(|e| error_payload(&e))?;
+        let chain = match &spec.chain {
+            Some(s) => FallbackChain::parse(s).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?,
+            None => FallbackChain::default(),
+        };
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = spec.deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = spec.max_steps {
+            budget = budget.with_max_steps(n);
+        }
+        system
+            .map_with_budget(tg, &chain, &budget)
+            .map_err(|e| error_payload(&e))
+    }
+
+    /// Runs one compute operation to its result object (worker thread).
+    fn execute(&self, op_name: &str, spec: &MapSpec) -> Payload {
+        let system = self.system_for(spec)?;
+        let result = self.map_budgeted(&system, spec)?;
+        match op_name {
+            "map" => Ok(map_json(spec, &system, &result)),
+            "metrics" => {
+                let session = system.interactive(&result).map_err(|e| error_payload(&e))?;
+                Ok(obj()
+                    .field("program", spec.label.as_str())
+                    .field("topology", spec.topology.as_str())
+                    .field("metrics", metric_json(&session.snapshot()))
+                    .field("report", session.report().render())
+                    .build())
+            }
+            "repair" => {
+                let mut faults = FaultSet::new();
+                for &p in &spec.fail_procs {
+                    faults.fail_proc(ProcId(p));
+                }
+                for &l in &spec.fail_links {
+                    faults.fail_link(LinkId(l));
+                }
+                let ropts = RepairOptions {
+                    load_bound: spec.load_bound,
+                    ..RepairOptions::default()
+                };
+                let rec = system
+                    .repair(&result, &faults, &ropts)
+                    .map_err(|e| error_payload(&e))?;
+                Ok(obj()
+                    .field("program", spec.label.as_str())
+                    .field("topology", spec.topology.as_str())
+                    .field("failed_procs", rec.degraded.failed_procs().len())
+                    .field("failed_links", rec.degraded.failed_links().len())
+                    .field("escalated", rec.repair.escalated)
+                    .field("repair", rec.repair.to_string())
+                    .field("metrics", rec.metrics.render())
+                    .build())
+            }
+            other => Err((
+                KIND_INTERNAL.to_string(),
+                format!("unknown compute op '{other}'"),
+            )),
+        }
+    }
+
+    /// The daemon-level service verdict plus every counter a client (or
+    /// the storm bench) wants in one read.
+    fn health_json(&self) -> Json {
+        let kinds = [
+            ("exhaustive", StageKind::Exhaustive),
+            ("heuristic", StageKind::Heuristic),
+            ("identity", StageKind::Identity),
+        ];
+        let mut breakers = obj();
+        let mut open = 0;
+        for (name, kind) in kinds {
+            let v = self.supervisor.breaker(kind);
+            if v.state == BreakerState::Open {
+                open += 1;
+            }
+            breakers = breakers.field(
+                name,
+                obj()
+                    .field("state", v.state.to_string())
+                    .field("consecutive_failures", u64::from(v.consecutive_failures))
+                    .field("trips", v.trips)
+                    .field("probes", v.probes)
+                    .build(),
+            );
+        }
+        let draining = self.draining.load(Ordering::SeqCst);
+        let service = if open == kinds.len() {
+            "unserviceable"
+        } else if draining || self.supervisor.any_tripped() {
+            "degraded"
+        } else {
+            "healthy"
+        };
+        let stats = self.cache.stats();
+        obj()
+            .field("service", service)
+            .field("draining", draining)
+            .field("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .field("requests", self.requests.load(Ordering::Relaxed))
+            .field("admitted", self.gate.admitted.load(Ordering::Relaxed))
+            .field(
+                "shed",
+                obj()
+                    .field(
+                        "overloaded",
+                        self.gate.shed_overloaded.load(Ordering::Relaxed),
+                    )
+                    .field(
+                        "unserviceable",
+                        self.gate.shed_unserviceable.load(Ordering::Relaxed),
+                    )
+                    .field("draining", self.gate.shed_draining.load(Ordering::Relaxed))
+                    .build(),
+            )
+            .field("coalesced", self.coalescer.coalesced.load(Ordering::Relaxed))
+            .field("inflight_keys", self.coalescer.distinct_inflight())
+            .field("queue_depth", self.sched.depth())
+            .field("completed", self.sched.completed.load(Ordering::Relaxed))
+            .field("panicked", self.sched.panicked.load(Ordering::Relaxed))
+            .field("ewma_service_micros", self.gate.ewma_micros())
+            .field("sessions", self.sessions.count())
+            .field("resumed_sessions", self.resumed_sessions)
+            .field("resume_failures", self.resume_failures)
+            .field(
+                "route_cache",
+                obj()
+                    .field("hits", stats.hits)
+                    .field("misses", stats.misses)
+                    .field("evictions", stats.evictions)
+                    .build(),
+            )
+            .field("breakers", breakers.build())
+            .build()
+    }
+}
+
+/// The `map` result object: what was mapped, how, and what METRICS
+/// thought of it.
+fn map_json(spec: &MapSpec, system: &Oregami, result: &OregamiResult) -> Json {
+    let assignment: Vec<Json> = result
+        .report
+        .mapping
+        .assignment
+        .iter()
+        .map(|p| Json::from(u64::from(p.0)))
+        .collect();
+    let mut out = obj()
+        .field("program", spec.label.as_str())
+        .field("topology", spec.topology.as_str())
+        .field("tasks", result.task_graph.num_tasks())
+        .field("procs", system.network().num_procs())
+        .field("strategy", format!("{:?}", result.report.strategy))
+        .field("degraded", result.is_degraded())
+        .field("assignment", Json::Arr(assignment));
+    if let Some(engine) = &result.engine {
+        out = out.field(
+            "engine",
+            obj()
+                .field("served_by", engine.served_by.to_string())
+                .field("completion", engine.completion.to_string())
+                .field("health", engine.health.to_string())
+                .build(),
+        );
+    }
+    out.field("report", result.metrics.render()).build()
+}

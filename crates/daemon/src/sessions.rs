@@ -1,0 +1,551 @@
+//! Crash-safe interactive sessions hosted inside the daemon.
+//!
+//! An interactive session borrows its `Oregami` instance and mapped
+//! result, so each daemon session runs as an **actor**: a dedicated
+//! thread that owns the whole stack — network, system, result, session
+//! — on its own frames, and serves commands from an mpsc channel. The
+//! registry maps session names to command senders.
+//!
+//! Crash safety reuses the journal WAL (`core::journal`): every applied
+//! edit is framed, checksummed, and fsync'd to
+//! `<state-dir>/<name>.jrnl` before the response goes out, and a
+//! sidecar `<name>.meta.json` (written once at open) records how to
+//! rebuild the session's inputs. A SIGKILL'd daemon restarted with
+//! `--resume` rescans the state dir, re-maps each session's program
+//! (deterministic), and replays its journal — restoring the exact
+//! session state, verified byte-for-byte by the kill-and-restart test.
+
+use crate::json::{obj, Json};
+use crate::protocol::{MapSpec, KIND_BAD_REQUEST};
+use crate::topo::parse_topology;
+use oregami::replay::{self, ReplayOp};
+use oregami::{
+    InteractiveSession, Journal, MapperOptions, MetricSnapshot, MetricsDelta, Oregami,
+    RouteTableCache,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Commands served by a session actor.
+enum SessionCmd {
+    Edit {
+        line: String,
+        reply: mpsc::Sender<Result<Json, (String, String)>>,
+    },
+    Snapshot {
+        reply: mpsc::Sender<Json>,
+    },
+    Close {
+        reply: mpsc::Sender<()>,
+    },
+}
+
+struct SessionHandle {
+    tx: mpsc::Sender<SessionCmd>,
+    join: JoinHandle<()>,
+}
+
+/// The daemon's session table.
+pub struct SessionRegistry {
+    state_dir: PathBuf,
+    cache: Arc<RouteTableCache>,
+    sessions: Mutex<HashMap<String, SessionHandle>>,
+}
+
+type OpResult = Result<Json, (String, String)>;
+
+fn internal(msg: &str) -> (String, String) {
+    ("session".to_string(), msg.to_string())
+}
+
+impl SessionRegistry {
+    pub fn new(state_dir: PathBuf, cache: Arc<RouteTableCache>) -> SessionRegistry {
+        SessionRegistry {
+            state_dir,
+            cache,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, SessionHandle>> {
+        self.sessions.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn count(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn journal_path(&self, name: &str) -> PathBuf {
+        self.state_dir.join(format!("{name}.jrnl"))
+    }
+
+    fn meta_path(&self, name: &str) -> PathBuf {
+        self.state_dir.join(format!("{name}.meta.json"))
+    }
+
+    /// Opens a fresh journaled session. Fails if the name is taken.
+    pub fn open(&self, name: &str, spec: MapSpec) -> OpResult {
+        {
+            let table = self.lock();
+            if table.contains_key(name) {
+                return Err((
+                    KIND_BAD_REQUEST.to_string(),
+                    format!("session '{name}' already exists"),
+                ));
+            }
+        }
+        self.spawn_actor(name, spec, false)
+    }
+
+    /// Rebuilds every session recorded in the state dir (its meta file
+    /// plus journal), replaying each journal. Returns `(resumed,
+    /// failures)` — a failure names the session and why.
+    pub fn resume_all(&self) -> (Vec<String>, Vec<(String, String)>) {
+        let mut resumed = Vec::new();
+        let mut failed = Vec::new();
+        let entries = match std::fs::read_dir(&self.state_dir) {
+            Ok(e) => e,
+            Err(_) => return (resumed, failed),
+        };
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            let Some(name) = file.strip_suffix(".meta.json") else {
+                continue;
+            };
+            let name = name.to_string();
+            match self.resume_one(&name) {
+                Ok(_) => resumed.push(name),
+                Err((_, msg)) => failed.push((name, msg)),
+            }
+        }
+        resumed.sort();
+        (resumed, failed)
+    }
+
+    fn resume_one(&self, name: &str) -> OpResult {
+        let meta_text = std::fs::read_to_string(self.meta_path(name))
+            .map_err(|e| internal(&format!("cannot read meta: {e}")))?;
+        let meta = crate::json::parse(&meta_text)
+            .map_err(|e| internal(&format!("corrupt meta: {e}")))?;
+        let spec = spec_from_meta(&meta).map_err(|e| internal(&e))?;
+        if !self.journal_path(name).exists() {
+            return Err(internal("meta present but journal missing"));
+        }
+        self.spawn_actor(name, spec, true)
+    }
+
+    fn spawn_actor(&self, name: &str, spec: MapSpec, resume: bool) -> OpResult {
+        let (tx, rx) = mpsc::channel();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let actor_name = name.to_string();
+        let cache = Arc::clone(&self.cache);
+        let journal_path = self.journal_path(name);
+        let meta_path = self.meta_path(name);
+        let join = std::thread::Builder::new()
+            .name(format!("oregamid-session-{name}"))
+            .spawn(move || {
+                actor(actor_name, spec, cache, journal_path, meta_path, resume, ready_tx, rx)
+            })
+            .map_err(|e| internal(&format!("cannot spawn session thread: {e}")))?;
+        match ready_rx.recv() {
+            Ok(Ok(info)) => {
+                self.lock().insert(name.to_string(), SessionHandle { tx, join });
+                Ok(info)
+            }
+            Ok(Err(e)) => {
+                let _ = join.join();
+                Err(e)
+            }
+            Err(_) => {
+                let _ = join.join();
+                Err(internal("session worker died during open"))
+            }
+        }
+    }
+
+    /// Applies one replay-dialect edit line (`reassign 3 1`, `undo`, …).
+    pub fn edit(&self, name: &str, line: &str) -> OpResult {
+        let (reply, rx) = mpsc::channel();
+        self.send(name, SessionCmd::Edit { line: line.to_string(), reply })?;
+        rx.recv().map_err(|_| internal("session worker died"))?
+    }
+
+    /// A deterministic snapshot of the session's full state.
+    pub fn snapshot(&self, name: &str) -> OpResult {
+        let (reply, rx) = mpsc::channel();
+        self.send(name, SessionCmd::Snapshot { reply })?;
+        rx.recv().map_err(|_| internal("session worker died"))
+    }
+
+    /// Ends the session and deletes its journal and meta file (a closed
+    /// session must not resurrect on the next `--resume`).
+    pub fn close(&self, name: &str) -> OpResult {
+        let handle = self
+            .lock()
+            .remove(name)
+            .ok_or_else(|| (KIND_BAD_REQUEST.to_string(), format!("no session '{name}'")))?;
+        let (reply, rx) = mpsc::channel();
+        let _ = handle.tx.send(SessionCmd::Close { reply });
+        let _ = rx.recv();
+        let _ = handle.join.join();
+        let _ = std::fs::remove_file(self.journal_path(name));
+        let _ = std::fs::remove_file(self.meta_path(name));
+        Ok(obj().field("session", name).field("closed", true).build())
+    }
+
+    /// Joins every actor without touching journals or meta files, so a
+    /// drained daemon's sessions resume on the next start.
+    pub fn shutdown(&self) {
+        let handles: Vec<(String, SessionHandle)> = self.lock().drain().collect();
+        for (_, handle) in handles {
+            let (reply, rx) = mpsc::channel();
+            let _ = handle.tx.send(SessionCmd::Close { reply });
+            let _ = rx.recv();
+            let _ = handle.join.join();
+        }
+    }
+
+    fn send(&self, name: &str, cmd: SessionCmd) -> Result<(), (String, String)> {
+        let table = self.lock();
+        let handle = table
+            .get(name)
+            .ok_or_else(|| (KIND_BAD_REQUEST.to_string(), format!("no session '{name}'")))?;
+        handle
+            .tx
+            .send(cmd)
+            .map_err(|_| internal("session worker died"))
+    }
+}
+
+/// The actor body: owns the whole session stack on this thread's
+/// frames, reports readiness (or the open failure) once, then serves
+/// commands until `Close` or the registry drops the sender.
+#[allow(clippy::too_many_arguments)]
+fn actor(
+    name: String,
+    spec: MapSpec,
+    cache: Arc<RouteTableCache>,
+    journal_path: PathBuf,
+    meta_path: PathBuf,
+    resume: bool,
+    ready: mpsc::Sender<OpResult>,
+    rx: mpsc::Receiver<SessionCmd>,
+) {
+    let net = match parse_topology(&spec.topology) {
+        Ok(n) => n,
+        Err(e) => {
+            let _ = ready.send(Err((KIND_BAD_REQUEST.to_string(), e)));
+            return;
+        }
+    };
+    let system = Oregami::new(net)
+        .with_cache(cache)
+        .with_options(MapperOptions {
+            load_bound: spec.load_bound,
+            ..MapperOptions::default()
+        });
+    let params: Vec<(&str, i64)> = spec.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let result = match system.map_source(&spec.source, &params) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = ready.send(Err(("map".to_string(), e.to_string())));
+            return;
+        }
+    };
+    let (mut session, replayed) = if resume {
+        match system.resume(&result, &journal_path) {
+            Ok((s, recovery)) => (s, recovery.records.len()),
+            Err(e) => {
+                let _ = ready.send(Err(("session".to_string(), e.to_string())));
+                return;
+            }
+        }
+    } else {
+        // meta first, journal second: a crash in between leaves a meta
+        // file without a journal, which resume reports and skips — never
+        // a journal that can't be interpreted
+        if let Err(e) = write_meta(&meta_path, &spec) {
+            let _ = ready.send(Err(("session".to_string(), e)));
+            return;
+        }
+        let mut s = match system.interactive(&result) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = ready.send(Err(("map".to_string(), e.to_string())));
+                return;
+            }
+        };
+        match Journal::create(&journal_path) {
+            Ok(j) => s.attach_journal(j),
+            Err(e) => {
+                let _ = ready.send(Err(("session".to_string(), e.to_string())));
+                return;
+            }
+        }
+        (s, 0)
+    };
+    let opened = obj()
+        .field("session", name.as_str())
+        .field("resumed", replayed)
+        .field("tasks", result.task_graph.num_tasks())
+        .field("procs", system.network().num_procs())
+        .field("snapshot", snapshot_json(&name, &session))
+        .build();
+    if ready.send(Ok(opened)).is_err() {
+        return;
+    }
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SessionCmd::Edit { line, reply } => {
+                let _ = reply.send(apply_line(&mut session, &line));
+            }
+            SessionCmd::Snapshot { reply } => {
+                let _ = reply.send(snapshot_json(&name, &session));
+            }
+            SessionCmd::Close { reply } => {
+                let _ = reply.send(());
+                return;
+            }
+        }
+    }
+}
+
+fn apply_line(session: &mut InteractiveSession<'_>, line: &str) -> OpResult {
+    let op = match replay::parse_line(line) {
+        Ok(Some(op)) => op,
+        Ok(None) => {
+            return Err((KIND_BAD_REQUEST.to_string(), "empty edit line".to_string()))
+        }
+        Err(e) => return Err((KIND_BAD_REQUEST.to_string(), e)),
+    };
+    let delta = match op {
+        ReplayOp::Undo => session.undo(),
+        ReplayOp::Apply(edit) => match session.apply(edit) {
+            Ok(d) => Some(d),
+            Err(e) => return Err(("session".to_string(), e.to_string())),
+        },
+    };
+    let mut out = obj().field("applied", line).field(
+        "edits",
+        session.edit_log().len(),
+    );
+    if let Some(d) = &delta {
+        out = out.field("delta", delta_json(d));
+    } else {
+        out = out.field("delta", Json::Null);
+    }
+    if let Some(warning) = session.journal_error() {
+        out = out.field("journal_warning", warning);
+    }
+    Ok(out.build())
+}
+
+/// Everything a client (or the kill-and-restart test) needs to compare
+/// session state byte-for-byte: rendered deterministically, field order
+/// fixed.
+fn snapshot_json(name: &str, session: &InteractiveSession<'_>) -> Json {
+    let assignment: Vec<Json> = session
+        .mapping()
+        .assignment
+        .iter()
+        .map(|p| Json::from(u64::from(p.0)))
+        .collect();
+    obj()
+        .field("session", name)
+        .field("edits", session.edit_log().len())
+        .field("undo_depth", session.undo_depth())
+        .field("assignment", Json::Arr(assignment))
+        .field("metrics", metric_json(&session.snapshot()))
+        .field("report", session.report().render())
+        .build()
+}
+
+/// One metric snapshot as an ordered object.
+pub fn metric_json(s: &MetricSnapshot) -> Json {
+    let opt = |v: Option<u64>| v.map_or(Json::Null, Json::from);
+    obj()
+        .field("max_link_volume", s.max_link_volume)
+        .field("avg_dilation_millis", s.avg_dilation_millis)
+        .field("max_dilation", s.max_dilation)
+        .field("max_contention", s.max_contention)
+        .field("total_ipc", s.total_ipc)
+        .field("internalized_volume", s.internalized_volume)
+        .field("max_exec_time", s.max_exec_time)
+        .field("imbalance_millis", s.imbalance_millis)
+        .field("completion_time", opt(s.completion_time))
+        .field("comm_time", opt(s.comm_time))
+        .build()
+}
+
+/// What one edit changed.
+pub fn delta_json(d: &MetricsDelta) -> Json {
+    obj()
+        .field("edges_touched", d.edges_touched)
+        .field("before", metric_json(&d.before))
+        .field("after", metric_json(&d.after))
+        .build()
+}
+
+fn write_meta(path: &Path, spec: &MapSpec) -> Result<(), String> {
+    let params = Json::Obj(
+        spec.params
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect(),
+    );
+    let meta = obj()
+        .field("topology", spec.topology.as_str())
+        .field("source", spec.source.as_str())
+        .field("label", spec.label.as_str())
+        .field("params", params)
+        .field(
+            "load_bound",
+            spec.load_bound.map_or(Json::Null, Json::from),
+        )
+        .build();
+    let text = meta.render();
+    std::fs::write(path, text).map_err(|e| format!("cannot write meta: {e}"))?;
+    // fsync so the sidecar survives the same crash the journal does
+    match std::fs::File::open(path) {
+        Ok(f) => {
+            let _ = f.sync_all();
+        }
+        Err(e) => return Err(format!("cannot sync meta: {e}")),
+    }
+    Ok(())
+}
+
+fn spec_from_meta(meta: &Json) -> Result<MapSpec, String> {
+    let topology = meta
+        .get("topology")
+        .and_then(Json::as_str)
+        .ok_or("meta missing 'topology'")?
+        .to_string();
+    let source = meta
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("meta missing 'source'")?
+        .to_string();
+    let label = meta
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or("inline")
+        .to_string();
+    let mut params: Vec<(String, i64)> = match meta.get("params") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| v.as_i64().map(|n| (k.clone(), n)).ok_or("bad param"))
+            .collect::<Result<_, _>>()?,
+        _ => Vec::new(),
+    };
+    params.sort();
+    let load_bound = meta
+        .get("load_bound")
+        .and_then(Json::as_u64)
+        .map(|n| n as usize);
+    Ok(MapSpec {
+        source,
+        label,
+        params,
+        topology,
+        deadline_ms: None,
+        max_steps: None,
+        chain: None,
+        load_bound,
+        fail_procs: Vec::new(),
+        fail_links: Vec::new(),
+        chaos: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami::larcs::programs;
+
+    fn spec() -> MapSpec {
+        MapSpec {
+            source: programs::nbody(),
+            label: "nbody".to_string(),
+            params: vec![
+                ("msgsize".to_string(), 4),
+                ("n".to_string(), 16),
+                ("s".to_string(), 2),
+            ],
+            topology: "hypercube:3".to_string(),
+            deadline_ms: None,
+            max_steps: None,
+            chain: None,
+            load_bound: None,
+            fail_procs: Vec::new(),
+            fail_links: Vec::new(),
+            chaos: None,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut d = std::env::temp_dir();
+        d.push(format!("oregamid-sessions-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn open_edit_snapshot_close_lifecycle() {
+        let dir = temp_dir("lifecycle");
+        let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)));
+        let opened = reg.open("alpha", spec()).unwrap();
+        assert_eq!(opened.get("resumed").unwrap().as_u64(), Some(0));
+        assert!(dir.join("alpha.jrnl").exists());
+        assert!(dir.join("alpha.meta.json").exists());
+
+        // duplicate name is refused
+        assert!(reg.open("alpha", spec()).is_err());
+
+        let r = reg.edit("alpha", "reassign 3 1").unwrap();
+        assert_eq!(r.get("edits").unwrap().as_u64(), Some(1));
+        assert!(r.get("delta").unwrap().get("edges_touched").is_some());
+        // a bad edit is a typed error, the session survives
+        assert!(reg.edit("alpha", "reassign 9999 0").is_err());
+        let snap = reg.snapshot("alpha").unwrap();
+        assert_eq!(snap.get("edits").unwrap().as_u64(), Some(1));
+
+        reg.close("alpha").unwrap();
+        assert!(!dir.join("alpha.jrnl").exists());
+        assert!(!dir.join("alpha.meta.json").exists());
+        assert!(reg.edit("alpha", "undo").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_restores_byte_identical_snapshots() {
+        let dir = temp_dir("resume");
+        let snap_before;
+        {
+            let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)));
+            reg.open("beta", spec()).unwrap();
+            reg.edit("beta", "reassign 3 1").unwrap();
+            reg.edit("beta", "reassign 4 2").unwrap();
+            reg.edit("beta", "undo").unwrap();
+            reg.edit("beta", "reassign 5 0").unwrap();
+            snap_before = reg.snapshot("beta").unwrap().render();
+            // drop WITHOUT close: simulates the daemon dying (journal and
+            // meta survive; actors are detached with the registry)
+            reg.shutdown();
+        }
+        let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)));
+        let (resumed, failed) = reg.resume_all();
+        assert_eq!(resumed, vec!["beta".to_string()]);
+        assert!(failed.is_empty(), "{failed:?}");
+        let snap_after = reg.snapshot("beta").unwrap().render();
+        assert_eq!(snap_before, snap_after, "resume must restore state byte-identically");
+        // and the resumed session keeps journalling
+        reg.edit("beta", "undo").unwrap();
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

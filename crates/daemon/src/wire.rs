@@ -1,0 +1,199 @@
+//! Length-prefixed JSON framing for the daemon socket.
+//!
+//! ```text
+//! frame := len:u32-LE payload            (len = payload byte count)
+//! payload := UTF-8 JSON text, one request or response object
+//! ```
+//!
+//! `len` is capped at [`MAX_FRAME`]: a corrupt or hostile length field
+//! must be a typed [`WireError::Oversized`], never a gigabyte
+//! allocation. Every failure mode of the codec — closed peer, torn
+//! frame, bad UTF-8, malformed JSON — is a typed [`WireError`]; the
+//! codec never panics on any input (the wire fuzz target pins this).
+
+use crate::json::{self, Json};
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload. Requests are hundreds of bytes;
+/// session snapshots a few KiB. 1 MiB leaves room for large LaRCS
+/// sources without letting a corrupt header allocate garbage.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Everything that can go wrong reading or writing a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Clean EOF on a frame boundary: the peer hung up.
+    Closed,
+    /// EOF in the middle of a header or payload: a torn frame.
+    Truncated,
+    /// The length field exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// Underlying socket/file I/O failed (includes read timeouts).
+    Io(std::io::Error),
+    /// The payload is not UTF-8.
+    BadUtf8,
+    /// The payload is not valid JSON.
+    Json(json::JsonError),
+    /// Structurally valid JSON that violates the protocol (missing
+    /// `op`, wrong field type, unknown operation, ...).
+    Protocol(String),
+}
+
+impl WireError {
+    /// Stable machine-readable tag, used as the `error.kind` field of
+    /// error responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireError::Closed => "closed",
+            WireError::Truncated => "truncated",
+            WireError::Oversized(_) => "oversized",
+            WireError::Io(_) => "io",
+            WireError::BadUtf8 => "bad_utf8",
+            WireError::Json(_) => "bad_json",
+            WireError::Protocol(_) => "bad_request",
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "torn frame: peer stopped mid-message"),
+            WireError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::Io(e) => write!(f, "socket i/o: {e}"),
+            WireError::BadUtf8 => write!(f, "frame payload is not utf-8"),
+            WireError::Json(e) => write!(f, "bad json: {e}"),
+            WireError::Protocol(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Reads one length-prefixed frame. EOF before the first header byte is
+/// [`WireError::Closed`]; EOF anywhere after it is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
+/// Writes one length-prefixed frame (flushes).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(WireError::Oversized(payload.len() as u32));
+    }
+    // one write_all for header+payload keeps the frame a single syscall
+    // in the common case, so concurrent writers interleave at frame
+    // granularity only when the caller serializes them (the server
+    // holds a per-connection write lock)
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads and parses one JSON message.
+pub fn read_message(r: &mut impl Read) -> Result<Json, WireError> {
+    let payload = read_frame(r)?;
+    let text = std::str::from_utf8(&payload).map_err(|_| WireError::BadUtf8)?;
+    json::parse(text).map_err(WireError::Json)
+}
+
+/// Serializes and writes one JSON message.
+pub fn write_message(w: &mut impl Write, message: &Json) -> Result<(), WireError> {
+    write_frame(w, message.render().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let msg = obj().field("id", 1u64).field("op", "health").build();
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_message(&mut cur).unwrap(), msg);
+        assert!(matches!(read_message(&mut cur), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_typed() {
+        // torn header
+        let mut cur = Cursor::new(vec![5u8, 0]);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+        // torn payload
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+        // oversized length field
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::Oversized(n)) if n == MAX_FRAME + 1
+        ));
+        // refusing to *write* oversized payloads too
+        let big = vec![0u8; MAX_FRAME as usize + 1];
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &big),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_and_non_json_payloads_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0xFF, 0xFE]).unwrap();
+        assert!(matches!(
+            read_message(&mut Cursor::new(buf)),
+            Err(WireError::BadUtf8)
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{nope").unwrap();
+        let err = read_message(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Json(_)));
+        assert_eq!(err.kind(), "bad_json");
+    }
+}

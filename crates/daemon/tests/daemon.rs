@@ -1,0 +1,425 @@
+//! End-to-end tests of the oregamid daemon: real processes on real
+//! sockets for the crash/restart and signal paths, in-process servers
+//! for storms, shedding, and coalescing.
+
+use oregami_daemon::json::{obj, Json};
+use oregami_daemon::{Client, Server, ServerConfig};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oregamid-it-{}-{tag}", std::process::id()))
+}
+
+/// Kills the child on drop so a failed assertion never leaks a daemon.
+struct DaemonProc(Child);
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_daemon(socket: &Path, state: &Path, extra: &[&str]) -> DaemonProc {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_oregamid"));
+    cmd.arg("--socket")
+        .arg(socket)
+        .arg("--state-dir")
+        .arg(state)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    DaemonProc(cmd.spawn().expect("spawn oregamid"))
+}
+
+fn connect_within(socket: &Path, timeout: Duration) -> Client {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(client) = Client::connect(socket) {
+            return client;
+        }
+        assert!(
+            t0.elapsed() < timeout,
+            "daemon did not come up on {}",
+            socket.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn nbody_params(msgsize: i64) -> Json {
+    obj()
+        .field("n", 16i64)
+        .field("s", 2i64)
+        .field("msgsize", msgsize)
+        .build()
+}
+
+fn map_request(msgsize: i64) -> Json {
+    obj()
+        .field("op", "map")
+        .field("program", "nbody")
+        .field("topology", "hypercube:3")
+        .field("params", nbody_params(msgsize))
+        .build()
+}
+
+fn session_op(op: &str, name: &str) -> Json {
+    obj().field("op", op).field("session", name).build()
+}
+
+fn edit_request(name: &str, line: &str) -> Json {
+    obj()
+        .field("op", "session_edit")
+        .field("session", name)
+        .field("edit", line)
+        .build()
+}
+
+/// The tentpole crash-safety test: SIGKILL the daemon mid-life, restart
+/// with `--resume`, and demand byte-identical session snapshots.
+#[test]
+fn sigkill_and_resume_restores_sessions_byte_identically() {
+    let socket = scratch("kill.sock");
+    let state = scratch("kill.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut daemon = spawn_daemon(&socket, &state, &[]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    for name in ["alpha", "beta"] {
+        let open = obj()
+            .field("op", "session_open")
+            .field("session", name)
+            .field("program", "nbody")
+            .field("topology", "hypercube:3")
+            .field("params", nbody_params(4))
+            .build();
+        client.request(&open).expect("session_open");
+    }
+    for line in ["reassign 3 1", "reassign 4 2", "undo", "reassign 5 0"] {
+        client.request(&edit_request("alpha", line)).expect("edit alpha");
+    }
+    client.request(&edit_request("beta", "reassign 1 3")).expect("edit beta");
+
+    let before_alpha = client
+        .request(&session_op("session_snapshot", "alpha"))
+        .unwrap()
+        .render();
+    let before_beta = client
+        .request(&session_op("session_snapshot", "beta"))
+        .unwrap()
+        .render();
+
+    // SIGKILL: no drain, no flush, no goodbye.
+    daemon.0.kill().unwrap();
+    daemon.0.wait().unwrap();
+    drop(daemon);
+
+    // the journals and meta sidecars must have survived the kill
+    for f in ["alpha.jrnl", "alpha.meta.json", "beta.jrnl", "beta.meta.json"] {
+        assert!(state.join(f).exists(), "{f} missing after SIGKILL");
+    }
+
+    let _daemon2 = spawn_daemon(&socket, &state, &["--resume"]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let health = client.request(&obj().field("op", "health").build()).unwrap();
+    assert_eq!(
+        health.get("resumed_sessions").and_then(Json::as_u64),
+        Some(2),
+        "health: {}",
+        health.render()
+    );
+    assert_eq!(health.get("sessions").and_then(Json::as_u64), Some(2));
+
+    let after_alpha = client
+        .request(&session_op("session_snapshot", "alpha"))
+        .unwrap()
+        .render();
+    let after_beta = client
+        .request(&session_op("session_snapshot", "beta"))
+        .unwrap()
+        .render();
+    assert_eq!(after_alpha, before_alpha, "alpha diverged across the crash");
+    assert_eq!(after_beta, before_beta, "beta diverged across the crash");
+
+    // resumed sessions are live, not read-only husks
+    let applied = client
+        .request(&edit_request("alpha", "reassign 2 6"))
+        .expect("edit after resume");
+    assert_eq!(applied.get("edits").and_then(Json::as_u64), Some(5));
+
+    client
+        .request(&session_op("session_close", "alpha"))
+        .expect("close alpha");
+    assert!(!state.join("alpha.jrnl").exists(), "close must delete the journal");
+}
+
+/// SIGTERM must drain gracefully: exit 0, socket unlinked, final stats
+/// on stdout.
+#[test]
+fn sigterm_drains_cleanly_and_removes_socket() {
+    let socket = scratch("term.sock");
+    let state = scratch("term.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut daemon = spawn_daemon(&socket, &state, &[]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    client.request(&map_request(4)).expect("map before drain");
+
+    let pid = daemon.0.id().to_string();
+    let ok = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM")
+        .success();
+    assert!(ok, "kill -TERM failed");
+
+    let t0 = Instant::now();
+    let status = loop {
+        if let Some(s) = daemon.0.try_wait().expect("try_wait") {
+            break s;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(15),
+            "daemon did not drain within 15 s of SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    };
+    assert_eq!(status.code(), Some(0), "drain must exit 0, got {status:?}");
+    assert!(!socket.exists(), "socket file must be unlinked on drain");
+
+    let mut stdout = String::new();
+    daemon
+        .0
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut stdout)
+        .unwrap();
+    assert!(
+        stdout.contains("\"service\"") && stdout.contains("\"draining\":true"),
+        "final stats missing from stdout: {stdout}"
+    );
+}
+
+/// 50 concurrent requests — 5 of them chaos-injected — and every single
+/// one gets a typed answer. The daemon survives with zero worker
+/// deaths and keeps answering afterwards.
+#[test]
+fn concurrent_storm_answers_every_request() {
+    let socket = scratch("storm.sock");
+    let state = scratch("storm.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut config = ServerConfig::new(&socket, &state);
+    config.workers = 4;
+    config.max_queue = 64;
+    let handle = Server::start(config).expect("start server");
+
+    const THREADS: u64 = 10;
+    const PER_THREAD: u64 = 5;
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let sock = socket.clone();
+        let gate = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut client = connect_within(&sock, Duration::from_secs(15));
+            client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+            gate.wait();
+            let mut outcomes = Vec::new();
+            for i in 0..PER_THREAD {
+                let seq = t * PER_THREAD + i;
+                let mut req = map_request(1 + (seq % 4) as i64);
+                if seq.is_multiple_of(10) {
+                    // every tenth request brings its own chaos, scoped to
+                    // the exhaustive stage so the fallback chain (not
+                    // luck) is what absorbs every injected panic
+                    if let Json::Obj(fields) = &mut req {
+                        fields.push((
+                            "chaos".to_string(),
+                            Json::from(format!(
+                                "seed={seq},panic=0.9,stall=0.2,stall-ms=10,only=exhaustive"
+                            )),
+                        ));
+                    }
+                }
+                outcomes.push(client.request(&req));
+            }
+            outcomes
+        }));
+    }
+
+    let allowed = [
+        "overloaded",
+        "unserviceable",
+        "shutting_down",
+        "map",
+        "fault",
+        "repair",
+        "internal",
+    ];
+    let mut total = 0usize;
+    let mut served = 0usize;
+    for join in joins {
+        for outcome in join.join().expect("storm thread panicked") {
+            total += 1;
+            match outcome {
+                Ok(result) => {
+                    served += 1;
+                    assert!(result.get("assignment").is_some(), "{}", result.render());
+                }
+                Err((kind, msg)) => assert!(
+                    allowed.contains(&kind.as_str()),
+                    "untyped outcome {kind}: {msg}"
+                ),
+            }
+        }
+    }
+    assert_eq!(total, (THREADS * PER_THREAD) as usize);
+    assert!(served >= 45, "only {served}/{total} requests served");
+
+    // the daemon is still standing and says so
+    let mut client = connect_within(&socket, Duration::from_secs(5));
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let health = client.request(&obj().field("op", "health").build()).unwrap();
+    assert!(
+        health.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 50,
+        "{}",
+        health.render()
+    );
+    assert!(health.get("completed").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    drop(client);
+
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.get("draining").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        stats.render()
+    );
+}
+
+/// With one slow worker and a tiny queue, a burst of distinct requests
+/// must be shed with the typed `overloaded` error — not queued into a
+/// universal timeout.
+#[test]
+fn overload_sheds_typed_overloaded_errors() {
+    let socket = scratch("shed.sock");
+    let state = scratch("shed.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut config = ServerConfig::new(&socket, &state);
+    config.workers = 1;
+    config.max_queue = 2;
+    let handle = Server::start(config).expect("start server");
+
+    const CLIENTS: usize = 12;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let sock = socket.clone();
+        let gate = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut client = connect_within(&sock, Duration::from_secs(15));
+            client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+            let mut req = map_request(c as i64 + 1); // distinct: no coalescing
+            if let Json::Obj(fields) = &mut req {
+                fields.push((
+                    "chaos".to_string(),
+                    // stall every stage so the queue actually backs up
+                    Json::from(format!("seed={c},stall=1,stall-ms=250")),
+                ));
+            }
+            gate.wait();
+            client.request(&req)
+        }));
+    }
+
+    let mut shed = 0usize;
+    let mut served = 0usize;
+    for join in joins {
+        match join.join().expect("client thread panicked") {
+            Ok(_) => served += 1,
+            Err((kind, msg)) => {
+                assert_eq!(kind, "overloaded", "unexpected shed kind {kind}: {msg}");
+                shed += 1;
+            }
+        }
+    }
+    assert!(served >= 1, "nothing was served at all");
+    assert!(
+        shed >= 1,
+        "12 stalled requests against queue=2/workers=1 shed nothing"
+    );
+
+    let stats = handle.shutdown();
+    let shed_counter = stats
+        .get("shed")
+        .and_then(|s| s.get("overloaded"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert_eq!(shed_counter as usize, shed, "{}", stats.render());
+}
+
+/// Identical in-flight requests coalesce: one computation, every waiter
+/// answered with the same payload, and the health counter shows it.
+#[test]
+fn identical_inflight_requests_coalesce() {
+    let socket = scratch("coal.sock");
+    let state = scratch("coal.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut config = ServerConfig::new(&socket, &state);
+    config.workers = 2;
+    let handle = Server::start(config).expect("start server");
+
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut joins = Vec::new();
+    for _ in 0..CLIENTS {
+        let sock = socket.clone();
+        let gate = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut client = connect_within(&sock, Duration::from_secs(15));
+            client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+            let mut req = map_request(7);
+            if let Json::Obj(fields) = &mut req {
+                // one identical stall spec for everyone: same coalesce
+                // key, and a wide window for the others to pile into
+                fields.push(("chaos".to_string(), Json::from("seed=3,stall=1,stall-ms=400")));
+            }
+            gate.wait();
+            client.request(&req)
+        }));
+    }
+
+    let mut renders = Vec::new();
+    for join in joins {
+        let result = join
+            .join()
+            .expect("client thread panicked")
+            .expect("coalesced request failed");
+        renders.push(result.render());
+    }
+    renders.dedup();
+    assert_eq!(renders.len(), 1, "waiters saw different payloads");
+
+    let stats = handle.shutdown();
+    let coalesced = stats.get("coalesced").and_then(Json::as_u64).unwrap_or(0);
+    assert!(coalesced >= 1, "no coalescing observed: {}", stats.render());
+}

@@ -1,0 +1,137 @@
+//! Fuzz-style property tests of the daemon wire format: whatever bytes
+//! arrive — random garbage, truncated frames, hostile length prefixes,
+//! deeply nested JSON — the codec must return a *typed* error or a
+//! valid message. It must never panic, never hang, and never allocate
+//! anything resembling the attacker-chosen length.
+
+use oregami_daemon::json::{self, Json};
+use oregami_daemon::wire::{self, WireError, MAX_FRAME};
+use proptest::collection;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Every outcome the codec is allowed to produce for arbitrary input.
+fn is_typed(result: &Result<Json, WireError>) -> bool {
+    match result {
+        Ok(_) => true,
+        Err(
+            WireError::Closed
+            | WireError::Truncated
+            | WireError::Oversized(_)
+            | WireError::Io(_)
+            | WireError::BadUtf8
+            | WireError::Json(_)
+            | WireError::Protocol(_),
+        ) => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: read_message terminates with a typed
+    /// outcome. (A 4-byte prefix decoding to an enormous length must
+    /// fail as Oversized without any read of that many bytes — a
+    /// Cursor over <68 bytes would EOF, but the check happens first.)
+    #[test]
+    fn random_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0usize..64)) {
+        let result = wire::read_message(&mut Cursor::new(bytes.clone()));
+        prop_assert!(is_typed(&result), "untyped outcome for {bytes:?}");
+        if bytes.is_empty() {
+            prop_assert!(matches!(result, Err(WireError::Closed)));
+        }
+    }
+
+    /// A valid frame cut anywhere before its end reads back as exactly
+    /// Closed (cut at byte 0) or Truncated (cut mid-header/payload).
+    #[test]
+    fn truncated_frames_are_typed(cut_seed in any::<u64>(), n in 1usize..40) {
+        let msg = Json::Arr(vec![Json::from(n as u64); n]);
+        let mut buf = Vec::new();
+        wire::write_message(&mut buf, &msg).unwrap();
+        let cut = (cut_seed as usize) % buf.len(); // strictly short of the end
+        let result = wire::read_message(&mut Cursor::new(buf[..cut].to_vec()));
+        if cut == 0 {
+            prop_assert!(matches!(result, Err(WireError::Closed)), "{result:?}");
+        } else {
+            prop_assert!(matches!(result, Err(WireError::Truncated)), "{result:?}");
+        }
+    }
+
+    /// Hostile length prefixes beyond the 1 MiB cap are rejected from
+    /// the header alone — no allocation, no draining read.
+    #[test]
+    fn oversized_lengths_are_rejected(extra in any::<u32>(), junk in any::<u8>()) {
+        let len = MAX_FRAME.saturating_add(extra.max(1));
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[junk; 8]);
+        let result = wire::read_message(&mut Cursor::new(buf));
+        prop_assert!(
+            matches!(result, Err(WireError::Oversized(l)) if l == len),
+            "{result:?}"
+        );
+    }
+
+    /// Frames that carry non-JSON payloads come back as typed decode
+    /// errors, and the stream stays usable for the next frame.
+    #[test]
+    fn bad_payloads_are_typed_and_recoverable(payload in collection::vec(any::<u8>(), 1usize..32)) {
+        let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        // follow the garbage with a valid frame
+        wire::write_message(&mut buf, &Json::from(true)).unwrap();
+        let mut cur = Cursor::new(buf);
+        let first = wire::read_message(&mut cur);
+        prop_assert!(is_typed(&first));
+        if first.is_err() {
+            prop_assert!(
+                matches!(first, Err(WireError::BadUtf8 | WireError::Json(_))),
+                "{first:?}"
+            );
+        }
+        // framing is length-delimited, so one bad payload never
+        // desynchronizes the stream
+        let second = wire::read_message(&mut cur).unwrap();
+        prop_assert_eq!(second, Json::from(true));
+    }
+
+    /// Structured values round-trip bit-for-bit through render → frame
+    /// → read, which is what makes daemon snapshots byte-comparable.
+    #[test]
+    fn messages_round_trip(
+        ints in collection::vec(any::<i64>(), 0usize..8),
+        text in "[a-z ]{0,12}",
+        flag in any::<bool>(),
+    ) {
+        let msg = json::obj()
+            .field("ints", Json::Arr(ints.iter().map(|&i| Json::from(i)).collect()))
+            .field("text", text.as_str())
+            .field("flag", flag)
+            .field("nested", json::obj().field("x", Json::Null).build())
+            .build();
+        let mut buf = Vec::new();
+        wire::write_message(&mut buf, &msg).unwrap();
+        let back = wire::read_message(&mut Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.render(), msg.render());
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Deep nesting is bounded by the parser's depth limit: a typed
+    /// error, not a stack overflow.
+    #[test]
+    fn nesting_bombs_are_typed(depth in 1usize..600) {
+        let mut text = String::new();
+        for _ in 0..depth {
+            text.push('[');
+        }
+        for _ in 0..depth {
+            text.push(']');
+        }
+        let result = json::parse(&text);
+        if depth <= 64 {
+            prop_assert!(result.is_ok(), "depth {depth}: {result:?}");
+        } else {
+            prop_assert!(result.is_err(), "depth {depth} must exceed the limit");
+        }
+    }
+}

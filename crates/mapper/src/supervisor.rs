@@ -206,13 +206,18 @@ impl SupervisorState {
     }
 
     /// Admission decision for `stage`, performing the `Open → HalfOpen`
-    /// transition when the cooldown has elapsed.
+    /// transition when the cooldown has elapsed. While a half-open probe
+    /// is in flight (`half_open` set, verdict not yet recorded), further
+    /// callers are skipped: exactly one probe tests the water, everyone
+    /// else keeps shedding until `record_success`/`record_failure`
+    /// settles it. Without that guard, two engine calls racing on a
+    /// shared `Arc<SupervisorState>` would both be admitted as probes.
     fn admit(&self, stage: StageKind, cfg: &BreakerConfig) -> Admission {
         let mut cells = self.lock();
         let cell = cells.entry(stage).or_default();
         match cell.opened_at {
             None => Admission::Run,
-            Some(at) if at.elapsed() >= cfg.cooldown => {
+            Some(at) if at.elapsed() >= cfg.cooldown && !cell.half_open => {
                 cell.half_open = true;
                 cell.probes += 1;
                 Admission::Probe
@@ -790,6 +795,57 @@ mod tests {
         assert_eq!(view.consecutive_failures, 0);
         assert_eq!(view.probes, 2);
         assert!(!state.any_tripped());
+    }
+
+    #[test]
+    fn concurrent_admits_yield_exactly_one_probe() {
+        // Regression: with the cooldown elapsed, two threads racing on
+        // one shared state both used to match the probe arm (the second
+        // saw `opened_at` still set and `half_open` already true) and
+        // both were admitted. Exactly one may probe; the other sheds.
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        };
+        let state = SupervisorState::new();
+        state.record_failure(StageKind::Exhaustive, &cfg);
+        assert_eq!(state.breaker(StageKind::Exhaustive).state, BreakerState::Open);
+
+        let barrier = std::sync::Barrier::new(2);
+        let admissions: Vec<Admission> = std::thread::scope(|s| {
+            let spawn_admit = || {
+                s.spawn(|| {
+                    barrier.wait();
+                    state.admit(StageKind::Exhaustive, &cfg)
+                })
+            };
+            [spawn_admit(), spawn_admit()]
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let probes = admissions
+            .iter()
+            .filter(|a| matches!(a, Admission::Probe))
+            .count();
+        let skips = admissions
+            .iter()
+            .filter(|a| matches!(a, Admission::Skip))
+            .count();
+        assert_eq!((probes, skips), (1, 1), "exactly one probe, one shed");
+        assert_eq!(state.breaker(StageKind::Exhaustive).probes, 1);
+        assert_eq!(state.breaker(StageKind::Exhaustive).state, BreakerState::HalfOpen);
+        // until the probe's verdict lands, further admits keep shedding
+        assert!(matches!(
+            state.admit(StageKind::Exhaustive, &cfg),
+            Admission::Skip
+        ));
+        // the verdict settles it: success closes and admits normally
+        state.record_success(StageKind::Exhaustive);
+        assert!(matches!(
+            state.admit(StageKind::Exhaustive, &cfg),
+            Admission::Run
+        ));
     }
 
     #[test]

@@ -228,6 +228,106 @@ fn panicking_stage_is_retried_then_breaker_opens_and_reprobes() {
 }
 
 #[test]
+fn half_open_probe_race_admits_exactly_one_probe() {
+    quiet_panics();
+    // Two engine calls racing on one shared Arc<SupervisorState> while a
+    // tripped breaker's cooldown has elapsed: exactly one of them may be
+    // admitted as the half-open probe; the other must shed the stage
+    // (CircuitOpen) and serve from the rest of the chain.
+    let tg = jacobi16();
+    let net = builders::hypercube(2);
+    let state = Arc::new(SupervisorState::new());
+    let chain = FallbackChain {
+        stages: vec![StageKind::Exhaustive, StageKind::Identity],
+    };
+
+    // Trip the breaker: one all-panic run of the exhaustive stage.
+    let trip = SupervisorConfig::default()
+        .with_retry(RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(1),
+        })
+        .with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(3600),
+        })
+        .with_chaos(
+            ChaosConfig::new(2)
+                .with_panic_prob(1.0)
+                .with_only(StageKind::Exhaustive),
+        )
+        .with_state(Arc::clone(&state));
+    run_engine_with(
+        &tg,
+        &net,
+        &MapperOptions::default(),
+        &chain,
+        &Budget::unlimited(),
+        &EngineConfig::default().supervised(trip),
+    )
+    .unwrap();
+    assert_eq!(state.breaker(StageKind::Exhaustive).state, BreakerState::Open);
+
+    // Race: cooldown now zero, and the probe attempt is held in flight
+    // by an injected stall long enough (watchdog cuts it at
+    // stage_timeout + grace ≈ 800 ms) that the loser's admission check
+    // is guaranteed to land while the winner's probe is unresolved.
+    let barrier = std::sync::Barrier::new(2);
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let run = || {
+            s.spawn(|| {
+                let sup = SupervisorConfig::default()
+                    .with_stage_timeout(Duration::from_millis(400))
+                    .with_grace(Duration::from_millis(400))
+                    .with_retry(RetryPolicy {
+                        max_retries: 0,
+                        backoff: Duration::from_millis(1),
+                        backoff_cap: Duration::from_millis(1),
+                    })
+                    .with_breaker(BreakerConfig {
+                        failure_threshold: 1,
+                        cooldown: Duration::ZERO,
+                    })
+                    .with_chaos(
+                        ChaosConfig::new(5)
+                            .with_stall(1.0, Duration::from_secs(5))
+                            .with_only(StageKind::Exhaustive),
+                    )
+                    .with_state(Arc::clone(&state));
+                barrier.wait();
+                run_engine_with(
+                    &tg,
+                    &net,
+                    &MapperOptions::default(),
+                    &chain,
+                    &Budget::unlimited(),
+                    &EngineConfig::default().supervised(sup),
+                )
+                .unwrap()
+            })
+        };
+        [run(), run()].into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // 1 trip-run probe count is 0; the race must have admitted exactly 1
+    assert_eq!(
+        state.breaker(StageKind::Exhaustive).probes,
+        1,
+        "exactly one of the racing calls may probe the half-open breaker"
+    );
+    let shed = outcomes
+        .iter()
+        .filter(|o| o.engine.stages[0].status == StageStatus::CircuitOpen)
+        .count();
+    assert_eq!(shed, 1, "the losing call must shed the stage as CircuitOpen");
+    for o in &outcomes {
+        assert_eq!(o.engine.served_by, StageKind::Identity);
+        o.report.mapping.validate(&tg, &net).unwrap();
+    }
+}
+
+#[test]
 fn transient_panic_is_retried_and_recovers() {
     quiet_panics();
     // seed chosen so the first exhaustive attempt panics and a retry

@@ -66,7 +66,7 @@ pub struct CacheStats {
 impl CacheStats {
     /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
@@ -167,10 +167,10 @@ impl RouteTableCache {
             if let Some((table, last_used)) = inner.map.get_mut(&key) {
                 *last_used = tick;
                 let table = Arc::clone(table);
-                inner.hits += 1;
+                inner.hits = inner.hits.saturating_add(1);
                 return Ok(table);
             }
-            inner.misses += 1;
+            inner.misses = inner.misses.saturating_add(1);
         }
         // Build outside the lock: a BFS sweep can be milliseconds on big
         // networks, and the parallel engine's stages look up concurrently.
@@ -190,7 +190,7 @@ impl RouteTableCache {
                 .map(|(k, _)| k)
             {
                 inner.map.remove(&victim);
-                inner.evictions += 1;
+                inner.evictions = inner.evictions.saturating_add(1);
             }
         }
         Ok(table)
@@ -211,6 +211,17 @@ impl RouteTableCache {
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         lock_ledger(&self.inner).map.clear();
+    }
+
+    /// Zeroes the hit/miss/eviction counters, keeping the cached entries.
+    /// Long-running services (the daemon's health endpoint) call this at
+    /// reporting-interval boundaries so hit rates describe the interval,
+    /// not the lifetime average.
+    pub fn reset_stats(&self) {
+        let mut inner = lock_ledger(&self.inner);
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
     }
 }
 
@@ -337,6 +348,36 @@ mod tests {
         assert!(s.hits >= 1 && s.len == 2);
         cache.clear();
         assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn counters_saturate_and_reset_per_interval() {
+        let cache = RouteTableCache::new(4);
+        let q = builders::hypercube(2);
+        // pre-load the counters at the ceiling: the next hit/miss/eviction
+        // must pin at u64::MAX instead of wrapping to 0 and wrecking
+        // every hit-rate computed from the stats
+        {
+            let mut inner = lock_ledger(&cache.inner);
+            inner.hits = u64::MAX;
+            inner.misses = u64::MAX;
+            inner.evictions = u64::MAX;
+        }
+        cache.get_or_build(&q).unwrap(); // miss
+        cache.get_or_build(&q).unwrap(); // hit
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (u64::MAX, u64::MAX, u64::MAX));
+        assert!(s.hit_rate() > 0.0);
+
+        // reset starts a fresh reporting interval without dropping entries
+        cache.reset_stats();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+        assert_eq!(s.len, 1, "reset_stats must keep cached tables");
+        cache.get_or_build(&q).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!(s.hit_rate(), 1.0);
     }
 
     #[test]
