@@ -54,16 +54,19 @@ pub use oregami_topology as topology;
 
 pub mod journal;
 pub mod replay;
+pub mod stream;
 
 pub use journal::{Journal, JournalRecovery};
 pub use replay::ReplayOp;
+pub use stream::{StreamError, StreamSession};
 
 pub use oregami_larcs::LarcsError;
 pub use oregami_mapper::{
-    BreakerConfig, BreakerState, Budget, CancelToken, ChaosConfig, Completion, EngineConfig,
-    EngineReport, FallbackChain, MapperOptions, MapperReport, Mapping, MappingError, Parallelism,
+    BreakerConfig, BreakerState, Budget, CancelToken, ChaosConfig, ChurnConfig, ChurnController,
+    ChurnError, ChurnEvent, ChurnOutcome, ChurnStats, Completion, EngineConfig, EngineReport,
+    EventStream, FallbackChain, MapperOptions, MapperReport, Mapping, MappingError, Parallelism,
     RepairError, RepairOptions, RepairReport, RetryPolicy, ServiceHealth, StageKind, StageStatus,
-    Strategy, SupervisorConfig, SupervisorState,
+    StreamProfile, Strategy, SupervisorConfig, SupervisorState,
 };
 pub use oregami_metrics::{
     CostModel, Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine, MetricsReport,
@@ -263,6 +266,9 @@ pub enum OregamiError {
     /// Session-journal failure during resume (unreadable file, corrupt
     /// frame, or a journalled record the session refuses to apply).
     Journal(String),
+    /// Churn-stream failure (the controller rejected the setup — bad
+    /// bound, dead network).
+    Churn(ChurnError),
 }
 
 impl std::fmt::Display for OregamiError {
@@ -273,6 +279,7 @@ impl std::fmt::Display for OregamiError {
             OregamiError::Fault(e) => write!(f, "FAULT: {e}"),
             OregamiError::Repair(e) => write!(f, "REPAIR: {e}"),
             OregamiError::Journal(e) => write!(f, "JOURNAL: {e}"),
+            OregamiError::Churn(e) => write!(f, "CHURN: {e}"),
         }
     }
 }
@@ -512,6 +519,13 @@ impl Oregami {
                 // journals only ever hold canonical records, but recovery
                 // must be total over whatever the file contains
                 Ok(None) => {}
+                Ok(Some(ReplayOp::Stream(_))) => {
+                    return Err(OregamiError::Journal(format!(
+                        "{}: frame {frame}: stream event in an edit-session journal \
+                         (resume it with --stream)",
+                        path.display()
+                    )));
+                }
                 Err(e) => {
                     return Err(OregamiError::Journal(format!(
                         "{}: frame {frame}: {e}",

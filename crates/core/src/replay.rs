@@ -11,6 +11,17 @@
 //! undo                    revert the most recent edit
 //! ```
 //!
+//! Stream sessions (`--stream`, the daemon's `session_stream` op) add
+//! the churn-event ops; classic edit sessions reject them typed:
+//!
+//! ```text
+//! spawn T P L W           task T arrives, spawned by P (or '-' for a
+//!                         root), compute load L, spawn-edge volume W
+//! depart T                task T leaves the computation
+//! load T L                task T's load estimate drifts to L
+//! recover proc:N link:M   failed processors/links come back
+//! ```
+//!
 //! [`parse_line`] is total over arbitrary text: blank lines,
 //! whitespace-only lines, CRLF line endings, and comments parse to
 //! `Ok(None)` instead of panicking (the old CLI tokenizer `expect`ed the
@@ -20,16 +31,41 @@
 //! journal frames use; `parse → serialise → parse` is the identity on
 //! the op.
 
+use oregami_mapper::churn::ChurnEvent;
 use oregami_mapper::metrics_engine::Edit;
 use oregami_topology::{FaultSet, LinkId, ProcId};
 
-/// One line of an edit script or journal: an edit to apply, or an undo.
+/// One line of an edit script or journal: an edit to apply, an undo, or
+/// a churn-stream event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ReplayOp {
     /// Apply this edit through the incremental engine.
     Apply(Edit),
     /// Revert the most recent edit.
     Undo,
+    /// A churn-stream event (spawn/depart/load/recover) for a
+    /// [`oregami_mapper::ChurnController`]-backed stream session. A
+    /// `fault` line doubles as [`ChurnEvent::Fault`] in stream context —
+    /// [`fault_event`] performs that reinterpretation.
+    Stream(ChurnEvent),
+}
+
+/// Reinterprets an op as a churn event where the stream dialect overlaps
+/// the edit dialect: `fault proc:N link:M` is an engine edit in an edit
+/// session and a cumulative fault event in a stream session. Returns
+/// `None` for ops with no stream meaning (reassign/reroute/undo).
+pub fn fault_event(op: &ReplayOp) -> Option<ChurnEvent> {
+    match op {
+        ReplayOp::Stream(ev) => Some(ev.clone()),
+        ReplayOp::Apply(Edit::Fault(fs)) => {
+            let mut procs: Vec<ProcId> = fs.procs().collect();
+            procs.sort_unstable_by_key(|p| p.0);
+            let mut links: Vec<LinkId> = fs.links().collect();
+            links.sort_unstable_by_key(|l| l.0);
+            Some(ChurnEvent::Fault { procs, links })
+        }
+        _ => None,
+    }
 }
 
 /// Parses one raw script line. `Ok(None)` for blank, whitespace-only,
@@ -48,6 +84,11 @@ pub fn parse_line(raw: &str) -> Result<Option<ReplayOp>, String> {
         None => return Ok(None),
     };
     let int = |s: Option<&str>, what: &str| -> Result<u32, String> {
+        s.ok_or_else(|| format!("missing {what}"))?
+            .parse()
+            .map_err(|_| format!("bad {what}"))
+    };
+    let int64 = |s: Option<&str>, what: &str| -> Result<u64, String> {
         s.ok_or_else(|| format!("missing {what}"))?
             .parse()
             .map_err(|_| format!("bad {what}"))
@@ -104,8 +145,73 @@ pub fn parse_line(raw: &str) -> Result<Option<ReplayOp>, String> {
             }
             Ok(Some(ReplayOp::Undo))
         }
+        "spawn" => {
+            let task = int(tok.next(), "task id")? as usize;
+            let parent = match tok.next() {
+                Some("-") => None,
+                Some(s) => Some(
+                    s.parse::<u32>()
+                        .map_err(|_| format!("bad parent id '{s}'"))?
+                        as usize,
+                ),
+                None => return Err("missing parent id (task id or '-')".into()),
+            };
+            let load = int64(tok.next(), "load")?;
+            let volume = int64(tok.next(), "volume")?;
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'spawn T P L W'".into());
+            }
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Spawn {
+                task,
+                parent,
+                load,
+                volume,
+            })))
+        }
+        "depart" => {
+            let task = int(tok.next(), "task id")? as usize;
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'depart T'".into());
+            }
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Depart { task })))
+        }
+        "load" => {
+            let task = int(tok.next(), "task id")? as usize;
+            let load = int64(tok.next(), "load")?;
+            if tok.next().is_some() {
+                return Err("trailing tokens after 'load T L'".into());
+            }
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Load { task, load })))
+        }
+        "recover" => {
+            let mut procs: Vec<ProcId> = Vec::new();
+            let mut links: Vec<LinkId> = Vec::new();
+            let mut any = false;
+            for t in tok {
+                any = true;
+                if let Some(id) = t.strip_prefix("proc:") {
+                    procs.push(ProcId(
+                        id.parse().map_err(|_| format!("bad processor id '{t}'"))?,
+                    ));
+                } else if let Some(id) = t.strip_prefix("link:") {
+                    links.push(LinkId(
+                        id.parse().map_err(|_| format!("bad link id '{t}'"))?,
+                    ));
+                } else {
+                    return Err(format!("expected proc:<id> or link:<id>, got '{t}'"));
+                }
+            }
+            if !any {
+                return Err("recover needs at least one proc:<id> or link:<id>".into());
+            }
+            procs.sort_unstable_by_key(|p| p.0);
+            procs.dedup();
+            links.sort_unstable_by_key(|l| l.0);
+            links.dedup();
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Recover { procs, links })))
+        }
         other => Err(format!(
-            "unknown edit '{other}' (expected reassign, reroute, fault, undo)"
+            "unknown edit '{other}' (expected reassign, reroute, fault, undo, spawn, depart, load, recover)"
         )),
     }
 }
@@ -133,6 +239,49 @@ pub fn to_record(op: &ReplayOp) -> String {
             links.sort_unstable();
             parts.extend(links.iter().map(|l| format!("link:{l}")));
             format!("fault {}", parts.join(" "))
+        }
+        ReplayOp::Stream(ev) => event_record(ev),
+    }
+}
+
+/// The canonical one-line record of a churn event — what stream-session
+/// journal frames hold. `Fault` events share the edit dialect's `fault`
+/// line, so `parse_line(&event_record(ev))` yields `Apply(Edit::Fault)`
+/// for them; [`fault_event`] reinterprets either form back to the event:
+/// `fault_event(&parse_line(&event_record(ev))?) == Some(ev)` for every
+/// canonical (sorted, deduplicated) event.
+pub fn event_record(ev: &ChurnEvent) -> String {
+    match ev {
+        ChurnEvent::Spawn {
+            task,
+            parent,
+            load,
+            volume,
+        } => match parent {
+            Some(p) => format!("spawn {task} {p} {load} {volume}"),
+            None => format!("spawn {task} - {load} {volume}"),
+        },
+        ChurnEvent::Depart { task } => format!("depart {task}"),
+        ChurnEvent::Load { task, load } => format!("load {task} {load}"),
+        ChurnEvent::Fault { procs, links } => {
+            let mut parts: Vec<String> = Vec::new();
+            let mut ps: Vec<u32> = procs.iter().map(|p| p.0).collect();
+            ps.sort_unstable();
+            parts.extend(ps.iter().map(|p| format!("proc:{p}")));
+            let mut ls: Vec<u32> = links.iter().map(|l| l.0).collect();
+            ls.sort_unstable();
+            parts.extend(ls.iter().map(|l| format!("link:{l}")));
+            format!("fault {}", parts.join(" "))
+        }
+        ChurnEvent::Recover { procs, links } => {
+            let mut parts: Vec<String> = Vec::new();
+            let mut ps: Vec<u32> = procs.iter().map(|p| p.0).collect();
+            ps.sort_unstable();
+            parts.extend(ps.iter().map(|p| format!("proc:{p}")));
+            let mut ls: Vec<u32> = links.iter().map(|l| l.0).collect();
+            ls.sort_unstable();
+            parts.extend(ls.iter().map(|l| format!("link:{l}")));
+            format!("recover {}", parts.join(" "))
         }
     }
 }
@@ -209,5 +358,107 @@ mod tests {
             // canonical form is a fixed point
             assert_eq!(to_record(&parsed), record);
         }
+    }
+
+    #[test]
+    fn stream_ops_parse() {
+        assert_eq!(
+            parse_line("spawn 3 1 5 7"),
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Spawn {
+                task: 3,
+                parent: Some(1),
+                load: 5,
+                volume: 7,
+            })))
+        );
+        assert_eq!(
+            parse_line("spawn 0 - 2 0\r"),
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Spawn {
+                task: 0,
+                parent: None,
+                load: 2,
+                volume: 0,
+            })))
+        );
+        assert_eq!(
+            parse_line("depart 4"),
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Depart { task: 4 })))
+        );
+        assert_eq!(
+            parse_line("load 2 99"),
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Load { task: 2, load: 99 })))
+        );
+        assert_eq!(
+            parse_line("recover link:3 proc:1 link:0"),
+            Ok(Some(ReplayOp::Stream(ChurnEvent::Recover {
+                procs: vec![ProcId(1)],
+                links: vec![LinkId(0), LinkId(3)],
+            })))
+        );
+    }
+
+    #[test]
+    fn malformed_stream_ops_are_typed_errors() {
+        for line in [
+            "spawn",
+            "spawn 1",
+            "spawn 1 -",
+            "spawn 1 - 2",
+            "spawn 1 x 2 3",
+            "spawn 1 - 2 3 4",
+            "depart",
+            "depart x",
+            "depart 1 2",
+            "load 1",
+            "load 1 x",
+            "recover",
+            "recover bogus",
+            "recover proc:x",
+        ] {
+            assert!(parse_line(line).is_err(), "line {line:?} must error");
+        }
+    }
+
+    #[test]
+    fn stream_records_round_trip_through_fault_event() {
+        let events = vec![
+            ChurnEvent::Spawn {
+                task: 9,
+                parent: None,
+                load: 3,
+                volume: 0,
+            },
+            ChurnEvent::Spawn {
+                task: 10,
+                parent: Some(9),
+                load: 1,
+                volume: 4,
+            },
+            ChurnEvent::Depart { task: 9 },
+            ChurnEvent::Load { task: 10, load: 8 },
+            ChurnEvent::Fault {
+                procs: vec![ProcId(1), ProcId(2)],
+                links: vec![LinkId(0)],
+            },
+            ChurnEvent::Recover {
+                procs: vec![ProcId(1)],
+                links: vec![LinkId(0)],
+            },
+        ];
+        for ev in events {
+            let record = event_record(&ev);
+            let op = parse_line(&record).unwrap().unwrap();
+            // fault lines parse as engine edits; fault_event reinterprets
+            // both forms back to the canonical churn event.
+            assert_eq!(fault_event(&op), Some(ev.clone()), "record {record:?}");
+            assert_eq!(to_record(&op), record, "canonical form is a fixed point");
+        }
+    }
+
+    #[test]
+    fn fault_event_ignores_pure_edit_ops() {
+        let op = parse_line("reassign 1 2").unwrap().unwrap();
+        assert_eq!(fault_event(&op), None);
+        assert_eq!(fault_event(&ReplayOp::Undo), None);
     }
 }

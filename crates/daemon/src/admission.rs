@@ -18,7 +18,7 @@
 use oregami::{BreakerState, StageKind, SupervisorState};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why the gate refused a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +54,10 @@ pub struct AdmissionGate {
     workers: usize,
     /// EWMA of observed job service time, in microseconds.
     ewma_micros: AtomicU64,
+    /// When the last observation landed, in microseconds since `epoch`
+    /// — the idle-decay reference point.
+    last_service_micros: AtomicU64,
+    epoch: Instant,
     supervisor: Arc<SupervisorState>,
     pub admitted: AtomicU64,
     pub shed_overloaded: AtomicU64,
@@ -62,8 +66,36 @@ pub struct AdmissionGate {
 }
 
 /// Seed for the service-time EWMA before any observation lands (5 ms —
-/// the order of a small supervised map).
+/// the order of a small supervised map). Also the prior the estimate
+/// decays toward over idle gaps.
 const EWMA_SEED_MICROS: u64 = 5_000;
+
+/// Idle shorter than this leaves the EWMA untouched — normal gaps
+/// between requests of one busy period are not "idle".
+const IDLE_DECAY_GRACE_MICROS: u64 = 1_000_000;
+
+/// Past the grace period, the EWMA's distance from the prior halves
+/// every this many microseconds of idleness.
+const IDLE_DECAY_HALF_LIFE_MICROS: u64 = 10_000_000;
+
+/// The service-time estimate after `idle_micros` without observations:
+/// the distance from the seed prior halves every half-life (with linear
+/// interpolation inside the current one). A gate that served a burst of
+/// 400 ms jobs and then sat quiet for a minute predicts milliseconds
+/// again, not the memory of the burst — so the first request of a quiet
+/// period is not shed against a stale estimate.
+fn decay_toward_prior(ewma: u64, idle_micros: u64) -> u64 {
+    if idle_micros <= IDLE_DECAY_GRACE_MICROS {
+        return ewma;
+    }
+    let idle = idle_micros - IDLE_DECAY_GRACE_MICROS;
+    let whole = (idle / IDLE_DECAY_HALF_LIFE_MICROS).min(63) as u32;
+    let frac = (idle % IDLE_DECAY_HALF_LIFE_MICROS) as i128;
+    let prior = EWMA_SEED_MICROS as i128;
+    let mut gap = (ewma as i128 - prior) >> whole;
+    gap -= gap * frac / (2 * IDLE_DECAY_HALF_LIFE_MICROS as i128);
+    (prior + gap).max(1) as u64
+}
 
 impl AdmissionGate {
     pub fn new(max_queue: usize, workers: usize, supervisor: Arc<SupervisorState>) -> Self {
@@ -71,12 +103,25 @@ impl AdmissionGate {
             max_queue: max_queue.max(1),
             workers: workers.max(1),
             ewma_micros: AtomicU64::new(EWMA_SEED_MICROS),
+            last_service_micros: AtomicU64::new(0),
+            epoch: Instant::now(),
             supervisor,
             admitted: AtomicU64::new(0),
             shed_overloaded: AtomicU64::new(0),
             shed_unserviceable: AtomicU64::new(0),
             shed_draining: AtomicU64::new(0),
         }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The EWMA as of `now`, idle decay applied.
+    fn ewma_at(&self, now: u64) -> u64 {
+        let ewma = self.ewma_micros.load(Ordering::Relaxed);
+        let last = self.last_service_micros.load(Ordering::Relaxed);
+        decay_toward_prior(ewma, now.saturating_sub(last))
     }
 
     /// Decides whether a compute request may be queued. `queue_depth` is
@@ -86,6 +131,16 @@ impl AdmissionGate {
         queue_depth: usize,
         deadline_ms: Option<u64>,
         draining: bool,
+    ) -> Result<(), Shed> {
+        self.admit_at(queue_depth, deadline_ms, draining, self.now_micros())
+    }
+
+    fn admit_at(
+        &self,
+        queue_depth: usize,
+        deadline_ms: Option<u64>,
+        draining: bool,
+        now: u64,
     ) -> Result<(), Shed> {
         if draining {
             self.shed_draining.fetch_add(1, Ordering::Relaxed);
@@ -105,7 +160,7 @@ impl AdmissionGate {
             )));
         }
         if let Some(ms) = deadline_ms {
-            let wait = self.estimated_wait_micros(queue_depth);
+            let wait = self.estimated_wait_at(queue_depth, now);
             if ms.saturating_mul(1_000) < wait {
                 self.shed_overloaded.fetch_add(1, Ordering::Relaxed);
                 return Err(Shed::Overloaded(format!(
@@ -119,24 +174,36 @@ impl AdmissionGate {
     }
 
     /// Predicted wait before a newly queued job starts: the outstanding
-    /// jobs ahead of it, served `workers`-wide at the EWMA service time.
+    /// jobs ahead of it, served `workers`-wide at the (idle-decayed)
+    /// EWMA service time.
     pub fn estimated_wait_micros(&self, queue_depth: usize) -> u64 {
-        let ewma = self.ewma_micros.load(Ordering::Relaxed);
-        (queue_depth as u64).saturating_mul(ewma) / self.workers as u64
+        self.estimated_wait_at(queue_depth, self.now_micros())
     }
 
-    /// Folds one observed service time into the EWMA (α = 0.2).
+    fn estimated_wait_at(&self, queue_depth: usize, now: u64) -> u64 {
+        (queue_depth as u64).saturating_mul(self.ewma_at(now)) / self.workers as u64
+    }
+
+    /// Folds one observed service time into the EWMA (α = 0.2). Any
+    /// idle decay accrued before this observation is applied first, so
+    /// the stored estimate never resurrects a stale burst.
     pub fn observe_service(&self, elapsed: Duration) {
+        self.observe_service_at(elapsed, self.now_micros());
+    }
+
+    fn observe_service_at(&self, elapsed: Duration, now: u64) {
         let obs = (elapsed.as_micros() as u64).min(60_000_000);
         // racy read-modify-write is fine: the EWMA is advisory
-        let old = self.ewma_micros.load(Ordering::Relaxed);
+        let old = self.ewma_at(now);
         let new = (old.saturating_mul(4) + obs) / 5;
         self.ewma_micros.store(new.max(1), Ordering::Relaxed);
+        self.last_service_micros.store(now, Ordering::Relaxed);
     }
 
-    /// Current EWMA service-time estimate in microseconds.
+    /// Current EWMA service-time estimate in microseconds (idle decay
+    /// applied — this is what admission actually predicts with).
     pub fn ewma_micros(&self) -> u64 {
-        self.ewma_micros.load(Ordering::Relaxed)
+        self.ewma_at(self.now_micros())
     }
 
     fn all_breakers_open(&self) -> bool {
@@ -195,5 +262,48 @@ mod tests {
         }
         let e = g.ewma_micros();
         assert!((8_000..=12_000).contains(&e), "ewma {e}");
+    }
+
+    /// Regression: a burst of slow jobs must not poison admission for
+    /// the first request of a quiet period. Driven with synthetic
+    /// timestamps so no wall-clock sleeps are needed.
+    #[test]
+    fn idle_gap_decays_ewma_toward_prior() {
+        let g = gate(1000, 1);
+        // a burst of 400 ms jobs, back to back at t = 0
+        for _ in 0..50 {
+            g.observe_service_at(Duration::from_millis(400), 0);
+        }
+        let burst = g.ewma_at(0);
+        assert!(burst > 300_000, "burst ewma {burst}");
+        // right after the burst, a tight deadline behind one queued job
+        // is (correctly) hopeless: ~400 ms predicted wait
+        assert!(g.admit_at(1, Some(20), false, 0).is_err());
+
+        // sub-grace gaps do not decay: the busy period keeps its estimate
+        assert_eq!(g.ewma_at(500_000), burst);
+
+        // a minute of quiet: the estimate must have collapsed toward the
+        // 5 ms prior, and the same request is now admitted
+        let minute = 60_000_000;
+        let decayed = g.ewma_at(minute);
+        assert!(
+            decayed < 40_000,
+            "stale burst must decay over a minute idle, got {decayed}"
+        );
+        assert!(g.admit_at(1, Some(20), false, minute).is_ok());
+
+        // decay is monotone toward the prior and bottoms out there
+        assert!(g.ewma_at(10 * minute) >= EWMA_SEED_MICROS);
+        assert!(g.ewma_at(10 * minute) <= g.ewma_at(minute));
+
+        // a fresh observation after the gap folds into the *decayed*
+        // value, not the stale burst
+        g.observe_service_at(Duration::from_millis(2), minute);
+        let resumed = g.ewma_at(minute);
+        assert!(
+            resumed < decayed,
+            "post-idle observation must not resurrect the burst: {resumed}"
+        );
     }
 }

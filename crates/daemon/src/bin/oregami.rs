@@ -20,8 +20,9 @@ use oregami::metrics::schedule;
 use oregami::replay::{self, ReplayOp};
 use oregami::topology::{LinkId, Network, ProcId};
 use oregami::{
-    Budget, ChaosConfig, CostModel, EditError, FallbackChain, FaultSet, Journal, MapperOptions,
-    MetricsDelta, Oregami, OregamiError, RepairOptions, SupervisorConfig,
+    Budget, ChaosConfig, ChurnConfig, CostModel, EditError, FallbackChain, FaultSet, Journal,
+    MapperOptions, MetricsDelta, Oregami, OregamiError, RepairOptions, StreamError,
+    StreamSession, SupervisorConfig,
 };
 use oregami_daemon::json::{obj, Json};
 use oregami_daemon::topo::parse_topology;
@@ -54,6 +55,7 @@ struct Args {
     chain: Option<String>,
     threads: usize,
     edits: Option<String>,
+    stream: Option<String>,
     supervise: bool,
     grace_ms: Option<u64>,
     chaos: Option<String>,
@@ -176,6 +178,16 @@ fn usage() -> &'static str {
                               fault proc:N link:N.. | undo | # comment\n\
                               (budget flags bound the replay too; exit 6 when\n\
                               the budget stops it early)\n\
+       --stream FILE|-        ingest a churn event stream (FILE, or stdin with\n\
+                              '-') through the always-valid churn controller.\n\
+                              Needs --topology but no program. Lines:\n\
+                              spawn T P|- L W | depart T | load T L |\n\
+                              fault proc:N link:N.. | recover proc:N link:N..\n\
+                              Rejected events (capacity, partition) are warned\n\
+                              and skipped; the mapping stays valid throughout.\n\
+                              With --journal every accepted event is framed to\n\
+                              a crash-safe log; --resume replays such a log\n\
+                              byte-identically and continues on it\n\
        --journal PATH         start a crash-safe write-ahead journal: every\n\
                               applied edit is framed, checksummed, and fsynced\n\
                               to PATH (truncates an existing file)\n\
@@ -236,6 +248,7 @@ fn parse_args() -> Result<Args, String> {
         chain: None,
         threads: 1,
         edits: None,
+        stream: None,
         supervise: false,
         grace_ms: None,
         chaos: None,
@@ -348,6 +361,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --threads value".to_string())?;
             }
             "--edits" => args.edits = Some(next_val(&mut it, "--edits")?),
+            "--stream" => args.stream = Some(next_val(&mut it, "--stream")?),
             "--journal" => args.journal = Some(next_val(&mut it, "--journal")?),
             "--resume" => args.resume = Some(next_val(&mut it, "--resume")?),
             "--supervise" => args.supervise = true,
@@ -409,6 +423,9 @@ fn run() -> Result<ExitCode, CliError> {
     }
     if args.socket.is_some() {
         return run_client(&args);
+    }
+    if args.stream.is_some() {
+        return run_stream(&args);
     }
     let source = args.source.ok_or_else(|| {
         format!("no program given (--program or --file)\n\n{}", usage())
@@ -555,6 +572,12 @@ fn run() -> Result<ExitCode, CliError> {
                         }
                         None => println!("{path}:{n}: undo (nothing to undo)"),
                     },
+                    ReplayOp::Stream(_) => {
+                        return Err(CliError::Usage(format!(
+                            "{path}:{n}: stream events (spawn/depart/load/recover) \
+                             replay with --stream, not --edits"
+                        )));
+                    }
                     ReplayOp::Apply(edit) => {
                         println!("{path}:{n}: {edit}");
                         match session.apply_budgeted(edit, &replay_budget) {
@@ -690,6 +713,140 @@ fn run() -> Result<ExitCode, CliError> {
     if result.is_degraded() || replay_degraded {
         // served, but a budget cut the search short: dedicated exit code
         // so scripts can tell "best possible" from "best we had time for"
+        return Ok(ExitCode::from(6));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Churn-stream mode (`--stream FILE|-`): feed a stream of spawn /
+/// depart / load / fault / recover events through the always-valid
+/// churn controller, optionally journaled for crash-safe resume.
+/// Rejected events (capacity exhaustion, partitioning faults) are
+/// warned and skipped — the mapping is valid after every event either
+/// way. Exit 6 when any event's handling was budget-degraded.
+fn run_stream(args: &Args) -> Result<ExitCode, CliError> {
+    let spec = args.stream.as_deref().expect("checked by caller");
+    if args.journal.is_some() && args.resume.is_some() {
+        return Err(CliError::Usage(
+            "--journal starts a fresh journal and --resume continues an existing \
+             one; give only one"
+                .into(),
+        ));
+    }
+    if args.edits.is_some() {
+        return Err(CliError::Usage(
+            "--stream ingests churn events; --edits replays engine edits — give only one".into(),
+        ));
+    }
+    let net = args
+        .topology
+        .clone()
+        .ok_or_else(|| CliError::Usage(format!("no --topology given\n\n{}", usage())))?;
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = args.deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(steps) = args.max_steps {
+        budget = budget.with_max_steps(steps);
+    }
+    let mut session = if let Some(jpath) = &args.resume {
+        let (session, recovery) = StreamSession::resume(net, std::path::Path::new(jpath))?;
+        if recovery.truncated {
+            println!(
+                "warning: {jpath}: torn tail ({} byte(s)) truncated — the last \
+                 frame was never fully written",
+                recovery.torn_bytes
+            );
+        }
+        println!(
+            "resumed {} journalled event(s) from {jpath}",
+            recovery.records.len().saturating_sub(1)
+        );
+        session
+    } else {
+        let cfg = ChurnConfig {
+            load_bound: args.load_bound.unwrap_or(ChurnConfig::default().load_bound),
+            ..ChurnConfig::default()
+        };
+        if let Some(jpath) = &args.journal {
+            let session = StreamSession::create(net, cfg, std::path::Path::new(jpath))?;
+            println!("journalling events to {jpath}");
+            session
+        } else {
+            StreamSession::new(net, cfg).map_err(OregamiError::Churn)?
+        }
+    };
+    let text = if spec == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError::Usage(format!("cannot read stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(spec)
+            .map_err(|e| CliError::Usage(format!("cannot read {spec}: {e}")))?
+    };
+    let label = if spec == "-" { "<stdin>" } else { spec };
+    println!("-- churn stream from {label} --");
+    let mut degraded = false;
+    let mut rejected = 0u64;
+    for (lineno, raw) in text.lines().enumerate() {
+        let n = lineno + 1;
+        match session.ingest_line(raw, &budget) {
+            Ok(Some(out)) => {
+                if out.escalated || out.forced_migrations + out.voluntary_migrations > 0 {
+                    println!(
+                        "{label}:{n}: {} migration(s), {} byte(s) moved{}",
+                        out.forced_migrations + out.voluntary_migrations,
+                        out.migration_traffic,
+                        if out.escalated { " (escalated to global repair)" } else { "" }
+                    );
+                }
+                if out.completion.is_degraded() {
+                    degraded = true;
+                }
+            }
+            Ok(None) => {}
+            Err(StreamError::Churn(e)) => {
+                rejected += 1;
+                eprintln!("warning: {label}:{n}: event rejected: {e}");
+            }
+            Err(e) => return Err(CliError::Usage(format!("{label}:{n}: {e}"))),
+        }
+    }
+    let stats = session.controller().stats();
+    println!(
+        "stream done: {} event(s) accepted, {rejected} rejected",
+        stats.events
+    );
+    println!(
+        "  {} spawn(s)  {} departure(s)  {} load update(s)  {} fault(s)  {} recovery(ies)",
+        stats.spawns, stats.departures, stats.load_updates, stats.faults, stats.recoveries
+    );
+    println!(
+        "  migrations: {} forced + {} voluntary ({} byte(s) of state moved), \
+         {} escalation(s), {} probe(s)",
+        stats.forced_migrations,
+        stats.voluntary_migrations,
+        stats.migration_traffic,
+        stats.escalations,
+        stats.probes
+    );
+    if let Err(e) = session.controller().validate() {
+        return Err(CliError::Usage(format!(
+            "internal error: always-valid invariant violated after the stream: {e}"
+        )));
+    }
+    println!(
+        "final mapping valid: {} live task(s) on {} alive processor(s)",
+        session.controller().num_live(),
+        session.controller().degraded().num_alive()
+    );
+    if let Some(warning) = session.journal_error() {
+        eprintln!("warning: {warning}");
+    }
+    if degraded {
         return Ok(ExitCode::from(6));
     }
     Ok(ExitCode::SUCCESS)

@@ -14,6 +14,7 @@
 //! | `health`           | `reset_stats?` — service health + counters        |
 //! | `session_open`     | `session`, map fields — journaled session         |
 //! | `session_edit`     | `session`, `edit` (replay-dialect line)           |
+//! | `session_stream`   | `session`, `topology?` (opens on first use), `load_bound?`, `events?` (stream-dialect lines) — journaled churn-stream session |
 //! | `session_snapshot` | `session` — deterministic state snapshot          |
 //! | `session_close`    | `session` — ends it and removes its journal       |
 //! | `shutdown`         | graceful drain                                    |
@@ -56,6 +57,12 @@ pub enum Op {
     Health { reset_stats: bool },
     SessionOpen { name: String, spec: MapSpec },
     SessionEdit { name: String, line: String },
+    SessionStream {
+        name: String,
+        topology: Option<String>,
+        load_bound: Option<usize>,
+        events: Vec<String>,
+    },
     SessionSnapshot { name: String },
     SessionClose { name: String },
     Shutdown,
@@ -259,6 +266,30 @@ pub fn parse_request(msg: &Json) -> Result<Request, WireError> {
             name: get_session(msg)?,
             line: get_str(msg, "edit")?.ok_or_else(|| bad("missing 'edit'"))?,
         },
+        "session_stream" => {
+            let topology = get_str(msg, "topology")?;
+            if let Some(t) = &topology {
+                crate::topo::parse_topology(t).map_err(bad)?;
+            }
+            let events = match msg.get("events") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("'events' must hold strings"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err(bad("'events' must be an array")),
+            };
+            Op::SessionStream {
+                name: get_session(msg)?,
+                topology,
+                load_bound: get_u64(msg, "load_bound")?.map(|n| n as usize),
+                events,
+            }
+        }
         "session_snapshot" => Op::SessionSnapshot {
             name: get_session(msg)?,
         },

@@ -317,6 +317,23 @@ fn handle_conn(daemon: &Arc<Daemon>, conn_id: u64, stream: UnixStream) {
             Op::SessionEdit { name, line } => {
                 respond(&to_response(req.id, &daemon.sessions.edit(&name, &line)));
             }
+            Op::SessionStream {
+                name,
+                topology,
+                load_bound,
+                events,
+            } => {
+                respond(&to_response(
+                    req.id,
+                    &daemon.sessions.stream(
+                        &name,
+                        topology.as_deref(),
+                        load_bound,
+                        &events,
+                        draining,
+                    ),
+                ));
+            }
             Op::SessionSnapshot { name } => {
                 respond(&to_response(req.id, &daemon.sessions.snapshot(&name)));
             }
@@ -409,7 +426,7 @@ fn error_payload(e: &OregamiError) -> (String, String) {
         OregamiError::Map(_) | OregamiError::Larcs(_) => "map",
         OregamiError::Fault(_) => "fault",
         OregamiError::Repair(_) => "repair",
-        OregamiError::Journal(_) => "session",
+        OregamiError::Journal(_) | OregamiError::Churn(_) => "session",
     };
     (kind.to_string(), e.to_string())
 }
@@ -593,6 +610,7 @@ impl Daemon {
             .field("sessions", self.sessions.count())
             .field("resumed_sessions", self.resumed_sessions)
             .field("resume_failures", self.resume_failures)
+            .field("journal_truncations", self.sessions.truncations())
             .field(
                 "route_cache",
                 obj()

@@ -16,15 +16,16 @@
 //! session state, verified byte-for-byte by the kill-and-restart test.
 
 use crate::json::{obj, Json};
-use crate::protocol::{MapSpec, KIND_BAD_REQUEST};
+use crate::protocol::{MapSpec, KIND_BAD_REQUEST, KIND_SHUTTING_DOWN};
 use crate::topo::parse_topology;
 use oregami::replay::{self, ReplayOp};
 use oregami::{
-    InteractiveSession, Journal, MapperOptions, MetricSnapshot, MetricsDelta, Oregami,
-    RouteTableCache,
+    Budget, ChurnConfig, InteractiveSession, Journal, MapperOptions, MetricSnapshot,
+    MetricsDelta, Oregami, RouteTableCache, StreamError, StreamSession,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -48,11 +49,17 @@ struct SessionHandle {
     join: JoinHandle<()>,
 }
 
-/// The daemon's session table.
+/// The daemon's session table: edit-session actors plus owned
+/// churn-stream sessions (no actor needed — [`StreamSession`] borrows
+/// nothing).
 pub struct SessionRegistry {
     state_dir: PathBuf,
     cache: Arc<RouteTableCache>,
     sessions: Mutex<HashMap<String, SessionHandle>>,
+    streams: Mutex<HashMap<String, StreamSession>>,
+    /// Torn-tail truncations observed while resuming journals — a
+    /// monitoring counter, not just a one-shot warning.
+    truncations: Arc<AtomicU64>,
 }
 
 type OpResult = Result<Json, (String, String)>;
@@ -67,6 +74,8 @@ impl SessionRegistry {
             state_dir,
             cache,
             sessions: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            truncations: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -74,8 +83,17 @@ impl SessionRegistry {
         self.sessions.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    fn lock_streams(&self) -> std::sync::MutexGuard<'_, HashMap<String, StreamSession>> {
+        self.streams.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     pub fn count(&self) -> usize {
-        self.lock().len()
+        self.lock().len() + self.lock_streams().len()
+    }
+
+    /// Torn-tail truncations recovered across every resume so far.
+    pub fn truncations(&self) -> u64 {
+        self.truncations.load(Ordering::Relaxed)
     }
 
     fn journal_path(&self, name: &str) -> PathBuf {
@@ -97,7 +115,92 @@ impl SessionRegistry {
                 ));
             }
         }
+        if self.lock_streams().contains_key(name) {
+            return Err((
+                KIND_BAD_REQUEST.to_string(),
+                format!("'{name}' is a stream session"),
+            ));
+        }
         self.spawn_actor(name, spec, false)
+    }
+
+    /// Opens (on first use, when `topology` is given) and feeds a
+    /// journaled churn-stream session. Each event line is a stream-
+    /// dialect record (`spawn`/`depart`/`load`/`fault`/`recover`); a
+    /// controller-rejected event is reported per-event and the batch
+    /// continues — the mapping is valid after every event either way.
+    pub fn stream(
+        &self,
+        name: &str,
+        topology: Option<&str>,
+        load_bound: Option<usize>,
+        events: &[String],
+        draining: bool,
+    ) -> OpResult {
+        if self.lock().contains_key(name) {
+            return Err((
+                KIND_BAD_REQUEST.to_string(),
+                format!("'{name}' is an edit session; stream events need a stream session"),
+            ));
+        }
+        let mut streams = self.lock_streams();
+        if !streams.contains_key(name) {
+            if draining {
+                return Err((
+                    KIND_SHUTTING_DOWN.to_string(),
+                    "daemon is draining; no new sessions".to_string(),
+                ));
+            }
+            let topo = topology.ok_or_else(|| {
+                (
+                    KIND_BAD_REQUEST.to_string(),
+                    format!("no stream session '{name}'; give 'topology' to open one"),
+                )
+            })?;
+            let net = parse_topology(topo).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
+            let cfg = ChurnConfig {
+                load_bound: load_bound.unwrap_or(ChurnConfig::default().load_bound),
+                ..ChurnConfig::default()
+            };
+            // meta first, journal second: same crash ordering as edit
+            // sessions — a gap between the two is reported, never
+            // misinterpreted
+            write_stream_meta(&self.meta_path(name), topo, load_bound)
+                .map_err(|e| internal(&e))?;
+            let session = StreamSession::create(net, cfg, &self.journal_path(name))
+                .map_err(|e| ("session".to_string(), e.to_string()))?;
+            streams.insert(name.to_string(), session);
+        }
+        let session = streams.get_mut(name).expect("ensured above");
+        let budget = Budget::unlimited();
+        let mut accepted = 0u64;
+        let mut rejected = Vec::new();
+        for (i, line) in events.iter().enumerate() {
+            match session.ingest_line(line, &budget) {
+                Ok(Some(_)) => accepted += 1,
+                Ok(None) => {}
+                Err(StreamError::Churn(e)) => rejected.push(
+                    obj().field("event", i).field("message", e.to_string()).build(),
+                ),
+                Err(e) => {
+                    return Err((
+                        KIND_BAD_REQUEST.to_string(),
+                        format!("event {i}: {e} ({accepted} earlier event(s) were applied)"),
+                    ))
+                }
+            }
+        }
+        let snapshot =
+            crate::json::parse(&session.snapshot_json()).unwrap_or(Json::Null);
+        let mut out = obj()
+            .field("session", name)
+            .field("accepted", accepted)
+            .field("rejected", Json::Arr(rejected))
+            .field("snapshot", snapshot);
+        if let Some(w) = session.journal_error() {
+            out = out.field("journal_warning", w);
+        }
+        Ok(out.build())
     }
 
     /// Rebuilds every session recorded in the state dir (its meta file
@@ -131,11 +234,33 @@ impl SessionRegistry {
             .map_err(|e| internal(&format!("cannot read meta: {e}")))?;
         let meta = crate::json::parse(&meta_text)
             .map_err(|e| internal(&format!("corrupt meta: {e}")))?;
-        let spec = spec_from_meta(&meta).map_err(|e| internal(&e))?;
         if !self.journal_path(name).exists() {
             return Err(internal("meta present but journal missing"));
         }
+        if meta.get("kind").and_then(Json::as_str) == Some("stream") {
+            return self.resume_stream(name, &meta);
+        }
+        let spec = spec_from_meta(&meta).map_err(|e| internal(&e))?;
         self.spawn_actor(name, spec, true)
+    }
+
+    /// Rebuilds a churn-stream session from its journal (config frame +
+    /// accepted-event prefix) — byte-identical by the determinism
+    /// contract of [`StreamSession::resume`].
+    fn resume_stream(&self, name: &str, meta: &Json) -> OpResult {
+        let topo = meta
+            .get("topology")
+            .and_then(Json::as_str)
+            .ok_or_else(|| internal("stream meta missing 'topology'"))?;
+        let net = parse_topology(topo).map_err(|e| internal(&e))?;
+        let (session, recovery) = StreamSession::resume(net, &self.journal_path(name))
+            .map_err(|e| internal(&e.to_string()))?;
+        if recovery.truncated {
+            self.truncations.fetch_add(1, Ordering::Relaxed);
+        }
+        let events = session.controller().events();
+        self.lock_streams().insert(name.to_string(), session);
+        Ok(obj().field("session", name).field("resumed", events).build())
     }
 
     fn spawn_actor(&self, name: &str, spec: MapSpec, resume: bool) -> OpResult {
@@ -145,10 +270,14 @@ impl SessionRegistry {
         let cache = Arc::clone(&self.cache);
         let journal_path = self.journal_path(name);
         let meta_path = self.meta_path(name);
+        let truncations = Arc::clone(&self.truncations);
         let join = std::thread::Builder::new()
             .name(format!("oregamid-session-{name}"))
             .spawn(move || {
-                actor(actor_name, spec, cache, journal_path, meta_path, resume, ready_tx, rx)
+                actor(
+                    actor_name, spec, cache, journal_path, meta_path, resume, truncations,
+                    ready_tx, rx,
+                )
             })
             .map_err(|e| internal(&format!("cannot spawn session thread: {e}")))?;
         match ready_rx.recv() {
@@ -176,6 +305,9 @@ impl SessionRegistry {
 
     /// A deterministic snapshot of the session's full state.
     pub fn snapshot(&self, name: &str) -> OpResult {
+        if let Some(s) = self.lock_streams().get(name) {
+            return Ok(crate::json::parse(&s.snapshot_json()).unwrap_or(Json::Null));
+        }
         let (reply, rx) = mpsc::channel();
         self.send(name, SessionCmd::Snapshot { reply })?;
         rx.recv().map_err(|_| internal("session worker died"))
@@ -184,6 +316,12 @@ impl SessionRegistry {
     /// Ends the session and deletes its journal and meta file (a closed
     /// session must not resurrect on the next `--resume`).
     pub fn close(&self, name: &str) -> OpResult {
+        if self.lock_streams().remove(name).is_some() {
+            // dropping the StreamSession releases the journal handle
+            let _ = std::fs::remove_file(self.journal_path(name));
+            let _ = std::fs::remove_file(self.meta_path(name));
+            return Ok(obj().field("session", name).field("closed", true).build());
+        }
         let handle = self
             .lock()
             .remove(name)
@@ -207,6 +345,9 @@ impl SessionRegistry {
             let _ = rx.recv();
             let _ = handle.join.join();
         }
+        // stream sessions just drop: every accepted event is already
+        // fsync'd, so their journals resume on the next start
+        self.lock_streams().clear();
     }
 
     fn send(&self, name: &str, cmd: SessionCmd) -> Result<(), (String, String)> {
@@ -232,6 +373,7 @@ fn actor(
     journal_path: PathBuf,
     meta_path: PathBuf,
     resume: bool,
+    truncations: Arc<AtomicU64>,
     ready: mpsc::Sender<OpResult>,
     rx: mpsc::Receiver<SessionCmd>,
 ) {
@@ -258,7 +400,12 @@ fn actor(
     };
     let (mut session, replayed) = if resume {
         match system.resume(&result, &journal_path) {
-            Ok((s, recovery)) => (s, recovery.records.len()),
+            Ok((s, recovery)) => {
+                if recovery.truncated {
+                    truncations.fetch_add(1, Ordering::Relaxed);
+                }
+                (s, recovery.records.len())
+            }
             Err(e) => {
                 let _ = ready.send(Err(("session".to_string(), e.to_string())));
                 return;
@@ -328,6 +475,14 @@ fn apply_line(session: &mut InteractiveSession<'_>, line: &str) -> OpResult {
             Ok(d) => Some(d),
             Err(e) => return Err(("session".to_string(), e.to_string())),
         },
+        ReplayOp::Stream(_) => {
+            return Err((
+                KIND_BAD_REQUEST.to_string(),
+                "stream events (spawn/depart/load/recover) need a stream session \
+                 (op session_stream)"
+                    .to_string(),
+            ))
+        }
     };
     let mut out = obj().field("applied", line).field(
         "edits",
@@ -407,6 +562,28 @@ fn write_meta(path: &Path, spec: &MapSpec) -> Result<(), String> {
             spec.load_bound.map_or(Json::Null, Json::from),
         )
         .build();
+    write_meta_json(path, &meta)
+}
+
+/// Stream-session sidecar: just the topology (the churn config is
+/// pinned inside the journal itself, as its first frame).
+fn write_stream_meta(
+    path: &Path,
+    topology: &str,
+    load_bound: Option<usize>,
+) -> Result<(), String> {
+    let meta = obj()
+        .field("kind", "stream")
+        .field("topology", topology)
+        .field(
+            "load_bound",
+            load_bound.map_or(Json::Null, |n| Json::from(n as u64)),
+        )
+        .build();
+    write_meta_json(path, &meta)
+}
+
+fn write_meta_json(path: &Path, meta: &Json) -> Result<(), String> {
     let text = meta.render();
     std::fs::write(path, text).map_err(|e| format!("cannot write meta: {e}"))?;
     // fsync so the sidecar survives the same crash the journal does

@@ -163,6 +163,108 @@ fn sigkill_and_resume_restores_sessions_byte_identically() {
     assert!(!state.join("alpha.jrnl").exists(), "close must delete the journal");
 }
 
+fn stream_request(name: &str, events: &[&str]) -> Json {
+    let lines: Vec<Json> = events.iter().map(|e| Json::from(*e)).collect();
+    obj()
+        .field("op", "session_stream")
+        .field("session", name)
+        .field("topology", "hypercube:3")
+        .field("events", Json::Arr(lines))
+        .build()
+}
+
+/// Churn-stream crash safety end to end: SIGKILL the daemon mid-stream,
+/// tear the journal tail the way a crash mid-write would, restart with
+/// `--resume` — the surviving prefix must restore byte-identically and
+/// the truncation must show up in the health counters.
+#[test]
+fn sigkill_and_resume_restores_stream_session_with_torn_tail() {
+    let socket = scratch("stream.sock");
+    let state = scratch("stream.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut daemon = spawn_daemon(&socket, &state, &[]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let r = client
+        .request(&stream_request(
+            "churn",
+            &[
+                "spawn 0 - 2 0",
+                "spawn 1 0 3 4",
+                "spawn 2 0 1 2",
+                "load 1 5",
+                "fault proc:1",
+                "recover proc:1",
+            ],
+        ))
+        .expect("open + first batch");
+    assert_eq!(r.get("accepted").and_then(Json::as_u64), Some(6), "{}", r.render());
+
+    // an edit on a stream session (and vice versa) is a typed refusal
+    let err = client
+        .request(&edit_request("churn", "reassign 0 1"))
+        .unwrap_err();
+    assert_eq!(err.0, "bad_request", "{}: {}", err.0, err.1);
+
+    let before = client
+        .request(&session_op("session_snapshot", "churn"))
+        .unwrap()
+        .render();
+
+    // one more event that the torn tail will erase again
+    client
+        .request(&stream_request("churn", &["load 2 7"]))
+        .expect("post-snapshot event");
+
+    daemon.0.kill().unwrap();
+    daemon.0.wait().unwrap();
+    drop(daemon);
+
+    let journal = state.join("churn.jrnl");
+    assert!(journal.exists(), "stream journal missing after SIGKILL");
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 3]).unwrap();
+
+    let _daemon2 = spawn_daemon(&socket, &state, &["--resume"]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let health = client.request(&obj().field("op", "health").build()).unwrap();
+    assert_eq!(
+        health.get("resumed_sessions").and_then(Json::as_u64),
+        Some(1),
+        "{}",
+        health.render()
+    );
+    assert_eq!(
+        health.get("journal_truncations").and_then(Json::as_u64),
+        Some(1),
+        "torn-tail recovery must be counted: {}",
+        health.render()
+    );
+
+    let after = client
+        .request(&session_op("session_snapshot", "churn"))
+        .unwrap()
+        .render();
+    assert_eq!(after, before, "stream session diverged across the crash");
+
+    // the resumed session is live: more events apply and journal on
+    let more = client
+        .request(&stream_request("churn", &["depart 2", "spawn 3 1 2 3"]))
+        .expect("events after resume");
+    assert_eq!(more.get("accepted").and_then(Json::as_u64), Some(2));
+
+    client
+        .request(&session_op("session_close", "churn"))
+        .expect("close stream session");
+    assert!(!journal.exists(), "close must delete the stream journal");
+    assert!(!state.join("churn.meta.json").exists());
+}
+
 /// SIGTERM must drain gracefully: exit 0, socket unlinked, final stats
 /// on stdout.
 #[test]

@@ -23,6 +23,7 @@
 //! existing tasks never move (no migration), and each new task lands on
 //! the processor nearest its spawner with room under the load bound.
 
+use crate::budget::{Budget, Completion};
 use oregami_graph::{TaskGraph, TaskId};
 use oregami_larcs::{elaborate, parse, ElabOptions, LarcsError};
 use oregami_topology::{Network, ProcId, RouteTable};
@@ -180,13 +181,30 @@ pub fn binomial_growth(k: usize) -> DynamicComputation {
 /// then lower id). Existing placements never change.
 ///
 /// Returns one assignment per generation (each a prefix-consistent
-/// extension of the previous).
+/// extension of the previous). Runs under an unlimited budget; see
+/// [`incremental_map_budgeted`] for the cancellable form.
 pub fn incremental_map(
     dc: &DynamicComputation,
     net: &Network,
     bound: usize,
 ) -> Result<Vec<Vec<ProcId>>, String> {
-    let table = RouteTable::try_new(net).expect("connected network");
+    incremental_map_budgeted(dc, net, bound, &Budget::unlimited()).map(|(maps, _)| maps)
+}
+
+/// [`incremental_map`] under an execution [`Budget`], one step charged
+/// per placed task. When the budget trips mid-generation, the remaining
+/// spawned tasks fall back to the least-loaded processor (no affinity
+/// scan) — every placement stays valid under the bound — and the
+/// returned [`Completion`] records the cut, like every other search in
+/// this crate. A cancelled or deadline-blown budget can no longer hang a
+/// large generation.
+pub fn incremental_map_budgeted(
+    dc: &DynamicComputation,
+    net: &Network,
+    bound: usize,
+    budget: &Budget,
+) -> Result<(Vec<Vec<ProcId>>, Completion), String> {
+    let table = RouteTable::try_new(net).map_err(|e| format!("route table: {e}"))?;
     let p = net.num_procs();
     let final_n = dc.final_graph().num_tasks();
     if p * bound < final_n {
@@ -194,6 +212,7 @@ pub fn incremental_map(
             "{final_n} tasks cannot fit on {p} processors with load bound {bound}"
         ));
     }
+    let mut completion = Completion::Optimal;
     let mut load = vec![0usize; p];
     let mut assignment: Vec<ProcId> = Vec::new();
     let mut out = Vec::with_capacity(dc.steps.len());
@@ -213,29 +232,42 @@ pub fn incremental_map(
             }
             for (t, entry) in by_child.iter().enumerate().skip(prev_n) {
                 let parent = entry.ok_or_else(|| format!("task {t} has no spawner"))?;
-                let home = assignment[parent.index()];
-                let q = (0..p)
-                    .filter(|&q| load[q] < bound)
-                    .min_by_key(|&q| {
-                        (
-                            table.dist(ProcId(q as u32), home),
-                            load[q],
-                            q,
-                        )
-                    })
-                    .ok_or_else(|| "no processor has room".to_string())?;
+                if completion == Completion::Optimal {
+                    if let Some(c) = budget.tick() {
+                        completion = c;
+                    }
+                }
+                let q = if completion == Completion::Optimal {
+                    let home = assignment[parent.index()];
+                    (0..p)
+                        .filter(|&q| load[q] < bound)
+                        .min_by_key(|&q| {
+                            (
+                                table.dist(ProcId(q as u32), home),
+                                load[q],
+                                q,
+                            )
+                        })
+                        .ok_or_else(|| "no processor has room".to_string())?
+                } else {
+                    (0..p)
+                        .filter(|&q| load[q] < bound)
+                        .min_by_key(|&q| (load[q], q))
+                        .ok_or_else(|| "no processor has room".to_string())?
+                };
                 assignment.push(ProcId(q as u32));
                 load[q] += 1;
             }
         }
         out.push(assignment.clone());
     }
-    Ok(out)
+    Ok((out, completion))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::CancelToken;
     use oregami_topology::builders;
 
     #[test]
@@ -289,6 +321,48 @@ mod tests {
                 assert!(d <= 2, "spawn edge stretched to {d} hops");
             }
         }
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_placement_but_stays_valid() {
+        let dc = binomial_growth(5); // 32 tasks
+        let net = builders::hypercube(3); // 8 procs
+        // One step per placed spawn: 31 spawns total, allow 4.
+        let budget = Budget::unlimited().with_max_steps(4);
+        let (maps, completion) = incremental_map_budgeted(&dc, &net, 4, &budget).unwrap();
+        assert_eq!(completion, Completion::BudgetExhausted);
+        // Degraded placements are still prefix-stable and bounded.
+        for w in maps.windows(2) {
+            assert_eq!(&w[1][..w[0].len()], &w[0][..]);
+        }
+        let mut load = [0usize; 8];
+        for p in maps.last().unwrap() {
+            load[p.index()] += 1;
+        }
+        assert!(load.iter().all(|&l| l <= 4));
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_immediately() {
+        let dc = binomial_growth(4);
+        let net = builders::hypercube(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let (maps, completion) = incremental_map_budgeted(&dc, &net, 4, &budget).unwrap();
+        assert_eq!(completion, Completion::Cancelled);
+        assert_eq!(maps.len(), 5);
+    }
+
+    #[test]
+    fn unbudgeted_and_budgeted_agree_when_budget_is_ample() {
+        let dc = binomial_growth(4);
+        let net = builders::hypercube(2);
+        let plain = incremental_map(&dc, &net, 4).unwrap();
+        let (budgeted, completion) =
+            incremental_map_budgeted(&dc, &net, 4, &Budget::unlimited()).unwrap();
+        assert_eq!(completion, Completion::Optimal);
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod aggregate;
 pub mod budget;
 pub mod canned;
+pub mod churn;
 pub mod contraction;
 pub mod dynamic;
 pub mod embedding;
@@ -48,6 +49,10 @@ pub mod supervisor;
 pub mod systolic;
 
 pub use budget::{Budget, CancelToken, Completion};
+pub use churn::{
+    ChurnConfig, ChurnController, ChurnError, ChurnEvent, ChurnOutcome, ChurnStats, EventStream,
+    StreamProfile,
+};
 pub use contraction::{
     greedy_premerge, greedy_premerge_budgeted, mwm_contract, mwm_contract_budgeted, ContractError,
     Contraction,

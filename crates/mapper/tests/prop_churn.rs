@@ -1,0 +1,161 @@
+//! Property-based validation of the churn controller's always-valid
+//! invariant: any random interleaving of spawn / depart / load / fault
+//! / *recovery* events — including ones the controller rejects typed —
+//! must end with a mapping that validates on the final degraded
+//! network, and the whole run must be a pure function of the accepted
+//! event sequence.
+
+use oregami_mapper::churn::{ChurnConfig, ChurnController, ChurnEvent};
+use oregami_topology::{builders, LinkId, Network, ProcId};
+use proptest::prelude::*;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn cfg() -> ChurnConfig {
+    ChurnConfig {
+        load_bound: 8,
+        probe_interval: 8,
+        debounce_events: 4,
+        ..ChurnConfig::default()
+    }
+}
+
+/// Drives `steps` randomly interleaved events through a controller on
+/// `net`, tolerating typed rejections, and returns the controller plus
+/// how many events it accepted.
+fn drive(net: &Network, seed: u64, steps: usize) -> (ChurnController, u64) {
+    let mut ctl = ChurnController::new(net.clone(), cfg()).expect("controller");
+    let np = net.num_procs() as u64;
+    let nl = net.num_links() as u64;
+    let mut s = seed;
+    let mut next_id = 0usize;
+    let mut alive: Vec<usize> = Vec::new();
+    for _ in 0..steps {
+        let roll = splitmix(&mut s) % 100;
+        let ev = if roll < 35 || alive.is_empty() {
+            let parent = if alive.is_empty() || splitmix(&mut s).is_multiple_of(4) {
+                None
+            } else {
+                Some(alive[(splitmix(&mut s) as usize) % alive.len()])
+            };
+            ChurnEvent::Spawn {
+                task: next_id,
+                parent,
+                load: 1 + splitmix(&mut s) % 4,
+                volume: splitmix(&mut s) % 8,
+            }
+        } else if roll < 48 {
+            ChurnEvent::Depart {
+                task: alive[(splitmix(&mut s) as usize) % alive.len()],
+            }
+        } else if roll < 60 {
+            ChurnEvent::Load {
+                task: alive[(splitmix(&mut s) as usize) % alive.len()],
+                load: 1 + splitmix(&mut s) % 8,
+            }
+        } else if roll < 82 {
+            if splitmix(&mut s).is_multiple_of(2) {
+                ChurnEvent::Fault {
+                    procs: vec![ProcId((splitmix(&mut s) % np) as u32)],
+                    links: Vec::new(),
+                }
+            } else {
+                ChurnEvent::Fault {
+                    procs: Vec::new(),
+                    links: vec![LinkId((splitmix(&mut s) % nl) as u32)],
+                }
+            }
+        } else {
+            // recover one currently-failed element, if any
+            let fs = ctl.fault_set();
+            let procs: Vec<ProcId> = fs.procs().collect();
+            let links: Vec<LinkId> = fs.links().collect();
+            if !procs.is_empty() && (links.is_empty() || splitmix(&mut s).is_multiple_of(2)) {
+                ChurnEvent::Recover {
+                    procs: vec![procs[(splitmix(&mut s) as usize) % procs.len()]],
+                    links: Vec::new(),
+                }
+            } else if !links.is_empty() {
+                ChurnEvent::Recover {
+                    procs: Vec::new(),
+                    links: vec![links[(splitmix(&mut s) as usize) % links.len()]],
+                }
+            } else {
+                ChurnEvent::Load {
+                    task: alive[(splitmix(&mut s) as usize) % alive.len()],
+                    load: 1 + splitmix(&mut s) % 8,
+                }
+            }
+        };
+        let accepted = ctl.ingest(&ev).is_ok();
+        if accepted {
+            match ev {
+                ChurnEvent::Spawn { task, .. } => {
+                    alive.push(task);
+                    next_id += 1;
+                }
+                ChurnEvent::Depart { task } => alive.retain(|&t| t != task),
+                _ => {}
+            }
+        }
+        // the invariant holds after EVERY event, accepted or rejected
+        if let Err(e) = ctl.validate() {
+            panic!("invariant broken after {ev:?} (accepted={accepted}): {e}");
+        }
+    }
+    let events = ctl.events();
+    (ctl, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random fault/recovery interleavings always end valid on the
+    /// final network, and recovering every failed element restores the
+    /// full machine.
+    #[test]
+    fn random_interleaving_ends_valid_on_final_network(
+        seed in any::<u64>(),
+        steps in 40usize..240,
+        dim in 2u32..4,
+    ) {
+        let net = builders::hypercube(dim as usize);
+        let (mut ctl, _) = drive(&net, seed, steps);
+        prop_assert!(ctl.validate().is_ok());
+
+        // recover everything still failed: the controller must accept it
+        // and come back to the healthy network
+        let fs = ctl.fault_set();
+        let procs: Vec<ProcId> = fs.procs().collect();
+        let links: Vec<LinkId> = fs.links().collect();
+        if !procs.is_empty() || !links.is_empty() {
+            ctl.ingest(&ChurnEvent::Recover { procs, links })
+                .expect("recovering every failed element must succeed");
+        }
+        prop_assert!(ctl.validate().is_ok());
+        prop_assert_eq!(ctl.degraded().num_alive(), net.num_procs());
+        let healed = ctl.fault_set();
+        prop_assert_eq!(healed.procs().count(), 0);
+        prop_assert_eq!(healed.links().count(), 0);
+    }
+
+    /// The controller is a pure function of the accepted event prefix:
+    /// the same random drive twice gives byte-identical state records.
+    #[test]
+    fn same_interleaving_is_byte_deterministic(
+        seed in any::<u64>(),
+        steps in 40usize..200,
+    ) {
+        let net = builders::hypercube(3);
+        let (a, ea) = drive(&net, seed, steps);
+        let (b, eb) = drive(&net, seed, steps);
+        prop_assert_eq!(ea, eb);
+        prop_assert_eq!(a.state_record(), b.state_record());
+    }
+}
