@@ -148,6 +148,11 @@ impl StreamSession {
     /// Ingests one raw stream line: parse, apply, journal. `Ok(None)`
     /// for blank/comment lines. Rejected events and non-stream ops leave
     /// both the controller and the journal untouched.
+    ///
+    /// `budget` is an admission gate only (polled before the event is
+    /// applied); accepted-event outcomes are budget-independent, which
+    /// is why [`StreamSession::resume`] can replay the journal under an
+    /// unlimited budget and still be byte-identical.
     pub fn ingest_line(
         &mut self,
         line: &str,
@@ -172,6 +177,10 @@ impl StreamSession {
     }
 
     /// Ingests one parsed event (the daemon's `session_stream` path).
+    /// Every accepted event's canonical record re-parses — the
+    /// controller rejects events the journal grammar cannot represent
+    /// (e.g. a `Fault`/`Recover` with no elements), so a journaled
+    /// session can always be resumed.
     pub fn ingest_event(
         &mut self,
         ev: &ChurnEvent,
@@ -314,6 +323,44 @@ mod tests {
         // The torn frame (load) is gone; the intact prefix survives.
         assert_eq!(resumed.controller().events(), 2);
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_fault_event_is_rejected_not_journaled() {
+        // Regression: an accepted empty Fault/Recover would journal as
+        // "fault "/"recover ", which parse_line rejects — bricking every
+        // subsequent resume of the session.
+        let dir = std::env::temp_dir().join(format!("oregami-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.jrnl");
+        let net = builders::hypercube(3);
+        let b = Budget::unlimited();
+
+        let mut s = StreamSession::create(net.clone(), cfg(), &path).unwrap();
+        s.ingest_line("spawn 0 - 1 0", &b).unwrap();
+        for ev in [
+            ChurnEvent::Fault {
+                procs: vec![],
+                links: vec![],
+            },
+            ChurnEvent::Recover {
+                procs: vec![],
+                links: vec![],
+            },
+        ] {
+            assert!(matches!(
+                s.ingest_event(&ev, &b),
+                Err(StreamError::Churn(_))
+            ));
+        }
+        assert!(s.journal_error().is_none());
+        let before = s.state_record();
+        drop(s);
+
+        let (resumed, _) = StreamSession::resume(net, &path).unwrap();
+        assert_eq!(resumed.state_record(), before);
+        assert_eq!(resumed.controller().events(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

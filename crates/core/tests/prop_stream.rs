@@ -3,8 +3,8 @@
 //! controller state byte-identically, and tearing the journal tail
 //! loses exactly the torn frame — never the prefix.
 
-use oregami::topology::builders;
-use oregami::{Budget, ChurnConfig, EventStream, StreamProfile, StreamSession};
+use oregami::topology::{builders, LinkId, ProcId};
+use oregami::{replay, Budget, ChurnConfig, ChurnEvent, EventStream, StreamProfile, StreamSession};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -78,6 +78,63 @@ proptest! {
             prop_assert!(again.controller().validate().is_ok());
         }
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every *accepted* event's canonical journal record re-parses back
+    /// to the same event, and the journaled session always resumes —
+    /// even when the input mixes in events the journal grammar cannot
+    /// represent (empty fault/recover), which must be rejected before
+    /// they touch the journal.
+    #[test]
+    fn accepted_events_always_rejournal_and_resume(
+        seed in any::<u64>(),
+        raw in proptest::collection::vec((0u8..8, any::<u32>(), 1u64..64), 1..100),
+    ) {
+        let dir = scratch("rejournal", seed, raw.len());
+        let path = dir.join("stream.jrnl");
+        let net = builders::hypercube(3); // 8 procs, 12 links
+        let budget = Budget::unlimited();
+
+        let mut session = StreamSession::create(net.clone(), cfg(), &path).unwrap();
+        for (kind, a, b) in raw {
+            let ctl = session.controller();
+            let spawned = ctl.num_tasks().max(1);
+            let fs = ctl.fault_set();
+            let ev = match kind {
+                0 => ChurnEvent::Spawn {
+                    task: ctl.num_tasks(),
+                    parent: None,
+                    load: b,
+                    volume: b % 8,
+                },
+                1 => ChurnEvent::Depart { task: a as usize % spawned },
+                2 => ChurnEvent::Load { task: a as usize % spawned, load: b },
+                3 => ChurnEvent::Fault { procs: vec![], links: vec![LinkId(a % 12)] },
+                4 => ChurnEvent::Fault { procs: vec![ProcId(a % 8)], links: vec![] },
+                5 => match (fs.procs().next(), fs.links().next()) {
+                    (Some(p), _) => ChurnEvent::Recover { procs: vec![p], links: vec![] },
+                    (None, Some(l)) => ChurnEvent::Recover { procs: vec![], links: vec![l] },
+                    (None, None) => ChurnEvent::Recover { procs: vec![], links: vec![] },
+                },
+                // adversarial: representable in the API, not the grammar
+                6 => ChurnEvent::Fault { procs: vec![], links: vec![] },
+                _ => ChurnEvent::Recover { procs: vec![], links: vec![] },
+            };
+            if session.ingest_event(&ev, &budget).is_ok() {
+                let record = replay::event_record(&ev);
+                let op = replay::parse_line(&record)
+                    .expect("accepted event's journal record must re-parse")
+                    .expect("a journal record is never blank");
+                prop_assert_eq!(replay::fault_event(&op), Some(ev), "record {}", record);
+            }
+        }
+        prop_assert!(session.journal_error().is_none());
+        let before = session.state_record();
+        drop(session); // simulated SIGKILL
+
+        let (resumed, _) = StreamSession::resume(net, &path).unwrap();
+        prop_assert_eq!(resumed.state_record(), before);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

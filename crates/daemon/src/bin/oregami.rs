@@ -723,7 +723,11 @@ fn run() -> Result<ExitCode, CliError> {
 /// churn controller, optionally journaled for crash-safe resume.
 /// Rejected events (capacity exhaustion, partitioning faults) are
 /// warned and skipped — the mapping is valid after every event either
-/// way. Exit 6 when any event's handling was budget-degraded.
+/// way. `--deadline-ms`/`--max-steps` gate event *admission* only:
+/// once tripped, remaining events are rejected typed; they never alter
+/// an accepted event's outcome, so a journaled run under a deadline
+/// still resumes byte-identically. Exit 6 when any event's handling
+/// was cut short by the config's probe step quota.
 fn run_stream(args: &Args) -> Result<ExitCode, CliError> {
     let spec = args.stream.as_deref().expect("checked by caller");
     if args.journal.is_some() && args.resume.is_some() {

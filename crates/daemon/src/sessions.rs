@@ -51,12 +51,16 @@ struct SessionHandle {
 
 /// The daemon's session table: edit-session actors plus owned
 /// churn-stream sessions (no actor needed — [`StreamSession`] borrows
-/// nothing).
+/// nothing). Each stream session sits behind its own mutex so a long
+/// event batch (engine probes, escalated repairs) serializes only with
+/// that session — the registry map lock is held just long enough to
+/// look the session up, mirroring the per-session isolation edit
+/// sessions get from their actors.
 pub struct SessionRegistry {
     state_dir: PathBuf,
     cache: Arc<RouteTableCache>,
     sessions: Mutex<HashMap<String, SessionHandle>>,
-    streams: Mutex<HashMap<String, StreamSession>>,
+    streams: Mutex<HashMap<String, Arc<Mutex<StreamSession>>>>,
     /// Torn-tail truncations observed while resuming journals — a
     /// monitoring counter, not just a one-shot warning.
     truncations: Arc<AtomicU64>,
@@ -83,7 +87,9 @@ impl SessionRegistry {
         self.sessions.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn lock_streams(&self) -> std::sync::MutexGuard<'_, HashMap<String, StreamSession>> {
+    fn lock_streams(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<StreamSession>>>> {
         self.streams.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
@@ -143,35 +149,44 @@ impl SessionRegistry {
                 format!("'{name}' is an edit session; stream events need a stream session"),
             ));
         }
-        let mut streams = self.lock_streams();
-        if !streams.contains_key(name) {
-            if draining {
-                return Err((
-                    KIND_SHUTTING_DOWN.to_string(),
-                    "daemon is draining; no new sessions".to_string(),
-                ));
+        // Hold the map lock only to look up (or create) the session's
+        // slot; the batch itself runs under the session's own mutex so
+        // other stream sessions keep ingesting concurrently.
+        let session = {
+            let mut streams = self.lock_streams();
+            if !streams.contains_key(name) {
+                if draining {
+                    return Err((
+                        KIND_SHUTTING_DOWN.to_string(),
+                        "daemon is draining; no new sessions".to_string(),
+                    ));
+                }
+                let topo = topology.ok_or_else(|| {
+                    (
+                        KIND_BAD_REQUEST.to_string(),
+                        format!("no stream session '{name}'; give 'topology' to open one"),
+                    )
+                })?;
+                let net =
+                    parse_topology(topo).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
+                let cfg = ChurnConfig {
+                    load_bound: load_bound.unwrap_or(ChurnConfig::default().load_bound),
+                    ..ChurnConfig::default()
+                };
+                // meta first, journal second: same crash ordering as edit
+                // sessions — a gap between the two is reported, never
+                // misinterpreted
+                write_stream_meta(&self.meta_path(name), topo, load_bound)
+                    .map_err(|e| internal(&e))?;
+                let session = StreamSession::create(net, cfg, &self.journal_path(name))
+                    .map_err(|e| ("session".to_string(), e.to_string()))?;
+                streams.insert(name.to_string(), Arc::new(Mutex::new(session)));
             }
-            let topo = topology.ok_or_else(|| {
-                (
-                    KIND_BAD_REQUEST.to_string(),
-                    format!("no stream session '{name}'; give 'topology' to open one"),
-                )
-            })?;
-            let net = parse_topology(topo).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
-            let cfg = ChurnConfig {
-                load_bound: load_bound.unwrap_or(ChurnConfig::default().load_bound),
-                ..ChurnConfig::default()
-            };
-            // meta first, journal second: same crash ordering as edit
-            // sessions — a gap between the two is reported, never
-            // misinterpreted
-            write_stream_meta(&self.meta_path(name), topo, load_bound)
-                .map_err(|e| internal(&e))?;
-            let session = StreamSession::create(net, cfg, &self.journal_path(name))
-                .map_err(|e| ("session".to_string(), e.to_string()))?;
-            streams.insert(name.to_string(), session);
-        }
-        let session = streams.get_mut(name).expect("ensured above");
+            Arc::clone(streams.get(name).expect("ensured above"))
+        };
+        let mut session = session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let budget = Budget::unlimited();
         let mut accepted = 0u64;
         let mut rejected = Vec::new();
@@ -259,7 +274,8 @@ impl SessionRegistry {
             self.truncations.fetch_add(1, Ordering::Relaxed);
         }
         let events = session.controller().events();
-        self.lock_streams().insert(name.to_string(), session);
+        self.lock_streams()
+            .insert(name.to_string(), Arc::new(Mutex::new(session)));
         Ok(obj().field("session", name).field("resumed", events).build())
     }
 
@@ -305,7 +321,9 @@ impl SessionRegistry {
 
     /// A deterministic snapshot of the session's full state.
     pub fn snapshot(&self, name: &str) -> OpResult {
-        if let Some(s) = self.lock_streams().get(name) {
+        let stream = self.lock_streams().get(name).map(Arc::clone);
+        if let Some(s) = stream {
+            let s = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             return Ok(crate::json::parse(&s.snapshot_json()).unwrap_or(Json::Null));
         }
         let (reply, rx) = mpsc::channel();
@@ -316,8 +334,11 @@ impl SessionRegistry {
     /// Ends the session and deletes its journal and meta file (a closed
     /// session must not resurrect on the next `--resume`).
     pub fn close(&self, name: &str) -> OpResult {
-        if self.lock_streams().remove(name).is_some() {
-            // dropping the StreamSession releases the journal handle
+        if let Some(stream) = self.lock_streams().remove(name) {
+            // wait out any in-flight batch, then drop the session (and
+            // with it the journal handle) before deleting its files
+            drop(stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+            drop(stream);
             let _ = std::fs::remove_file(self.journal_path(name));
             let _ = std::fs::remove_file(self.meta_path(name));
             return Ok(obj().field("session", name).field("closed", true).build());

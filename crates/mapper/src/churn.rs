@@ -25,18 +25,24 @@
 //! nearest surviving processor with room — and escalate to
 //! [`repair_mapping_budgeted`] only when local moves cannot restore an
 //! acceptable mapping (no feasible placement, or post-fault communication
-//! cost blowing past the escalation threshold). Both paths run under a
-//! caller-supplied [`Budget`], so a hung repair degrades gracefully
-//! instead of stalling the stream.
+//! cost blowing past the escalation threshold). Probes and escalated
+//! repairs run under a fixed `probe_steps` step quota from the config, so
+//! a hung repair degrades gracefully instead of stalling the stream.
 //!
 //! Determinism contract: every decision is a pure function of the
 //! accepted-event prefix and the [`ChurnConfig`] (event-count debounce
-//! windows, integer EWMA, step-quota probe budgets). Replaying a journal
-//! of accepted events therefore reproduces the controller state
-//! byte-identically — the property the crash-safe stream resume and the
-//! proptests in `tests/prop_churn.rs` assert.
+//! windows, integer EWMA, step-quota probe budgets). The caller-supplied
+//! [`Budget`] is purely an *admission gate*: it is polled once before an
+//! event is applied (a tripped budget rejects the event typed, and
+//! rejected events are never journaled), and is deliberately **not**
+//! threaded into probes or escalated repairs — a wall-clock deadline
+//! there would make an accepted event's outcome nondeterministic and
+//! break byte-identical journal replay. Replaying a journal of accepted
+//! events therefore reproduces the controller state byte-identically
+//! under *any* replay budget — the property the crash-safe stream resume
+//! and the proptests in `tests/prop_churn.rs` assert.
 
-use crate::budget::{Budget, CancelToken, Completion};
+use crate::budget::{Budget, Completion};
 use crate::mapping::Mapping;
 use crate::metrics_engine::{CostModel, Edit, EditError, MetricsEngine};
 use crate::repair::{repair_mapping_budgeted, RepairError, RepairOptions};
@@ -252,6 +258,19 @@ pub enum ChurnError {
         /// Human-readable identification of the element.
         what: String,
     },
+    /// A fault or recover event named no processors and no links. The
+    /// journal grammar cannot represent an empty element list, so
+    /// accepting one would brick stream resume.
+    Empty {
+        /// `"fault"` or `"recover"`.
+        kind: &'static str,
+    },
+    /// The [`ChurnConfig`] is unusable (reported by
+    /// [`ChurnController::new`] before any event is ingested).
+    Config {
+        /// What is wrong with it.
+        what: String,
+    },
     /// The fault would kill every processor or partition the survivors
     /// (no route table exists for the alive component).
     Topology(TopologyError),
@@ -280,6 +299,10 @@ impl fmt::Display for ChurnError {
             ChurnError::BadProc { proc } => write!(f, "no such processor {proc:?}"),
             ChurnError::BadLink { link } => write!(f, "no such link {link:?}"),
             ChurnError::NotFailed { what } => write!(f, "{what} is not failed"),
+            ChurnError::Empty { kind } => {
+                write!(f, "{kind} event names no processors or links")
+            }
+            ChurnError::Config { what } => write!(f, "bad config: {what}"),
             ChurnError::Topology(e) => write!(f, "topology: {e}"),
             ChurnError::Repair(e) => write!(f, "repair: {e}"),
             ChurnError::Cancelled => write!(f, "cancelled before the event was applied"),
@@ -309,7 +332,13 @@ pub struct ChurnOutcome {
     /// Engine probes run at this event's decision point.
     pub probes: u64,
     /// Worst completion of any budgeted work this event triggered.
+    /// Degradation here always means a step quota ran out — never a
+    /// failed repair, which is reported via `repair_failure` instead.
     pub completion: Completion,
+    /// Why the escalated repair attempt failed while the locally
+    /// repaired mapping stood (`None` when escalation succeeded or never
+    /// ran). The mapping is valid either way.
+    pub repair_failure: Option<String>,
 }
 
 impl Default for ChurnOutcome {
@@ -321,6 +350,7 @@ impl Default for ChurnOutcome {
             escalated: false,
             probes: 0,
             completion: Completion::Optimal,
+            repair_failure: None,
         }
     }
 }
@@ -354,8 +384,11 @@ pub struct ChurnStats {
     pub probe_rejected: u64,
     /// Fault events escalated to full repair.
     pub escalations: u64,
-    /// Events whose budgeted work was cut short.
+    /// Events whose budgeted work was cut short by a step quota.
     pub degraded_completions: u64,
+    /// Escalated repair attempts that failed (non-budget error) while
+    /// the locally repaired mapping stood.
+    pub failed_escalations: u64,
     /// Max voluntary migrations observed in any one cap window.
     pub max_window_migrations: u64,
 }
@@ -404,13 +437,26 @@ const EWMA_FP: u64 = 16;
 
 impl ChurnController {
     /// A controller over a healthy `net` with no tasks yet.
-    pub fn new(net: Network, cfg: ChurnConfig) -> Result<ChurnController, ChurnError> {
+    ///
+    /// The config is validated here, not only in
+    /// [`ChurnConfig::parse_record`], so a library caller building the
+    /// pub-field struct directly gets a typed error instead of a
+    /// divide-by-zero or shift-overflow panic later: `load_bound` and
+    /// `window_events` must be positive, and `ewma_shift` is clamped to
+    /// 16 (the same clamp `parse_record` applies).
+    pub fn new(net: Network, mut cfg: ChurnConfig) -> Result<ChurnController, ChurnError> {
         if cfg.load_bound == 0 {
             return Err(ChurnError::NoCapacity {
                 tasks: 0,
                 capacity: 0,
             });
         }
+        if cfg.window_events == 0 {
+            return Err(ChurnError::Config {
+                what: "window_events must be >= 1 (it divides the event counter)".into(),
+            });
+        }
+        cfg.ewma_shift = cfg.ewma_shift.min(16);
         let healthy_table = RouteTable::try_new(&net)?;
         let degraded = net.degrade(&FaultSet::new())?;
         let table = degraded.route_table()?;
@@ -577,12 +623,15 @@ impl ChurnController {
     /// Ingests one event. On `Ok` the mapping is valid on the (possibly
     /// new) degraded network; on `Err` the controller is unchanged.
     ///
-    /// `budget` bounds the engine probes and any escalated repair this
-    /// event triggers (each runs under a step-quota child so one event
-    /// cannot starve the stream). Cancellation before the event is
-    /// applied rejects it with [`ChurnError::Cancelled`] — rejected
+    /// `budget` is an admission gate only: it is polled once, before the
+    /// event is applied, and a tripped budget rejects the event with
+    /// [`ChurnError::Cancelled`]. It is **not** threaded into the engine
+    /// probes or escalated repairs the event triggers — those run under
+    /// the config's fixed `probe_steps` quota, so an accepted event's
+    /// outcome is a pure function of the accepted-event prefix and the
+    /// config, never of wall-clock deadlines or cancel timing. Rejected
     /// events are not journaled, so cancellation never breaks replay
-    /// determinism.
+    /// determinism; accepted events replay identically under any budget.
     pub fn ingest_budgeted(
         &mut self,
         ev: &ChurnEvent,
@@ -601,7 +650,7 @@ impl ChurnController {
             } => self.apply_spawn(*task, *parent, *load, *volume),
             ChurnEvent::Depart { task } => self.apply_depart(*task),
             ChurnEvent::Load { task, load } => self.apply_load(*task, *load),
-            ChurnEvent::Fault { procs, links } => self.apply_fault(procs, links, budget),
+            ChurnEvent::Fault { procs, links } => self.apply_fault(procs, links),
             ChurnEvent::Recover { procs, links } => self.apply_recover(procs, links),
         };
         match result {
@@ -619,10 +668,13 @@ impl ChurnController {
                 if out.escalated {
                     self.stats.escalations += 1;
                 }
+                if out.repair_failure.is_some() {
+                    self.stats.failed_escalations += 1;
+                }
                 if self.cfg.probe_interval > 0
                     && self.stats.events.is_multiple_of(self.cfg.probe_interval)
                 {
-                    self.voluntary_pass(budget, &mut out);
+                    self.voluntary_pass(&mut out);
                 }
                 if out.completion.is_degraded() {
                     self.stats.degraded_completions += 1;
@@ -769,12 +821,20 @@ impl ChurnController {
         Ok((degraded, table))
     }
 
+    /// The fixed, deterministic budget every probe and escalated repair
+    /// runs under: the config's step quota, no deadline, no cancels.
+    fn probe_budget(&self) -> Budget {
+        Budget::unlimited().with_max_steps(self.cfg.probe_steps)
+    }
+
     fn apply_fault(
         &mut self,
         procs: &[ProcId],
         links: &[LinkId],
-        budget: &Budget,
     ) -> Result<ChurnOutcome, ChurnError> {
+        if procs.is_empty() && links.is_empty() {
+            return Err(ChurnError::Empty { kind: "fault" });
+        }
         self.check_elements(procs, links)?;
         let mut fp = self.failed_procs.clone();
         let mut fl = self.failed_links.clone();
@@ -861,7 +921,7 @@ impl ChurnController {
         }
 
         if escalate {
-            match self.escalated_repair(&degraded, budget) {
+            match self.escalated_repair(&degraded) {
                 Ok((rep_assignment, report)) => {
                     out.escalated = true;
                     out.completion = out.completion.worst(report.completion);
@@ -886,9 +946,13 @@ impl ChurnController {
                         // validity: reject the event.
                         return Err(e);
                     }
-                    // The local mapping is valid; keep it and record the
-                    // degraded escalation attempt.
-                    out.completion = out.completion.worst(Completion::BudgetExhausted);
+                    // The local mapping is valid; keep it. The repair
+                    // failure is a real error (NoCapacity, contraction
+                    // failure, ...), not budget exhaustion — a budget
+                    // trip inside repair returns best-so-far `Ok` with a
+                    // degraded completion — so report it distinctly
+                    // instead of mislabeling it `BudgetExhausted`.
+                    out.repair_failure = Some(e.to_string());
                 }
             }
         }
@@ -917,7 +981,6 @@ impl ChurnController {
     fn escalated_repair(
         &self,
         degraded: &DegradedNetwork,
-        budget: &Budget,
     ) -> Result<(Vec<ProcId>, crate::repair::RepairReport), ChurnError> {
         let (tg, live, assignment) = self.materialize();
         if live.is_empty() {
@@ -936,9 +999,14 @@ impl ChurnController {
             state_volume: self.cfg.state_volume,
             matcher: Matcher::GreedyMaximal,
         };
-        let child = budget.child(CancelToken::new(), Some(self.cfg.probe_steps));
+        // A fixed step quota, NOT a child of the caller's budget: an
+        // inherited deadline or cancel token would make the repaired
+        // assignment depend on wall-clock timing, and this event is
+        // journaled — resume replays under an unlimited budget and must
+        // reproduce the same assignment byte-for-byte.
+        let probe = self.probe_budget();
         let (repaired, report) =
-            repair_mapping_budgeted(&tg, &self.net, degraded, &mapping, &opts, &child)
+            repair_mapping_budgeted(&tg, &self.net, degraded, &mapping, &opts, &probe)
                 .map_err(ChurnError::Repair)?;
         let mut full: Vec<ProcId> = self.tasks.iter().map(|t| t.proc).collect();
         for (ci, &t) in live.iter().enumerate() {
@@ -986,6 +1054,9 @@ impl ChurnController {
         procs: &[ProcId],
         links: &[LinkId],
     ) -> Result<ChurnOutcome, ChurnError> {
+        if procs.is_empty() && links.is_empty() {
+            return Err(ChurnError::Empty { kind: "recover" });
+        }
         self.check_elements(procs, links)?;
         let mut fp = self.failed_procs.clone();
         let mut fl = self.failed_links.clone();
@@ -1017,7 +1088,7 @@ impl ChurnController {
     /// The voluntary-remap decision point: pick the live task with the
     /// worst smoothed communication cost, screen a candidate move with
     /// the hysteresis rule, confirm with an exact engine probe, commit.
-    fn voluntary_pass(&mut self, budget: &Budget, out: &mut ChurnOutcome) {
+    fn voluntary_pass(&mut self, out: &mut ChurnOutcome) {
         // Cap window bookkeeping (event-count based: deterministic).
         let wi = self.stats.events / self.cfg.window_events;
         if wi != self.window_index {
@@ -1081,8 +1152,9 @@ impl ChurnController {
         self.stats.probes += 1;
         out.probes += 1;
         let before = engine.scalar_cost();
-        let child = budget.child(CancelToken::new(), Some(self.cfg.probe_steps));
-        match engine.apply_budgeted(Edit::Reassign { task: ci, proc: q }, &child) {
+        // Fixed step quota, budget-independent: see escalated_repair.
+        let probe = self.probe_budget();
+        match engine.apply_budgeted(Edit::Reassign { task: ci, proc: q }, &probe) {
             Ok(_) => {
                 let after = engine.scalar_cost();
                 if after.saturating_add(move_cost) < before {
@@ -1624,6 +1696,122 @@ mod tests {
         assert_eq!(err, ChurnError::NonDenseSpawn { task: 5, expected: 0 });
         assert_eq!(c.stats().rejected, 1);
         assert_eq!(c.events(), 0);
+    }
+
+    #[test]
+    fn empty_fault_and_recover_are_rejected() {
+        // The journal grammar cannot represent `fault`/`recover` with no
+        // elements; accepting one would brick stream resume.
+        let mut c = small();
+        c.ingest(&ChurnEvent::Spawn {
+            task: 0,
+            parent: None,
+            load: 1,
+            volume: 0,
+        })
+        .unwrap();
+        let before = c.state_record();
+        assert_eq!(
+            c.ingest(&ChurnEvent::Fault {
+                procs: vec![],
+                links: vec![],
+            }),
+            Err(ChurnError::Empty { kind: "fault" })
+        );
+        assert_eq!(
+            c.ingest(&ChurnEvent::Recover {
+                procs: vec![],
+                links: vec![],
+            }),
+            Err(ChurnError::Empty { kind: "recover" })
+        );
+        assert_eq!(c.state_record(), before);
+        assert_eq!(c.stats().rejected, 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors_not_panics() {
+        let net = builders::hypercube(3);
+        // window_events == 0 would divide-by-zero in voluntary_pass
+        let err = match ChurnController::new(
+            net.clone(),
+            ChurnConfig {
+                window_events: 0,
+                ..ChurnConfig::default()
+            },
+        ) {
+            Ok(_) => panic!("window_events == 0 must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ChurnError::Config { .. }));
+        // ewma_shift >= 64 would overflow the shift in fold_ewma; new
+        // clamps it (same clamp parse_record applies)
+        let mut c = ChurnController::new(
+            net,
+            ChurnConfig {
+                ewma_shift: 200,
+                load_bound: 4,
+                probe_interval: 4,
+                ..ChurnConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.config().ewma_shift, 16);
+        for t in 0..8 {
+            c.ingest(&ChurnEvent::Spawn {
+                task: t,
+                parent: if t == 0 { None } else { Some(t - 1) },
+                load: 1,
+                volume: 3,
+            })
+            .unwrap();
+        }
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn caller_budget_is_admission_only() {
+        use std::time::Duration;
+        // An already-expired deadline rejects every event typed and
+        // leaves the controller untouched...
+        let mut c = small();
+        let expired = Budget::unlimited().with_deadline(Duration::ZERO);
+        let before = c.state_record();
+        assert_eq!(
+            c.ingest_budgeted(
+                &ChurnEvent::Spawn {
+                    task: 0,
+                    parent: None,
+                    load: 1,
+                    volume: 0,
+                },
+                &expired,
+            ),
+            Err(ChurnError::Cancelled)
+        );
+        assert_eq!(c.state_record(), before);
+        // ...and accepted-event outcomes are budget-independent: the
+        // same stream under a live deadline budget and under an
+        // unlimited one produces byte-identical state (the property
+        // journaled resume relies on — resume replays unlimited).
+        let run = |budget: &Budget| {
+            let net = builders::hypercube(3);
+            let cfg = ChurnConfig {
+                load_bound: 4,
+                probe_interval: 8,
+                ..ChurnConfig::default()
+            };
+            let mut c = ChurnController::new(net.clone(), cfg.clone()).unwrap();
+            let stream =
+                EventStream::new(net, StreamProfile::FlapStorm, 5, 400, cfg.load_bound);
+            for ev in stream {
+                let _ = c.ingest_budgeted(&ev, budget);
+            }
+            c.state_record()
+        };
+        let generous = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        assert_eq!(run(&generous), run(&Budget::unlimited()));
     }
 
     #[test]
