@@ -487,6 +487,7 @@ fn c8_ablations() {
             // the default dispatch exercised here
             Strategy::Exhaustive => "exhaustive",
             Strategy::Identity => "identity",
+            Strategy::Multilevel => "multilevel",
         };
         counts
             .entry(tag)

@@ -1,0 +1,286 @@
+//! Benchmarks the multilevel coarsen–map–refine stage on huge task
+//! graphs (100k tasks in `--quick`, up to 1M in the full run), mapping
+//! grid / torus / random-geometric workloads onto large tori and
+//! hypercubes. Emits `BENCH_multilevel.json` with per-level timings and
+//! the final-cost-vs-heuristic ratios measured on small graphs.
+//!
+//! ```sh
+//! cargo run --release -p oregami-bench --bin multilevel_bench -- --quick
+//! cargo run --release -p oregami-bench --bin multilevel_bench          # full
+//! ```
+//!
+//! Hard assertions (CI fails loudly on regression):
+//! - the 100k-task grid maps onto a 1024-processor torus in < 10 s with
+//!   a mapping that passes `Mapping::validate`;
+//! - on graphs of ≤ 512 tasks, multilevel's final cost stays within 20%
+//!   of the flat heuristic pipeline's;
+//! - 1-thread and 4-thread engine runs of a multilevel chain serve
+//!   byte-identical assignments.
+
+use oregami::graph::TaskGraph;
+use oregami::mapper::{multilevel_map_with_report, run_engine_with, EngineConfig, MultilevelReport};
+use oregami::topology::{builders, RouteTable};
+use oregami::{Budget, CostModel, FallbackChain, MapperOptions, Mapping, MetricsEngine, Network};
+use oregami_bench::{grid_tasks, random_geometric_tasks, torus_tasks};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The one scalar every comparison uses, so heuristic and multilevel
+/// mappings are scored by the identical metric.
+fn scalar_cost(tg: &TaskGraph, net: &Network, mapping: &Mapping, table: &Arc<RouteTable>) -> u64 {
+    MetricsEngine::try_new_with_table(tg, net, mapping, &CostModel::default(), Arc::clone(table))
+        .expect("mapping is valid for metrics")
+        .scalar_cost()
+}
+
+struct QualityRow {
+    workload: String,
+    tasks: usize,
+    procs: usize,
+    ml_cost: u64,
+    heuristic_cost: u64,
+}
+
+impl QualityRow {
+    fn ratio(&self) -> f64 {
+        self.ml_cost as f64 / self.heuristic_cost.max(1) as f64
+    }
+}
+
+/// Small-graph quality check: multilevel must land within 20% of the
+/// flat heuristic pipeline. Both strategies get the same slackened load
+/// bound (3/2 of perfectly balanced) so refinement has room to move.
+fn quality_case(workload: &str, tg: TaskGraph, net: Network) -> QualityRow {
+    let (n, p) = (tg.num_tasks(), net.num_procs());
+    assert!(n <= 512, "quality suite is for small graphs");
+    let opts = MapperOptions {
+        load_bound: Some((n.div_ceil(p) * 3 / 2).max(2)),
+        ..MapperOptions::default()
+    };
+    let table = Arc::new(RouteTable::try_new(&net).expect("connected"));
+
+    let heur = run_engine_with(
+        &tg,
+        &net,
+        &opts,
+        &FallbackChain::parse("heuristic,identity").unwrap(),
+        &Budget::unlimited(),
+        &EngineConfig::default(),
+    )
+    .expect("heuristic serves");
+    let heuristic_cost = scalar_cost(&tg, &net, &heur.report.mapping, &table);
+
+    let (ml, _, _) =
+        multilevel_map_with_report(&tg, &net, &opts, &Budget::unlimited(), Arc::clone(&table))
+            .expect("multilevel serves");
+    ml.mapping.validate(&tg, &net).expect("multilevel mapping valid");
+    let ml_cost = scalar_cost(&tg, &net, &ml.mapping, &table);
+
+    let row = QualityRow {
+        workload: workload.to_string(),
+        tasks: n,
+        procs: p,
+        ml_cost,
+        heuristic_cost,
+    };
+    println!(
+        "  quality {:<12} {:>4} tasks / {:>3} procs: multilevel {} vs heuristic {} (ratio {:.3})",
+        row.workload, n, p, ml_cost, heuristic_cost, row.ratio()
+    );
+    assert!(
+        ml_cost * 10 <= heuristic_cost * 12,
+        "multilevel cost {ml_cost} exceeds 1.2x heuristic {heuristic_cost} on {workload}"
+    );
+    row
+}
+
+struct ScaleRow {
+    workload: String,
+    tasks: usize,
+    procs: usize,
+    secs: f64,
+    completion: String,
+    report: MultilevelReport,
+    valid: bool,
+}
+
+/// Maps one huge graph and records wall-clock plus the per-level stats.
+/// `deadline_secs` (when set) is asserted — the acceptance bar for the
+/// 100k-grid row.
+fn scale_case(workload: &str, tg: TaskGraph, net: Network, deadline_secs: Option<f64>) -> ScaleRow {
+    let (n, p) = (tg.num_tasks(), net.num_procs());
+    let opts = MapperOptions::default();
+    // A finite quota keeps level-0 refinement on million-node graphs from
+    // dominating: ~30 steps/task covers full coarsening plus two refine
+    // passes everywhere that matters, and the stage is anytime under it.
+    let budget = Budget::unlimited().with_max_steps(30 * n as u64);
+    let table = Arc::new(RouteTable::try_new(&net).expect("connected"));
+    let start = Instant::now();
+    let (report, completion, ml) =
+        multilevel_map_with_report(&tg, &net, &opts, &budget, table).expect("multilevel serves");
+    let secs = start.elapsed().as_secs_f64();
+    let valid = report.mapping.validate(&tg, &net).is_ok();
+    println!(
+        "  scale {:<12} {:>8} tasks -> {:>4} procs: {:.2}s, {} level(s), coarsest {}, {}{}",
+        workload,
+        n,
+        p,
+        secs,
+        ml.levels.len(),
+        ml.coarsest_nodes,
+        completion,
+        if ml.split_packing { ", split packing" } else { "" },
+    );
+    assert!(valid, "{workload}: final mapping failed validation");
+    if let Some(limit) = deadline_secs {
+        assert!(
+            secs < limit,
+            "{workload}: took {secs:.2}s, over the {limit}s acceptance bar"
+        );
+    }
+    ScaleRow {
+        workload: workload.to_string(),
+        tasks: n,
+        procs: p,
+        secs,
+        completion: completion.to_string(),
+        report: ml,
+        valid,
+    }
+}
+
+/// 1 vs 4 threads through the engine must serve identical bytes.
+fn determinism_check() -> bool {
+    let tg = grid_tasks(40, 40);
+    let net = builders::torus2d(8, 8);
+    let opts = MapperOptions::default();
+    let chain = FallbackChain::parse("multilevel,identity").unwrap();
+    let run = |threads: usize| {
+        run_engine_with(
+            &tg,
+            &net,
+            &opts,
+            &chain,
+            &Budget::unlimited(),
+            &EngineConfig::default().threads(threads),
+        )
+        .expect("chain serves")
+    };
+    let (a, b) = (run(1), run(4));
+    assert_eq!(
+        a.report.mapping.assignment, b.report.mapping.assignment,
+        "multilevel chain must be thread-count invariant"
+    );
+    assert_eq!(a.engine.served_by, b.engine.served_by);
+    true
+}
+
+fn json_levels(report: &MultilevelReport) -> String {
+    let rows: Vec<String> = report
+        .levels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            format!(
+                "        {{\"level\": {i}, \"nodes\": {}, \"edges\": {}, \
+                 \"coarsen_secs\": {:.4}, \"refine_secs\": {:.4}, \
+                 \"cost_before\": {}, \"cost_after\": {}, \"moves\": {}}}",
+                l.nodes, l.edges, l.coarsen_secs, l.refine_secs, l.cost_before, l.cost_after,
+                l.moves
+            )
+        })
+        .collect();
+    format!("[\n{}\n      ]", rows.join(",\n"))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "multilevel bench ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    println!("small-graph quality vs heuristic (bar: ratio <= 1.2):");
+    let quality = [
+        quality_case("grid16x16", grid_tasks(16, 16), builders::torus2d(4, 4)),
+        quality_case("torus16x32", torus_tasks(16, 32), builders::hypercube(4)),
+        quality_case(
+            "rgg400",
+            random_geometric_tasks(400, 0.09, 5),
+            builders::torus2d(4, 4),
+        ),
+    ];
+
+    println!("huge-graph scale runs:");
+    let mut scale = vec![scale_case(
+        "grid100k",
+        grid_tasks(317, 316), // 100,172 tasks
+        builders::torus2d(32, 32),
+        Some(10.0),
+    )];
+    if !quick {
+        scale.push(scale_case(
+            "rgg250k",
+            random_geometric_tasks(250_000, 0.0028, 9),
+            builders::hypercube(10),
+            None,
+        ));
+        scale.push(scale_case(
+            "torus1M",
+            torus_tasks(1000, 1000),
+            builders::torus2d(32, 32),
+            None,
+        ));
+    }
+
+    let determinism_ok = determinism_check();
+    println!("  determinism check (1 vs 4 threads): ok");
+
+    let final_validate_ok = scale.iter().all(|s| s.valid);
+    println!("final mapping valid: {final_validate_ok}");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"multilevel\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str("  \"quality_vs_heuristic\": [\n");
+    for (i, q) in quality.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"tasks\": {}, \"procs\": {}, \
+             \"multilevel_cost\": {}, \"heuristic_cost\": {}, \"ratio\": {:.4}}}{}\n",
+            q.workload,
+            q.tasks,
+            q.procs,
+            q.ml_cost,
+            q.heuristic_cost,
+            q.ratio(),
+            if i + 1 < quality.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scale\": [\n");
+    for (i, s) in scale.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"tasks\": {}, \"procs\": {}, \"secs\": {:.3}, \
+             \"completion\": \"{}\", \"coarsest_nodes\": {}, \"split_packing\": {}, \
+             \"valid\": {},\n      \"levels\": {}}}{}\n",
+            s.workload,
+            s.tasks,
+            s.procs,
+            s.secs,
+            s.completion,
+            s.report.coarsest_nodes,
+            s.report.split_packing,
+            s.valid,
+            json_levels(&s.report),
+            if i + 1 < scale.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"determinism_ok\": {determinism_ok},\n"));
+    json.push_str(&format!("  \"final_validate_ok\": {final_validate_ok}\n"));
+    json.push_str("}\n");
+
+    let path = "BENCH_multilevel.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

@@ -168,7 +168,8 @@ fn usage() -> &'static str {
        --fallback             run the full fallback chain\n\
                               (exhaustive -> heuristic -> identity)\n\
        --chain A,B,..         custom fallback chain from: exhaustive, heuristic,\n\
-                              identity\n\
+                              multilevel (alias ml), identity; multilevel\n\
+                              coarsens-maps-refines and scales to 100k+ tasks\n\
        --threads N            run fallback-chain stages on N worker threads\n\
                               (deterministic outcome; implies the engine path)\n\
        --edits PATH           replay an edit script against the mapping through\n\

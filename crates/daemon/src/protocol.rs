@@ -107,7 +107,17 @@ impl MapSpec {
             None => "inf".to_string(),
             Some(n) => format!("e{}", (n.max(1) as f64).log10() as u32),
         };
-        format!("{deadline}/{steps}")
+        // Multilevel requests scale to graphs orders of magnitude larger
+        // than the flat stages, so the same nominal budget buys a very
+        // different amount of work — keep them in their own bucket.
+        let ml = if self.chain.as_deref().is_some_and(|c| {
+            c.split(',').any(|s| matches!(s.trim(), "multilevel" | "ml"))
+        }) {
+            "/ml"
+        } else {
+            ""
+        };
+        format!("{deadline}/{steps}{ml}")
     }
 
     /// The coalescing key: identical `(op, program, params, topology,
@@ -346,6 +356,25 @@ mod tests {
                 ("s".to_string(), 2)
             ]
         );
+        assert_eq!(spec.budget_class(), "m/inf");
+    }
+
+    #[test]
+    fn multilevel_chains_get_their_own_budget_bucket() {
+        let r = req(
+            r#"{"id":4,"op":"map","program":"nbody","topology":"hypercube:3",
+                "params":{"s":2,"n":16,"msgsize":4},"deadline_ms":250,
+                "chain":"multilevel,heuristic,identity"}"#,
+        )
+        .unwrap();
+        let Op::Map(spec) = r.op else { panic!("expected map") };
+        assert_eq!(spec.budget_class(), "m/inf/ml");
+
+        // The short alias counts too; an unrelated chain does not.
+        let mut spec = spec;
+        spec.chain = Some("ml".to_string());
+        assert_eq!(spec.budget_class(), "m/inf/ml");
+        spec.chain = Some("heuristic,identity".to_string());
         assert_eq!(spec.budget_class(), "m/inf");
     }
 

@@ -5,6 +5,32 @@
 //! the topology crate's BFS route-table construction, where the per-query
 //! cost matters (all-pairs BFS is `O(V · E)`).
 
+use std::fmt;
+
+/// Typed construction failure for [`Csr`].
+///
+/// The library contract is never-panic on untrusted input: callers that
+/// cannot pre-validate their edge lists use the `try_` constructors and
+/// propagate this error instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// An edge endpoint `u` or `v` was `>= n`.
+    EndpointOutOfRange { u: usize, v: usize, n: usize },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::EndpointOutOfRange { u, v, n } => write!(
+                f,
+                "edge endpoint out of range: ({u}, {v}) with {n} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// Immutable CSR adjacency over nodes `0..n`.
 ///
 /// Construction is `O(V + E)`; `neighbors(u)` is a contiguous slice.
@@ -16,13 +42,37 @@ pub struct Csr {
 
 impl Csr {
     /// Builds a **directed** adjacency from an edge list.
+    ///
+    /// Panics on an out-of-range endpoint; use [`Csr::try_directed`] for
+    /// untrusted input.
     pub fn directed(n: usize, edges: impl Iterator<Item = (usize, usize)> + Clone) -> Csr {
-        Self::build(n, edges, false)
+        Self::try_directed(n, edges).expect("edge endpoint out of range")
     }
 
     /// Builds an **undirected** adjacency: each `(u, v)` is inserted in both
     /// directions.
+    ///
+    /// Panics on an out-of-range endpoint; use [`Csr::try_undirected`] for
+    /// untrusted input.
     pub fn undirected(n: usize, edges: impl Iterator<Item = (usize, usize)> + Clone) -> Csr {
+        Self::try_undirected(n, edges).expect("edge endpoint out of range")
+    }
+
+    /// Fallible **directed** construction returning a typed error on an
+    /// out-of-range endpoint.
+    pub fn try_directed(
+        n: usize,
+        edges: impl Iterator<Item = (usize, usize)> + Clone,
+    ) -> Result<Csr, CsrError> {
+        Self::build(n, edges, false)
+    }
+
+    /// Fallible **undirected** construction returning a typed error on an
+    /// out-of-range endpoint.
+    pub fn try_undirected(
+        n: usize,
+        edges: impl Iterator<Item = (usize, usize)> + Clone,
+    ) -> Result<Csr, CsrError> {
         Self::build(n, edges, true)
     }
 
@@ -30,10 +80,12 @@ impl Csr {
         n: usize,
         edges: impl Iterator<Item = (usize, usize)> + Clone,
         both: bool,
-    ) -> Csr {
+    ) -> Result<Csr, CsrError> {
         let mut degree = vec![0u32; n];
         for (u, v) in edges.clone() {
-            assert!(u < n && v < n, "edge endpoint out of range");
+            if u >= n || v >= n {
+                return Err(CsrError::EndpointOutOfRange { u, v, n });
+            }
             degree[u] += 1;
             if both {
                 degree[v] += 1;
@@ -53,7 +105,7 @@ impl Csr {
                 cursor[v] += 1;
             }
         }
-        Csr { offsets, targets }
+        Ok(Csr { offsets, targets })
     }
 
     /// Number of nodes.
@@ -115,5 +167,15 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let _ = Csr::directed(2, [(0, 3)].into_iter());
+    }
+
+    #[test]
+    fn try_constructors_return_typed_error() {
+        let err = Csr::try_directed(2, [(0, 3)].into_iter()).unwrap_err();
+        assert_eq!(err, CsrError::EndpointOutOfRange { u: 0, v: 3, n: 2 });
+        assert!(err.to_string().contains("out of range"));
+        let err = Csr::try_undirected(4, [(0, 1), (5, 2)].into_iter()).unwrap_err();
+        assert_eq!(err, CsrError::EndpointOutOfRange { u: 5, v: 2, n: 4 });
+        assert!(Csr::try_undirected(3, [(0, 1), (1, 2)].into_iter()).is_ok());
     }
 }

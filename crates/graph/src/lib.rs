@@ -42,7 +42,7 @@ pub mod task_graph;
 pub mod traversal;
 pub mod weighted;
 
-pub use csr::Csr;
+pub use csr::{Csr, CsrError};
 pub use families::Family;
 pub use ids::{EdgeId, ExecId, PhaseId, TaskId};
 pub use phase_expr::{PhaseExpr, PhaseStep, ScheduleEntry};

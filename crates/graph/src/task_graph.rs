@@ -244,7 +244,7 @@ impl TaskGraph {
             }
             for e in &phase.edges {
                 if e.src != e.dst {
-                    g.add_or_accumulate(e.src.index(), e.dst.index(), e.volume * m);
+                    g.add_or_accumulate(e.src.index(), e.dst.index(), e.volume.saturating_mul(m));
                 }
             }
         }

@@ -45,13 +45,13 @@ impl Contraction {
         g.edges()
             .iter()
             .filter(|e| self.cluster_of[e.u] != self.cluster_of[e.v])
-            .map(|e| e.w)
-            .sum()
+            .fold(0u64, |a, e| a.saturating_add(e.w))
     }
 
-    /// The weight internalised (total − IPC).
+    /// The weight internalised (total − IPC). Saturating: with weights near
+    /// `u64::MAX` both terms clamp, so this reports 0 rather than wrapping.
     pub fn internalized(&self, g: &WeightedGraph) -> u64 {
-        g.total_weight() - self.total_ipc(g)
+        g.total_weight().saturating_sub(self.total_ipc(g))
     }
 
     /// Renumbers clusters densely in order of first appearance (useful

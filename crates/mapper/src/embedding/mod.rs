@@ -48,11 +48,10 @@ pub fn weighted_dilation_cost(
     placement: &[ProcId],
     table: &RouteTable,
 ) -> u64 {
-    cluster_graph
-        .edges()
-        .iter()
-        .map(|e| e.w * u64::from(table.dist(placement[e.u], placement[e.v])))
-        .sum()
+    cluster_graph.edges().iter().fold(0u64, |acc, e| {
+        let d = u64::from(table.dist(placement[e.u], placement[e.v]));
+        acc.saturating_add(e.w.saturating_mul(d))
+    })
 }
 
 /// Checks an embedding is injective and in range.

@@ -58,8 +58,7 @@ pub fn nn_embed(
                     .neighbors(x)
                     .iter()
                     .filter(|(nb, _)| placed[*nb])
-                    .map(|&(_, w)| w)
-                    .sum();
+                    .fold(0u64, |acc, &(_, w)| acc.saturating_add(w));
                 (to_placed, cluster_graph.weighted_degree(x), std::cmp::Reverse(x))
             })
             .unwrap();
@@ -72,8 +71,10 @@ pub fn nn_embed(
                     .neighbors(next)
                     .iter()
                     .filter(|(nb, _)| placed[*nb])
-                    .map(|&(nb, w)| w * u64::from(table.dist(ProcId(q as u32), placement[nb])))
-                    .sum();
+                    .fold(0u64, |acc, &(nb, w)| {
+                        let d = u64::from(table.dist(ProcId(q as u32), placement[nb]));
+                        acc.saturating_add(w.saturating_mul(d))
+                    });
                 (cost, q)
             })
             .unwrap();

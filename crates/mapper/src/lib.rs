@@ -41,6 +41,7 @@ pub mod embedding;
 pub mod engine;
 pub mod mapping;
 pub mod metrics_engine;
+pub mod multilevel;
 pub mod pipeline;
 pub mod remap;
 pub mod repair;
@@ -66,6 +67,7 @@ pub use engine::{
 };
 pub use mapping::{Mapping, MappingError};
 pub use metrics_engine::{CostModel, Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine};
+pub use multilevel::{multilevel_map_with_report, LevelStats, MultilevelReport};
 pub use pipeline::{
     map_task_graph, map_task_graph_budgeted, map_task_graph_budgeted_with_table, MapError,
     MapperOptions, MapperReport, Strategy,

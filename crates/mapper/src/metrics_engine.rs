@@ -450,8 +450,8 @@ impl<'a> MetricsEngine<'a> {
                         .expect("validated route")
                         .index();
                     led.link_messages[l] += 1;
-                    led.link_volume[l] += e.volume;
-                    total_link_volume[l] += e.volume;
+                    led.link_volume[l] = led.link_volume[l].saturating_add(e.volume);
+                    total_link_volume[l] = total_link_volume[l].saturating_add(e.volume);
                 }
             }
             phases.push(led);
@@ -473,9 +473,9 @@ impl<'a> MetricsEngine<'a> {
         let mut internalized = 0u64;
         for (_, e) in tg.all_edges() {
             if mapping.proc_of(e.src.index()) == mapping.proc_of(e.dst.index()) {
-                internalized += e.volume;
+                internalized = internalized.saturating_add(e.volume);
             } else {
-                total_ipc += e.volume;
+                total_ipc = total_ipc.saturating_add(e.volume);
             }
         }
 
@@ -714,12 +714,12 @@ impl<'a> MetricsEngine<'a> {
                 self.mapping.assignment[e.src.index()] == self.mapping.assignment[e.dst.index()];
             match (colocated_before[idx], colocated_now) {
                 (true, false) => {
-                    self.internalized -= e.volume;
-                    self.total_ipc += e.volume;
+                    self.internalized = self.internalized.saturating_sub(e.volume);
+                    self.total_ipc = self.total_ipc.saturating_add(e.volume);
                 }
                 (false, true) => {
-                    self.total_ipc -= e.volume;
-                    self.internalized += e.volume;
+                    self.total_ipc = self.total_ipc.saturating_sub(e.volume);
+                    self.internalized = self.internalized.saturating_add(e.volume);
                 }
                 _ => {}
             }
@@ -760,11 +760,11 @@ impl<'a> MetricsEngine<'a> {
                 led.dirty = true;
             }
             led.link_messages[l] -= 1;
-            led.link_volume[l] -= volume;
+            led.link_volume[l] = led.link_volume[l].saturating_sub(volume);
             if self.total_link_volume[l] == self.max_total_volume {
                 self.total_dirty = true;
             }
-            self.total_link_volume[l] -= volume;
+            self.total_link_volume[l] = self.total_link_volume[l].saturating_sub(volume);
         }
         // Ledger the new one. Maxima only grow on this side, so a clean
         // ledger stays clean under O(1) max updates.
@@ -778,8 +778,8 @@ impl<'a> MetricsEngine<'a> {
         for w in new.windows(2) {
             let l = net.link_between(w[0], w[1]).expect("checked route").index();
             led.link_messages[l] += 1;
-            led.link_volume[l] += volume;
-            self.total_link_volume[l] += volume;
+            led.link_volume[l] = led.link_volume[l].saturating_add(volume);
+            self.total_link_volume[l] = self.total_link_volume[l].saturating_add(volume);
             if !led.dirty {
                 led.max_contention = led.max_contention.max(led.link_messages[l]);
                 led.max_link_volume = led.max_link_volume.max(led.link_volume[l]);
@@ -1029,7 +1029,7 @@ impl<'a> MetricsEngine<'a> {
     /// Load-imbalance ratio ×1000 (max/mean; 0 without execution cost).
     pub fn imbalance_millis(&self) -> u64 {
         let total: u64 = self.exec_time_per_proc.iter().sum();
-        (self.max_exec_time() * 1000 * self.net.num_procs() as u64)
+        (self.max_exec_time().saturating_mul(1000).saturating_mul(self.net.num_procs() as u64))
             .checked_div(total)
             .unwrap_or(0)
     }
@@ -1052,9 +1052,10 @@ impl<'a> MetricsEngine<'a> {
         if led.max_dilation == 0 {
             0
         } else {
-            self.model.startup
-                + led.max_link_volume * self.model.byte_time
-                + led.max_dilation as u64 * self.model.hop_latency
+            self.model
+                .startup
+                .saturating_add(led.max_link_volume.saturating_mul(self.model.byte_time))
+                .saturating_add((led.max_dilation as u64).saturating_mul(self.model.hop_latency))
         }
     }
 
@@ -1084,7 +1085,7 @@ impl<'a> MetricsEngine<'a> {
             PhaseExpr::Seq(a, b) => {
                 let (ta, ca) = self.walk(a);
                 let (tb, cb) = self.walk(b);
-                (ta + tb, ca + cb)
+                (ta.saturating_add(tb), ca.saturating_add(cb))
             }
             PhaseExpr::Repeat(a, k) => {
                 let (ta, ca) = self.walk(a);
@@ -1108,7 +1109,8 @@ impl<'a> MetricsEngine<'a> {
     pub fn scalar_cost(&self) -> u64 {
         match self.completion_times() {
             Some((total, _)) => total,
-            None => (0..self.phases.len()).map(|k| self.comm_slot_cost(k)).sum(),
+            None => (0..self.phases.len())
+                .fold(0u64, |a, k| a.saturating_add(self.comm_slot_cost(k))),
         }
     }
 

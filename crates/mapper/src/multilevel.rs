@@ -1,0 +1,650 @@
+//! Multilevel coarsen–map–refine: the engine's huge-graph stage.
+//!
+//! The paper's MAPPER tops out around hundreds of tasks — exhaustive
+//! embedding is factorial and blossom matching is O(n³), so the fallback
+//! chain degrades to round-robin on anything large. This module implements
+//! the scalable shape (Glantz/Meyerhenke/Noe; SpiNNTools): recursively
+//! coarsen the collapsed communication graph by size-aware heavy-edge
+//! matching until at most ~4 × P clusters remain, place the coarsest level
+//! (best-fit-decreasing packing into P processor bins, NN-Embed over the
+//! bin graph), then walk back down level by level, projecting the
+//! placement and greedily refining it with the incremental
+//! [`MetricsEngine`]'s `apply`/`undo` as the probe-and-revert kernel.
+//!
+//! Invariants:
+//!
+//! * **Coarsening respects the load bound.** A merge only happens when the
+//!   combined task count fits one processor (`size[u] + size[v] ≤ B`), so
+//!   every level's node maps onto a single processor and the final
+//!   assignment never overloads.
+//! * **Each level is a pure function of the one below**: the level graph is
+//!   the flat [`WeightedGraph::quotient`] of its parent by the matching —
+//!   O(V + E) per level, no hashing.
+//! * **Refinement never regresses.** Every probe is applied with
+//!   [`MetricsEngine::apply_budgeted`], compared, and reverted with
+//!   [`MetricsEngine::undo`] unless it *strictly* lowers
+//!   [`MetricsEngine::scalar_cost`] — so per-level cost is monotonically
+//!   non-increasing.
+//! * **Anytime.** Coarsening charges the [`Budget`] per examined edge and
+//!   refinement probes are budgeted; a spent (or cancelled) budget degrades
+//!   the stage to projection-without-refinement, which still always serves
+//!   a valid mapping.
+
+use crate::budget::{Budget, Completion};
+use crate::embedding::nn_embed;
+use crate::mapping::Mapping;
+use crate::metrics_engine::{CostModel, Edit, EditError, MetricsEngine};
+use crate::pipeline::{
+    collapse_for, contraction_from_assignment, finish, MapError, MapperOptions, MapperReport,
+    Strategy,
+};
+use crate::routing::baseline::baseline_route_all;
+use oregami_graph::{TaskGraph, TaskId, WeightedGraph};
+use oregami_topology::{Network, ProcId, RouteTable};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Coarsening stops once a level has at most `COARSEN_FACTOR × P` nodes.
+const COARSEN_FACTOR: usize = 4;
+/// Hard cap on levels — heavy-edge matching shrinks the node count every
+/// level, so this is never the binding limit in practice.
+const MAX_LEVELS: usize = 64;
+/// Refinement passes per level (a pass with no improving move ends early).
+const REFINE_PASSES: usize = 2;
+/// Above this task count, final routes come from the linear baseline router
+/// instead of MM-Route's per-hop matchings (which are quadratic in messages
+/// per link and would dominate the whole stage on 100k+ graphs).
+const MM_ROUTE_LIMIT: usize = 4096;
+
+/// Per-level accounting for benchmarks and reports. Levels are indexed
+/// finest-first: level 0 is the original collapsed graph.
+#[derive(Clone, Debug)]
+pub struct LevelStats {
+    /// Nodes in this level's graph.
+    pub nodes: usize,
+    /// Edges in this level's graph.
+    pub edges: usize,
+    /// Wall-clock seconds spent coarsening this level into the next.
+    pub coarsen_secs: f64,
+    /// Wall-clock seconds spent refining the placement at this level.
+    pub refine_secs: f64,
+    /// Refinement objective before the level's passes.
+    pub cost_before: u64,
+    /// Refinement objective after the level's passes (≤ `cost_before`).
+    pub cost_after: u64,
+    /// Improving moves kept at this level.
+    pub moves: usize,
+}
+
+/// The multilevel stage's structured account of one run.
+#[derive(Clone, Debug)]
+pub struct MultilevelReport {
+    /// Per-level stats, finest (level 0) first.
+    pub levels: Vec<LevelStats>,
+    /// Node count of the coarsest level actually reached.
+    pub coarsest_nodes: usize,
+    /// Whether the coarsest packing had to split a cluster's tasks across
+    /// processors (when no bin can take some cluster whole — possible under
+    /// tight load bounds). Refinement then runs at task granularity only,
+    /// since intermediate levels no longer map nodes onto single
+    /// processors.
+    pub split_packing: bool,
+    /// How the stage's search ended.
+    pub completion: Completion,
+}
+
+/// The engine-facing stage entry point.
+pub(crate) fn multilevel_stage(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+    table: Arc<RouteTable>,
+) -> Result<(MapperReport, Completion), MapError> {
+    let (report, completion, _ml) = multilevel_map_with_report(tg, net, opts, budget, table)?;
+    Ok((report, completion))
+}
+
+/// Runs the full coarsen–map–refine pipeline and returns the per-level
+/// report alongside the mapping — the benchmark and property tests use
+/// the extra detail; the engine stage discards it.
+pub fn multilevel_map_with_report(
+    tg: &TaskGraph,
+    net: &Network,
+    opts: &MapperOptions,
+    budget: &Budget,
+    table: Arc<RouteTable>,
+) -> Result<(MapperReport, Completion, MultilevelReport), MapError> {
+    if tg.num_tasks() == 0 {
+        return Err(MapError::EmptyTaskGraph);
+    }
+    if net.num_procs() == 0 {
+        return Err(MapError::BadNetwork("network has no processors".into()));
+    }
+    let n = tg.num_tasks();
+    let p = net.num_procs();
+    let bound = opts.load_bound.unwrap_or_else(|| n.div_ceil(p).max(1));
+    if p.saturating_mul(bound) < n {
+        return Err(MapError::Contract(
+            crate::contraction::ContractError::Infeasible {
+                tasks: n,
+                procs: p,
+                bound,
+            },
+        ));
+    }
+    let mut completion = Completion::Optimal;
+    let collapsed = collapse_for(tg, opts);
+
+    // ---- 1. coarsen: size-aware heavy-edge matching per level ----
+    let target = (COARSEN_FACTOR * p).max(1);
+    let mut levels: Vec<(WeightedGraph, Vec<usize>)> = vec![(collapsed, vec![1; n])];
+    // `maps[l][u]` = the level-(l+1) node that level-l node `u` merged into.
+    let mut maps: Vec<Vec<usize>> = Vec::new();
+    let mut coarsen_secs: Vec<f64> = Vec::new();
+    while levels.last().expect("level 0 exists").0.num_nodes() > target
+        && maps.len() < MAX_LEVELS
+    {
+        let t0 = Instant::now();
+        let (g, sizes) = levels.last().expect("level exists");
+        let m = g.num_nodes();
+        let mut mate = vec![usize::MAX; m];
+        let mut tripped = None;
+        for e in g.edges_by_weight_desc() {
+            if let Some(c) = budget.tick() {
+                tripped = Some(c);
+                break;
+            }
+            if mate[e.u] == usize::MAX
+                && mate[e.v] == usize::MAX
+                && sizes[e.u] + sizes[e.v] <= bound
+            {
+                mate[e.u] = e.v;
+                mate[e.v] = e.u;
+            }
+        }
+        if let Some(c) = tripped {
+            // Discard the partial pass: levels built so far stay exact.
+            completion = completion.worst(c);
+            break;
+        }
+        // Dense coarse ids in node order: deterministic, and a matched pair
+        // takes the id slot of its lower-indexed member.
+        let mut cluster_of = vec![usize::MAX; m];
+        let mut next = 0usize;
+        for u in 0..m {
+            if cluster_of[u] != usize::MAX {
+                continue;
+            }
+            cluster_of[u] = next;
+            if mate[u] != usize::MAX {
+                cluster_of[mate[u]] = next;
+            }
+            next += 1;
+        }
+        if next == m {
+            // No merge fits under the load bound — coarsening has converged.
+            break;
+        }
+        let (q, _) = g.quotient(&cluster_of, next);
+        let mut new_sizes = vec![0usize; next];
+        for u in 0..m {
+            new_sizes[cluster_of[u]] += sizes[u];
+        }
+        maps.push(cluster_of);
+        levels.push((q, new_sizes));
+        coarsen_secs.push(t0.elapsed().as_secs_f64());
+    }
+    let coarsest_nodes = levels.last().expect("coarsest exists").0.num_nodes();
+
+    // ---- 2. map the coarsest level ----
+    // Pack coarse clusters whole into P processor-bins when possible; the
+    // per-level node → processor identification survives and every level
+    // gets refined. Only when some cluster fits no bin (tight bounds) does
+    // packing drop to task granularity, which breaks the level structure
+    // and restricts refinement to level 0.
+    let mut level_stats: Vec<LevelStats> = levels
+        .iter()
+        .enumerate()
+        .map(|(l, (g, _))| LevelStats {
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            coarsen_secs: coarsen_secs.get(l).copied().unwrap_or(0.0),
+            refine_secs: 0.0,
+            cost_before: 0,
+            cost_after: 0,
+            moves: 0,
+        })
+        .collect();
+
+    let whole_pack = {
+        let (cg, csizes) = levels.last().expect("coarsest exists");
+        pack_comm(cg, csizes, p, bound)
+    };
+    let split_packing = whole_pack.is_none();
+
+    // ---- 3. uncoarsen with budgeted greedy refinement ----
+    let assignment: Vec<ProcId> = match whole_pack {
+        Some(bin_of_coarse) => {
+            let coarsest = &levels.last().expect("coarsest exists").0;
+            let (bin_graph, _) = coarsest.quotient(&bin_of_coarse, p);
+            let placement = nn_embed(&bin_graph, net, &table)?;
+            let top = levels.len() - 1;
+            let mut proc_of: Vec<ProcId> =
+                bin_of_coarse.iter().map(|&b| placement[b]).collect();
+            for l in (0..=top).rev() {
+                if l < top {
+                    // project the level-(l+1) placement down to level l
+                    proc_of = maps[l].iter().map(|&parent| proc_of[parent]).collect();
+                }
+                if completion.is_degraded() {
+                    continue; // spent budget: pure projection, no refinement
+                }
+                let (g, sizes) = &levels[l];
+                let t0 = Instant::now();
+                let (c, stats) =
+                    refine_level(g, sizes, &mut proc_of, net, &table, bound, budget);
+                completion = completion.worst(c);
+                level_stats[l].refine_secs = t0.elapsed().as_secs_f64();
+                level_stats[l].cost_before = stats.0;
+                level_stats[l].cost_after = stats.1;
+                level_stats[l].moves = stats.2;
+            }
+            proc_of
+        }
+        None => {
+            // Compose the per-level maps into task → coarsest-node, split
+            // clusters across bins at task granularity, and refine at task
+            // granularity only.
+            let mut coarse_of: Vec<usize> = (0..n).collect();
+            for map in &maps {
+                for c in coarse_of.iter_mut() {
+                    *c = map[*c];
+                }
+            }
+            let sizes = &levels.last().expect("coarsest exists").1;
+            let bin_of_task = pack_with_splits(&coarse_of, sizes, n, p, bound);
+            let (bin_graph, _) = levels[0].0.quotient(&bin_of_task, p);
+            let placement = nn_embed(&bin_graph, net, &table)?;
+            let mut proc_of: Vec<ProcId> =
+                bin_of_task.iter().map(|&b| placement[b]).collect();
+            if !completion.is_degraded() {
+                let (g0, sizes0) = &levels[0];
+                let t0 = Instant::now();
+                let (c, stats) =
+                    refine_level(g0, sizes0, &mut proc_of, net, &table, bound, budget);
+                completion = completion.worst(c);
+                level_stats[0].refine_secs = t0.elapsed().as_secs_f64();
+                level_stats[0].cost_before = stats.0;
+                level_stats[0].cost_after = stats.1;
+                level_stats[0].moves = stats.2;
+            }
+            proc_of
+        }
+    };
+
+    // ---- 4. route + report ----
+    let mapping = if n <= MM_ROUTE_LIMIT {
+        finish(tg, net, &table, assignment, opts)
+    } else {
+        let routes = baseline_route_all(tg, &assignment, net, &table);
+        let mapping = Mapping { assignment, routes };
+        mapping.validate(tg, net)?;
+        mapping
+    };
+    let contraction = contraction_from_assignment(&mapping.assignment, p);
+    let total_moves: usize = level_stats.iter().map(|s| s.moves).sum();
+    let notes = vec![format!(
+        "multilevel: {} levels, coarsest {coarsest_nodes} clusters \
+         (target ≤ {target}), load bound {bound}, {total_moves} refinement moves{}{}",
+        levels.len(),
+        if split_packing { ", split packing" } else { "" },
+        if completion.is_degraded() {
+            format!(" ({completion})")
+        } else {
+            String::new()
+        }
+    )];
+    let collapsed = std::mem::take(&mut levels[0].0);
+    let ml = MultilevelReport {
+        levels: level_stats,
+        coarsest_nodes,
+        split_packing,
+        completion,
+    };
+    Ok((
+        MapperReport {
+            strategy: Strategy::Multilevel,
+            contraction,
+            mapping,
+            collapsed,
+            notes,
+        },
+        completion,
+        ml,
+    ))
+}
+
+/// Communication-aware packing of the coarsest clusters into ≤ `p`
+/// processor bins: repeated heavy-edge matching passes on the group
+/// quotient graph merge the most-communicating groups first (never past
+/// `bound`), so a bin holds clusters that actually talk to each other —
+/// a size-only best-fit pack co-locates strangers and squanders the
+/// locality coarsening just built. When matching stalls above `p` groups
+/// (isolated nodes, tight bounds), the comm-coherent groups fall back to
+/// best-fit-decreasing; `None` when even that cannot place some group
+/// whole. The coarsest graph is ≤ ~4P nodes, so no budget is charged.
+fn pack_comm(g: &WeightedGraph, sizes: &[usize], p: usize, bound: usize) -> Option<Vec<usize>> {
+    let m = g.num_nodes();
+    let mut group_of: Vec<usize> = (0..m).collect();
+    let mut gg = g.clone();
+    let mut gsizes = sizes.to_vec();
+    while gg.num_nodes() > p {
+        let k = gg.num_nodes();
+        let mut mate = vec![usize::MAX; k];
+        let mut merges = 0usize;
+        for e in gg.edges_by_weight_desc() {
+            if mate[e.u] == usize::MAX
+                && mate[e.v] == usize::MAX
+                && gsizes[e.u] + gsizes[e.v] <= bound
+            {
+                mate[e.u] = e.v;
+                mate[e.v] = e.u;
+                merges += 1;
+                if k - merges <= p {
+                    break; // this pass already reaches the target
+                }
+            }
+        }
+        if merges == 0 {
+            break; // no merge fits under the bound — matching has stalled
+        }
+        let mut new_id = vec![usize::MAX; k];
+        let mut next = 0usize;
+        for u in 0..k {
+            if new_id[u] != usize::MAX {
+                continue;
+            }
+            new_id[u] = next;
+            if mate[u] != usize::MAX {
+                new_id[mate[u]] = next;
+            }
+            next += 1;
+        }
+        for gid in group_of.iter_mut() {
+            *gid = new_id[*gid];
+        }
+        let (q, _) = gg.quotient(&new_id, next);
+        let mut ns = vec![0usize; next];
+        for u in 0..k {
+            ns[new_id[u]] += gsizes[u];
+        }
+        gg = q;
+        gsizes = ns;
+    }
+    if gg.num_nodes() <= p {
+        return Some(group_of); // the groups themselves are the bins
+    }
+    if let Some(bin_of_group) = pack_whole(&gsizes, p, bound) {
+        return Some(group_of.iter().map(|&gid| bin_of_group[gid]).collect());
+    }
+    // Pairwise doubling can fragment (nine groups of 16 never fit eight
+    // bins of 24 even though the raw clusters do) — retry on the
+    // unmerged clusters before giving up on whole packing entirely.
+    pack_whole(sizes, p, bound)
+}
+
+/// Best-fit-decreasing packing of coarse clusters, whole, into `p` bins of
+/// capacity `bound`. `Some(bin_of_cluster)` when every cluster fits a bin;
+/// `None` when some cluster would have to be split. Deterministic.
+fn pack_whole(sizes: &[usize], p: usize, bound: usize) -> Option<Vec<usize>> {
+    let m = sizes.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut load = vec![0usize; p];
+    let mut bin_of = vec![0usize; m];
+    for &c in &order {
+        // best fit: the fullest bin that still takes the whole cluster
+        let fit = (0..p)
+            .filter(|&b| load[b] + sizes[c] <= bound)
+            .max_by_key(|&b| (load[b], std::cmp::Reverse(b)))?;
+        bin_of[c] = fit;
+        load[fit] += sizes[c];
+    }
+    Some(bin_of)
+}
+
+/// Task-granularity fallback packing: best-fit-decreasing over clusters,
+/// spilling a cluster's tasks across bins in index order when no bin takes
+/// it whole. Feasible whenever `p × bound ≥ n`. Deterministic.
+fn pack_with_splits(
+    coarse_of: &[usize],
+    sizes: &[usize],
+    n: usize,
+    p: usize,
+    bound: usize,
+) -> Vec<usize> {
+    let m = sizes.len();
+    // members of each coarse cluster, grouped by counting sort
+    let mut count = vec![0usize; m + 1];
+    for &c in coarse_of {
+        count[c + 1] += 1;
+    }
+    for c in 0..m {
+        count[c + 1] += count[c];
+    }
+    let mut members = vec![0usize; n];
+    let mut cursor = count[..m].to_vec();
+    for (t, &c) in coarse_of.iter().enumerate() {
+        members[cursor[c]] = t;
+        cursor[c] += 1;
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut load = vec![0usize; p];
+    let mut bin_of_task = vec![0usize; n];
+    for &c in &order {
+        let tasks = &members[count[c]..count[c + 1]];
+        let fit = (0..p)
+            .filter(|&b| load[b] + sizes[c] <= bound)
+            .max_by_key(|&b| (load[b], std::cmp::Reverse(b)));
+        match fit {
+            Some(b) => {
+                for &t in tasks {
+                    bin_of_task[t] = b;
+                }
+                load[b] += sizes[c];
+            }
+            None => {
+                // split: spill tasks into bins in index order
+                let mut b = 0usize;
+                for &t in tasks {
+                    while load[b] >= bound {
+                        b += 1;
+                    }
+                    bin_of_task[t] = b;
+                    load[b] += 1;
+                }
+            }
+        }
+    }
+    bin_of_task
+}
+
+/// One level's refinement: greedy single-node moves to neighbor processors,
+/// probed through the incremental metrics engine and kept only when they
+/// strictly lower the scalar cost. Returns the worst completion plus
+/// `(cost_before, cost_after, moves)`.
+fn refine_level(
+    g: &WeightedGraph,
+    sizes: &[usize],
+    proc_of: &mut Vec<ProcId>,
+    net: &Network,
+    table: &Arc<RouteTable>,
+    bound: usize,
+    budget: &Budget,
+) -> (Completion, (u64, u64, usize)) {
+    let m = g.num_nodes();
+    // Synthetic single-phase task graph over this level's nodes: scalar_cost
+    // without a phase expression is exactly the summed per-phase slot cost
+    // of the level's cross-processor traffic.
+    let mut stg = TaskGraph::new("multilevel-level");
+    stg.add_scalar_nodes("c", m);
+    let ph = stg.add_phase("w");
+    for e in g.edges() {
+        stg.add_edge(ph, TaskId::new(e.u), TaskId::new(e.v), e.w);
+    }
+    let mapping = Mapping {
+        assignment: proc_of.clone(),
+        routes: baseline_route_all(&stg, proc_of, net, table),
+    };
+    let mut eng = match MetricsEngine::try_new_with_table(
+        &stg,
+        net,
+        &mapping,
+        &CostModel::default(),
+        Arc::clone(table),
+    ) {
+        Ok(e) => e,
+        // A projection the metrics engine rejects cannot be refined; serve
+        // it as-is (final validation will surface any real problem).
+        Err(_) => return (Completion::Optimal, (0, 0, 0)),
+    };
+    let mut load = vec![0usize; net.num_procs()];
+    for (u, pr) in proc_of.iter().enumerate() {
+        load[pr.index()] += sizes[u];
+    }
+    let cost_before = eng.scalar_cost();
+    let mut moves = 0usize;
+    let mut completion = Completion::Optimal;
+    let mut cands: Vec<ProcId> = Vec::new();
+    // Small levels are cheap to sweep, so let them run to a local optimum;
+    // huge levels cap at REFINE_PASSES to keep level-0 work linear.
+    let passes = if m <= 2048 { 4 * REFINE_PASSES } else { REFINE_PASSES };
+    'passes: for _ in 0..passes {
+        let mut improved = false;
+        for u in 0..m {
+            let from = eng.mapping().assignment[u];
+            cands.clear();
+            g.for_each_neighbor(u, |v, _| {
+                let q = eng.mapping().assignment[v];
+                if q != from {
+                    cands.push(q);
+                }
+            });
+            cands.sort_unstable();
+            cands.dedup();
+            for i in 0..cands.len() {
+                let q = cands[i];
+                if load[q.index()] + sizes[u] > bound {
+                    continue;
+                }
+                let before = eng.scalar_cost();
+                match eng.apply_budgeted(Edit::Reassign { task: u, proc: q }, budget) {
+                    Ok(_) => {
+                        if eng.scalar_cost() < before {
+                            load[from.index()] -= sizes[u];
+                            load[q.index()] += sizes[u];
+                            moves += 1;
+                            improved = true;
+                            break; // first improving move wins; next node
+                        }
+                        eng.undo();
+                    }
+                    Err(EditError::Budget(c)) => {
+                        completion = completion.worst(c);
+                        break 'passes;
+                    }
+                    Err(_) => {} // defensive: skip an unappliable probe
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let cost_after = eng.scalar_cost();
+    *proc_of = eng.into_mapping().assignment;
+    (completion, (cost_before, cost_after, moves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oregami_topology::builders;
+
+    fn run(
+        tg: &TaskGraph,
+        net: &Network,
+        budget: &Budget,
+    ) -> (MapperReport, Completion, MultilevelReport) {
+        let table = Arc::new(RouteTable::try_new(net).unwrap());
+        multilevel_map_with_report(tg, net, &MapperOptions::default(), budget, table).unwrap()
+    }
+
+    #[test]
+    fn maps_a_mesh_validly_with_monotone_refinement() {
+        let tg = oregami_graph::Family::Mesh2D(12, 12).build();
+        let net = builders::hypercube(3);
+        let (report, completion, ml) = run(&tg, &net, &Budget::unlimited());
+        report.mapping.validate(&tg, &net).unwrap();
+        assert_eq!(report.strategy, Strategy::Multilevel);
+        assert_eq!(completion, Completion::Optimal);
+        assert!(ml.levels.len() > 1, "144 tasks on 8 procs must coarsen");
+        for ls in &ml.levels {
+            assert!(
+                ls.cost_after <= ls.cost_before,
+                "refinement must never regress a level"
+            );
+        }
+        // load bound ceil(144/8) = 18 respected
+        let loads = report.mapping.tasks_per_proc(8);
+        assert!(loads.iter().all(|&l| l <= 18), "loads {loads:?}");
+    }
+
+    #[test]
+    fn spent_budget_still_serves_a_valid_mapping() {
+        let tg = oregami_graph::Family::Mesh2D(10, 10).build();
+        let net = builders::torus2d(4, 4);
+        let budget = Budget::unlimited().with_max_steps(1);
+        let (report, completion, _) = run(&tg, &net, &budget);
+        assert_eq!(completion, Completion::BudgetExhausted);
+        report.mapping.validate(&tg, &net).unwrap();
+    }
+
+    #[test]
+    fn small_graph_skips_coarsening() {
+        let tg = oregami_graph::Family::Ring(8).build();
+        let net = builders::hypercube(3);
+        let (report, completion, ml) = run(&tg, &net, &Budget::unlimited());
+        assert_eq!(completion, Completion::Optimal);
+        assert_eq!(ml.levels.len(), 1, "8 tasks ≤ 4×8 procs: no coarsening");
+        report.mapping.validate(&tg, &net).unwrap();
+    }
+
+    #[test]
+    fn slack_load_bound_packs_whole_and_refines_every_level() {
+        let tg = oregami_graph::Family::Mesh2D(12, 12).build();
+        let net = builders::hypercube(3);
+        let table = Arc::new(RouteTable::try_new(&net).unwrap());
+        let opts = MapperOptions {
+            load_bound: Some(24), // slack over ceil(144/8) = 18
+            ..MapperOptions::default()
+        };
+        let (report, _, ml) =
+            multilevel_map_with_report(&tg, &net, &opts, &Budget::unlimited(), table).unwrap();
+        assert!(!ml.split_packing, "slack bound must pack clusters whole");
+        report.mapping.validate(&tg, &net).unwrap();
+        let loads = report.mapping.tasks_per_proc(8);
+        assert!(loads.iter().all(|&l| l <= 24), "loads {loads:?}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let tg = oregami_graph::Family::Mesh2D(9, 7).build();
+        let net = builders::mesh2d(3, 3);
+        let (a, _, _) = run(&tg, &net, &Budget::unlimited());
+        let (b, _, _) = run(&tg, &net, &Budget::unlimited());
+        assert_eq!(a.mapping.assignment, b.mapping.assignment);
+    }
+}

@@ -40,6 +40,9 @@ pub enum Strategy {
     /// Last-resort round-robin placement with deterministic shortest-path
     /// routes (the engine's always-succeeds fallback-chain stage).
     Identity,
+    /// Multilevel coarsen–map–refine (the engine's huge-graph stage; see
+    /// [`crate::multilevel`]).
+    Multilevel,
 }
 
 /// Tuning knobs for the pipeline.

@@ -512,11 +512,17 @@ pub fn max_weight_matching_budgeted(
         }
         sv.flower_from[x][x] = x;
     }
+    // The blossom duals sum a handful of labels, each bounded by the
+    // largest weight, so weights are clamped well below `i64::MAX` to
+    // keep every dual computation overflow-free. Near-`u64::MAX` volumes
+    // (saturated accumulations upstream) lose only their magnitude, not
+    // their relative order below the clamp.
+    const W_CLAMP: i64 = i64::MAX / 8;
     for &(u, v, w) in edges {
         assert!(u < n && v < n, "edge endpoint out of range");
         assert_ne!(u, v, "self-loop edge");
         let (a, b) = (u + 1, v + 1);
-        let w = i64::try_from(w).expect("weight too large");
+        let w = i64::try_from(w).unwrap_or(i64::MAX).min(W_CLAMP);
         if w > sv.cell(a, b).w {
             sv.cell_mut(a, b).w = w;
             sv.cell_mut(b, a).w = w;
@@ -539,7 +545,7 @@ pub fn max_weight_matching_budgeted(
         if sv.mate[u] != 0 {
             mate[u - 1] = Some(sv.mate[u] - 1);
             if sv.mate[u] < u {
-                total += sv.cell(u, sv.mate[u]).w as u64;
+                total = total.saturating_add(sv.cell(u, sv.mate[u]).w as u64);
             }
         }
     }

@@ -53,6 +53,28 @@ pub enum TopologyError {
     },
     /// Every processor failed; there is nothing left to map onto.
     NoAliveProcs,
+    /// A link list named a processor outside `0..num_procs` (surfaced from
+    /// the CSR adjacency build as a typed error instead of a panic).
+    LinkEndpointOutOfRange {
+        /// One endpoint of the offending link.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+        /// Number of processors in the network.
+        num_procs: usize,
+    },
+    /// A link list contained a self-loop `(u, u)`.
+    SelfLoopLink {
+        /// The looping processor.
+        proc: ProcId,
+    },
+    /// A link list contained the same unordered pair twice.
+    DuplicateLink {
+        /// One endpoint of the duplicated link.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -90,6 +112,12 @@ impl fmt::Display for TopologyError {
                 "failed link {link} out of range (network has {num_links} links)"
             ),
             TopologyError::NoAliveProcs => write!(f, "all processors failed"),
+            TopologyError::LinkEndpointOutOfRange { u, v, num_procs } => write!(
+                f,
+                "link endpoint out of range: ({u}, {v}) with {num_procs} processors"
+            ),
+            TopologyError::SelfLoopLink { proc } => write!(f, "self-loop link at {proc}"),
+            TopologyError::DuplicateLink { u, v } => write!(f, "duplicate link ({u}, {v})"),
         }
     }
 }

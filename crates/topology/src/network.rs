@@ -122,42 +122,72 @@ impl Network {
     /// self-loops are rejected.
     ///
     /// # Panics
-    /// On out-of-range endpoints, self-loops, or duplicate links.
+    /// On out-of-range endpoints, self-loops, or duplicate links. Use
+    /// [`Network::try_from_links`] for untrusted input.
     pub fn from_links(
         name: impl Into<String>,
         kind: TopologyKind,
         num_procs: usize,
         links: Vec<(u32, u32)>,
     ) -> Network {
+        match Self::try_from_links(name, kind, num_procs, links) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction from an explicit link list, returning a typed
+    /// [`TopologyError`] on out-of-range endpoints, self-loops, or duplicate
+    /// links instead of panicking. The route-table build path for hand-built
+    /// topologies goes through here so adversarial link lists surface as
+    /// errors, never aborts.
+    pub fn try_from_links(
+        name: impl Into<String>,
+        kind: TopologyKind,
+        num_procs: usize,
+        links: Vec<(u32, u32)>,
+    ) -> Result<Network, crate::fault::TopologyError> {
+        use crate::fault::TopologyError;
         let mut link_of = HashMap::with_capacity(links.len());
         let mut stored = Vec::with_capacity(links.len());
         for (i, &(u, v)) in links.iter().enumerate() {
-            assert!(
-                (u as usize) < num_procs && (v as usize) < num_procs,
-                "link endpoint out of range"
-            );
-            assert_ne!(u, v, "self-loop link");
+            if (u as usize) >= num_procs || (v as usize) >= num_procs {
+                return Err(TopologyError::LinkEndpointOutOfRange { u, v, num_procs });
+            }
+            if u == v {
+                return Err(TopologyError::SelfLoopLink { proc: ProcId(u) });
+            }
             let key = (u.min(v), u.max(v));
-            let prev = link_of.insert(key, LinkId(i as u32));
-            assert!(prev.is_none(), "duplicate link {key:?}");
+            if link_of.insert(key, LinkId(i as u32)).is_some() {
+                return Err(TopologyError::DuplicateLink { u: key.0, v: key.1 });
+            }
             stored.push((ProcId(u), ProcId(v)));
         }
-        let adj = Csr::undirected(
+        let adj = Csr::try_undirected(
             num_procs,
             stored
                 .iter()
                 .map(|&(u, v)| (u.index(), v.index()))
                 .collect::<Vec<_>>()
                 .into_iter(),
-        );
-        Network {
+        )
+        .map_err(|e| match e {
+            oregami_graph::CsrError::EndpointOutOfRange { u, v, n } => {
+                TopologyError::LinkEndpointOutOfRange {
+                    u: u as u32,
+                    v: v as u32,
+                    num_procs: n,
+                }
+            }
+        })?;
+        Ok(Network {
             name: name.into(),
             kind,
             num_procs,
             links: stored,
             link_of,
             adj,
-        }
+        })
     }
 
     /// Number of processors.
@@ -284,6 +314,25 @@ mod tests {
         // more processors with the same links is a different structure
         let wide = Network::from_links("wide", TopologyKind::Custom, 4, vec![(0, 1), (1, 2)]);
         assert_ne!(path.structural_signature(), wide.structural_signature());
+    }
+
+    #[test]
+    fn try_from_links_returns_typed_errors() {
+        use crate::fault::TopologyError;
+        let err =
+            Network::try_from_links("bad", TopologyKind::Custom, 2, vec![(0, 5)]).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::LinkEndpointOutOfRange { u: 0, v: 5, num_procs: 2 }
+        );
+        assert!(err.to_string().contains("out of range"));
+        let err =
+            Network::try_from_links("bad", TopologyKind::Custom, 2, vec![(1, 1)]).unwrap_err();
+        assert_eq!(err, TopologyError::SelfLoopLink { proc: ProcId(1) });
+        let err = Network::try_from_links("bad", TopologyKind::Custom, 2, vec![(0, 1), (1, 0)])
+            .unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateLink { u: 0, v: 1 });
+        assert!(Network::try_from_links("ok", TopologyKind::Custom, 2, vec![(0, 1)]).is_ok());
     }
 
     #[test]
