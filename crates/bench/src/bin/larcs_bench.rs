@@ -1,0 +1,174 @@
+//! Benchmarks the query-based incremental LaRCS front end against batch
+//! recompilation over an interactive editing session: 100 single-rule
+//! edits (30 in `--quick`) against the 32-rule `sormulticolor` builtin,
+//! each edit recompiled both through a persistent [`oregami::larcs::Db`]
+//! (splice → reparse → re-elaborate only the edited rule) and from
+//! scratch through the batch `compile`. Emits
+//! `BENCH_larcs_incremental.json`.
+//!
+//! ```sh
+//! cargo run --release -p oregami-bench --bin larcs_bench -- --quick
+//! cargo run --release -p oregami-bench --bin larcs_bench          # full
+//! ```
+//!
+//! Hard assertions (CI fails loudly on regression):
+//! - every incrementally compiled task graph is byte-identical (`==`,
+//!   derived structural equality) to the batch-compiled one;
+//! - the incremental session is >= 10x faster than batch end-to-end
+//!   (>= 5x in `--quick`, where the smaller lattice leaves less
+//!   elaboration work to skip);
+//! - a whitespace-only edit hits every cache: zero new parses, zero new
+//!   rule expansions.
+//!
+//! The incremental side is timed end-to-end per edit — splice +
+//! validation parse (`Db::edit_rule`) + `Db::compile` — so the query
+//! layer gets no credit for work its own validation step already did.
+
+use oregami::larcs::{self, programs, Db};
+use std::time::Instant;
+
+/// The replacement text for rule `d` (0..4) of `comphase color{c}`,
+/// mirroring the builtin's generator but tagging the edge with an
+/// explicit volume — the kind of one-token tweak an interactive session
+/// makes between runs.
+fn rule_text(c: usize, d: usize, vol: u64) -> String {
+    let (guard, edge) = match d {
+        0 => ("i > 0", "cell(i,j) -> cell(i-1,j)"),
+        1 => ("i < n-1", "cell(i,j) -> cell(i+1,j)"),
+        2 => ("j > 0", "cell(i,j) -> cell(i,j-1)"),
+        _ => ("j < n-1", "cell(i,j) -> cell(i,j+1)"),
+    };
+    format!(
+        "forall i in 0..n-1, j in 0..n-1 where (2*i+j) mod 8 == {c} and {guard} \
+         {{ {edge} volume {vol}; }}"
+    )
+}
+
+/// Whitespace-only edits must be free: same token stream, so lexing is
+/// the only new work — the parse, every rule fragment, and the final
+/// graph all come from cache.
+fn whitespace_edit_is_free(db: &mut Db, src: &str, params: &[(&str, i64)]) -> bool {
+    let reference = db.compile(src, params).expect("base compiles");
+    let before = db.stats();
+    let elab_before = (db.elab_cache().hits, db.elab_cache().misses);
+    let spaced = format!("\n\n{}\n  \n", src.replace(";\n", ";\n\n"));
+    let cached = db.compile(&spaced, params).expect("whitespace variant compiles");
+    let after = db.stats();
+    let elab_after = (db.elab_cache().hits, db.elab_cache().misses);
+    assert_eq!(
+        after.parse_misses, before.parse_misses,
+        "whitespace edit must not reparse"
+    );
+    assert_eq!(
+        after.graph_misses, before.graph_misses,
+        "whitespace edit must not rebuild the graph"
+    );
+    assert_eq!(
+        elab_after.1, elab_before.1,
+        "whitespace edit must not re-expand any rule"
+    );
+    assert!(
+        std::sync::Arc::ptr_eq(&reference, &cached),
+        "whitespace edit must return the cached graph"
+    );
+    true
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The lattice size sets how much elaboration work batch redoes per
+    // edit (32 rules x n^2 guard evaluations); parsing cost is fixed, so
+    // bigger lattices favour the incremental path.
+    let (n, edits, bar) = if quick { (32i64, 30usize, 5.0) } else { (64, 100, 10.0) };
+    println!(
+        "larcs incremental bench ({} mode): {} single-rule edits on sormulticolor, n={n}",
+        if quick { "quick" } else { "full" },
+        edits
+    );
+
+    let base = programs::sor_multicolor();
+    let params: Vec<(&str, i64)> = vec![("n", n), ("iters", 2)];
+
+    let mut db = Db::new();
+    // Warm start: a session opens (parses + compiles) the file before the
+    // first edit, exactly like the daemon's session actor.
+    db.compile(&base, &params).expect("base program compiles");
+    db.reset_stats();
+    // ElabCache counters survive reset_stats; measure the session as a
+    // delta past the warm compile's 32 cold expansions.
+    let elab0 = (db.elab_cache().hits, db.elab_cache().misses);
+
+    let mut src = base.clone();
+    let (mut inc_total, mut batch_total) = (0.0f64, 0.0f64);
+    let mut byte_identical = true;
+    for e in 0..edits {
+        let r = e % 32;
+        let (c, d) = (r / 4, r % 4);
+        let vol = (e % 7 + 2) as u64;
+        let phase = format!("color{c}");
+        let text = rule_text(c, d, vol);
+
+        let t0 = Instant::now();
+        let new_src = db
+            .edit_rule(&src, &phase, d, &text)
+            .expect("rule edit applies");
+        let inc = db.compile(&new_src, &params).expect("incremental compile");
+        inc_total += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let batch = larcs::compile(&new_src, &params).expect("batch compile");
+        batch_total += t0.elapsed().as_secs_f64();
+
+        byte_identical &= *inc == batch;
+        src = new_src;
+    }
+    let stats = db.stats();
+    let (elab_hits, elab_misses) = (
+        db.elab_cache().hits - elab0.0,
+        db.elab_cache().misses - elab0.1,
+    );
+    let speedup = batch_total / inc_total.max(1e-9);
+    println!(
+        "  incremental: {:.1} ms total ({:.3} ms/edit)  batch: {:.1} ms total ({:.3} ms/edit)",
+        inc_total * 1e3,
+        inc_total * 1e3 / edits as f64,
+        batch_total * 1e3,
+        batch_total * 1e3 / edits as f64,
+    );
+    println!(
+        "  speedup: {speedup:.1}x  byte-identical: {byte_identical}  \
+         rule fragments: {elab_hits} hits / {elab_misses} misses"
+    );
+    assert!(byte_identical, "incremental and batch graphs diverged");
+    assert!(
+        speedup >= bar,
+        "incremental speedup {speedup:.1}x under the {bar}x acceptance bar"
+    );
+    // Each edit re-expands exactly the edited rule and reuses the other 31.
+    assert_eq!(elab_misses as usize, edits, "one fragment miss per edit");
+
+    let ws_ok = whitespace_edit_is_free(&mut db, &src, &params);
+    println!("  whitespace-only edit: fully cached (no reparse, no re-expansion)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"larcs_incremental\",\n  \"mode\": \"{}\",\n  \
+         \"program\": \"sormulticolor\",\n  \"n\": {n},\n  \"rules\": 32,\n  \
+         \"edits\": {edits},\n  \"incremental_ms\": {:.3},\n  \
+         \"batch_ms\": {:.3},\n  \"incremental_ms_per_edit\": {:.4},\n  \
+         \"batch_ms_per_edit\": {:.4},\n  \"speedup\": {speedup:.2},\n  \
+         \"byte_identical\": {byte_identical},\n  \
+         \"fragment_hits\": {elab_hits},\n  \"fragment_misses\": {elab_misses},\n  \
+         \"parse_hits\": {},\n  \"parse_misses\": {},\n  \
+         \"whitespace_edit_fully_cached\": {ws_ok}\n}}\n",
+        if quick { "quick" } else { "full" },
+        inc_total * 1e3,
+        batch_total * 1e3,
+        inc_total * 1e3 / edits as f64,
+        batch_total * 1e3 / edits as f64,
+        stats.parse_hits,
+        stats.parse_misses,
+    );
+    let path = "BENCH_larcs_incremental.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

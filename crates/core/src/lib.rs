@@ -76,7 +76,7 @@ pub use oregami_topology::{
 };
 
 use oregami_graph::TaskGraph;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One complete run of the OREGAMI toolchain.
 #[derive(Clone, Debug)]
@@ -324,6 +324,7 @@ pub struct Oregami {
     parallelism: Parallelism,
     cache: Arc<RouteTableCache>,
     supervisor: Option<SupervisorConfig>,
+    frontend: Arc<Mutex<larcs::Db>>,
 }
 
 impl Oregami {
@@ -338,6 +339,7 @@ impl Oregami {
             parallelism: Parallelism::Sequential,
             cache: Arc::new(RouteTableCache::new(16)),
             supervisor: None,
+            frontend: Arc::new(Mutex::new(larcs::Db::new())),
         }
     }
 
@@ -373,6 +375,14 @@ impl Oregami {
         self
     }
 
+    /// Replaces the shared LaRCS front end (e.g. to share one
+    /// incremental [`larcs::Db`] across toolchain instances compiling
+    /// the same sources).
+    pub fn with_frontend(mut self, frontend: Arc<Mutex<larcs::Db>>) -> Oregami {
+        self.frontend = frontend;
+        self
+    }
+
     /// Runs budgeted mappings under a stage supervisor: each chain stage
     /// gets a watchdog (hung workers are detached at deadline + grace),
     /// bounded retries for transient panics, and a per-stage circuit
@@ -402,6 +412,26 @@ impl Oregami {
         self.cache.stats()
     }
 
+    /// The instance's shared incremental LaRCS front end. Every
+    /// `map_source*` call compiles through this [`larcs::Db`], so
+    /// re-mapping an edited source reuses cached tokens, ASTs, and rule
+    /// fragments; callers can use it directly for [`larcs::Db::fmt`] or
+    /// [`larcs::Db::edit_rule`]. Clones of the toolchain share it, like
+    /// the route-table cache.
+    pub fn frontend(&self) -> Arc<Mutex<larcs::Db>> {
+        Arc::clone(&self.frontend)
+    }
+
+    /// Compiles a LaRCS source through the shared incremental front end.
+    pub fn compile_source(
+        &self,
+        source: &str,
+        params: &[(&str, i64)],
+    ) -> Result<TaskGraph, OregamiError> {
+        let mut db = self.frontend.lock().unwrap_or_else(|p| p.into_inner());
+        Ok((*db.compile(source, params)?).clone())
+    }
+
     /// Compiles a LaRCS source with the given parameter bindings and maps
     /// the resulting task graph.
     pub fn map_source(
@@ -409,7 +439,7 @@ impl Oregami {
         source: &str,
         params: &[(&str, i64)],
     ) -> Result<OregamiResult, OregamiError> {
-        let tg = oregami_larcs::compile(source, params)?;
+        let tg = self.compile_source(source, params)?;
         self.map_graph(tg)
     }
 
@@ -526,6 +556,14 @@ impl Oregami {
                         path.display()
                     )));
                 }
+                Ok(Some(ReplayOp::Program { .. })) => {
+                    return Err(OregamiError::Journal(format!(
+                        "{}: frame {frame}: program edit in a metric-session journal \
+                         (program edits recompile and remap — they live in the \
+                         daemon's session meta, not the edit journal)",
+                        path.display()
+                    )));
+                }
                 Err(e) => {
                     return Err(OregamiError::Journal(format!(
                         "{}: frame {frame}: {e}",
@@ -577,7 +615,7 @@ impl Oregami {
         chain: &FallbackChain,
         budget: &Budget,
     ) -> Result<OregamiResult, OregamiError> {
-        let tg = oregami_larcs::compile(source, params)?;
+        let tg = self.compile_source(source, params)?;
         self.map_with_budget(tg, chain, budget)
     }
 

@@ -9,6 +9,9 @@
 //! reroute K E P0 P1 ..    replace phase K edge E's route with the path
 //! fault proc:N link:M ..  fail processors/links
 //! undo                    revert the most recent edit
+//! program C R <text>      replace rule R (0-based) of comphase C with
+//!                         <text> (the rest of the line), recompile the
+//!                         LaRCS source incrementally, and remap
 //! ```
 //!
 //! Stream sessions (`--stream`, the daemon's `session_stream` op) add
@@ -48,6 +51,19 @@ pub enum ReplayOp {
     /// `fault` line doubles as [`ChurnEvent::Fault`] in stream context —
     /// [`fault_event`] performs that reinterpretation.
     Stream(ChurnEvent),
+    /// Replace one rule of the session's LaRCS source and recompile
+    /// incrementally (`program <comphase> <rule#> <rule text>`). Only
+    /// meaningful where a source is in scope (CLI `--edits`, daemon
+    /// sessions); metric-journal replay rejects it typed.
+    Program {
+        /// The comphase whose rule is replaced.
+        phase: String,
+        /// 0-based index of the rule within the comphase.
+        rule: usize,
+        /// Replacement rule text (whitespace-normalized in the canonical
+        /// record — the journal is line-based, so the text is one line).
+        text: String,
+    },
 }
 
 /// Reinterprets an op as a churn event where the stream dialect overlaps
@@ -210,8 +226,32 @@ pub fn parse_line(raw: &str) -> Result<Option<ReplayOp>, String> {
             links.dedup();
             Ok(Some(ReplayOp::Stream(ChurnEvent::Recover { procs, links })))
         }
+        "program" => {
+            // the rule text is the raw remainder of the line, so recover
+            // it from `line` rather than the whitespace tokenizer
+            let rest = line["program".len()..].trim_start();
+            let (phase, rest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("missing rule index and text after comphase name")?;
+            let (rule_s, text) = rest
+                .trim_start()
+                .split_once(char::is_whitespace)
+                .ok_or("missing rule text after rule index")?;
+            let rule: usize = rule_s
+                .parse()
+                .map_err(|_| format!("bad rule index '{rule_s}'"))?;
+            let text = text.trim();
+            if text.is_empty() {
+                return Err("missing rule text".into());
+            }
+            Ok(Some(ReplayOp::Program {
+                phase: phase.to_string(),
+                rule,
+                text: text.to_string(),
+            }))
+        }
         other => Err(format!(
-            "unknown edit '{other}' (expected reassign, reroute, fault, undo, spawn, depart, load, recover)"
+            "unknown edit '{other}' (expected reassign, reroute, fault, undo, program, spawn, depart, load, recover)"
         )),
     }
 }
@@ -241,6 +281,12 @@ pub fn to_record(op: &ReplayOp) -> String {
             format!("fault {}", parts.join(" "))
         }
         ReplayOp::Stream(ev) => event_record(ev),
+        ReplayOp::Program { phase, rule, text } => {
+            // normalize the text's whitespace: the record must stay one
+            // line, and rule text is structural (layout-insensitive)
+            let flat: Vec<&str> = text.split_whitespace().collect();
+            format!("program {phase} {rule} {}", flat.join(" "))
+        }
     }
 }
 
@@ -452,6 +498,38 @@ mod tests {
             // both forms back to the canonical churn event.
             assert_eq!(fault_event(&op), Some(ev.clone()), "record {record:?}");
             assert_eq!(to_record(&op), record, "canonical form is a fixed point");
+        }
+    }
+
+    #[test]
+    fn program_op_parses_keeps_rule_text_and_round_trips() {
+        let op = parse_line("program ring 0 forall i in 0..n-1 { body(i) -> body((i+2) mod n); }")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            op,
+            ReplayOp::Program {
+                phase: "ring".into(),
+                rule: 0,
+                text: "forall i in 0..n-1 { body(i) -> body((i+2) mod n); }".into(),
+            }
+        );
+        let record = to_record(&op);
+        assert_eq!(parse_line(&record), Ok(Some(op.clone())));
+        assert_eq!(to_record(&parse_line(&record).unwrap().unwrap()), record);
+        // internal runs of whitespace are normalized in the canonical record
+        let messy = ReplayOp::Program {
+            phase: "ring".into(),
+            rule: 2,
+            text: "x(0)   ->\tx(1);".into(),
+        };
+        assert_eq!(to_record(&messy), "program ring 2 x(0) -> x(1);");
+    }
+
+    #[test]
+    fn malformed_program_ops_are_typed_errors() {
+        for line in ["program", "program ring", "program ring 0", "program ring x y(0) -> y(1);"] {
+            assert!(parse_line(line).is_err(), "line {line:?} must error");
         }
     }
 

@@ -168,6 +168,7 @@ impl StreamSession {
                 let name = match op {
                     ReplayOp::Undo => "undo",
                     ReplayOp::Apply(_) => "reassign/reroute",
+                    ReplayOp::Program { .. } => "program",
                     ReplayOp::Stream(_) => unreachable!("stream ops always convert"),
                 };
                 return Err(StreamError::NotAStreamOp(name.into()));

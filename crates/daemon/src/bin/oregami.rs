@@ -55,6 +55,7 @@ struct Args {
     chain: Option<String>,
     threads: usize,
     edits: Option<String>,
+    fmt: Option<String>,
     stream: Option<String>,
     supervise: bool,
     grace_ms: Option<u64>,
@@ -176,9 +177,15 @@ fn usage() -> &'static str {
                               the incremental METRICS engine, printing per-edit\n\
                               metric deltas and the final session report.\n\
                               Lines: reassign T P | reroute K E P0 P1.. |\n\
-                              fault proc:N link:N.. | undo | # comment\n\
-                              (budget flags bound the replay too; exit 6 when\n\
-                              the budget stops it early)\n\
+                              fault proc:N link:N.. | undo |\n\
+                              program COMPHASE RULE# NEW-RULE-TEXT | # comment\n\
+                              (a program line splices the rule through the\n\
+                              incremental LaRCS front end, recompiles, remaps,\n\
+                              and restarts the session; budget flags bound the\n\
+                              replay too; exit 6 when the budget stops it early)\n\
+       --fmt PATH             reformat a LaRCS source file to canonical style,\n\
+                              print it to stdout, and exit (idempotent; needs\n\
+                              no --topology; exit 2 on a parse error)\n\
        --stream FILE|-        ingest a churn event stream (FILE, or stdin with\n\
                               '-') through the always-valid churn controller.\n\
                               Needs --topology but no program. Lines:\n\
@@ -249,6 +256,7 @@ fn parse_args() -> Result<Args, String> {
         chain: None,
         threads: 1,
         edits: None,
+        fmt: None,
         stream: None,
         supervise: false,
         grace_ms: None,
@@ -362,6 +370,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --threads value".to_string())?;
             }
             "--edits" => args.edits = Some(next_val(&mut it, "--edits")?),
+            "--fmt" => args.fmt = Some(next_val(&mut it, "--fmt")?),
             "--stream" => args.stream = Some(next_val(&mut it, "--stream")?),
             "--journal" => args.journal = Some(next_val(&mut it, "--journal")?),
             "--resume" => args.resume = Some(next_val(&mut it, "--resume")?),
@@ -422,13 +431,24 @@ fn run() -> Result<ExitCode, CliError> {
         println!("            complete:N star:N tree:H butterfly:D");
         return Ok(ExitCode::SUCCESS);
     }
+    if let Some(path) = &args.fmt {
+        // Formatter mode: parse + pretty-print and exit. No topology, no
+        // mapping — a plain source-to-source transform, so parse errors
+        // (rendered with their caret excerpt) are usage errors here.
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+        let formatted =
+            oregami::larcs::fmt(&text).map_err(|e| CliError::Usage(e.to_string()))?;
+        print!("{formatted}");
+        return Ok(ExitCode::SUCCESS);
+    }
     if args.socket.is_some() {
         return run_client(&args);
     }
     if args.stream.is_some() {
         return run_stream(&args);
     }
-    let source = args.source.ok_or_else(|| {
+    let mut source = args.source.clone().ok_or_else(|| {
         format!("no program given (--program or --file)\n\n{}", usage())
     })?;
     let net = args
@@ -475,7 +495,7 @@ fn run() -> Result<ExitCode, CliError> {
         || args.chain.is_some()
         || args.threads > 1
         || supervise;
-    let result = if budgeted {
+    let mut result = if budgeted {
         let mut budget = Budget::unlimited();
         if let Some(ms) = args.deadline_ms {
             budget = budget.with_deadline(Duration::from_millis(ms));
@@ -578,6 +598,42 @@ fn run() -> Result<ExitCode, CliError> {
                             "{path}:{n}: stream events (spawn/depart/load/recover) \
                              replay with --stream, not --edits"
                         )));
+                    }
+                    ReplayOp::Program {
+                        phase,
+                        rule,
+                        text: new_text,
+                    } => {
+                        // A program edit changes the computation itself, not
+                        // just its placement: splice the rule at its recorded
+                        // span through the incremental front end (only the
+                        // edited rule re-elaborates), remap, and restart the
+                        // session on the new graph. Earlier edits described
+                        // the old mapping, so the edit log resets — and any
+                        // active journal restarts fresh for the same reason.
+                        println!("{path}:{n}: program {phase} {rule} {new_text}");
+                        let new_source = {
+                            let frontend = system.frontend();
+                            let mut db = frontend.lock().unwrap_or_else(|p| p.into_inner());
+                            db.edit_rule(&source, &phase, rule, &new_text)
+                                .map_err(|e| CliError::Usage(format!("{path}:{n}: {e}")))?
+                        };
+                        let new_result = system.map_source(&new_source, &params)?;
+                        drop(session);
+                        source = new_source;
+                        result = new_result;
+                        session = system.interactive(&result)?;
+                        if let Some(jpath) = args.journal.as_ref().or(args.resume.as_ref()) {
+                            let journal = Journal::create(std::path::Path::new(jpath))
+                                .map_err(|e| {
+                                    CliError::Usage(format!("cannot restart journal: {e}"))
+                                })?;
+                            session.attach_journal(journal);
+                        }
+                        println!(
+                            "  recompiled: {} tasks remapped; session restarted",
+                            result.task_graph.num_tasks()
+                        );
                     }
                     ReplayOp::Apply(edit) => {
                         println!("{path}:{n}: {edit}");

@@ -12,6 +12,7 @@
 //! | `repair`           | map fields + `fail_procs?`, `fail_links?`         |
 //! | `metrics`          | map fields; returns the full metric snapshot      |
 //! | `health`           | `reset_stats?` — service health + counters        |
+//! | `fmt`              | `program`\|`source` — canonical LaRCS formatting  |
 //! | `session_open`     | `session`, map fields — journaled session         |
 //! | `session_edit`     | `session`, `edit` (replay-dialect line)           |
 //! | `session_stream`   | `session`, `topology?` (opens on first use), `load_bound?`, `events?` (stream-dialect lines) — journaled churn-stream session |
@@ -55,6 +56,7 @@ pub enum Op {
     Repair(MapSpec),
     Metrics(MapSpec),
     Health { reset_stats: bool },
+    Fmt { source: String },
     SessionOpen { name: String, spec: MapSpec },
     SessionEdit { name: String, line: String },
     SessionStream {
@@ -268,6 +270,23 @@ pub fn parse_request(msg: &Json) -> Result<Request, WireError> {
         "health" => Op::Health {
             reset_stats: msg.get("reset_stats").and_then(Json::as_bool).unwrap_or(false),
         },
+        "fmt" => {
+            let source = match (get_str(msg, "program")?, get_str(msg, "source")?) {
+                (Some(_), Some(_)) => {
+                    return Err(bad("give 'program' or 'source', not both"))
+                }
+                (Some(name), None) => {
+                    programs::all_programs()
+                        .into_iter()
+                        .find(|(n, _, _)| *n == name)
+                        .ok_or_else(|| bad(format!("unknown program '{name}'")))?
+                        .1
+                }
+                (None, Some(text)) => text,
+                (None, None) => return Err(bad("missing 'program' or 'source'")),
+            };
+            Op::Fmt { source }
+        }
         "session_open" => Op::SessionOpen {
             name: get_session(msg)?,
             spec: parse_spec(msg)?,

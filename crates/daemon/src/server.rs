@@ -30,9 +30,7 @@ use oregami::{
     OregamiError, OregamiResult, RepairOptions, RouteTableCache, StageKind, SupervisorConfig,
     SupervisorState,
 };
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -82,8 +80,11 @@ impl ServerConfig {
 /// holds an `Arc` of this.
 struct Daemon {
     cache: Arc<RouteTableCache>,
-    /// Compiled-program cache: `(source, params)` hash → task graph.
-    programs: Mutex<HashMap<u64, Arc<TaskGraph>>>,
+    /// The shared incremental LaRCS front end: every compile in the
+    /// daemon — compute requests, `fmt`, session opens, and session
+    /// `program` edits — goes through this one `Db`, so repeated and
+    /// lightly edited sources reuse cached tokens/ASTs/rule fragments.
+    frontend: Arc<Mutex<oregami::larcs::Db>>,
     supervisor: Arc<SupervisorState>,
     gate: AdmissionGate,
     sched: Arc<Scheduler>,
@@ -145,7 +146,12 @@ impl Server {
             .map_err(|e| format!("cannot set nonblocking: {e}"))?;
         let cache = Arc::new(RouteTableCache::new(config.cache_capacity));
         let supervisor = Arc::new(SupervisorState::new());
-        let sessions = SessionRegistry::new(config.state_dir.clone(), Arc::clone(&cache));
+        let frontend = Arc::new(Mutex::new(oregami::larcs::Db::new()));
+        let sessions = SessionRegistry::new(
+            config.state_dir.clone(),
+            Arc::clone(&cache),
+            Arc::clone(&frontend),
+        );
         let (resumed, failed) = if config.resume {
             sessions.resume_all()
         } else {
@@ -156,7 +162,7 @@ impl Server {
         }
         let daemon = Arc::new(Daemon {
             cache,
-            programs: Mutex::new(HashMap::new()),
+            frontend,
             supervisor: Arc::clone(&supervisor),
             gate: AdmissionGate::new(config.max_queue, config.workers, supervisor),
             sched: Scheduler::start(config.workers),
@@ -303,6 +309,20 @@ fn handle_conn(daemon: &Arc<Daemon>, conn_id: u64, stream: UnixStream) {
                 ));
                 daemon.draining.store(true, Ordering::SeqCst);
             }
+            Op::Fmt { source } => {
+                let r = {
+                    let mut db = daemon
+                        .frontend
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    db.fmt(&source)
+                };
+                let payload = match r {
+                    Ok(formatted) => Ok(obj().field("formatted", formatted).build()),
+                    Err(e) => Err((KIND_BAD_REQUEST.to_string(), e.to_string())),
+                };
+                respond(&to_response(req.id, &payload));
+            }
             Op::SessionOpen { name, spec } => {
                 let r = if draining {
                     Err((
@@ -432,30 +452,18 @@ fn error_payload(e: &OregamiError) -> (String, String) {
 }
 
 impl Daemon {
-    /// Compiles (or fetches) the task graph for `spec`. The cache is
-    /// keyed by a hash of `(source, params)` — a collision would serve
-    /// the wrong program, but DefaultHasher over full source text makes
-    /// that a non-concern at daemon scale.
+    /// Compiles (or fetches) the task graph for `spec` through the
+    /// shared incremental front end: the `Db` memoizes by content
+    /// fingerprint at every stage, so a repeat of `(source, params)` is
+    /// a pure cache hit and a lightly edited source re-expands only the
+    /// rules that changed.
     fn compile_cached(&self, spec: &MapSpec) -> Result<TaskGraph, OregamiError> {
-        let mut h = DefaultHasher::new();
-        spec.source.hash(&mut h);
-        spec.params.hash(&mut h);
-        let key = h.finish();
-        if let Some(tg) = self
-            .programs
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
-        {
-            return Ok((**tg).clone());
-        }
         let params: Vec<(&str, i64)> = spec.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-        let tg = oregami::larcs::compile(&spec.source, &params).map_err(OregamiError::Larcs)?;
-        self.programs
+        let mut db = self
+            .frontend
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key, Arc::new(tg.clone()));
-        Ok(tg)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok((*db.compile(&spec.source, &params)?).clone())
     }
 
     /// A toolchain instance for one request: shared route-table cache,
@@ -471,6 +479,7 @@ impl Daemon {
         }
         Ok(Oregami::new(net)
             .with_cache(Arc::clone(&self.cache))
+            .with_frontend(Arc::clone(&self.frontend))
             .with_options(MapperOptions {
                 load_bound: spec.load_bound,
                 ..MapperOptions::default()

@@ -59,6 +59,10 @@ struct SessionHandle {
 pub struct SessionRegistry {
     state_dir: PathBuf,
     cache: Arc<RouteTableCache>,
+    /// Shared incremental LaRCS front end: session opens, resumes, and
+    /// `program` rule edits all compile through it, so a session edit
+    /// re-expands only the rule that changed.
+    frontend: Arc<Mutex<oregami::larcs::Db>>,
     sessions: Mutex<HashMap<String, SessionHandle>>,
     streams: Mutex<HashMap<String, Arc<Mutex<StreamSession>>>>,
     /// Torn-tail truncations observed while resuming journals — a
@@ -73,10 +77,15 @@ fn internal(msg: &str) -> (String, String) {
 }
 
 impl SessionRegistry {
-    pub fn new(state_dir: PathBuf, cache: Arc<RouteTableCache>) -> SessionRegistry {
+    pub fn new(
+        state_dir: PathBuf,
+        cache: Arc<RouteTableCache>,
+        frontend: Arc<Mutex<oregami::larcs::Db>>,
+    ) -> SessionRegistry {
         SessionRegistry {
             state_dir,
             cache,
+            frontend,
             sessions: Mutex::new(HashMap::new()),
             streams: Mutex::new(HashMap::new()),
             truncations: Arc::new(AtomicU64::new(0)),
@@ -284,6 +293,7 @@ impl SessionRegistry {
         let (ready_tx, ready_rx) = mpsc::channel();
         let actor_name = name.to_string();
         let cache = Arc::clone(&self.cache);
+        let frontend = Arc::clone(&self.frontend);
         let journal_path = self.journal_path(name);
         let meta_path = self.meta_path(name);
         let truncations = Arc::clone(&self.truncations);
@@ -291,8 +301,8 @@ impl SessionRegistry {
             .name(format!("oregamid-session-{name}"))
             .spawn(move || {
                 actor(
-                    actor_name, spec, cache, journal_path, meta_path, resume, truncations,
-                    ready_tx, rx,
+                    actor_name, spec, cache, frontend, journal_path, meta_path, resume,
+                    truncations, ready_tx, rx,
                 )
             })
             .map_err(|e| internal(&format!("cannot spawn session thread: {e}")))?;
@@ -386,11 +396,22 @@ impl SessionRegistry {
 /// The actor body: owns the whole session stack on this thread's
 /// frames, reports readiness (or the open failure) once, then serves
 /// commands until `Close` or the registry drops the sender.
+///
+/// A `program` edit (`program <comphase> <rule#> <text>`) splices the
+/// replacement rule into the session's LaRCS source through the shared
+/// incremental front end, recompiles (only the edited rule re-expands)
+/// and remaps — all validated *before* the old session is torn down, so
+/// a rejected edit leaves the session untouched. On success the actor
+/// rewrites the meta sidecar (meta first, as at open: a crash between
+/// meta and journal resumes the new source with zero edits, which is
+/// valid) and starts a fresh journal — the old frames described edits
+/// against the pre-edit mapping.
 #[allow(clippy::too_many_arguments)]
 fn actor(
     name: String,
-    spec: MapSpec,
+    mut spec: MapSpec,
     cache: Arc<RouteTableCache>,
+    frontend: Arc<Mutex<oregami::larcs::Db>>,
     journal_path: PathBuf,
     meta_path: PathBuf,
     resume: bool,
@@ -407,12 +428,13 @@ fn actor(
     };
     let system = Oregami::new(net)
         .with_cache(cache)
+        .with_frontend(frontend)
         .with_options(MapperOptions {
             load_bound: spec.load_bound,
             ..MapperOptions::default()
         });
     let params: Vec<(&str, i64)> = spec.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let result = match system.map_source(&spec.source, &params) {
+    let mut result = match system.map_source(&spec.source, &params) {
         Ok(r) => r,
         Err(e) => {
             let _ = ready.send(Err(("map".to_string(), e.to_string())));
@@ -466,20 +488,91 @@ fn actor(
     if ready.send(Ok(opened)).is_err() {
         return;
     }
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            SessionCmd::Edit { line, reply } => {
-                let _ = reply.send(apply_line(&mut session, &line));
+    loop {
+        // Serve commands until the channel closes, a Close arrives, or a
+        // validated program edit asks for a rebuild.
+        let rebuild = loop {
+            let Ok(cmd) = rx.recv() else { return };
+            match cmd {
+                SessionCmd::Edit { line, reply } => {
+                    if let Ok(Some(ReplayOp::Program { phase, rule, text })) =
+                        replay::parse_line(&line)
+                    {
+                        match recompile_program(&system, &spec, &phase, rule, &text) {
+                            Ok((src, res)) => break Some((src, res, reply)),
+                            Err(e) => {
+                                let _ = reply.send(Err(e));
+                            }
+                        }
+                    } else {
+                        let _ = reply.send(apply_line(&mut session, &line));
+                    }
+                }
+                SessionCmd::Snapshot { reply } => {
+                    let _ = reply.send(snapshot_json(&name, &session));
+                }
+                SessionCmd::Close { reply } => {
+                    let _ = reply.send(());
+                    return;
+                }
             }
-            SessionCmd::Snapshot { reply } => {
-                let _ = reply.send(snapshot_json(&name, &session));
+        };
+        let Some((new_source, new_result, reply)) = rebuild else {
+            return;
+        };
+        drop(session);
+        spec.source = new_source;
+        result = new_result;
+        if let Err(e) = write_meta(&meta_path, &spec) {
+            let _ = reply.send(Err(("session".to_string(), e)));
+            return;
+        }
+        session = match system.interactive(&result) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = reply.send(Err(("map".to_string(), e.to_string())));
+                return;
             }
-            SessionCmd::Close { reply } => {
-                let _ = reply.send(());
+        };
+        match Journal::create(&journal_path) {
+            Ok(j) => session.attach_journal(j),
+            Err(e) => {
+                let _ = reply.send(Err(("session".to_string(), e.to_string())));
                 return;
             }
         }
+        let _ = reply.send(Ok(obj()
+            .field("recompiled", true)
+            .field("tasks", result.task_graph.num_tasks())
+            .field("snapshot", snapshot_json(&name, &session))
+            .build()));
     }
+}
+
+/// Validates and executes a `program` rule edit against the current
+/// spec: splice via the shared front end (parse-checked), then compile
+/// and remap the edited source. Nothing here touches the live session —
+/// an error leaves it serving exactly as before.
+fn recompile_program(
+    system: &Oregami,
+    spec: &MapSpec,
+    phase: &str,
+    rule: usize,
+    text: &str,
+) -> Result<(String, oregami::OregamiResult), (String, String)> {
+    let new_source = {
+        let frontend = system.frontend();
+        let mut db = frontend
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        db.edit_rule(&spec.source, phase, rule, text)
+            .map_err(|e| (KIND_BAD_REQUEST.to_string(), e.to_string()))?
+    };
+    let params: Vec<(&str, i64)> = spec.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let result = system
+        .map_source(&new_source, &params)
+        .map_err(|e| ("map".to_string(), e.to_string()))?;
+    Ok((new_source, result))
 }
 
 fn apply_line(session: &mut InteractiveSession<'_>, line: &str) -> OpResult {
@@ -502,6 +595,14 @@ fn apply_line(session: &mut InteractiveSession<'_>, line: &str) -> OpResult {
                 "stream events (spawn/depart/load/recover) need a stream session \
                  (op session_stream)"
                     .to_string(),
+            ))
+        }
+        // program edits are intercepted by the actor loop (they rebuild
+        // the whole session); reaching here means no source is in scope
+        ReplayOp::Program { .. } => {
+            return Err((
+                KIND_BAD_REQUEST.to_string(),
+                "program edits need an edit session with a source in scope".to_string(),
             ))
         }
     };
@@ -695,7 +796,7 @@ mod tests {
     #[test]
     fn open_edit_snapshot_close_lifecycle() {
         let dir = temp_dir("lifecycle");
-        let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)));
+        let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)), Arc::new(Mutex::new(oregami::larcs::Db::new())));
         let opened = reg.open("alpha", spec()).unwrap();
         assert_eq!(opened.get("resumed").unwrap().as_u64(), Some(0));
         assert!(dir.join("alpha.jrnl").exists());
@@ -724,7 +825,7 @@ mod tests {
         let dir = temp_dir("resume");
         let snap_before;
         {
-            let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)));
+            let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)), Arc::new(Mutex::new(oregami::larcs::Db::new())));
             reg.open("beta", spec()).unwrap();
             reg.edit("beta", "reassign 3 1").unwrap();
             reg.edit("beta", "reassign 4 2").unwrap();
@@ -735,7 +836,7 @@ mod tests {
             // meta survive; actors are detached with the registry)
             reg.shutdown();
         }
-        let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)));
+        let reg = SessionRegistry::new(dir.clone(), Arc::new(RouteTableCache::new(4)), Arc::new(Mutex::new(oregami::larcs::Db::new())));
         let (resumed, failed) = reg.resume_all();
         assert_eq!(resumed, vec!["beta".to_string()]);
         assert!(failed.is_empty(), "{failed:?}");

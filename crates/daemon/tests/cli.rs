@@ -144,6 +144,93 @@ fn edits_replay_prints_deltas_and_final_report() {
 }
 
 #[test]
+fn fmt_flag_prints_canonical_source_idempotently() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-fmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("messy.larcs");
+    std::fs::write(
+        &src,
+        "algorithm   r( n );\n  nodetype t :0..n-1;\n\
+         comphase c: forall i in 0..n-1 where i<n-1 { t(i)->t(i+1) ; }\n",
+    )
+    .unwrap();
+    let out = oregami().args(["--fmt", src.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let formatted = String::from_utf8(out.stdout).unwrap();
+    assert!(formatted.contains("algorithm r(n);"), "{formatted}");
+
+    // feeding the output back in is a fixed point
+    std::fs::write(&src, &formatted).unwrap();
+    let again = oregami().args(["--fmt", src.to_str().unwrap()]).output().unwrap();
+    assert!(again.status.success());
+    assert_eq!(String::from_utf8(again.stdout).unwrap(), formatted);
+
+    // a parse error is a usage error carrying the caret excerpt
+    std::fs::write(&src, "algorithm ???").unwrap();
+    let bad = oregami().args(["--fmt", src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains('^'));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn edits_program_line_recompiles_and_restarts_session() {
+    let dir = std::env::temp_dir().join(format!("oregami-cli-prog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("ring.larcs");
+    std::fs::write(
+        &src,
+        "algorithm r(n);\n\
+         nodetype cell: 0..n-1;\n\
+         comphase step:\n\
+         forall i in 0..n-1 where i < n-1 { cell(i) -> cell(i+1); }\n\
+         exephase update cost 2;\n\
+         phaseexpr (step; update)^2;\n",
+    )
+    .unwrap();
+    let script = dir.join("session.edits");
+    std::fs::write(
+        &script,
+        "reassign 0 1\n\
+         program step 0 forall i in 0..n-1 where i < n-1 { cell(i) -> cell(i+1) volume 5; }\n\
+         reassign 1 0\n",
+    )
+    .unwrap();
+    let out = oregami()
+        .args([
+            "--file", src.to_str().unwrap(),
+            "--topology", "ring:4",
+            "-P", "n=6",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recompiled: 6 tasks remapped"), "{text}");
+    // the program edit reset the log, so only the trailing reassign counts
+    assert!(text.contains("replayed 1 edit(s)"), "{text}");
+    // the trailing reassign's delta sees the new volume-5 edge
+    assert!(text.contains("max-volume 5 -> 5"), "{text}");
+
+    // a program line addressing a missing comphase is a usage error with
+    // the script position
+    std::fs::write(&script, "program nophase 0 cell(0) -> cell(1);\n").unwrap();
+    let out = oregami()
+        .args([
+            "--file", src.to_str().unwrap(),
+            "--topology", "ring:4",
+            "-P", "n=6",
+            "--edits", script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown comphase"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn fault_injection_repairs_and_reports() {
     let out = oregami()
         .args([

@@ -163,6 +163,151 @@ fn sigkill_and_resume_restores_sessions_byte_identically() {
     assert!(!state.join("alpha.jrnl").exists(), "close must delete the journal");
 }
 
+/// A `program` line through `session_edit` changes the computation
+/// itself: the rule is spliced through the shared incremental front
+/// end, recompiled and remapped, and the session rebuilt — edit log
+/// reset, fresh journal, meta rewritten to the new source. The
+/// rewritten meta must survive a SIGKILL + `--resume`, and a bad edit
+/// must be a typed refusal that leaves the session untouched.
+#[test]
+fn program_edit_recompiles_session_and_survives_resume() {
+    let socket = scratch("prog.sock");
+    let state = scratch("prog.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let mut daemon = spawn_daemon(&socket, &state, &[]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let src = "algorithm ring(n);\n\
+               nodetype cell: 0..n-1;\n\
+               comphase step:\n\
+               forall i in 0..n-1 where i < n-1 { cell(i) -> cell(i+1); }\n\
+               exephase update cost 2;\n\
+               phaseexpr (step; update)^2;\n";
+    let open = obj()
+        .field("op", "session_open")
+        .field("session", "gamma")
+        .field("source", src)
+        .field("topology", "ring:4")
+        .field("params", obj().field("n", 6i64).build())
+        .build();
+    let opened = client.request(&open).expect("session_open");
+    assert_eq!(opened.get("tasks").and_then(Json::as_u64), Some(6));
+
+    client
+        .request(&edit_request("gamma", "reassign 0 1"))
+        .expect("placement edit before the program edit");
+
+    // bad addressing: typed refusal, session intact
+    let err = client
+        .request(&edit_request("gamma", "program nophase 0 cell(0) -> cell(1);"))
+        .unwrap_err();
+    assert_eq!(err.0, "bad_request", "{}: {}", err.0, err.1);
+    // bad syntax in the new rule text: also refused, with a rendered span
+    let err = client
+        .request(&edit_request("gamma", "program step 0 forall i in {"))
+        .unwrap_err();
+    assert_eq!(err.0, "bad_request", "{}: {}", err.0, err.1);
+
+    let r = client
+        .request(&edit_request(
+            "gamma",
+            "program step 0 forall i in 0..n-1 where i < n-1 \
+             { cell(i) -> cell(i+1) volume 5; }",
+        ))
+        .expect("program edit");
+    assert_eq!(r.get("recompiled").and_then(Json::as_bool), Some(true), "{}", r.render());
+    assert_eq!(r.get("tasks").and_then(Json::as_u64), Some(6));
+    let snap = r.get("snapshot").expect("snapshot in recompile reply");
+    assert_eq!(
+        snap.get("edits").and_then(Json::as_u64),
+        Some(0),
+        "edit log must reset with the recompile: {}",
+        r.render()
+    );
+
+    // the rebuilt session is live on the new program
+    let applied = client
+        .request(&edit_request("gamma", "reassign 1 2"))
+        .expect("edit after recompile");
+    assert_eq!(applied.get("edits").and_then(Json::as_u64), Some(1));
+
+    let before = client
+        .request(&session_op("session_snapshot", "gamma"))
+        .unwrap()
+        .render();
+
+    daemon.0.kill().unwrap();
+    daemon.0.wait().unwrap();
+    drop(daemon);
+
+    // meta was rewritten before the journal restarted, so resume sees the
+    // edited source plus only post-recompile frames
+    let meta = std::fs::read_to_string(state.join("gamma.meta.json")).unwrap();
+    assert!(meta.contains("volume 5"), "meta must hold the edited source: {meta}");
+
+    let _daemon2 = spawn_daemon(&socket, &state, &["--resume"]);
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let after = client
+        .request(&session_op("session_snapshot", "gamma"))
+        .unwrap()
+        .render();
+    assert_eq!(after, before, "session diverged across the crash");
+
+    client
+        .request(&session_op("session_close", "gamma"))
+        .expect("close gamma");
+}
+
+/// The `fmt` op is a stateless source-to-source query: canonical output,
+/// idempotent, and a typed `bad_request` (with a caret excerpt) on a
+/// parse error.
+#[test]
+fn fmt_op_formats_canonically_and_rejects_bad_source() {
+    let socket = scratch("fmt.sock");
+    let state = scratch("fmt.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+
+    let config = ServerConfig::new(&socket, &state);
+    let _handle = Server::start(config).expect("start server");
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let messy = "algorithm   t( n );\nnodetype cell :0..n-1;\n\
+                 comphase c: forall i in 0..n-1 where i<n-1 { cell(i)->cell(i+1) ; }\n";
+    let r = client
+        .request(&obj().field("op", "fmt").field("source", messy).build())
+        .expect("fmt");
+    let formatted = r.get("formatted").and_then(Json::as_str).expect("formatted field");
+    assert!(formatted.contains("algorithm t(n);"), "{formatted}");
+
+    let again = client
+        .request(&obj().field("op", "fmt").field("source", formatted).build())
+        .expect("refmt");
+    assert_eq!(
+        again.get("formatted").and_then(Json::as_str),
+        Some(formatted),
+        "fmt must be idempotent over the wire"
+    );
+
+    // builtins resolve by name, same as `map`
+    let builtin = client
+        .request(&obj().field("op", "fmt").field("program", "nbody").build())
+        .expect("fmt builtin");
+    assert!(builtin.get("formatted").is_some());
+
+    let err = client
+        .request(&obj().field("op", "fmt").field("source", "algorithm ???").build())
+        .unwrap_err();
+    assert_eq!(err.0, "bad_request");
+    assert!(err.1.contains('^'), "parse error must carry its excerpt: {}", err.1);
+}
+
 fn stream_request(name: &str, events: &[&str]) -> Json {
     let lines: Vec<Json> = events.iter().map(|e| Json::from(*e)).collect();
     obj()

@@ -96,7 +96,11 @@ pub struct ExecPhase {
 }
 
 /// OREGAMI's weighted, colored, directed task graph.
-#[derive(Clone, Debug, Default)]
+///
+/// Implements `PartialEq` structurally, which is how the incremental
+/// front end asserts that a cached re-elaboration is identical to a
+/// from-scratch one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TaskGraph {
     /// Name of the parallel algorithm (from the LaRCS `algorithm` header).
     pub name: String,

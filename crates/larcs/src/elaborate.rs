@@ -4,14 +4,35 @@
 //! This is the LaRCS "compiler" of the paper: the compact parametric
 //! description (independent of `n`) is expanded into the weighted, colored
 //! task graph `G = (V, E_1, ..., E_c)` that MAPPER and METRICS operate on.
+//!
+//! Elaboration is split into two halves so the query layer can memoize
+//! the expensive one per rule:
+//!
+//! 1. **Fragment expansion** ([`expand_rule_fragment`]) iterates one
+//!    rule's binder cross-product and produces its edge list as plain
+//!    `(src, dst, volume)` triples. A fragment depends only on the rule's
+//!    canonical text ([`RuleId`]), the parameter environment, the node
+//!    type table, and the limits — so it can be keyed and cached across
+//!    edits to *other* parts of the program.
+//! 2. **Assembly** replays the fragments into a `TaskGraph` in
+//!    declaration order, applying the same global edge cap the
+//!    non-caching path applies.
+//!
+//! Both the batch entry point [`elaborate`] and the cached one
+//! ([`elaborate_with_cache`], used by [`crate::query::Db`]) run the exact
+//! same expansion and assembly code, which is what makes incremental
+//! results byte-identical to batch results by construction.
 
 use crate::ast::*;
 use crate::error::LarcsError;
 use crate::expr::Env;
+use crate::intern::Symbol;
+use crate::lexer::Fnv;
 use oregami_graph::{
     task_graph::Cost, Family, PhaseExpr, TaskGraph, TaskId, TaskNode,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Elaboration limits and defaults.
 #[derive(Clone, Debug)]
@@ -40,6 +61,82 @@ impl Default for ElabOptions {
             default_volume: 1,
             default_cost: 1,
         }
+    }
+}
+
+impl ElabOptions {
+    /// Content fingerprint, part of every fragment/skeleton cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.max_nodes as u64);
+        h.u64(self.max_edges as u64);
+        h.u64(self.max_iterations);
+        h.u64(self.default_volume);
+        h.u64(self.default_cost);
+        h.finish()
+    }
+}
+
+/// The expanded edge list of one rule: `(src, dst, volume)` triples in
+/// emission order, with node endpoints already resolved to task indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleFragment {
+    /// Edges in the order the rule emits them.
+    pub edges: Vec<(usize, usize, u64)>,
+}
+
+/// Cache key for one rule's fragment. The rule is identified by its
+/// layout-insensitive [`RuleId`]; the rest pins down everything else the
+/// expansion reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct FragmentKey {
+    rule: RuleId,
+    /// Fingerprint of the parameter/import environment.
+    env_fp: u64,
+    /// Fingerprint of the node type table (names, ranges, offsets).
+    types_fp: u64,
+    /// Fingerprint of the [`ElabOptions`].
+    opts_fp: u64,
+}
+
+/// Memoization state for [`elaborate_with_cache`]: per-rule fragments and
+/// per-shape node skeletons. Owned by [`crate::query::Db`]; plain
+/// [`elaborate`] runs cache-free.
+#[derive(Debug, Default)]
+pub struct ElabCache {
+    fragments: HashMap<FragmentKey, Arc<RuleFragment>>,
+    /// Node-skeleton graphs (nodes + family + symmetry, no phases) keyed
+    /// by the evaluated node type table. Node materialization formats a
+    /// string label per task, which would otherwise dominate incremental
+    /// re-elaboration.
+    skeletons: HashMap<u64, Arc<TaskGraph>>,
+    /// Fragment cache hits.
+    pub hits: u64,
+    /// Fragment cache misses (rules actually expanded).
+    pub misses: u64,
+    /// Skeleton cache hits.
+    pub skeleton_hits: u64,
+    /// Skeleton cache misses (node sets actually materialized).
+    pub skeleton_misses: u64,
+}
+
+/// Bound on retained fragments; the cache is cleared wholesale beyond it
+/// (an edit session touches a handful of rules, so this never fires in
+/// normal use).
+const MAX_FRAGMENTS: usize = 4096;
+/// Bound on retained node skeletons.
+const MAX_SKELETONS: usize = 64;
+
+impl ElabCache {
+    /// An empty cache.
+    pub fn new() -> ElabCache {
+        ElabCache::default()
+    }
+
+    /// Drops all cached fragments and skeletons (counters survive).
+    pub fn clear(&mut self) {
+        self.fragments.clear();
+        self.skeletons.clear();
     }
 }
 
@@ -93,55 +190,100 @@ pub fn elaborate(
     params: &[(&str, i64)],
     opts: &ElabOptions,
 ) -> Result<TaskGraph, LarcsError> {
+    elaborate_with_cache(program, params, opts, None)
+}
+
+/// [`elaborate`], with an optional memoization cache. With `Some(cache)`,
+/// rule fragments and the node skeleton are reused across calls whenever
+/// their inputs are unchanged; the produced graph is identical to the
+/// cache-free result because both paths replay the same fragments through
+/// the same assembly.
+pub fn elaborate_with_cache(
+    program: &Program,
+    params: &[(&str, i64)],
+    opts: &ElabOptions,
+    mut cache: Option<&mut ElabCache>,
+) -> Result<TaskGraph, LarcsError> {
+    let it = &program.interner;
+
     // ---- parameter environment ----
+    // Env is keyed on interned symbols; a binding whose name was never
+    // interned cannot possibly be a declared parameter.
     let mut env: Env = Env::new();
     for &(name, value) in params {
-        if !program.params.iter().any(|p| p == name)
-            && !program.imports.iter().any(|p| p == name)
-        {
-            return Err(LarcsError::elab(format!(
+        let sym = it.get(name).filter(|s| {
+            program.params.iter().any(|p| p.sym == *s)
+                || program.imports.iter().any(|p| p.sym == *s)
+        });
+        let sym = sym.ok_or_else(|| {
+            LarcsError::elab(format!(
                 "'{name}' is not a parameter or import of algorithm '{}'",
-                program.name
-            )));
-        }
-        if env.insert(name.to_string(), value).is_some() {
+                program.name_str()
+            ))
+        })?;
+        if env.insert(sym, value).is_some() {
             return Err(LarcsError::elab(format!("'{name}' bound twice")));
         }
     }
     for declared in program.params.iter().chain(&program.imports) {
-        if !env.contains_key(declared) {
-            return Err(LarcsError::elab(format!(
-                "parameter '{declared}' of algorithm '{}' is unbound",
-                program.name
-            )));
+        if !env.contains_key(&declared.sym) {
+            return Err(LarcsError::elab_at(
+                declared.span,
+                format!(
+                    "parameter '{}' of algorithm '{}' is unbound",
+                    it.resolve(declared.sym),
+                    program.name_str()
+                ),
+            ));
         }
     }
-
-    let mut tg = TaskGraph::new(program.name.clone());
+    // Environment fingerprint: name/value pairs sorted by name, so it is
+    // stable across re-parses that intern symbols in a different order.
+    let env_fp = {
+        let mut pairs: Vec<(&str, i64)> = env
+            .iter()
+            .map(|(&s, &v)| (it.resolve(s), v))
+            .collect();
+        pairs.sort_unstable();
+        let mut h = Fnv::new();
+        for (name, value) in pairs {
+            h.bytes(name.as_bytes());
+            h.byte(0xff);
+            h.u64(value as u64);
+        }
+        h.finish()
+    };
+    let opts_fp = opts.fingerprint();
 
     // ---- node types ----
     if program.nodetypes.is_empty() {
         return Err(LarcsError::elab("program declares no nodetype"));
     }
-    let mut types: HashMap<String, NodeType> = HashMap::new();
+    let mut types: HashMap<Symbol, NodeType> = HashMap::new();
+    let mut shape = Fnv::new();
+    shape.bytes(program.name_str().as_bytes());
+    shape.byte(0xff);
     let mut all_symmetric = true;
+    let mut family: Option<Family> = None;
+    let mut total_nodes = 0usize;
     for decl in &program.nodetypes {
-        if types.contains_key(&decl.name) {
-            return Err(LarcsError::elab(format!(
-                "nodetype '{}' declared twice",
-                decl.name
-            )));
+        let decl_name = it.resolve(decl.name.sym);
+        if types.contains_key(&decl.name.sym) {
+            return Err(LarcsError::elab_at(
+                decl.name.span,
+                format!("nodetype '{decl_name}' declared twice"),
+            ));
         }
         let mut ranges = Vec::with_capacity(decl.ranges.len());
         let mut dims = Vec::with_capacity(decl.ranges.len());
-        for (lo_e, hi_e) in &decl.ranges {
-            let lo = lo_e.eval(&env)?;
-            let hi = hi_e.eval(&env)?;
+        for &(lo_e, hi_e) in &decl.ranges {
+            let lo = program.ast.eval(lo_e, &env, it)?;
+            let hi = program.ast.eval(hi_e, &env, it)?;
             if hi < lo {
-                return Err(LarcsError::elab(format!(
-                    "nodetype '{}': empty range {lo}..{hi}",
-                    decl.name
-                )));
+                return Err(LarcsError::elab_at(
+                    decl.span,
+                    format!("nodetype '{decl_name}': empty range {lo}..{hi}"),
+                ));
             }
             // `hi - lo` can overflow i64 for adversarial bounds (e.g.
             // `-2**62 .. 2**62`), so the extent is computed checked and
@@ -152,75 +294,161 @@ pub fn elaborate(
                 .and_then(|e| usize::try_from(e).ok())
                 .filter(|&e| e <= opts.max_nodes)
                 .ok_or_else(|| {
-                    LarcsError::elab(format!(
-                        "nodetype '{}': too many task nodes \
-                         (range {lo}..{hi} exceeds the node limit {})",
-                        decl.name, opts.max_nodes
-                    ))
+                    LarcsError::elab_at(
+                        decl.span,
+                        format!(
+                            "nodetype '{decl_name}': too many task nodes \
+                             (range {lo}..{hi} exceeds the node limit {})",
+                            opts.max_nodes
+                        ),
+                    )
                 })?;
             ranges.push((lo, hi));
             dims.push(extent);
         }
         let nt = NodeType {
-            offset: tg.num_tasks(),
+            offset: total_nodes,
             ranges,
             dims,
         };
         let count = nt
             .count()
-            .filter(|&c| c <= opts.max_nodes.saturating_sub(tg.num_tasks()))
+            .filter(|&c| c <= opts.max_nodes.saturating_sub(total_nodes))
             .ok_or_else(|| {
-                LarcsError::elab(format!(
-                    "too many task nodes (> {})",
-                    opts.max_nodes
-                ))
+                LarcsError::elab_at(
+                    decl.span,
+                    format!("too many task nodes (> {})", opts.max_nodes),
+                )
             })?;
-        // materialise nodes in row-major order
-        let mut coords: Vec<i64> = nt.ranges.iter().map(|&(lo, _)| lo).collect();
-        for _ in 0..count {
-            if coords.len() == 1 {
-                tg.add_node(TaskNode::scalar(&decl.name, coords[0]));
-            } else {
-                tg.add_node(TaskNode::tuple(&decl.name, coords.clone()));
-            }
-            // increment row-major
-            for d in (0..coords.len()).rev() {
-                coords[d] += 1;
-                if coords[d] <= nt.ranges[d].1 {
-                    break;
-                }
-                coords[d] = nt.ranges[d].0;
-            }
-        }
+        total_nodes += count;
         all_symmetric &= decl.node_symmetric;
-        if let Some(fam) = &decl.family {
+        shape.bytes(decl_name.as_bytes());
+        shape.byte(0xff);
+        shape.byte(decl.node_symmetric as u8);
+        for &(lo, hi) in &nt.ranges {
+            h_i64(&mut shape, lo);
+            h_i64(&mut shape, hi);
+        }
+        if let Some(fam) = decl.family {
+            let fam_name = it.resolve(fam);
+            shape.bytes(fam_name.as_bytes());
+            shape.byte(0xff);
             if program.nodetypes.len() == 1 {
-                tg.family = family_from_decl(fam, &nt.dims);
-                if tg.family.is_none() {
-                    return Err(LarcsError::elab(format!(
-                        "family '{fam}' does not match the nodetype's shape"
-                    )));
+                family = family_from_decl(fam_name, &nt.dims);
+                if family.is_none() {
+                    return Err(LarcsError::elab_at(
+                        decl.span,
+                        format!("family '{fam_name}' does not match the nodetype's shape"),
+                    ));
                 }
             }
         }
-        types.insert(decl.name.clone(), nt);
+        types.insert(decl.name.sym, nt);
     }
-    tg.node_symmetric = all_symmetric;
+    let types_fp = shape.finish();
+
+    // ---- node skeleton (nodes + attributes, no phases) ----
+    let cached_skeleton = cache
+        .as_mut()
+        .and_then(|c| {
+            let hit = c.skeletons.get(&types_fp).cloned();
+            if hit.is_some() {
+                c.skeleton_hits += 1;
+            }
+            hit
+        });
+    let mut tg = match cached_skeleton {
+        Some(skel) => (*skel).clone(),
+        None => {
+            let mut tg = TaskGraph::new(program.name_str());
+            for decl in &program.nodetypes {
+                let decl_name = it.resolve(decl.name.sym);
+                let nt = &types[&decl.name.sym];
+                let count = nt.count().expect("count validated above");
+                // materialise nodes in row-major order
+                let mut coords: Vec<i64> = nt.ranges.iter().map(|&(lo, _)| lo).collect();
+                for _ in 0..count {
+                    if coords.len() == 1 {
+                        tg.add_node(TaskNode::scalar(decl_name, coords[0]));
+                    } else {
+                        tg.add_node(TaskNode::tuple(decl_name, coords.clone()));
+                    }
+                    // increment row-major
+                    for d in (0..coords.len()).rev() {
+                        coords[d] += 1;
+                        if coords[d] <= nt.ranges[d].1 {
+                            break;
+                        }
+                        coords[d] = nt.ranges[d].0;
+                    }
+                }
+            }
+            tg.node_symmetric = all_symmetric;
+            tg.family = family;
+            if let Some(c) = cache.as_mut() {
+                c.skeleton_misses += 1;
+                if c.skeletons.len() >= MAX_SKELETONS {
+                    c.skeletons.clear();
+                }
+                c.skeletons.insert(types_fp, Arc::new(tg.clone()));
+            }
+            tg
+        }
+    };
 
     // ---- communication phases ----
     if program.comphases.is_empty() {
         return Err(LarcsError::elab("program declares no comphase"));
     }
     for decl in &program.comphases {
-        if tg.phase_by_name(&decl.name).is_some() {
-            return Err(LarcsError::elab(format!(
-                "comphase '{}' declared twice",
-                decl.name
-            )));
+        let phase_name = it.resolve(decl.name.sym);
+        if tg.phase_by_name(phase_name).is_some() {
+            return Err(LarcsError::elab_at(
+                decl.name.span,
+                format!("comphase '{phase_name}' declared twice"),
+            ));
         }
-        let phase = tg.add_phase(decl.name.clone());
+        let phase = tg.add_phase(phase_name);
         for rule in &decl.rules {
-            expand_rule(&mut tg, phase, rule, &types, &mut env.clone(), opts, &decl.name)?;
+            let key = FragmentKey {
+                rule: rule.id,
+                env_fp,
+                types_fp,
+                opts_fp,
+            };
+            let cached = cache.as_mut().and_then(|c| {
+                let hit = c.fragments.get(&key).cloned();
+                if hit.is_some() {
+                    c.hits += 1;
+                }
+                hit
+            });
+            let fragment = match cached {
+                Some(f) => f,
+                None => {
+                    let f = Arc::new(expand_rule_fragment(
+                        program, rule, &types, &env, opts, phase_name,
+                    )?);
+                    if let Some(c) = cache.as_mut() {
+                        c.misses += 1;
+                        if c.fragments.len() >= MAX_FRAGMENTS {
+                            c.fragments.clear();
+                        }
+                        c.fragments.insert(key, f.clone());
+                    }
+                    f
+                }
+            };
+            // assembly: replay the fragment under the global edge cap
+            for &(src, dst, volume) in &fragment.edges {
+                if tg.num_edges() >= opts.max_edges {
+                    return Err(LarcsError::elab(format!(
+                        "too many edges (> {})",
+                        opts.max_edges
+                    )));
+                }
+                tg.add_edge(phase, TaskId::new(src), TaskId::new(dst), volume);
+            }
         }
         if tg.num_edges() > opts.max_edges {
             return Err(LarcsError::elab(format!(
@@ -232,33 +460,39 @@ pub fn elaborate(
 
     // ---- execution phases ----
     for decl in &program.exephases {
-        if tg.exec_by_name(&decl.name).is_some()
-            || tg.phase_by_name(&decl.name).is_some()
-        {
-            return Err(LarcsError::elab(format!(
-                "phase name '{}' declared twice",
-                decl.name
-            )));
+        let name = it.resolve(decl.name.sym);
+        if tg.exec_by_name(name).is_some() || tg.phase_by_name(name).is_some() {
+            return Err(LarcsError::elab_at(
+                decl.name.span,
+                format!("phase name '{name}' declared twice"),
+            ));
         }
-        let cost = match &decl.cost {
+        let cost = match decl.cost {
             Some(e) => {
-                let v = e.eval(&env)?;
+                let v = program.ast.eval(e, &env, it)?;
                 u64::try_from(v).map_err(|_| {
-                    LarcsError::elab(format!("exephase '{}': negative cost {v}", decl.name))
+                    LarcsError::elab_at(
+                        program.ast.expr_span(e),
+                        format!("exephase '{name}': negative cost {v}"),
+                    )
                 })?
             }
             None => opts.default_cost,
         };
-        tg.add_exec_phase(decl.name.clone(), Cost::Uniform(cost));
+        tg.add_exec_phase(name, Cost::Uniform(cost));
     }
 
     // ---- phase expression ----
-    if let Some(pe) = &program.phase_expr {
-        tg.phase_expr = Some(resolve_pexp(pe, &tg, &env)?);
+    if let Some(pe) = program.phase_expr {
+        tg.phase_expr = Some(resolve_pexp(program, pe, &tg, &env)?);
     }
 
     tg.validate().map_err(LarcsError::elab)?;
     Ok(tg)
+}
+
+fn h_i64(h: &mut Fnv, v: i64) {
+    h.u64(v as u64);
 }
 
 /// Maps a `family(...)` attribute plus the nodetype's dimension extents to
@@ -293,63 +527,75 @@ fn family_from_decl(name: &str, dims: &[usize]) -> Option<Family> {
     }
 }
 
-/// Expands one rule: iterates the binder cross-product, applies the guard,
-/// and emits the edges.
-fn expand_rule(
-    tg: &mut TaskGraph,
-    phase: oregami_graph::PhaseId,
+/// Expands one rule into its edge fragment: iterates the binder
+/// cross-product, applies the guard, and records the edges. Depends only
+/// on the rule, the environment, the node type table, and the limits —
+/// never on edges emitted by other rules — which is what makes the result
+/// cacheable under [`FragmentKey`].
+fn expand_rule_fragment(
+    program: &Program,
     rule: &Rule,
-    types: &HashMap<String, NodeType>,
-    env: &mut Env,
+    types: &HashMap<Symbol, NodeType>,
+    base_env: &Env,
     opts: &ElabOptions,
     phase_name: &str,
-) -> Result<(), LarcsError> {
+) -> Result<RuleFragment, LarcsError> {
+    let mut fragment = RuleFragment::default();
+    let mut env = base_env.clone();
+    let mut iters = 0u64;
+    rec(
+        program, rule, types, &mut env, opts, phase_name, 0, &mut iters, &mut fragment,
+    )?;
+    return Ok(fragment);
+
     #[allow(clippy::too_many_arguments)] // recursion threads the whole elaboration state
     fn rec(
-        tg: &mut TaskGraph,
-        phase: oregami_graph::PhaseId,
+        program: &Program,
         rule: &Rule,
-        types: &HashMap<String, NodeType>,
+        types: &HashMap<Symbol, NodeType>,
         env: &mut Env,
         opts: &ElabOptions,
         phase_name: &str,
         depth: usize,
         iters: &mut u64,
+        fragment: &mut RuleFragment,
     ) -> Result<(), LarcsError> {
+        let it = &program.interner;
         if depth == rule.binders.len() {
-            if let Some(guard) = &rule.guard {
-                if !guard.eval(env)? {
+            if let Some(guard) = rule.guard {
+                if !program.ast.eval_bool(guard, env, it)? {
                     return Ok(());
                 }
             }
             for edge in &rule.edges {
-                let src = resolve_endpoint(&edge.src_type, &edge.src_args, types, env, phase_name)?;
-                let dst = resolve_endpoint(&edge.dst_type, &edge.dst_args, types, env, phase_name)?;
-                let volume = match &edge.volume {
+                let src = resolve_endpoint(program, edge, &edge.src_type, &edge.src_args, types, env, phase_name)?;
+                let dst = resolve_endpoint(program, edge, &edge.dst_type, &edge.dst_args, types, env, phase_name)?;
+                let volume = match edge.volume {
                     Some(e) => {
-                        let v = e.eval(env)?;
+                        let v = program.ast.eval(e, env, it)?;
                         u64::try_from(v).map_err(|_| {
-                            LarcsError::elab(format!(
-                                "comphase '{phase_name}': negative volume {v}"
-                            ))
+                            LarcsError::elab_at(
+                                program.ast.expr_span(e),
+                                format!("comphase '{phase_name}': negative volume {v}"),
+                            )
                         })?
                     }
                     None => opts.default_volume,
                 };
-                if tg.num_edges() >= opts.max_edges {
+                if fragment.edges.len() >= opts.max_edges {
                     return Err(LarcsError::elab(format!(
                         "too many edges (> {})",
                         opts.max_edges
                     )));
                 }
-                tg.add_edge(phase, TaskId::new(src), TaskId::new(dst), volume);
+                fragment.edges.push((src, dst, volume));
             }
             return Ok(());
         }
         let binder = &rule.binders[depth];
-        let lo = binder.lo.eval(env)?;
-        let hi = binder.hi.eval(env)?;
-        let shadowed = env.get(&binder.var).copied();
+        let lo = program.ast.eval(binder.lo, env, it)?;
+        let hi = program.ast.eval(binder.hi, env, it)?;
+        let shadowed = env.get(&binder.var.sym).copied();
         for v in lo..=hi {
             // A rule whose guard rejects everything emits no edges, so the
             // edge cap alone cannot stop `forall i in 0..2**60`; this
@@ -360,68 +606,94 @@ fn expand_rule(
                     "comphase '{phase_name}': rule iterates more than {} times \
                      (binder ranges too large)",
                     opts.max_iterations
-                )));
+                ))
+                .or_span(rule.span));
             }
-            env.insert(binder.var.clone(), v);
-            rec(tg, phase, rule, types, env, opts, phase_name, depth + 1, iters)?;
+            env.insert(binder.var.sym, v);
+            rec(program, rule, types, env, opts, phase_name, depth + 1, iters, fragment)?;
         }
         match shadowed {
-            Some(old) => env.insert(binder.var.clone(), old),
-            None => env.remove(&binder.var),
+            Some(old) => env.insert(binder.var.sym, old),
+            None => env.remove(&binder.var.sym),
         };
         Ok(())
     }
-    rec(tg, phase, rule, types, env, opts, phase_name, 0, &mut 0)
 }
 
 fn resolve_endpoint(
-    type_name: &str,
-    args: &[Expr],
-    types: &HashMap<String, NodeType>,
+    program: &Program,
+    edge: &EdgeDecl,
+    type_name: &Ident,
+    args: &[ExprId],
+    types: &HashMap<Symbol, NodeType>,
     env: &Env,
     phase_name: &str,
 ) -> Result<usize, LarcsError> {
-    let nt = types.get(type_name).ok_or_else(|| {
-        LarcsError::elab(format!(
-            "comphase '{phase_name}': unknown nodetype '{type_name}'"
-        ))
+    let it = &program.interner;
+    let nt = types.get(&type_name.sym).ok_or_else(|| {
+        LarcsError::elab_at(
+            type_name.span,
+            format!(
+                "comphase '{phase_name}': unknown nodetype '{}'",
+                it.resolve(type_name.sym)
+            ),
+        )
     })?;
     let coords: Vec<i64> = args
         .iter()
-        .map(|a| a.eval(env))
+        .map(|&a| program.ast.eval(a, env, it))
         .collect::<Result<_, _>>()?;
     nt.index_of(&coords).ok_or_else(|| {
-        LarcsError::elab(format!(
-            "comphase '{phase_name}': label {type_name}({coords:?}) out of range \
-             (add a 'where' guard to exclude boundary cases)"
-        ))
+        LarcsError::elab_at(
+            edge.span,
+            format!(
+                "comphase '{phase_name}': label {}({coords:?}) out of range \
+                 (add a 'where' guard to exclude boundary cases)",
+                it.resolve(type_name.sym)
+            ),
+        )
     })
 }
 
-use crate::expr::Expr;
-
-fn resolve_pexp(pe: &PExp, tg: &TaskGraph, env: &Env) -> Result<PhaseExpr, LarcsError> {
-    Ok(match pe {
-        PExp::Eps => PhaseExpr::Idle,
-        PExp::Name(name) => {
+fn resolve_pexp(
+    program: &Program,
+    pe: PExpId,
+    tg: &TaskGraph,
+    env: &Env,
+) -> Result<PhaseExpr, LarcsError> {
+    let it = &program.interner;
+    Ok(match program.ast.pexp(pe) {
+        PExpKind::Eps => PhaseExpr::Idle,
+        PExpKind::Name(sym) => {
+            let name = it.resolve(sym);
             if let Some(p) = tg.phase_by_name(name) {
                 PhaseExpr::Comm(p)
             } else if let Some(e) = tg.exec_by_name(name) {
                 PhaseExpr::Exec(e)
             } else {
-                return Err(LarcsError::elab(format!(
-                    "phase expression references unknown phase '{name}'"
-                )));
+                return Err(LarcsError::elab_at(
+                    program.ast.pexp_span(pe),
+                    format!("phase expression references unknown phase '{name}'"),
+                ));
             }
         }
-        PExp::Seq(a, b) => PhaseExpr::seq(resolve_pexp(a, tg, env)?, resolve_pexp(b, tg, env)?),
-        PExp::Par(a, b) => PhaseExpr::par(resolve_pexp(a, tg, env)?, resolve_pexp(b, tg, env)?),
-        PExp::Repeat(a, count) => {
-            let k = count.eval(env)?;
+        PExpKind::Seq(a, b) => PhaseExpr::seq(
+            resolve_pexp(program, a, tg, env)?,
+            resolve_pexp(program, b, tg, env)?,
+        ),
+        PExpKind::Par(a, b) => PhaseExpr::par(
+            resolve_pexp(program, a, tg, env)?,
+            resolve_pexp(program, b, tg, env)?,
+        ),
+        PExpKind::Repeat(a, count) => {
+            let k = program.ast.eval(count, env, it)?;
             let k = u64::try_from(k).map_err(|_| {
-                LarcsError::elab(format!("negative repetition count {k} in phase expression"))
+                LarcsError::elab_at(
+                    program.ast.expr_span(count),
+                    format!("negative repetition count {k} in phase expression"),
+                )
             })?;
-            PhaseExpr::repeat(resolve_pexp(a, tg, env)?, k)
+            PhaseExpr::repeat(resolve_pexp(program, a, tg, env)?, k)
         }
     })
 }
@@ -488,6 +760,10 @@ mod tests {
                    comphase c: forall i in 0..n-1 { x(i) -> x(i+1); }";
         let err = compile(src, &[("n", 4)]).unwrap_err();
         assert!(err.to_string().contains("out of range"));
+        // the diagnostic underlines the offending edge declaration
+        let shown = err.with_source(src).to_string();
+        assert!(shown.contains("x(i) -> x(i+1);"), "{shown}");
+        assert!(shown.contains('^'), "{shown}");
     }
 
     #[test]
@@ -597,6 +873,9 @@ mod tests {
         };
         let err = elaborate(&parse(src).unwrap(), &[("n", 1i64 << 50)], &opts).unwrap_err();
         assert!(err.to_string().contains("iterates more than"), "{err}");
+        // The diagnostic names the offending rule by underlining it.
+        let shown = err.with_source(src).to_string();
+        assert!(shown.contains("forall i in 0..n"), "{shown}");
         // Well-behaved rules stay untouched by the budget.
         let ok = "algorithm t(n);\n\
                   nodetype x: 0..n-1;\n\
@@ -641,5 +920,36 @@ mod tests {
         }
         assert_eq!(g.nodes[0].label, "a(0)");
         assert_eq!(g.nodes[3].label, "b(0)");
+    }
+
+    #[test]
+    fn cached_elaboration_is_identical_and_reuses_fragments() {
+        let src = crate::programs::sor();
+        let program = parse(&src).unwrap();
+        let params: &[(&str, i64)] = &[("n", 8), ("iters", 4)];
+        let opts = ElabOptions::default();
+        let batch = elaborate(&program, params, &opts).unwrap();
+        let mut cache = ElabCache::new();
+        let g1 = elaborate_with_cache(&program, params, &opts, Some(&mut cache)).unwrap();
+        assert_eq!(g1, batch);
+        let first_misses = cache.misses;
+        assert_eq!(cache.hits, 0);
+        assert!(first_misses > 0);
+        // second elaboration: every fragment and the skeleton come from cache
+        let g2 = elaborate_with_cache(&program, params, &opts, Some(&mut cache)).unwrap();
+        assert_eq!(g2, batch);
+        assert_eq!(cache.misses, first_misses);
+        assert_eq!(cache.hits, first_misses);
+        assert_eq!(cache.skeleton_hits, 1);
+        // different params invalidate (env_fp changes)
+        let g3 = elaborate_with_cache(
+            &program,
+            &[("n", 9), ("iters", 4)],
+            &opts,
+            Some(&mut cache),
+        )
+        .unwrap();
+        assert_eq!(g3, elaborate(&program, &[("n", 9), ("iters", 4)], &opts).unwrap());
+        assert!(cache.misses > first_misses);
     }
 }

@@ -1,5 +1,5 @@
-//! Integer and boolean expressions, their evaluation, and syntactic
-//! affinity analysis.
+//! Integer and boolean expression evaluation over the arena AST, and
+//! syntactic affinity analysis.
 //!
 //! LaRCS communication functions are "simple functions ... [that] may
 //! involve arithmetic expressions, for-loops, while-loops, imported
@@ -8,23 +8,15 @@
 //! **`; `mod`/`%` are Euclidean (always nonnegative), `/`/`div` are the
 //! matching floor division, and `**` is exponentiation (used e.g. for
 //! binomial-tree strides `2**j`).
+//!
+//! Evaluation errors carry the span of the offending (sub)expression, so
+//! a division by zero deep inside a guard underlines exactly the term
+//! that divided.
 
+use crate::ast::{Ast, BExpKind, ExprId, BExpId, ExprKind};
 use crate::error::LarcsError;
+use crate::intern::{StringInterner, Symbol};
 use std::collections::HashMap;
-use std::fmt;
-
-/// An integer expression.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Expr {
-    /// Integer literal.
-    Const(i64),
-    /// Parameter, import, or binder variable.
-    Var(String),
-    /// Binary operation.
-    Bin(BinOp, Box<Expr>, Box<Expr>),
-    /// Unary negation.
-    Neg(Box<Expr>),
-}
 
 /// Binary integer operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,19 +33,6 @@ pub enum BinOp {
     Mod,
     /// `**` (exponentiation).
     Pow,
-}
-
-/// A boolean expression (rule guards).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum BoolExpr {
-    /// Comparison of two integer expressions.
-    Cmp(CmpOp, Expr, Expr),
-    /// Conjunction.
-    And(Box<BoolExpr>, Box<BoolExpr>),
-    /// Disjunction.
-    Or(Box<BoolExpr>, Box<BoolExpr>),
-    /// Negation.
-    Not(Box<BoolExpr>),
 }
 
 /// Comparison operators.
@@ -73,52 +52,62 @@ pub enum CmpOp {
     Ne,
 }
 
-/// Variable bindings for evaluation.
-pub type Env = HashMap<String, i64>;
+/// Variable bindings for evaluation, keyed on interned symbols.
+pub type Env = HashMap<Symbol, i64>;
 
-impl Expr {
-    /// Convenience constructor for binary nodes.
-    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
-        Expr::Bin(op, Box::new(a), Box::new(b))
-    }
-
-    /// Evaluates under `env`; errors on unbound variables, division by
-    /// zero, negative exponents, and overflow.
-    pub fn eval(&self, env: &Env) -> Result<i64, LarcsError> {
-        match self {
-            Expr::Const(v) => Ok(*v),
-            Expr::Var(name) => env.get(name).copied().ok_or_else(|| {
-                LarcsError::elab(format!("unbound variable '{name}'"))
+impl Ast {
+    /// Evaluates expression `id` under `env`; errors (unbound variables,
+    /// division by zero, negative exponents, overflow) are anchored at
+    /// the offending subexpression's span.
+    pub fn eval(
+        &self,
+        id: ExprId,
+        env: &Env,
+        interner: &StringInterner,
+    ) -> Result<i64, LarcsError> {
+        let span = self.expr_span(id);
+        match self.expr(id) {
+            ExprKind::Const(v) => Ok(v),
+            ExprKind::Var(sym) => env.get(&sym).copied().ok_or_else(|| {
+                LarcsError::elab_at(
+                    span,
+                    format!("unbound variable '{}'", interner.resolve(sym)),
+                )
             }),
-            Expr::Neg(e) => e
-                .eval(env)?
+            ExprKind::Neg(e) => self
+                .eval(e, env, interner)?
                 .checked_neg()
-                .ok_or_else(|| LarcsError::elab("arithmetic overflow".to_string())),
-            Expr::Bin(op, a, b) => {
-                let x = a.eval(env)?;
-                let y = b.eval(env)?;
-                let overflow = || LarcsError::elab(format!("arithmetic overflow in {x} {op:?} {y}"));
+                .ok_or_else(|| LarcsError::elab_at(span, "arithmetic overflow")),
+            ExprKind::Bin(op, a, b) => {
+                let x = self.eval(a, env, interner)?;
+                let y = self.eval(b, env, interner)?;
+                let overflow = || {
+                    LarcsError::elab_at(
+                        span,
+                        format!("arithmetic overflow in {x} {op:?} {y}"),
+                    )
+                };
                 match op {
                     BinOp::Add => x.checked_add(y).ok_or_else(overflow),
                     BinOp::Sub => x.checked_sub(y).ok_or_else(overflow),
                     BinOp::Mul => x.checked_mul(y).ok_or_else(overflow),
                     BinOp::Div => {
                         if y == 0 {
-                            Err(LarcsError::elab("division by zero"))
+                            Err(LarcsError::elab_at(span, "division by zero"))
                         } else {
                             Ok(x.div_euclid(y))
                         }
                     }
                     BinOp::Mod => {
                         if y == 0 {
-                            Err(LarcsError::elab("mod by zero"))
+                            Err(LarcsError::elab_at(span, "mod by zero"))
                         } else {
                             Ok(x.rem_euclid(y))
                         }
                     }
                     BinOp::Pow => {
                         if y < 0 {
-                            Err(LarcsError::elab(format!("negative exponent {y}")))
+                            Err(LarcsError::elab_at(span, format!("negative exponent {y}")))
                         } else {
                             let exp = u32::try_from(y).map_err(|_| overflow())?;
                             x.checked_pow(exp).ok_or_else(overflow)
@@ -129,19 +118,50 @@ impl Expr {
         }
     }
 
-    /// The free variables of the expression.
-    pub fn free_vars(&self, out: &mut Vec<String>) {
-        match self {
-            Expr::Const(_) => {}
-            Expr::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
+    /// Evaluates a boolean guard under `env`.
+    pub fn eval_bool(
+        &self,
+        id: BExpId,
+        env: &Env,
+        interner: &StringInterner,
+    ) -> Result<bool, LarcsError> {
+        match self.bexp(id) {
+            BExpKind::Cmp(op, a, b) => {
+                let x = self.eval(a, env, interner)?;
+                let y = self.eval(b, env, interner)?;
+                Ok(match op {
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                })
+            }
+            BExpKind::And(a, b) => {
+                Ok(self.eval_bool(a, env, interner)? && self.eval_bool(b, env, interner)?)
+            }
+            BExpKind::Or(a, b) => {
+                Ok(self.eval_bool(a, env, interner)? || self.eval_bool(b, env, interner)?)
+            }
+            BExpKind::Not(a) => Ok(!self.eval_bool(a, env, interner)?),
+        }
+    }
+
+    /// Collects the free variables of expression `id` (deduplicated, in
+    /// first-occurrence order).
+    pub fn free_vars(&self, id: ExprId, out: &mut Vec<Symbol>) {
+        match self.expr(id) {
+            ExprKind::Const(_) => {}
+            ExprKind::Var(sym) => {
+                if !out.contains(&sym) {
+                    out.push(sym);
                 }
             }
-            Expr::Neg(e) => e.free_vars(out),
-            Expr::Bin(_, a, b) => {
-                a.free_vars(out);
-                b.free_vars(out);
+            ExprKind::Neg(e) => self.free_vars(e, out),
+            ExprKind::Bin(_, a, b) => {
+                self.free_vars(a, out);
+                self.free_vars(b, out);
             }
         }
     }
@@ -154,77 +174,33 @@ impl Expr {
     /// free of `vars` or a product of something free of `vars` with a
     /// single bare variable from `vars`. `mod`, `div`, and `**` over a
     /// `vars` operand are non-affine.
-    pub fn is_affine_in(&self, vars: &[&str]) -> bool {
-        fn uses(e: &Expr, vars: &[&str]) -> bool {
+    pub fn is_affine_in(&self, id: ExprId, vars: &[Symbol]) -> bool {
+        let uses = |e: ExprId| -> bool {
             let mut fv = Vec::new();
-            e.free_vars(&mut fv);
-            fv.iter().any(|v| vars.contains(&v.as_str()))
-        }
-        match self {
-            Expr::Const(_) => true,
-            Expr::Var(_) => true,
-            Expr::Neg(e) => e.is_affine_in(vars),
-            Expr::Bin(BinOp::Add | BinOp::Sub, a, b) => {
-                a.is_affine_in(vars) && b.is_affine_in(vars)
+            self.free_vars(e, &mut fv);
+            fv.iter().any(|v| vars.contains(v))
+        };
+        match self.expr(id) {
+            ExprKind::Const(_) => true,
+            ExprKind::Var(_) => true,
+            ExprKind::Neg(e) => self.is_affine_in(e, vars),
+            ExprKind::Bin(BinOp::Add | BinOp::Sub, a, b) => {
+                self.is_affine_in(a, vars) && self.is_affine_in(b, vars)
             }
-            Expr::Bin(BinOp::Mul, a, b) => {
+            ExprKind::Bin(BinOp::Mul, a, b) => {
                 // at most one side may involve the lattice variables, and
                 // that side must itself be affine
-                match (uses(a, vars), uses(b, vars)) {
+                match (uses(a), uses(b)) {
                     (false, false) => true,
-                    (true, false) => a.is_affine_in(vars),
-                    (false, true) => b.is_affine_in(vars),
+                    (true, false) => self.is_affine_in(a, vars),
+                    (false, true) => self.is_affine_in(b, vars),
                     (true, true) => false,
                 }
             }
-            Expr::Bin(BinOp::Div | BinOp::Mod | BinOp::Pow, a, b) => {
+            ExprKind::Bin(BinOp::Div | BinOp::Mod | BinOp::Pow, a, b) => {
                 // non-affine whenever a lattice variable is involved
-                !uses(a, vars) && !uses(b, vars)
+                !uses(a) && !uses(b)
             }
-        }
-    }
-}
-
-impl fmt::Display for Expr {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Expr::Const(v) => write!(f, "{v}"),
-            Expr::Var(v) => write!(f, "{v}"),
-            Expr::Neg(e) => write!(f, "-({e})"),
-            Expr::Bin(op, a, b) => {
-                let sym = match op {
-                    BinOp::Add => "+",
-                    BinOp::Sub => "-",
-                    BinOp::Mul => "*",
-                    BinOp::Div => "div",
-                    BinOp::Mod => "mod",
-                    BinOp::Pow => "**",
-                };
-                write!(f, "({a} {sym} {b})")
-            }
-        }
-    }
-}
-
-impl BoolExpr {
-    /// Evaluates the guard under `env`.
-    pub fn eval(&self, env: &Env) -> Result<bool, LarcsError> {
-        match self {
-            BoolExpr::Cmp(op, a, b) => {
-                let x = a.eval(env)?;
-                let y = b.eval(env)?;
-                Ok(match op {
-                    CmpOp::Lt => x < y,
-                    CmpOp::Le => x <= y,
-                    CmpOp::Gt => x > y,
-                    CmpOp::Ge => x >= y,
-                    CmpOp::Eq => x == y,
-                    CmpOp::Ne => x != y,
-                })
-            }
-            BoolExpr::And(a, b) => Ok(a.eval(env)? && b.eval(env)?),
-            BoolExpr::Or(a, b) => Ok(a.eval(env)? || b.eval(env)?),
-            BoolExpr::Not(a) => Ok(!a.eval(env)?),
         }
     }
 }
@@ -232,124 +208,176 @@ impl BoolExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Span;
 
-    fn env(pairs: &[(&str, i64)]) -> Env {
-        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    /// Tiny builder for constructing arena expressions in tests.
+    struct B {
+        ast: Ast,
+        interner: StringInterner,
     }
 
-    fn var(s: &str) -> Expr {
-        Expr::Var(s.to_string())
+    impl B {
+        fn new() -> B {
+            B { ast: Ast::new(), interner: StringInterner::new() }
+        }
+        fn var(&mut self, s: &str) -> ExprId {
+            let sym = self.interner.intern(s);
+            self.ast.alloc_expr(ExprKind::Var(sym), Span::DUMMY)
+        }
+        fn konst(&mut self, v: i64) -> ExprId {
+            self.ast.alloc_expr(ExprKind::Const(v), Span::DUMMY)
+        }
+        fn bin(&mut self, op: BinOp, a: ExprId, b: ExprId) -> ExprId {
+            self.ast.alloc_expr(ExprKind::Bin(op, a, b), Span::DUMMY)
+        }
+        fn env(&mut self, pairs: &[(&str, i64)]) -> Env {
+            pairs
+                .iter()
+                .map(|&(k, v)| (self.interner.intern(k), v))
+                .collect()
+        }
+        fn eval(&self, id: ExprId, env: &Env) -> Result<i64, LarcsError> {
+            self.ast.eval(id, env, &self.interner)
+        }
     }
 
     #[test]
     fn arithmetic_eval() {
         // (i + 1) mod n with i=7, n=8 => 0
-        let e = Expr::bin(
-            BinOp::Mod,
-            Expr::bin(BinOp::Add, var("i"), Expr::Const(1)),
-            var("n"),
-        );
-        assert_eq!(e.eval(&env(&[("i", 7), ("n", 8)])).unwrap(), 0);
+        let mut b = B::new();
+        let i = b.var("i");
+        let one = b.konst(1);
+        let sum = b.bin(BinOp::Add, i, one);
+        let n = b.var("n");
+        let e = b.bin(BinOp::Mod, sum, n);
+        let env = b.env(&[("i", 7), ("n", 8)]);
+        assert_eq!(b.eval(e, &env).unwrap(), 0);
     }
 
     #[test]
     fn euclidean_mod_and_floor_div() {
-        let m = Expr::bin(BinOp::Mod, Expr::Const(-3), Expr::Const(8));
-        assert_eq!(m.eval(&env(&[])).unwrap(), 5);
-        let d = Expr::bin(BinOp::Div, Expr::Const(-3), Expr::Const(2));
-        assert_eq!(d.eval(&env(&[])).unwrap(), -2);
+        let mut b = B::new();
+        let m3 = b.konst(-3);
+        let eight = b.konst(8);
+        let m = b.bin(BinOp::Mod, m3, eight);
+        assert_eq!(b.eval(m, &Env::new()).unwrap(), 5);
+        let m3b = b.konst(-3);
+        let two = b.konst(2);
+        let d = b.bin(BinOp::Div, m3b, two);
+        assert_eq!(b.eval(d, &Env::new()).unwrap(), -2);
     }
 
     #[test]
     fn pow() {
-        let e = Expr::bin(BinOp::Pow, Expr::Const(2), var("j"));
-        assert_eq!(e.eval(&env(&[("j", 10)])).unwrap(), 1024);
-        assert!(e.eval(&env(&[("j", -1)])).is_err());
+        let mut b = B::new();
+        let two = b.konst(2);
+        let j = b.var("j");
+        let e = b.bin(BinOp::Pow, two, j);
+        let env = b.env(&[("j", 10)]);
+        assert_eq!(b.eval(e, &env).unwrap(), 1024);
+        let env = b.env(&[("j", -1)]);
+        assert!(b.eval(e, &env).is_err());
     }
 
     #[test]
     fn unbound_and_zero_division_errors() {
-        assert!(var("zzz").eval(&env(&[])).is_err());
-        let d = Expr::bin(BinOp::Div, Expr::Const(1), Expr::Const(0));
-        assert!(d.eval(&env(&[])).is_err());
-        let m = Expr::bin(BinOp::Mod, Expr::Const(1), Expr::Const(0));
-        assert!(m.eval(&env(&[])).is_err());
+        let mut b = B::new();
+        let z = b.var("zzz");
+        assert!(b.eval(z, &Env::new()).is_err());
+        let one = b.konst(1);
+        let zero = b.konst(0);
+        let d = b.bin(BinOp::Div, one, zero);
+        assert!(b.eval(d, &Env::new()).is_err());
+        let m = b.bin(BinOp::Mod, one, zero);
+        assert!(b.eval(m, &Env::new()).is_err());
     }
 
     #[test]
     fn overflow_detected() {
-        let e = Expr::bin(BinOp::Mul, Expr::Const(i64::MAX), Expr::Const(2));
-        assert!(e.eval(&env(&[])).is_err());
-        let p = Expr::bin(BinOp::Pow, Expr::Const(10), Expr::Const(40));
-        assert!(p.eval(&env(&[])).is_err());
+        let mut b = B::new();
+        let max = b.konst(i64::MAX);
+        let two = b.konst(2);
+        let e = b.bin(BinOp::Mul, max, two);
+        assert!(b.eval(e, &Env::new()).is_err());
+        let ten = b.konst(10);
+        let forty = b.konst(40);
+        let p = b.bin(BinOp::Pow, ten, forty);
+        assert!(b.eval(p, &Env::new()).is_err());
     }
 
     #[test]
     fn free_vars_collected_once() {
-        let e = Expr::bin(BinOp::Add, var("i"), Expr::bin(BinOp::Mul, var("i"), var("n")));
+        let mut b = B::new();
+        let i = b.var("i");
+        let i2 = b.var("i");
+        let n = b.var("n");
+        let prod = b.bin(BinOp::Mul, i2, n);
+        let e = b.bin(BinOp::Add, i, prod);
         let mut fv = Vec::new();
-        e.free_vars(&mut fv);
-        assert_eq!(fv, vec!["i".to_string(), "n".to_string()]);
+        b.ast.free_vars(e, &mut fv);
+        let names: Vec<&str> = fv.iter().map(|&s| b.interner.resolve(s)).collect();
+        assert_eq!(names, vec!["i", "n"]);
     }
 
     #[test]
     fn affine_checks() {
-        let vars = ["i", "j"];
-        // i + 2*j + n  : affine
-        let a = Expr::bin(
-            BinOp::Add,
-            var("i"),
-            Expr::bin(
-                BinOp::Add,
-                Expr::bin(BinOp::Mul, Expr::Const(2), var("j")),
-                var("n"),
-            ),
-        );
-        assert!(a.is_affine_in(&vars));
+        let mut b = B::new();
+        let vi = b.interner.intern("i");
+        let vj = b.interner.intern("j");
+        let vars = [vi, vj];
+        // i + 2*j + n : affine
+        let i = b.var("i");
+        let two = b.konst(2);
+        let j = b.var("j");
+        let twoj = b.bin(BinOp::Mul, two, j);
+        let n = b.var("n");
+        let tail = b.bin(BinOp::Add, twoj, n);
+        let a = b.bin(BinOp::Add, i, tail);
+        assert!(b.ast.is_affine_in(a, &vars));
         // n*i : affine (parameter coefficient)
-        let b = Expr::bin(BinOp::Mul, var("n"), var("i"));
-        assert!(b.is_affine_in(&vars));
+        let n2 = b.var("n");
+        let i2 = b.var("i");
+        let prod = b.bin(BinOp::Mul, n2, i2);
+        assert!(b.ast.is_affine_in(prod, &vars));
         // i*j : not affine
-        let c = Expr::bin(BinOp::Mul, var("i"), var("j"));
-        assert!(!c.is_affine_in(&vars));
+        let i3 = b.var("i");
+        let j2 = b.var("j");
+        let ij = b.bin(BinOp::Mul, i3, j2);
+        assert!(!b.ast.is_affine_in(ij, &vars));
         // (i+1) mod n : not affine
-        let d = Expr::bin(
-            BinOp::Mod,
-            Expr::bin(BinOp::Add, var("i"), Expr::Const(1)),
-            var("n"),
-        );
-        assert!(!d.is_affine_in(&vars));
+        let i4 = b.var("i");
+        let one = b.konst(1);
+        let sum = b.bin(BinOp::Add, i4, one);
+        let n3 = b.var("n");
+        let m = b.bin(BinOp::Mod, sum, n3);
+        assert!(!b.ast.is_affine_in(m, &vars));
         // (n+1)/2 : affine (no lattice vars at all)
-        let e = Expr::bin(
-            BinOp::Div,
-            Expr::bin(BinOp::Add, var("n"), Expr::Const(1)),
-            Expr::Const(2),
-        );
-        assert!(e.is_affine_in(&vars));
+        let n4 = b.var("n");
+        let one2 = b.konst(1);
+        let s2 = b.bin(BinOp::Add, n4, one2);
+        let two2 = b.konst(2);
+        let d = b.bin(BinOp::Div, s2, two2);
+        assert!(b.ast.is_affine_in(d, &vars));
     }
 
     #[test]
     fn guards_eval() {
-        let g = BoolExpr::And(
-            Box::new(BoolExpr::Cmp(CmpOp::Lt, var("i"), var("n"))),
-            Box::new(BoolExpr::Not(Box::new(BoolExpr::Cmp(
-                CmpOp::Eq,
-                var("i"),
-                Expr::Const(3),
-            )))),
-        );
-        assert!(g.eval(&env(&[("i", 2), ("n", 5)])).unwrap());
-        assert!(!g.eval(&env(&[("i", 3), ("n", 5)])).unwrap());
-        assert!(!g.eval(&env(&[("i", 6), ("n", 5)])).unwrap());
-    }
-
-    #[test]
-    fn display_roundtrip_shape() {
-        let e = Expr::bin(
-            BinOp::Mod,
-            Expr::bin(BinOp::Add, var("i"), Expr::Const(1)),
-            var("n"),
-        );
-        assert_eq!(e.to_string(), "((i + 1) mod n)");
+        use crate::ast::BExpKind;
+        let mut b = B::new();
+        let i = b.var("i");
+        let n = b.var("n");
+        let lt = b.ast.alloc_bexp(BExpKind::Cmp(CmpOp::Lt, i, n), Span::DUMMY);
+        let i2 = b.var("i");
+        let three = b.konst(3);
+        let eq = b.ast.alloc_bexp(BExpKind::Cmp(CmpOp::Eq, i2, three), Span::DUMMY);
+        let noteq = b.ast.alloc_bexp(BExpKind::Not(eq), Span::DUMMY);
+        let g = b.ast.alloc_bexp(BExpKind::And(lt, noteq), Span::DUMMY);
+        let ev = |b: &mut B, i_val, n_val| {
+            let env = b.env(&[("i", i_val), ("n", n_val)]);
+            b.ast.eval_bool(g, &env, &b.interner).unwrap()
+        };
+        assert!(ev(&mut b, 2, 5));
+        assert!(!ev(&mut b, 3, 5));
+        assert!(!ev(&mut b, 6, 5));
     }
 }

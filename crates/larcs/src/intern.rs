@@ -1,0 +1,92 @@
+//! String interning for LaRCS identifiers.
+//!
+//! Every identifier in a parsed program (algorithm name, parameters,
+//! node types, phase names, binder variables) is interned into a
+//! per-program [`StringInterner`], so the arena AST stores compact
+//! `u32` [`Symbol`]s and elaboration's hot paths (environment lookups,
+//! rule expansion) compare integers instead of hashing strings.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string, valid for the [`StringInterner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A deduplicating string table.
+#[derive(Clone, Debug, Default)]
+pub struct StringInterner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl StringInterner {
+    /// An empty interner.
+    pub fn new() -> StringInterner {
+        StringInterner::default()
+    }
+
+    /// Interns `s`, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        Symbol(id)
+    }
+
+    /// Looks up `s` without interning it (`None` if never seen).
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).map(|&id| Symbol(id))
+    }
+
+    /// The string behind `sym`.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_and_resolves() {
+        let mut i = StringInterner::new();
+        let a = i.intern("ring");
+        let b = i.intern("chordal");
+        let a2 = i.intern("ring");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "ring");
+        assert_eq!(i.resolve(b), "chordal");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("ring"), Some(a));
+        assert_eq!(i.get("nope"), None);
+    }
+}

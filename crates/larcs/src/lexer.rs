@@ -1,6 +1,12 @@
 //! Tokenizer for LaRCS source.
+//!
+//! Tokens carry byte-offset [`Span`]s; line/column positions are derived
+//! lazily (`Pos::of`) only when a diagnostic is rendered. The
+//! whitespace- and comment-insensitive [`token_fingerprint`] is the
+//! query layer's parse key: two sources that differ only in layout hash
+//! identically, so reformatting never invalidates the parse cache.
 
-use crate::error::{LarcsError, Pos};
+use crate::error::{LarcsError, Span};
 
 /// A lexical token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,13 +104,13 @@ impl std::fmt::Display for Tok {
     }
 }
 
-/// A token paired with its source position.
+/// A token paired with its source span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
     pub tok: Tok,
-    /// Its position.
-    pub pos: Pos,
+    /// Its byte range in the source.
+    pub span: Span,
 }
 
 /// Tokenizes LaRCS source. `--` starts a comment to end of line.
@@ -112,76 +118,33 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LarcsError> {
     let mut out = Vec::new();
     let bytes = src.as_bytes();
     let mut i = 0;
-    let mut line = 1u32;
-    let mut col = 1u32;
-    macro_rules! pos {
-        () => {
-            Pos { line, col }
-        };
+    macro_rules! push {
+        ($tok:expr, $start:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                span: Span::new($start as u32, ($start + $len) as u32),
+            });
+            i += $len;
+        }};
     }
     while i < bytes.len() {
         let c = bytes[i] as char;
-        let start = pos!();
         match c {
-            '\n' => {
-                i += 1;
-                line += 1;
-                col = 1;
-            }
-            c if c.is_whitespace() => {
-                i += 1;
-                col += 1;
-            }
+            c if c.is_whitespace() => i += 1,
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
             }
-            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                out.push(Spanned { tok: Tok::Arrow, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '-' => {
-                out.push(Spanned { tok: Tok::Minus, pos: start });
-                i += 1;
-                col += 1;
-            }
-            '.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => {
-                out.push(Spanned { tok: Tok::DotDot, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '*' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                out.push(Spanned { tok: Tok::StarStar, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
-                out.push(Spanned { tok: Tok::ParBar, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { tok: Tok::Le, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { tok: Tok::Ge, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '=' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { tok: Tok::EqEq, pos: start });
-                i += 2;
-                col += 2;
-            }
-            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { tok: Tok::Ne, pos: start });
-                i += 2;
-                col += 2;
-            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => push!(Tok::Arrow, i, 2),
+            '-' => push!(Tok::Minus, i, 1),
+            '.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => push!(Tok::DotDot, i, 2),
+            '*' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => push!(Tok::StarStar, i, 2),
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => push!(Tok::ParBar, i, 2),
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::Le, i, 2),
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::Ge, i, 2),
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::EqEq, i, 2),
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::Ne, i, 2),
             '(' | ')' | '{' | '}' | ',' | ';' | ':' | '^' | '+' | '*' | '/' | '%' | '<' | '>' => {
                 let tok = match c {
                     '(' => Tok::LParen,
@@ -200,22 +163,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LarcsError> {
                     '>' => Tok::Gt,
                     _ => unreachable!(),
                 };
-                out.push(Spanned { tok, pos: start });
-                i += 1;
-                col += 1;
+                push!(tok, i, 1);
             }
             c if c.is_ascii_digit() => {
                 let begin = i;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
-                    col += 1;
                 }
                 let text = &src[begin..i];
-                let v: i64 = text.parse().map_err(|_| LarcsError::Lex {
-                    pos: start,
-                    msg: format!("integer literal '{text}' out of range"),
+                let span = Span::new(begin as u32, i as u32);
+                let v: i64 = text.parse().map_err(|_| {
+                    LarcsError::lex(span, format!("integer literal '{text}' out of range"))
                 })?;
-                out.push(Spanned { tok: Tok::Int(v), pos: start });
+                out.push(Spanned { tok: Tok::Int(v), span });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let begin = i;
@@ -223,31 +183,98 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LarcsError> {
                     && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
-                    col += 1;
                 }
                 out.push(Spanned {
                     tok: Tok::Ident(src[begin..i].to_string()),
-                    pos: start,
+                    span: Span::new(begin as u32, i as u32),
                 });
             }
             other => {
-                return Err(LarcsError::Lex {
-                    pos: start,
-                    msg: format!("unexpected character '{other}'"),
-                });
+                return Err(LarcsError::lex(
+                    Span::new(i as u32, (i + other.len_utf8()) as u32),
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
     out.push(Spanned {
         tok: Tok::Eof,
-        pos: pos!(),
+        span: Span::point(src.len() as u32),
     });
     Ok(out)
+}
+
+/// FNV-1a hash of the token *contents* (spans excluded), so any two
+/// sources with the same token stream — regardless of whitespace or
+/// comments — share a fingerprint. This is the query layer's parse key.
+pub fn token_fingerprint(tokens: &[Spanned]) -> u64 {
+    let mut h = Fnv::new();
+    for t in tokens {
+        match &t.tok {
+            Tok::Ident(s) => {
+                h.byte(1);
+                h.bytes(s.as_bytes());
+                h.byte(0xff);
+            }
+            Tok::Int(v) => {
+                h.byte(2);
+                h.bytes(&v.to_le_bytes());
+            }
+            other => {
+                // discriminants 3.. for punctuation: hash the display text,
+                // which is unique per token kind
+                h.byte(3);
+                h.bytes(other.to_string().as_bytes());
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a hasher (stable across runs and platforms, unlike
+/// `DefaultHasher`), shared by the query layer's content keys.
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Fresh hasher with the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Mixes a byte slice.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// Mixes a u64.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// The final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Pos;
 
     fn toks(src: &str) -> Vec<Tok> {
         lex(src).unwrap().into_iter().map(|s| s.tok).collect()
@@ -304,10 +331,13 @@ mod tests {
     }
 
     #[test]
-    fn positions_tracked() {
-        let spanned = lex("a\n  b").unwrap();
-        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
-        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    fn spans_tracked() {
+        let src = "a\n  b";
+        let spanned = lex(src).unwrap();
+        assert_eq!(spanned[0].span, Span::new(0, 1));
+        assert_eq!(spanned[1].span, Span::new(4, 5));
+        assert_eq!(Pos::of(src, spanned[0].span.start), Pos { line: 1, col: 1 });
+        assert_eq!(Pos::of(src, spanned[1].span.start), Pos { line: 2, col: 3 });
     }
 
     #[test]
@@ -322,12 +352,29 @@ mod tests {
     #[test]
     fn bad_character_reported() {
         let err = lex("a @ b").unwrap_err();
-        assert!(matches!(err, LarcsError::Lex { .. }));
+        assert_eq!(err.stage(), crate::error::Stage::Lex);
         assert!(err.to_string().contains('@'));
+        // rendered form underlines the character
+        let shown = err.with_source("a @ b").to_string();
+        assert!(shown.contains('^'), "{shown}");
     }
 
     #[test]
     fn huge_literal_rejected() {
         assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_layout_not_content() {
+        let a = token_fingerprint(&lex("a + b -- c\n;").unwrap());
+        let b = token_fingerprint(&lex("  a\n+\tb ;").unwrap());
+        let c = token_fingerprint(&lex("a + c ;").unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // punctuation kinds are distinguished
+        assert_ne!(
+            token_fingerprint(&lex("a < b").unwrap()),
+            token_fingerprint(&lex("a <= b").unwrap())
+        );
     }
 }

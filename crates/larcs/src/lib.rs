@@ -14,13 +14,22 @@
 //!
 //! The paper shows fragments of the surface syntax; this crate pins down a
 //! complete grammar faithful to every construct the paper names (see
-//! `DESIGN.md` §4 for the grammar). Pipeline:
+//! `DESIGN.md` §4 for the grammar). The front end is organised as a set of
+//! memoized *queries* over an interned arena AST:
 //!
 //! ```text
-//! source --lexer--> tokens --parser--> ast::Program
-//!        --elaborate(params)--> oregami_graph::TaskGraph
+//! source --lex--> tokens (+ content fingerprint)
+//!        --parse--> ast::Program (arena nodes, interned names, byte spans)
+//!        --elaborate(params)--> oregami_graph::TaskGraph (per-rule fragments)
 //!        --analyze--> regularity report (bijective? affine? nameable?)
 //! ```
+//!
+//! Batch callers use [`compile`]; interactive callers keep a [`query::Db`]
+//! across edits, and each query re-runs only the stages whose *content*
+//! inputs changed — reformatting never re-parses, editing one comphase
+//! re-expands only that rule. Every diagnostic carries byte spans and
+//! renders a caret-underlined source excerpt ([`error::Diagnostic`]).
+//! [`fmt`] is the canonical formatter behind `larcs fmt`.
 //!
 //! A library of built-in LaRCS programs for the algorithms the paper lists
 //! (n-body, perfect broadcast, Jacobi, SOR, divide-and-conquer on binomial
@@ -32,17 +41,21 @@ pub mod elaborate;
 pub mod error;
 pub mod expr;
 pub mod format;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod programs;
+pub mod query;
 pub mod translation;
 
-pub use analyze::{analyze, Analysis};
+pub use analyze::{analyze, lint, Analysis};
 pub use ast::Program;
-pub use elaborate::{elaborate, ElabOptions};
-pub use error::LarcsError;
-pub use format::format_program;
-pub use parser::parse;
+pub use elaborate::{elaborate, elaborate_with_cache, ElabCache, ElabOptions};
+pub use error::{Diagnostic, LarcsError, Severity, Span, Stage};
+pub use format::{format_program, format_rule};
+pub use intern::{StringInterner, Symbol};
+pub use parser::{parse, parse_tokens};
+pub use query::{Db, QueryStats};
 pub use translation::{detect_translations, TranslationForm};
 
 use oregami_graph::TaskGraph;
@@ -58,6 +71,14 @@ use oregami_graph::TaskGraph;
 /// assert_eq!(g.num_phases(), 2); // ring + chordal
 /// ```
 pub fn compile(source: &str, params: &[(&str, i64)]) -> Result<TaskGraph, LarcsError> {
-    let program = parse(source)?;
-    elaborate(&program, params, &ElabOptions::default())
+    let program = parse(source).map_err(|e| e.with_source(source))?;
+    elaborate(&program, params, &ElabOptions::default()).map_err(|e| e.with_source(source))
+}
+
+/// One-call convenience: render `source` in canonical form (`larcs fmt`).
+/// Idempotent, and round-trip stable: the output parses and elaborates to
+/// the same task graph as the input.
+pub fn fmt(source: &str) -> Result<String, LarcsError> {
+    let program = parse(source).map_err(|e| e.with_source(source))?;
+    Ok(format_program(&program))
 }

@@ -4,11 +4,19 @@
 //! precedence in phase expressions (loosest to tightest): `;` sequence,
 //! `||` parallel, `^` repetition — so the paper's
 //! `((ring; compute1)^((n+1)/2); chordal; compute2)^s` parses as written.
+//!
+//! The parser allocates into the [`Program`]'s arena ([`Ast`]) and
+//! interns every identifier; each node records its source span, and
+//! every parse error is anchored at the offending token so diagnostics
+//! can underline it. After parsing, each rule gets a [`RuleId`]: the
+//! fingerprint of its canonically formatted text, which the query layer
+//! uses to reuse rule elaborations across edits.
 
 use crate::ast::*;
-use crate::error::{LarcsError, Pos};
-use crate::expr::{BinOp, BoolExpr, CmpOp, Expr};
-use crate::lexer::{lex, Spanned, Tok};
+use crate::error::{LarcsError, Span};
+use crate::expr::{BinOp, CmpOp};
+use crate::lexer::{lex, Fnv, Spanned, Tok};
+use crate::intern::StringInterner;
 
 /// Keywords that cannot be used as identifiers for node types, phases, or
 /// variables.
@@ -46,12 +54,36 @@ pub const MAX_EXPR_DEPTH: usize = 200;
 /// Parses a LaRCS program.
 pub fn parse(source: &str) -> Result<Program, LarcsError> {
     let tokens = lex(source)?;
+    parse_tokens(source, tokens)
+}
+
+/// Parses a pre-lexed token stream (the query layer lexes once and shares
+/// the stream between the fingerprint and the parse).
+pub fn parse_tokens(source: &str, tokens: Vec<Spanned>) -> Result<Program, LarcsError> {
     let mut p = Parser {
         tokens,
         pos: 0,
         depth: 0,
+        ast: Ast::new(),
+        interner: StringInterner::new(),
     };
-    p.program()
+    let mut program = p.program(source)?;
+    // Post-pass: fingerprint each rule's canonical text. Done after the
+    // parse so it sees the finished arena; layout and file position do
+    // not influence the id.
+    for cp in 0..program.comphases.len() {
+        for r in 0..program.comphases[cp].rules.len() {
+            let text = crate::format::format_rule(
+                &program.ast,
+                &program.interner,
+                &program.comphases[cp].rules[r],
+            );
+            let mut h = Fnv::new();
+            h.bytes(text.as_bytes());
+            program.comphases[cp].rules[r].id = RuleId(h.finish());
+        }
+    }
+    Ok(program)
 }
 
 struct Parser {
@@ -59,6 +91,8 @@ struct Parser {
     pos: usize,
     /// Current expression nesting depth, bounded by [`MAX_EXPR_DEPTH`].
     depth: usize,
+    ast: Ast,
+    interner: StringInterner,
 }
 
 impl Parser {
@@ -66,8 +100,8 @@ impl Parser {
         &self.tokens[self.pos].tok
     }
 
-    fn peek_pos(&self) -> Pos {
-        self.tokens[self.pos].pos
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
     }
 
     fn bump(&mut self) -> Tok {
@@ -78,40 +112,42 @@ impl Parser {
         t
     }
 
+    /// Errors at the current token, underlining it.
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, LarcsError> {
-        Err(LarcsError::Parse {
-            pos: self.peek_pos(),
-            msg: msg.into(),
-        })
+        Err(LarcsError::parse(self.peek_span(), msg))
     }
 
-    fn expect(&mut self, tok: Tok) -> Result<(), LarcsError> {
+    fn expect(&mut self, tok: Tok) -> Result<Span, LarcsError> {
         if *self.peek() == tok {
+            let sp = self.peek_span();
             self.bump();
-            Ok(())
+            Ok(sp)
         } else {
             self.err(format!("expected {tok}, found {}", self.peek()))
         }
     }
 
     /// Accepts any identifier, including keywords used positionally.
-    fn ident(&mut self) -> Result<String, LarcsError> {
+    fn ident(&mut self) -> Result<Ident, LarcsError> {
         match self.peek().clone() {
             Tok::Ident(name) => {
+                let span = self.peek_span();
                 self.bump();
-                Ok(name)
+                Ok(Ident { sym: self.interner.intern(&name), span })
             }
             other => self.err(format!("expected identifier, found {other}")),
         }
     }
 
     /// Accepts an identifier that is not a reserved keyword.
-    fn name(&mut self) -> Result<String, LarcsError> {
-        let id = self.ident()?;
-        if KEYWORDS.contains(&id.as_str()) {
-            return self.err(format!("'{id}' is a reserved keyword"));
+    fn name(&mut self) -> Result<Ident, LarcsError> {
+        if let Tok::Ident(id) = self.peek() {
+            if KEYWORDS.contains(&id.as_str()) {
+                let id = id.clone();
+                return self.err(format!("'{id}' is a reserved keyword"));
+            }
         }
-        Ok(id)
+        self.ident()
     }
 
     fn at_keyword(&self, kw: &str) -> bool {
@@ -127,9 +163,11 @@ impl Parser {
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<(), LarcsError> {
-        if self.eat_keyword(kw) {
-            Ok(())
+    fn expect_keyword(&mut self, kw: &str) -> Result<Span, LarcsError> {
+        if self.at_keyword(kw) {
+            let sp = self.peek_span();
+            self.bump();
+            Ok(sp)
         } else {
             self.err(format!("expected '{kw}', found {}", self.peek()))
         }
@@ -156,7 +194,7 @@ impl Parser {
 
     // ---- program structure ------------------------------------------------
 
-    fn program(&mut self) -> Result<Program, LarcsError> {
+    fn program(&mut self, source: &str) -> Result<Program, LarcsError> {
         self.expect_keyword("algorithm")?;
         let name = self.name()?;
         self.expect(Tok::LParen)?;
@@ -174,15 +212,11 @@ impl Parser {
         self.expect(Tok::RParen)?;
         self.expect(Tok::Semi)?;
 
-        let mut program = Program {
-            name,
-            params,
-            imports: Vec::new(),
-            nodetypes: Vec::new(),
-            comphases: Vec::new(),
-            exephases: Vec::new(),
-            phase_expr: None,
-        };
+        let mut imports = Vec::new();
+        let mut nodetypes = Vec::new();
+        let mut comphases = Vec::new();
+        let mut exephases = Vec::new();
+        let mut phase_expr = None;
         loop {
             match self.peek() {
                 Tok::Eof => break,
@@ -190,7 +224,7 @@ impl Parser {
                     "import" => {
                         self.bump();
                         loop {
-                            program.imports.push(self.name()?);
+                            imports.push(self.name()?);
                             if *self.peek() == Tok::Comma {
                                 self.bump();
                             } else {
@@ -199,26 +233,17 @@ impl Parser {
                         }
                         self.expect(Tok::Semi)?;
                     }
-                    "nodetype" => {
-                        let nt = self.nodetype()?;
-                        program.nodetypes.push(nt);
-                    }
-                    "comphase" => {
-                        let cp = self.comphase()?;
-                        program.comphases.push(cp);
-                    }
-                    "exephase" => {
-                        let ep = self.exephase()?;
-                        program.exephases.push(ep);
-                    }
+                    "nodetype" => nodetypes.push(self.nodetype()?),
+                    "comphase" => comphases.push(self.comphase()?),
+                    "exephase" => exephases.push(self.exephase()?),
                     "phaseexpr" => {
-                        self.bump();
-                        if program.phase_expr.is_some() {
+                        if phase_expr.is_some() {
                             return self.err("duplicate phaseexpr declaration");
                         }
+                        self.bump();
                         let pe = self.pexp()?;
                         self.expect(Tok::Semi)?;
-                        program.phase_expr = Some(pe);
+                        phase_expr = Some(pe);
                     }
                     other => {
                         return self.err(format!(
@@ -229,11 +254,22 @@ impl Parser {
                 other => return self.err(format!("expected a declaration, found {other}")),
             }
         }
-        Ok(program)
+        Ok(Program {
+            src: source.to_string(),
+            interner: std::mem::take(&mut self.interner),
+            ast: std::mem::take(&mut self.ast),
+            name,
+            params,
+            imports,
+            nodetypes,
+            comphases,
+            exephases,
+            phase_expr,
+        })
     }
 
     fn nodetype(&mut self) -> Result<NodeTypeDecl, LarcsError> {
-        self.expect_keyword("nodetype")?;
+        let start = self.expect_keyword("nodetype")?;
         let name = self.name()?;
         self.expect(Tok::Colon)?;
         // labelspec: either "(" range, range ")" or a bare range. A bare
@@ -258,22 +294,23 @@ impl Parser {
                 node_symmetric = true;
             } else if self.eat_keyword("family") {
                 self.expect(Tok::LParen)?;
-                family = Some(self.ident()?);
+                family = Some(self.ident()?.sym);
                 self.expect(Tok::RParen)?;
             } else {
                 break;
             }
         }
-        self.expect(Tok::Semi)?;
+        let end = self.expect(Tok::Semi)?;
         Ok(NodeTypeDecl {
             name,
+            span: start.to(end),
             ranges,
             node_symmetric,
             family,
         })
     }
 
-    fn tuple_ranges(&mut self) -> Result<Vec<(Expr, Expr)>, LarcsError> {
+    fn tuple_ranges(&mut self) -> Result<Vec<(ExprId, ExprId)>, LarcsError> {
         self.expect(Tok::LParen)?;
         let mut rs = vec![self.range()?];
         while *self.peek() == Tok::Comma {
@@ -284,7 +321,7 @@ impl Parser {
         Ok(rs)
     }
 
-    fn range(&mut self) -> Result<(Expr, Expr), LarcsError> {
+    fn range(&mut self) -> Result<(ExprId, ExprId), LarcsError> {
         let lo = self.expr()?;
         self.expect(Tok::DotDot)?;
         let hi = self.expr()?;
@@ -303,6 +340,8 @@ impl Parser {
                 // bare edge rule
                 let edge = self.edge()?;
                 rules.push(Rule {
+                    id: RuleId(0), // fingerprinted in the post-pass
+                    span: edge.span,
                     binders: Vec::new(),
                     guard: None,
                     edges: vec![edge],
@@ -318,7 +357,7 @@ impl Parser {
     }
 
     fn forall_rule(&mut self) -> Result<Rule, LarcsError> {
-        self.expect_keyword("forall")?;
+        let start = self.expect_keyword("forall")?;
         let mut binders = vec![self.binder()?];
         while *self.peek() == Tok::Comma {
             self.bump();
@@ -334,11 +373,13 @@ impl Parser {
         while *self.peek() != Tok::RBrace {
             edges.push(self.edge()?);
         }
-        self.expect(Tok::RBrace)?;
+        let end = self.expect(Tok::RBrace)?;
         if edges.is_empty() {
             return self.err("forall must contain at least one edge");
         }
         Ok(Rule {
+            id: RuleId(0), // fingerprinted in the post-pass
+            span: start.to(end),
             binders,
             guard,
             edges,
@@ -363,8 +404,9 @@ impl Parser {
         } else {
             None
         };
-        self.expect(Tok::Semi)?;
+        let end = self.expect(Tok::Semi)?;
         Ok(EdgeDecl {
+            span: src_type.span.to(end),
             src_type,
             src_args,
             dst_type,
@@ -373,7 +415,7 @@ impl Parser {
         })
     }
 
-    fn arg_list(&mut self) -> Result<Vec<Expr>, LarcsError> {
+    fn arg_list(&mut self) -> Result<Vec<ExprId>, LarcsError> {
         self.expect(Tok::LParen)?;
         let mut args = vec![self.expr()?];
         while *self.peek() == Tok::Comma {
@@ -398,11 +440,11 @@ impl Parser {
 
     // ---- phase expressions -------------------------------------------------
 
-    fn pexp(&mut self) -> Result<PExp, LarcsError> {
+    fn pexp(&mut self) -> Result<PExpId, LarcsError> {
         self.with_depth(Self::pexp_inner)
     }
 
-    fn pexp_inner(&mut self) -> Result<PExp, LarcsError> {
+    fn pexp_inner(&mut self) -> Result<PExpId, LarcsError> {
         let mut left = self.pexp_par()?;
         while *self.peek() == Tok::Semi {
             // A ';' only continues the phase expression if something that
@@ -416,34 +458,38 @@ impl Parser {
             }
             self.bump();
             let right = self.pexp_par()?;
-            left = PExp::Seq(Box::new(left), Box::new(right));
+            let span = self.ast.pexp_span(left).to(self.ast.pexp_span(right));
+            left = self.ast.alloc_pexp(PExpKind::Seq(left, right), span);
         }
         Ok(left)
     }
 
-    fn pexp_par(&mut self) -> Result<PExp, LarcsError> {
+    fn pexp_par(&mut self) -> Result<PExpId, LarcsError> {
         let mut left = self.pexp_rep()?;
         while *self.peek() == Tok::ParBar {
             self.bump();
             let right = self.pexp_rep()?;
-            left = PExp::Par(Box::new(left), Box::new(right));
+            let span = self.ast.pexp_span(left).to(self.ast.pexp_span(right));
+            left = self.ast.alloc_pexp(PExpKind::Par(left, right), span);
         }
         Ok(left)
     }
 
-    fn pexp_rep(&mut self) -> Result<PExp, LarcsError> {
+    fn pexp_rep(&mut self) -> Result<PExpId, LarcsError> {
         let mut base = self.pexp_primary()?;
         while *self.peek() == Tok::Caret {
             self.bump();
             let count = self.expr()?;
-            base = PExp::Repeat(Box::new(base), count);
+            let span = self.ast.pexp_span(base).to(self.ast.expr_span(count));
+            base = self.ast.alloc_pexp(PExpKind::Repeat(base, count), span);
         }
         Ok(base)
     }
 
-    fn pexp_primary(&mut self) -> Result<PExp, LarcsError> {
+    fn pexp_primary(&mut self) -> Result<PExpId, LarcsError> {
+        let span = self.peek_span();
         if self.eat_keyword("eps") {
-            return Ok(PExp::Eps);
+            return Ok(self.ast.alloc_pexp(PExpKind::Eps, span));
         }
         match self.peek().clone() {
             Tok::LParen => {
@@ -454,7 +500,8 @@ impl Parser {
             }
             Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
                 self.bump();
-                Ok(PExp::Name(id))
+                let sym = self.interner.intern(&id);
+                Ok(self.ast.alloc_pexp(PExpKind::Name(sym), span))
             }
             other => self.err(format!("expected a phase expression, found {other}")),
         }
@@ -462,11 +509,11 @@ impl Parser {
 
     // ---- integer expressions -----------------------------------------------
 
-    fn expr(&mut self) -> Result<Expr, LarcsError> {
+    fn expr(&mut self) -> Result<ExprId, LarcsError> {
         self.with_depth(Self::expr_inner)
     }
 
-    fn expr_inner(&mut self) -> Result<Expr, LarcsError> {
+    fn expr_inner(&mut self) -> Result<ExprId, LarcsError> {
         let mut left = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -476,12 +523,13 @@ impl Parser {
             };
             self.bump();
             let right = self.mul_expr()?;
-            left = Expr::bin(op, left, right);
+            let span = self.ast.expr_span(left).to(self.ast.expr_span(right));
+            left = self.ast.alloc_expr(ExprKind::Bin(op, left, right), span);
         }
         Ok(left)
     }
 
-    fn mul_expr(&mut self) -> Result<Expr, LarcsError> {
+    fn mul_expr(&mut self) -> Result<ExprId, LarcsError> {
         let mut left = self.pow_expr()?;
         loop {
             let op = match self.peek() {
@@ -494,48 +542,54 @@ impl Parser {
             };
             self.bump();
             let right = self.pow_expr()?;
-            left = Expr::bin(op, left, right);
+            let span = self.ast.expr_span(left).to(self.ast.expr_span(right));
+            left = self.ast.alloc_expr(ExprKind::Bin(op, left, right), span);
         }
         Ok(left)
     }
 
-    fn pow_expr(&mut self) -> Result<Expr, LarcsError> {
+    fn pow_expr(&mut self) -> Result<ExprId, LarcsError> {
         self.with_depth(Self::pow_expr_inner)
     }
 
-    fn pow_expr_inner(&mut self) -> Result<Expr, LarcsError> {
+    fn pow_expr_inner(&mut self) -> Result<ExprId, LarcsError> {
         let base = self.unary_expr()?;
         if *self.peek() == Tok::StarStar {
             self.bump();
             // right-associative
             let exp = self.pow_expr()?;
-            return Ok(Expr::bin(BinOp::Pow, base, exp));
+            let span = self.ast.expr_span(base).to(self.ast.expr_span(exp));
+            return Ok(self.ast.alloc_expr(ExprKind::Bin(BinOp::Pow, base, exp), span));
         }
         Ok(base)
     }
 
-    fn unary_expr(&mut self) -> Result<Expr, LarcsError> {
+    fn unary_expr(&mut self) -> Result<ExprId, LarcsError> {
         self.with_depth(Self::unary_expr_inner)
     }
 
-    fn unary_expr_inner(&mut self) -> Result<Expr, LarcsError> {
+    fn unary_expr_inner(&mut self) -> Result<ExprId, LarcsError> {
         if *self.peek() == Tok::Minus {
+            let start = self.peek_span();
             self.bump();
             let inner = self.unary_expr()?;
-            return Ok(Expr::Neg(Box::new(inner)));
+            let span = start.to(self.ast.expr_span(inner));
+            return Ok(self.ast.alloc_expr(ExprKind::Neg(inner), span));
         }
         self.atom()
     }
 
-    fn atom(&mut self) -> Result<Expr, LarcsError> {
+    fn atom(&mut self) -> Result<ExprId, LarcsError> {
+        let span = self.peek_span();
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
-                Ok(Expr::Const(v))
+                Ok(self.ast.alloc_expr(ExprKind::Const(v), span))
             }
             Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
                 self.bump();
-                Ok(Expr::Var(id))
+                let sym = self.interner.intern(&id);
+                Ok(self.ast.alloc_expr(ExprKind::Var(sym), span))
             }
             Tok::LParen => {
                 self.bump();
@@ -549,43 +603,48 @@ impl Parser {
 
     // ---- boolean expressions -----------------------------------------------
 
-    fn bexp(&mut self) -> Result<BoolExpr, LarcsError> {
+    fn bexp(&mut self) -> Result<BExpId, LarcsError> {
         self.with_depth(Self::bexp_inner)
     }
 
-    fn bexp_inner(&mut self) -> Result<BoolExpr, LarcsError> {
+    fn bexp_inner(&mut self) -> Result<BExpId, LarcsError> {
         let mut left = self.bterm()?;
         while self.at_keyword("or") {
             self.bump();
             let right = self.bterm()?;
-            left = BoolExpr::Or(Box::new(left), Box::new(right));
+            let span = self.ast.bexp_span(left).to(self.ast.bexp_span(right));
+            left = self.ast.alloc_bexp(BExpKind::Or(left, right), span);
         }
         Ok(left)
     }
 
-    fn bterm(&mut self) -> Result<BoolExpr, LarcsError> {
+    fn bterm(&mut self) -> Result<BExpId, LarcsError> {
         let mut left = self.bfactor()?;
         while self.at_keyword("and") {
             self.bump();
             let right = self.bfactor()?;
-            left = BoolExpr::And(Box::new(left), Box::new(right));
+            let span = self.ast.bexp_span(left).to(self.ast.bexp_span(right));
+            left = self.ast.alloc_bexp(BExpKind::And(left, right), span);
         }
         Ok(left)
     }
 
-    fn bfactor(&mut self) -> Result<BoolExpr, LarcsError> {
+    fn bfactor(&mut self) -> Result<BExpId, LarcsError> {
         self.with_depth(Self::bfactor_inner)
     }
 
-    fn bfactor_inner(&mut self) -> Result<BoolExpr, LarcsError> {
+    fn bfactor_inner(&mut self) -> Result<BExpId, LarcsError> {
         if self.at_keyword("not") {
+            let start = self.peek_span();
             self.bump();
             let inner = self.bfactor()?;
-            return Ok(BoolExpr::Not(Box::new(inner)));
+            let span = start.to(self.ast.bexp_span(inner));
+            return Ok(self.ast.alloc_bexp(BExpKind::Not(inner), span));
         }
         // '(' may open either a parenthesised boolean expression or the
         // left operand of a comparison; try the boolean reading first and
-        // backtrack.
+        // backtrack. (Arena nodes allocated by an abandoned speculative
+        // parse are left behind, unreferenced — harmless.)
         if *self.peek() == Tok::LParen {
             let save = self.pos;
             self.bump();
@@ -600,7 +659,7 @@ impl Parser {
         self.cmp()
     }
 
-    fn cmp(&mut self) -> Result<BoolExpr, LarcsError> {
+    fn cmp(&mut self) -> Result<BExpId, LarcsError> {
         let left = self.expr()?;
         let op = match self.peek() {
             Tok::Lt => CmpOp::Lt,
@@ -613,21 +672,27 @@ impl Parser {
         };
         self.bump();
         let right = self.expr()?;
-        Ok(BoolExpr::Cmp(op, left, right))
+        let span = self.ast.expr_span(left).to(self.ast.expr_span(right));
+        Ok(self.ast.alloc_bexp(BExpKind::Cmp(op, left, right), span))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::Env;
+
+    fn names<'a>(p: &'a Program, ids: &[Ident]) -> Vec<&'a str> {
+        ids.iter().map(|i| p.str(i.sym)).collect()
+    }
 
     #[test]
     fn parses_nbody() {
         let src = crate::programs::nbody();
         let p = parse(&src).unwrap();
-        assert_eq!(p.name, "nbody");
-        assert_eq!(p.params, vec!["n", "s"]);
-        assert_eq!(p.imports, vec!["msgsize"]);
+        assert_eq!(p.name_str(), "nbody");
+        assert_eq!(names(&p, &p.params), vec!["n", "s"]);
+        assert_eq!(names(&p, &p.imports), vec!["msgsize"]);
         assert_eq!(p.nodetypes.len(), 1);
         assert!(p.nodetypes[0].node_symmetric);
         assert_eq!(p.comphases.len(), 2);
@@ -641,14 +706,21 @@ mod tests {
                    exephase e1; phaseexpr (a; e1)^3; ";
         // Note: x is undeclared — the parser doesn't resolve names.
         let p = parse(src).unwrap();
-        match p.phase_expr.unwrap() {
-            PExp::Repeat(inner, Expr::Const(3)) => match *inner {
-                PExp::Seq(a, b) => {
-                    assert_eq!(*a, PExp::Name("a".into()));
-                    assert_eq!(*b, PExp::Name("e1".into()));
+        match p.ast.pexp(p.phase_expr.unwrap()) {
+            PExpKind::Repeat(inner, count) => {
+                assert_eq!(p.ast.expr(count), ExprKind::Const(3));
+                match p.ast.pexp(inner) {
+                    PExpKind::Seq(a, b) => {
+                        assert!(
+                            matches!(p.ast.pexp(a), PExpKind::Name(s) if p.str(s) == "a")
+                        );
+                        assert!(
+                            matches!(p.ast.pexp(b), PExpKind::Name(s) if p.str(s) == "e1")
+                        );
+                    }
+                    other => panic!("expected Seq, got {other:?}"),
                 }
-                other => panic!("expected Seq, got {other:?}"),
-            },
+            }
             other => panic!("expected Repeat, got {other:?}"),
         }
     }
@@ -658,14 +730,18 @@ mod tests {
         let src = "algorithm t(); phaseexpr a; b || c; d^2;";
         let p = parse(src).unwrap();
         // a ; (b || c) ; (d^2)
-        let pe = p.phase_expr.unwrap();
-        match pe {
-            PExp::Seq(left, d2) => {
-                assert!(matches!(*d2, PExp::Repeat(_, Expr::Const(2))));
-                match *left {
-                    PExp::Seq(a, bc) => {
-                        assert_eq!(*a, PExp::Name("a".into()));
-                        assert!(matches!(*bc, PExp::Par(_, _)));
+        match p.ast.pexp(p.phase_expr.unwrap()) {
+            PExpKind::Seq(left, d2) => {
+                assert!(matches!(
+                    p.ast.pexp(d2),
+                    PExpKind::Repeat(_, c) if p.ast.expr(c) == ExprKind::Const(2)
+                ));
+                match p.ast.pexp(left) {
+                    PExpKind::Seq(a, bc) => {
+                        assert!(
+                            matches!(p.ast.pexp(a), PExpKind::Name(s) if p.str(s) == "a")
+                        );
+                        assert!(matches!(p.ast.pexp(bc), PExpKind::Par(_, _)));
                     }
                     other => panic!("bad left: {other:?}"),
                 }
@@ -678,7 +754,11 @@ mod tests {
     fn eps_and_nested_parens() {
         let src = "algorithm t(); phaseexpr (eps || (a; b))^n;";
         let p = parse(src).unwrap();
-        assert!(matches!(p.phase_expr.unwrap(), PExp::Repeat(_, Expr::Var(v)) if v == "n"));
+        assert!(matches!(
+            p.ast.pexp(p.phase_expr.unwrap()),
+            PExpKind::Repeat(_, e)
+                if matches!(p.ast.expr(e), ExprKind::Var(v) if p.str(v) == "n")
+        ));
     }
 
     #[test]
@@ -693,14 +773,18 @@ mod tests {
         let rule = &p.comphases[0].rules[0];
         assert_eq!(rule.binders.len(), 2);
         assert!(rule.guard.is_some());
-        assert_eq!(rule.edges[0].volume, Some(Expr::Const(8)));
+        let vol = rule.edges[0].volume.unwrap();
+        assert_eq!(p.ast.expr(vol), ExprKind::Const(8));
+        // the rule span covers the whole `forall ... }` text
+        let text = &src[rule.span.start as usize..rule.span.end as usize];
+        assert!(text.starts_with("forall") && text.ends_with('}'), "{text}");
     }
 
     #[test]
     fn family_attribute() {
         let src = "algorithm r(n); nodetype t: 0..n-1 nodesymmetric family(ring);";
         let p = parse(src).unwrap();
-        assert_eq!(p.nodetypes[0].family.as_deref(), Some("ring"));
+        assert_eq!(p.nodetypes[0].family.map(|s| p.str(s)), Some("ring"));
         assert!(p.nodetypes[0].node_symmetric);
     }
 
@@ -712,11 +796,14 @@ mod tests {
 
     #[test]
     fn missing_semicolon_reported_with_position() {
-        let err = parse("algorithm t()").unwrap_err();
-        match err {
-            LarcsError::Parse { msg, .. } => assert!(msg.contains("';'")),
-            other => panic!("wrong error {other:?}"),
-        }
+        let src = "algorithm t()";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.stage(), crate::error::Stage::Parse);
+        assert!(err.message().contains("';'"), "{err}");
+        // the error is anchored at the end of input and renders a caret
+        assert!(err.span().is_some());
+        let shown = err.with_source(src).to_string();
+        assert!(shown.contains("-->") && shown.contains('^'), "{shown}");
     }
 
     #[test]
@@ -745,6 +832,10 @@ mod tests {
         );
         let err = parse(&src).unwrap_err();
         assert!(err.to_string().contains("depth limit"), "{err}");
+        // the depth-limit diagnostic carries the offending token's span
+        // and renders an excerpt with a caret
+        let shown = err.with_source(&src).to_string();
+        assert!(shown.contains("-->") && shown.contains('^'), "{shown}");
         // ... and shallow nesting well inside the limit still parses.
         let ok = format!(
             "algorithm t(); exephase e cost {}1{};",
@@ -801,8 +892,28 @@ mod tests {
         let src = "algorithm t(); exephase e cost 2**3**2;";
         let p = parse(src).unwrap();
         // 2**(3**2) = 512, not (2**3)**2 = 64
-        let cost = p.exephases[0].cost.clone().unwrap();
-        let env = std::collections::HashMap::new();
-        assert_eq!(cost.eval(&env).unwrap(), 512);
+        let cost = p.exephases[0].cost.unwrap();
+        assert_eq!(p.ast.eval(cost, &Env::new(), &p.interner).unwrap(), 512);
+    }
+
+    #[test]
+    fn rule_ids_are_layout_insensitive() {
+        let a = parse(
+            "algorithm t(n); nodetype x: 0..n-1; comphase c: \
+             forall i in 0..n-2 { x(i) -> x(i+1); }",
+        )
+        .unwrap();
+        let b = parse(
+            "algorithm t(n);\n-- moved and reformatted\nnodetype x: 0..n-1;\n\
+             comphase c:\n  forall i in 0..n-2 {\n    x( i ) -> x( i + 1 );\n  }",
+        )
+        .unwrap();
+        assert_eq!(a.comphases[0].rules[0].id, b.comphases[0].rules[0].id);
+        let c = parse(
+            "algorithm t(n); nodetype x: 0..n-1; comphase c: \
+             forall i in 0..n-2 { x(i) -> x(i+2); }",
+        )
+        .unwrap();
+        assert_ne!(a.comphases[0].rules[0].id, c.comphases[0].rules[0].id);
     }
 }

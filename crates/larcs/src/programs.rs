@@ -218,6 +218,41 @@ phaseexpr ((exchange || backexchange); anneal)^sweeps;
     .to_string()
 }
 
+/// Eight-color ordering of SOR on an `n × n` grid: cells are colored by
+/// `(2i + j) mod 8` and each color class updates in turn, reading all four
+/// mesh neighbors (which never share its color). Semantically a finer
+/// partition of the same mesh exchange as [`sor`]; its 8 comphases × 4
+/// rules = 32 distinct rules make it the stress program for the
+/// incremental front end — editing one rule leaves 31 cached fragments
+/// untouched (`larcs_bench`, EXPERIMENTS.md A8).
+pub fn sor_multicolor() -> String {
+    let mut s = String::from(
+        "algorithm sormulticolor(n, iters);\n\nnodetype cell: (0..n-1, 0..n-1);\n",
+    );
+    for c in 0..8 {
+        s.push_str(&format!("\ncomphase color{c}:\n"));
+        for (guard, edge) in [
+            ("i > 0", "cell(i,j) -> cell(i-1,j)"),
+            ("i < n-1", "cell(i,j) -> cell(i+1,j)"),
+            ("j > 0", "cell(i,j) -> cell(i,j-1)"),
+            ("j < n-1", "cell(i,j) -> cell(i,j+1)"),
+        ] {
+            s.push_str(&format!(
+                "  forall i in 0..n-1, j in 0..n-1 where (2*i+j) mod 8 == {c} and {guard} {{ {edge}; }}\n"
+            ));
+        }
+    }
+    s.push_str("\nexephase update cost 4;\n\nphaseexpr (");
+    for c in 0..8 {
+        if c > 0 {
+            s.push_str("; ");
+        }
+        s.push_str(&format!("color{c}; update"));
+    }
+    s.push_str(")^iters;\n");
+    s
+}
+
 /// `(name, source, sample parameters)` of one built-in program.
 pub type ProgramEntry = (&'static str, String, Vec<(&'static str, i64)>);
 
@@ -252,6 +287,7 @@ pub fn all_programs() -> Vec<ProgramEntry> {
         ("broadcast8", broadcast8(), vec![]),
         ("jacobi", jacobi(), vec![("n", 8), ("iters", 10)]),
         ("sor", sor(), vec![("n", 8), ("iters", 10)]),
+        ("sormulticolor", sor_multicolor(), vec![("n", 8), ("iters", 2)]),
         ("binomialdnc", binomial_dnc(), vec![("k", 4)]),
         ("fft", fft(), vec![("k", 3)]),
         ("matmul", matmul(), vec![("n", 4)]),
@@ -341,6 +377,18 @@ mod tests {
         // (each edge connects a red and a black cell)
         let total: usize = g.comm_phases.iter().map(|p| p.edges.len()).sum();
         assert_eq!(total, 2 * 24); // 24 undirected mesh edges, both directions
+    }
+
+    #[test]
+    fn sor_multicolor_partitions_mesh_edges_across_32_rules() {
+        let src = sor_multicolor();
+        let p = crate::parse(&src).unwrap();
+        assert_eq!(p.comphases.len(), 8);
+        assert_eq!(p.comphases.iter().map(|c| c.rules.len()).sum::<usize>(), 32);
+        let g = compile(&src, &[("n", 4), ("iters", 1)]).unwrap();
+        // the 8 color phases partition the same directed mesh edges as sor
+        let total: usize = g.comm_phases.iter().map(|ph| ph.edges.len()).sum();
+        assert_eq!(total, 2 * 24);
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! consumers can then call [`cyclic_contraction`] instead of the general
 //! closure.
 
-use crate::ast::{Program, Rule};
-use crate::expr::{BinOp, Expr};
+use crate::ast::{ExprKind, Program, Rule};
+use crate::expr::{BinOp, Env};
+use crate::intern::Symbol;
 
 /// The syntactic shape `i → (i + shift) mod n`: one shift per communication
 /// phase.
@@ -66,10 +67,13 @@ pub fn detect_translations(
     program: &Program,
     params: &[(&str, i64)],
 ) -> Option<TranslationForm> {
-    let env: crate::expr::Env = params
+    // A parameter name the program never mentions can't influence any
+    // expression; bind only the interned ones.
+    let env: Env = params
         .iter()
-        .map(|&(k, v)| (k.to_string(), v))
+        .filter_map(|&(k, v)| program.interner.get(k).map(|s| (s, v)))
         .collect();
+    let eval = |id| program.ast.eval(id, &env, &program.interner).ok();
     // single 1-D nodetype over 0..n-1
     let [nodetype] = program.nodetypes.as_slice() else {
         return None;
@@ -77,10 +81,10 @@ pub fn detect_translations(
     let [(lo, hi)] = nodetype.ranges.as_slice() else {
         return None;
     };
-    if lo.eval(&env).ok()? != 0 {
+    if eval(*lo)? != 0 {
         return None;
     }
-    let modulus = hi.eval(&env).ok()? + 1;
+    let modulus = eval(*hi)? + 1;
     if modulus < 2 {
         return None;
     }
@@ -89,7 +93,7 @@ pub fn detect_translations(
         let [rule] = phase.rules.as_slice() else {
             return None;
         };
-        shifts.push(translation_shift(rule, &nodetype.name, modulus, &env)?);
+        shifts.push(translation_shift(program, rule, nodetype.name.sym, modulus, &env)?);
     }
     if shifts.is_empty() {
         return None;
@@ -100,11 +104,14 @@ pub fn detect_translations(
 /// Matches one rule against `forall i in 0..n-1 { t(i) -> t((i+c) mod n) }`
 /// and extracts `c`.
 fn translation_shift(
+    program: &Program,
     rule: &Rule,
-    nodetype: &str,
+    nodetype: Symbol,
     modulus: i64,
-    env: &crate::expr::Env,
+    env: &Env,
 ) -> Option<i64> {
+    let ast = &program.ast;
+    let it = &program.interner;
     // binder i over the full range, no guard
     let [binder] = rule.binders.as_slice() else {
         return None;
@@ -112,20 +119,22 @@ fn translation_shift(
     if rule.guard.is_some() {
         return None;
     }
-    if binder.lo.eval(env).ok()? != 0 || binder.hi.eval(env).ok()? != modulus - 1 {
+    if ast.eval(binder.lo, env, it).ok()? != 0
+        || ast.eval(binder.hi, env, it).ok()? != modulus - 1
+    {
         return None;
     }
     let [edge] = rule.edges.as_slice() else {
         return None;
     };
-    if edge.src_type != nodetype || edge.dst_type != nodetype {
+    if edge.src_type.sym != nodetype || edge.dst_type.sym != nodetype {
         return None;
     }
     // source must be the bare binder variable
     let [src] = edge.src_args.as_slice() else {
         return None;
     };
-    if *src != Expr::Var(binder.var.clone()) {
+    if !matches!(ast.expr(*src), ExprKind::Var(v) if v == binder.var.sym) {
         return None;
     }
     // destination must be (i + c) mod n — i.e. `f(i) mod n` with `f`
@@ -134,19 +143,19 @@ fn translation_shift(
     let [dst] = edge.dst_args.as_slice() else {
         return None;
     };
-    let Expr::Bin(BinOp::Mod, sum, n_expr) = dst else {
+    let ExprKind::Bin(BinOp::Mod, sum, n_expr) = ast.expr(*dst) else {
         return None;
     };
-    if n_expr.eval(env).ok()? != modulus {
+    if ast.eval(n_expr, env, it).ok()? != modulus {
         return None;
     }
-    if !sum.is_affine_in(&[binder.var.as_str()]) {
+    if !ast.is_affine_in(sum, &[binder.var.sym]) {
         return None;
     }
     let eval_at = |x: i64| -> Option<i64> {
         let mut e2 = env.clone();
-        e2.insert(binder.var.clone(), x);
-        sum.eval(&e2).ok()
+        e2.insert(binder.var.sym, x);
+        ast.eval(sum, &e2, it).ok()
     };
     let f0 = eval_at(0)?;
     let f1 = eval_at(1)?;

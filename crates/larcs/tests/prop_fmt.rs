@@ -1,0 +1,88 @@
+//! Property-based validation of `larcs fmt`: the canonical formatter is
+//! idempotent (formatting a formatted program is a fixed point) and
+//! semantics-preserving (the formatted source elaborates to a
+//! byte-identical task graph) — on every builtin and on randomly
+//! generated, randomly laid-out stencil programs.
+
+use oregami_larcs::{compile, fmt, programs};
+use proptest::prelude::*;
+
+/// Every builtin formats to a fixed point and keeps its graph.
+#[test]
+fn builtins_format_to_a_semantic_fixed_point() {
+    for (name, src, params) in programs::all_programs() {
+        let formatted = fmt(&src).unwrap_or_else(|e| panic!("{name}: fmt failed: {e}"));
+        let again = fmt(&formatted).unwrap_or_else(|e| panic!("{name}: refmt failed: {e}"));
+        assert_eq!(formatted, again, "{name}: fmt is not idempotent");
+
+        let before = compile(&src, &params).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let after = compile(&formatted, &params)
+            .unwrap_or_else(|e| panic!("{name}: formatted source broke: {e}"));
+        assert_eq!(before, after, "{name}: fmt changed the task graph");
+    }
+}
+
+/// A randomly laid-out stencil program: `phases` picks directions /
+/// volumes, `sp` supplies the junk inter-token spacing the formatter
+/// must normalize away.
+fn messy_stencil(phases: &[(usize, u64)], sp: &str) -> String {
+    let s = if sp.is_empty() { " " } else { sp };
+    let mut out = format!("algorithm{s}gen(n);{s}\nnodetype{s}cell:{s}(0..n-1,{s}0..n-1);\n");
+    for (i, (d, vol)) in phases.iter().enumerate() {
+        let (guard, edge) = match d {
+            0 => ("i>0", "cell(i,j)->cell(i-1,j)"),
+            1 => ("i<n-1", "cell(i,j)->cell(i+1,j)"),
+            2 => ("j>0", "cell(i,j)->cell(i,j-1)"),
+            _ => ("j<n-1", "cell(i,j)->cell(i,j+1)"),
+        };
+        out.push_str(&format!(
+            "comphase{s}p{i}:{s}forall{s}i{s}in{s}0..n-1,{s}j{s}in{s}0..n-1{s}\
+             where{s}{guard}{s}{{{s}{edge}{s}volume{s}{vol};{s}}}\n"
+        ));
+    }
+    out.push_str(&format!("exephase{s}work{s}cost{s}n+1;\nphaseexpr{s}("));
+    for i in 0..phases.len() {
+        if i > 0 {
+            out.push(';');
+            out.push_str(s);
+        }
+        out.push_str(&format!("p{i};{s}work"));
+    }
+    out.push_str(")^2;\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated programs under arbitrary spacing: fmt reaches a fixed
+    /// point in one step and never changes the compiled graph.
+    #[test]
+    fn fmt_roundtrips_generated_stencils(
+        phases in proptest::collection::vec((0usize..4, 1u64..9), 1..5),
+        sp in "[ \\t]{0,3}",
+        n in 2i64..7,
+    ) {
+        let src = messy_stencil(&phases, &sp);
+        let formatted = fmt(&src).unwrap();
+        prop_assert_eq!(&fmt(&formatted).unwrap(), &formatted, "not idempotent");
+
+        let params = [("n", n)];
+        let before = compile(&src, &params).unwrap();
+        let after = compile(&formatted, &params).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Layout is irrelevant: any two spacings of the same program format
+    /// to the same canonical bytes.
+    #[test]
+    fn fmt_is_layout_invariant(
+        phases in proptest::collection::vec((0usize..4, 1u64..9), 1..4),
+        sp_a in "[ \\t]{0,3}",
+        sp_b in "[ \\t]{1,4}",
+    ) {
+        let a = fmt(&messy_stencil(&phases, &sp_a)).unwrap();
+        let b = fmt(&messy_stencil(&phases, &sp_b)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

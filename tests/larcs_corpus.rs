@@ -19,6 +19,10 @@ fn sweeps(name: &str) -> Vec<Vec<(&'static str, i64)>> {
             vec![("n", 12), ("iters", 50)],
         ],
         "sor" => vec![vec![("n", 3), ("iters", 1)], vec![("n", 10), ("iters", 5)]],
+        "sormulticolor" => vec![
+            vec![("n", 4), ("iters", 1)],
+            vec![("n", 10), ("iters", 3)],
+        ],
         "binomialdnc" => vec![vec![("k", 3)], vec![("k", 7)]],
         "fft" => vec![vec![("k", 2)], vec![("k", 5)]],
         "matmul" => vec![vec![("n", 2)], vec![("n", 9)]],
