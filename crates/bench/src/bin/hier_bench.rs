@@ -1,0 +1,379 @@
+//! Hierarchical-machine harness: a 1024-processor board-of-meshes
+//! machine under seeded board-killing storms, emitting
+//! `BENCH_hier.json` (the CI hier-smoke artifact).
+//!
+//! ```sh
+//! cargo run --release -p oregami-bench --bin hier_bench              # 40 storms
+//! cargo run --release -p oregami-bench --bin hier_bench -- --quick  # 6
+//! cargo run --release -p oregami-bench --bin hier_bench -- --storms 100 --seed 7
+//! ```
+//!
+//! The machine is `mesh-boards:4x4x8x8` — 16 boards of 8×8 meshes with
+//! a torus between boards, lowered to a flat 1024-processor network
+//! with one fault domain per board. The harness runs a boot-time
+//! health scan, maps a 1024-task Jacobi sweep, compresses the route
+//! tables against the 1024-entry hardware budget, then drives two
+//! storm legs against the healthy mapping:
+//!
+//! * **proc-loss**: a few processors inside one board die — repair
+//!   must keep displaced tasks inside the failing domain (capacity
+//!   allows it), so intra-domain migrations must dominate;
+//! * **board-loss**: one to three whole boards die atomically
+//!   (processors, intra-board links, uplinks) — every storm must end
+//!   in a validated mapping on the degraded network or a typed error,
+//!   never a panic or an invalid mapping.
+//!
+//! A churn leg replays a correlated board-storm event stream through
+//! the always-valid controller on a smaller composite machine,
+//! validating after every event. Any invariant violation exits
+//! non-zero so CI fails loudly.
+
+use oregami::larcs::programs;
+use oregami::topology::{
+    boot_scan, compress_routes, CompressionConfig, FaultSet, MachineModel, ProcId,
+};
+use oregami::{
+    ChurnConfig, ChurnController, EventStream, MapperOptions, Oregami, RepairOptions,
+    StreamProfile,
+};
+use std::time::Instant;
+
+const MACHINE: &str = "mesh-boards:4x4x8x8,bw=1000/250";
+const CHURN_MACHINE: &str = "mesh-boards:2x2x4x4";
+const ROUTE_BUDGET: usize = 1024;
+const BOOT_DEAD_PERMILLE: u32 = 5;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct StormTally {
+    storms: usize,
+    repaired: usize,
+    typed_errors: usize,
+    escalated: usize,
+    intra_migrations: usize,
+    cross_migrations: usize,
+    worst_storm_ms: f64,
+}
+
+fn main() {
+    let mut storms = 40usize;
+    let mut seed = 0x1EAFu64;
+    let mut churn_events = 5_000u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                storms = 6;
+                churn_events = 500;
+            }
+            "--storms" => {
+                storms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--storms needs a count");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    let mut invariant_ok = true;
+    let start_all = Instant::now();
+
+    // -- the machine, lowered ------------------------------------------------
+    let lowered = MachineModel::parse(MACHINE).expect("machine spec").lower();
+    let net = lowered.net.clone();
+    let domains = lowered.domains.clone();
+    let num_procs = net.num_procs();
+    let num_boards = domains.num_domains();
+    assert!(num_procs >= 1024, "acceptance demands a >=1024-proc machine");
+    println!(
+        "hier bench: {MACHINE} -> {num_procs} processors in {num_boards} board domains, \
+         seed {seed}"
+    );
+
+    // -- boot-time health discovery ------------------------------------------
+    let health = boot_scan(&net, &domains, seed, BOOT_DEAD_PERMILLE);
+    println!(
+        "  boot scan: {} processor(s) dead at boot, {} link(s), {}/{} domain(s) degraded",
+        health.dead_procs.len(),
+        health.dead_links.len(),
+        health.domains_degraded,
+        health.domains_total
+    );
+
+    // -- the workload: one Jacobi task per processor -------------------------
+    let system = Oregami::new(net.clone()).with_options(MapperOptions {
+        load_bound: Some(2),
+        ..MapperOptions::default()
+    });
+    let t0 = Instant::now();
+    let result = system
+        .map_source(&programs::jacobi(), &[("n", 32), ("iters", 2)])
+        .expect("jacobi maps onto the machine");
+    let map_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  mapped {} tasks in {map_ms:.0} ms (strategy {:?})",
+        result.task_graph.num_tasks(),
+        result.report.strategy
+    );
+
+    // -- route-table compression against the hardware budget -----------------
+    let compression = compress_routes(
+        &net,
+        result.report.mapping.routes.iter().flatten().map(Vec::as_slice),
+        CompressionConfig { entries_per_proc: ROUTE_BUDGET },
+    )
+    .expect("healthy mapping fits the hardware budget");
+    println!(
+        "  route compression: {} -> {} entries, max {}/proc (budget {}, headroom {})",
+        compression.raw_entries,
+        compression.compressed_entries,
+        compression.max_entries_per_proc,
+        compression.budget,
+        compression.headroom()
+    );
+    if compression.max_entries_per_proc > ROUTE_BUDGET {
+        eprintln!("INVARIANT VIOLATED: compressed tables exceed the hardware budget");
+        invariant_ok = false;
+    }
+
+    // -- leg A: processor loss inside one board ------------------------------
+    // Capacity survives (the board loses 3 of 64 processors), so repair
+    // must keep the displaced tasks inside the failing domain.
+    let mut rng = seed;
+    let mut proc_leg = StormTally {
+        storms,
+        repaired: 0,
+        typed_errors: 0,
+        escalated: 0,
+        intra_migrations: 0,
+        cross_migrations: 0,
+        worst_storm_ms: 0.0,
+    };
+    let ropts = RepairOptions {
+        domains: Some(domains.clone()),
+        ..RepairOptions::default()
+    };
+    for _ in 0..storms {
+        let board = (splitmix(&mut rng) % num_boards as u64) as u32;
+        let members: Vec<ProcId> = domains.procs_in(board).collect();
+        let mut faults = FaultSet::new();
+        for _ in 0..3 {
+            let victim = members[(splitmix(&mut rng) as usize) % members.len()];
+            faults.fail_proc(victim);
+        }
+        let t = Instant::now();
+        match system.repair(&result, &faults, &ropts) {
+            Ok(rec) => {
+                if let Err(e) = rec.mapping.validate(&result.task_graph, rec.degraded.network()) {
+                    eprintln!("INVARIANT VIOLATED: proc-loss repair left an invalid mapping: {e}");
+                    invariant_ok = false;
+                }
+                proc_leg.repaired += 1;
+                proc_leg.escalated += rec.repair.escalated as usize;
+                proc_leg.intra_migrations += rec.repair.migrations_intra_domain;
+                proc_leg.cross_migrations += rec.repair.migrations_cross_domain;
+            }
+            Err(_) => proc_leg.typed_errors += 1,
+        }
+        proc_leg.worst_storm_ms = proc_leg.worst_storm_ms.max(t.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "  proc-loss leg: {}/{} repaired ({} typed errors, {} escalated), \
+         {} intra vs {} cross migrations, worst {:.0} ms",
+        proc_leg.repaired,
+        proc_leg.storms,
+        proc_leg.typed_errors,
+        proc_leg.escalated,
+        proc_leg.intra_migrations,
+        proc_leg.cross_migrations,
+        proc_leg.worst_storm_ms
+    );
+    if proc_leg.intra_migrations < proc_leg.cross_migrations {
+        eprintln!(
+            "INVARIANT VIOLATED: with intra-board capacity available, repair must \
+             prefer intra-domain migration"
+        );
+        invariant_ok = false;
+    }
+
+    // -- leg B: whole boards die atomically ----------------------------------
+    let mut board_leg = StormTally {
+        storms,
+        repaired: 0,
+        typed_errors: 0,
+        escalated: 0,
+        intra_migrations: 0,
+        cross_migrations: 0,
+        worst_storm_ms: 0.0,
+    };
+    for _ in 0..storms {
+        let k = 1 + (splitmix(&mut rng) % 3) as usize;
+        let mut faults = FaultSet::new();
+        for _ in 0..k {
+            let board = (splitmix(&mut rng) % num_boards as u64) as u32;
+            let bf = domains
+                .board_fault_set(&net, board)
+                .expect("board id in range");
+            for p in bf.procs() {
+                faults.fail_proc(p);
+            }
+            for l in bf.links() {
+                faults.fail_link(l);
+            }
+        }
+        let t = Instant::now();
+        match system.repair(&result, &faults, &ropts) {
+            Ok(rec) => {
+                if let Err(e) = rec.mapping.validate(&result.task_graph, rec.degraded.network()) {
+                    eprintln!("INVARIANT VIOLATED: board-loss repair left an invalid mapping: {e}");
+                    invariant_ok = false;
+                }
+                board_leg.repaired += 1;
+                board_leg.escalated += rec.repair.escalated as usize;
+                board_leg.intra_migrations += rec.repair.migrations_intra_domain;
+                board_leg.cross_migrations += rec.repair.migrations_cross_domain;
+            }
+            Err(_) => board_leg.typed_errors += 1,
+        }
+        board_leg.worst_storm_ms = board_leg.worst_storm_ms.max(t.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "  board-loss leg: {}/{} repaired ({} typed errors, {} escalated), \
+         {} intra vs {} cross migrations, worst {:.0} ms",
+        board_leg.repaired,
+        board_leg.storms,
+        board_leg.typed_errors,
+        board_leg.escalated,
+        board_leg.intra_migrations,
+        board_leg.cross_migrations,
+        board_leg.worst_storm_ms
+    );
+    if board_leg.repaired + board_leg.typed_errors != board_leg.storms {
+        eprintln!("INVARIANT VIOLATED: a board storm ended neither repaired nor typed");
+        invariant_ok = false;
+    }
+
+    // -- churn leg: correlated board storms through the controller -----------
+    let churn_lowered = MachineModel::parse(CHURN_MACHINE).expect("churn machine").lower();
+    let churn_cfg = ChurnConfig {
+        load_bound: 8,
+        ..ChurnConfig::default()
+    };
+    let mut ctl = ChurnController::new(churn_lowered.net.clone(), churn_cfg.clone())
+        .expect("controller")
+        .with_domains(churn_lowered.domains.clone());
+    let stream = EventStream::new(
+        churn_lowered.net.clone(),
+        StreamProfile::BoardStorm,
+        seed,
+        churn_events,
+        churn_cfg.load_bound,
+    )
+    .with_domains(churn_lowered.domains.clone());
+    let board_size = churn_lowered.net.num_procs() / churn_lowered.domains.num_domains();
+    let (mut churn_rejected, mut churn_board_faults, mut churn_board_recovers) = (0u64, 0u64, 0u64);
+    for (i, ev) in stream.enumerate() {
+        match &ev {
+            oregami::ChurnEvent::Fault { procs, .. } if procs.len() == board_size => {
+                churn_board_faults += 1;
+            }
+            oregami::ChurnEvent::Recover { procs, .. } if procs.len() == board_size => {
+                churn_board_recovers += 1;
+            }
+            _ => {}
+        }
+        if ctl.ingest(&ev).is_err() {
+            churn_rejected += 1;
+        }
+        if let Err(e) = ctl.validate() {
+            eprintln!("INVARIANT VIOLATED: churn event {i} left an invalid mapping: {e}");
+            invariant_ok = false;
+        }
+    }
+    println!(
+        "  churn leg: {CHURN_MACHINE}, {churn_events} events, {churn_board_faults} whole-board \
+         faults + {churn_board_recovers} recoveries, {churn_rejected} rejected, mapping valid \
+         throughout"
+    );
+    if churn_board_faults == 0 {
+        eprintln!("INVARIANT VIOLATED: the board-storm stream produced no whole-board fault");
+        invariant_ok = false;
+    }
+
+    let wall = start_all.elapsed();
+    println!(
+        "  total {:.2}s  invariant: {}",
+        wall.as_secs_f64(),
+        if invariant_ok { "ok" } else { "VIOLATED" }
+    );
+
+    // -- artifact -------------------------------------------------------------
+    let leg_json = |l: &StormTally| {
+        format!(
+            "{{\"storms\": {}, \"repaired\": {}, \"typed_errors\": {}, \"escalated\": {}, \
+             \"intra_migrations\": {}, \"cross_migrations\": {}, \"worst_storm_ms\": {:.1}}}",
+            l.storms,
+            l.repaired,
+            l.typed_errors,
+            l.escalated,
+            l.intra_migrations,
+            l.cross_migrations,
+            l.worst_storm_ms
+        )
+    };
+    let alive: Vec<String> = health.alive_per_domain.iter().map(u32::to_string).collect();
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hier\",\n");
+    json.push_str(&format!(
+        "  \"machine\": \"{MACHINE}\",\n  \"procs\": {num_procs},\n  \"boards\": {num_boards},\n  \"seed\": {seed},\n"
+    ));
+    json.push_str(&format!(
+        "  \"boot\": {{\"dead_permille\": {BOOT_DEAD_PERMILLE}, \"dead_procs\": {}, \
+         \"dead_links\": {}, \"domains_degraded\": {}, \"alive_per_domain\": [{}]}},\n",
+        health.dead_procs.len(),
+        health.dead_links.len(),
+        health.domains_degraded,
+        alive.join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"route_compression\": {{\"budget\": {ROUTE_BUDGET}, \"raw_entries\": {}, \
+         \"compressed_entries\": {}, \"max_entries_per_proc\": {}, \"headroom\": {}, \
+         \"under_budget\": {}}},\n",
+        compression.raw_entries,
+        compression.compressed_entries,
+        compression.max_entries_per_proc,
+        compression.headroom(),
+        compression.max_entries_per_proc <= ROUTE_BUDGET
+    ));
+    json.push_str(&format!("  \"proc_loss\": {},\n", leg_json(&proc_leg)));
+    json.push_str(&format!("  \"board_loss\": {},\n", leg_json(&board_leg)));
+    json.push_str(&format!(
+        "  \"churn\": {{\"machine\": \"{CHURN_MACHINE}\", \"events\": {churn_events}, \
+         \"board_faults\": {churn_board_faults}, \"board_recovers\": {churn_board_recovers}, \
+         \"rejected\": {churn_rejected}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"total_s\": {:.3},\n  \"invariant_ok\": {invariant_ok}\n",
+        wall.as_secs_f64()
+    ));
+    json.push_str("}\n");
+    let path = "BENCH_hier.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+
+    if !invariant_ok {
+        std::process::exit(1);
+    }
+}

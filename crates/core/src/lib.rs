@@ -69,10 +69,13 @@ pub use oregami_mapper::{
     StreamProfile, Strategy, SupervisorConfig, SupervisorState,
 };
 pub use oregami_metrics::{
-    CostModel, Edit, EditError, MetricSnapshot, MetricsDelta, MetricsEngine, MetricsReport,
+    capacity_links, capacity_load, CapacityLinkMetrics, CapacityLoadMetrics, CostModel, Edit,
+    EditError, MetricSnapshot, MetricsDelta, MetricsEngine, MetricsReport,
 };
 pub use oregami_topology::{
-    CacheStats, DegradedNetwork, FaultSet, Network, RouteTableCache, TopologyError,
+    boot_scan, compress_routes, CacheStats, CompressionConfig, DegradedNetwork, DomainMap,
+    FaultDomain, FaultSet, HealthReport, LoweredMachine, MachineAttrs, MachineModel, Network,
+    RouteCompression, RouteTableCache, TopologyError,
 };
 
 use oregami_graph::TaskGraph;

@@ -25,7 +25,7 @@ use oregami::{
     StreamSession, SupervisorConfig,
 };
 use oregami_daemon::json::{obj, Json};
-use oregami_daemon::topo::parse_topology;
+use oregami_daemon::topo::parse_target;
 use oregami_daemon::Client;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -35,8 +35,16 @@ struct Args {
     source_label: String,
     default_params: Vec<(String, i64)>,
     topology: Option<Network>,
-    /// The raw `--topology` spec string, for daemon client mode.
+    /// The raw `--topology` / `--machine` spec string, for daemon client
+    /// mode.
     topology_spec: Option<String>,
+    /// The fault-domain map of a lowered `--machine`, for blast-radius
+    /// repair and `--fail-board`.
+    machine_domains: Option<std::sync::Arc<oregami::DomainMap>>,
+    fail_boards: Vec<u32>,
+    boot_seed: u64,
+    boot_dead: Option<u32>,
+    route_budget: usize,
     params: Vec<(String, i64)>,
     load_bound: Option<usize>,
     dot: Option<String>,
@@ -149,6 +157,12 @@ fn usage() -> &'static str {
        --file PATH            LaRCS source file\n\
        --topology SPEC        hypercube:D | mesh2d:RxC | torus2d:RxC | ring:N |\n\
                               chain:N | complete:N | star:N | tree:H | butterfly:D\n\
+       --machine SPEC         hierarchical machine, lowered to a flat network\n\
+                              with fault domains: mesh-boards:RxCxrxc (R×C\n\
+                              boards of r×c meshes, torus between boards) |\n\
+                              fat-tree:AxH | dragonfly:GxAxP | rc-array[:PHASES]\n\
+                              Optional attrs: ,bw=L0/L1 ,speed=S0/S1 ,mem=M\n\
+                              ,reconfig=MS (e.g. mesh-boards:4x4x8x8,bw=1000/250)\n\
        -P, --param NAME=VAL   bind a LaRCS parameter (repeatable)\n\
        -B, --load-bound B     max tasks per processor\n\
        --byte-time T          cost model: time per volume unit     (default 1)\n\
@@ -161,6 +175,17 @@ fn usage() -> &'static str {
        --timeline             print the completion-time breakdown\n\
        --fail-proc P          fail processor P, repair the mapping (repeatable)\n\
        --fail-link L          fail link L, repair the mapping (repeatable)\n\
+       --fail-board B         fail every processor and link of board B plus its\n\
+                              uplinks atomically, then repair blast-radius-aware\n\
+                              (repeatable; needs --machine)\n\
+       --boot-seed N          seed for the boot-time health scan (default 0)\n\
+       --boot-dead PM         boot-time health scan: each processor is dead at\n\
+                              boot with probability PM permille; discovered\n\
+                              faults feed the initial degraded mapping\n\
+                              (needs --machine)\n\
+       --route-budget N       per-processor routing-table hardware entries;\n\
+                              machine mappings are compressed against this\n\
+                              budget and over-budget is a typed fault (exit 4)\n\
        --fault-sweep K        try K single-processor-failure scenarios and\n\
                               summarise repairability\n\
        --deadline-ms MS       stop searching after MS milliseconds and serve the\n\
@@ -238,6 +263,11 @@ fn parse_args() -> Result<Args, String> {
         default_params: Vec::new(),
         topology: None,
         topology_spec: None,
+        machine_domains: None,
+        fail_boards: Vec::new(),
+        boot_seed: 0,
+        boot_dead: None,
+        route_budget: 1024,
         params: Vec::new(),
         load_bound: None,
         dot: None,
@@ -296,8 +326,42 @@ fn parse_args() -> Result<Args, String> {
             }
             "--topology" => {
                 let spec = next_val(&mut it, "--topology")?;
-                args.topology = Some(parse_topology(&spec)?);
+                let (net, domains) = parse_target(&spec)?;
+                args.topology = Some(net);
+                args.machine_domains = domains;
                 args.topology_spec = Some(spec);
+            }
+            "--machine" => {
+                let spec = next_val(&mut it, "--machine")?;
+                let lowered = oregami::MachineModel::parse(&spec)?.lower();
+                args.topology = Some(lowered.net);
+                args.machine_domains = Some(lowered.domains);
+                args.topology_spec = Some(spec);
+            }
+            "--fail-board" => {
+                args.fail_boards.push(
+                    next_val(&mut it, "--fail-board")?
+                        .parse()
+                        .map_err(|_| "bad --fail-board id".to_string())?,
+                );
+            }
+            "--boot-seed" => {
+                args.boot_seed = next_val(&mut it, "--boot-seed")?
+                    .parse()
+                    .map_err(|_| "bad --boot-seed value".to_string())?;
+            }
+            "--boot-dead" => {
+                args.boot_dead = Some(
+                    next_val(&mut it, "--boot-dead")?
+                        .parse()
+                        .map_err(|_| "bad --boot-dead permille".to_string())?,
+                );
+            }
+            "--route-budget" => {
+                args.route_budget = next_val(&mut it, "--route-budget")?
+                    .parse::<usize>()
+                    .map_err(|_| "bad --route-budget value".to_string())?
+                    .max(1);
             }
             "-P" | "--param" => {
                 let kv = next_val(&mut it, "--param")?;
@@ -456,6 +520,15 @@ fn run() -> Result<ExitCode, CliError> {
         .ok_or_else(|| format!("no --topology given\n\n{}", usage()))?;
     let net_name = net.name.clone();
     let num_procs = net.num_procs();
+    if args.machine_domains.is_none()
+        && (!args.fail_boards.is_empty() || args.boot_dead.is_some())
+    {
+        return Err(CliError::Usage(
+            "--fail-board and --boot-dead need --machine (flat topologies have \
+             no fault domains)"
+                .into(),
+        ));
+    }
 
     // --grace-ms / --chaos only make sense supervised; imply the flag
     let supervise = args.supervise || args.grace_ms.is_some() || args.chaos.is_some();
@@ -477,6 +550,24 @@ fn run() -> Result<ExitCode, CliError> {
             );
         }
         system = system.with_supervisor(sup);
+    }
+    // Boot-time health discovery (SpiNNTools-style dead-at-boot scan):
+    // discovered faults are folded into the fault-injection set below so
+    // the served mapping is repaired around them from the start.
+    let mut boot_faults = FaultSet::new();
+    if let (Some(domains), Some(permille)) = (&args.machine_domains, args.boot_dead) {
+        let health =
+            oregami::boot_scan(system.network(), domains, args.boot_seed, permille);
+        println!(
+            "boot scan (seed {}): {} processor(s) dead, {} extra link(s) dead, \
+             {}/{} domain(s) degraded",
+            health.seed,
+            health.dead_procs.len(),
+            health.dead_links.len(),
+            health.domains_degraded,
+            health.domains_total,
+        );
+        boot_faults = health.fault_set();
     }
     // Explicit -P bindings win; a built-in program's sample parameters fill
     // any gaps so `--program NAME` alone is runnable.
@@ -528,6 +619,28 @@ fn run() -> Result<ExitCode, CliError> {
     }
     println!();
     println!("{}", result.metrics.render());
+
+    // Machine mappings must fit the per-processor routing hardware:
+    // compress the route tables against the budget and fail typed
+    // (exit 4) when even compression cannot fit them.
+    if args.machine_domains.is_some() {
+        let compression = oregami::compress_routes(
+            system.network(),
+            result.report.mapping.routes.iter().flatten().map(Vec::as_slice),
+            oregami::CompressionConfig { entries_per_proc: args.route_budget },
+        )
+        .map_err(|e| CliError::Fault(OregamiError::Fault(e)))?;
+        println!(
+            "route compression: {} -> {} entries (budget {}/proc, max {} at P{}, \
+             headroom {})",
+            compression.raw_entries,
+            compression.compressed_entries,
+            compression.budget,
+            compression.max_entries_per_proc,
+            compression.hottest_proc.0,
+            compression.headroom(),
+        );
+    }
 
     // Interactive replay: apply an edit script through the incremental
     // METRICS engine, printing the per-edit deltas the paper's GUI showed
@@ -664,19 +777,43 @@ fn run() -> Result<ExitCode, CliError> {
         }
     }
 
-    if !args.fail_procs.is_empty() || !args.fail_links.is_empty() {
-        let mut faults = FaultSet::new();
+    if !args.fail_procs.is_empty()
+        || !args.fail_links.is_empty()
+        || !args.fail_boards.is_empty()
+        || !boot_faults.is_empty()
+    {
+        let mut faults = boot_faults.clone();
         for &p in &args.fail_procs {
             faults.fail_proc(ProcId(p));
         }
         for &l in &args.fail_links {
             faults.fail_link(LinkId(l));
         }
+        for &b in &args.fail_boards {
+            let domains = args.machine_domains.as_ref().expect("checked above");
+            let board = domains
+                .board_fault_set(system.network(), b)
+                .map_err(|e| CliError::Fault(OregamiError::Fault(e)))?;
+            for p in board.procs() {
+                faults.fail_proc(p);
+            }
+            for l in board.links() {
+                faults.fail_link(l);
+            }
+        }
         let ropts = RepairOptions {
             load_bound: args.load_bound,
+            domains: args.machine_domains.clone(),
             ..RepairOptions::default()
         };
         let rec = system.repair(&result, &faults, &ropts)?;
+        if !args.fail_boards.is_empty() {
+            println!(
+                "-- board loss: board(s) {:?} failed atomically (processors, \
+                 intra-board links, uplinks) --",
+                args.fail_boards
+            );
+        }
         println!(
             "-- fault injection: {} processor(s) + {} link(s) failed ({} links out of service) --",
             rec.degraded.failed_procs().len(),
@@ -691,6 +828,7 @@ fn run() -> Result<ExitCode, CliError> {
     if let Some(k) = args.fault_sweep {
         let ropts = RepairOptions {
             load_bound: args.load_bound,
+            domains: args.machine_domains.clone(),
             ..RepairOptions::default()
         };
         let (mut repaired, mut escalated, mut unrepairable) = (0usize, 0usize, 0usize);

@@ -45,6 +45,15 @@ fn usage() -> &'static str {
        --chaos SPEC       inject seeded faults into every request's\n\
                           supervisor: seed=N,panic=P,stall=P,stall-ms=MS\n\
                           [,only=STAGE] — for resilience testing\n\
+       --machine SPEC     hierarchical machine this daemon fronts\n\
+                          (mesh-boards:RxCxrxc | fat-tree:AxH |\n\
+                          dragonfly:GxAxP | rc-array[:PHASES]); runs a\n\
+                          boot-time health scan and reports per-domain\n\
+                          liveness in health responses\n\
+       --boot-seed N      seed for the boot-time health scan (default 0)\n\
+       --boot-dead PM     dead-at-boot probability in permille (default 0)\n\
+       --route-budget N   per-processor routing-table hardware entries\n\
+                          for machine mappings (default 1024)\n\
        -h, --help         this text\n\
      \n\
      PROTOCOL: length-prefixed JSON frames (u32 LE length + payload,\n\
@@ -63,6 +72,10 @@ fn parse_config() -> Result<ServerConfig, String> {
     let mut max_queue: Option<usize> = None;
     let mut resume = false;
     let mut chaos: Option<String> = None;
+    let mut machine: Option<String> = None;
+    let mut boot_seed = 0u64;
+    let mut boot_dead = 0u32;
+    let mut route_budget: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -87,6 +100,24 @@ fn parse_config() -> Result<ServerConfig, String> {
             }
             "--resume" => resume = true,
             "--chaos" => chaos = Some(next_val(&mut it, "--chaos")?),
+            "--machine" => machine = Some(next_val(&mut it, "--machine")?),
+            "--boot-seed" => {
+                boot_seed = next_val(&mut it, "--boot-seed")?
+                    .parse()
+                    .map_err(|_| "bad --boot-seed value".to_string())?;
+            }
+            "--boot-dead" => {
+                boot_dead = next_val(&mut it, "--boot-dead")?
+                    .parse()
+                    .map_err(|_| "bad --boot-dead value".to_string())?;
+            }
+            "--route-budget" => {
+                route_budget = Some(
+                    next_val(&mut it, "--route-budget")?
+                        .parse()
+                        .map_err(|_| "bad --route-budget value".to_string())?,
+                );
+            }
             "-h" | "--help" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -105,6 +136,12 @@ fn parse_config() -> Result<ServerConfig, String> {
     }
     config.resume = resume;
     config.chaos = chaos;
+    config.machine = machine;
+    config.boot_seed = boot_seed;
+    config.boot_dead_permille = boot_dead;
+    if let Some(n) = route_budget {
+        config.route_budget = n.max(1);
+    }
     Ok(config)
 }
 

@@ -217,7 +217,7 @@ fn parse_spec(msg: &Json) -> Result<MapSpec, WireError> {
         (None, None) => return Err(bad("missing 'program' or 'source'")),
     };
     let topology = get_str(msg, "topology")?.ok_or_else(|| bad("missing 'topology'"))?;
-    crate::topo::parse_topology(&topology).map_err(bad)?;
+    crate::topo::parse_target(&topology).map_err(bad)?;
     let mut params: Vec<(String, i64)> = match msg.get("params") {
         None | Some(Json::Null) => Vec::new(),
         Some(Json::Obj(fields)) => fields

@@ -21,7 +21,6 @@ use crate::json::{obj, Json};
 use crate::protocol::{self, MapSpec, Op, KIND_BAD_REQUEST, KIND_INTERNAL, KIND_SHUTTING_DOWN};
 use crate::scheduler::{Job, Scheduler};
 use crate::sessions::{metric_json, SessionRegistry};
-use crate::topo::parse_topology;
 use crate::wire::{self, WireError};
 use oregami::graph::TaskGraph;
 use oregami::topology::{LinkId, ProcId};
@@ -56,6 +55,18 @@ pub struct ServerConfig {
     pub chaos: Option<String>,
     /// Route-table cache capacity (distinct topologies kept hot).
     pub cache_capacity: usize,
+    /// Hierarchical machine spec this daemon fronts (e.g.
+    /// `mesh-boards:4x4x8x8`). When set, a boot-time health scan runs at
+    /// bind and `health` reports per-domain liveness.
+    pub machine: Option<String>,
+    /// Seed for the boot-time health scan.
+    pub boot_seed: u64,
+    /// Dead-at-boot probability in permille for the health scan
+    /// (0 = everything boots).
+    pub boot_dead_permille: u32,
+    /// Per-processor routing-table hardware budget used to compress the
+    /// routes of machine-spec mappings.
+    pub route_budget: usize,
 }
 
 impl ServerConfig {
@@ -72,6 +83,10 @@ impl ServerConfig {
             resume: false,
             chaos: None,
             cache_capacity: 32,
+            machine: None,
+            boot_seed: 0,
+            boot_dead_permille: 0,
+            route_budget: 1024,
         }
     }
 }
@@ -91,6 +106,13 @@ struct Daemon {
     coalescer: Coalescer<UnixStream>,
     sessions: SessionRegistry,
     chaos: Option<String>,
+    /// The hierarchical machine this daemon fronts, with its boot-time
+    /// health, when configured.
+    machine: Option<MachineStatus>,
+    /// Per-processor routing-table hardware budget for machine mappings.
+    route_budget: usize,
+    /// Compression result of the most recent machine-spec mapping.
+    compression: Mutex<Option<oregami::RouteCompression>>,
     /// Set by `shutdown` requests and by the stop flag: admission sheds,
     /// the accept loop exits.
     draining: AtomicBool,
@@ -98,6 +120,13 @@ struct Daemon {
     started: Instant,
     resumed_sessions: usize,
     resume_failures: usize,
+}
+
+/// The configured machine plus its boot-scan verdict.
+struct MachineStatus {
+    spec: String,
+    num_procs: usize,
+    health: oregami::HealthReport,
 }
 
 /// A bound, not-yet-serving daemon. [`Server::bind`] resolves every
@@ -139,6 +168,32 @@ impl Server {
         if let Some(spec) = &config.chaos {
             ChaosConfig::parse(spec).map_err(|e| format!("bad chaos spec: {e}"))?;
         }
+        let machine = match &config.machine {
+            Some(spec) => {
+                let lowered = oregami::MachineModel::parse(spec)
+                    .map_err(|e| format!("bad machine spec: {e}"))?
+                    .lower();
+                let health = oregami::boot_scan(
+                    &lowered.net,
+                    &lowered.domains,
+                    config.boot_seed,
+                    config.boot_dead_permille,
+                );
+                eprintln!(
+                    "oregamid: machine {spec}: {}/{} processors booted, {}/{} domains healthy",
+                    lowered.net.num_procs() - health.dead_procs.len(),
+                    lowered.net.num_procs(),
+                    health.domains_total - health.domains_degraded,
+                    health.domains_total,
+                );
+                Some(MachineStatus {
+                    spec: spec.clone(),
+                    num_procs: lowered.net.num_procs(),
+                    health,
+                })
+            }
+            None => None,
+        };
         let listener = UnixListener::bind(&config.socket)
             .map_err(|e| format!("cannot bind {}: {e}", config.socket.display()))?;
         listener
@@ -169,6 +224,9 @@ impl Server {
             coalescer: Coalescer::default(),
             sessions,
             chaos: config.chaos.clone(),
+            machine,
+            route_budget: config.route_budget,
+            compression: Mutex::new(None),
             draining: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             started: Instant::now(),
@@ -451,6 +509,10 @@ fn error_payload(e: &OregamiError) -> (String, String) {
     (kind.to_string(), e.to_string())
 }
 
+/// A toolchain plus the lowered domain map when the request's target was
+/// a hierarchical machine spec, or a `(kind, message)` wire error.
+type SystemAndDomains = Result<(Oregami, Option<Arc<oregami::DomainMap>>), (String, String)>;
+
 impl Daemon {
     /// Compiles (or fetches) the task graph for `spec` through the
     /// shared incremental front end: the `Db` memoizes by content
@@ -468,23 +530,57 @@ impl Daemon {
 
     /// A toolchain instance for one request: shared route-table cache,
     /// shared supervisor breaker state, per-request (or daemon-wide)
-    /// chaos injection.
-    fn system_for(&self, spec: &MapSpec) -> Result<Oregami, (String, String)> {
-        let net = parse_topology(&spec.topology).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
+    /// chaos injection. Machine specs (`mesh-boards:...`) also yield the
+    /// lowered domain map for blast-radius-aware repair.
+    fn system_for(&self, spec: &MapSpec) -> SystemAndDomains {
+        let (net, domains) =
+            crate::topo::parse_target(&spec.topology).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
         let mut sup = SupervisorConfig::default().with_state(Arc::clone(&self.supervisor));
         if let Some(c) = spec.chaos.as_ref().or(self.chaos.as_ref()) {
             let chaos =
                 ChaosConfig::parse(c).map_err(|e| (KIND_BAD_REQUEST.to_string(), e))?;
             sup = sup.with_chaos(chaos);
         }
-        Ok(Oregami::new(net)
+        let system = Oregami::new(net)
             .with_cache(Arc::clone(&self.cache))
             .with_frontend(Arc::clone(&self.frontend))
             .with_options(MapperOptions {
                 load_bound: spec.load_bound,
                 ..MapperOptions::default()
             })
-            .with_supervisor(sup))
+            .with_supervisor(sup);
+        Ok((system, domains))
+    }
+
+    /// Compresses a machine mapping's routing tables against the
+    /// hardware budget, recording the result for `health`. Over-budget
+    /// tables are a typed `repair` error: the mapping cannot be loaded.
+    fn compress_machine_routes(
+        &self,
+        system: &Oregami,
+        result: &OregamiResult,
+    ) -> Result<oregami::RouteCompression, (String, String)> {
+        let routes: Vec<&[ProcId]> = result
+            .report
+            .mapping
+            .routes
+            .iter()
+            .flatten()
+            .map(Vec::as_slice)
+            .collect();
+        let compression = oregami::compress_routes(
+            system.network(),
+            routes,
+            oregami::CompressionConfig {
+                entries_per_proc: self.route_budget,
+            },
+        )
+        .map_err(|e| ("repair".to_string(), e.to_string()))?;
+        *self
+            .compression
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(compression.clone());
+        Ok(compression)
     }
 
     fn map_budgeted(
@@ -511,10 +607,22 @@ impl Daemon {
 
     /// Runs one compute operation to its result object (worker thread).
     fn execute(&self, op_name: &str, spec: &MapSpec) -> Payload {
-        let system = self.system_for(spec)?;
+        let (system, domains) = self.system_for(spec)?;
         let result = self.map_budgeted(&system, spec)?;
         match op_name {
-            "map" => Ok(map_json(spec, &system, &result)),
+            "map" => {
+                let mut out = map_json(spec, &system, &result);
+                if domains.is_some() {
+                    let c = self.compress_machine_routes(&system, &result)?;
+                    if let Json::Obj(fields) = &mut out {
+                        fields.push((
+                            "route_compression".to_string(),
+                            compression_json(&c, self.route_budget),
+                        ));
+                    }
+                }
+                Ok(out)
+            }
             "metrics" => {
                 let session = system.interactive(&result).map_err(|e| error_payload(&e))?;
                 Ok(obj()
@@ -534,20 +642,31 @@ impl Daemon {
                 }
                 let ropts = RepairOptions {
                     load_bound: spec.load_bound,
+                    domains: domains.clone(),
                     ..RepairOptions::default()
                 };
                 let rec = system
                     .repair(&result, &faults, &ropts)
                     .map_err(|e| error_payload(&e))?;
-                Ok(obj()
+                let mut out = obj()
                     .field("program", spec.label.as_str())
                     .field("topology", spec.topology.as_str())
                     .field("failed_procs", rec.degraded.failed_procs().len())
                     .field("failed_links", rec.degraded.failed_links().len())
                     .field("escalated", rec.repair.escalated)
-                    .field("repair", rec.repair.to_string())
-                    .field("metrics", rec.metrics.render())
-                    .build())
+                    .field("repair", rec.repair.to_string());
+                if domains.is_some() {
+                    out = out
+                        .field(
+                            "migrations_intra_domain",
+                            rec.repair.migrations_intra_domain,
+                        )
+                        .field(
+                            "migrations_cross_domain",
+                            rec.repair.migrations_cross_domain,
+                        );
+                }
+                Ok(out.field("metrics", rec.metrics.render()).build())
             }
             other => Err((
                 KIND_INTERNAL.to_string(),
@@ -590,7 +709,7 @@ impl Daemon {
             "healthy"
         };
         let stats = self.cache.stats();
-        obj()
+        let mut out = obj()
             .field("service", service)
             .field("draining", draining)
             .field("uptime_ms", self.started.elapsed().as_millis() as u64)
@@ -627,10 +746,55 @@ impl Daemon {
                     .field("misses", stats.misses)
                     .field("evictions", stats.evictions)
                     .build(),
-            )
+            );
+        if let Some(m) = &self.machine {
+            let alive: Vec<Json> = m
+                .health
+                .alive_per_domain
+                .iter()
+                .map(|&c| Json::from(u64::from(c)))
+                .collect();
+            out = out.field(
+                "machine",
+                obj()
+                    .field("spec", m.spec.as_str())
+                    .field("procs", m.num_procs)
+                    .field("dead_procs", m.health.dead_procs.len())
+                    .field("dead_links", m.health.dead_links.len())
+                    .field("domains_total", m.health.domains_total)
+                    .field("domains_degraded", m.health.domains_degraded)
+                    .field("boot_seed", m.health.seed)
+                    .field("alive_per_domain", Json::Arr(alive))
+                    .build(),
+            );
+        }
+        let compression = self
+            .compression
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let rc = match compression {
+            Some(c) => compression_json(&c, self.route_budget),
+            None => obj().field("budget", self.route_budget).build(),
+        };
+        out.field("route_compression", rc)
             .field("breakers", breakers.build())
             .build()
     }
+}
+
+/// The route-compression result object shared by `map` responses and
+/// `health`.
+fn compression_json(c: &oregami::RouteCompression, budget: usize) -> Json {
+    obj()
+        .field("budget", budget)
+        .field("raw_entries", c.raw_entries)
+        .field("compressed_entries", c.compressed_entries)
+        .field("max_entries_per_proc", c.max_entries_per_proc)
+        .field("hottest_proc", u64::from(c.hottest_proc.0))
+        .field("headroom", c.headroom())
+        .field("savings_millis", u64::from(c.savings_millis()))
+        .build()
 }
 
 /// The `map` result object: what was mapped, how, and what METRICS

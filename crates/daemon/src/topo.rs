@@ -1,12 +1,35 @@
 //! Topology-spec parsing shared by the CLI and the daemon protocol:
-//! `hypercube:3`, `mesh2d:4x4`, `ring:8`, ...
+//! `hypercube:3`, `mesh2d:4x4`, `ring:8`, ... plus hierarchical machine
+//! specs (`mesh-boards:4x4x8x8`, `fat-tree:2x4`, `dragonfly:4x4x4`,
+//! `rc-array`) lowered through [`MachineModel`].
 
-use oregami::topology::{builders, Network};
+use oregami::topology::{builders, DomainMap, MachineModel, Network};
+use std::sync::Arc;
 
 /// Upper bound on processors a spec may request. A typo like
 /// `hypercube:62` must come back as a spec error, not an attempt to
 /// allocate 2^62 processors.
 pub const MAX_PROCS: usize = 1 << 20;
+
+/// Whether a spec names a hierarchical machine model rather than a flat
+/// topology.
+pub fn is_machine_spec(spec: &str) -> bool {
+    let head = spec.split(':').next().unwrap_or("").trim();
+    matches!(head, "mesh-boards" | "fat-tree" | "dragonfly" | "rc-array")
+}
+
+/// Builds a network from either a flat topology spec or a hierarchical
+/// machine spec. Machine specs also yield the lowered [`DomainMap`] so
+/// callers can run fault-domain operations; flat topologies have no
+/// domains.
+pub fn parse_target(spec: &str) -> Result<(Network, Option<Arc<DomainMap>>), String> {
+    if is_machine_spec(spec) {
+        let lowered = MachineModel::parse(spec)?.lower();
+        Ok((lowered.net, Some(lowered.domains)))
+    } else {
+        parse_topology(spec).map(|net| (net, None))
+    }
+}
 
 /// Builds a network from a `KIND[:ARGS]` spec string.
 pub fn parse_topology(spec: &str) -> Result<Network, String> {
@@ -79,5 +102,18 @@ mod tests {
         assert!(parse_topology("hypercube:62").is_err());
         assert!(parse_topology("warp:9").is_err());
         assert!(parse_topology("mesh2d:4").is_err());
+    }
+
+    #[test]
+    fn machine_specs_lower_with_domains() {
+        let (net, domains) = parse_target("mesh-boards:2x2x2x2").unwrap();
+        assert_eq!(net.num_procs(), 16);
+        assert_eq!(domains.unwrap().num_domains(), 4);
+        let (net, domains) = parse_target("hypercube:3").unwrap();
+        assert_eq!(net.num_procs(), 8);
+        assert!(domains.is_none());
+        assert!(parse_target("mesh-boards:2x2").is_err());
+        assert!(is_machine_spec("rc-array"));
+        assert!(!is_machine_spec("ring:8"));
     }
 }

@@ -542,3 +542,54 @@ fn larcs_errors_reported_with_position() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn machine_board_loss_repairs_blast_radius_aware() {
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--machine", "mesh-boards:2x2x2x2",
+            "--fail-board", "1", "--boot-dead", "100", "--boot-seed", "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("boot scan (seed 7)"), "{text}");
+    assert!(text.contains("route compression:"), "{text}");
+    assert!(text.contains("board loss: board(s) [1]"), "{text}");
+    assert!(text.contains("blast radius"), "{text}");
+    assert!(text.contains("METRICS recomputed on the degraded network"), "{text}");
+}
+
+#[test]
+fn machine_flags_are_guarded_and_budget_overflow_is_typed() {
+    // board faults without a machine model are a usage error
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--topology", "ring:8",
+            "--fail-board", "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--machine"));
+    // an impossible hardware budget is a typed fault, exit 4
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--machine", "mesh-boards:2x2x2x2",
+            "--route-budget", "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("budget"));
+    // a board id past the machine's boards is a typed fault too
+    let out = oregami()
+        .args([
+            "--program", "jacobi", "--machine", "mesh-boards:2x2x2x2",
+            "--fail-board", "99",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+}

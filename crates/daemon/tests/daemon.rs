@@ -670,3 +670,71 @@ fn identical_inflight_requests_coalesce() {
     let coalesced = stats.get("coalesced").and_then(Json::as_u64).unwrap_or(0);
     assert!(coalesced >= 1, "no coalescing observed: {}", stats.render());
 }
+
+#[test]
+fn machine_daemon_health_reports_domains_and_compression() {
+    let socket = scratch("machine.sock");
+    let state = scratch("machine.state");
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_file(&socket);
+    let _daemon = spawn_daemon(
+        &socket,
+        &state,
+        &[
+            "--machine", "mesh-boards:2x2x2x2",
+            "--boot-dead", "150",
+            "--boot-seed", "3",
+            "--route-budget", "512",
+        ],
+    );
+    let mut client = connect_within(&socket, Duration::from_secs(15));
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    let params = obj().field("n", 8i64).field("iters", 2i64).build();
+
+    // A machine-spec map runs route compression against the budget and
+    // reports the result inline.
+    let map = obj()
+        .field("op", "map")
+        .field("program", "jacobi")
+        .field("topology", "mesh-boards:2x2x2x2")
+        .field("params", params.clone())
+        .build();
+    let text = client.request(&map).expect("machine map").render();
+    assert!(text.contains("route_compression"), "{text}");
+
+    // A repair on the machine reports the blast-radius migration split.
+    let repair = obj()
+        .field("op", "repair")
+        .field("program", "jacobi")
+        .field("topology", "mesh-boards:2x2x2x2")
+        .field("params", params)
+        .field("fail_procs", Json::Arr(vec![Json::from(5u64)]))
+        .build();
+    let text = client.request(&repair).expect("machine repair").render();
+    assert!(text.contains("migrations_intra_domain"), "{text}");
+    assert!(text.contains("migrations_cross_domain"), "{text}");
+
+    // Client-visible health: the stock CLI client must surface the
+    // per-domain liveness and the compression budget headroom.
+    let out = Command::new(env!("CARGO_BIN_EXE_oregami"))
+        .arg("--socket")
+        .arg(&socket)
+        .arg("--health")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let health = String::from_utf8(out.stdout).unwrap();
+    for key in [
+        "\"machine\"",
+        "mesh-boards:2x2x2x2",
+        "domains_total",
+        "domains_degraded",
+        "alive_per_domain",
+        "route_compression",
+        "\"budget\"",
+        "headroom",
+    ] {
+        assert!(health.contains(key), "health JSON missing {key}: {health}");
+    }
+}

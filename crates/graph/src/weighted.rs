@@ -303,6 +303,7 @@ mod tests {
             }
         }
         assert_eq!(internal, want_internal);
+        #[allow(clippy::needless_range_loop)] // a and b are cluster ids, not just indices
         for a in 0..3 {
             for b in (a + 1)..3 {
                 assert_eq!(q.weight_between(a, b), want[a][b], "clusters {a},{b}");

@@ -414,6 +414,9 @@ pub struct ChurnController {
     net: Network,
     cfg: ChurnConfig,
     healthy_table: RouteTable,
+    /// Hierarchical domain map when the net was lowered from a
+    /// `MachineModel`; makes escalated repair blast-radius-aware.
+    domains: Option<std::sync::Arc<oregami_topology::DomainMap>>,
     tasks: Vec<TaskState>,
     edges: Vec<ChurnEdge>,
     /// `adj[t]` = indices into `edges` incident to task `t`.
@@ -465,6 +468,7 @@ impl ChurnController {
             net,
             cfg,
             healthy_table,
+            domains: None,
             tasks: Vec::new(),
             edges: Vec::new(),
             adj: Vec::new(),
@@ -479,6 +483,19 @@ impl ChurnController {
             window_migrations: 0,
             stats: ChurnStats::default(),
         })
+    }
+
+    /// Makes escalated repair blast-radius-aware: displaced tasks prefer
+    /// surviving processors of their own fault domain. Pure configuration
+    /// — it does not enter the journal grammar, so resuming a stream on a
+    /// machine-model network reattaches the map the same way the original
+    /// run did (it is derived from the network spec, not from events).
+    pub fn with_domains(
+        mut self,
+        domains: std::sync::Arc<oregami_topology::DomainMap>,
+    ) -> ChurnController {
+        self.domains = Some(domains);
+        self
     }
 
     /// The controller's configuration.
@@ -998,6 +1015,7 @@ impl ChurnController {
             load_bound: Some(self.cfg.load_bound),
             state_volume: self.cfg.state_volume,
             matcher: Matcher::GreedyMaximal,
+            domains: self.domains.clone(),
         };
         // A fixed step quota, NOT a child of the caller's budget: an
         // inherited deadline or cancel token would make the repaired
@@ -1329,6 +1347,8 @@ fn empty_report() -> crate::repair::RepairReport {
         edges_rerouted: 0,
         tasks_migrated: 0,
         migration_cost: 0,
+        migrations_intra_domain: 0,
+        migrations_cross_domain: 0,
         escalated: false,
         avg_dilation_before: 0.0,
         avg_dilation_after: 0.0,
@@ -1353,6 +1373,10 @@ pub enum StreamProfile {
     /// Adversarial fault/recover flapping on a small victim set — the
     /// hysteresis stressor.
     FlapStorm,
+    /// Correlated board-loss storms: whole fault domains fail and recover
+    /// atomically (requires [`EventStream::with_domains`]; falls back to
+    /// single-processor faults without one).
+    BoardStorm,
 }
 
 impl StreamProfile {
@@ -1362,6 +1386,7 @@ impl StreamProfile {
             "bursty" => Some(StreamProfile::Bursty),
             "diurnal" => Some(StreamProfile::Diurnal),
             "flap-storm" | "flapstorm" | "flap" => Some(StreamProfile::FlapStorm),
+            "board-storm" | "boardstorm" | "boards" => Some(StreamProfile::BoardStorm),
             _ => None,
         }
     }
@@ -1372,6 +1397,7 @@ impl StreamProfile {
             StreamProfile::Bursty => "bursty",
             StreamProfile::Diurnal => "diurnal",
             StreamProfile::FlapStorm => "flap-storm",
+            StreamProfile::BoardStorm => "board-storm",
         }
     }
 }
@@ -1397,6 +1423,8 @@ pub struct EventStream {
     /// FlapStorm victim links, flapped round-robin.
     victims: Vec<u32>,
     flap_pos: usize,
+    /// Fault-domain map for correlated board-loss events (BoardStorm).
+    domains: Option<std::sync::Arc<oregami_topology::DomainMap>>,
 }
 
 impl EventStream {
@@ -1424,7 +1452,20 @@ impl EventStream {
             failed_links: BTreeSet::new(),
             victims,
             flap_pos: 0,
+            domains: None,
         }
+    }
+
+    /// Attaches a fault-domain map so the stream can emit correlated
+    /// board-loss events (whole domains failing atomically). Pure
+    /// generator configuration; emitted events are ordinary
+    /// [`ChurnEvent::Fault`]s, so the journal grammar is unchanged.
+    pub fn with_domains(
+        mut self,
+        domains: std::sync::Arc<oregami_topology::DomainMap>,
+    ) -> EventStream {
+        self.domains = Some(domains);
+        self
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -1542,6 +1583,102 @@ impl EventStream {
         })
     }
 
+    /// A correlated whole-board fault: every processor of one fault
+    /// domain plus its intra-board links and uplinks fail in a single
+    /// event. Boards already touched by faults, boards whose loss would
+    /// strand the live tasks, and boards whose loss would partition the
+    /// survivors are skipped.
+    fn gen_board_fault(&mut self) -> Option<ChurnEvent> {
+        let domains = self.domains.clone()?;
+        let nd = domains.num_domains();
+        if nd == 0 {
+            return None;
+        }
+        let start = (self.next_u64() as usize) % nd;
+        for off in 0..nd {
+            let board = ((start + off) % nd) as u32;
+            let procs: Vec<u32> = domains.procs_in(board).map(|p| p.0).collect();
+            if procs.is_empty() || procs.iter().any(|p| self.failed_procs.contains(p)) {
+                continue;
+            }
+            let survivors = self.net.num_procs() - self.failed_procs.len() - procs.len();
+            if survivors == 0 || survivors * self.load_bound < self.live.len() {
+                continue;
+            }
+            let Ok(board_fs) = domains.board_fault_set(&self.net, board) else {
+                continue;
+            };
+            let mut fs = FaultSet::new();
+            for &p in &self.failed_procs {
+                fs.fail_proc(ProcId(p));
+            }
+            for &l in &self.failed_links {
+                fs.fail_link(LinkId(l));
+            }
+            let mut new_links: Vec<u32> = Vec::new();
+            for p in board_fs.procs() {
+                fs.fail_proc(p);
+            }
+            for l in board_fs.links() {
+                if !self.failed_links.contains(&l.0) {
+                    new_links.push(l.0);
+                }
+                fs.fail_link(l);
+            }
+            let ok = self
+                .net
+                .degrade(&fs)
+                .ok()
+                .is_some_and(|d| d.route_table().is_ok());
+            if !ok {
+                continue;
+            }
+            self.failed_procs.extend(procs.iter().copied());
+            self.failed_links.extend(new_links.iter().copied());
+            return Some(ChurnEvent::Fault {
+                procs: procs.into_iter().map(ProcId).collect(),
+                links: new_links.into_iter().map(LinkId).collect(),
+            });
+        }
+        None
+    }
+
+    /// Recovers a whole previously-failed board in one event (the repair
+    /// crew swaps the board): every failed processor of the first fully
+    /// failed domain, plus the failed links it touches.
+    fn gen_board_recover(&mut self) -> Option<ChurnEvent> {
+        let domains = self.domains.clone()?;
+        let board = (0..domains.num_domains() as u32).find(|&d| {
+            let mut any = false;
+            for p in domains.procs_in(d) {
+                if !self.failed_procs.contains(&p.0) {
+                    return false;
+                }
+                any = true;
+            }
+            any
+        })?;
+        let procs: Vec<u32> = domains.procs_in(board).map(|p| p.0).collect();
+        let Ok(board_fs) = domains.board_fault_set(&self.net, board) else {
+            return None;
+        };
+        let links: Vec<u32> = board_fs
+            .links()
+            .map(|l| l.0)
+            .filter(|l| self.failed_links.contains(l))
+            .collect();
+        for p in &procs {
+            self.failed_procs.remove(p);
+        }
+        for l in &links {
+            self.failed_links.remove(l);
+        }
+        Some(ChurnEvent::Recover {
+            procs: procs.into_iter().map(ProcId).collect(),
+            links: links.into_iter().map(LinkId).collect(),
+        })
+    }
+
     fn gen_recover(&mut self) -> Option<ChurnEvent> {
         if !self.failed_links.is_empty() && (self.next_u64().is_multiple_of(2) || self.failed_procs.is_empty())
         {
@@ -1619,6 +1756,26 @@ impl EventStream {
                 _ => {
                     let p = (self.next_u64() % self.net.num_procs() as u64) as u32;
                     self.gen_proc_fault(p)
+                }
+            },
+            StreamProfile::BoardStorm => match roll {
+                // Correlated storms: whole boards die and come back.
+                0..=14 => self.gen_board_fault().or_else(|| {
+                    // No domain map (or no killable board): degrade to a
+                    // single-processor fault so the storm still bites.
+                    let p = (self.next_u64() % self.net.num_procs() as u64) as u32;
+                    self.gen_proc_fault(p)
+                }),
+                15..=29 => self.gen_board_recover().or_else(|| self.gen_recover()),
+                30..=54 => {
+                    let load = 1 + self.next_u64() % 32;
+                    self.gen_load(load)
+                }
+                55..=79 if self.live.len() + 1 < self.capacity() => Some(self.gen_spawn()),
+                80..=89 => self.gen_depart(),
+                _ => {
+                    let l = (self.next_u64() % self.net.num_links() as u64) as u32;
+                    self.gen_link_fault(l)
                 }
             },
         };
@@ -2010,6 +2167,53 @@ mod tests {
                 profile.name()
             );
         }
+    }
+
+    #[test]
+    fn board_storm_emits_correlated_faults_and_stays_valid() {
+        use oregami_topology::MachineModel;
+        // 4 boards × 2×2 mesh = 16 procs, torus between boards.
+        let lowered = MachineModel::parse("mesh-boards:2x2x2x2").unwrap().lower();
+        let cfg = ChurnConfig {
+            load_bound: 4,
+            ..ChurnConfig::default()
+        };
+        let mut c = ChurnController::new(lowered.net.clone(), cfg.clone())
+            .unwrap()
+            .with_domains(lowered.domains.clone());
+        let stream = EventStream::new(
+            lowered.net.clone(),
+            StreamProfile::BoardStorm,
+            17,
+            1200,
+            cfg.load_bound,
+        )
+        .with_domains(lowered.domains.clone());
+        let board_size = lowered.net.num_procs() / lowered.domains.num_domains();
+        let mut board_faults = 0u64;
+        let mut board_recovers = 0u64;
+        let mut rejected = 0u64;
+        for ev in stream {
+            match &ev {
+                ChurnEvent::Fault { procs, .. } if procs.len() == board_size => {
+                    // a correlated whole-board loss names one domain
+                    let d = lowered.domains.domain_of(procs[0]);
+                    assert!(procs.iter().all(|&p| lowered.domains.domain_of(p) == d));
+                    board_faults += 1;
+                }
+                ChurnEvent::Recover { procs, .. } if procs.len() == board_size => {
+                    board_recovers += 1;
+                }
+                _ => {}
+            }
+            if c.ingest(&ev).is_err() {
+                rejected += 1;
+            }
+            c.validate().unwrap();
+        }
+        assert!(board_faults >= 1, "storm never lost a board");
+        assert!(board_recovers >= 1, "storm never swapped a board back");
+        assert!(rejected <= 5, "{rejected} events rejected");
     }
 
     #[test]

@@ -523,7 +523,7 @@ fn refine_level(
     let passes = if m <= 2048 { 4 * REFINE_PASSES } else { REFINE_PASSES };
     'passes: for _ in 0..passes {
         let mut improved = false;
-        for u in 0..m {
+        for (u, &task_size) in sizes.iter().enumerate().take(m) {
             let from = eng.mapping().assignment[u];
             cands.clear();
             g.for_each_neighbor(u, |v, _| {
@@ -534,17 +534,16 @@ fn refine_level(
             });
             cands.sort_unstable();
             cands.dedup();
-            for i in 0..cands.len() {
-                let q = cands[i];
-                if load[q.index()] + sizes[u] > bound {
+            for &q in &cands {
+                if load[q.index()] + task_size > bound {
                     continue;
                 }
                 let before = eng.scalar_cost();
                 match eng.apply_budgeted(Edit::Reassign { task: u, proc: q }, budget) {
                     Ok(_) => {
                         if eng.scalar_cost() < before {
-                            load[from.index()] -= sizes[u];
-                            load[q.index()] += sizes[u];
+                            load[from.index()] -= task_size;
+                            load[q.index()] += task_size;
                             moves += 1;
                             improved = true;
                             break; // first improving move wins; next node

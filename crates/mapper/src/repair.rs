@@ -9,17 +9,26 @@
 //!    route traverses an out-of-service link or a dead processor is
 //!    re-routed along a surviving shortest path
 //!    ([`oregami_topology::DegradedNetwork::route_table`]).
-//! 2. **Migrate** (processor faults move tasks): tasks hosted on dead
-//!    processors move to surviving ones, chosen greedily to minimise the
-//!    task's communication affinity (volume × surviving-network distance
-//!    to its neighbors' hosts) under the load bound, then refined by a
-//!    probe-improve pass that re-costs each candidate home exactly via
-//!    incremental [`MetricsEngine`] apply+undo probes. The cost charged
+//! 2. **Migrate intra-domain** (processor faults move tasks): tasks
+//!    hosted on dead processors move to surviving ones, chosen greedily
+//!    to minimise the task's communication affinity (volume ×
+//!    surviving-network distance to its neighbors' hosts) under the load
+//!    bound. When the machine carries a hierarchical
+//!    [`DomainMap`] ([`RepairOptions::domains`]), candidates are first
+//!    restricted to the dead processor's own domain (board/group/pod) —
+//!    faults are correlated, and keeping a displaced task on its
+//!    surviving board avoids crossing the narrow uplinks.
+//! 3. **Migrate cross-domain** — only when the home domain has no
+//!    capacity left (or died entirely) does the candidate scan widen to
+//!    the whole surviving machine. Greedy homes are then refined by a
+//!    probe-improve pass that re-costs each candidate exactly via
+//!    incremental [`MetricsEngine`] apply+undo probes (never trading an
+//!    intra-domain placement for a cross-domain one). The cost charged
 //!    per migration follows the [`crate::remap`] model: `state_volume ·
 //!    hops`, with hops measured on the *healthy* network — the proxy for
 //!    shipping the task's checkpointed state from stable storage along
 //!    the route it originally occupied.
-//! 3. **Escalate** — when migration cannot respect the load bound, the
+//! 4. **Escalate** — when migration cannot respect the load bound, the
 //!    local repair is abandoned and the whole graph is re-contracted
 //!    (MWM-Contract) and re-embedded (NN-Embed) on the compacted
 //!    surviving machine, then translated back to original processor
@@ -36,7 +45,7 @@ use crate::metrics_engine::{CostModel, Edit, MetricsEngine};
 use crate::routing::{route_all_phases, Matcher};
 use oregami_graph::TaskGraph;
 use oregami_topology::{
-    DegradedNetwork, Network, ProcId, RouteTable, RouteTableCache, TopologyError,
+    DegradedNetwork, DomainMap, Network, ProcId, RouteTable, RouteTableCache, TopologyError,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -52,6 +61,11 @@ pub struct RepairOptions {
     pub state_volume: u64,
     /// Matcher used when escalation re-routes from scratch.
     pub matcher: Matcher,
+    /// Hierarchical domain map of the machine, when it was lowered from a
+    /// `MachineModel`. Makes migration blast-radius-aware: displaced
+    /// tasks prefer surviving processors of their own domain, and the
+    /// report splits migrations into intra- vs cross-domain.
+    pub domains: Option<Arc<DomainMap>>,
 }
 
 impl Default for RepairOptions {
@@ -60,6 +74,7 @@ impl Default for RepairOptions {
             load_bound: None,
             state_volume: 1,
             matcher: Matcher::Maximum,
+            domains: None,
         }
     }
 }
@@ -71,6 +86,12 @@ pub struct RepairReport {
     pub edges_rerouted: usize,
     /// Tasks moved off dead processors.
     pub tasks_migrated: usize,
+    /// Migrations that stayed inside the victim's fault domain (0 when no
+    /// [`RepairOptions::domains`] map was supplied).
+    pub migrations_intra_domain: usize,
+    /// Migrations that crossed into another fault domain (0 without a
+    /// domain map).
+    pub migrations_cross_domain: usize,
     /// Total migration cost: `state_volume · hops` summed over moved
     /// tasks, hops on the healthy network (checkpoint-transfer proxy).
     pub migration_cost: u64,
@@ -107,6 +128,13 @@ impl fmt::Display for RepairReport {
         )?;
         writeln!(f, "edges rerouted    : {}", self.edges_rerouted)?;
         writeln!(f, "tasks migrated    : {}", self.tasks_migrated)?;
+        if self.migrations_intra_domain + self.migrations_cross_domain > 0 {
+            writeln!(
+                f,
+                "blast radius      : {} intra-domain, {} cross-domain",
+                self.migrations_intra_domain, self.migrations_cross_domain
+            )?;
+        }
         writeln!(f, "migration cost    : {}", self.migration_cost)?;
         writeln!(
             f,
@@ -273,6 +301,13 @@ pub fn repair_mapping_cached(
                 );
             }
         }
+        // Blast-radius ladder: a displaced task first looks for a home
+        // inside its own fault domain; only when that domain has no
+        // capacity (or died entirely) does the scan widen cross-domain.
+        let home_domain = opts
+            .domains
+            .as_ref()
+            .map(|d| d.domain_of(mapping.assignment[t]));
         let home = if completion == Completion::Optimal {
             best_new_home(
                 tg,
@@ -282,9 +317,10 @@ pub fn repair_mapping_cached(
                 &load,
                 bound,
                 t,
+                opts.domains.as_deref().zip(home_domain),
             )
         } else {
-            least_loaded_home(degraded, &load, bound)
+            least_loaded_home(degraded, &load, bound, opts.domains.as_deref().zip(home_domain))
         };
         match home {
             Some(p) => {
@@ -376,6 +412,16 @@ pub fn repair_mapping_cached(
                     if p == cur || load[p.index()] >= bound {
                         continue;
                     }
+                    // Never trade an intra-domain placement for a
+                    // cross-domain one: the metric gain would come at the
+                    // price of a wider blast radius next time this domain
+                    // flaps.
+                    if let Some(domains) = opts.domains.as_deref() {
+                        let home = domains.domain_of(mapping.assignment[t]);
+                        if domains.domain_of(cur) == home && domains.domain_of(p) != home {
+                            continue;
+                        }
+                    }
                     if engine.apply(Edit::Reassign { task: t, proc: p }).is_ok() {
                         let cost = engine.scalar_cost();
                         engine.undo();
@@ -420,6 +466,17 @@ pub fn repair_mapping_cached(
         .zip(&mapping.routes)
         .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x != y).count())
         .sum();
+    let (migrations_intra_domain, migrations_cross_domain) = domain_split(
+        opts.domains.as_deref(),
+        &mapping.assignment,
+        &repaired.assignment,
+    );
+    if migrations_intra_domain + migrations_cross_domain > 0 {
+        notes.push(format!(
+            "blast radius: {migrations_intra_domain} migration(s) stayed inside the \
+             failing domain, {migrations_cross_domain} crossed domains"
+        ));
+    }
 
     let (avg_dilation_after, max_contention_after) =
         route_stats(degraded.network(), &repaired.routes);
@@ -427,6 +484,8 @@ pub fn repair_mapping_cached(
         edges_rerouted,
         tasks_migrated,
         migration_cost,
+        migrations_intra_domain,
+        migrations_cross_domain,
         escalated: false,
         avg_dilation_before,
         avg_dilation_after,
@@ -440,8 +499,11 @@ pub fn repair_mapping_cached(
 
 /// The best surviving processor for displaced task `t`: minimum
 /// communication affinity (Σ volume × distance to already-placed
-/// neighbors), ties broken toward lower load then lower id. `None` if
-/// every surviving processor is at the load bound.
+/// neighbors), ties broken toward lower load then lower id. With a
+/// domain map, candidates are restricted to the task's home domain
+/// first; the scan only widens cross-domain when the domain offers no
+/// capacity. `None` if every surviving processor is at the load bound.
+#[allow(clippy::too_many_arguments)]
 fn best_new_home(
     tg: &TaskGraph,
     degraded: &DegradedNetwork,
@@ -450,50 +512,100 @@ fn best_new_home(
     load: &[usize],
     bound: usize,
     t: usize,
+    prefer: Option<(&DomainMap, u32)>,
 ) -> Option<ProcId> {
-    let mut best: Option<(u64, usize, ProcId)> = None;
-    for p in degraded.alive_procs() {
-        if load[p.index()] >= bound {
-            continue;
-        }
-        let mut affinity = 0u64;
-        for phase in &tg.comm_phases {
-            for e in &phase.edges {
-                let other = if e.src.index() == t {
-                    e.dst.index()
-                } else if e.dst.index() == t {
-                    e.src.index()
-                } else {
+    let scan = |intra_only: bool| -> Option<ProcId> {
+        let mut best: Option<(u64, usize, ProcId)> = None;
+        for p in degraded.alive_procs() {
+            if load[p.index()] >= bound {
+                continue;
+            }
+            if intra_only {
+                let (domains, home) = prefer.expect("intra pass requires a domain map");
+                if domains.domain_of(p) != home {
                     continue;
-                };
-                let q = assignment[other];
-                // Neighbors still stranded on dead processors are placed
-                // later; skip them rather than route toward a corpse.
-                if other != t && degraded.is_alive(q) {
-                    affinity += e.volume * u64::from(table.dist(p, q));
                 }
             }
+            let mut affinity = 0u64;
+            for phase in &tg.comm_phases {
+                for e in &phase.edges {
+                    let other = if e.src.index() == t {
+                        e.dst.index()
+                    } else if e.dst.index() == t {
+                        e.src.index()
+                    } else {
+                        continue;
+                    };
+                    let q = assignment[other];
+                    // Neighbors still stranded on dead processors are placed
+                    // later; skip them rather than route toward a corpse.
+                    if other != t && degraded.is_alive(q) {
+                        affinity += e.volume * u64::from(table.dist(p, q));
+                    }
+                }
+            }
+            let key = (affinity, load[p.index()], p);
+            if best.is_none_or(|b| key < (b.0, b.1, b.2)) {
+                best = Some(key);
+            }
         }
-        let key = (affinity, load[p.index()], p);
-        if best.is_none_or(|b| key < (b.0, b.1, b.2)) {
-            best = Some(key);
+        best.map(|(_, _, p)| p)
+    };
+    if prefer.is_some() {
+        if let Some(p) = scan(true) {
+            return Some(p);
         }
     }
-    best.map(|(_, _, p)| p)
+    scan(false)
 }
 
 /// The cheapest always-valid placement: the least-loaded surviving
-/// processor under the bound (no affinity scan). Used once the repair
-/// budget has tripped.
+/// processor under the bound (no affinity scan), preferring the home
+/// domain when a map is supplied. Used once the repair budget has
+/// tripped.
 fn least_loaded_home(
     degraded: &DegradedNetwork,
     load: &[usize],
     bound: usize,
+    prefer: Option<(&DomainMap, u32)>,
 ) -> Option<ProcId> {
+    if let Some((domains, home)) = prefer {
+        let intra = degraded
+            .alive_procs()
+            .filter(|p| load[p.index()] < bound && domains.domain_of(*p) == home)
+            .min_by_key(|p| (load[p.index()], *p));
+        if intra.is_some() {
+            return intra;
+        }
+    }
     degraded
         .alive_procs()
         .filter(|p| load[p.index()] < bound)
         .min_by_key(|p| (load[p.index()], *p))
+}
+
+/// Splits the assignment diff into (intra-domain, cross-domain)
+/// migration counts; (0, 0) without a domain map.
+fn domain_split(
+    domains: Option<&DomainMap>,
+    before: &[ProcId],
+    after: &[ProcId],
+) -> (usize, usize) {
+    let Some(domains) = domains else {
+        return (0, 0);
+    };
+    let mut intra = 0;
+    let mut cross = 0;
+    for (old, new) in before.iter().zip(after) {
+        if old != new {
+            if domains.domain_of(*old) == domains.domain_of(*new) {
+                intra += 1;
+            } else {
+                cross += 1;
+            }
+        }
+    }
+    (intra, cross)
 }
 
 /// Whether a healthy-network route is unusable on the degraded machine:
@@ -558,6 +670,8 @@ fn escalate(
         .map(|t| u64::from(healthy_table.dist(old.assignment[t], assignment[t])) * opts.state_volume)
         .sum();
     let edges_rerouted = tg.comm_phases.iter().map(|p| p.edges.len()).sum();
+    let (migrations_intra_domain, migrations_cross_domain) =
+        domain_split(opts.domains.as_deref(), &old.assignment, &assignment);
 
     let repaired = Mapping { assignment, routes };
     repaired.validate(tg, degraded.network())?;
@@ -570,6 +684,8 @@ fn escalate(
             edges_rerouted,
             tasks_migrated,
             migration_cost,
+            migrations_intra_domain,
+            migrations_cross_domain,
             escalated: true,
             avg_dilation_before: 0.0,  // caller fills
             avg_dilation_after,
@@ -801,6 +917,34 @@ mod tests {
         assert!(!report.escalated);
         assert_eq!(repaired.assignment, mapping.assignment);
         assert_eq!(report.avg_dilation_before, report.avg_dilation_after);
+    }
+
+    #[test]
+    fn domain_aware_repair_prefers_intra_board_migration() {
+        use oregami_topology::MachineModel;
+        // 2 boards × 2×2 mesh = 8 procs; kill one proc, leaving three
+        // board-mates with spare capacity under the derived bound.
+        let lowered = MachineModel::parse("mesh-boards:1x2x2x2").unwrap().lower();
+        let net = lowered.net.clone();
+        let tg = Family::Ring(8).build();
+        let report = map_task_graph(&tg, &net, &MapperOptions::default()).unwrap();
+        let mapping = report.mapping;
+        let victim = mapping.assignment[0];
+        let degraded = net.degrade(&FaultSet::new().with_proc(victim)).unwrap();
+        let opts = RepairOptions {
+            domains: Some(lowered.domains.clone()),
+            ..RepairOptions::default()
+        };
+        let (repaired, rep) = repair_mapping(&tg, &net, &degraded, &mapping, &opts).unwrap();
+        repaired.validate(&tg, degraded.network()).unwrap();
+        assert!(rep.tasks_migrated >= 1);
+        assert_eq!(
+            rep.migrations_intra_domain, rep.tasks_migrated,
+            "board-mates had capacity, so every migration stays on the victim's board ({rep:?})"
+        );
+        assert_eq!(rep.migrations_cross_domain, 0, "{rep:?}");
+        let text = rep.to_string();
+        assert!(text.contains("blast radius"), "{text}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! network, and the whole run must be a pure function of the accepted
 //! event sequence.
 
-use oregami_mapper::churn::{ChurnConfig, ChurnController, ChurnEvent};
-use oregami_topology::{builders, LinkId, Network, ProcId};
+use oregami_mapper::churn::{ChurnConfig, ChurnController, ChurnEvent, EventStream, StreamProfile};
+use oregami_topology::{builders, LinkId, MachineModel, Network, ProcId};
 use proptest::prelude::*;
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -143,6 +143,45 @@ proptest! {
         let healed = ctl.fault_set();
         prop_assert_eq!(healed.procs().count(), 0);
         prop_assert_eq!(healed.links().count(), 0);
+    }
+
+    /// Correlated board-loss storms compose with the recovery property:
+    /// a machine-model network driven by whole-board faults and
+    /// recoveries stays valid after every event, and recovering every
+    /// failed element restores the full machine.
+    #[test]
+    fn board_storms_end_valid_and_fully_recoverable(
+        seed in any::<u64>(),
+        events in 60u64..200,
+    ) {
+        let lowered = MachineModel::parse("mesh-boards:2x2x3x3").expect("spec").lower();
+        let net = lowered.net.clone();
+        let mut ctl = ChurnController::new(net.clone(), cfg())
+            .expect("controller")
+            .with_domains(lowered.domains.clone());
+        let stream = EventStream::new(
+            net.clone(),
+            StreamProfile::BoardStorm,
+            seed,
+            events,
+            cfg().load_bound,
+        )
+        .with_domains(lowered.domains.clone());
+        for ev in stream {
+            let accepted = ctl.ingest(&ev).is_ok();
+            if let Err(e) = ctl.validate() {
+                panic!("invariant broken after {ev:?} (accepted={accepted}): {e}");
+            }
+        }
+        let fs = ctl.fault_set();
+        let procs: Vec<ProcId> = fs.procs().collect();
+        let links: Vec<LinkId> = fs.links().collect();
+        if !procs.is_empty() || !links.is_empty() {
+            ctl.ingest(&ChurnEvent::Recover { procs, links })
+                .expect("recovering every failed element must succeed");
+        }
+        prop_assert!(ctl.validate().is_ok());
+        prop_assert_eq!(ctl.degraded().num_alive(), net.num_procs());
     }
 
     /// The controller is a pure function of the accepted event prefix:

@@ -1,0 +1,242 @@
+//! Capacity-aware metrics over hierarchical machines.
+//!
+//! The base metric suite treats every processor and link as identical —
+//! the paper's homogeneous assumption. Networks lowered from a
+//! [`MachineModel`](oregami_topology::MachineModel) carry
+//! [`MachineAttrs`](oregami_topology::MachineAttrs): per-processor speed
+//! and memory, per-link bandwidth (set per hierarchy level, so board
+//! uplinks can be slower than intra-board mesh links), and a per-phase
+//! reconfiguration cost for RC arrays. This module re-reads the base
+//! ledgers through those attributes:
+//!
+//! * **compute**: a processor at speed 500‰ takes twice the baseline time
+//!   for the same work, so its exec time doubles; the capacity imbalance
+//!   ratio is taken over *scaled* times;
+//! * **communication**: a link at bandwidth 500‰ needs twice the
+//!   baseline service time per unit volume, so the phase bottleneck is
+//!   the maximum of `volume × 1000 / bandwidth` over links, not raw
+//!   volume;
+//! * **reconfiguration**: RC arrays pay `reconfig_cost` between
+//!   consecutive phases.
+//!
+//! On a network without attributes every speed and bandwidth is the
+//! baseline 1000‰, so the scaled figures equal the base figures exactly —
+//! existing outputs never change.
+
+use crate::links::LinkMetrics;
+use crate::load::LoadMetrics;
+use oregami_topology::{LinkId, Network, ProcId};
+
+/// Baseline attribute scale (speed / bandwidth 1000 = nominal).
+const BASELINE: u64 = 1000;
+
+/// Load figures rescaled by per-processor speed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityLoadMetrics {
+    /// Exec time per processor after dividing by its speed ratio: a
+    /// 500‰ processor takes twice its raw time.
+    pub scaled_exec_time_per_proc: Vec<u64>,
+    /// Maximum scaled exec time — the capacity-aware makespan bound.
+    pub max_scaled_exec_time: u64,
+    /// `max/mean` of the scaled times ×1000 (1000 = balanced for the
+    /// machine's actual speeds). 0 when there is no execution cost.
+    pub imbalance_millis: u64,
+    /// Per-processor memory headroom check: processors whose hosted task
+    /// count exceeds their memory capacity (one unit per task). Empty on
+    /// attribute-less networks and whenever everything fits.
+    pub over_memory: Vec<ProcId>,
+}
+
+/// Link figures rescaled by per-link bandwidth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityLinkMetrics {
+    /// Per-phase bottleneck service time: max over links of
+    /// `volume × 1000 / bandwidth`.
+    pub phase_service_millis: Vec<u64>,
+    /// The link realising the worst service time, per phase (`None` for
+    /// a phase with no traffic).
+    pub phase_bottleneck: Vec<Option<LinkId>>,
+    /// Total reconfiguration cost: `reconfig_cost × (phases − 1)` on RC
+    /// arrays, 0 elsewhere.
+    pub reconfig_total_millis: u64,
+}
+
+/// Rescales base load metrics by the network's machine attributes.
+/// Without attributes the scaled figures equal the base figures.
+pub fn capacity_load(net: &Network, base: &LoadMetrics) -> CapacityLoadMetrics {
+    let attrs = net.machine_attrs();
+    let speed = |p: usize| {
+        attrs
+            .map(|a| u64::from(a.speed_millis(ProcId(p as u32))).max(1))
+            .unwrap_or(BASELINE)
+    };
+    let scaled: Vec<u64> = base
+        .exec_time_per_proc
+        .iter()
+        .enumerate()
+        .map(|(p, &t)| t.saturating_mul(BASELINE) / speed(p))
+        .collect();
+    let max = scaled.iter().copied().max().unwrap_or(0);
+    let total: u64 = scaled.iter().sum();
+    let imbalance = max
+        .saturating_mul(1000)
+        .saturating_mul(scaled.len() as u64)
+        .checked_div(total)
+        .unwrap_or(0);
+    let over_memory = attrs
+        .map(|a| {
+            base.tasks_per_proc
+                .iter()
+                .enumerate()
+                .filter(|&(p, &n)| (n as u64) > a.memory(ProcId(p as u32)))
+                .map(|(p, _)| ProcId(p as u32))
+                .collect()
+        })
+        .unwrap_or_default();
+    CapacityLoadMetrics {
+        scaled_exec_time_per_proc: scaled,
+        max_scaled_exec_time: max,
+        imbalance_millis: imbalance,
+        over_memory,
+    }
+}
+
+/// Rescales base link metrics by per-link bandwidth and charges RC
+/// reconfiguration between phases. Without attributes the service time
+/// is the raw per-link volume and reconfiguration is free.
+pub fn capacity_links(net: &Network, base: &LinkMetrics) -> CapacityLinkMetrics {
+    let attrs = net.machine_attrs();
+    let bandwidth = |l: usize| {
+        attrs
+            .map(|a| u64::from(a.bandwidth_millis(LinkId(l as u32))).max(1))
+            .unwrap_or(BASELINE)
+    };
+    let mut phase_service_millis = Vec::with_capacity(base.phases.len());
+    let mut phase_bottleneck = Vec::with_capacity(base.phases.len());
+    for phase in &base.phases {
+        let mut worst = 0u64;
+        let mut worst_link = None;
+        for (l, &vol) in phase.link_volume.iter().enumerate() {
+            if vol == 0 {
+                continue;
+            }
+            let service = vol.saturating_mul(BASELINE) / bandwidth(l);
+            if service > worst {
+                worst = service;
+                worst_link = Some(LinkId(l as u32));
+            }
+        }
+        phase_service_millis.push(worst);
+        phase_bottleneck.push(worst_link);
+    }
+    let reconfig_total_millis = attrs
+        .map(|a| u64::from(a.reconfig_cost_millis()))
+        .unwrap_or(0)
+        .saturating_mul(base.phases.len().saturating_sub(1) as u64);
+    CapacityLinkMetrics {
+        phase_service_millis,
+        phase_bottleneck,
+        reconfig_total_millis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{links, load};
+    use oregami_graph::task_graph::Cost;
+    use oregami_graph::Family;
+    use oregami_mapper::Mapping;
+    use oregami_topology::{builders, MachineModel};
+
+    fn identity_ring(n: usize) -> (oregami_graph::TaskGraph, Mapping) {
+        let mut tg = Family::Ring(n).build();
+        tg.add_exec_phase("work", Cost::Uniform(10));
+        let mapping = Mapping::unrouted((0..n).map(|i| ProcId(i as u32)).collect());
+        (tg, mapping)
+    }
+
+    #[test]
+    fn attribute_less_network_matches_base() {
+        let net = builders::ring(4);
+        let (tg, mapping) = identity_ring(4);
+        let base = load::compute(&tg, &net, &mapping);
+        let cap = capacity_load(&net, &base);
+        assert_eq!(cap.scaled_exec_time_per_proc, base.exec_time_per_proc);
+        assert_eq!(cap.max_scaled_exec_time, base.max_exec_time);
+        assert_eq!(cap.imbalance_millis, base.imbalance_millis);
+        assert!(cap.over_memory.is_empty());
+    }
+
+    #[test]
+    fn slow_processor_doubles_its_scaled_time() {
+        // 2 boards × 2×2 mesh with alternating speeds 1000/500.
+        let lowered = MachineModel::parse("mesh-boards:1x2x2x2,speed=1000/500")
+            .unwrap()
+            .lower();
+        let net = &lowered.net;
+        let (tg, mapping) = identity_ring(8);
+        let base = load::compute(&tg, net, &mapping);
+        let cap = capacity_load(net, &base);
+        for p in 0..8 {
+            let expect = if net.machine_attrs().unwrap().speed_millis(ProcId(p)) == 500 {
+                20
+            } else {
+                10
+            };
+            assert_eq!(cap.scaled_exec_time_per_proc[p as usize], expect);
+        }
+        assert_eq!(cap.max_scaled_exec_time, 20);
+        assert!(cap.imbalance_millis > 1000, "{}", cap.imbalance_millis);
+    }
+
+    #[test]
+    fn slow_uplinks_dominate_service_time() {
+        // Intra-board links at full bandwidth, uplinks at 250‰: a unit of
+        // volume on an uplink costs 4× its raw time.
+        let lowered = MachineModel::parse("mesh-boards:1x2x2x2,bw=1000/250")
+            .unwrap()
+            .lower();
+        let net = lowered.net.clone();
+        let tg = Family::Ring(8).build();
+        let report = oregami_mapper::pipeline::map_task_graph(
+            &tg,
+            &net,
+            &oregami_mapper::pipeline::MapperOptions::default(),
+        )
+        .unwrap();
+        let base = links::compute(&tg, &net, &report.mapping);
+        let cap = capacity_links(&net, &base);
+        assert_eq!(cap.phase_service_millis.len(), base.phases.len());
+        // the ring crosses boards somewhere, so the bottleneck service
+        // time exceeds the raw bottleneck volume
+        let raw_worst: u64 = base.phases[0].link_volume.iter().copied().max().unwrap();
+        assert!(
+            cap.phase_service_millis[0] >= raw_worst,
+            "{} < {raw_worst}",
+            cap.phase_service_millis[0]
+        );
+        let attrs = net.machine_attrs().unwrap();
+        let bottleneck = cap.phase_bottleneck[0].unwrap();
+        assert!(
+            base.phases[0].link_volume[bottleneck.index()] > 0,
+            "bottleneck link carries traffic"
+        );
+        // some link is a slow uplink if any inter-board route exists
+        assert!(attrs.level_bandwidths().len() >= 2);
+    }
+
+    #[test]
+    fn rc_array_charges_reconfiguration_between_phases() {
+        let lowered = MachineModel::parse("rc-array").unwrap().lower();
+        let net = &lowered.net;
+        let mut tg = Family::Ring(4).build();
+        let p2 = tg.add_phase("second");
+        tg.add_edge(p2, 0usize.into(), 1usize.into(), 1);
+        let mapping = Mapping::unrouted((0..4).map(|i| ProcId(i as u32)).collect());
+        let base = links::compute(&tg, net, &mapping);
+        let cap = capacity_links(net, &base);
+        assert_eq!(base.phases.len(), 2);
+        assert_eq!(cap.reconfig_total_millis, 40);
+    }
+}

@@ -25,6 +25,7 @@
 //! supports [`undo`](MetricsEngine::undo); batch analysis
 //! ([`analyze_mapping`]) is "build the engine, read the report".
 
+pub mod capacity;
 pub mod links;
 pub mod load;
 pub mod overall;
@@ -35,6 +36,7 @@ mod testutil;
 pub mod timeline;
 pub mod visualize;
 
+pub use capacity::{capacity_links, capacity_load, CapacityLinkMetrics, CapacityLoadMetrics};
 pub use links::{LinkMetrics, PhaseLinkMetrics};
 pub use load::LoadMetrics;
 pub use overall::{CostModel, OverallMetrics};

@@ -1,0 +1,206 @@
+//! Route-table compression against a hardware entry budget.
+//!
+//! SpiNNaker-class machines route in hardware: each chip holds a small
+//! ternary CAM of routing entries (1024 on SpiNNaker), and a mapping whose
+//! routes need more entries at some chip than the CAM holds simply cannot
+//! be loaded. SpiNNTools therefore compresses each table — entries sharing
+//! an output port collapse behind a default route — and rejects mappings
+//! that still overflow.
+//!
+//! This module reproduces that pass over OREGAMI's route set. Every routed
+//! path contributes one `(source, destination) → out-link` entry at each
+//! processor it transits (endpoints included for the sender's injection
+//! entry; the receiver consumes locally and needs none). Compression is
+//! per processor:
+//!
+//! 1. duplicate `(src, dst) → out` triples collapse (many task-graph edges
+//!    share a processor pair);
+//! 2. the most popular out-link becomes the processor's *default route*
+//!    and its entries are elided — the hardware falls through to the
+//!    default on a table miss.
+//!
+//! What remains must fit `entries_per_proc`; otherwise the pass fails with
+//! the typed [`TopologyError::RouteBudgetExceeded`] naming the hottest
+//! processor.
+
+use crate::fault::TopologyError;
+use crate::network::{Network, ProcId};
+use std::collections::HashMap;
+
+/// Hardware limits for the compression pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressionConfig {
+    /// Routing entries each processor's hardware table holds
+    /// (SpiNNaker: 1024).
+    pub entries_per_proc: usize,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> CompressionConfig {
+        CompressionConfig { entries_per_proc: 1024 }
+    }
+}
+
+/// What compression achieved, for reports and benches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteCompression {
+    /// Entries before compression, summed over processors.
+    pub raw_entries: usize,
+    /// Entries after dedup + default-route elision, summed.
+    pub compressed_entries: usize,
+    /// The largest per-processor table after compression.
+    pub max_entries_per_proc: usize,
+    /// The processor holding that largest table.
+    pub hottest_proc: ProcId,
+    /// The budget the pass ran against.
+    pub budget: usize,
+}
+
+impl RouteCompression {
+    /// Spare capacity at the hottest processor.
+    pub fn headroom(&self) -> usize {
+        self.budget.saturating_sub(self.max_entries_per_proc)
+    }
+
+    /// Entries removed as a fraction of raw, in millis (0 when nothing to
+    /// compress).
+    pub fn savings_millis(&self) -> u32 {
+        ((self.raw_entries - self.compressed_entries) * 1000)
+            .checked_div(self.raw_entries)
+            .unwrap_or(0) as u32
+    }
+}
+
+/// Compresses the routing tables induced by `routes` (each a processor
+/// path, endpoints included) against `cfg`'s per-processor budget.
+///
+/// Returns the compression report, or
+/// [`TopologyError::RouteBudgetExceeded`] naming the first processor (in
+/// id order) whose table still overflows.
+pub fn compress_routes<'a>(
+    net: &Network,
+    routes: impl IntoIterator<Item = &'a [ProcId]>,
+    cfg: CompressionConfig,
+) -> Result<RouteCompression, TopologyError> {
+    // per-proc: (src, dst) → out-neighbor
+    let mut tables: Vec<HashMap<(u32, u32), u32>> = vec![HashMap::new(); net.num_procs()];
+    let mut raw_entries = 0usize;
+    for path in routes {
+        if path.len() < 2 {
+            continue; // intra-processor message: no table entry
+        }
+        let (src, dst) = (path[0].0, path[path.len() - 1].0);
+        for hop in path.windows(2) {
+            raw_entries += 1;
+            tables[hop[0].index()].insert((src, dst), hop[1].0);
+        }
+    }
+    let mut compressed_entries = 0usize;
+    let mut max_entries_per_proc = 0usize;
+    let mut hottest_proc = ProcId(0);
+    let mut over: Option<(ProcId, usize)> = None;
+    for (p, table) in tables.iter().enumerate() {
+        if table.is_empty() {
+            continue;
+        }
+        // most popular out-link becomes the default route
+        let mut by_out: HashMap<u32, usize> = HashMap::new();
+        for &out in table.values() {
+            *by_out.entry(out).or_insert(0) += 1;
+        }
+        let default_count = by_out.values().copied().max().unwrap_or(0);
+        let remaining = table.len() - default_count;
+        compressed_entries += remaining;
+        if remaining > max_entries_per_proc {
+            max_entries_per_proc = remaining;
+            hottest_proc = ProcId(p as u32);
+        }
+        if remaining > cfg.entries_per_proc && over.is_none() {
+            over = Some((ProcId(p as u32), remaining));
+        }
+    }
+    if let Some((proc, entries)) = over {
+        return Err(TopologyError::RouteBudgetExceeded {
+            proc,
+            entries,
+            budget: cfg.entries_per_proc,
+        });
+    }
+    Ok(RouteCompression {
+        raw_entries,
+        compressed_entries,
+        max_entries_per_proc,
+        hottest_proc,
+        budget: cfg.entries_per_proc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn p(ids: &[u32]) -> Vec<ProcId> {
+        ids.iter().map(|&i| ProcId(i)).collect()
+    }
+
+    #[test]
+    fn single_out_link_compresses_to_zero() {
+        // a chain: every transit entry shares the one out-link, so the
+        // default route swallows everything
+        let net = builders::chain(5);
+        let routes = [p(&[0, 1, 2, 3, 4]), p(&[0, 1, 2]), p(&[1, 2, 3])];
+        let views: Vec<&[ProcId]> = routes.iter().map(Vec::as_slice).collect();
+        let r = compress_routes(&net, views, CompressionConfig { entries_per_proc: 4 }).unwrap();
+        assert!(r.raw_entries > 0);
+        assert_eq!(r.compressed_entries, 0, "one out-link per proc = all default");
+        assert_eq!(r.headroom(), 4);
+        assert_eq!(r.savings_millis(), 1000);
+    }
+
+    #[test]
+    fn duplicate_pairs_dedup() {
+        let net = builders::chain(3);
+        // the same (0 → 2) route three times (three task-graph edges)
+        let route = p(&[0, 1, 2]);
+        let views: Vec<&[ProcId]> = vec![&route, &route, &route];
+        let r = compress_routes(&net, views, CompressionConfig::default()).unwrap();
+        assert_eq!(r.raw_entries, 6);
+        assert_eq!(r.compressed_entries, 0);
+    }
+
+    #[test]
+    fn over_budget_is_typed_and_names_the_hot_proc() {
+        // star: leaf 1 sends to every other leaf, so the hub fans out over
+        // four distinct out-links
+        let net = builders::star(6);
+        let routes: Vec<Vec<ProcId>> = (2..6).map(|leaf| p(&[1, 0, leaf])).collect();
+        let views: Vec<&[ProcId]> = routes.iter().map(Vec::as_slice).collect();
+        // hub holds 4 (src,dst) pairs over 4 out-links; default elides 1
+        let err =
+            compress_routes(&net, views.clone(), CompressionConfig { entries_per_proc: 2 })
+                .unwrap_err();
+        match err {
+            TopologyError::RouteBudgetExceeded { proc, entries, budget } => {
+                assert_eq!(proc, ProcId(0));
+                assert_eq!(entries, 3);
+                assert_eq!(budget, 2);
+            }
+            other => panic!("expected RouteBudgetExceeded, got {other:?}"),
+        }
+        // a budget of 3 fits exactly
+        let ok = compress_routes(&net, views, CompressionConfig { entries_per_proc: 3 }).unwrap();
+        assert_eq!(ok.max_entries_per_proc, 3);
+        assert_eq!(ok.hottest_proc, ProcId(0));
+        assert_eq!(ok.headroom(), 0);
+    }
+
+    #[test]
+    fn empty_routes_are_fine() {
+        let net = builders::ring(4);
+        let r = compress_routes(&net, std::iter::empty(), CompressionConfig::default()).unwrap();
+        assert_eq!(r.raw_entries, 0);
+        assert_eq!(r.compressed_entries, 0);
+        assert_eq!(r.savings_millis(), 0);
+    }
+}

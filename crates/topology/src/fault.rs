@@ -75,6 +75,25 @@ pub enum TopologyError {
         /// The other endpoint.
         v: u32,
     },
+    /// A fault named a hierarchy domain the machine does not have.
+    DomainOutOfRange {
+        /// Hierarchy level of the offending domain (0 = top).
+        level: usize,
+        /// The offending domain index.
+        index: u32,
+        /// Number of domains at that level.
+        num_domains: usize,
+    },
+    /// A per-processor routing table exceeded the hardware entry budget
+    /// even after compression (see `compress::compress_routes`).
+    RouteBudgetExceeded {
+        /// The processor whose table overflowed.
+        proc: ProcId,
+        /// Entries required after compression.
+        entries: usize,
+        /// The hardware budget.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -118,6 +137,22 @@ impl fmt::Display for TopologyError {
             ),
             TopologyError::SelfLoopLink { proc } => write!(f, "self-loop link at {proc}"),
             TopologyError::DuplicateLink { u, v } => write!(f, "duplicate link ({u}, {v})"),
+            TopologyError::DomainOutOfRange {
+                level,
+                index,
+                num_domains,
+            } => write!(
+                f,
+                "fault domain {index} at level {level} out of range (machine has {num_domains} domains at that level)"
+            ),
+            TopologyError::RouteBudgetExceeded {
+                proc,
+                entries,
+                budget,
+            } => write!(
+                f,
+                "routing table at processor {proc} needs {entries} entries after compression (hardware budget {budget})"
+            ),
         }
     }
 }
@@ -261,12 +296,20 @@ impl Network {
             }
         }
 
-        let net = Network::from_links(
+        let mut net = Network::from_links(
             format!("{}!degraded", self.name),
             TopologyKind::Custom,
             self.num_procs(),
             surviving,
         );
+        if let Some(attrs) = self.machine_attrs() {
+            // Machine attributes survive the fault: processor vectors are
+            // positional (numbering preserved), link vectors re-indexed to
+            // the fresh dense ids.
+            net = net.with_machine_attrs(std::sync::Arc::new(
+                attrs.for_surviving_links(&orig_link),
+            ));
+        }
         Ok(DegradedNetwork {
             net,
             alive,
@@ -369,12 +412,18 @@ impl DegradedNetwork {
             .links()
             .map(|(_, u, v)| (to_compact[u.index()], to_compact[v.index()]))
             .collect();
-        let net = Network::from_links(
+        let mut net = Network::from_links(
             format!("{}!compact", self.net.name),
             TopologyKind::Custom,
             to_orig.len(),
             links,
         );
+        if let Some(attrs) = self.net.machine_attrs() {
+            let link_ids: Vec<LinkId> = self.net.links().map(|(l, _, _)| l).collect();
+            net = net.with_machine_attrs(std::sync::Arc::new(
+                attrs.for_compacted(&to_orig, &link_ids),
+            ));
+        }
         (net, to_orig)
     }
 }
@@ -482,6 +531,36 @@ mod tests {
             r.degrade(&all),
             Err(TopologyError::NoAliveProcs)
         ));
+    }
+
+    #[test]
+    fn fault_insertion_deduplicates_and_is_idempotent() {
+        // fail_proc/fail_link insert into sets: repeating a fault must not
+        // accumulate duplicates or change any downstream view
+        let mut once = FaultSet::new();
+        once.fail_proc(ProcId(2)).fail_link(LinkId(1));
+        let mut thrice = FaultSet::new();
+        for _ in 0..3 {
+            thrice.fail_proc(ProcId(2)).fail_link(LinkId(1));
+        }
+        assert_eq!(once, thrice);
+        assert_eq!(thrice.procs().count(), 1);
+        assert_eq!(thrice.links().count(), 1);
+
+        let q = builders::hypercube(3);
+        let d_once = q.degrade(&once).unwrap();
+        let d_thrice = q.degrade(&thrice).unwrap();
+        assert_eq!(d_once.failed_procs(), d_thrice.failed_procs());
+        assert_eq!(d_once.failed_links(), d_thrice.failed_links());
+        assert_eq!(d_once.alive_mask(), d_thrice.alive_mask());
+        assert_eq!(
+            d_once.network().structural_signature(),
+            d_thrice.network().structural_signature()
+        );
+        // failed_procs carries each victim exactly once
+        let mut seen = d_thrice.failed_procs().to_vec();
+        seen.dedup();
+        assert_eq!(seen.len(), d_thrice.failed_procs().len());
     }
 
     #[test]
